@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the simulator itself and of the madvise ablation:
+//! how expensive is replaying traces through the page-cache model, and what
+//! does each access-pattern hint cost on a real mmap'd sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use m3_core::storage::RowStore;
+use m3_core::trace::AccessTrace;
+use m3_core::AccessPattern;
+use m3_vmsim::{SimConfig, Simulator};
+
+fn bench_trace_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vmsim_replay");
+    group.sample_size(20);
+    for &pages in &[4_096u64, 16_384] {
+        let region = pages * m3_core::PAGE_SIZE as u64;
+        let trace = AccessTrace::sequential_sweeps(region, 3, m3_core::PAGE_SIZE as u64);
+        let sim = Simulator::new(SimConfig::paper_machine().ram_bytes(region / 2));
+        group.bench_with_input(BenchmarkId::new("sequential", pages), &pages, |b, _| {
+            b.iter(|| sim.replay(black_box(&trace)))
+        });
+        let random = AccessTrace::random_touches(region, pages * 3, 5);
+        group.bench_with_input(BenchmarkId::new("random", pages), &pages, |b, _| {
+            b.iter(|| sim.replay(black_box(&random)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_madvise_hints(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let rows = 2_000;
+    let cols = 784;
+    let matrix = m3_linalg::DenseMatrix::from_vec(
+        (0..rows * cols).map(|i| (i % 127) as f64).collect(),
+        rows,
+        cols,
+    )
+    .unwrap();
+    let mapped = m3_core::alloc::persist_matrix(dir.path().join("advice.m3"), &matrix).unwrap();
+
+    let mut group = c.benchmark_group("mmap_sweep_by_advice");
+    group.sample_size(30);
+    for pattern in [AccessPattern::Normal, AccessPattern::Sequential, AccessPattern::Random] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(pattern.name()),
+            &pattern,
+            |b, &pattern| {
+                b.iter(|| {
+                    mapped.advise_pattern(pattern);
+                    let mut acc = 0.0;
+                    for r in 0..mapped.n_rows() {
+                        acc += mapped.row(r)[0];
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_replay, bench_madvise_hints);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the two paper workloads at laptop scale, over
+//! in-memory and memory-mapped storage, plus the cluster-simulator baseline —
+//! the measured (rather than simulated) counterpart of Figure 1b.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use m3_cluster::{ClusterConfig, SimCluster};
+use m3_data::{InfimnistLike, RowGenerator};
+use m3_ml::kmeans::{KMeans, KMeansConfig};
+use m3_ml::logistic::{LogisticConfig, LogisticRegression};
+
+const ROWS: usize = 1_500;
+
+fn data() -> (m3_linalg::DenseMatrix, Vec<f64>, Vec<f64>) {
+    let generator = InfimnistLike::new(9);
+    let (features, labels) = generator.materialize(ROWS);
+    let binary: Vec<f64> = labels.iter().map(|&l| if l < 5.0 { 0.0 } else { 1.0 }).collect();
+    (features, labels, binary)
+}
+
+fn bench_logistic(c: &mut Criterion) {
+    let (features, _, binary) = data();
+    let dir = tempfile::tempdir().unwrap();
+    let mapped = m3_core::alloc::persist_matrix(dir.path().join("lr.m3"), &features).unwrap();
+    let config = LogisticConfig {
+        max_iterations: 10,
+        fixed_iterations: true,
+        n_threads: 2,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("logistic_lbfgs_10iters_1500x784");
+    group.sample_size(10);
+    group.bench_function("in_memory", |b| {
+        b.iter(|| {
+            LogisticRegression::new(config.clone())
+                .fit(black_box(&features), black_box(&binary))
+                .unwrap()
+        })
+    });
+    group.bench_function("mmap", |b| {
+        b.iter(|| {
+            LogisticRegression::new(config.clone())
+                .fit(black_box(&mapped), black_box(&binary))
+                .unwrap()
+        })
+    });
+    group.bench_function("simulated_4_instance_cluster", |b| {
+        let cluster = SimCluster::new(ClusterConfig::emr_m3_2xlarge(4)).unwrap();
+        b.iter(|| {
+            cluster
+                .train_logistic(black_box(&features), black_box(&binary), 1e-4, 10)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let (features, _, _) = data();
+    let dir = tempfile::tempdir().unwrap();
+    let mapped = m3_core::alloc::persist_matrix(dir.path().join("km.m3"), &features).unwrap();
+    let config = KMeansConfig {
+        k: 5,
+        max_iterations: 10,
+        tolerance: 0.0,
+        n_threads: 2,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("kmeans_10iters_k5_1500x784");
+    group.sample_size(10);
+    group.bench_function("in_memory", |b| {
+        b.iter(|| KMeans::new(config.clone()).fit(black_box(&features)).unwrap())
+    });
+    group.bench_function("mmap", |b| {
+        b.iter(|| KMeans::new(config.clone()).fit(black_box(&mapped)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_logistic, bench_kmeans);
+criterion_main!(benches);

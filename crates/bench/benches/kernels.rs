@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the linear-algebra kernels underlying the
+//! paper's workloads (dot products for logistic scores, gemv_t for gradient
+//! accumulation, squared distances for k-means assignment).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use m3_linalg::{blas, ops, DenseMatrix};
+
+fn bench_dot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dot_product");
+    for &len in &[784usize, 4096] {
+        let a: Vec<f64> = (0..len).map(|i| i as f64 * 0.001).collect();
+        let b: Vec<f64> = (0..len).map(|i| (i as f64 * 0.002).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |bench, _| {
+            bench.iter(|| ops::dot(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemv");
+    group.sample_size(30);
+    for &rows in &[256usize, 1024] {
+        let cols = 784;
+        let m = DenseMatrix::from_vec(
+            (0..rows * cols).map(|i| (i % 97) as f64 * 0.01).collect(),
+            rows,
+            cols,
+        )
+        .unwrap();
+        let x = vec![0.5; cols];
+        let mut y = vec![0.0; rows];
+        group.bench_with_input(BenchmarkId::new("Ax", rows), &rows, |bench, _| {
+            bench.iter(|| blas::gemv(black_box(&m.view()), black_box(&x), &mut y))
+        });
+        let xt = vec![0.5; rows];
+        let mut yt = vec![0.0; cols];
+        group.bench_with_input(BenchmarkId::new("At_x", rows), &rows, |bench, _| {
+            bench.iter(|| blas::gemv_t(black_box(&m.view()), black_box(&xt), &mut yt))
+        });
+    }
+    group.finish();
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let a: Vec<f64> = (0..784).map(|i| i as f64 * 0.001).collect();
+    let b: Vec<f64> = (0..784).map(|i| (i + 3) as f64 * 0.001).collect();
+    c.bench_function("squared_distance_784", |bench| {
+        bench.iter(|| ops::squared_distance(black_box(&a), black_box(&b)))
+    });
+}
+
+criterion_group!(benches, bench_dot, bench_gemv, bench_distances);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the storage layer: sequential row sweeps over
+//! in-memory versus memory-mapped matrices (the micro-level version of the
+//! paper's Table 1 equivalence) and dataset-container open cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use m3_core::storage::RowStore;
+use m3_core::{mmap_alloc, AccessPattern};
+use m3_data::{writer, InfimnistLike};
+use m3_linalg::DenseMatrix;
+
+const ROWS: usize = 2_000;
+const COLS: usize = 784;
+
+fn build_in_memory() -> DenseMatrix {
+    DenseMatrix::from_vec(
+        (0..ROWS * COLS).map(|i| (i % 251) as f64 * 0.004).collect(),
+        ROWS,
+        COLS,
+    )
+    .unwrap()
+}
+
+fn sweep<S: RowStore + ?Sized>(store: &S) -> f64 {
+    let mut acc = 0.0;
+    for r in 0..store.n_rows() {
+        let row = store.row(r);
+        acc += row[0] + row[row.len() - 1];
+    }
+    acc
+}
+
+fn bench_row_sweep(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let in_memory = build_in_memory();
+    let mapped = m3_core::alloc::persist_matrix(dir.path().join("bench.m3"), &in_memory).unwrap();
+    mapped.advise_pattern(AccessPattern::Sequential);
+
+    let mut group = c.benchmark_group("row_sweep_2000x784");
+    group.sample_size(40);
+    group.bench_function("in_memory", |b| b.iter(|| sweep(black_box(&in_memory))));
+    group.bench_function("mmap", |b| b.iter(|| sweep(black_box(&mapped))));
+    group.finish();
+}
+
+fn bench_dataset_open(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("open.m3ds");
+    let generator = InfimnistLike::new(3);
+    writer::write_dataset(&generator, &path, 500).unwrap();
+
+    // Opening is O(header): this is the "a 190 GB dataset opens instantly"
+    // property, measured at small scale.
+    c.bench_function("dataset_open_mmap", |b| {
+        b.iter(|| {
+            let ds = m3_core::Dataset::open(black_box(&path)).unwrap();
+            black_box(ds.n_rows())
+        })
+    });
+
+    let raw = dir.path().join("open.m3");
+    writer::write_raw_matrix(&generator, &raw, 500).unwrap();
+    c.bench_function("raw_matrix_open_mmap", |b| {
+        b.iter(|| {
+            let m = mmap_alloc(black_box(&raw), 500, COLS).unwrap();
+            black_box(m.n_rows())
+        })
+    });
+}
+
+criterion_group!(benches, bench_row_sweep, bench_dataset_open);
+criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! Ablation studies (experiment E8).
+//!
+//! The paper attributes M3's efficiency to OS-level mechanisms — read-ahead,
+//! LRU caching — and its future work asks how access patterns (sequential vs.
+//! random) change the picture.  These ablations quantify each knob with the
+//! `m3-vmsim` model:
+//!
+//! * read-ahead on/off for a sequential scan,
+//! * sequential vs. random access for the same data volume,
+//! * RAM-size sweep (where does the out-of-core cliff move?),
+//! * device sweep (HDD / SATA SSD / the paper's PCIe SSD / NVMe / RAID 0),
+//!   reproducing the paper's "faster disks would make M3 even faster" claim.
+
+use m3_core::trace::AccessTrace;
+use m3_core::PAGE_SIZE;
+use m3_vmsim::{ReadAheadPolicy, SimConfig, Simulator, StorageDevice};
+
+use crate::GB;
+
+/// One named configuration and its simulated runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// What was varied.
+    pub label: String,
+    /// Simulated wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Bytes read from the device.
+    pub device_bytes: u64,
+    /// Number of device requests.
+    pub device_requests: u64,
+}
+
+/// Read-ahead on vs. off for a sequential out-of-core scan.
+pub fn readahead_ablation(dataset_gb: f64, sweeps: u32) -> Vec<AblationRow> {
+    let bytes = (dataset_gb * GB) as u64;
+    [
+        ("read-ahead enabled (MADV_SEQUENTIAL)", SimConfig::paper_machine()),
+        (
+            "read-ahead disabled (MADV_RANDOM)",
+            SimConfig::paper_machine().readahead(ReadAheadPolicy::disabled()),
+        ),
+    ]
+    .into_iter()
+    .map(|(label, config)| {
+        let report = Simulator::new(config).sequential_scan_report(bytes, sweeps);
+        AblationRow {
+            label: label.to_string(),
+            wall_seconds: report.wall_seconds(),
+            device_bytes: report.device_bytes_read,
+            device_requests: report.device_requests,
+        }
+    })
+    .collect()
+}
+
+/// Sequential scan vs. uniformly random access over the same number of page
+/// touches (event-driven replay; sized small enough to stay fast).
+pub fn access_pattern_ablation(region_mb: u64, touches_per_page: u32) -> Vec<AblationRow> {
+    let region_bytes = region_mb * 1_000_000;
+    let region_pages = region_bytes / PAGE_SIZE as u64;
+    let total_touches = region_pages * touches_per_page as u64;
+    // Cache deliberately smaller than the region so both patterns fault.
+    let config = SimConfig::paper_machine().ram_bytes(region_bytes / 4);
+
+    let sequential = AccessTrace::sequential_sweeps(region_bytes, touches_per_page, PAGE_SIZE as u64);
+    let random = AccessTrace::random_touches(region_bytes, total_touches, 7);
+
+    [
+        ("sequential scan", sequential, config),
+        (
+            "uniform random access",
+            random,
+            config.readahead(ReadAheadPolicy::disabled()),
+        ),
+    ]
+    .into_iter()
+    .map(|(label, trace, config)| {
+        let report = Simulator::new(config).replay(&trace);
+        AblationRow {
+            label: label.to_string(),
+            wall_seconds: report.wall_seconds(),
+            device_bytes: report.device_bytes_read,
+            device_requests: report.device_requests,
+        }
+    })
+    .collect()
+}
+
+/// Sweep the simulated RAM size for a fixed dataset, exposing where the
+/// in-RAM → out-of-core transition moves.
+pub fn ram_sweep(dataset_gb: f64, sweeps: u32, ram_sizes_gb: &[f64]) -> Vec<AblationRow> {
+    let bytes = (dataset_gb * GB) as u64;
+    ram_sizes_gb
+        .iter()
+        .map(|&ram_gb| {
+            let config = SimConfig::paper_machine().ram_bytes((ram_gb * GB) as u64);
+            let report = Simulator::new(config).sequential_scan_report(bytes, sweeps);
+            AblationRow {
+                label: format!("RAM = {ram_gb:.0} GB"),
+                wall_seconds: report.wall_seconds(),
+                device_bytes: report.device_bytes_read,
+                device_requests: report.device_requests,
+            }
+        })
+        .collect()
+}
+
+/// Sweep the storage device for the paper's full out-of-core workload.
+pub fn device_sweep(dataset_gb: f64, sweeps: u32) -> Vec<AblationRow> {
+    let bytes = (dataset_gb * GB) as u64;
+    [
+        StorageDevice::hdd(),
+        StorageDevice::sata_ssd(),
+        StorageDevice::revodrive_350(),
+        StorageDevice::nvme(),
+        StorageDevice::revodrive_raid0(),
+    ]
+    .into_iter()
+    .map(|device| {
+        let config = SimConfig::paper_machine().device(device);
+        let report = Simulator::new(config).sequential_scan_report(bytes, sweeps);
+        AblationRow {
+            label: device.name.to_string(),
+            wall_seconds: report.wall_seconds(),
+            device_bytes: report.device_bytes_read,
+            device_requests: report.device_requests,
+        }
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readahead_helps_sequential_scans() {
+        let rows = readahead_ablation(100.0, 10);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].wall_seconds < rows[1].wall_seconds);
+        assert_eq!(rows[0].device_bytes, rows[1].device_bytes);
+        assert!(rows[0].device_requests < rows[1].device_requests);
+    }
+
+    #[test]
+    fn sequential_beats_random_for_equal_volume() {
+        let rows = access_pattern_ablation(8, 3);
+        assert_eq!(rows.len(), 2);
+        let sequential = &rows[0];
+        let random = &rows[1];
+        assert!(sequential.wall_seconds < random.wall_seconds);
+    }
+
+    #[test]
+    fn more_ram_never_hurts_and_eventually_caches_everything() {
+        let rows = ram_sweep(100.0, 10, &[8.0, 32.0, 64.0, 128.0]);
+        for pair in rows.windows(2) {
+            assert!(pair[1].wall_seconds <= pair[0].wall_seconds + 1e-9);
+        }
+        // Once the dataset fits (128 GB RAM ≥ 100 GB data) only one pass
+        // touches the device.
+        assert!(rows.last().unwrap().device_bytes < rows[0].device_bytes);
+    }
+
+    #[test]
+    fn faster_devices_reduce_out_of_core_runtime() {
+        let rows = device_sweep(190.0, 10);
+        assert_eq!(rows.len(), 5);
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].wall_seconds <= pair[0].wall_seconds,
+                "{} ({}s) should not be slower than {} ({}s)",
+                pair[1].label,
+                pair[1].wall_seconds,
+                pair[0].label,
+                pair[0].wall_seconds
+            );
+        }
+        // RAID 0 roughly halves the RevoDrive runtime, as the paper suggests.
+        let revo = rows.iter().find(|r| r.label.contains("RevoDrive 350 (")).unwrap();
+        let raid = rows.iter().find(|r| r.label.contains("RAID 0")).unwrap();
+        let ratio = revo.wall_seconds / raid.wall_seconds;
+        assert!((1.5..2.5).contains(&ratio), "RAID-0 speed-up {ratio}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Ablation studies: read-ahead, access patterns, RAM size and storage device.
+//!
+//! Run with `cargo run --release --bin ablation -p m3-bench`.
+
+use m3_bench::ablation;
+use m3_bench::table::{seconds, TextTable};
+
+fn print_rows(title: &str, rows: &[ablation::AblationRow]) {
+    println!("-- {title} --");
+    let mut table = TextTable::new(vec!["configuration", "runtime", "device reads", "requests"]);
+    for row in rows {
+        table.add_row(vec![
+            row.label.clone(),
+            seconds(row.wall_seconds),
+            format!("{:.1} GB", row.device_bytes as f64 / 1e9),
+            row.device_requests.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    println!("== Ablation studies (experiment E8) ==\n");
+
+    print_rows(
+        "Read-ahead on/off (190 GB, 10 sequential sweeps)",
+        &ablation::readahead_ablation(190.0, 10),
+    );
+    print_rows(
+        "Sequential vs. random access (8 MB region, equal page touches)",
+        &ablation::access_pattern_ablation(8, 3),
+    );
+    print_rows(
+        "RAM-size sweep (100 GB dataset, 10 sweeps)",
+        &ablation::ram_sweep(100.0, 10, &[8.0, 16.0, 32.0, 64.0, 128.0]),
+    );
+    print_rows(
+        "Storage-device sweep (190 GB dataset, 10 sweeps)",
+        &ablation::device_sweep(190.0, 10),
+    );
+
+    println!("Takeaways: read-ahead removes per-page seek overhead for sequential scans; random access");
+    println!("defeats both read-ahead and the LRU cache; more RAM moves the out-of-core cliff; and faster");
+    println!("devices (RAID 0 / NVMe) directly shrink out-of-core runtime, as the paper anticipates.");
+}

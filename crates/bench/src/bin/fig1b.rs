@@ -1,0 +1,57 @@
+//! Regenerates Figure 1b: M3 (one PC) versus 4- and 8-instance Spark clusters
+//! for logistic regression (L-BFGS) and k-means, 10 iterations over 190 GB.
+//!
+//! Run with `cargo run --release --bin fig1b -p m3-bench`.
+
+use m3_bench::table::{ratio, seconds, TextTable};
+use m3_bench::workload::Algorithm;
+use m3_bench::{fig1b, paper_numbers};
+
+fn main() {
+    println!("== Figure 1b: M3 vs. Spark (190 GB, 10 iterations) ==\n");
+    let result = fig1b::run_paper_comparison();
+
+    let mut table = TextTable::new(vec![
+        "algorithm",
+        "platform",
+        "simulated runtime",
+        "vs. M3",
+        "paper runtime",
+    ]);
+    for algorithm in [Algorithm::LogisticRegression, Algorithm::KMeans] {
+        let m3_seconds = result.m3_seconds(algorithm);
+        for platform in ["M3", "4x Spark", "8x Spark"] {
+            let entry = result.get(algorithm, platform).expect("all bars present");
+            table.add_row(vec![
+                algorithm.name().to_string(),
+                platform.to_string(),
+                seconds(entry.runtime_seconds),
+                ratio(entry.ratio_to(m3_seconds)),
+                seconds(entry.paper_seconds),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    let lr_m3 = result.m3_seconds(Algorithm::LogisticRegression);
+    let lr4 = result.get(Algorithm::LogisticRegression, "4x Spark").unwrap();
+    let lr8 = result.get(Algorithm::LogisticRegression, "8x Spark").unwrap();
+    let km_m3 = result.m3_seconds(Algorithm::KMeans);
+    let km8 = result.get(Algorithm::KMeans, "8x Spark").unwrap();
+
+    println!("Key findings reproduced:");
+    println!(
+        "  - logistic regression: one M3 PC beats the 8-instance cluster ({}x) and the 4-instance cluster is {}x slower (paper: ~1.5x and 4.2x);",
+        format_ratio(lr8.runtime_seconds / lr_m3),
+        format_ratio(lr4.runtime_seconds / lr_m3)
+    );
+    println!(
+        "  - k-means: the 8-instance cluster is {}x M3 (paper: {}x), the 4-instance cluster more than twice as slow.",
+        format_ratio(km8.runtime_seconds / km_m3),
+        format_ratio(paper_numbers::KM_SPARK_8 / paper_numbers::KM_M3)
+    );
+}
+
+fn format_ratio(r: f64) -> String {
+    format!("{r:.2}")
+}

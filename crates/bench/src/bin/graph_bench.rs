@@ -1,0 +1,34 @@
+//! Graph-workload extension: PageRank and connected components over in-memory
+//! and memory-mapped graphs (the workloads of the MMap prior work M3
+//! generalises from).
+//!
+//! Run with `cargo run --release --bin graph_bench -p m3-bench`.
+
+use m3_bench::graphs;
+use m3_bench::table::TextTable;
+
+fn main() {
+    println!("== Graph extension: PageRank & connected components over mmap'd CSR graphs ==\n");
+    let dir = tempfile::tempdir().expect("temporary directory");
+    let experiment = graphs::run(dir.path(), 50_000, 8, 7);
+
+    let mut table = TextTable::new(vec!["workload", "backend", "nodes", "edges", "runtime"]);
+    for row in &experiment.rows {
+        table.add_row(vec![
+            row.workload.to_string(),
+            row.backend.to_string(),
+            row.n_nodes.to_string(),
+            row.n_edges.to_string(),
+            format!("{:.3}s", row.seconds),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "PageRank results identical across backends: {}",
+        experiment.pagerank_results_match
+    );
+    println!(
+        "Connected-components results identical across backends: {}",
+        experiment.components_results_match
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates Table 1: the minimal code change needed to move an existing
+//! in-memory algorithm onto memory-mapped (out-of-core) data — and proves the
+//! two paths produce identical models.
+//!
+//! Run with `cargo run --release --bin table1 -p m3-bench`.
+
+use m3_bench::table1;
+
+fn main() {
+    println!("== Table 1: minimal code change (original vs. M3) ==\n");
+    println!("{}\n", table1::ORIGINAL_SNIPPET);
+    println!("{}\n", table1::M3_SNIPPET);
+
+    let dir = tempfile::tempdir().expect("temporary directory");
+    let result = table1::demonstrate(dir.path(), 2000, 42);
+    println!(
+        "Trained binary logistic regression twice on the same {}-row synthetic dataset:",
+        result.n_rows
+    );
+    println!("  in-memory accuracy     : {:.4}", result.in_memory_accuracy);
+    println!("  memory-mapped accuracy : {:.4}", result.mmap_accuracy);
+    println!(
+        "  max |weight difference|: {:.2e}",
+        result.max_weight_difference
+    );
+    println!(
+        "  L-BFGS iterations       : {} (in-memory) / {} (mmap)",
+        result.in_memory_model.optimization.iterations, result.mmap_model.optimization.iterations
+    );
+    println!("\nThe training call is textually identical for both storages; only the allocation line differs,");
+    println!("which is the paper's Table 1 claim.");
+}

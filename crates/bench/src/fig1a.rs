@@ -1,0 +1,196 @@
+//! Figure 1a — M3 runtime versus dataset size (10–190 GB, RAM = 32 GB).
+//!
+//! The paper shows the runtime of 10 L-BFGS iterations of logistic regression
+//! growing linearly with dataset size, with a steeper (but still linear)
+//! slope once the dataset exceeds the 32 GB of RAM, and reports that the run
+//! is I/O bound (disk ≈100 % busy, CPU ≈13 %).  This module regenerates that
+//! series by driving the measured access pattern of the real algorithm
+//! through the `m3-vmsim` machine model.
+
+use m3_vmsim::{SimConfig, Simulator};
+
+use crate::fit::{linear_fit, LinearFit};
+use crate::workload::{Algorithm, SweepProfile};
+use crate::{paper_numbers, FIG1A_SIZES_GB, GB};
+
+/// One point on the Figure 1a curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig1aPoint {
+    /// Dataset size in decimal GB.
+    pub dataset_gb: f64,
+    /// Whether the dataset exceeds the machine's RAM.
+    pub out_of_core: bool,
+    /// Simulated runtime of 10 L-BFGS iterations, seconds.
+    pub runtime_seconds: f64,
+    /// Disk utilisation during the run, in `[0, 1]`.
+    pub io_utilization: f64,
+    /// CPU utilisation during the run, in `[0, 1]`.
+    pub cpu_utilization: f64,
+    /// Bytes read from the device.
+    pub device_bytes_read: u64,
+}
+
+/// The full Figure 1a reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig1aResult {
+    /// One point per dataset size.
+    pub points: Vec<Fig1aPoint>,
+    /// The sweep profile used (measured from the real optimiser).
+    pub sweeps: u32,
+    /// RAM size used by the simulation, decimal GB.
+    pub ram_gb: f64,
+    /// Least-squares fit over the in-RAM points.
+    pub in_ram_fit: Option<LinearFit>,
+    /// Least-squares fit over the out-of-core points.
+    pub out_of_core_fit: Option<LinearFit>,
+}
+
+impl Fig1aResult {
+    /// Ratio of the out-of-core slope to the in-RAM slope (> 1 means the
+    /// curve steepens past the RAM boundary, as in the paper).
+    pub fn slope_ratio(&self) -> Option<f64> {
+        match (&self.in_ram_fit, &self.out_of_core_fit) {
+            (Some(a), Some(b)) if a.slope > 0.0 => Some(b.slope / a.slope),
+            _ => None,
+        }
+    }
+}
+
+/// Run the Figure 1a sweep.
+///
+/// * `sizes_gb` — dataset sizes to evaluate (the paper's axis is
+///   [`FIG1A_SIZES_GB`]).
+/// * `profile` — measured sweep counts (see [`SweepProfile::measure`]).
+/// * `config` — simulated machine (defaults to the paper's desktop).
+pub fn run_sweep(sizes_gb: &[f64], profile: &SweepProfile, config: &SimConfig) -> Fig1aResult {
+    let simulator = Simulator::new(*config);
+    let sweeps = profile.sweeps(Algorithm::LogisticRegression);
+    let ram_gb = config.ram_bytes as f64 / GB;
+
+    let points: Vec<Fig1aPoint> = sizes_gb
+        .iter()
+        .map(|&gb| {
+            let bytes = (gb * GB) as u64;
+            let report = simulator.sequential_scan_report(bytes, sweeps);
+            let util = report.utilization();
+            Fig1aPoint {
+                dataset_gb: gb,
+                out_of_core: bytes > config.ram_bytes,
+                runtime_seconds: report.wall_seconds(),
+                io_utilization: util.io_utilization(),
+                cpu_utilization: util.cpu_utilization(),
+                device_bytes_read: report.device_bytes_read,
+            }
+        })
+        .collect();
+
+    // The paper's x-axis only has a single point below the 32 GB RAM line, so
+    // the in-RAM slope is fitted over a denser grid of sub-RAM sizes (the
+    // curve in the figure is continuous); the out-of-core slope is fitted
+    // over the requested out-of-core points.
+    let mut in_ram: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| !p.out_of_core)
+        .map(|p| (p.dataset_gb, p.runtime_seconds))
+        .collect();
+    if in_ram.len() < 2 {
+        for fraction in [0.25, 0.5, 0.75, 0.95] {
+            let gb = ram_gb * fraction;
+            let report = simulator.sequential_scan_report((gb * GB) as u64, sweeps);
+            in_ram.push((gb, report.wall_seconds()));
+        }
+    }
+    let out_of_core: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p.out_of_core)
+        .map(|p| (p.dataset_gb, p.runtime_seconds))
+        .collect();
+
+    Fig1aResult {
+        points,
+        sweeps,
+        ram_gb,
+        in_ram_fit: linear_fit(&in_ram),
+        out_of_core_fit: linear_fit(&out_of_core),
+    }
+}
+
+/// Run the sweep with the paper's configuration (sizes, RAM, SSD) and a
+/// sweep profile measured from the real optimiser on a small subsample.
+pub fn run_paper_sweep() -> Fig1aResult {
+    let profile = SweepProfile::measure(300, paper_numbers::ITERATIONS, 42);
+    run_sweep(&FIG1A_SIZES_GB, &profile, &SimConfig::paper_machine())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_profile() -> SweepProfile {
+        SweepProfile {
+            logistic_sweeps: 20,
+            kmeans_sweeps: 11,
+        }
+    }
+
+    #[test]
+    fn runtime_grows_monotonically_with_size() {
+        let result = run_sweep(&FIG1A_SIZES_GB, &quick_profile(), &SimConfig::paper_machine());
+        assert_eq!(result.points.len(), 7);
+        for pair in result.points.windows(2) {
+            assert!(pair[1].runtime_seconds > pair[0].runtime_seconds);
+        }
+    }
+
+    #[test]
+    fn slope_steepens_past_the_ram_boundary() {
+        let result = run_sweep(&FIG1A_SIZES_GB, &quick_profile(), &SimConfig::paper_machine());
+        let ratio = result.slope_ratio().expect("both regimes have points");
+        assert!(ratio > 2.0, "out-of-core slope should be much steeper, got {ratio}");
+        // Both regimes are individually close to linear.
+        assert!(result.in_ram_fit.unwrap().r_squared > 0.95);
+        assert!(result.out_of_core_fit.unwrap().r_squared > 0.95);
+    }
+
+    #[test]
+    fn out_of_core_points_are_io_bound_like_the_paper() {
+        let result = run_sweep(&FIG1A_SIZES_GB, &quick_profile(), &SimConfig::paper_machine());
+        for p in result.points.iter().filter(|p| p.out_of_core) {
+            assert!(p.io_utilization > 0.95, "disk should be saturated at {} GB", p.dataset_gb);
+            assert!(
+                (p.cpu_utilization - 0.13).abs() < 0.05,
+                "CPU utilisation {} should be near the paper's 13 %",
+                p.cpu_utilization
+            );
+        }
+        // In-RAM points are CPU bound instead.
+        let in_ram_point = result.points.iter().find(|p| !p.out_of_core).unwrap();
+        assert!(in_ram_point.cpu_utilization > in_ram_point.io_utilization);
+    }
+
+    #[test]
+    fn full_dataset_runtime_is_in_the_paper_ballpark() {
+        // With the measured sweep count the 190 GB point should land within a
+        // factor of ~2 of the paper's 1950 s (we are modelling their SSD, not
+        // measuring it).
+        let result = run_paper_sweep();
+        let last = result.points.last().unwrap();
+        assert_eq!(last.dataset_gb, 190.0);
+        assert!(
+            last.runtime_seconds > paper_numbers::LR_M3 * 0.5
+                && last.runtime_seconds < paper_numbers::LR_M3 * 2.0,
+            "190 GB runtime {}s should be within 2x of the paper's {}s",
+            last.runtime_seconds,
+            paper_numbers::LR_M3
+        );
+    }
+
+    #[test]
+    fn ram_boundary_classification_matches_config() {
+        let config = SimConfig::paper_machine();
+        let result = run_sweep(&[10.0, 100.0], &quick_profile(), &config);
+        assert!(!result.points[0].out_of_core);
+        assert!(result.points[1].out_of_core);
+        assert!((result.ram_gb - config.ram_bytes as f64 / GB).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! Graph-workload extension benchmarks (experiment E7).
+//!
+//! The prior work M3 builds on (MMap, Lin et al. 2014) evaluated PageRank and
+//! connected components over memory-mapped graphs.  This module runs both
+//! algorithms over an in-memory and a memory-mapped copy of the same
+//! synthetic graph and reports runtimes plus a result-equality check, closing
+//! the loop between the graph-mining origin of the idea and its ML
+//! generalisation.
+
+use std::path::Path;
+use std::time::Instant;
+
+use m3_graph::components::connected_components;
+use m3_graph::pagerank::{pagerank, PageRankConfig};
+use m3_graph::{generate, mmap_graph, GraphStore};
+
+/// Result of one graph workload on one storage backend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphRunRow {
+    /// Workload name ("pagerank" / "connected-components").
+    pub workload: &'static str,
+    /// Storage backend ("in-memory" / "mmap").
+    pub backend: &'static str,
+    /// Measured wall-clock seconds (real execution, not simulated).
+    pub seconds: f64,
+    /// Number of nodes processed.
+    pub n_nodes: usize,
+    /// Number of edges processed.
+    pub n_edges: usize,
+}
+
+/// The full graph-extension experiment.
+#[derive(Debug, Clone)]
+pub struct GraphExperiment {
+    /// One row per (workload, backend) pair.
+    pub rows: Vec<GraphRunRow>,
+    /// Whether the in-memory and mmap PageRank scores were identical.
+    pub pagerank_results_match: bool,
+    /// Whether the in-memory and mmap component labellings were identical.
+    pub components_results_match: bool,
+}
+
+/// Run PageRank and connected components over an in-memory and a
+/// memory-mapped copy of the same preferential-attachment graph.
+pub fn run(dir: &Path, n_nodes: usize, out_degree: usize, seed: u64) -> GraphExperiment {
+    let graph = generate::preferential_attachment(n_nodes, out_degree, seed);
+    let path = dir.join("graph_bench.m3g");
+    mmap_graph::write_graph(&graph, &path).expect("writing the benchmark graph must succeed");
+    let mapped = mmap_graph::MmapGraph::open(&path).expect("reopening the benchmark graph");
+
+    let mut rows = Vec::new();
+    let pr_config = PageRankConfig {
+        max_iterations: 20,
+        tolerance: 0.0,
+        ..Default::default()
+    };
+
+    let mut timed = |workload: &'static str, backend: &'static str, f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        rows.push(GraphRunRow {
+            workload,
+            backend,
+            seconds: start.elapsed().as_secs_f64(),
+            n_nodes: graph.n_nodes(),
+            n_edges: graph.n_edges(),
+        });
+    };
+
+    let mut pr_memory = None;
+    let mut pr_mmap = None;
+    timed("pagerank", "in-memory", &mut || {
+        pr_memory = Some(pagerank(&graph, &pr_config));
+    });
+    timed("pagerank", "mmap", &mut || {
+        pr_mmap = Some(pagerank(&mapped, &pr_config));
+    });
+
+    let mut cc_memory = None;
+    let mut cc_mmap = None;
+    timed("connected-components", "in-memory", &mut || {
+        cc_memory = Some(connected_components(&graph));
+    });
+    timed("connected-components", "mmap", &mut || {
+        cc_mmap = Some(connected_components(&mapped));
+    });
+
+    GraphExperiment {
+        pagerank_results_match: pr_memory.unwrap().scores == pr_mmap.unwrap().scores,
+        components_results_match: cc_memory.unwrap().labels == cc_mmap.unwrap().labels,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_and_in_memory_graph_runs_agree() {
+        let dir = tempfile::tempdir().unwrap();
+        let experiment = run(dir.path(), 500, 4, 3);
+        assert_eq!(experiment.rows.len(), 4);
+        assert!(experiment.pagerank_results_match);
+        assert!(experiment.components_results_match);
+        for row in &experiment.rows {
+            assert_eq!(row.n_nodes, 500);
+            assert!(row.n_edges > 0);
+            assert!(row.seconds >= 0.0);
+        }
+        // Both backends appear for both workloads.
+        assert_eq!(
+            experiment.rows.iter().filter(|r| r.backend == "mmap").count(),
+            2
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! # m3-bench — the experiment harness
+//!
+//! Every table and figure in the M3 paper's evaluation has a corresponding
+//! generator here; the `fig1a`, `fig1b`, `table1`, `ablation` and
+//! `graph_bench` binaries print the rows/series, and the Criterion benches
+//! under `benches/` measure the micro-level kernels.  The heavy lifting lives
+//! in this library crate so that integration tests can assert the *shape* of
+//! every reproduced result (who wins, by roughly what factor, where the
+//! crossovers fall) without shelling out to the binaries.
+//!
+//! | Paper artefact | Generator | Binary |
+//! |----------------|-----------|--------|
+//! | Table 1 (minimal code change) | [`table1::demonstrate`] | `table1` |
+//! | Figure 1a (runtime vs. dataset size) | [`fig1a::run_sweep`] | `fig1a` |
+//! | Figure 1b (M3 vs. 4×/8× Spark) | [`fig1b::run_comparison`] | `fig1b` |
+//! | §3.1 I/O-bound observation | [`fig1a::run_sweep`] (utilisation column) | `fig1a` |
+//! | Linear-scaling fit | [`fit::linear_fit`] | `fig1a` |
+//! | Access-pattern / cache ablations | [`ablation`] | `ablation` |
+//! | Graph extension (prior-work workloads) | [`graphs`] | `graph_bench` |
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig1a;
+pub mod fig1b;
+pub mod fit;
+pub mod graphs;
+pub mod table;
+pub mod table1;
+pub mod workload;
+
+/// Decimal gigabyte, the unit used on the paper's x-axis.
+pub const GB: f64 = 1e9;
+
+/// The dataset sizes (in decimal GB) on the x-axis of Figure 1a.
+pub const FIG1A_SIZES_GB: [f64; 7] = [10.0, 40.0, 70.0, 100.0, 130.0, 160.0, 190.0];
+
+/// The paper's reported runtimes for Figure 1b (seconds).
+pub mod paper_numbers {
+    /// Logistic regression, M3 single machine.
+    pub const LR_M3: f64 = 1950.0;
+    /// Logistic regression, 8-instance Spark.
+    pub const LR_SPARK_8: f64 = 2864.0;
+    /// Logistic regression, 4-instance Spark.
+    pub const LR_SPARK_4: f64 = 8256.0;
+    /// k-means, M3 single machine.
+    pub const KM_M3: f64 = 1164.0;
+    /// k-means, 8-instance Spark.
+    pub const KM_SPARK_8: f64 = 1604.0;
+    /// k-means, 4-instance Spark.
+    pub const KM_SPARK_4: f64 = 3491.0;
+    /// RAM of the paper's test machine in decimal GB.
+    pub const RAM_GB: f64 = 32.0;
+    /// Full dataset size in decimal GB (32 M Infimnist images).
+    pub const DATASET_GB: f64 = 190.0;
+    /// Iterations used for both algorithms.
+    pub const ITERATIONS: usize = 10;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1a_axis_matches_paper() {
+        assert_eq!(FIG1A_SIZES_GB.len(), 7);
+        assert_eq!(FIG1A_SIZES_GB[0], 10.0);
+        assert_eq!(*FIG1A_SIZES_GB.last().unwrap(), paper_numbers::DATASET_GB);
+        // Sizes straddle the 32 GB RAM boundary, which is the point of the figure.
+        assert!(FIG1A_SIZES_GB.iter().any(|&s| s < paper_numbers::RAM_GB));
+        assert!(FIG1A_SIZES_GB.iter().any(|&s| s > paper_numbers::RAM_GB));
+    }
+
+    #[test]
+    fn paper_numbers_have_the_published_ordering() {
+        use paper_numbers::*;
+        assert!(LR_M3 < LR_SPARK_8 && LR_SPARK_8 < LR_SPARK_4);
+        assert!(KM_M3 < KM_SPARK_8 && KM_SPARK_8 < KM_SPARK_4);
+        assert!((LR_SPARK_4 / LR_M3 - 4.2).abs() < 0.1);
+        assert!((KM_SPARK_8 / KM_M3 - 1.37).abs() < 0.02);
+    }
+}

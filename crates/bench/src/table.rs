@@ -1,0 +1,102 @@
+//! Plain-text table rendering for the benchmark binaries.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (padded / truncated to the header width).
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render the table with aligned columns.
+    pub fn render(&self) -> String {
+        let n_cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate().take(n_cols) {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (c, cell) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:width$} |", cell, width = widths[c]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format seconds with one decimal digit.
+pub fn seconds(value: f64) -> String {
+    format!("{value:.1}s")
+}
+
+/// Format a ratio like "4.2x".
+pub fn ratio(value: f64) -> String {
+    format!("{value:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["size", "runtime"]);
+        t.add_row(vec!["10 GB", "100.0s"]);
+        t.add_row(vec!["190 GB", "1950.0s"]);
+        let s = t.render();
+        assert_eq!(t.n_rows(), 2);
+        assert!(s.contains("| size   | runtime |"));
+        assert!(s.contains("| 190 GB | 1950.0s |"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["1"]);
+        let s = t.render();
+        assert!(s.lines().last().unwrap().matches('|').count() == 4);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(seconds(1950.04), "1950.0s");
+        assert_eq!(ratio(4.234), "4.23x");
+    }
+}

@@ -1,0 +1,145 @@
+//! Workload characterisation shared by the figure generators.
+//!
+//! The runtime of an out-of-core batch learner is (to first order) the number
+//! of full data sweeps times the cost of streaming the dataset once.  The
+//! iteration counts are fixed by the paper's protocol (10); the *sweeps per
+//! iteration* depend on the algorithm and, for L-BFGS, on how many objective
+//! evaluations its line search needs.  Rather than hard-coding that number we
+//! measure it by running the real optimiser on a small subsample of the same
+//! synthetic Infimnist-like data, then feed the measured sweep count into the
+//! `m3-vmsim` machine model.
+
+use m3_data::{InfimnistLike, RowGenerator};
+use m3_ml::kmeans::{KMeans, KMeansConfig};
+use m3_ml::logistic::{LogisticConfig, LogisticRegression};
+use m3_vmsim::{SimConfig, SimReport, Simulator};
+
+/// Which of the paper's two algorithms a measurement refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Logistic regression trained with L-BFGS.
+    LogisticRegression,
+    /// Lloyd's k-means.
+    KMeans,
+}
+
+impl Algorithm {
+    /// Human-readable name used in report rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::LogisticRegression => "Logistic Regression (L-BFGS)",
+            Algorithm::KMeans => "K-Means",
+        }
+    }
+}
+
+/// Measured sweep counts for the paper's 10-iteration protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepProfile {
+    /// Full passes over the dataset for 10 iterations of L-BFGS logistic
+    /// regression (objective + gradient evaluations, including line search).
+    pub logistic_sweeps: u32,
+    /// Full passes for 10 iterations of Lloyd's k-means (one per iteration
+    /// plus the final inertia evaluation).
+    pub kmeans_sweeps: u32,
+}
+
+impl SweepProfile {
+    /// Measure sweep counts by running the real algorithms on a small
+    /// subsample of Infimnist-like data (binary labels for the logistic run:
+    /// digit < 5 vs. ≥ 5, as any binary split exercises the same code path).
+    pub fn measure(subsample_rows: usize, iterations: usize, seed: u64) -> Self {
+        let generator = InfimnistLike::new(seed);
+        let (features, labels) = generator.materialize(subsample_rows.max(50));
+        let binary_labels: Vec<f64> = labels.iter().map(|&l| if l < 5.0 { 0.0 } else { 1.0 }).collect();
+
+        let logistic = LogisticRegression::new(LogisticConfig {
+            max_iterations: iterations,
+            fixed_iterations: true,
+            n_threads: 1,
+            ..Default::default()
+        })
+        .fit(&features, &binary_labels)
+        .expect("subsample training cannot fail on valid data");
+        // Each function evaluation touches the whole dataset once.
+        let logistic_sweeps = logistic.optimization.function_evaluations as u32;
+
+        let kmeans = KMeans::new(KMeansConfig {
+            k: 5,
+            max_iterations: iterations,
+            tolerance: 0.0,
+            n_threads: 1,
+            ..Default::default()
+        })
+        .fit(&features)
+        .expect("subsample clustering cannot fail on valid data");
+        // One assignment sweep per iteration plus the final inertia sweep.
+        let kmeans_sweeps = (kmeans.iterations + 1) as u32;
+
+        Self {
+            logistic_sweeps,
+            kmeans_sweeps,
+        }
+    }
+
+    /// Sweep count for a given algorithm.
+    pub fn sweeps(&self, algorithm: Algorithm) -> u32 {
+        match algorithm {
+            Algorithm::LogisticRegression => self.logistic_sweeps,
+            Algorithm::KMeans => self.kmeans_sweeps,
+        }
+    }
+}
+
+/// Estimate the single-machine (M3) runtime of `algorithm` over
+/// `dataset_bytes` of Infimnist-like data on the simulated paper machine.
+pub fn m3_runtime(
+    algorithm: Algorithm,
+    dataset_bytes: u64,
+    profile: &SweepProfile,
+    config: &SimConfig,
+) -> SimReport {
+    let simulator = Simulator::new(*config);
+    simulator.sequential_scan_report(dataset_bytes, profile.sweeps(algorithm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_profile_is_in_the_expected_range() {
+        let profile = SweepProfile::measure(200, 10, 3);
+        // k-means: 10 assignment sweeps + 1 final inertia sweep.
+        assert_eq!(profile.kmeans_sweeps, 11);
+        // L-BFGS: at least one evaluation per iteration plus the initial one;
+        // the strong-Wolfe search rarely needs more than ~4 per iteration.
+        assert!(
+            (11..=45).contains(&profile.logistic_sweeps),
+            "unexpected logistic sweep count {}",
+            profile.logistic_sweeps
+        );
+        assert!(profile.sweeps(Algorithm::LogisticRegression) >= profile.sweeps(Algorithm::KMeans));
+    }
+
+    #[test]
+    fn m3_runtime_scales_with_dataset_size() {
+        let profile = SweepProfile {
+            logistic_sweeps: 20,
+            kmeans_sweeps: 11,
+        };
+        let config = SimConfig::paper_machine();
+        let small = m3_runtime(Algorithm::KMeans, 10 * m3_vmsim::GB, &profile, &config);
+        let large = m3_runtime(Algorithm::KMeans, 190 * m3_vmsim::GB, &profile, &config);
+        assert!(large.wall_seconds() > small.wall_seconds() * 5.0);
+        // LR does more sweeps, so it must take longer than k-means.
+        let lr = m3_runtime(Algorithm::LogisticRegression, 190 * m3_vmsim::GB, &profile, &config);
+        assert!(lr.wall_seconds() > large.wall_seconds());
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert!(Algorithm::LogisticRegression.name().contains("L-BFGS"));
+        assert!(Algorithm::KMeans.name().contains("K-Means"));
+    }
+}

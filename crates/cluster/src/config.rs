@@ -1,0 +1,200 @@
+//! Cluster, instance and workload configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware specification of one cluster instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Virtual CPUs (hyperthreads).
+    pub vcpus: usize,
+    /// Memory in bytes.
+    pub memory_bytes: u64,
+    /// Local disk streaming bandwidth in bytes/second (per instance).
+    pub disk_bandwidth: f64,
+}
+
+impl InstanceSpec {
+    /// The paper's EC2 `m3.2xlarge`: 8 vCPUs, 30 GB memory, 2×80 GB SSD.
+    pub fn m3_2xlarge() -> Self {
+        Self {
+            vcpus: 8,
+            memory_bytes: 30 * 1024 * 1024 * 1024,
+            disk_bandwidth: 450e6,
+        }
+    }
+}
+
+/// Fixed overheads of a bulk-synchronous (Spark-style) execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SparkOverheads {
+    /// Fraction of executor memory usable for caching RDD partitions
+    /// (Spark's `spark.memory.storageFraction` territory).
+    pub storage_fraction: f64,
+    /// Seconds of scheduling / task-launch overhead per stage.
+    pub stage_scheduling_seconds: f64,
+    /// Seconds per iteration spent aggregating partial results at the driver
+    /// (treeAggregate latency), independent of cluster size.
+    pub aggregation_base_seconds: f64,
+    /// Additional aggregation seconds per instance (more partitions to merge).
+    pub aggregation_per_instance_seconds: f64,
+    /// One-off job submission / context start-up cost in seconds.
+    pub job_startup_seconds: f64,
+}
+
+impl Default for SparkOverheads {
+    fn default() -> Self {
+        Self {
+            storage_fraction: 0.6,
+            stage_scheduling_seconds: 4.0,
+            aggregation_base_seconds: 6.0,
+            aggregation_per_instance_seconds: 0.25,
+            job_startup_seconds: 20.0,
+        }
+    }
+}
+
+/// Per-algorithm processing profile of the simulated engine.
+///
+/// The throughput constants are *calibrated* against the runtimes published
+/// in the paper's Figure 1b (see `EXPERIMENTS.md`); everything derived from
+/// cluster size — data share per instance, spill volume, aggregation fan-in —
+/// is computed by the model, not fitted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Short name used in reports.
+    pub name: &'static str,
+    /// Full data passes per outer iteration (L-BFGS needs the objective and
+    /// gradient, MLlib evaluates both via aggregation passes; Lloyd's k-means
+    /// needs one).
+    pub sweeps_per_iteration: f64,
+    /// JVM-side processing throughput over cached data, bytes/second per
+    /// instance (deserialisation + arithmetic).
+    pub jvm_bytes_per_second: f64,
+    /// Effective re-read throughput for the portion of the partition that did
+    /// not fit in storage memory and must come from disk/HDFS each sweep.
+    pub spill_bytes_per_second: f64,
+}
+
+impl WorkloadProfile {
+    /// Logistic regression via MLlib's L-BFGS (two aggregation passes per
+    /// iteration).  Calibrated to Figure 1b-left.
+    pub fn logistic_regression() -> Self {
+        Self {
+            name: "logistic-regression-lbfgs",
+            sweeps_per_iteration: 2.0,
+            jvm_bytes_per_second: 250e6,
+            spill_bytes_per_second: 136e6,
+        }
+    }
+
+    /// k-means (one assignment pass per iteration).  Calibrated to
+    /// Figure 1b-right.
+    pub fn kmeans() -> Self {
+        Self {
+            name: "kmeans",
+            sweeps_per_iteration: 1.0,
+            jvm_bytes_per_second: 175e6,
+            spill_bytes_per_second: 448e6,
+        }
+    }
+}
+
+/// A complete cluster description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of worker instances.
+    pub n_instances: usize,
+    /// Per-instance hardware.
+    pub instance: InstanceSpec,
+    /// HDFS block size in bytes (EMR default 128 MiB).
+    pub hdfs_block_bytes: u64,
+    /// Engine overheads.
+    pub overheads: SparkOverheads,
+}
+
+impl ClusterConfig {
+    /// An EMR-style cluster of `n` `m3.2xlarge` instances, as in the paper.
+    pub fn emr_m3_2xlarge(n: usize) -> Self {
+        Self {
+            n_instances: n,
+            instance: InstanceSpec::m3_2xlarge(),
+            hdfs_block_bytes: 128 * 1024 * 1024,
+            overheads: SparkOverheads::default(),
+        }
+    }
+
+    /// Bytes of executor memory usable for caching, per instance.
+    pub fn cache_bytes_per_instance(&self) -> u64 {
+        (self.instance.memory_bytes as f64 * self.overheads.storage_fraction) as u64
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.n_instances == 0 {
+            return Err(crate::ClusterError::InvalidConfig(
+                "cluster needs at least one instance".into(),
+            ));
+        }
+        if self.hdfs_block_bytes == 0 {
+            return Err(crate::ClusterError::InvalidConfig(
+                "HDFS block size cannot be zero".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.overheads.storage_fraction) {
+            return Err(crate::ClusterError::InvalidConfig(
+                "storage fraction must be in [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_instance_spec() {
+        let spec = InstanceSpec::m3_2xlarge();
+        assert_eq!(spec.vcpus, 8);
+        assert_eq!(spec.memory_bytes, 30 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn cluster_presets_and_cache_size() {
+        let c = ClusterConfig::emr_m3_2xlarge(4);
+        assert_eq!(c.n_instances, 4);
+        c.validate().unwrap();
+        // 60 % of 30 GB = 18 GB.
+        let gb = c.cache_bytes_per_instance() as f64 / (1024.0 * 1024.0 * 1024.0);
+        assert!((gb - 18.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = ClusterConfig::emr_m3_2xlarge(0);
+        assert!(c.validate().is_err());
+        c.n_instances = 2;
+        c.hdfs_block_bytes = 0;
+        assert!(c.validate().is_err());
+        c.hdfs_block_bytes = 1;
+        c.overheads.storage_fraction = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn workload_profiles_differ_as_expected() {
+        let lr = WorkloadProfile::logistic_regression();
+        let km = WorkloadProfile::kmeans();
+        assert!(lr.sweeps_per_iteration > km.sweeps_per_iteration);
+        assert_ne!(lr.name, km.name);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = ClusterConfig::emr_m3_2xlarge(8);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClusterConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

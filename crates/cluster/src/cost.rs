@@ -1,0 +1,218 @@
+//! The bulk-synchronous cost model behind the Figure 1b comparison.
+//!
+//! Per iteration, every instance processes its share of the dataset.  The
+//! share splits into a cached portion (resident in executor storage memory,
+//! processed at JVM throughput) and a spilled portion (does not fit, so it is
+//! re-read from local disk/HDFS every sweep).  A stage ends when the slowest
+//! instance finishes (bulk-synchronous barrier), after which the driver pays
+//! scheduling and aggregation overhead.  Summed over the configured number of
+//! iterations plus a one-off start-up cost, this produces the cluster
+//! runtimes reported by the `fig1b` benchmark.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{ClusterConfig, WorkloadProfile};
+use crate::hdfs::HdfsLayout;
+
+/// Breakdown of one simulated cluster job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEstimate {
+    /// Number of worker instances.
+    pub n_instances: usize,
+    /// Total dataset size in bytes.
+    pub dataset_bytes: u64,
+    /// Bytes held by the most loaded instance.
+    pub share_bytes: u64,
+    /// Portion of the share that fits in executor storage memory.
+    pub cached_bytes: u64,
+    /// Portion re-read from disk every sweep.
+    pub spilled_bytes: u64,
+    /// Seconds per outer iteration.
+    pub seconds_per_iteration: f64,
+    /// Number of outer iterations.
+    pub iterations: usize,
+    /// Total job runtime in seconds (including start-up).
+    pub total_seconds: f64,
+}
+
+impl ClusterEstimate {
+    /// Fraction of each instance's share that has to be re-read per sweep.
+    pub fn spill_fraction(&self) -> f64 {
+        if self.share_bytes == 0 {
+            0.0
+        } else {
+            self.spilled_bytes as f64 / self.share_bytes as f64
+        }
+    }
+}
+
+/// Estimate the runtime of `iterations` outer iterations of `profile` over a
+/// `dataset_bytes`-sized dataset on `config`.
+pub fn estimate_job(
+    config: &ClusterConfig,
+    profile: &WorkloadProfile,
+    dataset_bytes: u64,
+    iterations: usize,
+) -> crate::Result<ClusterEstimate> {
+    config.validate()?;
+    let layout = HdfsLayout::new(dataset_bytes, config);
+    let share = layout.max_bytes_per_instance();
+    let cached = share.min(config.cache_bytes_per_instance());
+    let spilled = share - cached;
+
+    let compute_seconds = share as f64 / profile.jvm_bytes_per_second;
+    let spill_seconds = spilled as f64 / profile.spill_bytes_per_second;
+    // JVM processing and spill re-reads barely overlap in practice
+    // (deserialisation is CPU-bound and blocks on the read), so the stage
+    // cost is additive.
+    let stage_seconds = profile.sweeps_per_iteration * (compute_seconds + spill_seconds);
+
+    let o = &config.overheads;
+    let per_iteration = stage_seconds
+        + o.stage_scheduling_seconds
+        + o.aggregation_base_seconds
+        + o.aggregation_per_instance_seconds * config.n_instances as f64;
+    let total = o.job_startup_seconds + per_iteration * iterations as f64;
+
+    Ok(ClusterEstimate {
+        n_instances: config.n_instances,
+        dataset_bytes,
+        share_bytes: share,
+        cached_bytes: cached,
+        spilled_bytes: spilled,
+        seconds_per_iteration: per_iteration,
+        iterations,
+        total_seconds: total,
+    })
+}
+
+/// Sweep the instance count and return one estimate per cluster size.
+/// Used by the scalability extension benchmark.
+pub fn sweep_instances(
+    base: &ClusterConfig,
+    profile: &WorkloadProfile,
+    dataset_bytes: u64,
+    iterations: usize,
+    instance_counts: &[usize],
+) -> crate::Result<Vec<ClusterEstimate>> {
+    instance_counts
+        .iter()
+        .map(|&n| {
+            let mut config = *base;
+            config.n_instances = n;
+            estimate_job(&config, profile, dataset_bytes, iterations)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: u64 = 1_000_000_000;
+
+    fn paper_dataset() -> u64 {
+        190 * GB
+    }
+
+    #[test]
+    fn spill_shrinks_with_more_instances() {
+        let profile = WorkloadProfile::kmeans();
+        let four = estimate_job(&ClusterConfig::emr_m3_2xlarge(4), &profile, paper_dataset(), 10).unwrap();
+        let eight = estimate_job(&ClusterConfig::emr_m3_2xlarge(8), &profile, paper_dataset(), 10).unwrap();
+        assert!(four.share_bytes > eight.share_bytes);
+        assert!(four.spilled_bytes > eight.spilled_bytes);
+        assert!(four.spill_fraction() > eight.spill_fraction());
+        assert!(four.total_seconds > eight.total_seconds);
+    }
+
+    #[test]
+    fn figure_1b_logistic_regression_ratios_hold() {
+        // Paper: M3 = 1950 s, 8x Spark = 2864 s, 4x Spark = 8256 s.
+        let profile = WorkloadProfile::logistic_regression();
+        let four = estimate_job(&ClusterConfig::emr_m3_2xlarge(4), &profile, paper_dataset(), 10).unwrap();
+        let eight = estimate_job(&ClusterConfig::emr_m3_2xlarge(8), &profile, paper_dataset(), 10).unwrap();
+        assert!(
+            (four.total_seconds - 8256.0).abs() / 8256.0 < 0.25,
+            "4-instance LR estimate {}s should approximate 8256s",
+            four.total_seconds
+        );
+        assert!(
+            (eight.total_seconds - 2864.0).abs() / 2864.0 < 0.25,
+            "8-instance LR estimate {}s should approximate 2864s",
+            eight.total_seconds
+        );
+        // Super-linear speed-up from 4 → 8 instances (cache effect).
+        assert!(four.total_seconds / eight.total_seconds > 2.0);
+    }
+
+    #[test]
+    fn figure_1b_kmeans_ratios_hold() {
+        // Paper: M3 = 1164 s, 8x Spark = 1604 s, 4x Spark = 3491 s.
+        let profile = WorkloadProfile::kmeans();
+        let four = estimate_job(&ClusterConfig::emr_m3_2xlarge(4), &profile, paper_dataset(), 10).unwrap();
+        let eight = estimate_job(&ClusterConfig::emr_m3_2xlarge(8), &profile, paper_dataset(), 10).unwrap();
+        assert!(
+            (four.total_seconds - 3491.0).abs() / 3491.0 < 0.25,
+            "4-instance k-means estimate {}s should approximate 3491s",
+            four.total_seconds
+        );
+        assert!(
+            (eight.total_seconds - 1604.0).abs() / 1604.0 < 0.25,
+            "8-instance k-means estimate {}s should approximate 1604s",
+            eight.total_seconds
+        );
+    }
+
+    #[test]
+    fn small_datasets_are_dominated_by_overhead() {
+        let profile = WorkloadProfile::kmeans();
+        let config = ClusterConfig::emr_m3_2xlarge(8);
+        let tiny = estimate_job(&config, &profile, GB / 10, 10).unwrap();
+        // Essentially all time is scheduling/aggregation/startup.
+        let overhead = config.overheads.job_startup_seconds
+            + 10.0
+                * (config.overheads.stage_scheduling_seconds
+                    + config.overheads.aggregation_base_seconds
+                    + config.overheads.aggregation_per_instance_seconds * 8.0);
+        assert!(tiny.total_seconds >= overhead);
+        assert!(tiny.total_seconds < overhead * 1.2);
+        assert_eq!(tiny.spilled_bytes, 0);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_instances_for_large_data() {
+        let estimates = sweep_instances(
+            &ClusterConfig::emr_m3_2xlarge(4),
+            &WorkloadProfile::logistic_regression(),
+            paper_dataset(),
+            10,
+            &[2, 4, 8, 16],
+        )
+        .unwrap();
+        assert_eq!(estimates.len(), 4);
+        for pair in estimates.windows(2) {
+            assert!(pair[0].total_seconds > pair[1].total_seconds);
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let config = ClusterConfig::emr_m3_2xlarge(0);
+        assert!(estimate_job(&config, &WorkloadProfile::kmeans(), GB, 1).is_err());
+    }
+
+    #[test]
+    fn zero_spill_when_everything_fits() {
+        let est = estimate_job(
+            &ClusterConfig::emr_m3_2xlarge(16),
+            &WorkloadProfile::kmeans(),
+            100 * GB,
+            10,
+        )
+        .unwrap();
+        // 100 GB over 16 instances = 6.25 GB/instance < 18 GB cache.
+        assert_eq!(est.spilled_bytes, 0);
+        assert_eq!(est.spill_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,428 @@
+//! Functional bulk-synchronous execution.
+//!
+//! The cost model in [`crate::cost`] predicts *how long* the cluster takes;
+//! this module shows *what it computes*: the same partitioned
+//! map-then-aggregate dataflow Spark MLlib uses, executed for real on worker
+//! threads (one per simulated instance), over the same `RowStore` data the
+//! single-machine implementations consume.  Tests assert that the distributed
+//! results are numerically identical to `m3-ml`'s single-machine ones, so the
+//! Figure 1b comparison is between two implementations of the *same*
+//! computation, differing only in execution strategy.
+
+use m3_core::storage::RowStore;
+use m3_linalg::{ops, DenseMatrix};
+use m3_ml::kmeans::{KMeansConfig, KMeansModel};
+use m3_ml::logistic::{sigmoid, LogisticModel};
+use m3_optim::function::DifferentiableFunction;
+use m3_optim::lbfgs::Lbfgs;
+use m3_optim::termination::TerminationCriteria;
+
+use crate::config::ClusterConfig;
+use crate::hdfs::HdfsLayout;
+use crate::{ClusterError, Result};
+
+/// A simulated cluster that can run distributed training jobs.
+#[derive(Debug, Clone)]
+pub struct SimCluster {
+    config: ClusterConfig,
+}
+
+/// Row ranges owned by one instance.
+type InstancePartitions = Vec<(usize, usize)>;
+
+impl SimCluster {
+    /// Create a cluster executor.
+    pub fn new(config: ClusterConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Partition the rows of `data` across instances following the HDFS block
+    /// layout (contiguous row ranges, block-local scheduling).
+    pub fn partition_rows<S: RowStore + ?Sized>(&self, data: &S) -> Vec<InstancePartitions> {
+        let row_bytes = (data.n_cols() * m3_core::ELEMENT_BYTES) as u64;
+        let total_bytes = data.n_rows() as u64 * row_bytes;
+        let layout = HdfsLayout::new(total_bytes, &self.config);
+        let mut per_instance: Vec<InstancePartitions> = vec![Vec::new(); self.config.n_instances];
+        for (start, end, instance) in layout.row_partitions(data.n_rows(), row_bytes) {
+            per_instance[instance].push((start, end));
+        }
+        per_instance
+    }
+
+    /// Run one map-aggregate round: every instance applies `map` to each of
+    /// its row ranges and folds the partials locally; the driver then folds
+    /// the per-instance results.  This is the `treeAggregate` shape MLlib's
+    /// L-BFGS and k-means both reduce to.
+    pub fn map_aggregate<S, T, M>(&self, data: &S, identity: T, map: M) -> T
+    where
+        S: RowStore + Sync + ?Sized,
+        T: Send + Clone + Mergeable,
+        M: Fn(usize, usize, T) -> T + Sync,
+    {
+        let partitions = self.partition_rows(data);
+        let mut per_instance: Vec<Option<T>> = vec![None; partitions.len()];
+        std::thread::scope(|scope| {
+            for (slot, ranges) in per_instance.iter_mut().zip(&partitions) {
+                let map = &map;
+                let identity = identity.clone();
+                scope.spawn(move || {
+                    let mut acc = identity;
+                    for &(start, end) in ranges {
+                        acc = map(start, end, acc);
+                    }
+                    *slot = Some(acc);
+                });
+            }
+        });
+        // Driver-side reduction: later partials are folded into the first.
+        let mut result = identity;
+        for partial in per_instance.into_iter().flatten() {
+            result = result.merge(partial);
+        }
+        result
+    }
+
+    /// Distributed logistic-regression training with L-BFGS.
+    ///
+    /// The optimiser runs on the driver; every objective/gradient evaluation
+    /// is a distributed map-aggregate over the executors — exactly MLlib's
+    /// architecture.
+    pub fn train_logistic<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        labels: &[f64],
+        l2: f64,
+        iterations: usize,
+    ) -> Result<LogisticModel> {
+        if data.n_rows() != labels.len() {
+            return Err(ClusterError::Execution(format!(
+                "{} rows but {} labels",
+                data.n_rows(),
+                labels.len()
+            )));
+        }
+        if data.n_rows() == 0 {
+            return Err(ClusterError::Execution("empty dataset".into()));
+        }
+        let loss = DistributedLogisticLoss {
+            cluster: self,
+            data,
+            labels,
+            l2,
+        };
+        let result = Lbfgs::new()
+            .criteria(TerminationCriteria {
+                max_iterations: iterations,
+                ..Default::default()
+            })
+            .run(&loss, vec![0.0; data.n_cols() + 1]);
+        let d = data.n_cols();
+        Ok(LogisticModel {
+            weights: result.weights[..d].to_vec(),
+            bias: result.weights[d],
+            optimization: result,
+        })
+    }
+
+    /// One distributed Lloyd step: assign every row to its nearest centroid
+    /// (map side) and return the merged per-cluster sums, counts and inertia
+    /// (reduce side).
+    pub fn kmeans_step<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        centroids: &DenseMatrix,
+    ) -> (Vec<f64>, Vec<u64>, f64) {
+        let d = data.n_cols();
+        let k = centroids.n_rows();
+        self.map_aggregate(
+            data,
+            (vec![0.0; k * d], vec![0u64; k], 0.0),
+            |start, end, (mut sums, mut counts, mut inertia)| {
+                let block = data.rows_slice(start, end);
+                for row in block.chunks_exact(d) {
+                    let mut best = 0;
+                    let mut best_dist = f64::INFINITY;
+                    for c in 0..k {
+                        let dist = ops::squared_distance(row, centroids.row(c));
+                        if dist < best_dist {
+                            best = c;
+                            best_dist = dist;
+                        }
+                    }
+                    inertia += best_dist;
+                    counts[best] += 1;
+                    ops::add_assign(&mut sums[best * d..(best + 1) * d], row);
+                }
+                (sums, counts, inertia)
+            },
+        )
+    }
+
+    /// Distributed k-means training (Lloyd iterations on the driver, the
+    /// assignment sweep distributed over executors).  Uses the same
+    /// initialisation as [`m3_ml::KMeans`] so results are comparable
+    /// seed-for-seed.
+    pub fn train_kmeans<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        config: &KMeansConfig,
+    ) -> Result<KMeansModel> {
+        if data.n_rows() < config.k || config.k == 0 {
+            return Err(ClusterError::Execution(format!(
+                "cannot form {} clusters from {} rows",
+                config.k,
+                data.n_rows()
+            )));
+        }
+        // Reuse the single-machine initialisation by running zero Lloyd
+        // iterations through m3-ml, guaranteeing identical starting centroids.
+        let init_only = m3_ml::KMeans::new(KMeansConfig {
+            max_iterations: 0,
+            ..config.clone()
+        })
+        .fit(data)
+        .map_err(|e| ClusterError::Execution(e.to_string()))?;
+        let mut centroids = init_only.centroids;
+        let d = data.n_cols();
+        let mut history = Vec::with_capacity(config.max_iterations);
+
+        for _ in 0..config.max_iterations {
+            let (sums, counts, inertia) = self.kmeans_step(data, &centroids);
+            history.push(inertia);
+            for c in 0..config.k {
+                if counts[c] > 0 {
+                    let inv = 1.0 / counts[c] as f64;
+                    for (j, v) in centroids.row_mut(c).iter_mut().enumerate() {
+                        *v = sums[c * d + j] * inv;
+                    }
+                }
+            }
+        }
+        let (_, _, final_inertia) = self.kmeans_step(data, &centroids);
+        Ok(KMeansModel {
+            centroids,
+            inertia: final_inertia,
+            iterations: config.max_iterations,
+            inertia_history: history,
+        })
+    }
+}
+
+/// Additive merge used by the driver-side reduction.  The aggregates in this
+/// module are element-wise additive structures (gradients, cluster sums).
+pub trait Mergeable {
+    /// Combine two partial results.
+    fn merge(self, other: Self) -> Self;
+}
+
+impl Mergeable for (f64, Vec<f64>) {
+    fn merge(mut self, other: Self) -> Self {
+        self.0 += other.0;
+        ops::add_assign(&mut self.1, &other.1);
+        self
+    }
+}
+
+impl Mergeable for (Vec<f64>, Vec<u64>, f64) {
+    fn merge(mut self, other: Self) -> Self {
+        ops::add_assign(&mut self.0, &other.0);
+        for (a, b) in self.1.iter_mut().zip(&other.1) {
+            *a += b;
+        }
+        self.2 += other.2;
+        self
+    }
+}
+
+/// Logistic loss whose every evaluation is a distributed map-aggregate.
+struct DistributedLogisticLoss<'a, S: RowStore + Sync + ?Sized> {
+    cluster: &'a SimCluster,
+    data: &'a S,
+    labels: &'a [f64],
+    l2: f64,
+}
+
+impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for DistributedLogisticLoss<'_, S> {
+    fn dimension(&self) -> usize {
+        self.data.n_cols() + 1
+    }
+
+    fn value(&self, w: &[f64]) -> f64 {
+        let mut grad = vec![0.0; w.len()];
+        self.value_and_gradient(w, &mut grad)
+    }
+
+    fn gradient(&self, w: &[f64], grad: &mut [f64]) {
+        self.value_and_gradient(w, grad);
+    }
+
+    fn value_and_gradient(&self, w: &[f64], grad: &mut [f64]) -> f64 {
+        let d = self.data.n_cols();
+        let n = self.data.n_rows();
+        let (loss, partial) = self.cluster.map_aggregate(
+            self.data,
+            (0.0, vec![0.0; d + 1]),
+            |start, end, (mut acc, mut g)| {
+                let block = self.data.rows_slice(start, end);
+                for (i, row) in block.chunks_exact(d).enumerate() {
+                    let y = self.labels[start + i];
+                    let z = ops::dot(&w[..d], row) + w[d];
+                    let log1p_exp = if z > 0.0 { z + (-z).exp().ln_1p() } else { z.exp().ln_1p() };
+                    acc += log1p_exp - y * z;
+                    let residual = sigmoid(z) - y;
+                    ops::axpy(residual, row, &mut g[..d]);
+                    g[d] += residual;
+                }
+                (acc, g)
+            },
+        );
+        let inv = 1.0 / n as f64;
+        for (gi, pi) in grad.iter_mut().zip(&partial) {
+            *gi = pi * inv;
+        }
+        ops::axpy(self.l2, &w[..d], &mut grad[..d]);
+        loss * inv + 0.5 * self.l2 * ops::dot(&w[..d], &w[..d])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_data::{GaussianBlobs, LinearProblem, RowGenerator};
+    use m3_ml::logistic::{LogisticConfig, LogisticLoss, LogisticRegression};
+
+    fn small_cluster(n: usize) -> SimCluster {
+        let mut config = ClusterConfig::emr_m3_2xlarge(n);
+        // Small HDFS blocks so tiny test matrices still split into many
+        // partitions across instances.
+        config.hdfs_block_bytes = 512;
+        SimCluster::new(config).unwrap()
+    }
+
+    #[test]
+    fn partitions_cover_all_rows_without_overlap() {
+        let (x, _) = GaussianBlobs::new(3, 8, 5.0, 1.0, 1).materialize(100);
+        let cluster = small_cluster(4);
+        let partitions = cluster.partition_rows(&x);
+        assert_eq!(partitions.len(), 4);
+        let mut covered = vec![0usize; 100];
+        for ranges in &partitions {
+            for &(s, e) in ranges {
+                for r in s..e {
+                    covered[r] += 1;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "every row in exactly one partition");
+    }
+
+    #[test]
+    fn distributed_gradient_matches_single_machine() {
+        let (x, y) = LinearProblem::random_classification(6, 0.05, 3).materialize(150);
+        let cluster = small_cluster(4);
+        let w: Vec<f64> = (0..7).map(|i| 0.05 * i as f64 - 0.1).collect();
+
+        let local = LogisticLoss::new(&x, &y, 0.01, 1);
+        let mut g_local = vec![0.0; 7];
+        let v_local = local.value_and_gradient(&w, &mut g_local);
+
+        let distributed = DistributedLogisticLoss {
+            cluster: &cluster,
+            data: &x,
+            labels: &y,
+            l2: 0.01,
+        };
+        let mut g_dist = vec![0.0; 7];
+        let v_dist = distributed.value_and_gradient(&w, &mut g_dist);
+
+        assert!((v_local - v_dist).abs() < 1e-10);
+        assert!(ops::approx_eq(&g_local, &g_dist, 1e-10));
+    }
+
+    #[test]
+    fn distributed_logistic_training_matches_single_machine() {
+        let (x, y) = LinearProblem::random_classification(5, 0.05, 11).materialize(200);
+        let cluster = small_cluster(4);
+        let distributed = cluster.train_logistic(&x, &y, 1e-4, 50).unwrap();
+        let single = LogisticRegression::new(LogisticConfig {
+            l2: 1e-4,
+            max_iterations: 50,
+            n_threads: 1,
+            ..Default::default()
+        })
+        .fit(&x, &y)
+        .unwrap();
+        // Same objective, same optimiser, same data ⇒ same model (within
+        // floating-point reduction-order noise).
+        assert!(
+            ops::approx_eq(&distributed.weights, &single.weights, 1e-6),
+            "distributed {:?} vs single {:?}",
+            &distributed.weights[..3],
+            &single.weights[..3]
+        );
+        assert!((distributed.bias - single.bias).abs() < 1e-6);
+        assert!(distributed.accuracy(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn distributed_kmeans_matches_single_machine() {
+        let (x, _) = GaussianBlobs::new(3, 4, 10.0, 0.8, 5).materialize(150);
+        let cluster = small_cluster(4);
+        let config = KMeansConfig {
+            k: 3,
+            max_iterations: 8,
+            tolerance: 0.0,
+            seed: 42,
+            n_threads: 1,
+            ..Default::default()
+        };
+        let distributed = cluster.train_kmeans(&x, &config).unwrap();
+        let single = m3_ml::KMeans::new(config).fit(&x).unwrap();
+        assert!(ops::approx_eq(
+            distributed.centroids.as_slice(),
+            single.centroids.as_slice(),
+            1e-9
+        ));
+        assert!((distributed.inertia - single.inertia).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kmeans_step_counts_every_row_once() {
+        let (x, _) = GaussianBlobs::new(2, 3, 6.0, 1.0, 9).materialize(77);
+        let cluster = small_cluster(3);
+        let centroids = DenseMatrix::from_rows(&[&[0.0, 0.0, 0.0], &[6.0, 6.0, 6.0]]).unwrap();
+        let (_, counts, inertia) = cluster.kmeans_step(&x, &centroids);
+        assert_eq!(counts.iter().sum::<u64>(), 77);
+        assert!(inertia > 0.0);
+    }
+
+    #[test]
+    fn execution_errors() {
+        let (x, y) = LinearProblem::random_classification(3, 0.1, 2).materialize(10);
+        let cluster = small_cluster(2);
+        assert!(cluster.train_logistic(&x, &y[..5], 0.0, 5).is_err());
+        let empty = DenseMatrix::zeros(0, 3);
+        assert!(cluster.train_logistic(&empty, &[], 0.0, 5).is_err());
+        assert!(cluster
+            .train_kmeans(&x, &KMeansConfig { k: 100, ..Default::default() })
+            .is_err());
+        assert!(SimCluster::new(ClusterConfig::emr_m3_2xlarge(0)).is_err());
+    }
+
+    #[test]
+    fn works_over_memory_mapped_data() {
+        let (x, y) = LinearProblem::random_classification(4, 0.05, 8).materialize(120);
+        let dir = tempfile::tempdir().unwrap();
+        let mapped = m3_core::alloc::persist_matrix(dir.path().join("cluster.m3"), &x).unwrap();
+        let cluster = small_cluster(4);
+        let from_mmap = cluster.train_logistic(&mapped, &y, 1e-4, 30).unwrap();
+        let from_memory = cluster.train_logistic(&x, &y, 1e-4, 30).unwrap();
+        assert!(ops::approx_eq(&from_mmap.weights, &from_memory.weights, 1e-10));
+    }
+}

@@ -1,0 +1,173 @@
+//! HDFS-style block partitioning.
+//!
+//! The paper stores the dataset on the cluster's HDFS; Spark schedules one
+//! task per block and prefers block-local execution.  For the simulator we
+//! only need the structural consequences: how many blocks a dataset of a
+//! given size produces, how blocks (and therefore rows) are spread across
+//! instances, and how many bytes each instance is responsible for.
+
+use crate::config::ClusterConfig;
+
+/// One HDFS block assigned to an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    /// Block index within the file.
+    pub index: usize,
+    /// First byte of the file covered by this block.
+    pub start_byte: u64,
+    /// Length of the block in bytes (the last block may be short).
+    pub len: u64,
+    /// Instance holding the block (round-robin placement).
+    pub instance: usize,
+}
+
+/// The block layout of one dataset over one cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HdfsLayout {
+    blocks: Vec<Block>,
+    n_instances: usize,
+    total_bytes: u64,
+}
+
+impl HdfsLayout {
+    /// Partition `total_bytes` into blocks and place them round-robin over
+    /// the cluster's instances.
+    pub fn new(total_bytes: u64, config: &ClusterConfig) -> Self {
+        let block_size = config.hdfs_block_bytes.max(1);
+        let n_blocks = total_bytes.div_ceil(block_size) as usize;
+        let blocks = (0..n_blocks)
+            .map(|i| {
+                let start = i as u64 * block_size;
+                Block {
+                    index: i,
+                    start_byte: start,
+                    len: block_size.min(total_bytes - start),
+                    instance: i % config.n_instances,
+                }
+            })
+            .collect();
+        Self {
+            blocks,
+            n_instances: config.n_instances,
+            total_bytes,
+        }
+    }
+
+    /// All blocks in file order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total dataset size in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Bytes held by each instance.
+    pub fn bytes_per_instance(&self) -> Vec<u64> {
+        let mut per = vec![0u64; self.n_instances];
+        for b in &self.blocks {
+            per[b.instance] += b.len;
+        }
+        per
+    }
+
+    /// The largest per-instance share in bytes — the straggler that bounds
+    /// every bulk-synchronous stage.
+    pub fn max_bytes_per_instance(&self) -> u64 {
+        self.bytes_per_instance().into_iter().max().unwrap_or(0)
+    }
+
+    /// Split `n_rows` rows into per-block row ranges matching the byte
+    /// layout, assuming fixed-size rows of `row_bytes` bytes.  A row belongs
+    /// to the block containing its first byte (Spark's record-boundary rule),
+    /// so the ranges are disjoint and cover every row exactly once.  Returns
+    /// `(start_row, end_row, instance)` triples.
+    pub fn row_partitions(&self, n_rows: usize, row_bytes: u64) -> Vec<(usize, usize, usize)> {
+        if row_bytes == 0 {
+            return Vec::new();
+        }
+        self.blocks
+            .iter()
+            .map(|b| {
+                let start = (b.start_byte.div_ceil(row_bytes) as usize).min(n_rows);
+                let end = (((b.start_byte + b.len).div_ceil(row_bytes)) as usize).min(n_rows);
+                (start, end, b.instance)
+            })
+            .filter(|(s, e, _)| e > s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: usize) -> ClusterConfig {
+        let mut c = ClusterConfig::emr_m3_2xlarge(n);
+        c.hdfs_block_bytes = 1000;
+        c
+    }
+
+    #[test]
+    fn blocks_cover_the_file_exactly_once() {
+        let layout = HdfsLayout::new(4500, &config(3));
+        assert_eq!(layout.n_blocks(), 5);
+        assert_eq!(layout.total_bytes(), 4500);
+        let covered: u64 = layout.blocks().iter().map(|b| b.len).sum();
+        assert_eq!(covered, 4500);
+        assert_eq!(layout.blocks()[4].len, 500, "last block is short");
+        // Contiguity.
+        for pair in layout.blocks().windows(2) {
+            assert_eq!(pair[0].start_byte + pair[0].len, pair[1].start_byte);
+        }
+    }
+
+    #[test]
+    fn round_robin_placement_balances_instances() {
+        let layout = HdfsLayout::new(8000, &config(4));
+        let per = layout.bytes_per_instance();
+        assert_eq!(per.len(), 4);
+        assert_eq!(per.iter().sum::<u64>(), 8000);
+        assert_eq!(layout.max_bytes_per_instance(), 2000);
+        assert!(per.iter().all(|&b| b == 2000));
+    }
+
+    #[test]
+    fn fewer_instances_means_bigger_shares() {
+        let four = HdfsLayout::new(1_000_000, &config(4)).max_bytes_per_instance();
+        let eight = HdfsLayout::new(1_000_000, &config(8)).max_bytes_per_instance();
+        assert!(four > eight);
+        assert!((four as f64 / eight as f64 - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn row_partitions_cover_all_rows() {
+        let layout = HdfsLayout::new(10 * 80, &config(2)); // 800 bytes, block 1000 → 1 block
+        let parts = layout.row_partitions(10, 80);
+        assert_eq!(parts, vec![(0, 10, 0)]);
+
+        let layout = HdfsLayout::new(4000, &config(2)); // 4 blocks of 1000
+        let parts = layout.row_partitions(50, 80); // 50 rows of 80 bytes = 4000 bytes
+        let mut covered: Vec<bool> = vec![false; 50];
+        for (s, e, _) in &parts {
+            for r in *s..*e {
+                covered[r] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "every row assigned to some block");
+        assert!(layout.row_partitions(50, 0).is_empty());
+    }
+
+    #[test]
+    fn empty_file_has_no_blocks() {
+        let layout = HdfsLayout::new(0, &config(2));
+        assert_eq!(layout.n_blocks(), 0);
+        assert_eq!(layout.max_bytes_per_instance(), 0);
+    }
+}

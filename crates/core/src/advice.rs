@@ -1,0 +1,127 @@
+//! Access-pattern hints forwarded to the operating system via `madvise(2)`.
+//!
+//! The M3 paper attributes much of the mmap approach's efficiency to
+//! OS-level optimisations — read-ahead for sequential scans and LRU caching —
+//! and its future work calls for studying how access patterns (sequential vs.
+//! random) affect performance.  [`AccessPattern`] is how callers describe the
+//! pattern of an upcoming pass so the kernel can prepare.
+
+/// A declarative description of how a mapped region is about to be accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// No special expectation (the kernel default, `MADV_NORMAL`).
+    Normal,
+    /// The region will be scanned front to back (`MADV_SEQUENTIAL`), so the
+    /// kernel should read ahead aggressively and drop pages behind the scan.
+    /// This is the pattern of every batch-gradient and k-means pass.
+    Sequential,
+    /// Accesses will jump around (`MADV_RANDOM`); read-ahead would only
+    /// pollute the page cache.  This is the pattern of stochastic methods
+    /// such as SGD with row sampling.
+    Random,
+    /// The region will be needed soon (`MADV_WILLNEED`); the kernel may start
+    /// faulting it in asynchronously.
+    WillNeed,
+    /// The region will not be needed again soon (`MADV_DONTNEED`); the kernel
+    /// may reclaim its pages immediately.
+    DontNeed,
+}
+
+impl AccessPattern {
+    /// All defined patterns, useful for ablation sweeps.
+    pub const ALL: [AccessPattern; 5] = [
+        AccessPattern::Normal,
+        AccessPattern::Sequential,
+        AccessPattern::Random,
+        AccessPattern::WillNeed,
+        AccessPattern::DontNeed,
+    ];
+
+    /// A short lowercase name for reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AccessPattern::Normal => "normal",
+            AccessPattern::Sequential => "sequential",
+            AccessPattern::Random => "random",
+            AccessPattern::WillNeed => "willneed",
+            AccessPattern::DontNeed => "dontneed",
+        }
+    }
+
+    /// Parse a pattern from its [`name`](Self::name) (case-insensitive).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "normal" => Some(AccessPattern::Normal),
+            "sequential" | "seq" => Some(AccessPattern::Sequential),
+            "random" | "rand" => Some(AccessPattern::Random),
+            "willneed" => Some(AccessPattern::WillNeed),
+            "dontneed" => Some(AccessPattern::DontNeed),
+            _ => None,
+        }
+    }
+
+    /// Whether the OS is expected to enable aggressive read-ahead under this
+    /// hint.  Mirrored by the `m3-vmsim` read-ahead model so simulated and
+    /// real behaviour stay in sync.
+    pub fn enables_readahead(&self) -> bool {
+        matches!(self, AccessPattern::Sequential | AccessPattern::WillNeed | AccessPattern::Normal)
+    }
+
+    /// Convert to the `memmap2` advice value (Unix only).
+    #[cfg(unix)]
+    pub(crate) fn to_memmap_advice(self) -> memmap2::Advice {
+        match self {
+            AccessPattern::Normal => memmap2::Advice::Normal,
+            AccessPattern::Sequential => memmap2::Advice::Sequential,
+            AccessPattern::Random => memmap2::Advice::Random,
+            AccessPattern::WillNeed => memmap2::Advice::WillNeed,
+            // DontNeed is destructive in memmap2's classification (it lives in
+            // UncheckedAdvice); Normal is the closest advice that is safe to
+            // issue through the checked API.
+            AccessPattern::DontNeed => memmap2::Advice::Normal,
+        }
+    }
+}
+
+impl std::fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Default for AccessPattern {
+    fn default() -> Self {
+        AccessPattern::Normal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_roundtrip() {
+        for p in AccessPattern::ALL {
+            assert_eq!(AccessPattern::from_name(p.name()), Some(p));
+        }
+        assert_eq!(AccessPattern::from_name("SEQ"), Some(AccessPattern::Sequential));
+        assert_eq!(AccessPattern::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn default_is_normal() {
+        assert_eq!(AccessPattern::default(), AccessPattern::Normal);
+    }
+
+    #[test]
+    fn readahead_classification() {
+        assert!(AccessPattern::Sequential.enables_readahead());
+        assert!(AccessPattern::Normal.enables_readahead());
+        assert!(!AccessPattern::Random.enables_readahead());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(AccessPattern::Sequential.to_string(), "sequential");
+    }
+}

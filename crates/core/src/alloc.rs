@@ -1,0 +1,120 @@
+//! The paper's `mmapAlloc` helper.
+//!
+//! Table 1 of the M3 paper shows the entirety of the change needed to move an
+//! mlpack algorithm from in-memory to out-of-core data:
+//!
+//! ```text
+//! // Original                      // M3
+//! Mat data;                        double *m = mmapAlloc(file, rows * cols);
+//!                                  Mat data(m, rows, cols);
+//! ```
+//!
+//! [`mmap_alloc`] and [`mmap_alloc_mut`] are the Rust equivalents.  They map
+//! `rows × cols` little-endian `f64` values from a file and return a matrix
+//! that implements [`crate::RowStore`], so it drops into any algorithm that
+//! previously took an in-memory [`m3_linalg::DenseMatrix`].
+
+use std::path::Path;
+
+use crate::error::Result;
+use crate::mmap::{MmapMatrix, MmapMatrixMut};
+
+/// Memory-map an existing raw matrix file read-only.
+///
+/// Equivalent to the paper's `mmapAlloc(file, rows * cols)` when the dataset
+/// already exists on disk.  The returned [`MmapMatrix`] behaves exactly like
+/// an in-memory matrix of the same shape.
+///
+/// # Errors
+/// Fails when the file is missing, smaller than `rows * cols * 8` bytes, or
+/// cannot be mapped.
+pub fn mmap_alloc(path: impl AsRef<Path>, rows: usize, cols: usize) -> Result<MmapMatrix> {
+    MmapMatrix::open(path, rows, cols)
+}
+
+/// Create (or resize) a raw matrix file and memory-map it read-write.
+///
+/// This is the "allocation" direction of `mmapAlloc`: instead of
+/// `malloc(rows * cols * 8)`, the bytes live in a file and the OS decides
+/// which pages reside in RAM.  Use it to build datasets larger than memory,
+/// then reopen them with [`mmap_alloc`] for training.
+///
+/// # Errors
+/// Fails when the file cannot be created, resized or mapped.
+pub fn mmap_alloc_mut(path: impl AsRef<Path>, rows: usize, cols: usize) -> Result<MmapMatrixMut> {
+    MmapMatrixMut::create(path, rows, cols)
+}
+
+/// Copy an in-memory matrix into a new memory-mapped file and return the
+/// read-only mapping.  Handy in tests and examples that want to demonstrate
+/// the in-memory vs. memory-mapped equivalence on the same data.
+///
+/// # Errors
+/// Propagates file-creation and flush failures.
+pub fn persist_matrix(
+    path: impl AsRef<Path>,
+    matrix: &m3_linalg::DenseMatrix,
+) -> Result<MmapMatrix> {
+    let mut mapped = MmapMatrixMut::create(&path, matrix.n_rows(), matrix.n_cols())?;
+    mapped.as_mut_slice().copy_from_slice(matrix.as_slice());
+    mapped.into_read_only()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::RowStore;
+    use m3_linalg::DenseMatrix;
+    use tempfile::tempdir;
+
+    #[test]
+    fn alloc_mut_then_alloc_read_only() {
+        let dir = tempdir().unwrap();
+        let p = dir.path().join("table1.m3");
+        let (rows, cols) = (16, 4);
+
+        let mut data = mmap_alloc_mut(&p, rows, cols).unwrap();
+        for r in 0..rows {
+            for c in 0..cols {
+                data.row_mut(r)[c] = (r * cols + c) as f64;
+            }
+        }
+        data.flush().unwrap();
+
+        let data = mmap_alloc(&p, rows, cols).unwrap();
+        assert_eq!(data.shape(), (rows, cols));
+        assert_eq!(data.row(3)[2], 14.0);
+    }
+
+    #[test]
+    fn persist_matrix_round_trips_in_memory_data() {
+        let dir = tempdir().unwrap();
+        let p = dir.path().join("persisted.m3");
+        let m = DenseMatrix::from_vec((0..20).map(|i| i as f64 * 0.5).collect(), 5, 4).unwrap();
+        let mapped = persist_matrix(&p, &m).unwrap();
+        assert_eq!(mapped.as_slice(), m.as_slice());
+        assert_eq!(mapped.shape(), m.shape());
+    }
+
+    #[test]
+    fn table1_minimal_change_shape() {
+        // The point of Table 1: the only difference between the in-memory and
+        // the M3 version is the allocation line; the "algorithm" (here a row
+        // sum) is byte-for-byte identical because both implement RowStore.
+        fn algorithm<S: RowStore>(data: &S) -> f64 {
+            (0..data.n_rows()).map(|r| data.row(r).iter().sum::<f64>()).sum()
+        }
+
+        let dir = tempdir().unwrap();
+        let in_memory = DenseMatrix::from_vec(vec![1.0; 12], 3, 4).unwrap();
+        let mapped = persist_matrix(dir.path().join("t1.m3"), &in_memory).unwrap();
+
+        assert_eq!(algorithm(&in_memory), algorithm(&mapped));
+    }
+
+    #[test]
+    fn mmap_alloc_missing_file_errors() {
+        let dir = tempdir().unwrap();
+        assert!(mmap_alloc(dir.path().join("nope.m3"), 2, 2).is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! Streaming writer for M3 dataset containers.
+//!
+//! [`DatasetBuilder`] writes a [`crate::Dataset`] file row by row through a
+//! buffered writer, so datasets (much) larger than RAM can be generated with
+//! constant memory: feature rows stream straight to disk, labels are buffered
+//! (8 bytes per row) and appended at the end, and the header is patched last
+//! once the row count is known.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::dataset::{DatasetHeader, HEADER_BYTES};
+use crate::error::{CoreError, Result};
+use crate::ELEMENT_BYTES;
+
+/// Incrementally writes an M3 dataset container.
+#[derive(Debug)]
+pub struct DatasetBuilder {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    n_cols: usize,
+    n_rows: u64,
+    labelled: bool,
+    labels: Vec<f64>,
+    finished: bool,
+}
+
+impl DatasetBuilder {
+    /// Start a labelled dataset with `n_cols` feature columns at `path`.
+    ///
+    /// # Errors
+    /// Fails when the file cannot be created.
+    pub fn create(path: impl AsRef<Path>, n_cols: usize) -> Result<Self> {
+        Self::new(path, n_cols, true)
+    }
+
+    /// Start an unlabelled dataset with `n_cols` feature columns at `path`.
+    ///
+    /// # Errors
+    /// Fails when the file cannot be created.
+    pub fn create_unlabelled(path: impl AsRef<Path>, n_cols: usize) -> Result<Self> {
+        Self::new(path, n_cols, false)
+    }
+
+    fn new(path: impl AsRef<Path>, n_cols: usize, labelled: bool) -> Result<Self> {
+        if n_cols == 0 {
+            return Err(CoreError::InvalidShape { rows: 0, cols: 0 });
+        }
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| CoreError::io(&path, e))?;
+        let mut writer = BufWriter::new(file);
+        // Reserve the header page; the real header is patched in `finish`.
+        writer
+            .write_all(&[0u8; HEADER_BYTES])
+            .map_err(|e| CoreError::io(&path, e))?;
+        Ok(Self {
+            writer,
+            path,
+            n_cols,
+            n_rows: 0,
+            labelled,
+            labels: Vec::new(),
+            finished: false,
+        })
+    }
+
+    /// Number of feature columns this builder accepts per row.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of rows written so far.
+    pub fn n_rows(&self) -> u64 {
+        self.n_rows
+    }
+
+    /// Append one example.
+    ///
+    /// `label` must be `Some` for labelled datasets and is ignored (may be
+    /// `None`) for unlabelled ones.
+    ///
+    /// # Errors
+    /// Fails when the feature count does not match `n_cols`, when a label is
+    /// missing for a labelled dataset, or on I/O errors.
+    pub fn push_row(&mut self, features: &[f64], label: Option<f64>) -> Result<()> {
+        if features.len() != self.n_cols {
+            return Err(CoreError::BadHeader {
+                reason: format!(
+                    "row has {} features but the dataset was created with {}",
+                    features.len(),
+                    self.n_cols
+                ),
+            });
+        }
+        if self.labelled {
+            let label = label.ok_or_else(|| CoreError::BadHeader {
+                reason: "labelled dataset requires a label for every row".to_string(),
+            })?;
+            self.labels.push(label);
+        }
+        let mut buf = Vec::with_capacity(features.len() * ELEMENT_BYTES);
+        for &v in features {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self.writer
+            .write_all(&buf)
+            .map_err(|e| CoreError::io(&self.path, e))?;
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Append many rows that are already contiguous in memory (row-major).
+    ///
+    /// # Errors
+    /// Fails when `features.len()` is not a multiple of `n_cols`, when the
+    /// number of labels does not match the number of rows (for labelled
+    /// datasets), or on I/O errors.
+    pub fn push_rows(&mut self, features: &[f64], labels: Option<&[f64]>) -> Result<()> {
+        if features.len() % self.n_cols != 0 {
+            return Err(CoreError::BadHeader {
+                reason: format!(
+                    "feature buffer of {} values is not a multiple of {} columns",
+                    features.len(),
+                    self.n_cols
+                ),
+            });
+        }
+        let rows = features.len() / self.n_cols;
+        if self.labelled {
+            let labels = labels.ok_or_else(|| CoreError::BadHeader {
+                reason: "labelled dataset requires labels".to_string(),
+            })?;
+            if labels.len() != rows {
+                return Err(CoreError::BadHeader {
+                    reason: format!("{} labels for {} rows", labels.len(), rows),
+                });
+            }
+            self.labels.extend_from_slice(labels);
+        }
+        let mut buf = Vec::with_capacity(features.len() * ELEMENT_BYTES);
+        for &v in features {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self.writer
+            .write_all(&buf)
+            .map_err(|e| CoreError::io(&self.path, e))?;
+        self.n_rows += rows as u64;
+        Ok(())
+    }
+
+    /// Write the label section and the final header, then flush and close.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn finish(mut self) -> Result<DatasetHeader> {
+        // Label section (immediately after the feature block).
+        if self.labelled {
+            let mut buf = Vec::with_capacity(self.labels.len() * ELEMENT_BYTES);
+            for &l in &self.labels {
+                buf.extend_from_slice(&l.to_le_bytes());
+            }
+            self.writer
+                .write_all(&buf)
+                .map_err(|e| CoreError::io(&self.path, e))?;
+        }
+        self.writer
+            .flush()
+            .map_err(|e| CoreError::io(&self.path, e))?;
+
+        // Patch the header now that the row count is known.
+        let header = DatasetHeader::new(self.n_rows, self.n_cols as u64, self.labelled);
+        let mut file = self.writer.into_inner().map_err(|e| CoreError::Io {
+            path: Some(self.path.clone()),
+            source: e.into_error(),
+        })?;
+        file.seek(SeekFrom::Start(0))
+            .map_err(|e| CoreError::io(&self.path, e))?;
+        file.write_all(&header.encode())
+            .map_err(|e| CoreError::io(&self.path, e))?;
+        file.sync_all().map_err(|e| CoreError::io(&self.path, e))?;
+        self.finished = true;
+        Ok(header)
+    }
+
+    /// The path being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::storage::RowStore;
+    use tempfile::tempdir;
+
+    #[test]
+    fn build_and_reopen_labelled() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("built.m3ds");
+        let mut b = DatasetBuilder::create(&path, 4).unwrap();
+        assert_eq!(b.n_cols(), 4);
+        assert_eq!(b.path(), path.as_path());
+        for i in 0..10 {
+            b.push_row(&[i as f64; 4], Some((i % 2) as f64)).unwrap();
+        }
+        assert_eq!(b.n_rows(), 10);
+        let header = b.finish().unwrap();
+        assert_eq!(header.n_rows, 10);
+        assert!(header.has_labels);
+
+        let ds = Dataset::open(&path).unwrap();
+        assert_eq!(ds.n_rows(), 10);
+        assert_eq!(RowStore::row(&ds, 7), &[7.0; 4]);
+        assert_eq!(ds.labels().unwrap()[7], 1.0);
+    }
+
+    #[test]
+    fn push_rows_bulk_matches_per_row() {
+        let dir = tempdir().unwrap();
+        let bulk_path = dir.path().join("bulk.m3ds");
+        let row_path = dir.path().join("rows.m3ds");
+
+        let features: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let labels = [0.0, 1.0, 0.0, 1.0];
+
+        let mut b = DatasetBuilder::create(&bulk_path, 3).unwrap();
+        b.push_rows(&features, Some(&labels)).unwrap();
+        b.finish().unwrap();
+
+        let mut b = DatasetBuilder::create(&row_path, 3).unwrap();
+        for r in 0..4 {
+            b.push_row(&features[r * 3..(r + 1) * 3], Some(labels[r])).unwrap();
+        }
+        b.finish().unwrap();
+
+        let bulk = Dataset::open(&bulk_path).unwrap();
+        let rows = Dataset::open(&row_path).unwrap();
+        assert_eq!(bulk.as_slice(), rows.as_slice());
+        assert_eq!(bulk.labels(), rows.labels());
+    }
+
+    #[test]
+    fn shape_and_label_validation() {
+        let dir = tempdir().unwrap();
+        let mut b = DatasetBuilder::create(dir.path().join("v.m3ds"), 3).unwrap();
+        assert!(b.push_row(&[1.0, 2.0], Some(0.0)).is_err());
+        assert!(b.push_row(&[1.0, 2.0, 3.0], None).is_err());
+        assert!(b.push_rows(&[1.0, 2.0, 3.0, 4.0], Some(&[0.0])).is_err());
+        assert!(b.push_rows(&[1.0, 2.0, 3.0], Some(&[0.0, 1.0])).is_err());
+        assert!(b.push_rows(&[1.0, 2.0, 3.0], None).is_err());
+        assert!(DatasetBuilder::create(dir.path().join("zero.m3ds"), 0).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_is_valid() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("empty.m3ds");
+        let b = DatasetBuilder::create_unlabelled(&path, 5).unwrap();
+        let header = b.finish().unwrap();
+        assert_eq!(header.n_rows, 0);
+        let ds = Dataset::open(&path).unwrap();
+        assert_eq!(ds.n_rows(), 0);
+        assert!(RowStore::is_empty(&ds));
+    }
+}

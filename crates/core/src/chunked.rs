@@ -1,0 +1,182 @@
+//! Chunked iteration over row stores.
+//!
+//! Out-of-core algorithms want to touch mapped data as large contiguous row
+//! blocks: big enough to amortise page faults and keep the OS read-ahead
+//! streaming, small enough that a block's working set fits comfortably in the
+//! page cache alongside the model state.  [`ChunkedRows`] provides that
+//! iteration pattern for any [`RowStore`], and [`chunk_rows_for_budget`]
+//! computes a chunk size from a byte budget (e.g. a fraction of RAM).
+
+use crate::storage::RowStore;
+use crate::ELEMENT_BYTES;
+
+/// A contiguous block of rows borrowed from a [`RowStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct RowChunk<'a> {
+    /// Index of the first row in the chunk.
+    pub start_row: usize,
+    /// One past the last row in the chunk.
+    pub end_row: usize,
+    /// The chunk's contiguous row-major data (`(end_row - start_row) * n_cols`).
+    pub data: &'a [f64],
+    /// Number of columns per row.
+    pub n_cols: usize,
+}
+
+impl<'a> RowChunk<'a> {
+    /// Number of rows in the chunk.
+    pub fn n_rows(&self) -> usize {
+        self.end_row - self.start_row
+    }
+
+    /// Borrow row `i` of the chunk (0-based within the chunk).
+    ///
+    /// # Panics
+    /// Panics when `i >= n_rows()`.
+    pub fn row(&self, i: usize) -> &'a [f64] {
+        assert!(i < self.n_rows(), "row {i} out of bounds ({})", self.n_rows());
+        &self.data[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Iterate over the chunk's rows together with their global row indices.
+    pub fn rows_with_index(&self) -> impl Iterator<Item = (usize, &'a [f64])> + '_ {
+        (0..self.n_rows()).map(move |i| (self.start_row + i, self.row(i)))
+    }
+}
+
+/// Iterator over fixed-size contiguous row chunks of a store.
+#[derive(Debug)]
+pub struct ChunkedRows<'a, S: RowStore + ?Sized> {
+    store: &'a S,
+    chunk_rows: usize,
+    next_row: usize,
+}
+
+impl<'a, S: RowStore + ?Sized> ChunkedRows<'a, S> {
+    /// Iterate over `store` in chunks of `chunk_rows` rows (the final chunk
+    /// may be shorter).  A `chunk_rows` of zero is treated as one.
+    pub fn new(store: &'a S, chunk_rows: usize) -> Self {
+        Self {
+            store,
+            chunk_rows: chunk_rows.max(1),
+            next_row: 0,
+        }
+    }
+
+    /// Number of chunks this iterator will yield in total.
+    pub fn n_chunks(&self) -> usize {
+        self.store.n_rows().div_ceil(self.chunk_rows)
+    }
+}
+
+impl<'a, S: RowStore + ?Sized> Iterator for ChunkedRows<'a, S> {
+    type Item = RowChunk<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_row >= self.store.n_rows() {
+            return None;
+        }
+        let start = self.next_row;
+        let end = (start + self.chunk_rows).min(self.store.n_rows());
+        self.next_row = end;
+        Some(RowChunk {
+            start_row: start,
+            end_row: end,
+            data: self.store.rows_slice(start, end),
+            n_cols: self.store.n_cols(),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.store.n_rows().saturating_sub(self.next_row);
+        let chunks = remaining.div_ceil(self.chunk_rows);
+        (chunks, Some(chunks))
+    }
+}
+
+/// Number of rows that fit into `byte_budget` bytes for rows of `n_cols`
+/// features (at least one).
+pub fn chunk_rows_for_budget(n_cols: usize, byte_budget: u64) -> usize {
+    let row_bytes = (n_cols.max(1) * ELEMENT_BYTES) as u64;
+    (byte_budget / row_bytes).max(1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_linalg::DenseMatrix;
+
+    fn store() -> DenseMatrix {
+        DenseMatrix::from_vec((0..30).map(|i| i as f64).collect(), 10, 3).unwrap()
+    }
+
+    #[test]
+    fn chunks_cover_all_rows_in_order() {
+        let m = store();
+        let chunks: Vec<_> = ChunkedRows::new(&m, 4).collect();
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(ChunkedRows::new(&m, 4).n_chunks(), 3);
+        assert_eq!(chunks[0].n_rows(), 4);
+        assert_eq!(chunks[2].n_rows(), 2);
+        assert_eq!(chunks[0].start_row, 0);
+        assert_eq!(chunks[2].end_row, 10);
+        // Data is the contiguous slice of the right rows.
+        assert_eq!(chunks[1].row(0), m.row(4));
+        let mut seen = Vec::new();
+        for chunk in ChunkedRows::new(&m, 4) {
+            for (index, row) in chunk.rows_with_index() {
+                assert_eq!(row, m.row(index));
+                seen.push(index);
+            }
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn size_hint_counts_remaining_chunks() {
+        let m = store();
+        let mut it = ChunkedRows::new(&m, 3);
+        assert_eq!(it.size_hint(), (4, Some(4)));
+        it.next();
+        assert_eq!(it.size_hint(), (3, Some(3)));
+    }
+
+    #[test]
+    fn zero_chunk_size_behaves_as_one() {
+        let m = store();
+        assert_eq!(ChunkedRows::new(&m, 0).count(), 10);
+    }
+
+    #[test]
+    fn empty_store_yields_no_chunks() {
+        let empty = DenseMatrix::zeros(0, 3);
+        assert_eq!(ChunkedRows::new(&empty, 8).count(), 0);
+    }
+
+    #[test]
+    fn budget_to_rows() {
+        // 784 features * 8 bytes = 6 272 bytes per row.
+        assert_eq!(chunk_rows_for_budget(784, 6_272 * 100), 100);
+        assert_eq!(chunk_rows_for_budget(784, 10), 1);
+        assert_eq!(chunk_rows_for_budget(0, 1024), chunk_rows_for_budget(1, 1024));
+    }
+
+    #[test]
+    fn works_over_memory_mapped_stores() {
+        let dir = tempfile::tempdir().unwrap();
+        let m = store();
+        let mapped = crate::alloc::persist_matrix(dir.path().join("chunk.m3"), &m).unwrap();
+        let total: f64 = ChunkedRows::new(&mapped, 3)
+            .map(|c| c.data.iter().sum::<f64>())
+            .sum();
+        assert_eq!(total, (0..30).sum::<usize>() as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn chunk_row_out_of_bounds_panics() {
+        let m = store();
+        let chunk = ChunkedRows::new(&m, 4).next().unwrap();
+        chunk.row(4);
+    }
+}

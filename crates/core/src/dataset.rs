@@ -1,0 +1,395 @@
+//! The M3 dataset container format.
+//!
+//! A self-describing single-file container holding a labelled, dense,
+//! row-major `f64` feature matrix:
+//!
+//! ```text
+//! offset 0      : 4096-byte header (magic, version, shape, section offsets)
+//! offset 4096   : features — n_rows × n_cols little-endian f64, row-major
+//! after features: labels   — n_rows little-endian f64 (optional)
+//! ```
+//!
+//! The feature block starts on a page boundary so that, once the file is
+//! memory-mapped, the matrix is 8-byte aligned and page-aligned — the same
+//! layout an in-memory allocation would have.  Files are written once by
+//! [`crate::builder::DatasetBuilder`] (or `m3-data` generators) and then
+//! opened read-only with [`Dataset::open`], which maps the file and performs
+//! **no** eager reads: a 190 GB dataset opens in microseconds and pages are
+//! faulted in lazily as the algorithm touches them, exactly as in the paper.
+
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use memmap2::Mmap;
+
+use crate::error::{CoreError, Result};
+use crate::mmap::MmapMatrix;
+use crate::storage::RowStore;
+use crate::{AccessPattern, ELEMENT_BYTES, PAGE_SIZE};
+
+/// Magic bytes identifying an M3 dataset file.
+pub const MAGIC: [u8; 8] = *b"M3DSET01";
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Size of the fixed header block (one page).
+pub const HEADER_BYTES: usize = PAGE_SIZE;
+
+/// Flag bit: the file contains a label section.
+const FLAG_HAS_LABELS: u32 = 1;
+
+/// Parsed dataset header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetHeader {
+    /// On-disk format version.
+    pub version: u32,
+    /// Number of rows (examples).
+    pub n_rows: u64,
+    /// Number of feature columns.
+    pub n_cols: u64,
+    /// Whether a label section is present.
+    pub has_labels: bool,
+    /// Byte offset of the feature block.
+    pub data_offset: u64,
+    /// Byte offset of the label block (meaningful only when `has_labels`).
+    pub labels_offset: u64,
+}
+
+impl DatasetHeader {
+    /// Construct the header for a dataset of the given shape.
+    pub fn new(n_rows: u64, n_cols: u64, has_labels: bool) -> Self {
+        let data_offset = HEADER_BYTES as u64;
+        let labels_offset = data_offset + n_rows * n_cols * ELEMENT_BYTES as u64;
+        Self {
+            version: FORMAT_VERSION,
+            n_rows,
+            n_cols,
+            has_labels,
+            data_offset,
+            labels_offset,
+        }
+    }
+
+    /// Total file size implied by this header.
+    pub fn file_bytes(&self) -> u64 {
+        let mut end = self.labels_offset;
+        if self.has_labels {
+            end += self.n_rows * ELEMENT_BYTES as u64;
+        }
+        end
+    }
+
+    /// Size of the feature block in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.n_rows * self.n_cols * ELEMENT_BYTES as u64
+    }
+
+    /// Serialise into the fixed-size header block.
+    pub fn encode(&self) -> [u8; 64] {
+        let mut buf = [0u8; 64];
+        buf[0..8].copy_from_slice(&MAGIC);
+        buf[8..12].copy_from_slice(&self.version.to_le_bytes());
+        let flags: u32 = if self.has_labels { FLAG_HAS_LABELS } else { 0 };
+        buf[12..16].copy_from_slice(&flags.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.n_rows.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.n_cols.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.data_offset.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.labels_offset.to_le_bytes());
+        buf
+    }
+
+    /// Parse a header from the first bytes of a file.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::BadHeader`] when the magic, version or offsets are
+    /// inconsistent.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 64 {
+            return Err(CoreError::BadHeader {
+                reason: format!("header needs at least 64 bytes, got {}", bytes.len()),
+            });
+        }
+        if bytes[0..8] != MAGIC {
+            return Err(CoreError::BadHeader {
+                reason: "magic bytes do not match M3DSET01".to_string(),
+            });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(CoreError::BadHeader {
+                reason: format!("unsupported format version {version}"),
+            });
+        }
+        let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let n_rows = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let n_cols = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+        let data_offset = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
+        let labels_offset = u64::from_le_bytes(bytes[40..48].try_into().unwrap());
+        if data_offset as usize != HEADER_BYTES {
+            return Err(CoreError::BadHeader {
+                reason: format!("unexpected data offset {data_offset}"),
+            });
+        }
+        let expected_labels = data_offset + n_rows * n_cols * ELEMENT_BYTES as u64;
+        if labels_offset != expected_labels {
+            return Err(CoreError::BadHeader {
+                reason: format!(
+                    "labels offset {labels_offset} does not follow the feature block ({expected_labels})"
+                ),
+            });
+        }
+        Ok(Self {
+            version,
+            n_rows,
+            n_cols,
+            has_labels: flags & FLAG_HAS_LABELS != 0,
+            data_offset,
+            labels_offset,
+        })
+    }
+}
+
+/// A labelled dataset opened through a single memory mapping.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    map: Arc<Mmap>,
+    header: DatasetHeader,
+    path: PathBuf,
+}
+
+impl Dataset {
+    /// Open an M3 dataset container read-only via `mmap`.
+    ///
+    /// No data is read eagerly; only the 64-byte header is validated.
+    ///
+    /// # Errors
+    /// Fails when the file cannot be opened/mapped, the header is invalid, or
+    /// the file is shorter than the header claims.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .open(&path)
+            .map_err(|e| CoreError::io(&path, e))?;
+        let len = file.metadata().map_err(|e| CoreError::io(&path, e))?.len();
+        if len < HEADER_BYTES as u64 {
+            return Err(CoreError::BadHeader {
+                reason: format!("file is only {len} bytes, smaller than the header"),
+            });
+        }
+        // SAFETY: read-only mapping of a file we just opened.
+        let map = unsafe { Mmap::map(&file) }.map_err(|e| CoreError::io(&path, e))?;
+        let header = DatasetHeader::decode(&map[..64])?;
+        if len < header.file_bytes() {
+            return Err(CoreError::SizeMismatch {
+                path,
+                expected_bytes: header.file_bytes(),
+                actual_bytes: len,
+            });
+        }
+        Ok(Self {
+            map: Arc::new(map),
+            header,
+            path,
+        })
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &DatasetHeader {
+        &self.header
+    }
+
+    /// Number of rows (examples).
+    pub fn n_rows(&self) -> usize {
+        self.header.n_rows as usize
+    }
+
+    /// Number of feature columns.
+    pub fn n_cols(&self) -> usize {
+        self.header.n_cols as usize
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Size of the whole file in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.header.file_bytes()
+    }
+
+    /// The feature matrix as a memory-mapped [`MmapMatrix`] sharing this
+    /// dataset's mapping.
+    pub fn features(&self) -> MmapMatrix {
+        MmapMatrix::from_mapping(
+            Arc::clone(&self.map),
+            self.path.clone(),
+            self.n_rows(),
+            self.n_cols(),
+            self.header.data_offset as usize,
+        )
+        .expect("header validated at open time")
+    }
+
+    /// The label vector, if the file carries one.
+    pub fn labels(&self) -> Option<&[f64]> {
+        if !self.header.has_labels {
+            return None;
+        }
+        let start = self.header.labels_offset as usize;
+        let n = self.n_rows();
+        let bytes = &self.map[start..start + n * ELEMENT_BYTES];
+        // SAFETY: labels_offset = 4096 + k*8 is always 8-aligned relative to
+        // the page-aligned mapping; length checked by the slice above.
+        Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f64>(), n) })
+    }
+
+    /// Labels converted to integer class ids (`label as i64`).
+    pub fn labels_as_classes(&self) -> Option<Vec<i64>> {
+        self.labels().map(|ls| ls.iter().map(|&l| l as i64).collect())
+    }
+
+    /// Forward an access-pattern hint for the whole mapping.
+    pub fn advise(&self, pattern: AccessPattern) {
+        #[cfg(unix)]
+        {
+            let _ = self.map.advise(pattern.to_memmap_advice());
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = pattern;
+        }
+    }
+}
+
+impl RowStore for Dataset {
+    fn n_rows(&self) -> usize {
+        Dataset::n_rows(self)
+    }
+    fn n_cols(&self) -> usize {
+        Dataset::n_cols(self)
+    }
+    fn row(&self, i: usize) -> &[f64] {
+        assert!(i < Dataset::n_rows(self), "row {i} out of bounds");
+        let cols = Dataset::n_cols(self);
+        &self.data_slice()[i * cols..(i + 1) * cols]
+    }
+    fn rows_slice(&self, start: usize, end: usize) -> &[f64] {
+        assert!(start <= end && end <= Dataset::n_rows(self), "row range out of bounds");
+        let cols = Dataset::n_cols(self);
+        &self.data_slice()[start * cols..end * cols]
+    }
+    fn as_slice(&self) -> &[f64] {
+        self.data_slice()
+    }
+    fn advise(&self, pattern: AccessPattern) {
+        Dataset::advise(self, pattern);
+    }
+}
+
+impl Dataset {
+    /// Borrow the whole feature block as a `f64` slice.
+    fn data_slice(&self) -> &[f64] {
+        let start = self.header.data_offset as usize;
+        let n = self.n_rows() * self.n_cols();
+        let bytes = &self.map[start..start + n * ELEMENT_BYTES];
+        // SAFETY: data_offset is one page (8-aligned within the page-aligned
+        // mapping); length checked by the byte slice above.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f64>(), n) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DatasetBuilder;
+    use tempfile::tempdir;
+
+    #[test]
+    fn header_encode_decode_roundtrip() {
+        let h = DatasetHeader::new(1000, 784, true);
+        let decoded = DatasetHeader::decode(&h.encode()).unwrap();
+        assert_eq!(h, decoded);
+        assert_eq!(decoded.data_offset, 4096);
+        assert_eq!(decoded.labels_offset, 4096 + 1000 * 784 * 8);
+        assert_eq!(decoded.file_bytes(), 4096 + 1000 * 784 * 8 + 1000 * 8);
+        assert_eq!(decoded.data_bytes(), 1000 * 784 * 8);
+    }
+
+    #[test]
+    fn header_without_labels() {
+        let h = DatasetHeader::new(10, 4, false);
+        let d = DatasetHeader::decode(&h.encode()).unwrap();
+        assert!(!d.has_labels);
+        assert_eq!(d.file_bytes(), 4096 + 10 * 4 * 8);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_and_version() {
+        let mut bytes = DatasetHeader::new(1, 1, false).encode();
+        bytes[0] = b'X';
+        assert!(matches!(DatasetHeader::decode(&bytes), Err(CoreError::BadHeader { .. })));
+
+        let mut bytes = DatasetHeader::new(1, 1, false).encode();
+        bytes[8] = 99;
+        assert!(DatasetHeader::decode(&bytes).is_err());
+
+        assert!(DatasetHeader::decode(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn dataset_roundtrip_via_builder() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("tiny.m3ds");
+        let mut b = DatasetBuilder::create(&path, 3).unwrap();
+        b.push_row(&[1.0, 2.0, 3.0], Some(0.0)).unwrap();
+        b.push_row(&[4.0, 5.0, 6.0], Some(1.0)).unwrap();
+        b.finish().unwrap();
+
+        let ds = Dataset::open(&path).unwrap();
+        assert_eq!(ds.n_rows(), 2);
+        assert_eq!(ds.n_cols(), 3);
+        assert_eq!(ds.labels().unwrap(), &[0.0, 1.0]);
+        assert_eq!(ds.labels_as_classes().unwrap(), vec![0, 1]);
+        assert_eq!(RowStore::row(&ds, 1), &[4.0, 5.0, 6.0]);
+        assert_eq!(RowStore::rows_slice(&ds, 0, 2).len(), 6);
+        assert_eq!(ds.file_bytes(), 4096 + 2 * 3 * 8 + 2 * 8);
+        assert_eq!(ds.path(), path.as_path());
+
+        let feats = ds.features();
+        assert_eq!(feats.shape(), (2, 3));
+        assert_eq!(feats.row(0), &[1.0, 2.0, 3.0]);
+
+        for p in AccessPattern::ALL {
+            ds.advise(p);
+        }
+    }
+
+    #[test]
+    fn dataset_open_rejects_truncated_file() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("trunc.m3ds");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(Dataset::open(&path).is_err());
+
+        // Valid header but file shorter than the data it promises.
+        let header = DatasetHeader::new(1000, 1000, false);
+        let mut bytes = vec![0u8; HEADER_BYTES];
+        bytes[..64].copy_from_slice(&header.encode());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Dataset::open(&path), Err(CoreError::SizeMismatch { .. })));
+    }
+
+    #[test]
+    fn unlabelled_dataset_has_no_labels() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("unlabelled.m3ds");
+        let mut b = DatasetBuilder::create_unlabelled(&path, 2).unwrap();
+        b.push_row(&[1.0, 2.0], None).unwrap();
+        b.finish().unwrap();
+        let ds = Dataset::open(&path).unwrap();
+        assert!(ds.labels().is_none());
+        assert!(ds.labels_as_classes().is_none());
+    }
+}

@@ -1,0 +1,136 @@
+//! Error type shared by all `m3-core` operations.
+
+use std::path::PathBuf;
+
+/// Errors produced when creating, mapping or reading M3 datasets.
+#[derive(Debug)]
+pub enum CoreError {
+    /// An underlying I/O operation failed.
+    Io {
+        /// The file involved, when known.
+        path: Option<PathBuf>,
+        /// The operating-system error.
+        source: std::io::Error,
+    },
+    /// A file's size does not match the shape it was opened with.
+    SizeMismatch {
+        /// The file involved.
+        path: PathBuf,
+        /// Bytes expected from the requested shape.
+        expected_bytes: u64,
+        /// Bytes actually present.
+        actual_bytes: u64,
+    },
+    /// A dataset file's header is malformed or has the wrong magic/version.
+    BadHeader {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+    /// The mapped region is not aligned for `f64` access.
+    Misaligned {
+        /// The address that failed the alignment check.
+        address: usize,
+    },
+    /// A shape was requested that would overflow `usize` or is otherwise
+    /// unrepresentable.
+    InvalidShape {
+        /// Requested number of rows.
+        rows: usize,
+        /// Requested number of columns.
+        cols: usize,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Io { path, source } => match path {
+                Some(p) => write!(f, "I/O error on {}: {source}", p.display()),
+                None => write!(f, "I/O error: {source}"),
+            },
+            CoreError::SizeMismatch {
+                path,
+                expected_bytes,
+                actual_bytes,
+            } => write!(
+                f,
+                "{} is {actual_bytes} bytes but the requested shape needs {expected_bytes} bytes",
+                path.display()
+            ),
+            CoreError::BadHeader { reason } => write!(f, "bad dataset header: {reason}"),
+            CoreError::Misaligned { address } => {
+                write!(f, "mapped address {address:#x} is not 8-byte aligned")
+            }
+            CoreError::InvalidShape { rows, cols } => {
+                write!(f, "invalid matrix shape {rows}x{cols}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io {
+            path: None,
+            source: e,
+        }
+    }
+}
+
+impl CoreError {
+    /// Attach a path to a bare I/O error for better diagnostics.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        CoreError::Io {
+            path: Some(path.into()),
+            source,
+        }
+    }
+}
+
+/// Result alias used throughout `m3-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_path_and_sizes() {
+        let e = CoreError::SizeMismatch {
+            path: PathBuf::from("/tmp/x.m3"),
+            expected_bytes: 800,
+            actual_bytes: 400,
+        };
+        let s = e.to_string();
+        assert!(s.contains("/tmp/x.m3") && s.contains("800") && s.contains("400"));
+    }
+
+    #[test]
+    fn io_error_carries_source() {
+        let e = CoreError::io("/tmp/y", std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("/tmp/y"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn from_io_error_without_path() {
+        let e: CoreError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn misaligned_and_shape_display() {
+        assert!(CoreError::Misaligned { address: 0x123 }.to_string().contains("0x123"));
+        assert!(CoreError::InvalidShape { rows: 1, cols: 2 }.to_string().contains("1x2"));
+        assert!(CoreError::BadHeader { reason: "nope".into() }.to_string().contains("nope"));
+    }
+}

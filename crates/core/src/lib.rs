@@ -1,0 +1,122 @@
+//! # m3-core — memory mapping for machine learning (the M3 contribution)
+//!
+//! This crate is the Rust reproduction of the core idea of
+//! *M3: Scaling Up Machine Learning via Memory Mapping*
+//! (Fang & Chau, SIGMOD 2016): memory-map a dataset file into the process's
+//! virtual address space and let existing in-memory machine-learning code run
+//! over it unchanged, delegating paging, caching and read-ahead to the
+//! operating system.
+//!
+//! The public surface mirrors the paper:
+//!
+//! * [`alloc::mmap_alloc`] — the paper's Table 1 helper.  One line replaces an
+//!   in-memory allocation with a memory-mapped file of the same shape:
+//!
+//!   ```text
+//!   // Original                          // M3
+//!   Mat data(rows, cols);                double *m = mmapAlloc(file, rows * cols);
+//!                                        Mat data(m, rows, cols);
+//!   ```
+//!
+//!   In this crate the same swap is `DenseMatrix::zeros(rows, cols)` →
+//!   `mmap_alloc(path, rows, cols)?`; both implement [`storage::RowStore`], so
+//!   downstream algorithm code does not change at all.
+//!
+//! * [`mmap::MmapMatrix`] — a read-only (or copy-on-write) memory-mapped
+//!   row-major `f64` matrix.
+//! * [`dataset::Dataset`] — a small self-describing binary container
+//!   (header + labels + row-major features) used by the experiment harness,
+//!   opened via `mmap` without reading it eagerly.
+//! * [`advice::AccessPattern`] — `madvise(2)` hints (sequential / random /
+//!   will-need) exposed so callers can tell the OS about their access pattern,
+//!   which the paper highlights as a key OS-side optimisation.
+//! * [`trace`] and [`stats`] — page-granular access instrumentation used by
+//!   the `m3-vmsim` crate to replay algorithm behaviour against a simulated
+//!   page cache (this is how Figure 1a is regenerated without a 190 GB file).
+//!
+//! ## Example
+//!
+//! ```
+//! use m3_core::{alloc::mmap_alloc_mut, storage::RowStore};
+//!
+//! let dir = tempfile::tempdir().unwrap();
+//! let path = dir.path().join("matrix.m3");
+//!
+//! // Create a 100 x 8 memory-mapped matrix backed by `matrix.m3`.
+//! let mut mat = mmap_alloc_mut(&path, 100, 8).unwrap();
+//! mat.as_mut_slice()[0] = 42.0;
+//! mat.flush().unwrap();
+//!
+//! // Re-open read-only, exactly as an algorithm would.
+//! let ro = m3_core::alloc::mmap_alloc(&path, 100, 8).unwrap();
+//! assert_eq!(ro.row(0)[0], 42.0);
+//! assert_eq!(ro.n_rows(), 100);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod advice;
+pub mod alloc;
+pub mod builder;
+pub mod chunked;
+pub mod dataset;
+pub mod error;
+pub mod mmap;
+pub mod stats;
+pub mod storage;
+pub mod trace;
+
+pub use advice::AccessPattern;
+pub use alloc::{mmap_alloc, mmap_alloc_mut};
+pub use dataset::{Dataset, DatasetHeader};
+pub use error::{CoreError, Result};
+pub use mmap::{MmapMatrix, MmapMatrixMut};
+pub use storage::RowStore;
+
+/// Number of bytes per matrix element (`f64`), matching the paper's
+/// 784-feature × 8-byte = 6 272-byte rows.
+pub const ELEMENT_BYTES: usize = std::mem::size_of::<f64>();
+
+/// Page size assumed throughout the workspace (bytes).  Linux and the paper's
+/// test machine both use 4 KiB pages; the value is also what `m3-vmsim`
+/// simulates.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Round `bytes` up to the next multiple of [`PAGE_SIZE`].
+pub fn round_up_to_page(bytes: usize) -> usize {
+    bytes.div_ceil(PAGE_SIZE) * PAGE_SIZE
+}
+
+/// Number of pages needed to hold `bytes` bytes.
+pub fn pages_for(bytes: usize) -> usize {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_rounding() {
+        assert_eq!(round_up_to_page(0), 0);
+        assert_eq!(round_up_to_page(1), PAGE_SIZE);
+        assert_eq!(round_up_to_page(PAGE_SIZE), PAGE_SIZE);
+        assert_eq!(round_up_to_page(PAGE_SIZE + 1), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn pages_for_counts() {
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(PAGE_SIZE), 1);
+        assert_eq!(pages_for(PAGE_SIZE * 3 + 7), 4);
+    }
+
+    #[test]
+    fn element_bytes_is_eight() {
+        assert_eq!(ELEMENT_BYTES, 8);
+        // The paper's row size: 784 features * 8 bytes = 6 272 bytes.
+        assert_eq!(784 * ELEMENT_BYTES, 6272);
+    }
+}

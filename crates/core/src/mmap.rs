@@ -1,0 +1,489 @@
+//! Memory-mapped row-major matrices.
+//!
+//! [`MmapMatrix`] (read-only) and [`MmapMatrixMut`] (writable) map a plain
+//! binary file of little-endian `f64` values laid out row-major — exactly the
+//! representation the paper's modified mlpack reads — into the process's
+//! address space.  After mapping, the data is indistinguishable from an
+//! in-memory matrix: both types expose `&[f64]` rows and implement
+//! [`RowStore`], and the OS transparently pages the file in and out of RAM.
+
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use memmap2::{Mmap, MmapMut};
+
+use crate::error::{CoreError, Result};
+use crate::stats::TouchStats;
+use crate::storage::RowStore;
+use crate::AccessPattern;
+
+/// Validate a shape and return the required file size in bytes.
+fn required_bytes(rows: usize, cols: usize) -> Result<u64> {
+    let elems = rows
+        .checked_mul(cols)
+        .ok_or(CoreError::InvalidShape { rows, cols })?;
+    let bytes = elems
+        .checked_mul(crate::ELEMENT_BYTES)
+        .ok_or(CoreError::InvalidShape { rows, cols })?;
+    Ok(bytes as u64)
+}
+
+/// Reinterpret a mapped byte region as a slice of `f64`, after verifying
+/// length and alignment.
+///
+/// # Safety
+/// The caller must guarantee the bytes live as long as the returned slice and
+/// that the region contains `len / 8` valid `f64` values (any bit pattern is
+/// a valid `f64`, so this reduces to the length/alignment checks performed
+/// here).
+unsafe fn bytes_as_f64(bytes: &[u8], offset: usize, n_elements: usize) -> Result<&[f64]> {
+    let start = bytes.as_ptr() as usize + offset;
+    if start % std::mem::align_of::<f64>() != 0 {
+        return Err(CoreError::Misaligned { address: start });
+    }
+    let needed = offset + n_elements * crate::ELEMENT_BYTES;
+    if bytes.len() < needed {
+        return Err(CoreError::BadHeader {
+            reason: format!(
+                "mapped region of {} bytes is smaller than the {} bytes required",
+                bytes.len(),
+                needed
+            ),
+        });
+    }
+    // SAFETY: alignment and length were checked above; every byte pattern is
+    // a valid f64; the lifetime is tied to `bytes` by the signature.
+    Ok(unsafe { std::slice::from_raw_parts(bytes[offset..].as_ptr().cast::<f64>(), n_elements) })
+}
+
+/// A read-only memory-mapped row-major `f64` matrix.
+///
+/// The matrix keeps the mapping (and therefore the file) alive for its whole
+/// lifetime.  Cloning is cheap: the mapping is shared behind an [`Arc`].
+#[derive(Debug, Clone)]
+pub struct MmapMatrix {
+    map: Arc<Mmap>,
+    path: PathBuf,
+    n_rows: usize,
+    n_cols: usize,
+    /// Byte offset of the first element inside the mapping (non-zero for
+    /// dataset containers that carry a header).
+    offset: usize,
+    stats: Option<Arc<TouchStats>>,
+}
+
+impl MmapMatrix {
+    /// Memory-map an existing raw matrix file (no header, just
+    /// `rows × cols` little-endian `f64` values).
+    ///
+    /// # Errors
+    /// Fails when the file cannot be opened or mapped, when its size does not
+    /// match the requested shape, or when the mapping is misaligned.
+    pub fn open(path: impl AsRef<Path>, rows: usize, cols: usize) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let needed = required_bytes(rows, cols)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .open(&path)
+            .map_err(|e| CoreError::io(&path, e))?;
+        let actual = file.metadata().map_err(|e| CoreError::io(&path, e))?.len();
+        if actual < needed {
+            return Err(CoreError::SizeMismatch {
+                path,
+                expected_bytes: needed,
+                actual_bytes: actual,
+            });
+        }
+        // SAFETY: we map the file read-only and never create a mutable alias;
+        // concurrent external modification of the file is outside this
+        // program's control, as with any mmap-based system (including M3).
+        let map = unsafe { Mmap::map(&file) }.map_err(|e| CoreError::io(&path, e))?;
+        Self::from_mapping(Arc::new(map), path, rows, cols, 0)
+    }
+
+    /// Wrap an existing shared mapping, starting `offset` bytes in.
+    /// Used by [`crate::Dataset`] to expose the feature block of a container
+    /// file without re-mapping it.
+    pub(crate) fn from_mapping(
+        map: Arc<Mmap>,
+        path: PathBuf,
+        rows: usize,
+        cols: usize,
+        offset: usize,
+    ) -> Result<Self> {
+        // Validate once upfront so later accesses can be panic-free slices.
+        unsafe { bytes_as_f64(&map[..], offset, rows * cols)? };
+        Ok(Self {
+            map,
+            path,
+            n_rows: rows,
+            n_cols: cols,
+            offset,
+            stats: None,
+        })
+    }
+
+    /// Attach a shared [`TouchStats`] counter that every row access updates.
+    pub fn with_stats(mut self, stats: Arc<TouchStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// The path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Size of the mapped data region in bytes.
+    pub fn data_bytes(&self) -> usize {
+        self.n_rows * self.n_cols * crate::ELEMENT_BYTES
+    }
+
+    /// The full data region as a `f64` slice.
+    pub fn data(&self) -> &[f64] {
+        // SAFETY: validated in `from_mapping`.
+        unsafe { bytes_as_f64(&self.map[..], self.offset, self.n_rows * self.n_cols) }
+            .expect("mapping validated at construction")
+    }
+
+    /// Forward an access-pattern hint to the kernel (`madvise`).  Errors are
+    /// deliberately ignored: advice is best-effort and its absence only
+    /// affects performance, never correctness.
+    pub fn advise_pattern(&self, pattern: AccessPattern) {
+        #[cfg(unix)]
+        {
+            let _ = self.map.advise(pattern.to_memmap_advice());
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = pattern;
+        }
+    }
+
+    fn record(&self, rows: u64) {
+        if let Some(stats) = &self.stats {
+            stats.record_rows(rows, self.n_cols as u64);
+        }
+    }
+}
+
+impl RowStore for MmapMatrix {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n_rows, "row {i} out of bounds ({})", self.n_rows);
+        self.record(1);
+        &self.data()[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    fn rows_slice(&self, start: usize, end: usize) -> &[f64] {
+        assert!(start <= end && end <= self.n_rows, "row range out of bounds");
+        self.record((end - start) as u64);
+        &self.data()[start * self.n_cols..end * self.n_cols]
+    }
+
+    fn as_slice(&self) -> &[f64] {
+        self.data()
+    }
+
+    fn advise(&self, pattern: AccessPattern) {
+        self.advise_pattern(pattern);
+    }
+}
+
+/// A writable memory-mapped row-major `f64` matrix.
+///
+/// Used to *build* large datasets in place: the file is created (or resized)
+/// to the exact shape, mapped read-write, filled through
+/// [`as_mut_slice`](Self::as_mut_slice) or [`row_mut`](Self::row_mut), and
+/// flushed.  Convert to the read-only [`MmapMatrix`] with
+/// [`into_read_only`](Self::into_read_only) once populated.
+#[derive(Debug)]
+pub struct MmapMatrixMut {
+    map: MmapMut,
+    path: PathBuf,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl MmapMatrixMut {
+    /// Create (or truncate/extend) `path` so it holds exactly
+    /// `rows × cols` `f64` values, and map it read-write.
+    ///
+    /// # Errors
+    /// Fails when the file cannot be created, resized or mapped.
+    pub fn create(path: impl AsRef<Path>, rows: usize, cols: usize) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let needed = required_bytes(rows, cols)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| CoreError::io(&path, e))?;
+        file.set_len(needed).map_err(|e| CoreError::io(&path, e))?;
+        // SAFETY: we hold the only mapping of a file we just created/resized.
+        let map = unsafe { MmapMut::map_mut(&file) }.map_err(|e| CoreError::io(&path, e))?;
+        let addr = map.as_ptr() as usize;
+        if addr % std::mem::align_of::<f64>() != 0 {
+            return Err(CoreError::Misaligned { address: addr });
+        }
+        Ok(Self {
+            map,
+            path,
+            n_rows: rows,
+            n_cols: cols,
+        })
+    }
+
+    /// Open an existing raw matrix file read-write.
+    ///
+    /// # Errors
+    /// Fails when the file is missing, too small for the shape, or cannot be
+    /// mapped.
+    pub fn open(path: impl AsRef<Path>, rows: usize, cols: usize) -> Result<Self> {
+        let path_buf = path.as_ref().to_path_buf();
+        let needed = required_bytes(rows, cols)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path_buf)
+            .map_err(|e| CoreError::io(&path_buf, e))?;
+        let actual = file.metadata().map_err(|e| CoreError::io(&path_buf, e))?.len();
+        if actual < needed {
+            return Err(CoreError::SizeMismatch {
+                path: path_buf,
+                expected_bytes: needed,
+                actual_bytes: actual,
+            });
+        }
+        // SAFETY: mapping a file we opened read-write; aliasing is the
+        // caller's responsibility exactly as in the C++ original.
+        let map = unsafe { MmapMut::map_mut(&file) }.map_err(|e| CoreError::io(&path_buf, e))?;
+        Ok(Self {
+            map,
+            path: path_buf,
+            n_rows: rows,
+            n_cols: cols,
+        })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// The path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The whole data region as an immutable `f64` slice.
+    pub fn as_slice(&self) -> &[f64] {
+        // SAFETY: alignment checked at construction; length set via set_len.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.as_ptr().cast::<f64>(),
+                self.n_rows * self.n_cols,
+            )
+        }
+    }
+
+    /// The whole data region as a mutable `f64` slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        // SAFETY: alignment checked at construction; we have &mut self.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.map.as_mut_ptr().cast::<f64>(),
+                self.n_rows * self.n_cols,
+            )
+        }
+    }
+
+    /// Mutable access to row `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= n_rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.n_rows, "row {i} out of bounds ({})", self.n_rows);
+        let cols = self.n_cols;
+        &mut self.as_mut_slice()[i * cols..(i + 1) * cols]
+    }
+
+    /// Immutable access to row `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= n_rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n_rows, "row {i} out of bounds ({})", self.n_rows);
+        &self.as_slice()[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Flush dirty pages back to the file.
+    ///
+    /// # Errors
+    /// Propagates the underlying `msync` failure.
+    pub fn flush(&self) -> Result<()> {
+        self.map
+            .flush()
+            .map_err(|e| CoreError::io(&self.path, e))
+    }
+
+    /// Flush and convert into a read-only [`MmapMatrix`] over the same file.
+    ///
+    /// # Errors
+    /// Propagates flush or re-mapping failures.
+    pub fn into_read_only(self) -> Result<MmapMatrix> {
+        self.flush()?;
+        let (path, rows, cols) = (self.path.clone(), self.n_rows, self.n_cols);
+        drop(self);
+        MmapMatrix::open(path, rows, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::tempdir;
+
+    fn path_in(dir: &tempfile::TempDir, name: &str) -> PathBuf {
+        dir.path().join(name)
+    }
+
+    #[test]
+    fn create_write_reopen_roundtrip() {
+        let dir = tempdir().unwrap();
+        let p = path_in(&dir, "m.bin");
+        let mut m = MmapMatrixMut::create(&p, 3, 4).unwrap();
+        for i in 0..12 {
+            m.as_mut_slice()[i] = i as f64;
+        }
+        m.flush().unwrap();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0, 7.0]);
+
+        let ro = MmapMatrix::open(&p, 3, 4).unwrap();
+        assert_eq!(ro.n_rows(), 3);
+        assert_eq!(ro.n_cols(), 4);
+        assert_eq!(ro.row(2), &[8.0, 9.0, 10.0, 11.0]);
+        assert_eq!(ro.rows_slice(0, 2).len(), 8);
+        assert_eq!(ro.data_bytes(), 96);
+        assert_eq!(ro.path(), p.as_path());
+    }
+
+    #[test]
+    fn into_read_only_preserves_contents() {
+        let dir = tempdir().unwrap();
+        let p = path_in(&dir, "ro.bin");
+        let mut m = MmapMatrixMut::create(&p, 2, 2).unwrap();
+        m.row_mut(0).copy_from_slice(&[1.0, 2.0]);
+        m.row_mut(1).copy_from_slice(&[3.0, 4.0]);
+        let ro = m.into_read_only().unwrap();
+        assert_eq!(ro.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn open_missing_file_fails() {
+        let dir = tempdir().unwrap();
+        let err = MmapMatrix::open(path_in(&dir, "missing.bin"), 1, 1).unwrap_err();
+        assert!(matches!(err, CoreError::Io { .. }));
+    }
+
+    #[test]
+    fn open_with_wrong_shape_fails() {
+        let dir = tempdir().unwrap();
+        let p = path_in(&dir, "small.bin");
+        MmapMatrixMut::create(&p, 2, 2).unwrap().flush().unwrap();
+        let err = MmapMatrix::open(&p, 100, 100).unwrap_err();
+        assert!(matches!(err, CoreError::SizeMismatch { .. }));
+        let err = MmapMatrixMut::open(&p, 100, 100).unwrap_err();
+        assert!(matches!(err, CoreError::SizeMismatch { .. }));
+    }
+
+    #[test]
+    fn open_existing_mutable_and_modify() {
+        let dir = tempdir().unwrap();
+        let p = path_in(&dir, "rw.bin");
+        MmapMatrixMut::create(&p, 2, 2).unwrap().flush().unwrap();
+        let mut rw = MmapMatrixMut::open(&p, 2, 2).unwrap();
+        rw.row_mut(1)[1] = 9.0;
+        rw.flush().unwrap();
+        let ro = MmapMatrix::open(&p, 2, 2).unwrap();
+        assert_eq!(ro.row(1)[1], 9.0);
+        assert_eq!(rw.path(), p.as_path());
+        assert_eq!(rw.n_rows(), 2);
+        assert_eq!(rw.n_cols(), 2);
+    }
+
+    #[test]
+    fn row_store_impl_and_stats() {
+        let dir = tempdir().unwrap();
+        let p = path_in(&dir, "stats.bin");
+        let mut m = MmapMatrixMut::create(&p, 4, 2).unwrap();
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let stats = TouchStats::new_shared();
+        let ro = m.into_read_only().unwrap().with_stats(Arc::clone(&stats));
+        let total: f64 = (0..ro.n_rows()).map(|r| ro.row(r).iter().sum::<f64>()).sum();
+        assert_eq!(total, (0..8).sum::<usize>() as f64);
+        assert_eq!(stats.rows_read(), 4);
+        assert_eq!(stats.elements_read(), 8);
+
+        // RowStore::view works over the mapped data.
+        let view = RowStore::view(&ro);
+        assert_eq!(view.get(3, 1), 7.0);
+    }
+
+    #[test]
+    fn advise_is_best_effort_and_does_not_panic() {
+        let dir = tempdir().unwrap();
+        let p = path_in(&dir, "advice.bin");
+        let m = MmapMatrixMut::create(&p, 8, 8).unwrap().into_read_only().unwrap();
+        for pattern in AccessPattern::ALL {
+            m.advise_pattern(pattern);
+            RowStore::advise(&m, pattern);
+        }
+    }
+
+    #[test]
+    fn invalid_shape_is_rejected() {
+        let dir = tempdir().unwrap();
+        let p = path_in(&dir, "huge.bin");
+        let err = MmapMatrixMut::create(&p, usize::MAX, 2).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidShape { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let dir = tempdir().unwrap();
+        let p = path_in(&dir, "oob.bin");
+        let m = MmapMatrixMut::create(&p, 2, 2).unwrap().into_read_only().unwrap();
+        let _ = m.row(2);
+    }
+
+    #[test]
+    fn clone_shares_mapping() {
+        let dir = tempdir().unwrap();
+        let p = path_in(&dir, "clone.bin");
+        let mut m = MmapMatrixMut::create(&p, 2, 2).unwrap();
+        m.as_mut_slice()[3] = 5.0;
+        let ro = m.into_read_only().unwrap();
+        let ro2 = ro.clone();
+        assert_eq!(ro.as_slice(), ro2.as_slice());
+        assert_eq!(ro2.row(1)[1], 5.0);
+    }
+}

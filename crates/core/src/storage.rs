@@ -1,0 +1,208 @@
+//! The storage abstraction that makes M3 a one-line change.
+//!
+//! [`RowStore`] is the single trait every algorithm in `m3-ml` is written
+//! against.  In-memory matrices ([`m3_linalg::DenseMatrix`]) and memory-mapped
+//! matrices ([`crate::MmapMatrix`]) both implement it, so switching an
+//! existing implementation from "loads the dataset into RAM" to "memory-maps
+//! a 190 GB file" is exactly the kind of minimal edit the paper's Table 1
+//! advertises — the training code itself does not change.
+
+use m3_linalg::{DenseMatrix, MatrixView};
+
+/// A row-major matrix of `f64` whose rows can be borrowed as slices.
+///
+/// Implementations must store rows contiguously (row-major) so that
+/// `rows_slice(a, b)` can hand back a single contiguous slice covering rows
+/// `a..b`; this is what lets chunked parallel sweeps and BLAS kernels work
+/// identically over heap memory and memory-mapped files.
+pub trait RowStore {
+    /// Number of rows.
+    fn n_rows(&self) -> usize;
+
+    /// Number of columns (features per row).
+    fn n_cols(&self) -> usize;
+
+    /// Borrow row `i` as a slice of length [`n_cols`](Self::n_cols).
+    ///
+    /// # Panics
+    /// Implementations panic when `i >= n_rows()`.
+    fn row(&self, i: usize) -> &[f64];
+
+    /// Borrow the contiguous row-major storage for rows `start..end`.
+    ///
+    /// # Panics
+    /// Implementations panic when `start > end` or `end > n_rows()`.
+    fn rows_slice(&self, start: usize, end: usize) -> &[f64];
+
+    /// Borrow the entire row-major buffer.
+    fn as_slice(&self) -> &[f64] {
+        self.rows_slice(0, self.n_rows())
+    }
+
+    /// `(rows, cols)` pair.
+    fn shape(&self) -> (usize, usize) {
+        (self.n_rows(), self.n_cols())
+    }
+
+    /// Total number of elements.
+    fn n_elements(&self) -> usize {
+        self.n_rows() * self.n_cols()
+    }
+
+    /// Size of the stored data in bytes.
+    fn n_bytes(&self) -> usize {
+        self.n_elements() * crate::ELEMENT_BYTES
+    }
+
+    /// `true` when the store holds no rows.
+    fn is_empty(&self) -> bool {
+        self.n_rows() == 0
+    }
+
+    /// A borrowed [`MatrixView`] over the whole store.
+    fn view(&self) -> MatrixView<'_> {
+        MatrixView::new(self.as_slice(), self.n_rows(), self.n_cols())
+            .expect("RowStore implementations maintain the shape invariant")
+    }
+
+    /// A borrowed [`MatrixView`] over rows `start..end`.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds.
+    fn view_rows(&self, start: usize, end: usize) -> MatrixView<'_> {
+        MatrixView::new(self.rows_slice(start, end), end - start, self.n_cols())
+            .expect("RowStore implementations maintain the shape invariant")
+    }
+
+    /// Hint the expected access pattern for an upcoming pass.
+    ///
+    /// The default implementation is a no-op; memory-mapped stores forward
+    /// the hint to `madvise(2)`.
+    fn advise(&self, _pattern: crate::AccessPattern) {}
+}
+
+impl RowStore for DenseMatrix {
+    fn n_rows(&self) -> usize {
+        DenseMatrix::n_rows(self)
+    }
+
+    fn n_cols(&self) -> usize {
+        DenseMatrix::n_cols(self)
+    }
+
+    fn row(&self, i: usize) -> &[f64] {
+        DenseMatrix::row(self, i)
+    }
+
+    fn rows_slice(&self, start: usize, end: usize) -> &[f64] {
+        assert!(start <= end && end <= DenseMatrix::n_rows(self), "row range out of bounds");
+        let cols = DenseMatrix::n_cols(self);
+        &DenseMatrix::as_slice(self)[start * cols..end * cols]
+    }
+
+    fn as_slice(&self) -> &[f64] {
+        DenseMatrix::as_slice(self)
+    }
+}
+
+impl<T: RowStore + ?Sized> RowStore for &T {
+    fn n_rows(&self) -> usize {
+        (**self).n_rows()
+    }
+    fn n_cols(&self) -> usize {
+        (**self).n_cols()
+    }
+    fn row(&self, i: usize) -> &[f64] {
+        (**self).row(i)
+    }
+    fn rows_slice(&self, start: usize, end: usize) -> &[f64] {
+        (**self).rows_slice(start, end)
+    }
+    fn as_slice(&self) -> &[f64] {
+        (**self).as_slice()
+    }
+    fn advise(&self, pattern: crate::AccessPattern) {
+        (**self).advise(pattern)
+    }
+}
+
+impl<T: RowStore + ?Sized> RowStore for std::sync::Arc<T> {
+    fn n_rows(&self) -> usize {
+        (**self).n_rows()
+    }
+    fn n_cols(&self) -> usize {
+        (**self).n_cols()
+    }
+    fn row(&self, i: usize) -> &[f64] {
+        (**self).row(i)
+    }
+    fn rows_slice(&self, start: usize, end: usize) -> &[f64] {
+        (**self).rows_slice(start, end)
+    }
+    fn as_slice(&self) -> &[f64] {
+        (**self).as_slice()
+    }
+    fn advise(&self, pattern: crate::AccessPattern) {
+        (**self).advise(pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_vec((0..12).map(|i| i as f64).collect(), 4, 3).unwrap()
+    }
+
+    #[test]
+    fn dense_matrix_implements_row_store() {
+        let m = sample();
+        let store: &dyn RowStore = &m;
+        assert_eq!(store.shape(), (4, 3));
+        assert_eq!(store.n_elements(), 12);
+        assert_eq!(store.n_bytes(), 96);
+        assert!(!store.is_empty());
+        assert_eq!(store.row(1), &[3.0, 4.0, 5.0]);
+        assert_eq!(store.rows_slice(1, 3), &[3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(store.as_slice().len(), 12);
+    }
+
+    #[test]
+    fn view_and_view_rows() {
+        let m = sample();
+        let v = RowStore::view(&m);
+        assert_eq!(v.shape(), (4, 3));
+        let sub = m.view_rows(2, 4);
+        assert_eq!(sub.shape(), (2, 3));
+        assert_eq!(sub.row(0), &[6.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn reference_and_arc_forward() {
+        let m = sample();
+        let by_ref: &DenseMatrix = &m;
+        assert_eq!(RowStore::n_rows(&by_ref), 4);
+        assert_eq!(RowStore::row(&by_ref, 0), &[0.0, 1.0, 2.0]);
+
+        let arc = Arc::new(sample());
+        assert_eq!(arc.n_rows(), 4);
+        assert_eq!(arc.rows_slice(0, 1), &[0.0, 1.0, 2.0]);
+        arc.advise(crate::AccessPattern::Sequential); // no-op, must not panic
+    }
+
+    #[test]
+    fn empty_store() {
+        let m = DenseMatrix::zeros(0, 5);
+        assert!(RowStore::is_empty(&m));
+        assert_eq!(RowStore::n_bytes(&m), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rows_slice_out_of_bounds_panics() {
+        let m = sample();
+        m.rows_slice(2, 5);
+    }
+}

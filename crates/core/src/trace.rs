@@ -1,0 +1,232 @@
+//! Page-granular access traces.
+//!
+//! The paper's ongoing-work section proposes studying algorithms' memory
+//! access patterns to predict out-of-core performance.  `m3-vmsim` does this
+//! concretely: an [`AccessTrace`] records which pages an algorithm touches in
+//! which order, and the simulator replays the trace against a model of the
+//! page cache and SSD to estimate runtime at arbitrary dataset and RAM sizes.
+//!
+//! Traces can be recorded from real runs (via [`TraceRecorder`]) or generated
+//! synthetically for access patterns whose structure is known analytically
+//! (e.g. "ten sequential sweeps over N bytes", which is exactly the L-BFGS
+//! and k-means pattern).
+
+use crate::PAGE_SIZE;
+
+/// One recorded access to a page-aligned range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessEvent {
+    /// Index of the first page touched.
+    pub first_page: u64,
+    /// Number of consecutive pages touched.
+    pub page_count: u64,
+    /// Whether the access was a write (dirty pages must be written back).
+    pub is_write: bool,
+}
+
+impl AccessEvent {
+    /// Iterate over the individual page indices covered by this event.
+    pub fn pages(&self) -> impl Iterator<Item = u64> {
+        self.first_page..self.first_page + self.page_count
+    }
+}
+
+/// An ordered sequence of page accesses over a dataset of known size.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AccessTrace {
+    events: Vec<AccessEvent>,
+    /// Total size of the mapped region the trace refers to, in bytes.
+    pub region_bytes: u64,
+}
+
+impl AccessTrace {
+    /// Create an empty trace over a region of `region_bytes` bytes.
+    pub fn new(region_bytes: u64) -> Self {
+        Self {
+            events: Vec::new(),
+            region_bytes,
+        }
+    }
+
+    /// Number of pages in the traced region.
+    pub fn region_pages(&self) -> u64 {
+        crate::pages_for(self.region_bytes as usize) as u64
+    }
+
+    /// Append an access covering `len` bytes starting at `offset`.
+    pub fn push_range(&mut self, offset: u64, len: u64, is_write: bool) {
+        if len == 0 {
+            return;
+        }
+        let first_page = offset / PAGE_SIZE as u64;
+        let last_page = (offset + len - 1) / PAGE_SIZE as u64;
+        self.events.push(AccessEvent {
+            first_page,
+            page_count: last_page - first_page + 1,
+            is_write,
+        });
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[AccessEvent] {
+        &self.events
+    }
+
+    /// Total number of page touches (revisits counted every time).
+    pub fn total_page_touches(&self) -> u64 {
+        self.events.iter().map(|e| e.page_count).sum()
+    }
+
+    /// `true` when no accesses have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Build the trace of `sweeps` complete sequential read passes over a
+    /// region of `region_bytes` bytes — the access pattern of batch gradient
+    /// descent / L-BFGS / Lloyd's k-means, where every iteration scans the
+    /// whole dataset front to back.
+    ///
+    /// `chunk_bytes` controls how large each recorded event is; the paper's
+    /// workloads read row-by-row (6 272 bytes), but any chunk ≥ one page
+    /// produces an equivalent page sequence.
+    pub fn sequential_sweeps(region_bytes: u64, sweeps: u32, chunk_bytes: u64) -> Self {
+        let mut trace = AccessTrace::new(region_bytes);
+        let chunk = chunk_bytes.max(1);
+        for _ in 0..sweeps {
+            let mut offset = 0;
+            while offset < region_bytes {
+                let len = chunk.min(region_bytes - offset);
+                trace.push_range(offset, len, false);
+                offset += len;
+            }
+        }
+        trace
+    }
+
+    /// Build a uniformly random access trace of `touches` single-page reads —
+    /// the pattern of naive stochastic methods over mmap'd data.
+    /// Deterministic in `seed`.
+    pub fn random_touches(region_bytes: u64, touches: u64, seed: u64) -> Self {
+        let mut trace = AccessTrace::new(region_bytes);
+        let pages = trace.region_pages().max(1);
+        // Small xorshift so m3-core does not need a rand dependency.
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        for _ in 0..touches {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let page = state % pages;
+            trace.push_range(page * PAGE_SIZE as u64, PAGE_SIZE as u64, false);
+        }
+        trace
+    }
+}
+
+/// Records ranges into an [`AccessTrace`] as an algorithm runs.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    trace: AccessTrace,
+    row_bytes: u64,
+}
+
+impl TraceRecorder {
+    /// Create a recorder for a matrix of `rows × cols` `f64` elements.
+    pub fn for_matrix(rows: usize, cols: usize) -> Self {
+        let row_bytes = (cols * crate::ELEMENT_BYTES) as u64;
+        Self {
+            trace: AccessTrace::new(rows as u64 * row_bytes),
+            row_bytes,
+        }
+    }
+
+    /// Record a read of rows `start..end`.
+    pub fn record_row_range(&mut self, start: usize, end: usize) {
+        if end > start {
+            self.trace.push_range(
+                start as u64 * self.row_bytes,
+                (end - start) as u64 * self.row_bytes,
+                false,
+            );
+        }
+    }
+
+    /// Record a single row read.
+    pub fn record_row(&mut self, row: usize) {
+        self.record_row_range(row, row + 1);
+    }
+
+    /// Finish recording and return the trace.
+    pub fn finish(self) -> AccessTrace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_range_computes_page_spans() {
+        let mut t = AccessTrace::new(3 * PAGE_SIZE as u64);
+        t.push_range(0, 10, false);
+        t.push_range(PAGE_SIZE as u64 - 1, 2, true);
+        t.push_range(0, 0, false); // ignored
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0], AccessEvent { first_page: 0, page_count: 1, is_write: false });
+        assert_eq!(t.events()[1], AccessEvent { first_page: 0, page_count: 2, is_write: true });
+        assert_eq!(t.total_page_touches(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn event_pages_iterates_span() {
+        let e = AccessEvent { first_page: 4, page_count: 3, is_write: false };
+        assert_eq!(e.pages().collect::<Vec<_>>(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn sequential_sweeps_cover_region_each_pass() {
+        let region = 10 * PAGE_SIZE as u64;
+        let t = AccessTrace::sequential_sweeps(region, 3, PAGE_SIZE as u64);
+        assert_eq!(t.region_pages(), 10);
+        assert_eq!(t.total_page_touches(), 30);
+        // First event of each sweep starts at page 0.
+        assert_eq!(t.events()[0].first_page, 0);
+        assert_eq!(t.events()[10].first_page, 0);
+    }
+
+    #[test]
+    fn sequential_sweeps_handle_partial_tail_chunk() {
+        let region = PAGE_SIZE as u64 + 100;
+        let t = AccessTrace::sequential_sweeps(region, 1, PAGE_SIZE as u64);
+        assert_eq!(t.region_pages(), 2);
+        // One full-page chunk (page 0) plus one 100-byte tail chunk (page 1).
+        assert_eq!(t.total_page_touches(), 2);
+    }
+
+    #[test]
+    fn random_touches_is_deterministic_and_bounded() {
+        let region = 64 * PAGE_SIZE as u64;
+        let a = AccessTrace::random_touches(region, 100, 7);
+        let b = AccessTrace::random_touches(region, 100, 7);
+        let c = AccessTrace::random_touches(region, 100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.events().iter().all(|e| e.first_page < 64));
+        assert_eq!(a.total_page_touches(), 100);
+    }
+
+    #[test]
+    fn recorder_tracks_row_ranges() {
+        let mut rec = TraceRecorder::for_matrix(100, 784);
+        rec.record_row(0);
+        rec.record_row_range(10, 20);
+        rec.record_row_range(5, 5); // empty, ignored
+        let trace = rec.finish();
+        assert_eq!(trace.events().len(), 2);
+        assert_eq!(trace.region_bytes, 100 * 784 * 8);
+        // Row 0 is 6 272 bytes = 2 pages.
+        assert_eq!(trace.events()[0].page_count, 2);
+    }
+}

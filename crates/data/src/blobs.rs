@@ -1,0 +1,149 @@
+//! Gaussian-blob cluster generator for the k-means experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::writer::RowGenerator;
+
+/// Isotropic Gaussian clusters with deterministic per-index sampling.
+///
+/// The paper's k-means experiment runs 10 Lloyd iterations with 5 clusters
+/// over the Infimnist matrix; for unit tests and the clustering example we
+/// also want data with *known* ground-truth structure, which is what this
+/// generator provides.
+#[derive(Debug, Clone)]
+pub struct GaussianBlobs {
+    centers: Vec<Vec<f64>>,
+    std_dev: f64,
+    seed: u64,
+}
+
+impl GaussianBlobs {
+    /// Create `k` cluster centres in `n_cols` dimensions, placed at random in
+    /// `[-spread, spread]^d`, each emitting points with standard deviation
+    /// `std_dev`.
+    pub fn new(k: usize, n_cols: usize, spread: f64, std_dev: f64, seed: u64) -> Self {
+        assert!(k > 0, "need at least one cluster");
+        assert!(n_cols > 0, "need at least one dimension");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xB10B5);
+        let centers = (0..k)
+            .map(|_| (0..n_cols).map(|_| rng.gen_range(-spread..spread)).collect())
+            .collect();
+        Self {
+            centers,
+            std_dev,
+            seed,
+        }
+    }
+
+    /// Create blobs with explicitly specified centres.
+    pub fn with_centers(centers: Vec<Vec<f64>>, std_dev: f64, seed: u64) -> Self {
+        assert!(!centers.is_empty(), "need at least one cluster");
+        let d = centers[0].len();
+        assert!(centers.iter().all(|c| c.len() == d), "centres must share a dimension");
+        Self {
+            centers,
+            std_dev,
+            seed,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// The ground-truth cluster centres.
+    pub fn centers(&self) -> &[Vec<f64>] {
+        &self.centers
+    }
+
+    /// Ground-truth cluster of sample `index` (round-robin assignment).
+    pub fn cluster_of(&self, index: u64) -> usize {
+        (index % self.centers.len() as u64) as usize
+    }
+
+    /// Standard normal sample via Box–Muller from two uniforms.
+    fn normal(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl RowGenerator for GaussianBlobs {
+    fn n_cols(&self) -> usize {
+        self.centers[0].len()
+    }
+
+    fn fill_row(&self, index: u64, out: &mut [f64]) -> f64 {
+        let cluster = self.cluster_of(index);
+        let center = &self.centers[cluster];
+        assert_eq!(out.len(), center.len(), "output buffer has wrong length");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ index.wrapping_mul(0x9E3779B97F4A7C15));
+        for (o, c) in out.iter_mut().zip(center) {
+            *o = c + self.std_dev * Self::normal(&mut rng);
+        }
+        cluster as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_centered() {
+        let g = GaussianBlobs::with_centers(
+            vec![vec![0.0, 0.0], vec![10.0, 10.0]],
+            0.5,
+            7,
+        );
+        assert_eq!(g.k(), 2);
+        let (a, la) = g.row(4);
+        let (b, lb) = g.row(4);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        assert_eq!(g.cluster_of(4), 0);
+        assert_eq!(g.cluster_of(5), 1);
+
+        // Samples of cluster 1 should be near (10, 10).
+        let (p, label) = g.row(9);
+        assert_eq!(label, 1.0);
+        assert!(m3_linalg::ops::distance(&p, &[10.0, 10.0]) < 3.0);
+    }
+
+    #[test]
+    fn random_centers_have_requested_shape() {
+        let g = GaussianBlobs::new(5, 8, 20.0, 1.0, 3);
+        assert_eq!(g.k(), 5);
+        assert_eq!(g.n_cols(), 8);
+        assert!(g.centers().iter().all(|c| c.len() == 8));
+        assert!(g
+            .centers()
+            .iter()
+            .flatten()
+            .all(|&v| (-20.0..20.0).contains(&v)));
+    }
+
+    #[test]
+    fn sample_spread_matches_std_dev_roughly() {
+        let g = GaussianBlobs::with_centers(vec![vec![0.0; 4]], 2.0, 11);
+        let (m, _) = g.materialize(500);
+        let stats = m3_linalg::stats::ColumnStats::compute(&m.view());
+        for c in 0..4 {
+            assert!((stats.mean[c]).abs() < 0.4, "mean {}", stats.mean[c]);
+            assert!(
+                (stats.std_dev[c] - 2.0).abs() < 0.4,
+                "std {}",
+                stats.std_dev[c]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_panics() {
+        GaussianBlobs::new(0, 2, 1.0, 1.0, 0);
+    }
+}

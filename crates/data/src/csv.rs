@@ -1,0 +1,193 @@
+//! Minimal CSV reader/writer for dense labelled matrices.
+//!
+//! Supports the common "features…,label" layout used by small public
+//! datasets.  Intended for examples and tests; large datasets should use the
+//! binary container from `m3-core` instead.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use m3_linalg::DenseMatrix;
+
+use crate::{DataError, Result};
+
+/// A dense matrix plus optional labels parsed from a text file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledMatrix {
+    /// Feature matrix (one row per example).
+    pub features: DenseMatrix,
+    /// Labels, when the file had a label column.
+    pub labels: Option<Vec<f64>>,
+}
+
+/// Read a CSV file of floats.  When `label_last_column` is `true`, the final
+/// column becomes the label vector; otherwise every column is a feature.
+/// Lines starting with `#` and blank lines are skipped.
+pub fn read_csv(path: impl AsRef<Path>, label_last_column: bool) -> Result<LabelledMatrix> {
+    let file = std::fs::File::open(path)?;
+    parse_csv(BufReader::new(file), label_last_column)
+}
+
+/// Parse CSV content from any reader (used directly by tests).
+pub fn parse_csv<R: BufRead>(reader: R, label_last_column: bool) -> Result<LabelledMatrix> {
+    let mut features: Vec<f64> = Vec::new();
+    let mut labels: Vec<f64> = Vec::new();
+    let mut n_cols: Option<usize> = None;
+    let mut n_rows = 0usize;
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut values = Vec::new();
+        for field in trimmed.split(',') {
+            let v: f64 = field.trim().parse().map_err(|_| DataError::Parse {
+                line: line_no + 1,
+                reason: format!("'{}' is not a number", field.trim()),
+            })?;
+            values.push(v);
+        }
+        let feature_count = if label_last_column {
+            if values.len() < 2 {
+                return Err(DataError::Parse {
+                    line: line_no + 1,
+                    reason: "need at least one feature and one label".to_string(),
+                });
+            }
+            values.len() - 1
+        } else {
+            values.len()
+        };
+        match n_cols {
+            None => n_cols = Some(feature_count),
+            Some(c) if c != feature_count => {
+                return Err(DataError::Parse {
+                    line: line_no + 1,
+                    reason: format!("expected {c} feature columns, found {feature_count}"),
+                })
+            }
+            _ => {}
+        }
+        if label_last_column {
+            labels.push(values[feature_count]);
+        }
+        features.extend_from_slice(&values[..feature_count]);
+        n_rows += 1;
+    }
+
+    let n_cols = n_cols.unwrap_or(0);
+    let features = DenseMatrix::from_vec(features, n_rows, n_cols)
+        .expect("row-wise parsing keeps the buffer consistent");
+    Ok(LabelledMatrix {
+        features,
+        labels: if label_last_column { Some(labels) } else { None },
+    })
+}
+
+/// Write a matrix (and optional labels as a final column) as CSV.
+pub fn write_csv(
+    path: impl AsRef<Path>,
+    features: &DenseMatrix,
+    labels: Option<&[f64]>,
+) -> Result<()> {
+    if let Some(labels) = labels {
+        if labels.len() != features.n_rows() {
+            return Err(DataError::InvalidConfig(format!(
+                "{} labels for {} rows",
+                labels.len(),
+                features.n_rows()
+            )));
+        }
+    }
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for r in 0..features.n_rows() {
+        let row = features.row(r);
+        let mut first = true;
+        for v in row {
+            if !first {
+                write!(w, ",")?;
+            }
+            write!(w, "{v}")?;
+            first = false;
+        }
+        if let Some(labels) = labels {
+            write!(w, ",{}", labels[r])?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parse_with_labels() {
+        let text = "# comment\n1.0, 2.0, 0\n3.0, 4.0, 1\n\n";
+        let parsed = parse_csv(Cursor::new(text), true).unwrap();
+        assert_eq!(parsed.features.shape(), (2, 2));
+        assert_eq!(parsed.features.row(1), &[3.0, 4.0]);
+        assert_eq!(parsed.labels, Some(vec![0.0, 1.0]));
+    }
+
+    #[test]
+    fn parse_without_labels() {
+        let text = "1,2,3\n4,5,6\n";
+        let parsed = parse_csv(Cursor::new(text), false).unwrap();
+        assert_eq!(parsed.features.shape(), (2, 3));
+        assert!(parsed.labels.is_none());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "1,2,0\nx,2,1\n";
+        let err = parse_csv(Cursor::new(text), true).unwrap_err();
+        match err {
+            DataError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+
+        let ragged = "1,2,0\n1,2,3,0\n";
+        assert!(parse_csv(Cursor::new(ragged), true).is_err());
+
+        let too_short = "5\n";
+        assert!(parse_csv(Cursor::new(too_short), true).is_err());
+    }
+
+    #[test]
+    fn empty_input_gives_empty_matrix() {
+        let parsed = parse_csv(Cursor::new(""), false).unwrap();
+        assert_eq!(parsed.features.n_rows(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("m.csv");
+        let m = DenseMatrix::from_rows(&[&[1.5, -2.0], &[0.0, 3.25]]).unwrap();
+        let labels = vec![1.0, 0.0];
+        write_csv(&path, &m, Some(&labels)).unwrap();
+        let parsed = read_csv(&path, true).unwrap();
+        assert_eq!(parsed.features, m);
+        assert_eq!(parsed.labels, Some(labels));
+
+        // Label-length mismatch is rejected.
+        assert!(write_csv(&path, &m, Some(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn write_without_labels() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("nolabel.csv");
+        let m = DenseMatrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        write_csv(&path, &m, None).unwrap();
+        let parsed = read_csv(&path, false).unwrap();
+        assert_eq!(parsed.features, m);
+    }
+}

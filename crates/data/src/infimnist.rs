@@ -1,0 +1,365 @@
+//! Infimnist-like synthetic digit images.
+//!
+//! The real Infimnist tool deforms MNIST digits to produce an unbounded
+//! stream of 28×28 grayscale images.  This module reproduces the *statistical
+//! shape* of that stream without MNIST itself: ten procedurally drawn digit
+//! prototypes (simple stroke patterns on a 28×28 canvas) are perturbed per
+//! sample with a pseudo-random translation, smooth per-sample distortion and
+//! pixel noise.  Every sample is a deterministic function of `(seed, index)`,
+//! so the dataset is "infinite", reproducible, and never needs to be stored —
+//! exactly the property the original generator has.
+//!
+//! What matters for the M3 experiments is preserved:
+//! * 784 `f64` features per row (6 272 bytes), ten balanced classes,
+//! * pixel values in `[0, 1]` with digit-like sparsity (~20 % ink),
+//! * classes that are linearly separable *enough* for logistic regression to
+//!   make progress but not trivially so (noise + deformation overlap),
+//! * row generation far faster than disk I/O, so dataset writing is
+//!   I/O-bound like the original.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::writer::RowGenerator;
+
+/// Image side length in pixels.
+pub const IMAGE_SIDE: usize = 28;
+/// Number of features per image (28 × 28).
+pub const N_FEATURES: usize = IMAGE_SIDE * IMAGE_SIDE;
+/// Number of digit classes.
+pub const N_CLASSES: usize = 10;
+
+/// Deterministic Infimnist-like image generator.
+#[derive(Debug, Clone)]
+pub struct InfimnistLike {
+    seed: u64,
+    /// Ten 28×28 prototype images, one per class.
+    prototypes: Vec<[f64; N_FEATURES]>,
+    /// Maximum translation in pixels applied per sample.
+    pub max_shift: i32,
+    /// Standard deviation of additive pixel noise.
+    pub noise_std: f64,
+}
+
+impl InfimnistLike {
+    /// Create a generator with the given seed and default deformation
+    /// parameters (±3-pixel translations, 0.08 pixel-noise standard
+    /// deviation).
+    pub fn new(seed: u64) -> Self {
+        let prototypes = (0..N_CLASSES).map(|c| Self::prototype(c, seed)).collect();
+        Self {
+            seed,
+            prototypes,
+            max_shift: 2,
+            noise_std: 0.08,
+        }
+    }
+
+    /// Builder-style setter for the maximum translation.
+    pub fn max_shift(mut self, pixels: i32) -> Self {
+        self.max_shift = pixels;
+        self
+    }
+
+    /// Builder-style setter for the pixel-noise standard deviation.
+    pub fn noise_std(mut self, std: f64) -> Self {
+        self.noise_std = std.max(0.0);
+        self
+    }
+
+    /// The class label of sample `index` (classes are balanced round-robin,
+    /// as in Infimnist subsets).
+    pub fn label_of(&self, index: u64) -> u8 {
+        (index % N_CLASSES as u64) as u8
+    }
+
+    /// Procedurally draw the prototype for class `class`.
+    ///
+    /// Each class gets a distinct arrangement of strokes (horizontal and
+    /// vertical bars, a diagonal and an ellipse) parameterised by the class
+    /// id, giving ten mutually distinguishable — but overlapping once noise
+    /// and shifts are applied — "digits".
+    fn prototype(class: usize, seed: u64) -> [f64; N_FEATURES] {
+        let mut img = [0.0f64; N_FEATURES];
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ 0xD1617u64.wrapping_add((class as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+        );
+        let c = class as f64;
+
+        // Ellipse ("ring") whose radii depend on the class.
+        let (cx, cy) = (13.5 + (c - 4.5) * 0.4, 13.5 - (c - 4.5) * 0.3);
+        let rx = 6.0 + (class % 4) as f64;
+        let ry = 8.0 - (class % 3) as f64;
+        for y in 0..IMAGE_SIDE {
+            for x in 0..IMAGE_SIDE {
+                let dx = (x as f64 - cx) / rx;
+                let dy = (y as f64 - cy) / ry;
+                let r = (dx * dx + dy * dy).sqrt();
+                // Ink near the ellipse boundary.
+                if (r - 1.0).abs() < 0.18 {
+                    img[y * IMAGE_SIDE + x] = 0.9;
+                }
+            }
+        }
+
+        // A vertical stroke whose column depends on the class.
+        if class % 2 == 0 {
+            let col = 8 + class % 12;
+            for y in 6..22 {
+                img[y * IMAGE_SIDE + col] = 1.0;
+                img[y * IMAGE_SIDE + col + 1] = 0.7;
+            }
+        }
+        // A horizontal stroke whose row depends on the class.
+        if class % 3 == 0 {
+            let row = 7 + class;
+            for x in 6..22 {
+                img[(row % IMAGE_SIDE) * IMAGE_SIDE + x] = 1.0;
+            }
+        }
+        // A diagonal stroke for the remaining classes.
+        if class % 3 == 2 {
+            for t in 4..24 {
+                let x = t;
+                let y = (t + class) % IMAGE_SIDE;
+                img[y * IMAGE_SIDE + x] = 0.8;
+            }
+        }
+
+        // A solid class-coded 6×6 block (two rows of five positions).  It is
+        // the dominant, linearly-separable signature of the class: small
+        // translations smear it but keep its mass inside the same region, so
+        // per-class means stay well separated even under deformation — the
+        // property logistic regression needs to make progress, mirroring how
+        // real MNIST digits keep their identity under Infimnist's warps.
+        let block_col = 3 + (class % 5) * 5;
+        let block_row = if class < 5 { 4 } else { 18 };
+        for y in block_row..block_row + 6 {
+            for x in block_col..block_col + 6 {
+                img[y * IMAGE_SIDE + x] = 1.0;
+            }
+        }
+
+        // A few class-specific random dots make prototypes unique even when
+        // the stroke patterns coincide.
+        for _ in 0..15 {
+            let x = rng.gen_range(4..24);
+            let y = rng.gen_range(4..24);
+            img[y * IMAGE_SIDE + x] = rng.gen_range(0.5..1.0);
+        }
+        img
+    }
+
+    /// Per-sample RNG: deterministic in `(seed, index)`.
+    fn sample_rng(&self, index: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ index.wrapping_mul(0x2545F4914F6CDD1D))
+    }
+
+    /// Generate sample `index` into `out` (length [`N_FEATURES`]) and return
+    /// its label as `f64`.
+    pub fn generate_into(&self, index: u64, out: &mut [f64]) -> f64 {
+        assert_eq!(out.len(), N_FEATURES, "output buffer must hold 784 features");
+        let class = self.label_of(index) as usize;
+        let prototype = &self.prototypes[class];
+        let mut rng = self.sample_rng(index);
+
+        let shift_x = rng.gen_range(-self.max_shift..=self.max_shift);
+        let shift_y = rng.gen_range(-self.max_shift..=self.max_shift);
+        // Smooth "elastic-like" distortion: a low-frequency sine displacement
+        // with random phase, cheap to evaluate but visually similar to the
+        // small warps Infimnist applies.
+        let phase_x = rng.gen_range(0.0..std::f64::consts::TAU);
+        let phase_y = rng.gen_range(0.0..std::f64::consts::TAU);
+        let amp = rng.gen_range(0.0..1.0);
+
+        for y in 0..IMAGE_SIDE as i32 {
+            for x in 0..IMAGE_SIDE as i32 {
+                let warp_x = (amp
+                    * (y as f64 / IMAGE_SIDE as f64 * std::f64::consts::TAU + phase_x).sin())
+                .round() as i32;
+                let warp_y = (amp
+                    * (x as f64 / IMAGE_SIDE as f64 * std::f64::consts::TAU + phase_y).sin())
+                .round() as i32;
+                let src_x = x - shift_x + warp_x;
+                let src_y = y - shift_y + warp_y;
+                let value = if (0..IMAGE_SIDE as i32).contains(&src_x)
+                    && (0..IMAGE_SIDE as i32).contains(&src_y)
+                {
+                    prototype[src_y as usize * IMAGE_SIDE + src_x as usize]
+                } else {
+                    0.0
+                };
+                let noise = if self.noise_std > 0.0 {
+                    // Box-Muller-free cheap noise: uniform centred noise is
+                    // sufficient for pixel jitter.
+                    (rng.gen::<f64>() - 0.5) * 2.0 * self.noise_std
+                } else {
+                    0.0
+                };
+                out[(y as usize) * IMAGE_SIDE + x as usize] = (value + noise).clamp(0.0, 1.0);
+            }
+        }
+        class as f64
+    }
+
+    /// Generate sample `index` as an owned vector plus label.
+    pub fn generate(&self, index: u64) -> (Vec<f64>, u8) {
+        let mut buf = vec![0.0; N_FEATURES];
+        let label = self.generate_into(index, &mut buf);
+        (buf, label as u8)
+    }
+
+    /// On-disk size in bytes of an `n_rows`-image dense matrix (paper
+    /// arithmetic: 6 272 bytes per image).
+    pub fn matrix_bytes(n_rows: u64) -> u64 {
+        n_rows * (N_FEATURES * m3_core::ELEMENT_BYTES) as u64
+    }
+}
+
+impl RowGenerator for InfimnistLike {
+    fn n_cols(&self) -> usize {
+        N_FEATURES
+    }
+    fn fill_row(&self, index: u64, out: &mut [f64]) -> f64 {
+        self.generate_into(index, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        assert_eq!(N_FEATURES, 784);
+        assert_eq!(InfimnistLike::matrix_bytes(1), 6272);
+        // 32M images ≈ 190 GB (decimal gigabytes).
+        let gb = InfimnistLike::matrix_bytes(32_000_000) as f64 / 1e9;
+        assert!((gb - 200.7).abs() < 1.0, "32M rows = {gb} GB");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed_and_index() {
+        let g = InfimnistLike::new(42);
+        let (a, la) = g.generate(123);
+        let (b, lb) = g.generate(123);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+
+        let g2 = InfimnistLike::new(43);
+        let (c, _) = g2.generate(123);
+        assert_ne!(a, c, "different seeds must give different images");
+
+        let (d, _) = g.generate(124);
+        assert_ne!(a, d, "different indices must give different images");
+    }
+
+    #[test]
+    fn labels_are_balanced_round_robin() {
+        let g = InfimnistLike::new(1);
+        let mut counts = [0usize; N_CLASSES];
+        for i in 0..1000 {
+            counts[g.label_of(i) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 100));
+    }
+
+    #[test]
+    fn pixels_are_in_unit_range_with_digit_like_sparsity() {
+        let g = InfimnistLike::new(7);
+        let mut ink = 0usize;
+        let mut total = 0usize;
+        for i in 0..50 {
+            let (img, _) = g.generate(i);
+            assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            ink += img.iter().filter(|&&p| p > 0.3).count();
+            total += img.len();
+        }
+        let fraction = ink as f64 / total as f64;
+        assert!(
+            fraction > 0.02 && fraction < 0.5,
+            "ink fraction {fraction} outside digit-like range"
+        );
+    }
+
+    #[test]
+    fn classes_are_statistically_distinguishable() {
+        // Per-class mean images should be farther apart than images within a
+        // class are from their own mean — the minimal separability needed for
+        // the ML experiments to be meaningful.
+        let g = InfimnistLike::new(3);
+        let per_class = 30u64;
+        let mut means = vec![vec![0.0; N_FEATURES]; N_CLASSES];
+        let mut imgs: Vec<(usize, Vec<f64>)> = Vec::new();
+        for c in 0..N_CLASSES as u64 {
+            for k in 0..per_class {
+                let idx = k * N_CLASSES as u64 + c;
+                let (img, label) = g.generate(idx);
+                assert_eq!(label as u64, c);
+                for (m, p) in means[c as usize].iter_mut().zip(&img) {
+                    *m += p / per_class as f64;
+                }
+                imgs.push((c as usize, img));
+            }
+        }
+        let mut within = 0.0;
+        for (c, img) in &imgs {
+            within += m3_linalg::ops::distance(img, &means[*c]);
+        }
+        within /= imgs.len() as f64;
+
+        let mut between = 0.0;
+        let mut pairs = 0.0;
+        for a in 0..N_CLASSES {
+            for b in a + 1..N_CLASSES {
+                between += m3_linalg::ops::distance(&means[a], &means[b]);
+                pairs += 1.0;
+            }
+        }
+        between /= pairs;
+        // Raw-pixel MNIST itself has a between/within ratio well below one
+        // (nearest-mean classification is imperfect but informative); we
+        // require the same qualitative regime rather than perfect separation.
+        assert!(
+            between > within * 0.6,
+            "classes not separable enough: between={between}, within={within}"
+        );
+    }
+
+    #[test]
+    fn row_generator_trait_is_consistent_with_generate() {
+        let g = InfimnistLike::new(11);
+        let (via_generate, label) = g.generate(5);
+        let mut via_trait = vec![0.0; g.n_cols()];
+        let trait_label = g.fill_row(5, &mut via_trait);
+        assert_eq!(via_generate, via_trait);
+        assert_eq!(label as f64, trait_label);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let g = InfimnistLike::new(0).max_shift(0).noise_std(0.0);
+        assert_eq!(g.max_shift, 0);
+        assert_eq!(g.noise_std, 0.0);
+        // With zero shift and zero noise, two samples of the same class only
+        // differ by the warp; they must remain closer to each other than to a
+        // sample of a different class.
+        let (a, _) = g.generate(0); // class 0
+        let (b, _) = g.generate(10); // class 0 again (10 % 10 == 0)
+        let (other, _) = g.generate(5); // class 5
+        let same = m3_linalg::ops::distance(&a, &b);
+        let different = m3_linalg::ops::distance(&a, &other);
+        assert!(
+            same < different,
+            "same-class distance {same} should be below cross-class distance {different}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "784")]
+    fn wrong_buffer_length_panics() {
+        let g = InfimnistLike::new(0);
+        let mut buf = vec![0.0; 10];
+        g.generate_into(0, &mut buf);
+    }
+}

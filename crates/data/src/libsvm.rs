@@ -1,0 +1,160 @@
+//! Reader for the libsvm / svmlight sparse text format.
+//!
+//! Spark's MLlib examples consume libsvm files, so the cluster-simulator
+//! comparison and the examples can share datasets in this format.  Parsed
+//! data is densified into a [`DenseMatrix`] because every algorithm in this
+//! workspace (like the paper's mlpack algorithms) operates on dense rows.
+
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use m3_linalg::DenseMatrix;
+
+use crate::csv::LabelledMatrix;
+use crate::{DataError, Result};
+
+/// Read a libsvm-format file (`label index:value index:value ...`, indices
+/// are 1-based) and densify it.
+///
+/// `n_features` may be given explicitly (needed when the trailing features of
+/// the last examples are all zero); pass `None` to infer it from the largest
+/// index seen.
+pub fn read_libsvm(path: impl AsRef<Path>, n_features: Option<usize>) -> Result<LabelledMatrix> {
+    let file = std::fs::File::open(path)?;
+    parse_libsvm(BufReader::new(file), n_features)
+}
+
+/// Parse libsvm content from any reader.
+pub fn parse_libsvm<R: BufRead>(reader: R, n_features: Option<usize>) -> Result<LabelledMatrix> {
+    let mut rows: Vec<(f64, Vec<(usize, f64)>)> = Vec::new();
+    let mut max_index = 0usize;
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let label: f64 = parts
+            .next()
+            .ok_or_else(|| DataError::Parse {
+                line: line_no + 1,
+                reason: "missing label".to_string(),
+            })?
+            .parse()
+            .map_err(|_| DataError::Parse {
+                line: line_no + 1,
+                reason: "label is not a number".to_string(),
+            })?;
+        let mut entries = Vec::new();
+        for part in parts {
+            let (idx, value) = part.split_once(':').ok_or_else(|| DataError::Parse {
+                line: line_no + 1,
+                reason: format!("'{part}' is not in index:value form"),
+            })?;
+            let idx: usize = idx.parse().map_err(|_| DataError::Parse {
+                line: line_no + 1,
+                reason: format!("'{idx}' is not a valid feature index"),
+            })?;
+            if idx == 0 {
+                return Err(DataError::Parse {
+                    line: line_no + 1,
+                    reason: "libsvm feature indices are 1-based".to_string(),
+                });
+            }
+            let value: f64 = value.parse().map_err(|_| DataError::Parse {
+                line: line_no + 1,
+                reason: format!("'{value}' is not a number"),
+            })?;
+            max_index = max_index.max(idx);
+            entries.push((idx - 1, value));
+        }
+        rows.push((label, entries));
+    }
+
+    let n_cols = match n_features {
+        Some(n) => {
+            if max_index > n {
+                return Err(DataError::InvalidConfig(format!(
+                    "file contains feature index {max_index} but only {n} features were requested"
+                )));
+            }
+            n
+        }
+        None => max_index,
+    };
+
+    let mut data = vec![0.0; rows.len() * n_cols];
+    let mut labels = Vec::with_capacity(rows.len());
+    for (r, (label, entries)) in rows.iter().enumerate() {
+        labels.push(*label);
+        for &(c, v) in entries {
+            data[r * n_cols + c] = v;
+        }
+    }
+    let features = DenseMatrix::from_vec(data, rows.len(), n_cols)
+        .expect("densification keeps the buffer consistent");
+    Ok(LabelledMatrix {
+        features,
+        labels: Some(labels),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_sparse_rows_into_dense_matrix() {
+        let text = "1 1:0.5 3:2.0\n0 2:-1.0\n";
+        let parsed = parse_libsvm(Cursor::new(text), None).unwrap();
+        assert_eq!(parsed.features.shape(), (2, 3));
+        assert_eq!(parsed.features.row(0), &[0.5, 0.0, 2.0]);
+        assert_eq!(parsed.features.row(1), &[0.0, -1.0, 0.0]);
+        assert_eq!(parsed.labels, Some(vec![1.0, 0.0]));
+    }
+
+    #[test]
+    fn explicit_feature_count_pads_columns() {
+        let text = "1 1:1.0\n";
+        let parsed = parse_libsvm(Cursor::new(text), Some(5)).unwrap();
+        assert_eq!(parsed.features.shape(), (1, 5));
+        // Too small an explicit count is rejected.
+        assert!(parse_libsvm(Cursor::new("1 4:1.0\n"), Some(2)).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        for (text, bad_line) in [
+            ("1 a:1\n", 1),
+            ("1 1:x\n", 1),
+            ("1 0:1\n", 1),
+            ("ok\n1 nonsense\n", 1),
+            ("1 1:1\nnot-a-label 1:1\n", 2),
+        ] {
+            match parse_libsvm(Cursor::new(text), None) {
+                Err(DataError::Parse { line, .. }) => assert_eq!(line, bad_line, "text: {text:?}"),
+                other => panic!("expected parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\n1 1:2.0\n";
+        let parsed = parse_libsvm(Cursor::new(text), None).unwrap();
+        assert_eq!(parsed.features.n_rows(), 1);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("tiny.svm");
+        std::fs::write(&path, "2 1:1.0 2:2.0\n3 2:4.0\n").unwrap();
+        let parsed = read_libsvm(&path, None).unwrap();
+        assert_eq!(parsed.features.shape(), (2, 2));
+        assert_eq!(parsed.labels, Some(vec![2.0, 3.0]));
+    }
+}

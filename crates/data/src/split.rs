@@ -1,0 +1,170 @@
+//! Train/test splitting and k-fold cross-validation index utilities.
+//!
+//! These operate on *row indices*, never on the data itself, so they work
+//! equally over in-memory matrices and memory-mapped datasets without
+//! copying 190 GB of features around.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{DataError, Result};
+
+/// Row indices of a train/test split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainTestSplit {
+    /// Row indices assigned to the training set.
+    pub train: Vec<usize>,
+    /// Row indices assigned to the test set.
+    pub test: Vec<usize>,
+}
+
+/// Split `n_rows` rows into train/test with the given test fraction,
+/// shuffling deterministically with `seed`.
+///
+/// # Errors
+/// Fails when `test_fraction` is outside `(0, 1)` or `n_rows == 0`.
+pub fn train_test_split(n_rows: usize, test_fraction: f64, seed: u64) -> Result<TrainTestSplit> {
+    if n_rows == 0 {
+        return Err(DataError::InvalidConfig("cannot split zero rows".to_string()));
+    }
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(DataError::InvalidConfig(format!(
+            "test fraction {test_fraction} must be in (0, 1)"
+        )));
+    }
+    let mut indices: Vec<usize> = (0..n_rows).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_test = ((n_rows as f64 * test_fraction).round() as usize)
+        .clamp(1, n_rows - 1);
+    let test = indices[..n_test].to_vec();
+    let train = indices[n_test..].to_vec();
+    Ok(TrainTestSplit { train, test })
+}
+
+/// One fold of a k-fold split: `validation` plus the complementary `train`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Row indices of this fold's training portion.
+    pub train: Vec<usize>,
+    /// Row indices of this fold's validation portion.
+    pub validation: Vec<usize>,
+}
+
+/// Produce `k` cross-validation folds over `n_rows` rows.
+///
+/// # Errors
+/// Fails when `k < 2` or `k > n_rows`.
+pub fn k_fold(n_rows: usize, k: usize, seed: u64) -> Result<Vec<Fold>> {
+    if k < 2 {
+        return Err(DataError::InvalidConfig("k must be at least 2".to_string()));
+    }
+    if k > n_rows {
+        return Err(DataError::InvalidConfig(format!(
+            "cannot make {k} folds out of {n_rows} rows"
+        )));
+    }
+    let mut indices: Vec<usize> = (0..n_rows).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+
+    let mut folds = Vec::with_capacity(k);
+    let base = n_rows / k;
+    let extra = n_rows % k;
+    let mut start = 0;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        let validation = indices[start..start + len].to_vec();
+        let train = indices[..start]
+            .iter()
+            .chain(&indices[start + len..])
+            .copied()
+            .collect();
+        folds.push(Fold { train, validation });
+        start += len;
+    }
+    Ok(folds)
+}
+
+/// Gather the rows named by `indices` from any [`m3_core::RowStore`] into an
+/// owned matrix (plus the matching labels when provided).
+pub fn gather_rows<S: m3_core::RowStore + ?Sized>(
+    store: &S,
+    indices: &[usize],
+    labels: Option<&[f64]>,
+) -> (m3_linalg::DenseMatrix, Option<Vec<f64>>) {
+    let cols = store.n_cols();
+    let mut data = Vec::with_capacity(indices.len() * cols);
+    for &i in indices {
+        data.extend_from_slice(store.row(i));
+    }
+    let matrix = m3_linalg::DenseMatrix::from_vec(data, indices.len(), cols)
+        .expect("gathered rows have a consistent shape");
+    let gathered_labels = labels.map(|ls| indices.iter().map(|&i| ls[i]).collect());
+    (matrix, gathered_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_linalg::DenseMatrix;
+
+    #[test]
+    fn split_partitions_all_rows() {
+        let s = train_test_split(100, 0.25, 3).unwrap();
+        assert_eq!(s.test.len(), 25);
+        assert_eq!(s.train.len(), 75);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_in_seed() {
+        assert_eq!(train_test_split(50, 0.2, 9).unwrap(), train_test_split(50, 0.2, 9).unwrap());
+        assert_ne!(train_test_split(50, 0.2, 9).unwrap(), train_test_split(50, 0.2, 10).unwrap());
+    }
+
+    #[test]
+    fn split_rejects_bad_arguments() {
+        assert!(train_test_split(0, 0.5, 0).is_err());
+        assert!(train_test_split(10, 0.0, 0).is_err());
+        assert!(train_test_split(10, 1.0, 0).is_err());
+        assert!(train_test_split(10, -0.1, 0).is_err());
+        // Tiny datasets still keep at least one row on each side.
+        let s = train_test_split(2, 0.9, 0).unwrap();
+        assert_eq!(s.train.len(), 1);
+        assert_eq!(s.test.len(), 1);
+    }
+
+    #[test]
+    fn k_fold_covers_every_row_exactly_once_as_validation() {
+        let folds = k_fold(10, 3, 5).unwrap();
+        assert_eq!(folds.len(), 3);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|f| f.validation.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        for f in &folds {
+            assert_eq!(f.train.len() + f.validation.len(), 10);
+            // Train and validation are disjoint.
+            assert!(f.train.iter().all(|i| !f.validation.contains(i)));
+        }
+    }
+
+    #[test]
+    fn k_fold_rejects_bad_k() {
+        assert!(k_fold(10, 1, 0).is_err());
+        assert!(k_fold(3, 5, 0).is_err());
+    }
+
+    #[test]
+    fn gather_rows_selects_and_orders() {
+        let m = DenseMatrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0], &[2.0, 2.0]]).unwrap();
+        let labels = [10.0, 11.0, 12.0];
+        let (sub, sub_labels) = gather_rows(&m, &[2, 0], Some(&labels));
+        assert_eq!(sub.row(0), &[2.0, 2.0]);
+        assert_eq!(sub.row(1), &[0.0, 0.0]);
+        assert_eq!(sub_labels, Some(vec![12.0, 10.0]));
+        let (_, none) = gather_rows(&m, &[1], None);
+        assert!(none.is_none());
+    }
+}

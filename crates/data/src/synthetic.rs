@@ -1,0 +1,143 @@
+//! Synthetic linear / logistic ground-truth problems.
+//!
+//! Used by the correctness tests of `m3-ml`: when the data really is a noisy
+//! linear function of the features, a correct learner must recover the known
+//! coefficients, which is a much stronger check than "loss went down".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::writer::RowGenerator;
+
+/// What the generated label represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// Label is `w·x + b + noise` (real-valued).
+    Regression,
+    /// Label is `1` when `w·x + b + noise > 0`, else `0`.
+    BinaryClassification,
+}
+
+/// A linear ground-truth problem `y = f(w·x + b + ε)`.
+#[derive(Debug, Clone)]
+pub struct LinearProblem {
+    /// True coefficient vector.
+    pub weights: Vec<f64>,
+    /// True intercept.
+    pub bias: f64,
+    /// Standard deviation of the additive noise `ε`.
+    pub noise_std: f64,
+    /// Regression vs. classification labels.
+    pub task: Task,
+    /// Range features are drawn from (uniformly).
+    pub feature_range: (f64, f64),
+    seed: u64,
+}
+
+impl LinearProblem {
+    /// A regression problem with the given true coefficients.
+    pub fn regression(weights: Vec<f64>, bias: f64, noise_std: f64, seed: u64) -> Self {
+        Self {
+            weights,
+            bias,
+            noise_std,
+            task: Task::Regression,
+            feature_range: (-1.0, 1.0),
+            seed,
+        }
+    }
+
+    /// A binary-classification problem whose decision boundary is the given
+    /// hyperplane.
+    pub fn classification(weights: Vec<f64>, bias: f64, noise_std: f64, seed: u64) -> Self {
+        Self {
+            weights,
+            bias,
+            noise_std,
+            task: Task::BinaryClassification,
+            feature_range: (-1.0, 1.0),
+            seed,
+        }
+    }
+
+    /// A random classification problem in `n_cols` dimensions.
+    pub fn random_classification(n_cols: usize, noise_std: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11EA8);
+        let weights = (0..n_cols).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        Self::classification(weights, rng.gen_range(-0.5..0.5), noise_std, seed)
+    }
+
+    fn normal(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl RowGenerator for LinearProblem {
+    fn n_cols(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn fill_row(&self, index: u64, out: &mut [f64]) -> f64 {
+        assert_eq!(out.len(), self.weights.len(), "output buffer has wrong length");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ index.wrapping_mul(0xA24BAED4963EE407));
+        let (lo, hi) = self.feature_range;
+        for v in out.iter_mut() {
+            *v = rng.gen_range(lo..hi);
+        }
+        let score = m3_linalg::ops::dot(out, &self.weights)
+            + self.bias
+            + self.noise_std * Self::normal(&mut rng);
+        match self.task {
+            Task::Regression => score,
+            Task::BinaryClassification => {
+                if score > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_labels_follow_the_plane() {
+        let p = LinearProblem::regression(vec![2.0, -1.0], 0.5, 0.0, 9);
+        let (x, y) = p.row(3);
+        let expected = 2.0 * x[0] - x[1] + 0.5;
+        assert!((y - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_labels_are_binary_and_balancedish() {
+        let p = LinearProblem::random_classification(5, 0.1, 4);
+        let (m, labels) = p.materialize(400);
+        assert_eq!(m.shape(), (400, 5));
+        assert!(labels.iter().all(|&l| l == 0.0 || l == 1.0));
+        let positives = labels.iter().filter(|&&l| l == 1.0).count();
+        assert!(positives > 50 && positives < 350, "positives = {positives}");
+    }
+
+    #[test]
+    fn determinism_per_index() {
+        let p = LinearProblem::random_classification(3, 0.05, 21);
+        assert_eq!(p.row(7), p.row(7));
+        assert_ne!(p.row(7).0, p.row(8).0);
+    }
+
+    #[test]
+    fn noise_free_classification_is_linearly_separable() {
+        let p = LinearProblem::classification(vec![1.0, -1.0], 0.0, 0.0, 2);
+        let (m, labels) = p.materialize(100);
+        for r in 0..100 {
+            let score = m.get(r, 0) - m.get(r, 1);
+            assert_eq!(labels[r] == 1.0, score > 0.0);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! In-memory compressed-sparse-row graphs.
+
+use crate::{GraphError, GraphStore, Result};
+
+/// A directed graph in CSR form: `offsets[v]..offsets[v+1]` indexes the
+/// out-neighbour slice of node `v` inside `targets`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<u64>,
+    targets: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Construct from raw CSR arrays.
+    ///
+    /// # Errors
+    /// Fails when the offsets are not monotonically increasing, do not end at
+    /// `targets.len()`, or a target is out of range.
+    pub fn from_parts(offsets: Vec<u64>, targets: Vec<u32>) -> Result<Self> {
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err(GraphError::BadFormat("offsets must start with 0".into()));
+        }
+        if *offsets.last().unwrap() as usize != targets.len() {
+            return Err(GraphError::BadFormat(
+                "final offset must equal the number of edges".into(),
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::BadFormat("offsets must be non-decreasing".into()));
+        }
+        let n_nodes = offsets.len() - 1;
+        if let Some(&bad) = targets.iter().find(|&&t| t as usize >= n_nodes) {
+            return Err(GraphError::NodeOutOfRange {
+                node: bad as u64,
+                n_nodes,
+            });
+        }
+        Ok(Self { offsets, targets })
+    }
+
+    /// The CSR offset array (length `n_nodes + 1`).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The CSR target array (length `n_edges`).
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+}
+
+impl GraphStore for CsrGraph {
+    fn n_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn n_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    fn neighbors(&self, node: usize) -> &[u32] {
+        let start = self.offsets[node] as usize;
+        let end = self.offsets[node + 1] as usize;
+        &self.targets[start..end]
+    }
+}
+
+/// Incremental builder that accepts an unordered edge list.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n_nodes: usize,
+    edges: Vec<(u32, u32)>,
+    symmetric: bool,
+}
+
+impl GraphBuilder {
+    /// Start a builder for a graph with `n_nodes` nodes.
+    pub fn new(n_nodes: usize) -> Self {
+        Self {
+            n_nodes,
+            edges: Vec::new(),
+            symmetric: false,
+        }
+    }
+
+    /// Also add the reverse of every edge (use for undirected graphs, e.g.
+    /// before connected components).
+    pub fn symmetric(mut self, yes: bool) -> Self {
+        self.symmetric = yes;
+        self
+    }
+
+    /// Add a directed edge `from → to`.
+    ///
+    /// # Errors
+    /// Fails when either endpoint is out of range.
+    pub fn add_edge(&mut self, from: u32, to: u32) -> Result<()> {
+        for &node in [from, to].iter() {
+            if node as usize >= self.n_nodes {
+                return Err(GraphError::NodeOutOfRange {
+                    node: node as u64,
+                    n_nodes: self.n_nodes,
+                });
+            }
+        }
+        self.edges.push((from, to));
+        if self.symmetric && from != to {
+            self.edges.push((to, from));
+        }
+        Ok(())
+    }
+
+    /// Number of edges added so far (including mirrored ones).
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Build the CSR graph (counting sort by source node).
+    pub fn build(self) -> CsrGraph {
+        let mut degrees = vec![0u64; self.n_nodes];
+        for &(from, _) in &self.edges {
+            degrees[from as usize] += 1;
+        }
+        let mut offsets = vec![0u64; self.n_nodes + 1];
+        for v in 0..self.n_nodes {
+            offsets[v + 1] = offsets[v] + degrees[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; self.edges.len()];
+        for &(from, to) in &self.edges {
+            let slot = cursor[from as usize];
+            targets[slot as usize] = to;
+            cursor[from as usize] += 1;
+        }
+        // Sorted adjacency lists make the layout deterministic and
+        // cache-friendly.
+        for v in 0..self.n_nodes {
+            targets[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        CsrGraph { offsets, targets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn builder_produces_correct_csr() {
+        let g = triangle();
+        assert_eq!(g.n_nodes(), 3);
+        assert_eq!(g.n_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.out_degree(1), 1);
+        assert_eq!(g.offsets(), &[0, 1, 2, 3]);
+        assert_eq!(g.targets(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn symmetric_builder_mirrors_edges() {
+        let mut b = GraphBuilder::new(3).symmetric(true);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 1).unwrap(); // self-loop not mirrored
+        assert_eq!(b.n_edges(), 3);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 1]);
+    }
+
+    #[test]
+    fn out_of_range_edges_are_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(b.add_edge(0, 5), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(b.add_edge(5, 0).is_err());
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        assert!(CsrGraph::from_parts(vec![0, 1], vec![0]).is_ok());
+        assert!(CsrGraph::from_parts(vec![], vec![]).is_err());
+        assert!(CsrGraph::from_parts(vec![1, 1], vec![]).is_err());
+        assert!(CsrGraph::from_parts(vec![0, 2], vec![0]).is_err());
+        assert!(CsrGraph::from_parts(vec![0, 2, 1], vec![0, 0]).is_err());
+        assert!(matches!(
+            CsrGraph::from_parts(vec![0, 1], vec![7]),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_neighbor_lists() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(g.n_edges(), 0);
+        for v in 0..4 {
+            assert!(g.neighbors(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn graph_store_works_through_reference() {
+        let g = triangle();
+        let r: &dyn GraphStore = &g;
+        assert_eq!(r.n_nodes(), 3);
+        assert_eq!((&g).n_edges(), 3);
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic synthetic graph generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::csr::{CsrGraph, GraphBuilder};
+
+/// Erdős–Rényi `G(n, p)` directed graph (self-loops excluded), deterministic
+/// in `seed`.
+pub fn erdos_renyi(n_nodes: usize, p: f64, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n_nodes);
+    for from in 0..n_nodes as u32 {
+        for to in 0..n_nodes as u32 {
+            if from != to && rng.gen::<f64>() < p {
+                builder.add_edge(from, to).expect("endpoints are in range");
+            }
+        }
+    }
+    builder.build()
+}
+
+/// A graph made of `n_components` disjoint rings of `ring_size` nodes each
+/// (undirected, i.e. both edge directions present).  Ground truth for the
+/// connected-components tests.
+pub fn disjoint_rings(n_components: usize, ring_size: usize) -> CsrGraph {
+    assert!(ring_size >= 2, "a ring needs at least two nodes");
+    let n = n_components * ring_size;
+    let mut builder = GraphBuilder::new(n).symmetric(true);
+    for c in 0..n_components {
+        let base = (c * ring_size) as u32;
+        for i in 0..ring_size as u32 {
+            let from = base + i;
+            let to = base + (i + 1) % ring_size as u32;
+            builder.add_edge(from, to).expect("endpoints are in range");
+        }
+    }
+    builder.build()
+}
+
+/// A preferential-attachment-style graph: node `v` links to `out_degree`
+/// earlier nodes chosen with probability proportional to (1 + in-degree),
+/// producing the skewed degree distribution typical of web/social graphs.
+pub fn preferential_attachment(n_nodes: usize, out_degree: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n_nodes);
+    let mut weights = vec![1.0f64; n_nodes];
+    for v in 1..n_nodes {
+        let candidates = v;
+        for _ in 0..out_degree.min(candidates) {
+            let total: f64 = weights[..candidates].iter().sum();
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = 0;
+            for (i, &w) in weights[..candidates].iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            builder.add_edge(v as u32, chosen as u32).expect("in range");
+            weights[chosen] += 1.0;
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphStore;
+
+    #[test]
+    fn erdos_renyi_is_deterministic_and_sized_sensibly() {
+        let a = erdos_renyi(100, 0.05, 3);
+        let b = erdos_renyi(100, 0.05, 3);
+        let c = erdos_renyi(100, 0.05, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let expected = 100.0 * 99.0 * 0.05;
+        assert!((a.n_edges() as f64 - expected).abs() < expected * 0.4);
+        // No self-loops.
+        for v in 0..100 {
+            assert!(!a.neighbors(v).contains(&(v as u32)));
+        }
+    }
+
+    #[test]
+    fn disjoint_rings_structure() {
+        let g = disjoint_rings(3, 4);
+        assert_eq!(g.n_nodes(), 12);
+        assert_eq!(g.n_edges(), 3 * 4 * 2);
+        // Every node in a ring has degree 2.
+        for v in 0..12 {
+            assert_eq!(g.out_degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_has_skewed_degrees() {
+        let g = preferential_attachment(300, 3, 9);
+        let mut in_degrees = vec![0usize; 300];
+        for v in 0..300 {
+            for &t in g.neighbors(v) {
+                in_degrees[t as usize] += 1;
+            }
+        }
+        let max = *in_degrees.iter().max().unwrap();
+        let mean = in_degrees.iter().sum::<usize>() as f64 / 300.0;
+        assert!(max as f64 > mean * 4.0, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_rings_panic() {
+        disjoint_rings(1, 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Memory-mapped CSR graph files.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! offset 0   : magic "M3GRAPH1" (8 bytes)
+//! offset 8   : n_nodes u64
+//! offset 16  : n_edges u64
+//! offset 24  : reserved (40 bytes) — header padded to 64 bytes
+//! offset 64  : offsets — (n_nodes + 1) × u64
+//! then       : targets — n_edges × u32
+//! ```
+//!
+//! Like `m3_core::Dataset`, opening performs no eager reads: a multi-billion
+//! edge graph "opens" instantly and adjacency lists are paged in on demand —
+//! the behaviour the MMap paper [Lin et al. 2014] exploited and the M3 paper
+//! generalises.
+
+use std::fs::OpenOptions;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use memmap2::Mmap;
+
+use crate::csr::CsrGraph;
+use crate::{GraphError, GraphStore, Result};
+
+const MAGIC: [u8; 8] = *b"M3GRAPH1";
+const HEADER_BYTES: usize = 64;
+
+/// Write a CSR graph to a file in the mmap-ready format.
+pub fn write_graph(graph: &CsrGraph, path: impl AsRef<Path>) -> Result<()> {
+    let path = path.as_ref();
+    let file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)
+        .map_err(|e| GraphError::Core(m3_core::CoreError::io(path, e)))?;
+    let mut w = BufWriter::new(file);
+    let write_all = |w: &mut BufWriter<std::fs::File>, bytes: &[u8]| {
+        w.write_all(bytes)
+            .map_err(|e| GraphError::Core(m3_core::CoreError::io(path, e)))
+    };
+
+    let mut header = [0u8; HEADER_BYTES];
+    header[..8].copy_from_slice(&MAGIC);
+    header[8..16].copy_from_slice(&(graph.n_nodes() as u64).to_le_bytes());
+    header[16..24].copy_from_slice(&(graph.n_edges() as u64).to_le_bytes());
+    write_all(&mut w, &header)?;
+    for &o in graph.offsets() {
+        write_all(&mut w, &o.to_le_bytes())?;
+    }
+    for &t in graph.targets() {
+        write_all(&mut w, &t.to_le_bytes())?;
+    }
+    w.flush()
+        .map_err(|e| GraphError::Core(m3_core::CoreError::io(path, e)))?;
+    Ok(())
+}
+
+/// A CSR graph backed by a memory-mapped file.
+#[derive(Debug)]
+pub struct MmapGraph {
+    map: Mmap,
+    n_nodes: usize,
+    n_edges: usize,
+}
+
+impl MmapGraph {
+    /// Open a graph file written by [`write_graph`].
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let file = OpenOptions::new()
+            .read(true)
+            .open(path)
+            .map_err(|e| GraphError::Core(m3_core::CoreError::io(path, e)))?;
+        // SAFETY: read-only mapping of a file we just opened.
+        let map = unsafe { Mmap::map(&file) }
+            .map_err(|e| GraphError::Core(m3_core::CoreError::io(path, e)))?;
+        if map.len() < HEADER_BYTES || map[..8] != MAGIC {
+            return Err(GraphError::BadFormat("missing M3GRAPH1 header".into()));
+        }
+        let n_nodes = u64::from_le_bytes(map[8..16].try_into().unwrap()) as usize;
+        let n_edges = u64::from_le_bytes(map[16..24].try_into().unwrap()) as usize;
+        let needed = HEADER_BYTES + (n_nodes + 1) * 8 + n_edges * 4;
+        if map.len() < needed {
+            return Err(GraphError::BadFormat(format!(
+                "file has {} bytes but the header implies {needed}",
+                map.len()
+            )));
+        }
+        Ok(Self {
+            map,
+            n_nodes,
+            n_edges,
+        })
+    }
+
+    fn offsets(&self) -> &[u64] {
+        let bytes = &self.map[HEADER_BYTES..HEADER_BYTES + (self.n_nodes + 1) * 8];
+        // SAFETY: the mapping is page-aligned and the header is 64 bytes, so
+        // the offsets array is 8-byte aligned; length checked at open time.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u64>(), self.n_nodes + 1) }
+    }
+
+    fn targets_slice(&self) -> &[u32] {
+        let start = HEADER_BYTES + (self.n_nodes + 1) * 8;
+        let bytes = &self.map[start..start + self.n_edges * 4];
+        // SAFETY: start is a multiple of 4 (64 + multiple of 8); length
+        // checked at open time.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), self.n_edges) }
+    }
+
+    /// Copy the graph into an in-memory [`CsrGraph`] (for tests / small
+    /// graphs).
+    pub fn to_csr(&self) -> Result<CsrGraph> {
+        CsrGraph::from_parts(self.offsets().to_vec(), self.targets_slice().to_vec())
+    }
+}
+
+impl GraphStore for MmapGraph {
+    fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    fn neighbors(&self, node: usize) -> &[u32] {
+        let offsets = self.offsets();
+        let start = offsets[node] as usize;
+        let end = offsets[node + 1] as usize;
+        &self.targets_slice()[start..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+    use crate::generate;
+
+    #[test]
+    fn write_then_open_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("tiny.m3g");
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        b.add_edge(3, 0).unwrap();
+        let g = b.build();
+        write_graph(&g, &path).unwrap();
+
+        let m = MmapGraph::open(&path).unwrap();
+        assert_eq!(m.n_nodes(), 4);
+        assert_eq!(m.n_edges(), 3);
+        assert_eq!(m.neighbors(0), &[1, 2]);
+        assert_eq!(m.neighbors(3), &[0]);
+        assert!(m.neighbors(1).is_empty());
+        assert_eq!(m.to_csr().unwrap(), g);
+    }
+
+    #[test]
+    fn random_graph_roundtrip_preserves_every_adjacency_list() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("random.m3g");
+        let g = generate::erdos_renyi(200, 0.02, 7);
+        write_graph(&g, &path).unwrap();
+        let m = MmapGraph::open(&path).unwrap();
+        assert_eq!(m.n_nodes(), g.n_nodes());
+        assert_eq!(m.n_edges(), g.n_edges());
+        for v in 0..g.n_nodes() {
+            assert_eq!(m.neighbors(v), g.neighbors(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn open_rejects_malformed_files() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("bad.m3g");
+        std::fs::write(&path, b"not a graph").unwrap();
+        assert!(MmapGraph::open(&path).is_err());
+
+        // Valid magic but truncated body.
+        let mut header = vec![0u8; HEADER_BYTES];
+        header[..8].copy_from_slice(&MAGIC);
+        header[8..16].copy_from_slice(&100u64.to_le_bytes());
+        header[16..24].copy_from_slice(&1000u64.to_le_bytes());
+        std::fs::write(&path, &header).unwrap();
+        assert!(matches!(MmapGraph::open(&path), Err(GraphError::BadFormat(_))));
+
+        assert!(MmapGraph::open(dir.path().join("missing.m3g")).is_err());
+    }
+}

@@ -1,0 +1,262 @@
+//! BLAS level-2/3 style kernels over matrix views.
+//!
+//! These kernels are intentionally simple, cache-friendly, row-major loops.
+//! They are the compute core used by logistic regression (`X·w`, `Xᵀ·r`) and
+//! k-means (distance evaluation), and they accept [`MatrixView`]s so the same
+//! code path serves heap-allocated and memory-mapped data.
+
+use crate::matrix::DenseMatrix;
+use crate::ops;
+use crate::view::MatrixView;
+
+/// General matrix–vector product: `y = A * x`.
+///
+/// # Panics
+/// Panics when `x.len() != A.n_cols()` or `y.len() != A.n_rows()`.
+pub fn gemv(a: &MatrixView<'_>, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.n_cols(), "gemv: x length must equal n_cols");
+    assert_eq!(y.len(), a.n_rows(), "gemv: y length must equal n_rows");
+    for (r, yr) in y.iter_mut().enumerate() {
+        *yr = ops::dot(a.row(r), x);
+    }
+}
+
+/// Transposed matrix–vector product: `y = Aᵀ * x`.
+///
+/// This is the access pattern of the gradient accumulation step in logistic
+/// regression: a single sequential sweep over the rows of `A`, accumulating
+/// into a dense `y` of length `n_cols`.
+///
+/// # Panics
+/// Panics when `x.len() != A.n_rows()` or `y.len() != A.n_cols()`.
+pub fn gemv_t(a: &MatrixView<'_>, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.n_rows(), "gemv_t: x length must equal n_rows");
+    assert_eq!(y.len(), a.n_cols(), "gemv_t: y length must equal n_cols");
+    ops::fill(y, 0.0);
+    for r in 0..a.n_rows() {
+        ops::axpy(x[r], a.row(r), y);
+    }
+}
+
+/// General matrix–matrix product `C = A * B` into an owned output matrix.
+///
+/// # Panics
+/// Panics when the shapes are inconsistent
+/// (`A: m×k`, `B: k×n`, `C: m×n`).
+pub fn gemm(a: &MatrixView<'_>, b: &MatrixView<'_>, c: &mut DenseMatrix) {
+    assert_eq!(a.n_cols(), b.n_rows(), "gemm: inner dimensions must agree");
+    assert_eq!(c.n_rows(), a.n_rows(), "gemm: output rows must equal A rows");
+    assert_eq!(c.n_cols(), b.n_cols(), "gemm: output cols must equal B cols");
+    let n = b.n_cols();
+    // i-k-j loop ordering keeps the innermost traversal contiguous in both
+    // B and C, which matters for the wide (784-column) matrices M3 targets.
+    for i in 0..a.n_rows() {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        ops::fill(c_row, 0.0);
+        for (k, &aik) in a_row.iter().enumerate() {
+            let b_row = b.row(k);
+            for j in 0..n {
+                c_row[j] += aik * b_row[j];
+            }
+        }
+    }
+}
+
+/// Gram matrix `G = Aᵀ A` (symmetric `n_cols × n_cols`).
+///
+/// Used by the ridge/linear-regression normal-equation solver.  Only a single
+/// sequential pass over the rows of `A` is made, so the kernel is
+/// mmap-friendly.
+pub fn gram(a: &MatrixView<'_>) -> DenseMatrix {
+    let d = a.n_cols();
+    let mut g = DenseMatrix::zeros(d, d);
+    for r in 0..a.n_rows() {
+        let row = a.row(r);
+        for i in 0..d {
+            let xi = row[i];
+            if xi == 0.0 {
+                continue;
+            }
+            let g_row = g.row_mut(i);
+            for j in 0..d {
+                g_row[j] += xi * row[j];
+            }
+        }
+    }
+    g
+}
+
+/// Rank-1 update `A += alpha * x * yᵀ` on an owned matrix.
+///
+/// # Panics
+/// Panics when `x.len() != A.n_rows()` or `y.len() != A.n_cols()`.
+pub fn ger(a: &mut DenseMatrix, alpha: f64, x: &[f64], y: &[f64]) {
+    assert_eq!(x.len(), a.n_rows(), "ger: x length must equal n_rows");
+    assert_eq!(y.len(), a.n_cols(), "ger: y length must equal n_cols");
+    for (r, &xr) in x.iter().enumerate() {
+        let row = a.row_mut(r);
+        for (c, &yc) in y.iter().enumerate() {
+            row[c] += alpha * xr * yc;
+        }
+    }
+}
+
+/// Solve the symmetric positive-definite system `A x = b` via Cholesky
+/// factorisation.  Returns `None` when the matrix is not positive definite
+/// (within a small numerical tolerance).
+///
+/// Used by the linear-regression normal-equation path; `A` is the (ridge
+/// regularised) Gram matrix, so SPD is the expected case.
+pub fn cholesky_solve(a: &DenseMatrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.n_rows();
+    assert_eq!(a.n_cols(), n, "cholesky_solve: matrix must be square");
+    assert_eq!(b.len(), n, "cholesky_solve: rhs length must equal n");
+
+    // Lower-triangular factor L with A = L Lᵀ, stored densely.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j);
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 1e-14 {
+                    return None;
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseMatrix;
+
+    fn a23() -> DenseMatrix {
+        DenseMatrix::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3).unwrap()
+    }
+
+    #[test]
+    fn gemv_matches_manual() {
+        let a = a23();
+        let mut y = [0.0; 2];
+        gemv(&a.view(), &[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, [6.0, 15.0]);
+    }
+
+    #[test]
+    fn gemv_t_matches_manual() {
+        let a = a23();
+        let mut y = [0.0; 3];
+        gemv_t(&a.view(), &[1.0, 2.0], &mut y);
+        // y = 1*[1,2,3] + 2*[4,5,6] = [9,12,15]
+        assert_eq!(y, [9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn gemv_t_is_transpose_of_gemv() {
+        let a = a23();
+        let t = a.transpose();
+        let x = [0.5, -1.0];
+        let mut y1 = [0.0; 3];
+        gemv_t(&a.view(), &x, &mut y1);
+        let mut y2 = [0.0; 3];
+        gemv(&t.view(), &x, &mut y2);
+        assert!(crate::ops::approx_eq(&y1, &y2, 1e-12));
+    }
+
+    #[test]
+    fn gemm_matches_known_product() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let mut c = DenseMatrix::zeros(2, 2);
+        gemm(&a.view(), &b.view(), &mut c);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gram_is_at_a() {
+        let a = a23();
+        let g = gram(&a.view());
+        let expected = a.transpose().matmul(&a).unwrap();
+        assert!(crate::ops::approx_eq(g.as_slice(), expected.as_slice(), 1e-12));
+        // Gram matrices are symmetric.
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((g.get(i, j) - g.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_skips_zero_entries_correctly() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 2.0], &[3.0, 0.0]]).unwrap();
+        let g = gram(&a.view());
+        assert_eq!(g.as_slice(), &[9.0, 0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn ger_rank1_update() {
+        let mut a = DenseMatrix::zeros(2, 3);
+        ger(&mut a, 2.0, &[1.0, 2.0], &[1.0, 0.0, 1.0]);
+        assert_eq!(a.as_slice(), &[2.0, 0.0, 2.0, 4.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        // A = [[4, 2], [2, 3]], b = [10, 8] -> x = [1.75, 1.5]
+        let a = DenseMatrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]).unwrap();
+        let x = cholesky_solve(&a, &[10.0, 8.0]).unwrap();
+        assert!((x[0] - 1.75).abs() < 1e-10);
+        assert!((x[1] - 1.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite_matrix() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        assert!(cholesky_solve(&a, &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn cholesky_identity_returns_rhs() {
+        let a = DenseMatrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.0];
+        let x = cholesky_solve(&a, &b).unwrap();
+        assert!(crate::ops::approx_eq(&x, &b, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "gemv")]
+    fn gemv_shape_mismatch_panics() {
+        let a = a23();
+        let mut y = [0.0; 2];
+        gemv(&a.view(), &[1.0, 1.0], &mut y);
+    }
+}

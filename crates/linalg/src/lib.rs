@@ -1,0 +1,127 @@
+//! # m3-linalg — dense linear-algebra substrate for the M3 reproduction
+//!
+//! The original M3 system (Fang & Chau, SIGMOD 2016) modified
+//! [mlpack](https://mlpack.org), which in turn builds on the Armadillo dense
+//! linear-algebra library.  This crate is the from-scratch Rust substrate that
+//! plays Armadillo's role: owned dense matrices and vectors, borrowed
+//! row-major views, BLAS-level-1/2 kernels, column statistics and a small
+//! chunked parallel map-reduce helper used by every algorithm in `m3-ml`.
+//!
+//! Everything is `f64` and row-major, matching the paper's dataset layout
+//! (784 features × 8 bytes = 6 272 bytes per image row).
+//!
+//! ## Layout conventions
+//!
+//! * A matrix with `n_rows` rows and `n_cols` columns is stored as a single
+//!   contiguous `[f64]` of length `n_rows * n_cols`, row-major: element
+//!   `(r, c)` lives at index `r * n_cols + c`.
+//! * Borrowed data is handled through [`MatrixView`], so algorithms can run
+//!   identically over heap memory and over memory-mapped regions exposed by
+//!   `m3-core` — which is exactly the property the M3 paper relies on.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use m3_linalg::{DenseMatrix, Vector, blas};
+//!
+//! let x = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+//! let w = Vector::from_slice(&[0.5, -0.5]);
+//! let mut out = Vector::zeros(2);
+//! blas::gemv(&x.view(), w.as_slice(), out.as_mut_slice());
+//! assert_eq!(out.as_slice(), &[-0.5, -0.5]);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod blas;
+pub mod matrix;
+pub mod norm;
+pub mod ops;
+pub mod parallel;
+pub mod reduce;
+pub mod stats;
+pub mod vector;
+pub mod view;
+
+pub use matrix::DenseMatrix;
+pub use vector::Vector;
+pub use view::{MatrixView, MatrixViewMut};
+
+/// Errors produced by shape checks in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape.
+        expected: String,
+        /// Human-readable description of the shape that was found.
+        found: String,
+    },
+    /// A matrix constructor was given a buffer whose length does not equal
+    /// `rows * cols`.
+    BadBufferLength {
+        /// Number of rows requested.
+        rows: usize,
+        /// Number of columns requested.
+        cols: usize,
+        /// Length of the supplied buffer.
+        len: usize,
+    },
+    /// An operation that requires a non-empty matrix or vector received an
+    /// empty one.
+    Empty,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::BadBufferLength { rows, cols, len } => write!(
+                f,
+                "buffer of length {len} cannot hold a {rows}x{cols} matrix ({} elements)",
+                rows * cols
+            ),
+            LinalgError::Empty => write!(f, "operation requires a non-empty operand"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_mentions_shapes() {
+        let e = LinalgError::DimensionMismatch {
+            expected: "3x2".into(),
+            found: "2x3".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("3x2") && msg.contains("2x3"));
+    }
+
+    #[test]
+    fn error_display_bad_buffer() {
+        let e = LinalgError::BadBufferLength {
+            rows: 2,
+            cols: 3,
+            len: 5,
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&LinalgError::Empty);
+    }
+}

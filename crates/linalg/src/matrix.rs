@@ -1,0 +1,369 @@
+//! Owned dense row-major matrix.
+
+use crate::view::{MatrixView, MatrixViewMut};
+use crate::{LinalgError, Result, Vector};
+
+/// An owned, heap-allocated, row-major dense matrix of `f64`.
+///
+/// `DenseMatrix` is the "original code" side of the paper's Table 1: an
+/// in-memory data structure that existing algorithms use.  The M3 side is
+/// `m3_core::MmapMatrix`, which exposes exactly the same row-major contract so
+/// the two are interchangeable behind `m3_core::RowStore`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    data: Vec<f64>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl DenseMatrix {
+    /// Create a matrix of zeros.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Self {
+            data: vec![0.0; n_rows * n_cols],
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Create a matrix filled with `value`.
+    pub fn filled(n_rows: usize, n_cols: usize, value: f64) -> Self {
+        Self {
+            data: vec![value; n_rows * n_cols],
+            n_rows,
+            n_cols,
+        }
+    }
+
+    /// Build a matrix from a row-major `Vec`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::BadBufferLength`] when `data.len() != n_rows * n_cols`.
+    pub fn from_vec(data: Vec<f64>, n_rows: usize, n_cols: usize) -> Result<Self> {
+        if data.len() != n_rows * n_cols {
+            return Err(LinalgError::BadBufferLength {
+                rows: n_rows,
+                cols: n_cols,
+                len: data.len(),
+            });
+        }
+        Ok(Self {
+            data,
+            n_rows,
+            n_cols,
+        })
+    }
+
+    /// Build a matrix by copying a set of equally-long row slices.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] if the rows have different
+    /// lengths and [`LinalgError::Empty`] if no rows are given.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        let first = rows.first().ok_or(LinalgError::Empty)?;
+        let n_cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * n_cols);
+        for row in rows {
+            if row.len() != n_cols {
+                return Err(LinalgError::DimensionMismatch {
+                    expected: format!("rows of length {n_cols}"),
+                    found: format!("row of length {}", row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self {
+            data,
+            n_rows: rows.len(),
+            n_cols,
+        })
+    }
+
+    /// The identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n_rows, self.n_cols)
+    }
+
+    /// Total number of stored elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the matrix and return the row-major buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Element `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n_rows && col < self.n_cols, "index out of bounds");
+        self.data[row * self.n_cols + col]
+    }
+
+    /// Set element `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n_rows && col < self.n_cols, "index out of bounds");
+        self.data[row * self.n_cols + col] = value;
+    }
+
+    /// Borrow row `row`.
+    ///
+    /// # Panics
+    /// Panics when `row >= n_rows`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.n_rows, "row {row} out of bounds ({})", self.n_rows);
+        &self.data[row * self.n_cols..(row + 1) * self.n_cols]
+    }
+
+    /// Mutably borrow row `row`.
+    ///
+    /// # Panics
+    /// Panics when `row >= n_rows`.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        assert!(row < self.n_rows, "row {row} out of bounds ({})", self.n_rows);
+        &mut self.data[row * self.n_cols..(row + 1) * self.n_cols]
+    }
+
+    /// Copy a row into a [`Vector`].
+    pub fn row_vector(&self, row: usize) -> Vector {
+        Vector::from_slice(self.row(row))
+    }
+
+    /// Copy column `col` into a `Vec`.
+    ///
+    /// # Panics
+    /// Panics when `col >= n_cols`.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        assert!(col < self.n_cols, "col {col} out of bounds ({})", self.n_cols);
+        (0..self.n_rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// Borrow the whole matrix as a [`MatrixView`].
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView::new(&self.data, self.n_rows, self.n_cols)
+            .expect("owned matrix maintains the shape invariant")
+    }
+
+    /// Borrow the whole matrix as a mutable view.
+    pub fn view_mut(&mut self) -> MatrixViewMut<'_> {
+        MatrixViewMut::new(&mut self.data, self.n_rows, self.n_cols)
+            .expect("owned matrix maintains the shape invariant")
+    }
+
+    /// Iterate over rows as slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks_exact(self.n_cols.max(1)).take(self.n_rows)
+    }
+
+    /// Append a row to the bottom of the matrix.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when `row.len() != n_cols`
+    /// (unless the matrix is still empty, in which case the row defines the
+    /// column count).
+    pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
+        if self.n_rows == 0 && self.n_cols == 0 {
+            self.n_cols = row.len();
+        } else if row.len() != self.n_cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("row of length {}", self.n_cols),
+                found: format!("row of length {}", row.len()),
+            });
+        }
+        self.data.extend_from_slice(row);
+        self.n_rows += 1;
+        Ok(())
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.n_cols, self.n_rows);
+        for r in 0..self.n_rows {
+            for c in 0..self.n_cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm (square root of the sum of squared entries).
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Matrix–vector product `self * x` returning a fresh [`Vector`].
+    ///
+    /// # Panics
+    /// Panics when `x.len() != n_cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vector {
+        let mut out = Vector::zeros(self.n_rows);
+        crate::blas::gemv(&self.view(), x, out.as_mut_slice());
+        out
+    }
+
+    /// Matrix–matrix product `self * other`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.n_cols != other.n_rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("{} rows on the right-hand side", self.n_cols),
+                found: format!("{} rows", other.n_rows),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.n_rows, other.n_cols);
+        crate::blas::gemm(&self.view(), &other.view(), &mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2, 3).unwrap()
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(DenseMatrix::zeros(2, 2).as_slice(), &[0.0; 4]);
+        assert_eq!(DenseMatrix::filled(1, 3, 2.0).as_slice(), &[2.0; 3]);
+        let id = DenseMatrix::identity(3);
+        assert_eq!(id.get(1, 1), 1.0);
+        assert_eq!(id.get(1, 2), 0.0);
+        assert!(DenseMatrix::from_vec(vec![1.0], 1, 2).is_err());
+        assert!(DenseMatrix::from_rows(&[]).is_err());
+        assert!(DenseMatrix::from_rows(&[&[1.0, 2.0], &[1.0]]).is_err());
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let m = sample();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_empty());
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.column(2), vec![3.0, 6.0]);
+        assert_eq!(m.row_vector(1).as_slice(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn mutation() {
+        let mut m = sample();
+        m.set(0, 0, 10.0);
+        assert_eq!(m.get(0, 0), 10.0);
+        m.row_mut(1)[0] = 40.0;
+        assert_eq!(m.get(1, 0), 40.0);
+        m.as_mut_slice()[5] = 60.0;
+        assert_eq!(m.get(1, 2), 60.0);
+    }
+
+    #[test]
+    fn push_row_grows_matrix() {
+        let mut m = DenseMatrix::zeros(0, 0);
+        m.push_row(&[1.0, 2.0]).unwrap();
+        m.push_row(&[3.0, 4.0]).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+        assert!(m.push_row(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_manual() {
+        let m = DenseMatrix::from_vec(vec![3.0, 4.0], 1, 2).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_and_matmul() {
+        let m = sample();
+        let y = m.matvec(&[1.0, 0.0, -1.0]);
+        assert_eq!(y.as_slice(), &[-2.0, -2.0]);
+
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+        assert!(sample().matmul(&a).is_err());
+    }
+
+    #[test]
+    fn row_iter_counts_rows() {
+        let m = sample();
+        assert_eq!(m.row_iter().count(), 2);
+        let empty = DenseMatrix::zeros(0, 0);
+        assert_eq!(empty.row_iter().count(), 0);
+    }
+
+    #[test]
+    fn views_reflect_data() {
+        let mut m = sample();
+        assert_eq!(m.view().get(1, 1), 5.0);
+        m.view_mut().set(1, 1, 50.0);
+        assert_eq!(m.get(1, 1), 50.0);
+        assert_eq!(m.clone().into_vec().len(), 6);
+    }
+}

@@ -1,0 +1,88 @@
+//! Vector norms and normalisation helpers.
+
+/// L1 norm (sum of absolute values).
+#[inline]
+pub fn l1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// L2 (Euclidean) norm.
+#[inline]
+pub fn l2(x: &[f64]) -> f64 {
+    l2_squared(x).sqrt()
+}
+
+/// Squared L2 norm.
+#[inline]
+pub fn l2_squared(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// L∞ norm (maximum absolute value); `0.0` for an empty slice.
+#[inline]
+pub fn linf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+}
+
+/// Normalise `x` to unit L2 norm in place.  Vectors whose norm is below
+/// `1e-300` are left untouched to avoid dividing by (near) zero.
+pub fn normalize_l2(x: &mut [f64]) {
+    let n = l2(x);
+    if n > 1e-300 {
+        for v in x.iter_mut() {
+            *v /= n;
+        }
+    }
+}
+
+/// Euclidean distance between the L2-normalised versions of `a` and `b`
+/// (cosine-like dissimilarity in [0, 2]).
+pub fn normalized_distance(a: &[f64], b: &[f64]) -> f64 {
+    let mut av = a.to_vec();
+    let mut bv = b.to_vec();
+    normalize_l2(&mut av);
+    normalize_l2(&mut bv);
+    crate::ops::distance(&av, &bv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_of_simple_vector() {
+        let x = [3.0, -4.0];
+        assert_eq!(l1(&x), 7.0);
+        assert_eq!(l2(&x), 5.0);
+        assert_eq!(l2_squared(&x), 25.0);
+        assert_eq!(linf(&x), 4.0);
+    }
+
+    #[test]
+    fn norms_of_empty_vector() {
+        assert_eq!(l1(&[]), 0.0);
+        assert_eq!(l2(&[]), 0.0);
+        assert_eq!(linf(&[]), 0.0);
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut x = [3.0, 4.0];
+        normalize_l2(&mut x);
+        assert!((l2(&x) - 1.0).abs() < 1e-12);
+        assert!((x[0] - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_leaves_zero_vector_alone() {
+        let mut x = [0.0, 0.0];
+        normalize_l2(&mut x);
+        assert_eq!(x, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalized_distance_of_parallel_vectors_is_zero() {
+        assert!(normalized_distance(&[1.0, 1.0], &[5.0, 5.0]) < 1e-12);
+        assert!((normalized_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-12);
+    }
+}

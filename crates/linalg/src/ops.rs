@@ -1,0 +1,325 @@
+//! Element-wise slice operations (BLAS level 1).
+//!
+//! These free functions operate directly on `&[f64]` / `&mut [f64]` so they
+//! work unchanged over heap-allocated vectors and over memory-mapped slices —
+//! the property M3 depends on.  All functions assert matching lengths in debug
+//! builds and use simple loops the compiler auto-vectorises in release builds.
+
+/// Dot product of two equally-long slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    // Manual 4-way unrolling gives the optimiser independent accumulation
+    // chains without requiring unsafe code.
+    let mut acc0 = 0.0;
+    let mut acc1 = 0.0;
+    let mut acc2 = 0.0;
+    let mut acc3 = 0.0;
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc0 += a[j] * b[j];
+        acc1 += a[j + 1] * b[j + 1];
+        acc2 += a[j + 2] * b[j + 2];
+        acc3 += a[j + 3] * b[j + 3];
+    }
+    let mut acc = acc0 + acc1 + acc2 + acc3;
+    for j in chunks * 4..a.len() {
+        acc += a[j] * b[j];
+    }
+    acc
+}
+
+/// `y += alpha * x` (the classic BLAS `axpy`).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// `x *= alpha` in place.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise addition `out = a + b`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn add(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    assert_eq!(a.len(), out.len(), "add: output length mismatch");
+    for i in 0..a.len() {
+        out[i] = a[i] + b[i];
+    }
+}
+
+/// Element-wise subtraction `out = a - b`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    assert_eq!(a.len(), out.len(), "sub: output length mismatch");
+    for i in 0..a.len() {
+        out[i] = a[i] - b[i];
+    }
+}
+
+/// In-place element-wise addition `a += b`.
+#[inline]
+pub fn add_assign(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "add_assign: length mismatch");
+    for (ai, bi) in a.iter_mut().zip(b.iter()) {
+        *ai += *bi;
+    }
+}
+
+/// In-place element-wise subtraction `a -= b`.
+#[inline]
+pub fn sub_assign(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "sub_assign: length mismatch");
+    for (ai, bi) in a.iter_mut().zip(b.iter()) {
+        *ai -= *bi;
+    }
+}
+
+/// Element-wise (Hadamard) product `out = a ⊙ b`.
+#[inline]
+pub fn hadamard(a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "hadamard: length mismatch");
+    assert_eq!(a.len(), out.len(), "hadamard: output length mismatch");
+    for i in 0..a.len() {
+        out[i] = a[i] * b[i];
+    }
+}
+
+/// Fill a slice with a constant value.
+#[inline]
+pub fn fill(x: &mut [f64], value: f64) {
+    for xi in x.iter_mut() {
+        *xi = value;
+    }
+}
+
+/// Copy `src` into `dst`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "copy: length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// Sum of all elements.
+#[inline]
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Arithmetic mean; returns `0.0` for an empty slice.
+#[inline]
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        sum(x) / x.len() as f64
+    }
+}
+
+/// Linear combination `out = alpha * a + beta * b`.
+#[inline]
+pub fn lincomb(alpha: f64, a: &[f64], beta: f64, b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "lincomb: length mismatch");
+    assert_eq!(a.len(), out.len(), "lincomb: output length mismatch");
+    for i in 0..a.len() {
+        out[i] = alpha * a[i] + beta * b[i];
+    }
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    let mut acc = 0.0;
+    for i in 0..a.len() {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance between two points.
+#[inline]
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_distance(a, b).sqrt()
+}
+
+/// Index and value of the maximum element.  Returns `None` on an empty slice.
+/// Ties resolve to the lowest index, and NaN values are never selected unless
+/// every element is NaN.
+#[inline]
+pub fn argmax(x: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        match best {
+            None => best = Some((i, v)),
+            Some((_, bv)) if v > bv || bv.is_nan() => best = Some((i, v)),
+            _ => {}
+        }
+    }
+    best
+}
+
+/// Index and value of the minimum element.  Returns `None` on an empty slice.
+#[inline]
+pub fn argmin(x: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        match best {
+            None => best = Some((i, v)),
+            Some((_, bv)) if v < bv || bv.is_nan() => best = Some((i, v)),
+            _ => {}
+        }
+    }
+    best
+}
+
+/// Returns `true` when every pair of elements differs by at most `tol`.
+#[inline]
+pub fn approx_eq(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| (x - y).abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f64> = (0..17).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..17).map(|i| (i * 2) as f64).collect();
+        let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [1.0, -2.0, 4.0];
+        scale(0.5, &mut x);
+        assert_eq!(x, [0.5, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        let mut s = [0.0; 3];
+        let mut d = [0.0; 3];
+        add(&a, &b, &mut s);
+        sub(&s, &b, &mut d);
+        assert!(approx_eq(&a, &d, 1e-12));
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign() {
+        let mut a = [1.0, 1.0];
+        add_assign(&mut a, &[2.0, 3.0]);
+        assert_eq!(a, [3.0, 4.0]);
+        sub_assign(&mut a, &[1.0, 1.0]);
+        assert_eq!(a, [2.0, 3.0]);
+    }
+
+    #[test]
+    fn hadamard_product() {
+        let mut out = [0.0; 3];
+        hadamard(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &mut out);
+        assert_eq!(out, [4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn fill_and_copy() {
+        let mut x = [0.0; 4];
+        fill(&mut x, 7.0);
+        assert_eq!(x, [7.0; 4]);
+        let mut y = [0.0; 4];
+        copy(&x, &mut y);
+        assert_eq!(y, [7.0; 4]);
+    }
+
+    #[test]
+    fn sum_and_mean() {
+        assert_eq!(sum(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn lincomb_combines() {
+        let mut out = [0.0; 2];
+        lincomb(2.0, &[1.0, 2.0], -1.0, &[3.0, 1.0], &mut out);
+        assert_eq!(out, [-1.0, 3.0]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn argmax_argmin_basic() {
+        let x = [3.0, -1.0, 7.0, 7.0, 0.0];
+        assert_eq!(argmax(&x), Some((2, 7.0)));
+        assert_eq!(argmin(&x), Some((1, -1.0)));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn argmax_skips_nan_when_possible() {
+        let x = [f64::NAN, 2.0, 1.0];
+        assert_eq!(argmax(&x).unwrap().0, 1);
+        assert_eq!(argmin(&x).unwrap().0, 2);
+    }
+
+    #[test]
+    fn approx_eq_respects_tolerance() {
+        assert!(approx_eq(&[1.0], &[1.0 + 1e-12], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.1], 1e-9));
+        assert!(!approx_eq(&[1.0], &[1.0, 2.0], 1e-9));
+    }
+}

@@ -1,0 +1,231 @@
+//! Chunked parallel map-reduce over row ranges.
+//!
+//! The M3 workloads (logistic-regression gradients, k-means assignment) are
+//! embarrassingly parallel over rows: each thread sweeps a contiguous row
+//! range and produces a partial result that is then merged.  Contiguous
+//! ranges matter because they preserve the sequential access pattern the OS
+//! page cache and read-ahead optimise for — splitting rows round-robin would
+//! turn the mmap-friendly scan into random access.
+//!
+//! The helpers here are built on [`std::thread::scope`] so borrowed
+//! (including memory-mapped) data can be shared without `Arc`.
+
+/// A contiguous range of row indices `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowRange {
+    /// First row in the range (inclusive).
+    pub start: usize,
+    /// One past the last row in the range (exclusive).
+    pub end: usize,
+}
+
+impl RowRange {
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the range covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Split `n_rows` rows into at most `n_chunks` contiguous, near-equal ranges.
+///
+/// The first `n_rows % n_chunks` ranges receive one extra row, so the sizes
+/// differ by at most one.  Returns an empty vector when `n_rows == 0`, and
+/// treats `n_chunks == 0` as `1`.
+pub fn split_rows(n_rows: usize, n_chunks: usize) -> Vec<RowRange> {
+    if n_rows == 0 {
+        return Vec::new();
+    }
+    let n_chunks = n_chunks.max(1).min(n_rows);
+    let base = n_rows / n_chunks;
+    let extra = n_rows % n_chunks;
+    let mut ranges = Vec::with_capacity(n_chunks);
+    let mut start = 0;
+    for i in 0..n_chunks {
+        let len = base + usize::from(i < extra);
+        ranges.push(RowRange {
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    debug_assert_eq!(start, n_rows);
+    ranges
+}
+
+/// Default degree of parallelism: the number of available hardware threads,
+/// falling back to `1` when it cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `map` over each contiguous row chunk in parallel and fold the partial
+/// results with `reduce`.
+///
+/// * `n_rows` — total number of rows to cover.
+/// * `n_threads` — number of worker threads (clamped to at least one and at
+///   most `n_rows`); pass [`default_threads()`] for a sensible default.
+/// * `map` — computes a partial result for one [`RowRange`]; it must be
+///   `Sync` because every thread borrows it.
+/// * `identity` — the neutral element the reduction starts from.
+/// * `reduce` — merges a partial result into the accumulator.
+///
+/// When `n_threads <= 1` or there is a single chunk, everything runs on the
+/// calling thread with no thread spawn at all.
+pub fn par_chunked_map_reduce<T, M, R>(
+    n_rows: usize,
+    n_threads: usize,
+    map: M,
+    identity: T,
+    mut reduce: R,
+) -> T
+where
+    T: Send,
+    M: Fn(RowRange) -> T + Sync,
+    R: FnMut(T, T) -> T,
+{
+    let ranges = split_rows(n_rows, n_threads);
+    if ranges.is_empty() {
+        return identity;
+    }
+    if ranges.len() == 1 {
+        return reduce(identity, map(ranges[0]));
+    }
+
+    let mut partials: Vec<Option<T>> = Vec::with_capacity(ranges.len());
+    partials.resize_with(ranges.len(), || None);
+
+    std::thread::scope(|scope| {
+        let map_ref = &map;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for (slot, range) in partials.iter_mut().zip(ranges.iter().copied()) {
+            handles.push(scope.spawn(move || {
+                *slot = Some(map_ref(range));
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("parallel map worker panicked");
+        }
+    });
+
+    let mut acc = identity;
+    for partial in partials.into_iter().flatten() {
+        acc = reduce(acc, partial);
+    }
+    acc
+}
+
+/// Run `f` once per contiguous row chunk in parallel, for side-effecting work
+/// that does not produce a partial result (e.g. filling disjoint slices of an
+/// output buffer).
+pub fn par_chunked_for_each<F>(n_rows: usize, n_threads: usize, f: F)
+where
+    F: Fn(RowRange) + Sync,
+{
+    par_chunked_map_reduce(n_rows, n_threads, |r| f(r), (), |_, _| ());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn split_rows_covers_everything_once() {
+        let ranges = split_rows(10, 3);
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges[0], RowRange { start: 0, end: 4 });
+        assert_eq!(ranges[1], RowRange { start: 4, end: 7 });
+        assert_eq!(ranges[2], RowRange { start: 7, end: 10 });
+        assert_eq!(ranges.iter().map(RowRange::len).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn split_rows_edge_cases() {
+        assert!(split_rows(0, 4).is_empty());
+        assert_eq!(split_rows(3, 0), split_rows(3, 1));
+        // More chunks than rows collapses to one chunk per row.
+        let r = split_rows(2, 8);
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|x| x.len() == 1));
+        assert!(!r[0].is_empty());
+    }
+
+    #[test]
+    fn map_reduce_sums_rows() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let total = par_chunked_map_reduce(
+            data.len(),
+            4,
+            |range| data[range.start..range.end].iter().sum::<f64>(),
+            0.0,
+            |a, b| a + b,
+        );
+        assert_eq!(total, data.iter().sum::<f64>());
+    }
+
+    #[test]
+    fn map_reduce_single_thread_path() {
+        let total = par_chunked_map_reduce(5, 1, |r| r.len(), 0usize, |a, b| a + b);
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn map_reduce_empty_input_returns_identity() {
+        let total = par_chunked_map_reduce(0, 4, |_| 1usize, 42usize, |a, b| a + b);
+        assert_eq!(total, 42);
+    }
+
+    #[test]
+    fn for_each_visits_all_rows_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        par_chunked_for_each(100, 7, |range| {
+            counter.fetch_add(range.len(), Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_vector_accumulation() {
+        // Simulates the logistic-regression partial-gradient pattern:
+        // each chunk produces a vector that is then element-wise summed.
+        let rows = 64;
+        let cols = 8;
+        let data: Vec<f64> = (0..rows * cols).map(|i| (i % 13) as f64).collect();
+        let serial = {
+            let mut acc = vec![0.0; cols];
+            for r in 0..rows {
+                crate::ops::add_assign(&mut acc, &data[r * cols..(r + 1) * cols]);
+            }
+            acc
+        };
+        let parallel = par_chunked_map_reduce(
+            rows,
+            4,
+            |range| {
+                let mut acc = vec![0.0; cols];
+                for r in range.start..range.end {
+                    crate::ops::add_assign(&mut acc, &data[r * cols..(r + 1) * cols]);
+                }
+                acc
+            },
+            vec![0.0; cols],
+            |mut a, b| {
+                crate::ops::add_assign(&mut a, &b);
+                a
+            },
+        );
+        assert!(crate::ops::approx_eq(&serial, &parallel, 1e-12));
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Row- and column-wise reductions over matrix views.
+//!
+//! Every reduction makes a single forward pass over the rows, which is the
+//! sequential-scan pattern the M3 paper identifies as the mmap-friendly
+//! workload (the OS read-ahead hides most of the I/O latency).
+
+use crate::view::MatrixView;
+
+/// Per-column sums (length `n_cols`).
+pub fn column_sums(a: &MatrixView<'_>) -> Vec<f64> {
+    let mut sums = vec![0.0; a.n_cols()];
+    for r in 0..a.n_rows() {
+        crate::ops::add_assign(&mut sums, a.row(r));
+    }
+    sums
+}
+
+/// Per-column means (length `n_cols`); all zeros when the matrix has no rows.
+pub fn column_means(a: &MatrixView<'_>) -> Vec<f64> {
+    let mut sums = column_sums(a);
+    if a.n_rows() > 0 {
+        let inv = 1.0 / a.n_rows() as f64;
+        crate::ops::scale(inv, &mut sums);
+    }
+    sums
+}
+
+/// Per-column (population) variances.
+pub fn column_variances(a: &MatrixView<'_>) -> Vec<f64> {
+    let means = column_means(a);
+    let mut acc = vec![0.0; a.n_cols()];
+    for r in 0..a.n_rows() {
+        let row = a.row(r);
+        for c in 0..a.n_cols() {
+            let d = row[c] - means[c];
+            acc[c] += d * d;
+        }
+    }
+    if a.n_rows() > 0 {
+        let inv = 1.0 / a.n_rows() as f64;
+        crate::ops::scale(inv, &mut acc);
+    }
+    acc
+}
+
+/// Per-row sums (length `n_rows`).
+pub fn row_sums(a: &MatrixView<'_>) -> Vec<f64> {
+    (0..a.n_rows()).map(|r| crate::ops::sum(a.row(r))).collect()
+}
+
+/// Per-row means (length `n_rows`).
+pub fn row_means(a: &MatrixView<'_>) -> Vec<f64> {
+    (0..a.n_rows()).map(|r| crate::ops::mean(a.row(r))).collect()
+}
+
+/// Per-column minimum and maximum, returned as `(mins, maxs)`.
+pub fn column_min_max(a: &MatrixView<'_>) -> (Vec<f64>, Vec<f64>) {
+    let mut mins = vec![f64::INFINITY; a.n_cols()];
+    let mut maxs = vec![f64::NEG_INFINITY; a.n_cols()];
+    for r in 0..a.n_rows() {
+        let row = a.row(r);
+        for c in 0..a.n_cols() {
+            if row[c] < mins[c] {
+                mins[c] = row[c];
+            }
+            if row[c] > maxs[c] {
+                maxs[c] = row[c];
+            }
+        }
+    }
+    (mins, maxs)
+}
+
+/// Sum of every element in the matrix.
+pub fn total_sum(a: &MatrixView<'_>) -> f64 {
+    crate::ops::sum(a.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseMatrix;
+
+    fn m() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn column_reductions() {
+        let m = m();
+        assert_eq!(column_sums(&m.view()), vec![9.0, 12.0]);
+        assert_eq!(column_means(&m.view()), vec![3.0, 4.0]);
+        let var = column_variances(&m.view());
+        assert!((var[0] - 8.0 / 3.0).abs() < 1e-12);
+        assert!((var[1] - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_reductions() {
+        let m = m();
+        assert_eq!(row_sums(&m.view()), vec![3.0, 7.0, 11.0]);
+        assert_eq!(row_means(&m.view()), vec![1.5, 3.5, 5.5]);
+    }
+
+    #[test]
+    fn min_max_and_total() {
+        let m = m();
+        let (mins, maxs) = column_min_max(&m.view());
+        assert_eq!(mins, vec![1.0, 2.0]);
+        assert_eq!(maxs, vec![5.0, 6.0]);
+        assert_eq!(total_sum(&m.view()), 21.0);
+    }
+
+    #[test]
+    fn empty_matrix_reductions_are_safe() {
+        let e = DenseMatrix::zeros(0, 3);
+        assert_eq!(column_sums(&e.view()), vec![0.0; 3]);
+        assert_eq!(column_means(&e.view()), vec![0.0; 3]);
+        assert_eq!(column_variances(&e.view()), vec![0.0; 3]);
+        assert!(row_sums(&e.view()).is_empty());
+    }
+}

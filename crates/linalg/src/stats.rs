@@ -1,0 +1,255 @@
+//! Column statistics and feature standardisation.
+
+use crate::reduce;
+use crate::view::MatrixView;
+
+/// Summary statistics of every column of a matrix, computed in one pass
+/// pattern (sequential row sweep) so it can run over memory-mapped data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Per-column means.
+    pub mean: Vec<f64>,
+    /// Per-column population standard deviations.
+    pub std_dev: Vec<f64>,
+    /// Per-column minima.
+    pub min: Vec<f64>,
+    /// Per-column maxima.
+    pub max: Vec<f64>,
+    /// Number of rows the statistics were computed from.
+    pub n_rows: usize,
+}
+
+impl ColumnStats {
+    /// Compute statistics from a matrix view.
+    pub fn compute(a: &MatrixView<'_>) -> Self {
+        let mean = reduce::column_means(a);
+        let var = reduce::column_variances(a);
+        let std_dev = var.iter().map(|v| v.sqrt()).collect();
+        let (min, max) = reduce::column_min_max(a);
+        Self {
+            mean,
+            std_dev,
+            min,
+            max,
+            n_rows: a.n_rows(),
+        }
+    }
+
+    /// Number of columns described by these statistics.
+    pub fn n_cols(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardise a single row in place: `x ← (x − mean) / std`.
+    /// Columns with (near-)zero standard deviation are only centred.
+    pub fn standardize_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.n_cols(), "row length must match statistics");
+        for c in 0..row.len() {
+            row[c] -= self.mean[c];
+            if self.std_dev[c] > 1e-12 {
+                row[c] /= self.std_dev[c];
+            }
+        }
+    }
+
+    /// Min-max scale a single row in place into `[0, 1]`.
+    /// Constant columns are mapped to `0.0`.
+    pub fn min_max_scale_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.n_cols(), "row length must match statistics");
+        for c in 0..row.len() {
+            let range = self.max[c] - self.min[c];
+            if range > 1e-12 {
+                row[c] = (row[c] - self.min[c]) / range;
+            } else {
+                row[c] = 0.0;
+            }
+        }
+    }
+}
+
+/// Online (Welford) accumulator for mean/variance of a stream of rows.
+///
+/// This is the building block for computing statistics of datasets too large
+/// to revisit: a single forward pass suffices, which is exactly how M3
+/// workloads want to touch memory-mapped files.
+#[derive(Debug, Clone)]
+pub struct RunningStats {
+    count: usize,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+}
+
+impl RunningStats {
+    /// Create an accumulator for rows of `n_cols` features.
+    pub fn new(n_cols: usize) -> Self {
+        Self {
+            count: 0,
+            mean: vec![0.0; n_cols],
+            m2: vec![0.0; n_cols],
+        }
+    }
+
+    /// Feed one row.
+    ///
+    /// # Panics
+    /// Panics when the row length differs from `n_cols`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.mean.len(), "row length mismatch");
+        self.count += 1;
+        let n = self.count as f64;
+        for c in 0..row.len() {
+            let delta = row[c] - self.mean[c];
+            self.mean[c] += delta / n;
+            let delta2 = row[c] - self.mean[c];
+            self.m2[c] += delta * delta2;
+        }
+    }
+
+    /// Number of rows consumed so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Current per-column means.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Current per-column population variances (zeros before any row).
+    pub fn variance(&self) -> Vec<f64> {
+        if self.count == 0 {
+            return vec![0.0; self.mean.len()];
+        }
+        self.m2.iter().map(|m| m / self.count as f64).collect()
+    }
+
+    /// Current per-column population standard deviations.
+    pub fn std_dev(&self) -> Vec<f64> {
+        self.variance().iter().map(|v| v.sqrt()).collect()
+    }
+
+    /// Merge another accumulator into this one (parallel reduction step).
+    pub fn merge(&mut self, other: &RunningStats) {
+        assert_eq!(self.mean.len(), other.mean.len(), "column count mismatch");
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.count = other.count;
+            self.mean = other.mean.clone();
+            self.m2 = other.m2.clone();
+            return;
+        }
+        let na = self.count as f64;
+        let nb = other.count as f64;
+        let n = na + nb;
+        for c in 0..self.mean.len() {
+            let delta = other.mean[c] - self.mean[c];
+            self.m2[c] += other.m2[c] + delta * delta * na * nb / n;
+            self.mean[c] = (na * self.mean[c] + nb * other.mean[c]) / n;
+        }
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseMatrix;
+
+    fn m() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0], &[3.0, 30.0]]).unwrap()
+    }
+
+    #[test]
+    fn column_stats_basic() {
+        let s = ColumnStats::compute(&m().view());
+        assert_eq!(s.n_cols(), 2);
+        assert_eq!(s.n_rows, 3);
+        assert_eq!(s.mean, vec![2.0, 20.0]);
+        assert_eq!(s.min, vec![1.0, 10.0]);
+        assert_eq!(s.max, vec![3.0, 30.0]);
+        assert!((s.std_dev[0] - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_row_zero_mean_unit_std() {
+        let s = ColumnStats::compute(&m().view());
+        let mut row = [2.0, 20.0];
+        s.standardize_row(&mut row);
+        assert!(row.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn standardize_constant_column_only_centers() {
+        let m = DenseMatrix::from_rows(&[&[5.0], &[5.0]]).unwrap();
+        let s = ColumnStats::compute(&m.view());
+        let mut row = [5.0];
+        s.standardize_row(&mut row);
+        assert_eq!(row, [0.0]);
+    }
+
+    #[test]
+    fn min_max_scaling() {
+        let s = ColumnStats::compute(&m().view());
+        let mut row = [3.0, 10.0];
+        s.min_max_scale_row(&mut row);
+        assert_eq!(row, [1.0, 0.0]);
+    }
+
+    #[test]
+    fn running_stats_matches_batch() {
+        let m = m();
+        let batch = ColumnStats::compute(&m.view());
+        let mut rs = RunningStats::new(2);
+        for r in 0..m.n_rows() {
+            rs.push_row(m.row(r));
+        }
+        assert_eq!(rs.count(), 3);
+        for c in 0..2 {
+            assert!((rs.mean()[c] - batch.mean[c]).abs() < 1e-12);
+            assert!((rs.std_dev()[c] - batch.std_dev[c]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential() {
+        let m = m();
+        let mut a = RunningStats::new(2);
+        let mut b = RunningStats::new(2);
+        a.push_row(m.row(0));
+        b.push_row(m.row(1));
+        b.push_row(m.row(2));
+        let mut merged = a.clone();
+        merged.merge(&b);
+
+        let mut seq = RunningStats::new(2);
+        for r in 0..3 {
+            seq.push_row(m.row(r));
+        }
+        for c in 0..2 {
+            assert!((merged.mean()[c] - seq.mean()[c]).abs() < 1e-12);
+            assert!((merged.variance()[c] - seq.variance()[c]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = RunningStats::new(1);
+        a.push_row(&[2.0]);
+        let before_mean = a.mean().to_vec();
+        a.merge(&RunningStats::new(1));
+        assert_eq!(a.mean(), &before_mean[..]);
+
+        let mut empty = RunningStats::new(1);
+        empty.merge(&a);
+        assert_eq!(empty.count(), 1);
+        assert_eq!(empty.mean(), &before_mean[..]);
+    }
+
+    #[test]
+    fn empty_variance_is_zero() {
+        let rs = RunningStats::new(3);
+        assert_eq!(rs.variance(), vec![0.0; 3]);
+    }
+}

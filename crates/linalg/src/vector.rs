@@ -1,0 +1,272 @@
+//! Owned dense vector type.
+
+use crate::{norm, ops};
+
+/// An owned, heap-allocated dense vector of `f64`.
+///
+/// `Vector` is a thin newtype over `Vec<f64>` that adds the numerical
+/// operations the optimisation and ML layers need (dot products, axpy,
+/// norms) while still dereferencing to a plain slice so it interoperates
+/// with memory-mapped data.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Create a vector of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Create a vector of `len` copies of `value`.
+    pub fn filled(len: usize, value: f64) -> Self {
+        Self {
+            data: vec![value; len],
+        }
+    }
+
+    /// Create a vector by copying a slice.
+    pub fn from_slice(values: &[f64]) -> Self {
+        Self {
+            data: values.to_vec(),
+        }
+    }
+
+    /// Create a vector from an existing `Vec` without copying.
+    pub fn from_vec(values: Vec<f64>) -> Self {
+        Self { data: values }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable slice of the underlying data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable slice of the underlying data.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume the vector and return the underlying `Vec`.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        ops::dot(&self.data, &other.data)
+    }
+
+    /// `self += alpha * other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn axpy(&mut self, alpha: f64, other: &Vector) {
+        ops::axpy(alpha, &other.data, &mut self.data);
+    }
+
+    /// Multiply every element by `alpha` in place.
+    pub fn scale(&mut self, alpha: f64) {
+        ops::scale(alpha, &mut self.data);
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        norm::l2(&self.data)
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_squared(&self) -> f64 {
+        ops::dot(&self.data, &self.data)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        ops::sum(&self.data)
+    }
+
+    /// Arithmetic mean of the elements (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        ops::mean(&self.data)
+    }
+
+    /// Set every element to zero.
+    pub fn set_zero(&mut self) {
+        ops::fill(&mut self.data, 0.0);
+    }
+
+    /// Element-wise in-place addition.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn add_assign(&mut self, other: &Vector) {
+        ops::add_assign(&mut self.data, &other.data);
+    }
+
+    /// Element-wise in-place subtraction.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn sub_assign(&mut self, other: &Vector) {
+        ops::sub_assign(&mut self.data, &other.data);
+    }
+
+    /// Return a new vector equal to `self - other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn sub(&self, other: &Vector) -> Vector {
+        let mut out = vec![0.0; self.len()];
+        ops::sub(&self.data, &other.data, &mut out);
+        Vector::from_vec(out)
+    }
+
+    /// Return a new vector equal to `self + other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn add(&self, other: &Vector) -> Vector {
+        let mut out = vec![0.0; self.len()];
+        ops::add(&self.data, &other.data, &mut out);
+        Vector::from_vec(out)
+    }
+
+    /// Iterate over elements by value.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.data.iter().copied()
+    }
+}
+
+impl std::ops::Index<usize> for Vector {
+    type Output = f64;
+    fn index(&self, index: usize) -> &Self::Output {
+        &self.data[index]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Vector {
+    fn index_mut(&mut self, index: usize) -> &mut Self::Output {
+        &mut self.data[index]
+    }
+}
+
+impl From<Vec<f64>> for Vector {
+    fn from(v: Vec<f64>) -> Self {
+        Vector::from_vec(v)
+    }
+}
+
+impl From<Vector> for Vec<f64> {
+    fn from(v: Vector) -> Self {
+        v.into_vec()
+    }
+}
+
+impl AsRef<[f64]> for Vector {
+    fn as_ref(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl<'a> IntoIterator for &'a Vector {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_helpers() {
+        assert_eq!(Vector::zeros(3).as_slice(), &[0.0; 3]);
+        assert_eq!(Vector::filled(2, 5.0).as_slice(), &[5.0, 5.0]);
+        assert_eq!(Vector::from_slice(&[1.0, 2.0]).len(), 2);
+        assert!(Vector::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let v = Vector::from_slice(&[3.0, 4.0]);
+        assert_eq!(v.dot(&v), 25.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_squared(), 25.0);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut v = Vector::from_slice(&[1.0, 2.0]);
+        let w = Vector::from_slice(&[10.0, 10.0]);
+        v.axpy(0.5, &w);
+        assert_eq!(v.as_slice(), &[6.0, 7.0]);
+        v.scale(2.0);
+        assert_eq!(v.as_slice(), &[12.0, 14.0]);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let a = Vector::from_slice(&[1.0, 2.0]);
+        let b = Vector::from_slice(&[3.0, 5.0]);
+        assert_eq!(a.add(&b).as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[2.0, 3.0]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        assert_eq!(c.as_slice(), &[4.0, 7.0]);
+        c.sub_assign(&b);
+        assert_eq!(c.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn sum_mean_zero() {
+        let mut v = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.sum(), 6.0);
+        assert_eq!(v.mean(), 2.0);
+        v.set_zero();
+        assert_eq!(v.sum(), 0.0);
+    }
+
+    #[test]
+    fn indexing_and_conversion() {
+        let mut v = Vector::from_vec(vec![1.0, 2.0]);
+        v[0] = 9.0;
+        assert_eq!(v[0], 9.0);
+        let raw: Vec<f64> = v.clone().into();
+        assert_eq!(raw, vec![9.0, 2.0]);
+        let back: Vector = raw.into();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn iteration() {
+        let v = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let doubled: Vec<f64> = v.iter().map(|x| x * 2.0).collect();
+        assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+        let collected: Vec<f64> = (&v).into_iter().copied().collect();
+        assert_eq!(collected, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_mismatch_panics() {
+        Vector::zeros(2).dot(&Vector::zeros(3));
+    }
+}

@@ -1,0 +1,283 @@
+//! Borrowed row-major matrix views.
+//!
+//! A [`MatrixView`] is the lingua franca of this workspace: it borrows any
+//! contiguous row-major `[f64]` buffer — a heap allocation, a slice of a
+//! `DenseMatrix`, or a memory-mapped file exposed by `m3-core` — and gives it
+//! matrix semantics.  Algorithms written against `MatrixView` therefore run
+//! unmodified over in-memory and out-of-core data, which is the central claim
+//! of the M3 paper.
+
+use crate::{LinalgError, Result};
+
+/// An immutable, borrowed, row-major matrix view over a `[f64]` buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixView<'a> {
+    data: &'a [f64],
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl<'a> MatrixView<'a> {
+    /// Wrap a row-major buffer as an `n_rows × n_cols` matrix.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::BadBufferLength`] if `data.len() != n_rows * n_cols`.
+    pub fn new(data: &'a [f64], n_rows: usize, n_cols: usize) -> Result<Self> {
+        if data.len() != n_rows * n_cols {
+            return Err(LinalgError::BadBufferLength {
+                rows: n_rows,
+                cols: n_cols,
+                len: data.len(),
+            });
+        }
+        Ok(Self {
+            data,
+            n_rows,
+            n_cols,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n_rows, self.n_cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the view holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying contiguous row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n_rows, "row {row} out of bounds ({})", self.n_rows);
+        assert!(col < self.n_cols, "col {col} out of bounds ({})", self.n_cols);
+        self.data[row * self.n_cols + col]
+    }
+
+    /// Borrow row `row` as a slice of length `n_cols`.
+    ///
+    /// # Panics
+    /// Panics if `row >= n_rows`.
+    #[inline]
+    pub fn row(&self, row: usize) -> &'a [f64] {
+        assert!(row < self.n_rows, "row {row} out of bounds ({})", self.n_rows);
+        &self.data[row * self.n_cols..(row + 1) * self.n_cols]
+    }
+
+    /// Borrow a contiguous range of rows as a sub-view.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the number of rows or `start > end`.
+    pub fn rows(&self, start: usize, end: usize) -> MatrixView<'a> {
+        assert!(start <= end, "row range start {start} > end {end}");
+        assert!(end <= self.n_rows, "row range end {end} out of bounds ({})", self.n_rows);
+        MatrixView {
+            data: &self.data[start * self.n_cols..end * self.n_cols],
+            n_rows: end - start,
+            n_cols: self.n_cols,
+        }
+    }
+
+    /// Iterate over rows as slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &'a [f64]> + '_ {
+        (0..self.n_rows).map(move |r| self.row(r))
+    }
+
+    /// Copy column `col` into a freshly allocated `Vec`.
+    ///
+    /// # Panics
+    /// Panics if `col >= n_cols`.
+    pub fn column(&self, col: usize) -> Vec<f64> {
+        assert!(col < self.n_cols, "col {col} out of bounds ({})", self.n_cols);
+        (0..self.n_rows).map(|r| self.get(r, col)).collect()
+    }
+
+    /// Materialise the view into an owned [`crate::DenseMatrix`].
+    pub fn to_owned_matrix(&self) -> crate::DenseMatrix {
+        crate::DenseMatrix::from_vec(self.data.to_vec(), self.n_rows, self.n_cols)
+            .expect("view invariant guarantees consistent shape")
+    }
+}
+
+/// A mutable, borrowed, row-major matrix view.
+#[derive(Debug)]
+pub struct MatrixViewMut<'a> {
+    data: &'a mut [f64],
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl<'a> MatrixViewMut<'a> {
+    /// Wrap a mutable row-major buffer as an `n_rows × n_cols` matrix.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::BadBufferLength`] if `data.len() != n_rows * n_cols`.
+    pub fn new(data: &'a mut [f64], n_rows: usize, n_cols: usize) -> Result<Self> {
+        if data.len() != n_rows * n_cols {
+            return Err(LinalgError::BadBufferLength {
+                rows: n_rows,
+                cols: n_cols,
+                len: data.len(),
+            });
+        }
+        Ok(Self {
+            data,
+            n_rows,
+            n_cols,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Immutable reborrow of this view.
+    pub fn as_view(&self) -> MatrixView<'_> {
+        MatrixView {
+            data: self.data,
+            n_rows: self.n_rows,
+            n_cols: self.n_cols,
+        }
+    }
+
+    /// Mutable access to row `row`.
+    ///
+    /// # Panics
+    /// Panics if `row >= n_rows`.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        assert!(row < self.n_rows, "row {row} out of bounds ({})", self.n_rows);
+        &mut self.data[row * self.n_cols..(row + 1) * self.n_cols]
+    }
+
+    /// Set element `(row, col)` to `value`.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n_rows && col < self.n_cols, "index out of bounds");
+        self.data[row * self.n_cols + col] = value;
+    }
+
+    /// The underlying mutable buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DATA: [f64; 6] = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+
+    #[test]
+    fn view_shape_and_access() {
+        let v = MatrixView::new(&DATA, 2, 3).unwrap();
+        assert_eq!(v.shape(), (2, 3));
+        assert_eq!(v.len(), 6);
+        assert!(!v.is_empty());
+        assert_eq!(v.get(0, 2), 3.0);
+        assert_eq!(v.get(1, 0), 4.0);
+        assert_eq!(v.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(v.column(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn view_bad_length_rejected() {
+        assert!(matches!(
+            MatrixView::new(&DATA, 2, 2),
+            Err(LinalgError::BadBufferLength { len: 6, .. })
+        ));
+    }
+
+    #[test]
+    fn subview_of_rows() {
+        let v = MatrixView::new(&DATA, 3, 2).unwrap();
+        let sub = v.rows(1, 3);
+        assert_eq!(sub.shape(), (2, 2));
+        assert_eq!(sub.row(0), &[3.0, 4.0]);
+        assert_eq!(sub.row(1), &[5.0, 6.0]);
+        let empty = v.rows(1, 1);
+        assert_eq!(empty.n_rows(), 0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn row_iter_visits_all_rows() {
+        let v = MatrixView::new(&DATA, 3, 2).unwrap();
+        let rows: Vec<&[f64]> = v.row_iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn to_owned_roundtrip() {
+        let v = MatrixView::new(&DATA, 2, 3).unwrap();
+        let m = v.to_owned_matrix();
+        assert_eq!(m.as_slice(), &DATA);
+        assert_eq!(m.shape(), (2, 3));
+    }
+
+    #[test]
+    fn mut_view_set_and_row_mut() {
+        let mut buf = DATA;
+        {
+            let mut v = MatrixViewMut::new(&mut buf, 2, 3).unwrap();
+            v.set(0, 0, 10.0);
+            v.row_mut(1)[2] = 60.0;
+            assert_eq!(v.as_view().get(0, 0), 10.0);
+            assert_eq!(v.n_rows(), 2);
+            assert_eq!(v.n_cols(), 3);
+        }
+        assert_eq!(buf[0], 10.0);
+        assert_eq!(buf[5], 60.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let v = MatrixView::new(&DATA, 2, 3).unwrap();
+        v.row(2);
+    }
+}

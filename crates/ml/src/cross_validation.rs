@@ -1,0 +1,216 @@
+//! k-fold cross-validation over row stores.
+//!
+//! Model selection is the obvious next step after the paper's fixed-protocol
+//! experiments, and it multiplies the number of data sweeps — which is
+//! exactly when the in-memory-vs-mmap question matters most.  The helpers
+//! here evaluate any trainer over index folds, gathering only the fold's rows
+//! into memory (the training working set), while the full dataset stays
+//! memory-mapped.
+
+use m3_core::storage::RowStore;
+use m3_linalg::DenseMatrix;
+
+use crate::{MlError, Result};
+
+/// Per-fold and aggregate scores of a cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValidationResult {
+    /// One score per fold (higher is better, e.g. accuracy or R²).
+    pub fold_scores: Vec<f64>,
+}
+
+impl CrossValidationResult {
+    /// Mean score across folds.
+    pub fn mean(&self) -> f64 {
+        if self.fold_scores.is_empty() {
+            return 0.0;
+        }
+        self.fold_scores.iter().sum::<f64>() / self.fold_scores.len() as f64
+    }
+
+    /// Population standard deviation of the fold scores.
+    pub fn std_dev(&self) -> f64 {
+        if self.fold_scores.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self
+            .fold_scores
+            .iter()
+            .map(|s| (s - mean).powi(2))
+            .sum::<f64>()
+            / self.fold_scores.len() as f64)
+            .sqrt()
+    }
+
+    /// Number of folds evaluated.
+    pub fn n_folds(&self) -> usize {
+        self.fold_scores.len()
+    }
+}
+
+/// Split `k` folds (deterministic in `seed`), call `train` on each fold's
+/// training rows and `score` on its validation rows, and collect the scores.
+///
+/// `train` receives `(train_features, train_labels)` gathered into memory;
+/// `score` receives `(model, validation_features, validation_labels)`.
+///
+/// # Errors
+/// Fails when the labels do not match the store, when `k` is invalid for the
+/// row count, or when `train` fails on any fold.
+pub fn cross_validate<S, M, T, E>(
+    data: &S,
+    labels: &[f64],
+    k: usize,
+    seed: u64,
+    mut train: T,
+    mut score: E,
+) -> Result<CrossValidationResult>
+where
+    S: RowStore + Sync + ?Sized,
+    T: FnMut(&DenseMatrix, &[f64]) -> Result<M>,
+    E: FnMut(&M, &DenseMatrix, &[f64]) -> f64,
+{
+    if data.n_rows() != labels.len() {
+        return Err(MlError::ShapeMismatch {
+            expected: format!("{} labels", data.n_rows()),
+            found: format!("{} labels", labels.len()),
+        });
+    }
+    let folds = m3_data::split::k_fold(data.n_rows(), k, seed)
+        .map_err(|e| MlError::InvalidData(e.to_string()))?;
+
+    let mut fold_scores = Vec::with_capacity(folds.len());
+    for fold in folds {
+        let (train_x, train_y) = m3_data::split::gather_rows(data, &fold.train, Some(labels));
+        let (valid_x, valid_y) = m3_data::split::gather_rows(data, &fold.validation, Some(labels));
+        let model = train(&train_x, train_y.as_ref().expect("labels were provided"))?;
+        fold_scores.push(score(
+            &model,
+            &valid_x,
+            valid_y.as_ref().expect("labels were provided"),
+        ));
+    }
+    Ok(CrossValidationResult { fold_scores })
+}
+
+/// Cross-validated accuracy of binary logistic regression with the given
+/// configuration.
+pub fn cross_validate_logistic<S: RowStore + Sync + ?Sized>(
+    data: &S,
+    labels: &[f64],
+    config: &crate::logistic::LogisticConfig,
+    k: usize,
+    seed: u64,
+) -> Result<CrossValidationResult> {
+    cross_validate(
+        data,
+        labels,
+        k,
+        seed,
+        |x, y| crate::logistic::LogisticRegression::new(config.clone()).fit(x, y),
+        |model, x, y| model.accuracy(x, y),
+    )
+}
+
+/// Cross-validated accuracy of softmax regression with the given
+/// configuration.
+pub fn cross_validate_softmax<S: RowStore + Sync + ?Sized>(
+    data: &S,
+    labels: &[f64],
+    config: &crate::softmax::SoftmaxConfig,
+    k: usize,
+    seed: u64,
+) -> Result<CrossValidationResult> {
+    cross_validate(
+        data,
+        labels,
+        k,
+        seed,
+        |x, y| crate::softmax::SoftmaxRegression::new(config.clone()).fit(x, y),
+        |model, x, y| model.accuracy(x, y),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::LogisticConfig;
+    use crate::softmax::SoftmaxConfig;
+    use m3_data::{GaussianBlobs, LinearProblem, RowGenerator};
+
+    #[test]
+    fn logistic_cross_validation_on_separable_data_scores_high() {
+        let (x, y) = LinearProblem::random_classification(6, 0.05, 5).materialize(300);
+        let result = cross_validate_logistic(
+            &x,
+            &y,
+            &LogisticConfig {
+                max_iterations: 40,
+                n_threads: 1,
+                ..Default::default()
+            },
+            5,
+            7,
+        )
+        .unwrap();
+        assert_eq!(result.n_folds(), 5);
+        assert!(result.mean() > 0.85, "mean accuracy {}", result.mean());
+        assert!(result.std_dev() < 0.15);
+    }
+
+    #[test]
+    fn softmax_cross_validation_over_mmap_data() {
+        let dir = tempfile::tempdir().unwrap();
+        let (x, y) = GaussianBlobs::new(3, 5, 15.0, 1.0, 9).materialize(240);
+        let mapped = m3_core::alloc::persist_matrix(dir.path().join("cv.m3"), &x).unwrap();
+        let result = cross_validate_softmax(
+            &mapped,
+            &y,
+            &SoftmaxConfig {
+                n_classes: 3,
+                max_iterations: 30,
+                n_threads: 1,
+                ..Default::default()
+            },
+            4,
+            1,
+        )
+        .unwrap();
+        assert_eq!(result.n_folds(), 4);
+        assert!(result.mean() > 0.9, "mean accuracy {}", result.mean());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (x, y) = LinearProblem::random_classification(4, 0.1, 2).materialize(120);
+        let config = LogisticConfig {
+            max_iterations: 20,
+            n_threads: 1,
+            ..Default::default()
+        };
+        let a = cross_validate_logistic(&x, &y, &config, 3, 11).unwrap();
+        let b = cross_validate_logistic(&x, &y, &config, 3, 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let (x, y) = LinearProblem::random_classification(4, 0.1, 3).materialize(20);
+        // Label length mismatch.
+        assert!(cross_validate_logistic(&x, &y[..10], &LogisticConfig::default(), 3, 0).is_err());
+        // Too many folds for the row count.
+        assert!(cross_validate_logistic(&x, &y, &LogisticConfig::default(), 50, 0).is_err());
+        // Trainer failure (non-binary labels) surfaces as an error.
+        let bad: Vec<f64> = (0..20).map(|i| (i % 3) as f64).collect();
+        assert!(cross_validate_logistic(&x, &bad, &LogisticConfig::default(), 3, 0).is_err());
+    }
+
+    #[test]
+    fn empty_result_statistics_are_zero() {
+        let r = CrossValidationResult { fold_scores: vec![] };
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.std_dev(), 0.0);
+        assert_eq!(r.n_folds(), 0);
+    }
+}

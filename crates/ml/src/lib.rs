@@ -1,0 +1,117 @@
+//! # m3-ml — machine-learning algorithms over in-memory *or* memory-mapped data
+//!
+//! This crate plays the role mlpack plays in the M3 paper: it implements the
+//! algorithms the evaluation runs — **logistic regression trained with
+//! L-BFGS** and **k-means** — plus the supporting models a practitioner would
+//! expect (multinomial softmax regression, linear/ridge regression, Gaussian
+//! naive Bayes, mini-batch k-means) and the usual metrics and preprocessing.
+//!
+//! Every algorithm is generic over [`m3_core::RowStore`], the storage trait
+//! implemented by both `m3_linalg::DenseMatrix` (in-memory) and
+//! `m3_core::MmapMatrix` / `m3_core::Dataset` (memory-mapped).  That is the
+//! entire point of M3: the training code below never knows whether its rows
+//! live in RAM or on disk, so switching a workload to out-of-core data is the
+//! one-line change shown in the paper's Table 1.
+//!
+//! ## Example: logistic regression over a memory-mapped file
+//!
+//! ```
+//! use m3_core::storage::RowStore;
+//! use m3_data::{LinearProblem, RowGenerator, writer::write_dataset};
+//! use m3_ml::logistic::{LogisticRegression, LogisticConfig};
+//!
+//! // Build a small on-disk dataset.
+//! let dir = tempfile::tempdir().unwrap();
+//! let path = dir.path().join("train.m3ds");
+//! let problem = LinearProblem::random_classification(8, 0.05, 42);
+//! write_dataset(&problem, &path, 500).unwrap();
+//!
+//! // Memory-map it and train exactly as if it were in memory.
+//! let dataset = m3_core::Dataset::open(&path).unwrap();
+//! let labels = dataset.labels().unwrap().to_vec();
+//! let model = LogisticRegression::new(LogisticConfig::default())
+//!     .fit(&dataset, &labels)
+//!     .unwrap();
+//! assert!(model.accuracy(&dataset, &labels) > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cross_validation;
+pub mod kmeans;
+pub mod linear_regression;
+pub mod logistic;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod preprocess;
+pub mod softmax;
+
+pub use kmeans::{KMeans, KMeansConfig, KMeansInit, KMeansModel};
+pub use logistic::{LogisticConfig, LogisticRegression, LogisticModel};
+pub use softmax::{SoftmaxConfig, SoftmaxRegression, SoftmaxModel};
+
+/// Errors produced by model training and prediction.
+#[derive(Debug)]
+pub enum MlError {
+    /// Labels and data disagree on the number of examples, or a prediction
+    /// input has the wrong number of features.
+    ShapeMismatch {
+        /// Description of what was expected.
+        expected: String,
+        /// Description of what was found.
+        found: String,
+    },
+    /// The training data was empty or otherwise unusable.
+    InvalidData(String),
+    /// The underlying optimiser failed (e.g. produced non-finite values).
+    OptimizationFailed(String),
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            MlError::InvalidData(msg) => write!(f, "invalid training data: {msg}"),
+            MlError::OptimizationFailed(msg) => write!(f, "optimisation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+/// Shared training-parallelism setting: how many worker threads data sweeps
+/// use.  `0` means "use every available hardware thread".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        m3_linalg::parallel::default_threads()
+    } else {
+        requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = MlError::ShapeMismatch {
+            expected: "100 labels".into(),
+            found: "99 labels".into(),
+        };
+        assert!(e.to_string().contains("100 labels"));
+        assert!(MlError::InvalidData("empty".into()).to_string().contains("empty"));
+        assert!(MlError::OptimizationFailed("nan".into()).to_string().contains("nan"));
+    }
+
+    #[test]
+    fn resolve_threads_zero_means_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

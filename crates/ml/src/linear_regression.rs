@@ -1,0 +1,329 @@
+//! Linear (ridge) regression.
+//!
+//! Two training paths are provided:
+//!
+//! * the **normal equations** (`(XᵀX + λI) w = Xᵀy`), built from a single
+//!   sequential sweep that accumulates the Gram matrix — cheap when the
+//!   feature count is modest (784 for Infimnist) regardless of how many rows
+//!   stream through, and therefore a natural extra workload for M3;
+//! * **gradient descent** on the least-squares objective, for feature counts
+//!   where a dense `d × d` Gram matrix is unreasonable.
+
+use m3_core::storage::RowStore;
+use m3_core::AccessPattern;
+use m3_linalg::{blas, ops, parallel, DenseMatrix};
+use m3_optim::function::DifferentiableFunction;
+use m3_optim::gd::GradientDescent;
+use m3_optim::termination::TerminationCriteria;
+
+use crate::{MlError, Result};
+
+/// How the coefficients are computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Solver {
+    /// Closed-form ridge solution via Cholesky on the Gram matrix.
+    NormalEquations,
+    /// Iterative minimisation of the least-squares objective.
+    GradientDescent,
+}
+
+/// Hyper-parameters for [`LinearRegression`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegressionConfig {
+    /// Ridge (L2) regularisation strength.
+    pub l2: f64,
+    /// Training algorithm.
+    pub solver: Solver,
+    /// Iteration cap for the gradient-descent solver.
+    pub max_iterations: usize,
+    /// Worker threads for data sweeps (`0` = all hardware threads).
+    pub n_threads: usize,
+}
+
+impl Default for LinearRegressionConfig {
+    fn default() -> Self {
+        Self {
+            l2: 1e-8,
+            solver: Solver::NormalEquations,
+            max_iterations: 500,
+            n_threads: 0,
+        }
+    }
+}
+
+/// Linear-regression trainer.
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression {
+    config: LinearRegressionConfig,
+}
+
+/// A fitted linear model `y ≈ w·x + b`.
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    /// Feature coefficients.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+}
+
+/// Mean-squared-error objective used by the gradient-descent solver.
+struct LeastSquaresLoss<'a, S: RowStore + Sync + ?Sized> {
+    data: &'a S,
+    targets: &'a [f64],
+    l2: f64,
+    n_threads: usize,
+}
+
+impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for LeastSquaresLoss<'_, S> {
+    fn dimension(&self) -> usize {
+        self.data.n_cols() + 1
+    }
+
+    fn value(&self, w: &[f64]) -> f64 {
+        let mut grad = vec![0.0; w.len()];
+        self.value_and_gradient(w, &mut grad)
+    }
+
+    fn gradient(&self, w: &[f64], grad: &mut [f64]) {
+        self.value_and_gradient(w, grad);
+    }
+
+    fn value_and_gradient(&self, w: &[f64], grad: &mut [f64]) -> f64 {
+        let n = self.data.n_rows();
+        let d = self.data.n_cols();
+        if n == 0 {
+            grad.fill(0.0);
+            return 0.0;
+        }
+        let (loss, partial) = parallel::par_chunked_map_reduce(
+            n,
+            self.n_threads,
+            |range| {
+                let block = self.data.rows_slice(range.start, range.end);
+                let mut g = vec![0.0; d + 1];
+                let mut acc = 0.0;
+                for (i, row) in block.chunks_exact(d).enumerate() {
+                    let target = self.targets[range.start + i];
+                    let residual = ops::dot(&w[..d], row) + w[d] - target;
+                    acc += residual * residual;
+                    ops::axpy(2.0 * residual, row, &mut g[..d]);
+                    g[d] += 2.0 * residual;
+                }
+                (acc, g)
+            },
+            (0.0, vec![0.0; d + 1]),
+            |(la, mut ga), (lb, gb)| {
+                ops::add_assign(&mut ga, &gb);
+                (la + lb, ga)
+            },
+        );
+        let inv = 1.0 / n as f64;
+        for (gi, pi) in grad.iter_mut().zip(&partial) {
+            *gi = pi * inv;
+        }
+        ops::axpy(self.l2, &w[..d], &mut grad[..d]);
+        loss * inv + 0.5 * self.l2 * ops::dot(&w[..d], &w[..d])
+    }
+}
+
+impl LinearRegression {
+    /// Create a trainer with the given configuration.
+    pub fn new(config: LinearRegressionConfig) -> Self {
+        Self { config }
+    }
+
+    /// Fit `targets ≈ X·w + b`.
+    ///
+    /// # Errors
+    /// Fails on shape mismatches, empty data, or a singular normal-equation
+    /// system that even ridge regularisation cannot repair.
+    pub fn fit<S: RowStore + Sync + ?Sized>(&self, data: &S, targets: &[f64]) -> Result<LinearModel> {
+        if data.n_rows() == 0 || data.n_cols() == 0 {
+            return Err(MlError::InvalidData("training data is empty".to_string()));
+        }
+        if data.n_rows() != targets.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{} targets", data.n_rows()),
+                found: format!("{} targets", targets.len()),
+            });
+        }
+        match self.config.solver {
+            Solver::NormalEquations => self.fit_normal_equations(data, targets),
+            Solver::GradientDescent => self.fit_gradient_descent(data, targets),
+        }
+    }
+
+    fn fit_normal_equations<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        targets: &[f64],
+    ) -> Result<LinearModel> {
+        let d = data.n_cols();
+        let n = data.n_rows();
+        data.advise(AccessPattern::Sequential);
+
+        // Augmented design [X | 1]: Gram is (d+1)x(d+1), built in one sweep.
+        let mut gram = DenseMatrix::zeros(d + 1, d + 1);
+        let mut xty = vec![0.0; d + 1];
+        for r in 0..n {
+            let row = data.row(r);
+            let y = targets[r];
+            for i in 0..d {
+                let xi = row[i];
+                if xi != 0.0 {
+                    let g_row = gram.row_mut(i);
+                    for j in 0..d {
+                        g_row[j] += xi * row[j];
+                    }
+                    g_row[d] += xi;
+                }
+                xty[i] += row[i] * y;
+            }
+            let last = gram.row_mut(d);
+            for j in 0..d {
+                last[j] += row[j];
+            }
+            last[d] += 1.0;
+            xty[d] += y;
+        }
+        // Ridge on the weights (not the intercept).
+        for i in 0..d {
+            let v = gram.get(i, i) + self.config.l2 * n as f64;
+            gram.set(i, i, v);
+        }
+        let solution = blas::cholesky_solve(&gram, &xty).ok_or_else(|| {
+            MlError::OptimizationFailed("normal-equation system is not positive definite".into())
+        })?;
+        Ok(LinearModel {
+            weights: solution[..d].to_vec(),
+            bias: solution[d],
+        })
+    }
+
+    fn fit_gradient_descent<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        targets: &[f64],
+    ) -> Result<LinearModel> {
+        let loss = LeastSquaresLoss {
+            data,
+            targets,
+            l2: self.config.l2,
+            n_threads: crate::resolve_threads(self.config.n_threads),
+        };
+        let result = GradientDescent::new()
+            .criteria(TerminationCriteria {
+                max_iterations: self.config.max_iterations,
+                ..Default::default()
+            })
+            .run(&loss, vec![0.0; data.n_cols() + 1]);
+        if result.weights.iter().any(|w| !w.is_finite()) {
+            return Err(MlError::OptimizationFailed(format!(
+                "gradient descent terminated with {:?}",
+                result.reason
+            )));
+        }
+        let d = data.n_cols();
+        Ok(LinearModel {
+            weights: result.weights[..d].to_vec(),
+            bias: result.weights[d],
+        })
+    }
+}
+
+impl LinearModel {
+    /// Predict the target of a single row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "feature count mismatch");
+        ops::dot(row, &self.weights) + self.bias
+    }
+
+    /// Predict the targets of every row of `data`.
+    pub fn predict<S: RowStore + ?Sized>(&self, data: &S) -> Vec<f64> {
+        (0..data.n_rows()).map(|r| self.predict_row(data.row(r))).collect()
+    }
+
+    /// R² of the model on `data` / `targets`.
+    pub fn r2<S: RowStore + ?Sized>(&self, data: &S, targets: &[f64]) -> f64 {
+        crate::metrics::r2_score(&self.predict(data), targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_data::{LinearProblem, RowGenerator};
+
+    fn problem(n: usize, noise: f64) -> (DenseMatrix, Vec<f64>) {
+        LinearProblem::regression(vec![2.0, -1.0, 0.5], 3.0, noise, 17).materialize(n)
+    }
+
+    #[test]
+    fn normal_equations_recover_exact_coefficients_without_noise() {
+        let (x, y) = problem(200, 0.0);
+        let model = LinearRegression::default().fit(&x, &y).unwrap();
+        assert!((model.weights[0] - 2.0).abs() < 1e-6);
+        assert!((model.weights[1] + 1.0).abs() < 1e-6);
+        assert!((model.weights[2] - 0.5).abs() < 1e-6);
+        assert!((model.bias - 3.0).abs() < 1e-6);
+        assert!(model.r2(&x, &y) > 0.999999);
+    }
+
+    #[test]
+    fn gradient_descent_agrees_with_normal_equations() {
+        let (x, y) = problem(300, 0.05);
+        let ne = LinearRegression::default().fit(&x, &y).unwrap();
+        let gd = LinearRegression::new(LinearRegressionConfig {
+            solver: Solver::GradientDescent,
+            max_iterations: 2000,
+            ..Default::default()
+        })
+        .fit(&x, &y)
+        .unwrap();
+        for (a, b) in ne.weights.iter().zip(&gd.weights) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+        assert!((ne.bias - gd.bias).abs() < 0.05);
+    }
+
+    #[test]
+    fn ridge_shrinks_weights() {
+        let (x, y) = problem(100, 0.1);
+        let small = LinearRegression::new(LinearRegressionConfig { l2: 1e-8, ..Default::default() })
+            .fit(&x, &y)
+            .unwrap();
+        let large = LinearRegression::new(LinearRegressionConfig { l2: 100.0, ..Default::default() })
+            .fit(&x, &y)
+            .unwrap();
+        let norm_small = m3_linalg::norm::l2(&small.weights);
+        let norm_large = m3_linalg::norm::l2(&large.weights);
+        assert!(norm_large < norm_small);
+    }
+
+    #[test]
+    fn mmap_and_in_memory_agree() {
+        let (x, y) = problem(150, 0.02);
+        let dir = tempfile::tempdir().unwrap();
+        let mapped = m3_core::alloc::persist_matrix(dir.path().join("lr.m3"), &x).unwrap();
+        let a = LinearRegression::default().fit(&x, &y).unwrap();
+        let b = LinearRegression::default().fit(&mapped, &y).unwrap();
+        assert!(ops::approx_eq(&a.weights, &b.weights, 1e-12));
+        assert!((a.bias - b.bias).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (x, y) = problem(10, 0.0);
+        assert!(LinearRegression::default().fit(&x, &y[..5]).is_err());
+        let empty = DenseMatrix::zeros(0, 2);
+        assert!(LinearRegression::default().fit(&empty, &[]).is_err());
+    }
+
+    #[test]
+    fn predictions_are_linear_in_inputs() {
+        let model = LinearModel { weights: vec![1.0, 2.0], bias: -1.0 };
+        assert_eq!(model.predict_row(&[3.0, 4.0]), 10.0);
+        let m = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        assert_eq!(model.predict(&m), vec![0.0, 1.0]);
+    }
+}

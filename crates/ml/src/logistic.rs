@@ -1,0 +1,492 @@
+//! Binary logistic regression trained with L-BFGS.
+//!
+//! This is the paper's headline workload: "logistic regression (L-BFGS for
+//! optimization) … 10 iterations".  The loss below is the standard averaged
+//! negative log-likelihood with optional L2 regularisation; its value and
+//! gradient are computed in a single fused, chunk-parallel, **sequential**
+//! sweep over the rows of any [`RowStore`] — the access pattern that makes
+//! memory-mapped training I/O-friendly.
+
+use m3_core::storage::RowStore;
+use m3_core::AccessPattern;
+use m3_linalg::{ops, parallel};
+use m3_optim::function::{DifferentiableFunction, StochasticFunction};
+use m3_optim::lbfgs::Lbfgs;
+use m3_optim::termination::{OptimizationResult, TerminationCriteria};
+
+use crate::{MlError, Result};
+
+/// Numerically stable sigmoid.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable `ln(1 + e^z)`.
+#[inline]
+fn log1p_exp(z: f64) -> f64 {
+    if z > 0.0 {
+        z + (-z).exp().ln_1p()
+    } else {
+        z.exp().ln_1p()
+    }
+}
+
+/// The averaged logistic loss over a [`RowStore`], with L2 regularisation.
+///
+/// Parameter layout: `[w_1 … w_d, b]` (`d + 1` values); the bias is not
+/// regularised.  Implements both [`DifferentiableFunction`] (for L-BFGS /
+/// batch GD) and [`StochasticFunction`] (for SGD).
+pub struct LogisticLoss<'a, S: RowStore + Sync + ?Sized> {
+    data: &'a S,
+    labels: &'a [f64],
+    /// L2 regularisation strength λ.
+    pub l2: f64,
+    /// Worker threads used per sweep.
+    pub n_threads: usize,
+}
+
+impl<'a, S: RowStore + Sync + ?Sized> LogisticLoss<'a, S> {
+    /// Create the loss for `data` (rows = examples) and `labels` in `{0, 1}`.
+    pub fn new(data: &'a S, labels: &'a [f64], l2: f64, n_threads: usize) -> Self {
+        assert_eq!(
+            data.n_rows(),
+            labels.len(),
+            "labels must match the number of rows"
+        );
+        Self {
+            data,
+            labels,
+            l2,
+            n_threads: n_threads.max(1),
+        }
+    }
+
+    fn n_features(&self) -> usize {
+        self.data.n_cols()
+    }
+
+    /// Linear score `w·x + b` of one row.
+    #[inline]
+    fn score(w: &[f64], row: &[f64]) -> f64 {
+        let d = row.len();
+        ops::dot(&w[..d], row) + w[d]
+    }
+}
+
+impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for LogisticLoss<'_, S> {
+    fn dimension(&self) -> usize {
+        self.n_features() + 1
+    }
+
+    fn value(&self, w: &[f64]) -> f64 {
+        let n = self.data.n_rows();
+        if n == 0 {
+            return 0.0;
+        }
+        let loss = parallel::par_chunked_map_reduce(
+            n,
+            self.n_threads,
+            |range| {
+                let block = self.data.rows_slice(range.start, range.end);
+                let cols = self.n_features();
+                let mut acc = 0.0;
+                for (i, row) in block.chunks_exact(cols).enumerate() {
+                    let y = self.labels[range.start + i];
+                    let z = Self::score(w, row);
+                    // -[y ln σ(z) + (1-y) ln(1-σ(z))] = log(1+e^z) - y z
+                    acc += log1p_exp(z) - y * z;
+                }
+                acc
+            },
+            0.0,
+            |a, b| a + b,
+        );
+        let d = self.n_features();
+        let reg = 0.5 * self.l2 * ops::dot(&w[..d], &w[..d]);
+        loss / n as f64 + reg
+    }
+
+    fn gradient(&self, w: &[f64], grad: &mut [f64]) {
+        self.value_and_gradient(w, grad);
+    }
+
+    fn value_and_gradient(&self, w: &[f64], grad: &mut [f64]) -> f64 {
+        let n = self.data.n_rows();
+        let d = self.n_features();
+        if n == 0 {
+            grad.fill(0.0);
+            return 0.0;
+        }
+        self.data.advise(AccessPattern::Sequential);
+        let (loss, partial_grad) = parallel::par_chunked_map_reduce(
+            n,
+            self.n_threads,
+            |range| {
+                let block = self.data.rows_slice(range.start, range.end);
+                let mut g = vec![0.0; d + 1];
+                let mut acc = 0.0;
+                for (i, row) in block.chunks_exact(d).enumerate() {
+                    let y = self.labels[range.start + i];
+                    let z = Self::score(w, row);
+                    acc += log1p_exp(z) - y * z;
+                    let residual = sigmoid(z) - y;
+                    ops::axpy(residual, row, &mut g[..d]);
+                    g[d] += residual;
+                }
+                (acc, g)
+            },
+            (0.0, vec![0.0; d + 1]),
+            |(la, mut ga), (lb, gb)| {
+                ops::add_assign(&mut ga, &gb);
+                (la + lb, ga)
+            },
+        );
+
+        let inv_n = 1.0 / n as f64;
+        for (gi, pi) in grad.iter_mut().zip(&partial_grad) {
+            *gi = pi * inv_n;
+        }
+        // L2 term (bias excluded).
+        ops::axpy(self.l2, &w[..d], &mut grad[..d]);
+        loss * inv_n + 0.5 * self.l2 * ops::dot(&w[..d], &w[..d])
+    }
+}
+
+impl<S: RowStore + Sync + ?Sized> StochasticFunction for LogisticLoss<'_, S> {
+    fn n_examples(&self) -> usize {
+        self.data.n_rows()
+    }
+
+    fn batch_value_and_gradient(&self, w: &[f64], examples: &[usize], grad: &mut [f64]) -> f64 {
+        let d = self.n_features();
+        grad.fill(0.0);
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let mut loss = 0.0;
+        for &i in examples {
+            let row = self.data.row(i);
+            let y = self.labels[i];
+            let z = Self::score(w, row);
+            loss += log1p_exp(z) - y * z;
+            let residual = sigmoid(z) - y;
+            ops::axpy(residual, row, &mut grad[..d]);
+            grad[d] += residual;
+        }
+        let inv = 1.0 / examples.len() as f64;
+        ops::scale(inv, grad);
+        ops::axpy(self.l2, &w[..d], &mut grad[..d]);
+        loss * inv + 0.5 * self.l2 * ops::dot(&w[..d], &w[..d])
+    }
+}
+
+/// Hyper-parameters for [`LogisticRegression`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticConfig {
+    /// L2 regularisation strength.
+    pub l2: f64,
+    /// Maximum L-BFGS iterations.
+    pub max_iterations: usize,
+    /// When `true`, run exactly `max_iterations` iterations with convergence
+    /// tolerances disabled (the paper's protocol).
+    pub fixed_iterations: bool,
+    /// L-BFGS history size.
+    pub history_size: usize,
+    /// Worker threads per data sweep (`0` = all hardware threads).
+    pub n_threads: usize,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self {
+            l2: 1e-4,
+            max_iterations: 100,
+            fixed_iterations: false,
+            history_size: 10,
+            n_threads: 0,
+        }
+    }
+}
+
+impl LogisticConfig {
+    /// The paper's configuration: exactly 10 L-BFGS iterations.
+    pub fn paper() -> Self {
+        Self {
+            max_iterations: 10,
+            fixed_iterations: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Binary logistic-regression trainer.
+#[derive(Debug, Clone, Default)]
+pub struct LogisticRegression {
+    config: LogisticConfig,
+}
+
+impl LogisticRegression {
+    /// Create a trainer with the given configuration.
+    pub fn new(config: LogisticConfig) -> Self {
+        Self { config }
+    }
+
+    /// Train on `data` (rows = examples) with labels in `{0, 1}`.
+    ///
+    /// # Errors
+    /// Fails when shapes disagree, data is empty, labels are not binary, or
+    /// the optimiser diverges.
+    pub fn fit<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        labels: &[f64],
+    ) -> Result<LogisticModel> {
+        if data.n_rows() == 0 || data.n_cols() == 0 {
+            return Err(MlError::InvalidData("training data is empty".to_string()));
+        }
+        if data.n_rows() != labels.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{} labels", data.n_rows()),
+                found: format!("{} labels", labels.len()),
+            });
+        }
+        if labels.iter().any(|&l| l != 0.0 && l != 1.0) {
+            return Err(MlError::InvalidData(
+                "binary logistic regression requires labels in {0, 1}".to_string(),
+            ));
+        }
+
+        let threads = crate::resolve_threads(self.config.n_threads);
+        let loss = LogisticLoss::new(data, labels, self.config.l2, threads);
+        let optimizer = if self.config.fixed_iterations {
+            Lbfgs::with_fixed_iterations(self.config.max_iterations)
+                .history(self.config.history_size)
+        } else {
+            Lbfgs::new()
+                .history(self.config.history_size)
+                .criteria(TerminationCriteria {
+                    max_iterations: self.config.max_iterations,
+                    ..Default::default()
+                })
+        };
+        let initial = vec![0.0; data.n_cols() + 1];
+        let result = optimizer.run(&loss, initial);
+        if !result.converged() && result.weights.iter().any(|w| !w.is_finite()) {
+            return Err(MlError::OptimizationFailed(format!(
+                "L-BFGS terminated with {:?}",
+                result.reason
+            )));
+        }
+        let (weights, bias) = split_weights(&result.weights);
+        Ok(LogisticModel {
+            weights,
+            bias,
+            optimization: result,
+        })
+    }
+}
+
+fn split_weights(packed: &[f64]) -> (Vec<f64>, f64) {
+    let d = packed.len() - 1;
+    (packed[..d].to_vec(), packed[d])
+}
+
+/// A trained binary logistic-regression model.
+#[derive(Debug, Clone)]
+pub struct LogisticModel {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+    /// Statistics of the training run (iterations, evaluations, loss curve).
+    pub optimization: OptimizationResult,
+}
+
+impl LogisticModel {
+    /// Probability that `row` belongs to class 1.
+    pub fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "feature count mismatch");
+        sigmoid(ops::dot(row, &self.weights) + self.bias)
+    }
+
+    /// Predicted class (0 or 1) for `row`.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        if self.predict_proba_row(row) >= 0.5 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Class-1 probabilities for every row of `data`.
+    pub fn predict_proba<S: RowStore + ?Sized>(&self, data: &S) -> Vec<f64> {
+        (0..data.n_rows())
+            .map(|r| self.predict_proba_row(data.row(r)))
+            .collect()
+    }
+
+    /// Predicted classes for every row of `data`.
+    pub fn predict<S: RowStore + ?Sized>(&self, data: &S) -> Vec<f64> {
+        (0..data.n_rows())
+            .map(|r| self.predict_row(data.row(r)))
+            .collect()
+    }
+
+    /// Classification accuracy over `data`.
+    pub fn accuracy<S: RowStore + ?Sized>(&self, data: &S, labels: &[f64]) -> f64 {
+        crate::metrics::accuracy(&self.predict(data), labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_data::{LinearProblem, RowGenerator};
+    use m3_linalg::DenseMatrix;
+    use m3_optim::function::gradient_check;
+    use m3_optim::sgd::Sgd;
+
+    fn toy_problem(n: usize) -> (DenseMatrix, Vec<f64>) {
+        LinearProblem::classification(vec![1.5, -2.0, 0.5], 0.25, 0.05, 7).materialize(n)
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_correct() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(40.0) > 0.999999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(800.0) <= 1.0);
+    }
+
+    #[test]
+    fn loss_gradient_matches_numerical_gradient() {
+        let (x, y) = toy_problem(60);
+        let loss = LogisticLoss::new(&x, &y, 0.01, 2);
+        let w: Vec<f64> = (0..4).map(|i| 0.1 * i as f64 - 0.2).collect();
+        let err = gradient_check(&loss, &w, 1e-5);
+        assert!(err < 1e-6, "gradient error {err}");
+    }
+
+    #[test]
+    fn loss_is_lower_at_true_weights_than_at_zero() {
+        let (x, y) = toy_problem(200);
+        let loss = LogisticLoss::new(&x, &y, 0.0, 1);
+        let zero = loss.value(&vec![0.0; 4]);
+        let good = loss.value(&[1.5, -2.0, 0.5, 0.25]);
+        assert!(good < zero);
+    }
+
+    #[test]
+    fn parallel_and_serial_gradients_agree() {
+        let (x, y) = toy_problem(101);
+        let w: Vec<f64> = vec![0.3, -0.1, 0.2, 0.05];
+        let serial = LogisticLoss::new(&x, &y, 0.01, 1);
+        let parallel = LogisticLoss::new(&x, &y, 0.01, 4);
+        let mut gs = vec![0.0; 4];
+        let mut gp = vec![0.0; 4];
+        let vs = serial.value_and_gradient(&w, &mut gs);
+        let vp = parallel.value_and_gradient(&w, &mut gp);
+        assert!((vs - vp).abs() < 1e-12);
+        assert!(ops::approx_eq(&gs, &gp, 1e-12));
+    }
+
+    #[test]
+    fn fit_recovers_a_separable_problem() {
+        let (x, y) = toy_problem(400);
+        let model = LogisticRegression::new(LogisticConfig::default()).fit(&x, &y).unwrap();
+        let acc = model.accuracy(&x, &y);
+        assert!(acc > 0.95, "training accuracy {acc}");
+        // The learnt hyperplane should correlate with the true one.
+        let true_w = [1.5, -2.0, 0.5];
+        let cosine = ops::dot(&model.weights, &true_w)
+            / (m3_linalg::norm::l2(&model.weights) * m3_linalg::norm::l2(&true_w));
+        assert!(cosine > 0.9, "cosine similarity {cosine}");
+    }
+
+    #[test]
+    fn paper_config_runs_exactly_ten_iterations() {
+        let (x, y) = toy_problem(300);
+        let model = LogisticRegression::new(LogisticConfig::paper()).fit(&x, &y).unwrap();
+        assert_eq!(model.optimization.iterations, 10);
+        assert!(model.accuracy(&x, &y) > 0.85);
+    }
+
+    #[test]
+    fn in_memory_and_mmap_training_agree() {
+        // The Table 1 claim, end to end: identical results from the same
+        // algorithm over a DenseMatrix and over a memory-mapped copy.
+        let (x, y) = toy_problem(250);
+        let dir = tempfile::tempdir().unwrap();
+        let mapped = m3_core::alloc::persist_matrix(dir.path().join("train.m3"), &x).unwrap();
+
+        let config = LogisticConfig { n_threads: 2, ..LogisticConfig::default() };
+        let in_memory = LogisticRegression::new(config.clone()).fit(&x, &y).unwrap();
+        let out_of_core = LogisticRegression::new(config).fit(&mapped, &y).unwrap();
+
+        assert!(ops::approx_eq(&in_memory.weights, &out_of_core.weights, 1e-10));
+        assert!((in_memory.bias - out_of_core.bias).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sgd_training_via_stochastic_interface() {
+        let (x, y) = toy_problem(300);
+        let loss = LogisticLoss::new(&x, &y, 1e-4, 1);
+        let result = Sgd::new()
+            .learning_rate(0.5)
+            .epochs(60)
+            .batch_size(32)
+            .run(&loss, vec![0.0; 4]);
+        let (weights, bias) = split_weights(&result.weights);
+        let model = LogisticModel { weights, bias, optimization: result };
+        assert!(model.accuracy(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (x, y) = toy_problem(10);
+        let trainer = LogisticRegression::default();
+        assert!(matches!(
+            trainer.fit(&x, &y[..5]),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+        let bad_labels = vec![2.0; 10];
+        assert!(matches!(
+            trainer.fit(&x, &bad_labels),
+            Err(MlError::InvalidData(_))
+        ));
+        let empty = DenseMatrix::zeros(0, 3);
+        assert!(matches!(trainer.fit(&empty, &[]), Err(MlError::InvalidData(_))));
+    }
+
+    #[test]
+    fn predictions_and_probabilities_are_consistent() {
+        let (x, y) = toy_problem(100);
+        let model = LogisticRegression::default().fit(&x, &y).unwrap();
+        let probs = model.predict_proba(&x);
+        let preds = model.predict(&x);
+        for (p, c) in probs.iter().zip(&preds) {
+            assert!((0.0..=1.0).contains(p));
+            assert_eq!(*c == 1.0, *p >= 0.5);
+        }
+    }
+
+    #[test]
+    fn empty_loss_is_zero() {
+        let x = DenseMatrix::zeros(0, 2);
+        let y: Vec<f64> = vec![];
+        let loss = LogisticLoss::new(&x, &y, 0.0, 2);
+        let mut g = vec![1.0; 3];
+        assert_eq!(loss.value(&[0.0, 0.0, 0.0]), 0.0);
+        assert_eq!(loss.value_and_gradient(&[0.0, 0.0, 0.0], &mut g), 0.0);
+        assert_eq!(g, vec![0.0; 3]);
+        assert_eq!(loss.batch_value_and_gradient(&[0.0, 0.0, 0.0], &[], &mut g), 0.0);
+    }
+}

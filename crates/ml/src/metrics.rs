@@ -1,0 +1,181 @@
+//! Evaluation metrics for classification, regression and clustering.
+
+/// Fraction of predictions equal to the true label.
+///
+/// # Panics
+/// Panics when the slices have different lengths.
+pub fn accuracy(predictions: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| (**p - **l).abs() < 0.5)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Confusion matrix for integer class labels `0..n_classes`.
+/// Entry `(i, j)` counts examples with true class `i` predicted as class `j`.
+pub fn confusion_matrix(predictions: &[f64], labels: &[f64], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (p, l) in predictions.iter().zip(labels) {
+        let pi = (*p as usize).min(n_classes - 1);
+        let li = (*l as usize).min(n_classes - 1);
+        m[li][pi] += 1;
+    }
+    m
+}
+
+/// Precision and recall of the positive class (label `1`) in a binary task.
+/// Returns `(precision, recall)`; each is `0.0` when undefined.
+pub fn precision_recall(predictions: &[f64], labels: &[f64]) -> (f64, f64) {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut fn_ = 0.0;
+    for (&p, &l) in predictions.iter().zip(labels) {
+        let p = p >= 0.5;
+        let l = l >= 0.5;
+        match (p, l) {
+            (true, true) => tp += 1.0,
+            (true, false) => fp += 1.0,
+            (false, true) => fn_ += 1.0,
+            (false, false) => {}
+        }
+    }
+    let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+    let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+    (precision, recall)
+}
+
+/// F1 score (harmonic mean of precision and recall); `0.0` when undefined.
+pub fn f1_score(predictions: &[f64], labels: &[f64]) -> f64 {
+    let (p, r) = precision_recall(predictions, labels);
+    if p + r > 0.0 {
+        2.0 * p * r / (p + r)
+    } else {
+        0.0
+    }
+}
+
+/// Mean squared error between predictions and targets.
+pub fn mean_squared_error(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (p - t).powi(2))
+        .sum::<f64>()
+        / predictions.len() as f64
+}
+
+/// Coefficient of determination R².  Returns `0.0` when the targets have zero
+/// variance.
+pub fn r2_score(predictions: &[f64], targets: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let mean = targets.iter().sum::<f64>() / targets.len() as f64;
+    let ss_tot: f64 = targets.iter().map(|t| (t - mean).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return 0.0;
+    }
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(targets)
+        .map(|(p, t)| (t - p).powi(2))
+        .sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// Binary cross-entropy (log loss) for probabilities in `(0, 1)`.
+pub fn log_loss(probabilities: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(probabilities.len(), labels.len(), "length mismatch");
+    if probabilities.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-12;
+    probabilities
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            -(y * p.ln() + (1.0 - y) * (1.0 - p).ln())
+        })
+        .sum::<f64>()
+        / probabilities.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[1.0, 0.0, 1.0], &[1.0, 1.0, 1.0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0.0, 1.0, 1.0, 2.0], &[0.0, 1.0, 2.0, 2.0], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn precision_recall_and_f1() {
+        // predictions: TP, FP, FN, TN
+        let preds = [1.0, 1.0, 0.0, 0.0];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let (p, r) = precision_recall(&preds, &labels);
+        assert_eq!(p, 0.5);
+        assert_eq!(r, 0.5);
+        assert!((f1_score(&preds, &labels) - 0.5).abs() < 1e-12);
+
+        // Degenerate case: no positive predictions or labels.
+        let (p, r) = precision_recall(&[0.0], &[0.0]);
+        assert_eq!((p, r), (0.0, 0.0));
+        assert_eq!(f1_score(&[0.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn regression_metrics() {
+        let preds = [1.0, 2.0, 3.0];
+        let targets = [1.0, 2.0, 3.0];
+        assert_eq!(mean_squared_error(&preds, &targets), 0.0);
+        assert_eq!(r2_score(&preds, &targets), 1.0);
+
+        let bad = [2.0, 2.0, 2.0]; // predicting the mean
+        assert!((r2_score(&bad, &targets) - 0.0).abs() < 1e-12);
+        assert!(mean_squared_error(&bad, &targets) > 0.0);
+
+        // Constant targets have undefined R²; we define it as 0.
+        assert_eq!(r2_score(&[1.0, 1.0], &[5.0, 5.0]), 0.0);
+        assert_eq!(mean_squared_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn log_loss_behaviour() {
+        // Confident correct predictions → small loss; wrong → large.
+        let good = log_loss(&[0.99, 0.01], &[1.0, 0.0]);
+        let bad = log_loss(&[0.01, 0.99], &[1.0, 0.0]);
+        assert!(good < 0.05);
+        assert!(bad > 2.0);
+        assert_eq!(log_loss(&[], &[]), 0.0);
+        // Clamping keeps exact 0/1 probabilities finite.
+        assert!(log_loss(&[1.0], &[0.0]).is_finite());
+    }
+}

@@ -1,0 +1,240 @@
+//! Gaussian naive Bayes.
+//!
+//! A single-pass learner: class priors, per-class per-feature means and
+//! variances are all accumulated in one sequential sweep (Welford updates per
+//! class), making it the cheapest possible M3 workload — one scan, train
+//! done.  Included both as a baseline classifier and as the "single-sweep"
+//! extreme for the access-pattern ablation benchmarks.
+
+use m3_core::storage::RowStore;
+use m3_core::AccessPattern;
+use m3_linalg::ops;
+
+use crate::{MlError, Result};
+
+/// A trained Gaussian naive-Bayes classifier.
+#[derive(Debug, Clone)]
+pub struct GaussianNb {
+    /// Log prior of each class.
+    pub log_priors: Vec<f64>,
+    /// Per-class per-feature means (`n_classes × n_features`, row-major).
+    pub means: Vec<f64>,
+    /// Per-class per-feature variances (same layout, floored for stability).
+    pub variances: Vec<f64>,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Number of features.
+    pub n_features: usize,
+}
+
+/// Trainer for [`GaussianNb`].
+#[derive(Debug, Clone)]
+pub struct GaussianNbTrainer {
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Variance floor added to every estimated variance for numerical
+    /// stability (scikit-learn's `var_smoothing` analogue).
+    pub var_smoothing: f64,
+}
+
+impl GaussianNbTrainer {
+    /// Create a trainer for `n_classes` classes.
+    pub fn new(n_classes: usize) -> Self {
+        Self {
+            n_classes,
+            var_smoothing: 1e-9,
+        }
+    }
+
+    /// Train from `data` and integer labels (stored as `f64`).
+    ///
+    /// # Errors
+    /// Fails on empty data, shape mismatches, or labels outside
+    /// `0..n_classes`.
+    pub fn fit<S: RowStore + ?Sized>(&self, data: &S, labels: &[f64]) -> Result<GaussianNb> {
+        let n = data.n_rows();
+        let d = data.n_cols();
+        let k = self.n_classes;
+        if n == 0 || d == 0 {
+            return Err(MlError::InvalidData("training data is empty".to_string()));
+        }
+        if labels.len() != n {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{n} labels"),
+                found: format!("{} labels", labels.len()),
+            });
+        }
+        if labels.iter().any(|&l| l < 0.0 || l >= k as f64 || l.fract() != 0.0) {
+            return Err(MlError::InvalidData(format!("labels must be integers in 0..{k}")));
+        }
+
+        data.advise(AccessPattern::Sequential);
+        let mut counts = vec![0u64; k];
+        let mut means = vec![0.0; k * d];
+        let mut m2 = vec![0.0; k * d];
+
+        for r in 0..n {
+            let row = data.row(r);
+            let class = labels[r] as usize;
+            counts[class] += 1;
+            let cnt = counts[class] as f64;
+            let mean_row = &mut means[class * d..(class + 1) * d];
+            let m2_row = &mut m2[class * d..(class + 1) * d];
+            for j in 0..d {
+                let delta = row[j] - mean_row[j];
+                mean_row[j] += delta / cnt;
+                m2_row[j] += delta * (row[j] - mean_row[j]);
+            }
+        }
+
+        // Finish: variances with smoothing, log priors.
+        let max_var = {
+            // Global variance scale for the smoothing term.
+            let mut total = 0.0;
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for j in 0..d {
+                        total += m2[c * d + j] / counts[c] as f64;
+                    }
+                }
+            }
+            (total / d as f64).max(1.0)
+        };
+        let floor = self.var_smoothing * max_var;
+        let mut variances = vec![0.0; k * d];
+        for c in 0..k {
+            for j in 0..d {
+                let v = if counts[c] > 0 {
+                    m2[c * d + j] / counts[c] as f64
+                } else {
+                    0.0
+                };
+                variances[c * d + j] = v + floor.max(1e-12);
+            }
+        }
+        let log_priors = counts
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    (c as f64 / n as f64).ln()
+                }
+            })
+            .collect();
+
+        Ok(GaussianNb {
+            log_priors,
+            means,
+            variances,
+            n_classes: k,
+            n_features: d,
+        })
+    }
+}
+
+impl GaussianNb {
+    /// Unnormalised per-class log-posteriors of a row.
+    pub fn log_scores_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.n_features, "feature count mismatch");
+        let d = self.n_features;
+        (0..self.n_classes)
+            .map(|c| {
+                if self.log_priors[c] == f64::NEG_INFINITY {
+                    return f64::NEG_INFINITY;
+                }
+                let mut score = self.log_priors[c];
+                let means = &self.means[c * d..(c + 1) * d];
+                let vars = &self.variances[c * d..(c + 1) * d];
+                for j in 0..d {
+                    let diff = row[j] - means[j];
+                    score -= 0.5 * ((std::f64::consts::TAU * vars[j]).ln() + diff * diff / vars[j]);
+                }
+                score
+            })
+            .collect()
+    }
+
+    /// Most probable class for a row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let scores = self.log_scores_row(row);
+        ops::argmax(&scores).map(|(i, _)| i as f64).unwrap_or(0.0)
+    }
+
+    /// Predicted classes for every row of `data`.
+    pub fn predict<S: RowStore + ?Sized>(&self, data: &S) -> Vec<f64> {
+        (0..data.n_rows()).map(|r| self.predict_row(data.row(r))).collect()
+    }
+
+    /// Classification accuracy over `data`.
+    pub fn accuracy<S: RowStore + ?Sized>(&self, data: &S, labels: &[f64]) -> f64 {
+        crate::metrics::accuracy(&self.predict(data), labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_data::{GaussianBlobs, RowGenerator};
+    use m3_linalg::DenseMatrix;
+
+    #[test]
+    fn fits_gaussian_blobs_almost_perfectly() {
+        let (x, y) = GaussianBlobs::new(3, 5, 10.0, 1.0, 8).materialize(300);
+        let model = GaussianNbTrainer::new(3).fit(&x, &y).unwrap();
+        assert!(model.accuracy(&x, &y) > 0.95);
+    }
+
+    #[test]
+    fn estimated_means_match_generating_centres() {
+        let gen = GaussianBlobs::with_centers(vec![vec![0.0, 5.0], vec![10.0, -5.0]], 0.5, 3);
+        let (x, y) = gen.materialize(400);
+        let model = GaussianNbTrainer::new(2).fit(&x, &y).unwrap();
+        for c in 0..2 {
+            for j in 0..2 {
+                let est = model.means[c * 2 + j];
+                let truth = gen.centers()[c][j];
+                assert!((est - truth).abs() < 0.2, "class {c} feature {j}: {est} vs {truth}");
+            }
+            // Variance should be near 0.25 (std 0.5).
+            for j in 0..2 {
+                let v = model.variances[c * 2 + j];
+                assert!((v - 0.25).abs() < 0.1, "variance {v}");
+            }
+        }
+        // Balanced classes → equal priors.
+        assert!((model.log_priors[0] - model.log_priors[1]).abs() < 0.1);
+    }
+
+    #[test]
+    fn missing_class_gets_zero_prior_and_is_never_predicted() {
+        let x = DenseMatrix::from_rows(&[&[0.0], &[0.1], &[10.0], &[10.1]]).unwrap();
+        let y = [0.0, 0.0, 1.0, 1.0];
+        // Train with 3 classes although class 2 never appears.
+        let model = GaussianNbTrainer::new(3).fit(&x, &y).unwrap();
+        assert_eq!(model.log_priors[2], f64::NEG_INFINITY);
+        let preds = model.predict(&x);
+        assert!(preds.iter().all(|&p| p != 2.0));
+        assert_eq!(preds, vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let x = DenseMatrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        assert!(GaussianNbTrainer::new(2).fit(&x, &[0.0]).is_err());
+        assert!(GaussianNbTrainer::new(2).fit(&x, &[0.0, 5.0]).is_err());
+        let empty = DenseMatrix::zeros(0, 1);
+        assert!(GaussianNbTrainer::new(2).fit(&empty, &[]).is_err());
+    }
+
+    #[test]
+    fn mmap_and_in_memory_agree() {
+        let (x, y) = GaussianBlobs::new(2, 3, 5.0, 1.0, 21).materialize(100);
+        let dir = tempfile::tempdir().unwrap();
+        let mapped = m3_core::alloc::persist_matrix(dir.path().join("nb.m3"), &x).unwrap();
+        let a = GaussianNbTrainer::new(2).fit(&x, &y).unwrap();
+        let b = GaussianNbTrainer::new(2).fit(&mapped, &y).unwrap();
+        assert!(ops::approx_eq(&a.means, &b.means, 1e-12));
+        assert!(ops::approx_eq(&a.variances, &b.variances, 1e-12));
+    }
+}

@@ -1,0 +1,170 @@
+//! Feature preprocessing that works over out-of-core data.
+//!
+//! A standardiser over a 190 GB memory-mapped dataset cannot materialise the
+//! transformed matrix; instead [`Standardizer`] is fitted with one streaming
+//! sweep and then applied lazily, row by row, as algorithms pull data.
+
+use m3_core::storage::RowStore;
+use m3_core::AccessPattern;
+use m3_linalg::stats::RunningStats;
+use m3_linalg::{parallel, DenseMatrix};
+
+use crate::{MlError, Result};
+
+/// Z-score standardisation fitted from any [`RowStore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    /// Per-feature means.
+    pub mean: Vec<f64>,
+    /// Per-feature standard deviations (zero-variance columns keep 0).
+    pub std_dev: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit means and standard deviations with a chunk-parallel sweep.
+    ///
+    /// # Errors
+    /// Fails when the data has no rows.
+    pub fn fit<S: RowStore + Sync + ?Sized>(data: &S, n_threads: usize) -> Result<Self> {
+        if data.n_rows() == 0 {
+            return Err(MlError::InvalidData("cannot fit a standardizer on zero rows".into()));
+        }
+        data.advise(AccessPattern::Sequential);
+        let d = data.n_cols();
+        let threads = crate::resolve_threads(n_threads);
+        let stats = parallel::par_chunked_map_reduce(
+            data.n_rows(),
+            threads,
+            |range| {
+                let mut acc = RunningStats::new(d);
+                let block = data.rows_slice(range.start, range.end);
+                for row in block.chunks_exact(d) {
+                    acc.push_row(row);
+                }
+                acc
+            },
+            RunningStats::new(d),
+            |mut a, b| {
+                a.merge(&b);
+                a
+            },
+        );
+        Ok(Self {
+            mean: stats.mean().to_vec(),
+            std_dev: stats.std_dev(),
+        })
+    }
+
+    /// Number of features this standardiser was fitted on.
+    pub fn n_features(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardise a single row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.n_features(), "feature count mismatch");
+        for j in 0..row.len() {
+            row[j] -= self.mean[j];
+            if self.std_dev[j] > 1e-12 {
+                row[j] /= self.std_dev[j];
+            }
+        }
+    }
+
+    /// Materialise the standardised copy of an entire store (only sensible
+    /// for data that fits in memory, e.g. a test split).
+    pub fn transform_to_matrix<S: RowStore + ?Sized>(&self, data: &S) -> DenseMatrix {
+        let d = data.n_cols();
+        let mut out = vec![0.0; data.n_rows() * d];
+        for r in 0..data.n_rows() {
+            let dst = &mut out[r * d..(r + 1) * d];
+            dst.copy_from_slice(data.row(r));
+            self.transform_row(dst);
+        }
+        DenseMatrix::from_vec(out, data.n_rows(), d).expect("shape preserved")
+    }
+}
+
+/// Copy a store into an owned matrix with a constant `1.0` column appended —
+/// the explicit-bias formulation some texts use.  Provided for completeness;
+/// the built-in models carry their bias separately instead.
+pub fn append_bias_column<S: RowStore + ?Sized>(data: &S) -> DenseMatrix {
+    let d = data.n_cols();
+    let mut out = vec![0.0; data.n_rows() * (d + 1)];
+    for r in 0..data.n_rows() {
+        let dst = &mut out[r * (d + 1)..(r + 1) * (d + 1)];
+        dst[..d].copy_from_slice(data.row(r));
+        dst[d] = 1.0;
+    }
+    DenseMatrix::from_vec(out, data.n_rows(), d + 1).expect("shape preserved")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_linalg::stats::ColumnStats;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(&[&[1.0, 100.0], &[2.0, 200.0], &[3.0, 300.0], &[4.0, 400.0]])
+            .unwrap()
+    }
+
+    #[test]
+    fn fit_matches_batch_statistics() {
+        let m = sample();
+        let s = Standardizer::fit(&m, 2).unwrap();
+        let batch = ColumnStats::compute(&m.view());
+        for j in 0..2 {
+            assert!((s.mean[j] - batch.mean[j]).abs() < 1e-12);
+            assert!((s.std_dev[j] - batch.std_dev[j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transformed_data_has_zero_mean_unit_variance() {
+        let m = sample();
+        let s = Standardizer::fit(&m, 1).unwrap();
+        let t = s.transform_to_matrix(&m);
+        let stats = ColumnStats::compute(&t.view());
+        for j in 0..2 {
+            assert!(stats.mean[j].abs() < 1e-12);
+            assert!((stats.std_dev[j] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_columns_are_only_centred() {
+        let m = DenseMatrix::from_rows(&[&[5.0, 1.0], &[5.0, 2.0]]).unwrap();
+        let s = Standardizer::fit(&m, 1).unwrap();
+        let mut row = [5.0, 1.5];
+        s.transform_row(&mut row);
+        assert_eq!(row[0], 0.0);
+        assert_eq!(s.n_features(), 2);
+    }
+
+    #[test]
+    fn parallel_and_serial_fit_agree() {
+        let m = sample();
+        let a = Standardizer::fit(&m, 1).unwrap();
+        let b = Standardizer::fit(&m, 4).unwrap();
+        assert!(m3_linalg::ops::approx_eq(&a.mean, &b.mean, 1e-12));
+        assert!(m3_linalg::ops::approx_eq(&a.std_dev, &b.std_dev, 1e-12));
+    }
+
+    #[test]
+    fn empty_data_is_rejected() {
+        let empty = DenseMatrix::zeros(0, 3);
+        assert!(Standardizer::fit(&empty, 1).is_err());
+    }
+
+    #[test]
+    fn append_bias_adds_constant_column() {
+        let m = sample();
+        let b = append_bias_column(&m);
+        assert_eq!(b.shape(), (4, 3));
+        for r in 0..4 {
+            assert_eq!(b.get(r, 2), 1.0);
+            assert_eq!(b.get(r, 0), m.get(r, 0));
+        }
+    }
+}

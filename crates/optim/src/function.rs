@@ -1,0 +1,107 @@
+//! Objective-function traits.
+
+/// A smooth objective function `f: ℝᵈ → ℝ` with an analytic gradient.
+///
+/// Implemented by the loss functions in `m3-ml` (logistic loss, softmax
+/// cross-entropy, squared error).  Those implementations compute the value and
+/// gradient by sweeping the rows of a `RowStore`, so the optimiser never needs
+/// to know whether the data is in RAM or memory-mapped — that is the M3
+/// property under test.
+pub trait DifferentiableFunction {
+    /// Dimensionality `d` of the parameter vector.
+    fn dimension(&self) -> usize;
+
+    /// Objective value at `w` (`w.len() == dimension()`).
+    fn value(&self, w: &[f64]) -> f64;
+
+    /// Write the gradient at `w` into `grad` (`grad.len() == dimension()`).
+    fn gradient(&self, w: &[f64], grad: &mut [f64]);
+
+    /// Compute value and gradient together.  Override when a fused
+    /// implementation can share the data sweep (the `m3-ml` losses do, which
+    /// halves the number of passes over an out-of-core dataset).
+    fn value_and_gradient(&self, w: &[f64], grad: &mut [f64]) -> f64 {
+        self.gradient(w, grad);
+        self.value(w)
+    }
+}
+
+/// An objective that can also evaluate noisy value/gradient estimates on a
+/// subset ("mini-batch") of its data — the contract SGD needs.
+pub trait StochasticFunction: DifferentiableFunction {
+    /// Number of examples the full objective averages over.
+    fn n_examples(&self) -> usize;
+
+    /// Write the gradient of the loss restricted to `examples` into `grad`
+    /// and return the corresponding loss value.
+    fn batch_value_and_gradient(&self, w: &[f64], examples: &[usize], grad: &mut [f64]) -> f64;
+}
+
+/// Numerically estimate a gradient by central differences.  Intended for
+/// tests that validate analytic gradients; O(d) objective evaluations.
+pub fn numerical_gradient<F: DifferentiableFunction + ?Sized>(
+    f: &F,
+    w: &[f64],
+    step: f64,
+) -> Vec<f64> {
+    let mut grad = vec![0.0; w.len()];
+    let mut probe = w.to_vec();
+    for i in 0..w.len() {
+        let original = probe[i];
+        probe[i] = original + step;
+        let plus = f.value(&probe);
+        probe[i] = original - step;
+        let minus = f.value(&probe);
+        probe[i] = original;
+        grad[i] = (plus - minus) / (2.0 * step);
+    }
+    grad
+}
+
+/// Check an analytic gradient against central differences, returning the
+/// maximum absolute element-wise discrepancy.
+pub fn gradient_check<F: DifferentiableFunction + ?Sized>(f: &F, w: &[f64], step: f64) -> f64 {
+    let mut analytic = vec![0.0; w.len()];
+    f.gradient(w, &mut analytic);
+    let numeric = numerical_gradient(f, w, step);
+    analytic
+        .iter()
+        .zip(&numeric)
+        .map(|(a, n)| (a - n).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_functions::{Quadratic, Rosenbrock};
+
+    #[test]
+    fn default_value_and_gradient_combines_both() {
+        let f = Quadratic::new(vec![1.0, 2.0], vec![1.0, -1.0]);
+        let mut grad = vec![0.0; 2];
+        let v = f.value_and_gradient(&[0.0, 0.0], &mut grad);
+        assert_eq!(v, 1.0 + 2.0);
+        assert_eq!(grad, vec![-2.0, 4.0]);
+    }
+
+    #[test]
+    fn numerical_gradient_matches_analytic_quadratic() {
+        let f = Quadratic::new(vec![1.0, 3.0, 0.5], vec![0.0, 2.0, -1.0]);
+        let err = gradient_check(&f, &[0.3, -0.7, 1.9], 1e-5);
+        assert!(err < 1e-6, "max gradient error {err}");
+    }
+
+    #[test]
+    fn numerical_gradient_matches_analytic_rosenbrock() {
+        let err = gradient_check(&Rosenbrock, &[-0.5, 0.7], 1e-5);
+        assert!(err < 1e-4, "max gradient error {err}");
+    }
+
+    #[test]
+    fn numerical_gradient_values() {
+        let f = Quadratic::new(vec![1.0], vec![0.0]);
+        let g = numerical_gradient(&f, &[2.0], 1e-6);
+        assert!((g[0] - 4.0).abs() < 1e-5);
+    }
+}

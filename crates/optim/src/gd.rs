@@ -1,0 +1,201 @@
+//! Plain batch gradient descent.
+//!
+//! Included as the simplest full-sweep baseline: every iteration reads the
+//! whole dataset once (one gradient evaluation), making it the cleanest
+//! workload for studying the sequential mmap access pattern in isolation.
+
+use m3_linalg::{norm, ops};
+
+use crate::function::DifferentiableFunction;
+use crate::line_search::{backtracking, BacktrackingParams};
+use crate::termination::{OptimizationResult, TerminationCriteria, TerminationReason};
+
+/// How the step length is chosen at each iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepRule {
+    /// A constant step length.
+    Fixed(f64),
+    /// `initial / (1 + decay · iteration)`.
+    Decaying {
+        /// Step used at iteration 0.
+        initial: f64,
+        /// Decay rate per iteration.
+        decay: f64,
+    },
+    /// Armijo backtracking from the given initial step.
+    Backtracking(BacktrackingParams),
+}
+
+/// Batch gradient descent.
+#[derive(Debug, Clone)]
+pub struct GradientDescent {
+    /// Step-length rule.
+    pub step_rule: StepRule,
+    /// Stopping rules.
+    pub criteria: TerminationCriteria,
+}
+
+impl Default for GradientDescent {
+    fn default() -> Self {
+        Self {
+            step_rule: StepRule::Backtracking(BacktrackingParams::default()),
+            criteria: TerminationCriteria::default(),
+        }
+    }
+}
+
+impl GradientDescent {
+    /// Create a gradient-descent optimiser with the default backtracking rule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use a fixed step length.
+    pub fn with_fixed_step(step: f64) -> Self {
+        Self {
+            step_rule: StepRule::Fixed(step),
+            ..Self::default()
+        }
+    }
+
+    /// Set the stopping rules.
+    pub fn criteria(mut self, criteria: TerminationCriteria) -> Self {
+        self.criteria = criteria;
+        self
+    }
+
+    /// Minimise `f` from `initial`.
+    pub fn run<F: DifferentiableFunction + ?Sized>(
+        &self,
+        f: &F,
+        initial: Vec<f64>,
+    ) -> OptimizationResult {
+        let d = f.dimension();
+        assert_eq!(initial.len(), d, "initial point has wrong dimension");
+
+        let mut w = initial;
+        let mut grad = vec![0.0; d];
+        let mut value = f.value_and_gradient(&w, &mut grad);
+        let mut evaluations = 1usize;
+        let mut value_history = Vec::new();
+        let mut iterations = 0usize;
+
+        loop {
+            let direction: Vec<f64> = grad.iter().map(|g| -g).collect();
+            let step = match &self.step_rule {
+                StepRule::Fixed(s) => *s,
+                StepRule::Decaying { initial, decay } => {
+                    initial / (1.0 + decay * iterations as f64)
+                }
+                StepRule::Backtracking(params) => {
+                    let ls = backtracking(f, &w, &direction, value, &grad, params);
+                    evaluations += ls.evaluations;
+                    if !ls.success {
+                        return OptimizationResult {
+                            weights: w,
+                            value,
+                            iterations,
+                            function_evaluations: evaluations,
+                            reason: TerminationReason::LineSearchFailed,
+                            value_history,
+                        };
+                    }
+                    ls.step
+                }
+            };
+
+            ops::axpy(step, &direction, &mut w);
+            let previous_value = value;
+            value = f.value_and_gradient(&w, &mut grad);
+            evaluations += 1;
+            iterations += 1;
+            value_history.push(value);
+
+            if let Some(reason) =
+                self.criteria
+                    .should_stop(iterations - 1, norm::l2(&grad), previous_value, value)
+            {
+                return OptimizationResult {
+                    weights: w,
+                    value,
+                    iterations,
+                    function_evaluations: evaluations,
+                    reason,
+                    value_history,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_functions::Quadratic;
+
+    #[test]
+    fn backtracking_gd_converges_on_quadratic() {
+        let f = Quadratic::new(vec![1.0, 5.0], vec![2.0, -3.0]);
+        let r = GradientDescent::new()
+            .criteria(TerminationCriteria {
+                max_iterations: 500,
+                ..Default::default()
+            })
+            .run(&f, vec![0.0, 0.0]);
+        assert!(r.converged());
+        assert!((r.weights[0] - 2.0).abs() < 1e-3);
+        assert!((r.weights[1] + 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fixed_step_gd_converges_with_small_step() {
+        let f = Quadratic::new(vec![1.0], vec![4.0]);
+        let r = GradientDescent::with_fixed_step(0.1)
+            .criteria(TerminationCriteria {
+                max_iterations: 1000,
+                gradient_tolerance: 1e-8,
+                function_tolerance: 0.0,
+            })
+            .run(&f, vec![0.0]);
+        assert!((r.weights[0] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fixed_step_too_large_diverges_to_numerical_error() {
+        let f = Quadratic::new(vec![10.0], vec![0.0]);
+        // step 1.0 with curvature 20 ⇒ |1 - 20| = 19 > 1: divergence.
+        let r = GradientDescent::with_fixed_step(1.0)
+            .criteria(TerminationCriteria {
+                max_iterations: 10_000,
+                gradient_tolerance: 0.0,
+                function_tolerance: 0.0,
+            })
+            .run(&f, vec![1.0]);
+        assert_eq!(r.reason, TerminationReason::NumericalError);
+    }
+
+    #[test]
+    fn decaying_step_reduces_objective() {
+        let f = Quadratic::new(vec![1.0, 1.0], vec![1.0, 1.0]);
+        let gd = GradientDescent {
+            step_rule: StepRule::Decaying {
+                initial: 0.5,
+                decay: 0.1,
+            },
+            criteria: TerminationCriteria::fixed_iterations(50),
+        };
+        let r = gd.run(&f, vec![10.0, -10.0]);
+        assert!(r.value < f.value(&[10.0, -10.0]));
+        assert_eq!(r.iterations, 50);
+    }
+
+    #[test]
+    fn evaluation_count_includes_line_search() {
+        let f = Quadratic::new(vec![1.0], vec![0.0]);
+        let r = GradientDescent::new()
+            .criteria(TerminationCriteria::fixed_iterations(3))
+            .run(&f, vec![8.0]);
+        // 1 initial + per-iteration (line search ≥1 + gradient refresh).
+        assert!(r.function_evaluations >= 1 + 3 * 2);
+    }
+}

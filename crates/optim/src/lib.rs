@@ -1,0 +1,109 @@
+//! # m3-optim — numerical optimisation substrate
+//!
+//! The M3 paper evaluates logistic regression trained with **L-BFGS** (10
+//! iterations).  mlpack ships its own optimiser suite; this crate is the
+//! equivalent substrate built from scratch for the reproduction:
+//!
+//! * [`lbfgs::Lbfgs`] — limited-memory BFGS with the standard two-loop
+//!   recursion and a strong-Wolfe line search (the algorithm behind the
+//!   paper's headline logistic-regression experiments),
+//! * [`gd::GradientDescent`] — plain batch gradient descent (baseline),
+//! * [`sgd::Sgd`] — mini-batch stochastic gradient descent, covering the
+//!   paper's "online learning" future-work direction,
+//! * [`line_search`] — Armijo backtracking and strong-Wolfe searches,
+//! * [`function::DifferentiableFunction`] — the objective-function trait that
+//!   `m3-ml` models implement; because models compute their objective by
+//!   scanning a [`RowStore`](../m3_core/storage/trait.RowStore.html), the same
+//!   optimiser drives in-memory and memory-mapped training runs.
+//!
+//! ## Example: minimising a quadratic
+//!
+//! ```
+//! use m3_optim::function::DifferentiableFunction;
+//! use m3_optim::lbfgs::Lbfgs;
+//!
+//! struct Quadratic;
+//! impl DifferentiableFunction for Quadratic {
+//!     fn dimension(&self) -> usize { 2 }
+//!     fn value(&self, w: &[f64]) -> f64 {
+//!         (w[0] - 3.0).powi(2) + 2.0 * (w[1] + 1.0).powi(2)
+//!     }
+//!     fn gradient(&self, w: &[f64], grad: &mut [f64]) {
+//!         grad[0] = 2.0 * (w[0] - 3.0);
+//!         grad[1] = 4.0 * (w[1] + 1.0);
+//!     }
+//! }
+//!
+//! let result = Lbfgs::new().run(&Quadratic, vec![0.0, 0.0]);
+//! assert!((result.weights[0] - 3.0).abs() < 1e-6);
+//! assert!((result.weights[1] + 1.0).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod function;
+pub mod gd;
+pub mod lbfgs;
+pub mod line_search;
+pub mod sgd;
+pub mod termination;
+
+pub use function::{DifferentiableFunction, StochasticFunction};
+pub use lbfgs::Lbfgs;
+pub use termination::{OptimizationResult, TerminationCriteria, TerminationReason};
+
+#[cfg(test)]
+pub(crate) mod test_functions {
+    //! Shared analytic test objectives.
+    use crate::function::DifferentiableFunction;
+
+    /// `f(w) = Σ aᵢ (wᵢ - cᵢ)²`, a separable convex quadratic.
+    pub struct Quadratic {
+        pub scale: Vec<f64>,
+        pub center: Vec<f64>,
+    }
+
+    impl Quadratic {
+        pub fn new(scale: Vec<f64>, center: Vec<f64>) -> Self {
+            assert_eq!(scale.len(), center.len());
+            Self { scale, center }
+        }
+    }
+
+    impl DifferentiableFunction for Quadratic {
+        fn dimension(&self) -> usize {
+            self.scale.len()
+        }
+        fn value(&self, w: &[f64]) -> f64 {
+            w.iter()
+                .zip(&self.scale)
+                .zip(&self.center)
+                .map(|((wi, ai), ci)| ai * (wi - ci).powi(2))
+                .sum()
+        }
+        fn gradient(&self, w: &[f64], grad: &mut [f64]) {
+            for i in 0..w.len() {
+                grad[i] = 2.0 * self.scale[i] * (w[i] - self.center[i]);
+            }
+        }
+    }
+
+    /// The 2-D Rosenbrock function, a classic non-convex benchmark with the
+    /// minimum at (1, 1).
+    pub struct Rosenbrock;
+
+    impl DifferentiableFunction for Rosenbrock {
+        fn dimension(&self) -> usize {
+            2
+        }
+        fn value(&self, w: &[f64]) -> f64 {
+            let (x, y) = (w[0], w[1]);
+            (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2)
+        }
+        fn gradient(&self, w: &[f64], grad: &mut [f64]) {
+            let (x, y) = (w[0], w[1]);
+            grad[0] = -2.0 * (1.0 - x) - 400.0 * x * (y - x * x);
+            grad[1] = 200.0 * (y - x * x);
+        }
+    }
+}

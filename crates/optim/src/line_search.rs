@@ -1,0 +1,341 @@
+//! Line searches used by the batch optimisers.
+//!
+//! Both searches evaluate the objective along `w + α·p`.  Every evaluation is
+//! a full sweep over the training data, so for out-of-core datasets the number
+//! of line-search evaluations is a first-order driver of runtime — the
+//! backtracking search is therefore tuned to accept early, and the L-BFGS
+//! driver counts evaluations so the benchmarks can report data sweeps.
+
+use crate::function::DifferentiableFunction;
+
+/// Outcome of a line search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineSearchResult {
+    /// Accepted step length `α`.
+    pub step: f64,
+    /// Objective value at the accepted point.
+    pub value: f64,
+    /// Number of objective (and possibly gradient) evaluations used.
+    pub evaluations: usize,
+    /// Whether the search found a step satisfying its acceptance condition.
+    pub success: bool,
+}
+
+/// Parameters for [`backtracking`] (Armijo condition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BacktrackingParams {
+    /// Initial step length tried first.
+    pub initial_step: f64,
+    /// Multiplicative shrink factor applied after each rejection (in (0, 1)).
+    pub shrink: f64,
+    /// Armijo sufficient-decrease constant `c₁ ∈ (0, 1)`.
+    pub c1: f64,
+    /// Maximum number of shrink steps.
+    pub max_steps: usize,
+}
+
+impl Default for BacktrackingParams {
+    fn default() -> Self {
+        Self {
+            initial_step: 1.0,
+            shrink: 0.5,
+            c1: 1e-4,
+            max_steps: 50,
+        }
+    }
+}
+
+/// Armijo backtracking line search along direction `p` from `w`.
+///
+/// `value0` and `grad0` are the objective value and gradient at `w` (already
+/// computed by the caller, so they are not re-evaluated).
+pub fn backtracking<F: DifferentiableFunction + ?Sized>(
+    f: &F,
+    w: &[f64],
+    p: &[f64],
+    value0: f64,
+    grad0: &[f64],
+    params: &BacktrackingParams,
+) -> LineSearchResult {
+    let directional: f64 = grad0.iter().zip(p).map(|(g, d)| g * d).sum();
+    let mut step = params.initial_step;
+    let mut evaluations = 0;
+    let mut trial = vec![0.0; w.len()];
+
+    for _ in 0..params.max_steps {
+        for i in 0..w.len() {
+            trial[i] = w[i] + step * p[i];
+        }
+        let value = f.value(&trial);
+        evaluations += 1;
+        if value.is_finite() && value <= value0 + params.c1 * step * directional {
+            return LineSearchResult {
+                step,
+                value,
+                evaluations,
+                success: true,
+            };
+        }
+        step *= params.shrink;
+    }
+    LineSearchResult {
+        step: 0.0,
+        value: value0,
+        evaluations,
+        success: false,
+    }
+}
+
+/// Parameters for [`strong_wolfe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WolfeParams {
+    /// Sufficient-decrease constant `c₁`.
+    pub c1: f64,
+    /// Curvature constant `c₂ > c₁`.
+    pub c2: f64,
+    /// Initial step length.
+    pub initial_step: f64,
+    /// Largest step length considered.
+    pub max_step: f64,
+    /// Maximum number of bracketing/zoom iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for WolfeParams {
+    fn default() -> Self {
+        Self {
+            c1: 1e-4,
+            c2: 0.9,
+            initial_step: 1.0,
+            max_step: 1e3,
+            max_iterations: 30,
+        }
+    }
+}
+
+/// Strong-Wolfe line search (Nocedal & Wright, Algorithm 3.5/3.6).
+///
+/// Finds a step satisfying both the sufficient-decrease and the strong
+/// curvature condition; L-BFGS requires the latter to keep its curvature
+/// pairs positive-definite.
+pub fn strong_wolfe<F: DifferentiableFunction + ?Sized>(
+    f: &F,
+    w: &[f64],
+    p: &[f64],
+    value0: f64,
+    grad0: &[f64],
+    params: &WolfeParams,
+) -> LineSearchResult {
+    let d0: f64 = grad0.iter().zip(p).map(|(g, d)| g * d).sum();
+    if d0 >= 0.0 {
+        // Not a descent direction; nothing sensible to do.
+        return LineSearchResult {
+            step: 0.0,
+            value: value0,
+            evaluations: 0,
+            success: false,
+        };
+    }
+
+    let n = w.len();
+    let mut trial = vec![0.0; n];
+    let mut grad = vec![0.0; n];
+    let mut evaluations = 0;
+
+    let eval = |step: f64, trial: &mut [f64], grad: &mut [f64], evals: &mut usize| {
+        for i in 0..n {
+            trial[i] = w[i] + step * p[i];
+        }
+        let v = f.value_and_gradient(trial, grad);
+        *evals += 1;
+        let d: f64 = grad.iter().zip(p).map(|(g, dir)| g * dir).sum();
+        (v, d)
+    };
+
+    let mut prev_step = 0.0;
+    let mut prev_value = value0;
+    let mut prev_d = d0;
+    let mut step = params.initial_step.min(params.max_step);
+
+    for iter in 0..params.max_iterations {
+        let (value, d) = eval(step, &mut trial, &mut grad, &mut evaluations);
+
+        let armijo_violated = value > value0 + params.c1 * step * d0
+            || (iter > 0 && value >= prev_value);
+        if armijo_violated {
+            return zoom(
+                f, w, p, value0, d0, prev_step, prev_value, prev_d, step, value, params,
+                &mut trial, &mut grad, &mut evaluations,
+            );
+        }
+        if d.abs() <= -params.c2 * d0 {
+            return LineSearchResult {
+                step,
+                value,
+                evaluations,
+                success: true,
+            };
+        }
+        if d >= 0.0 {
+            return zoom(
+                f, w, p, value0, d0, step, value, d, prev_step, prev_value, params,
+                &mut trial, &mut grad, &mut evaluations,
+            );
+        }
+        prev_step = step;
+        prev_value = value;
+        prev_d = d;
+        step = (step * 2.0).min(params.max_step);
+        if (step - params.max_step).abs() < f64::EPSILON && iter > 3 {
+            break;
+        }
+    }
+
+    LineSearchResult {
+        step: prev_step,
+        value: prev_value,
+        evaluations,
+        success: prev_step > 0.0,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn zoom<F: DifferentiableFunction + ?Sized>(
+    f: &F,
+    w: &[f64],
+    p: &[f64],
+    value0: f64,
+    d0: f64,
+    mut lo_step: f64,
+    mut lo_value: f64,
+    lo_d: f64,
+    mut hi_step: f64,
+    mut hi_value: f64,
+    params: &WolfeParams,
+    trial: &mut [f64],
+    grad: &mut [f64],
+    evaluations: &mut usize,
+) -> LineSearchResult {
+    let n = w.len();
+    let _ = lo_d; // retained for clarity of the textbook signature
+    for _ in 0..params.max_iterations {
+        // Bisection keeps the implementation simple and robust; cubic
+        // interpolation would only save a handful of evaluations.
+        let step = 0.5 * (lo_step + hi_step);
+        for i in 0..n {
+            trial[i] = w[i] + step * p[i];
+        }
+        let value = f.value_and_gradient(trial, grad);
+        *evaluations += 1;
+        let d: f64 = grad.iter().zip(p).map(|(g, dir)| g * dir).sum();
+
+        if value > value0 + params.c1 * step * d0 || value >= lo_value {
+            hi_step = step;
+            hi_value = value;
+        } else {
+            if d.abs() <= -params.c2 * d0 {
+                return LineSearchResult {
+                    step,
+                    value,
+                    evaluations: *evaluations,
+                    success: true,
+                };
+            }
+            if d * (hi_step - lo_step) >= 0.0 {
+                hi_step = lo_step;
+                hi_value = lo_value;
+            }
+            lo_step = step;
+            lo_value = value;
+        }
+        if (hi_step - lo_step).abs() < 1e-12 {
+            break;
+        }
+    }
+    let _ = hi_value;
+    LineSearchResult {
+        step: lo_step,
+        value: lo_value,
+        evaluations: *evaluations,
+        success: lo_step > 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_functions::{Quadratic, Rosenbrock};
+    use crate::function::DifferentiableFunction;
+
+    fn setup(f: &impl DifferentiableFunction, w: &[f64]) -> (f64, Vec<f64>, Vec<f64>) {
+        let mut grad = vec![0.0; w.len()];
+        let value = f.value_and_gradient(w, &mut grad);
+        let direction: Vec<f64> = grad.iter().map(|g| -g).collect();
+        (value, grad, direction)
+    }
+
+    #[test]
+    fn backtracking_decreases_quadratic() {
+        let f = Quadratic::new(vec![1.0, 1.0], vec![0.0, 0.0]);
+        let w = [4.0, -2.0];
+        let (v0, g0, p) = setup(&f, &w);
+        let r = backtracking(&f, &w, &p, v0, &g0, &BacktrackingParams::default());
+        assert!(r.success);
+        assert!(r.value < v0);
+        assert!(r.step > 0.0);
+        assert!(r.evaluations >= 1);
+    }
+
+    #[test]
+    fn backtracking_fails_on_ascent_direction() {
+        let f = Quadratic::new(vec![1.0], vec![0.0]);
+        let w = [1.0];
+        let (v0, g0, _) = setup(&f, &w);
+        // Deliberately search uphill: the Armijo condition can never hold.
+        let r = backtracking(&f, &w, &[1.0], v0, &g0, &BacktrackingParams {
+            max_steps: 5,
+            ..Default::default()
+        });
+        assert!(!r.success);
+        assert_eq!(r.step, 0.0);
+    }
+
+    #[test]
+    fn strong_wolfe_satisfies_conditions_on_quadratic() {
+        let f = Quadratic::new(vec![0.5, 2.0], vec![1.0, -1.0]);
+        let w = [5.0, 5.0];
+        let (v0, g0, p) = setup(&f, &w);
+        let params = WolfeParams::default();
+        let r = strong_wolfe(&f, &w, &p, v0, &g0, &params);
+        assert!(r.success);
+
+        // Verify both Wolfe conditions at the returned step.
+        let d0: f64 = g0.iter().zip(&p).map(|(g, d)| g * d).sum();
+        let trial: Vec<f64> = w.iter().zip(&p).map(|(wi, pi)| wi + r.step * pi).collect();
+        let mut g = vec![0.0; 2];
+        let v = f.value_and_gradient(&trial, &mut g);
+        let d: f64 = g.iter().zip(&p).map(|(gi, pi)| gi * pi).sum();
+        assert!(v <= v0 + params.c1 * r.step * d0 + 1e-12, "sufficient decrease");
+        assert!(d.abs() <= -params.c2 * d0 + 1e-12, "curvature condition");
+    }
+
+    #[test]
+    fn strong_wolfe_on_rosenbrock_makes_progress() {
+        let f = Rosenbrock;
+        let w = [-1.2, 1.0];
+        let (v0, g0, p) = setup(&f, &w);
+        let r = strong_wolfe(&f, &w, &p, v0, &g0, &WolfeParams::default());
+        assert!(r.success);
+        assert!(r.value < v0);
+    }
+
+    #[test]
+    fn strong_wolfe_rejects_non_descent_direction() {
+        let f = Quadratic::new(vec![1.0], vec![0.0]);
+        let w = [2.0];
+        let (v0, g0, _) = setup(&f, &w);
+        let r = strong_wolfe(&f, &w, &[1.0], v0, &g0, &WolfeParams::default());
+        assert!(!r.success);
+        assert_eq!(r.evaluations, 0);
+    }
+}

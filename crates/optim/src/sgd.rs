@@ -1,0 +1,316 @@
+//! Mini-batch stochastic gradient descent.
+//!
+//! The paper's ongoing-work section singles out *online learning* as the next
+//! target for M3.  SGD is the canonical online method, and it matters for the
+//! memory-mapping story because its access pattern is the opposite of
+//! L-BFGS's: random row sampling defeats OS read-ahead, which is exactly the
+//! contrast the `m3-vmsim` ablation benchmarks quantify.  Shuffled-epoch mode
+//! (the default here) restores near-sequential locality by permuting once per
+//! epoch and then scanning.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use m3_linalg::{norm, ops};
+
+use crate::function::StochasticFunction;
+use crate::termination::{OptimizationResult, TerminationReason};
+
+/// How examples are drawn for each mini-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingScheme {
+    /// Shuffle the example order once per epoch, then take consecutive
+    /// batches.  Mostly-sequential access: mmap-friendly.
+    ShuffledEpochs,
+    /// Draw every batch uniformly at random with replacement.  Random access:
+    /// the pathological pattern for paging.
+    UniformRandom,
+    /// Take batches in the natural row order without shuffling: perfectly
+    /// sequential (useful as an I/O upper-bound reference).
+    Sequential,
+}
+
+/// Mini-batch SGD configuration.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Learning-rate decay per epoch: `lr / (1 + decay · epoch)`.
+    pub decay: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// How batches are drawn.
+    pub sampling: SamplingScheme,
+    /// RNG seed (runs are deterministic for a given seed).
+    pub seed: u64,
+}
+
+impl Default for Sgd {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.1,
+            decay: 0.01,
+            batch_size: 128,
+            epochs: 10,
+            sampling: SamplingScheme::ShuffledEpochs,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl Sgd {
+    /// Create an SGD optimiser with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style setter for the learning rate.
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Builder-style setter for the batch size.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n.max(1);
+        self
+    }
+
+    /// Builder-style setter for the number of epochs.
+    pub fn epochs(mut self, n: usize) -> Self {
+        self.epochs = n;
+        self
+    }
+
+    /// Builder-style setter for the sampling scheme.
+    pub fn sampling(mut self, scheme: SamplingScheme) -> Self {
+        self.sampling = scheme;
+        self
+    }
+
+    /// Builder-style setter for the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Minimise `f` from `initial`.
+    pub fn run<F: StochasticFunction + ?Sized>(
+        &self,
+        f: &F,
+        initial: Vec<f64>,
+    ) -> OptimizationResult {
+        let d = f.dimension();
+        assert_eq!(initial.len(), d, "initial point has wrong dimension");
+        let n = f.n_examples();
+        let mut w = initial;
+        let mut grad = vec![0.0; d];
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut evaluations = 0usize;
+        let mut value_history = Vec::with_capacity(self.epochs);
+
+        if n == 0 || self.epochs == 0 {
+            let value = f.value(&w);
+            return OptimizationResult {
+                weights: w,
+                value,
+                iterations: 0,
+                function_evaluations: 1,
+                reason: TerminationReason::MaxIterations,
+                value_history,
+            };
+        }
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let batch = self.batch_size.min(n);
+
+        for epoch in 0..self.epochs {
+            let lr = self.learning_rate / (1.0 + self.decay * epoch as f64);
+            match self.sampling {
+                SamplingScheme::ShuffledEpochs => order.shuffle(&mut rng),
+                SamplingScheme::Sequential | SamplingScheme::UniformRandom => {}
+            }
+
+            let n_batches = n.div_ceil(batch);
+            for b in 0..n_batches {
+                let examples: Vec<usize> = match self.sampling {
+                    SamplingScheme::UniformRandom => {
+                        (0..batch).map(|_| rng.gen_range(0..n)).collect()
+                    }
+                    _ => {
+                        let start = b * batch;
+                        let end = ((b + 1) * batch).min(n);
+                        order[start..end].to_vec()
+                    }
+                };
+                f.batch_value_and_gradient(&w, &examples, &mut grad);
+                evaluations += 1;
+                if grad.iter().any(|g| !g.is_finite()) {
+                    return OptimizationResult {
+                        weights: w,
+                        value: f64::NAN,
+                        iterations: epoch,
+                        function_evaluations: evaluations,
+                        reason: TerminationReason::NumericalError,
+                        value_history,
+                    };
+                }
+                ops::axpy(-lr, &grad, &mut w);
+            }
+
+            let value = f.value(&w);
+            evaluations += 1;
+            value_history.push(value);
+            if !value.is_finite() || norm::l2(&w).is_nan() {
+                return OptimizationResult {
+                    weights: w,
+                    value,
+                    iterations: epoch + 1,
+                    function_evaluations: evaluations,
+                    reason: TerminationReason::NumericalError,
+                    value_history,
+                };
+            }
+        }
+
+        let value = *value_history.last().expect("at least one epoch ran");
+        OptimizationResult {
+            weights: w,
+            value,
+            iterations: self.epochs,
+            function_evaluations: evaluations,
+            reason: TerminationReason::MaxIterations,
+            value_history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::DifferentiableFunction;
+
+    /// Least squares on a tiny synthetic regression problem:
+    /// y = 2·x₀ − 3·x₁, examples on a grid.
+    struct LeastSquares {
+        xs: Vec<[f64; 2]>,
+        ys: Vec<f64>,
+    }
+
+    impl LeastSquares {
+        fn new() -> Self {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for i in 0..20 {
+                let x0 = i as f64 / 10.0 - 1.0;
+                let x1 = (i % 5) as f64 / 5.0;
+                xs.push([x0, x1]);
+                ys.push(2.0 * x0 - 3.0 * x1);
+            }
+            Self { xs, ys }
+        }
+    }
+
+    impl DifferentiableFunction for LeastSquares {
+        fn dimension(&self) -> usize {
+            2
+        }
+        fn value(&self, w: &[f64]) -> f64 {
+            self.xs
+                .iter()
+                .zip(&self.ys)
+                .map(|(x, y)| {
+                    let p = w[0] * x[0] + w[1] * x[1];
+                    (p - y).powi(2)
+                })
+                .sum::<f64>()
+                / self.xs.len() as f64
+        }
+        fn gradient(&self, w: &[f64], grad: &mut [f64]) {
+            let idx: Vec<usize> = (0..self.xs.len()).collect();
+            self.batch_value_and_gradient(w, &idx, grad);
+        }
+    }
+
+    impl StochasticFunction for LeastSquares {
+        fn n_examples(&self) -> usize {
+            self.xs.len()
+        }
+        fn batch_value_and_gradient(&self, w: &[f64], examples: &[usize], grad: &mut [f64]) -> f64 {
+            grad.fill(0.0);
+            let mut loss = 0.0;
+            for &i in examples {
+                let x = &self.xs[i];
+                let r = w[0] * x[0] + w[1] * x[1] - self.ys[i];
+                loss += r * r;
+                grad[0] += 2.0 * r * x[0];
+                grad[1] += 2.0 * r * x[1];
+            }
+            let scale = 1.0 / examples.len().max(1) as f64;
+            grad[0] *= scale;
+            grad[1] *= scale;
+            loss * scale
+        }
+    }
+
+    #[test]
+    fn sgd_fits_linear_model() {
+        let f = LeastSquares::new();
+        let r = Sgd::new()
+            .learning_rate(0.2)
+            .epochs(200)
+            .batch_size(4)
+            .run(&f, vec![0.0, 0.0]);
+        assert!(r.converged());
+        assert!((r.weights[0] - 2.0).abs() < 0.1, "w0 = {}", r.weights[0]);
+        assert!((r.weights[1] + 3.0).abs() < 0.1, "w1 = {}", r.weights[1]);
+        assert_eq!(r.iterations, 200);
+        assert_eq!(r.value_history.len(), 200);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let f = LeastSquares::new();
+        let a = Sgd::new().seed(1).epochs(5).run(&f, vec![0.0, 0.0]);
+        let b = Sgd::new().seed(1).epochs(5).run(&f, vec![0.0, 0.0]);
+        let c = Sgd::new().seed(2).epochs(5).run(&f, vec![0.0, 0.0]);
+        assert_eq!(a.weights, b.weights);
+        assert_ne!(a.weights, c.weights);
+    }
+
+    #[test]
+    fn all_sampling_schemes_reduce_loss() {
+        let f = LeastSquares::new();
+        let initial_loss = f.value(&[0.0, 0.0]);
+        for scheme in [
+            SamplingScheme::ShuffledEpochs,
+            SamplingScheme::UniformRandom,
+            SamplingScheme::Sequential,
+        ] {
+            let r = Sgd::new().sampling(scheme).epochs(50).run(&f, vec![0.0, 0.0]);
+            assert!(
+                r.value < initial_loss * 0.5,
+                "{scheme:?} did not reduce the loss: {} vs {initial_loss}",
+                r.value
+            );
+        }
+    }
+
+    #[test]
+    fn zero_epochs_returns_initial_point() {
+        let f = LeastSquares::new();
+        let r = Sgd::new().epochs(0).run(&f, vec![1.0, 1.0]);
+        assert_eq!(r.weights, vec![1.0, 1.0]);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn huge_learning_rate_is_reported_as_numerical_error() {
+        let f = LeastSquares::new();
+        let r = Sgd::new().learning_rate(1e12).epochs(50).run(&f, vec![0.0, 0.0]);
+        assert_eq!(r.reason, TerminationReason::NumericalError);
+    }
+}

@@ -1,0 +1,201 @@
+//! Termination criteria and optimisation results.
+
+/// Why an optimiser stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TerminationReason {
+    /// The iteration budget was exhausted (the paper's experiments run a
+    /// fixed 10 iterations, so this is the expected reason there).
+    MaxIterations,
+    /// The gradient norm fell below the tolerance.
+    GradientTolerance,
+    /// The relative improvement in the objective fell below the tolerance.
+    FunctionTolerance,
+    /// The line search could not find an acceptable step.
+    LineSearchFailed,
+    /// A non-finite value (NaN/∞) was encountered.
+    NumericalError,
+}
+
+impl TerminationReason {
+    /// `true` for outcomes that indicate the optimiser made normal progress.
+    pub fn is_success(&self) -> bool {
+        matches!(
+            self,
+            TerminationReason::MaxIterations
+                | TerminationReason::GradientTolerance
+                | TerminationReason::FunctionTolerance
+        )
+    }
+}
+
+impl std::fmt::Display for TerminationReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TerminationReason::MaxIterations => "maximum iterations reached",
+            TerminationReason::GradientTolerance => "gradient norm below tolerance",
+            TerminationReason::FunctionTolerance => "objective improvement below tolerance",
+            TerminationReason::LineSearchFailed => "line search failed",
+            TerminationReason::NumericalError => "numerical error (non-finite value)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Stopping rules shared by every optimiser in this crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TerminationCriteria {
+    /// Maximum number of outer iterations.
+    pub max_iterations: usize,
+    /// Stop when `‖∇f‖₂ < gradient_tolerance`.
+    pub gradient_tolerance: f64,
+    /// Stop when `|f_prev − f| / max(1, |f_prev|) < function_tolerance`.
+    pub function_tolerance: f64,
+}
+
+impl Default for TerminationCriteria {
+    fn default() -> Self {
+        Self {
+            max_iterations: 100,
+            gradient_tolerance: 1e-6,
+            function_tolerance: 1e-10,
+        }
+    }
+}
+
+impl TerminationCriteria {
+    /// The paper's configuration: exactly `n` iterations, tolerances disabled.
+    pub fn fixed_iterations(n: usize) -> Self {
+        Self {
+            max_iterations: n,
+            gradient_tolerance: 0.0,
+            function_tolerance: 0.0,
+        }
+    }
+
+    /// Decide whether to stop after an iteration.
+    pub fn should_stop(
+        &self,
+        iteration: usize,
+        gradient_norm: f64,
+        previous_value: f64,
+        current_value: f64,
+    ) -> Option<TerminationReason> {
+        if !current_value.is_finite() || !gradient_norm.is_finite() {
+            return Some(TerminationReason::NumericalError);
+        }
+        if gradient_norm < self.gradient_tolerance {
+            return Some(TerminationReason::GradientTolerance);
+        }
+        let rel_improvement =
+            (previous_value - current_value).abs() / previous_value.abs().max(1.0);
+        if iteration > 0 && rel_improvement < self.function_tolerance {
+            return Some(TerminationReason::FunctionTolerance);
+        }
+        if iteration + 1 >= self.max_iterations {
+            return Some(TerminationReason::MaxIterations);
+        }
+        None
+    }
+}
+
+/// The outcome of an optimisation run.
+#[derive(Debug, Clone)]
+pub struct OptimizationResult {
+    /// Final parameter vector.
+    pub weights: Vec<f64>,
+    /// Final objective value.
+    pub value: f64,
+    /// Number of outer iterations performed.
+    pub iterations: usize,
+    /// Number of objective/gradient evaluations (data sweeps) performed —
+    /// the quantity that maps directly to I/O volume for mmap'd data.
+    pub function_evaluations: usize,
+    /// Why the optimiser stopped.
+    pub reason: TerminationReason,
+    /// Objective value after each iteration (index 0 = after iteration 1).
+    pub value_history: Vec<f64>,
+}
+
+impl OptimizationResult {
+    /// `true` when the run ended for a non-error reason.
+    pub fn converged(&self) -> bool {
+        self.reason.is_success()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reason_classification_and_display() {
+        assert!(TerminationReason::MaxIterations.is_success());
+        assert!(TerminationReason::GradientTolerance.is_success());
+        assert!(!TerminationReason::LineSearchFailed.is_success());
+        assert!(!TerminationReason::NumericalError.is_success());
+        assert!(TerminationReason::FunctionTolerance.to_string().contains("objective"));
+    }
+
+    #[test]
+    fn fixed_iterations_disables_tolerances() {
+        let c = TerminationCriteria::fixed_iterations(10);
+        // Tiny gradient and zero improvement would normally stop the run.
+        assert_eq!(c.should_stop(3, 1e-12, 1.0, 1.0), None);
+        assert_eq!(
+            c.should_stop(9, 1e-12, 1.0, 1.0),
+            Some(TerminationReason::MaxIterations)
+        );
+    }
+
+    #[test]
+    fn default_tolerances_trigger() {
+        let c = TerminationCriteria::default();
+        assert_eq!(
+            c.should_stop(5, 1e-9, 10.0, 9.9),
+            Some(TerminationReason::GradientTolerance)
+        );
+        assert_eq!(
+            c.should_stop(5, 1.0, 10.0, 10.0 - 1e-12),
+            Some(TerminationReason::FunctionTolerance)
+        );
+        assert_eq!(c.should_stop(5, 1.0, 10.0, 9.0), None);
+    }
+
+    #[test]
+    fn non_finite_values_are_errors() {
+        let c = TerminationCriteria::default();
+        assert_eq!(
+            c.should_stop(0, f64::NAN, 1.0, 1.0),
+            Some(TerminationReason::NumericalError)
+        );
+        assert_eq!(
+            c.should_stop(0, 1.0, 1.0, f64::INFINITY),
+            Some(TerminationReason::NumericalError)
+        );
+    }
+
+    #[test]
+    fn first_iteration_ignores_function_tolerance() {
+        let c = TerminationCriteria::default();
+        // iteration == 0 must not trigger the relative-improvement rule.
+        assert_eq!(c.should_stop(0, 1.0, 5.0, 5.0), None);
+    }
+
+    #[test]
+    fn result_converged_tracks_reason() {
+        let ok = OptimizationResult {
+            weights: vec![0.0],
+            value: 0.0,
+            iterations: 1,
+            function_evaluations: 2,
+            reason: TerminationReason::GradientTolerance,
+            value_history: vec![0.0],
+        };
+        assert!(ok.converged());
+        let bad = OptimizationResult {
+            reason: TerminationReason::NumericalError,
+            ..ok.clone()
+        };
+        assert!(!bad.converged());
+    }
+}

@@ -1,0 +1,138 @@
+//! Storage-device cost models.
+
+/// A simple seek-plus-streaming model of a block device.
+///
+/// A batch of `n` contiguous pages costs
+/// `seek_latency + n * PAGE_SIZE / read_bandwidth` seconds to read; writes
+/// use the write bandwidth.  Contiguity matters: the page cache issues one
+/// "request" per contiguous run of missing pages, so sequential scans pay the
+/// seek latency rarely while random access pays it on almost every fault —
+/// which is precisely why the paper's sequential-sweep workloads behave so
+/// well under mmap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageDevice {
+    /// Human-readable device name (used in benchmark output).
+    pub name: &'static str,
+    /// Latency added per I/O request, in seconds.
+    pub seek_latency: f64,
+    /// Sustained sequential read bandwidth, bytes per second.
+    pub read_bandwidth: f64,
+    /// Sustained sequential write bandwidth, bytes per second.
+    pub write_bandwidth: f64,
+}
+
+impl StorageDevice {
+    /// The paper's test machine drive: an OCZ RevoDrive 350 PCIe SSD
+    /// (vendor-rated ~1.8 GB/s sequential read).
+    pub fn revodrive_350() -> Self {
+        Self {
+            name: "OCZ RevoDrive 350 (PCIe SSD)",
+            seek_latency: 60e-6,
+            read_bandwidth: 1.8e9,
+            write_bandwidth: 1.5e9,
+        }
+    }
+
+    /// A mainstream SATA SSD (~500 MB/s).
+    pub fn sata_ssd() -> Self {
+        Self {
+            name: "SATA SSD",
+            seek_latency: 100e-6,
+            read_bandwidth: 500e6,
+            write_bandwidth: 450e6,
+        }
+    }
+
+    /// A 7200 RPM hard disk (~150 MB/s streaming, 8 ms seeks).
+    pub fn hdd() -> Self {
+        Self {
+            name: "7200rpm HDD",
+            seek_latency: 8e-3,
+            read_bandwidth: 150e6,
+            write_bandwidth: 140e6,
+        }
+    }
+
+    /// A PCIe 3.0 NVMe drive (~3 GB/s) for the "faster disks" extrapolation
+    /// the paper suggests ("strong potential for M3 reaching even higher
+    /// speed if we use faster disks, or configurations such as RAID 0").
+    pub fn nvme() -> Self {
+        Self {
+            name: "NVMe SSD",
+            seek_latency: 20e-6,
+            read_bandwidth: 3.0e9,
+            write_bandwidth: 2.5e9,
+        }
+    }
+
+    /// Two RevoDrives in RAID 0 (the paper's suggested configuration).
+    pub fn revodrive_raid0() -> Self {
+        Self {
+            name: "2x RevoDrive 350 RAID 0",
+            seek_latency: 60e-6,
+            read_bandwidth: 3.6e9,
+            write_bandwidth: 3.0e9,
+        }
+    }
+
+    /// Seconds to read one contiguous request of `bytes` bytes.
+    pub fn read_seconds(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.seek_latency + bytes as f64 / self.read_bandwidth
+    }
+
+    /// Seconds to write one contiguous request of `bytes` bytes.
+    pub fn write_seconds(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.seek_latency + bytes as f64 / self.write_bandwidth
+    }
+}
+
+impl Default for StorageDevice {
+    fn default() -> Self {
+        Self::revodrive_350()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let hdd = StorageDevice::hdd();
+        let sata = StorageDevice::sata_ssd();
+        let revo = StorageDevice::revodrive_350();
+        let nvme = StorageDevice::nvme();
+        assert!(hdd.read_bandwidth < sata.read_bandwidth);
+        assert!(sata.read_bandwidth < revo.read_bandwidth);
+        assert!(revo.read_bandwidth < nvme.read_bandwidth);
+        assert!(StorageDevice::revodrive_raid0().read_bandwidth > revo.read_bandwidth);
+        assert_eq!(StorageDevice::default(), revo);
+    }
+
+    #[test]
+    fn read_cost_is_seek_plus_streaming() {
+        let d = StorageDevice {
+            name: "test",
+            seek_latency: 1.0,
+            read_bandwidth: 100.0,
+            write_bandwidth: 50.0,
+        };
+        assert_eq!(d.read_seconds(0), 0.0);
+        assert!((d.read_seconds(200) - 3.0).abs() < 1e-12);
+        assert!((d.write_seconds(100) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_beats_random_for_same_volume() {
+        let d = StorageDevice::sata_ssd();
+        let one_big = d.read_seconds(1_000_000);
+        let many_small: f64 = (0..250).map(|_| d.read_seconds(4096)).sum();
+        assert!(one_big < many_small);
+    }
+}

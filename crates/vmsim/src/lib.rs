@@ -1,0 +1,67 @@
+//! # m3-vmsim — virtual-memory and storage-device simulator
+//!
+//! The M3 paper's Figure 1a is a property of the operating system's page
+//! cache: while the dataset fits in RAM, every L-BFGS sweep after the first
+//! runs at memory speed; once the dataset exceeds RAM, every sweep has to
+//! stream (most of) the file from the SSD, so the runtime slope versus
+//! dataset size steepens.  Reproducing that curve literally would require a
+//! 32 GB-RAM machine and 190 GB of disk, which CI does not have — so this
+//! crate models the mechanism instead:
+//!
+//! * [`page_cache::PageCache`] — an LRU page cache of configurable capacity
+//!   with optional sequential read-ahead ([`readahead::ReadAheadPolicy`]),
+//! * [`device::StorageDevice`] — a seek-plus-streaming cost model of the
+//!   backing store (presets for the paper's OCZ RevoDrive 350 PCIe SSD, a
+//!   SATA SSD and a hard disk),
+//! * [`replay::Simulator`] — replays an [`m3_core::trace::AccessTrace`]
+//!   (recorded from the real algorithms or generated analytically) against
+//!   the cache + device and reports page faults, I/O volume, and the
+//!   I/O-vs-CPU overlap that determines wall-clock time,
+//! * [`report::UtilizationReport`] — the disk-utilisation / CPU-utilisation
+//!   numbers the paper quotes ("disk I/O was 100 % utilized while CPU was
+//!   only utilized at around 13 %").
+//!
+//! The simulator is deterministic, so the Figure 1a and ablation benchmarks
+//! are exactly reproducible.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod page_cache;
+pub mod readahead;
+pub mod replay;
+pub mod report;
+
+pub use device::StorageDevice;
+pub use page_cache::{CacheStats, PageCache};
+pub use readahead::ReadAheadPolicy;
+pub use replay::{SimConfig, SimReport, Simulator};
+pub use report::UtilizationReport;
+
+/// Bytes in one binary gigabyte (GiB).
+pub const GIB: u64 = 1024 * 1024 * 1024;
+/// Bytes in one decimal gigabyte (GB), the unit the paper's x-axis uses.
+pub const GB: u64 = 1_000_000_000;
+
+/// Convert a byte count to decimal gigabytes.
+pub fn bytes_to_gb(bytes: u64) -> f64 {
+    bytes as f64 / GB as f64
+}
+
+/// Convert decimal gigabytes to bytes.
+pub fn gb_to_bytes(gb: f64) -> u64 {
+    (gb * GB as f64).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(gb_to_bytes(1.0), 1_000_000_000);
+        assert!((bytes_to_gb(32 * GB) - 32.0).abs() < 1e-12);
+        assert_eq!(GIB, 1 << 30);
+        assert!((bytes_to_gb(gb_to_bytes(190.0)) - 190.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,338 @@
+//! An LRU page cache model.
+//!
+//! Models the OS page cache the M3 paper leans on: a fixed number of page
+//! frames (RAM size / 4 KiB), least-recently-used eviction, and hit/miss
+//! statistics.  The implementation is a hash map into an intrusive
+//! doubly-linked list stored in a `Vec`, so every operation is O(1) and
+//! replaying multi-gigabyte traces stays fast.
+
+use std::collections::HashMap;
+
+/// Counters describing cache behaviour during a replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that found their page resident.
+    pub hits: u64,
+    /// Accesses that faulted.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Pages brought in by read-ahead before they were demanded.
+    pub prefetched: u64,
+    /// Prefetched pages that were later actually used.
+    pub prefetch_hits: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; `0` when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    page: u64,
+    prev: usize,
+    next: usize,
+    /// Whether the page entered the cache via prefetch and has not been
+    /// demanded yet.
+    prefetched: bool,
+}
+
+/// A fixed-capacity LRU set of page numbers.
+#[derive(Debug)]
+pub struct PageCache {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    stats: CacheStats,
+}
+
+impl PageCache {
+    /// Create a cache holding at most `capacity_pages` pages.
+    ///
+    /// # Panics
+    /// Panics when `capacity_pages == 0`.
+    pub fn new(capacity_pages: usize) -> Self {
+        assert!(capacity_pages > 0, "page cache needs at least one frame");
+        Self {
+            capacity: capacity_pages,
+            map: HashMap::with_capacity(capacity_pages.min(1 << 20)),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Create a cache sized for `ram_bytes` of memory.
+    pub fn with_ram_bytes(ram_bytes: u64) -> Self {
+        Self::new((ram_bytes / m3_core::PAGE_SIZE as u64).max(1) as usize)
+    }
+
+    /// Number of page frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `page` is currently resident (does not touch LRU order).
+    pub fn contains(&self, page: u64) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset the statistics (the resident set is kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Access `page` on behalf of the application.  Returns `true` on a hit.
+    /// On a miss the page is inserted (evicting the LRU page if needed).
+    pub fn access(&mut self, page: u64) -> bool {
+        if let Some(&idx) = self.map.get(&page) {
+            self.stats.hits += 1;
+            if self.nodes[idx].prefetched {
+                self.nodes[idx].prefetched = false;
+                self.stats.prefetch_hits += 1;
+            }
+            self.move_to_front(idx);
+            true
+        } else {
+            self.stats.misses += 1;
+            self.insert(page, false);
+            false
+        }
+    }
+
+    /// Insert `page` due to read-ahead.  Returns `true` when the page was not
+    /// already resident (i.e. a real device read happens).
+    pub fn prefetch(&mut self, page: u64) -> bool {
+        if let Some(&idx) = self.map.get(&page) {
+            // Already resident: refresh recency but do not count as a demand.
+            self.move_to_front(idx);
+            false
+        } else {
+            self.stats.prefetched += 1;
+            self.insert(page, true);
+            true
+        }
+    }
+
+    fn insert(&mut self, page: u64, prefetched: bool) {
+        if self.map.len() == self.capacity {
+            self.evict_lru();
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = Node {
+                page,
+                prev: NIL,
+                next: self.head,
+                prefetched,
+            };
+            idx
+        } else {
+            self.nodes.push(Node {
+                page,
+                prev: NIL,
+                next: self.head,
+                prefetched,
+            });
+            self.nodes.len() - 1
+        };
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+        self.map.insert(page, idx);
+    }
+
+    fn evict_lru(&mut self) {
+        let victim = self.tail;
+        debug_assert_ne!(victim, NIL, "evicting from an empty cache");
+        let page = self.nodes[victim].page;
+        self.detach(victim);
+        self.map.remove(&page);
+        self.free.push(victim);
+        self.stats.evictions += 1;
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let Node { prev, next, .. } = self.nodes[idx];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn move_to_front(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.detach(idx);
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// The least-recently-used page, if any (exposed for tests/inspection).
+    pub fn lru_page(&self) -> Option<u64> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(self.nodes[self.tail].page)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = PageCache::new(2);
+        assert!(!c.access(1)); // miss
+        assert!(!c.access(2)); // miss
+        assert!(c.access(1)); // hit
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.evictions, 0);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = PageCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // 2 is now LRU
+        assert_eq!(c.lru_page(), Some(2));
+        c.access(3); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn repeated_scan_larger_than_cache_always_misses() {
+        // The out-of-core regime of Figure 1a: a sequential scan over more
+        // pages than fit evicts pages before they are revisited.
+        let mut c = PageCache::new(10);
+        for _ in 0..3 {
+            for p in 0..20 {
+                c.access(p);
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 60);
+    }
+
+    #[test]
+    fn repeated_scan_smaller_than_cache_hits_after_first_pass() {
+        // The in-RAM regime: only compulsory misses.
+        let mut c = PageCache::new(32);
+        for _ in 0..4 {
+            for p in 0..20 {
+                c.access(p);
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 20);
+        assert_eq!(s.hits, 60);
+        assert_eq!(s.evictions, 0);
+    }
+
+    #[test]
+    fn prefetch_counts_and_hits() {
+        let mut c = PageCache::new(8);
+        assert!(c.prefetch(5));
+        assert!(!c.prefetch(5)); // already resident
+        assert!(c.access(5)); // demand hit on a prefetched page
+        let s = c.stats();
+        assert_eq!(s.prefetched, 1);
+        assert_eq!(s.prefetch_hits, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = PageCache::new(4);
+        c.access(1);
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(c.contains(1));
+        assert!(c.access(1));
+    }
+
+    #[test]
+    fn with_ram_bytes_sizes_frames() {
+        let c = PageCache::with_ram_bytes(32 * crate::GIB);
+        assert_eq!(c.capacity(), (32 * crate::GIB / 4096) as usize);
+        let tiny = PageCache::with_ram_bytes(1);
+        assert_eq!(tiny.capacity(), 1);
+    }
+
+    #[test]
+    fn heavy_reuse_of_free_slots_is_consistent() {
+        let mut c = PageCache::new(3);
+        for p in 0..1000u64 {
+            c.access(p % 7);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.stats().hits + c.stats().misses, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_capacity_panics() {
+        PageCache::new(0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Resource-utilisation reporting.
+
+/// I/O-versus-CPU utilisation of a simulated run, mirroring the paper's
+/// observation that M3 is I/O bound ("disk I/O was 100 % utilized while CPU
+/// was only utilized at around 13 %").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationReport {
+    /// Seconds the device spent transferring data.
+    pub io_seconds: f64,
+    /// Seconds of computation.
+    pub cpu_seconds: f64,
+    /// Simulated wall-clock seconds (I/O and CPU overlap).
+    pub wall_seconds: f64,
+}
+
+impl UtilizationReport {
+    /// Fraction of wall time the disk was busy, in `[0, 1]`.
+    pub fn io_utilization(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            (self.io_seconds / self.wall_seconds).min(1.0)
+        }
+    }
+
+    /// Fraction of wall time the CPU was busy, in `[0, 1]`.
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            (self.cpu_seconds / self.wall_seconds).min(1.0)
+        }
+    }
+
+    /// `true` when the run was limited by the device rather than the CPU.
+    pub fn is_io_bound(&self) -> bool {
+        self.io_seconds >= self.cpu_seconds
+    }
+
+    /// A one-line summary suitable for benchmark output.
+    pub fn summary(&self) -> String {
+        format!(
+            "wall {:.1}s | disk busy {:.0}% | cpu busy {:.0}% | {}",
+            self.wall_seconds,
+            self.io_utilization() * 100.0,
+            self.cpu_utilization() * 100.0,
+            if self.is_io_bound() { "I/O bound" } else { "CPU bound" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_fractions() {
+        let r = UtilizationReport {
+            io_seconds: 100.0,
+            cpu_seconds: 13.0,
+            wall_seconds: 100.0,
+        };
+        assert!((r.io_utilization() - 1.0).abs() < 1e-12);
+        assert!((r.cpu_utilization() - 0.13).abs() < 1e-12);
+        assert!(r.is_io_bound());
+        let s = r.summary();
+        assert!(s.contains("I/O bound"));
+        assert!(s.contains("13%"));
+    }
+
+    #[test]
+    fn cpu_bound_case() {
+        let r = UtilizationReport {
+            io_seconds: 5.0,
+            cpu_seconds: 50.0,
+            wall_seconds: 50.0,
+        };
+        assert!(!r.is_io_bound());
+        assert!(r.io_utilization() < 0.2);
+        assert!(r.summary().contains("CPU bound"));
+    }
+
+    #[test]
+    fn zero_wall_time_is_safe() {
+        let r = UtilizationReport {
+            io_seconds: 0.0,
+            cpu_seconds: 0.0,
+            wall_seconds: 0.0,
+        };
+        assert_eq!(r.io_utilization(), 0.0);
+        assert_eq!(r.cpu_utilization(), 0.0);
+    }
+}

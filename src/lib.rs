@@ -1,0 +1,76 @@
+//! # M3 — Scaling Up Machine Learning via Memory Mapping (Rust reproduction)
+//!
+//! This is the façade crate of the workspace: it re-exports every subsystem
+//! so that examples, integration tests and downstream users can depend on a
+//! single `m3` crate.
+//!
+//! | Module | Crate | Role |
+//! |--------|-------|------|
+//! | [`core`] | `m3-core` | memory-mapped matrices, `mmap_alloc`, dataset container, access hints & traces (the paper's contribution) |
+//! | [`linalg`] | `m3-linalg` | dense vectors/matrices and BLAS-lite kernels |
+//! | [`data`] | `m3-data` | Infimnist-like generator, blobs, CSV/libsvm, streaming writers |
+//! | [`optim`] | `m3-optim` | L-BFGS, line searches, GD, SGD |
+//! | [`ml`] | `m3-ml` | logistic regression, softmax, k-means, linear regression, naive Bayes |
+//! | [`vmsim`] | `m3-vmsim` | page-cache + SSD simulator behind Figure 1a |
+//! | [`cluster`] | `m3-cluster` | bulk-synchronous Spark-baseline simulator behind Figure 1b |
+//! | [`graph`] | `m3-graph` | memory-mapped PageRank / connected components extension |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use m3::prelude::*;
+//!
+//! // 1. Generate a small on-disk dataset (any size works — rows stream).
+//! let dir = tempfile::tempdir().unwrap();
+//! let path = dir.path().join("digits.m3ds");
+//! let generator = InfimnistLike::new(7);
+//! m3::data::writer::write_dataset(&generator, &path, 300).unwrap();
+//!
+//! // 2. Memory-map it; no bytes are read eagerly.
+//! let dataset = Dataset::open(&path).unwrap();
+//! let labels: Vec<f64> = dataset.labels().unwrap().to_vec();
+//!
+//! // 3. Train exactly as if the data were in RAM.
+//! let model = SoftmaxRegression::new(SoftmaxConfig::default())
+//!     .fit(&dataset, &labels)
+//!     .unwrap();
+//! assert!(model.accuracy(&dataset, &labels) > 0.5);
+//! ```
+
+pub use m3_cluster as cluster;
+pub use m3_core as core;
+pub use m3_data as data;
+pub use m3_graph as graph;
+pub use m3_linalg as linalg;
+pub use m3_ml as ml;
+pub use m3_optim as optim;
+pub use m3_vmsim as vmsim;
+
+/// The most commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use m3_core::{mmap_alloc, mmap_alloc_mut, AccessPattern, Dataset, MmapMatrix, RowStore};
+    pub use m3_data::{GaussianBlobs, InfimnistLike, LinearProblem, RowGenerator};
+    pub use m3_linalg::{DenseMatrix, MatrixView, Vector};
+    pub use m3_ml::{
+        KMeans, KMeansConfig, KMeansInit, KMeansModel, LogisticConfig, LogisticModel,
+        LogisticRegression, SoftmaxConfig, SoftmaxModel, SoftmaxRegression,
+    };
+    pub use m3_optim::{Lbfgs, TerminationCriteria};
+    pub use m3_vmsim::{SimConfig, Simulator, StorageDevice};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired_up() {
+        // Touch one item from every sub-crate so a broken re-export fails to compile.
+        let _ = crate::core::PAGE_SIZE;
+        let _ = crate::linalg::Vector::zeros(1);
+        let _ = crate::data::infimnist::N_FEATURES;
+        let _ = crate::optim::Lbfgs::new();
+        let _ = crate::ml::KMeansConfig::paper();
+        let _ = crate::vmsim::SimConfig::paper_machine();
+        let _ = crate::cluster::ClusterConfig::emr_m3_2xlarge(4);
+        let _ = crate::graph::csr::GraphBuilder::new(2);
+    }
+}

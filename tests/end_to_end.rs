@@ -1,0 +1,153 @@
+//! Cross-crate integration tests: dataset generation → on-disk container →
+//! memory-mapped training → evaluation, exercising the full M3 pipeline the
+//! way a downstream user would.
+
+use m3::prelude::*;
+use m3::data::split::{gather_rows, train_test_split};
+use m3::ml::naive_bayes::GaussianNbTrainer;
+use m3::ml::preprocess::Standardizer;
+
+/// Build a labelled Infimnist-like container on disk and return its path.
+fn build_dataset(dir: &tempfile::TempDir, rows: u64, seed: u64) -> std::path::PathBuf {
+    let path = dir.path().join(format!("infimnist_{rows}_{seed}.m3ds"));
+    let generator = InfimnistLike::new(seed);
+    m3::data::writer::write_dataset(&generator, &path, rows).expect("dataset written");
+    path
+}
+
+#[test]
+fn softmax_trained_on_mmap_dataset_generalises_to_held_out_rows() {
+    let dir = tempfile::tempdir().unwrap();
+    let path = build_dataset(&dir, 900, 11);
+    let dataset = Dataset::open(&path).unwrap();
+    let labels: Vec<f64> = dataset.labels().unwrap().to_vec();
+
+    let split = train_test_split(dataset.n_rows(), 0.25, 3).unwrap();
+    let (train_x, train_y) = gather_rows(&dataset, &split.train, Some(&labels));
+    let (test_x, test_y) = gather_rows(&dataset, &split.test, Some(&labels));
+
+    let model = SoftmaxRegression::new(SoftmaxConfig {
+        n_classes: 10,
+        max_iterations: 40,
+        n_threads: 2,
+        ..Default::default()
+    })
+    .fit(&train_x, train_y.as_ref().unwrap())
+    .unwrap();
+
+    let train_acc = model.accuracy(&train_x, train_y.as_ref().unwrap());
+    let test_acc = model.accuracy(&test_x, test_y.as_ref().unwrap());
+    assert!(train_acc > 0.7, "train accuracy {train_acc}");
+    assert!(test_acc > 0.5, "test accuracy {test_acc} should beat chance (0.1) clearly");
+}
+
+#[test]
+fn logistic_regression_identical_over_ram_mmap_and_dataset_container() {
+    let dir = tempfile::tempdir().unwrap();
+    let problem = LinearProblem::random_classification(12, 0.05, 21);
+    let (in_memory, labels) = problem.materialize(400);
+
+    // Raw mmap file.
+    let raw = dir.path().join("raw.m3");
+    let raw_labels = m3::data::writer::write_raw_matrix(&problem, &raw, 400).unwrap();
+    assert_eq!(raw_labels, labels);
+    let mapped = mmap_alloc(&raw, 400, 12).unwrap();
+
+    // Container file.
+    let container = dir.path().join("container.m3ds");
+    m3::data::writer::write_dataset(&problem, &container, 400).unwrap();
+    let dataset = Dataset::open(&container).unwrap();
+
+    let config = LogisticConfig {
+        max_iterations: 60,
+        n_threads: 2,
+        ..Default::default()
+    };
+    let a = LogisticRegression::new(config.clone()).fit(&in_memory, &labels).unwrap();
+    let b = LogisticRegression::new(config.clone()).fit(&mapped, &labels).unwrap();
+    let c = LogisticRegression::new(config)
+        .fit(&dataset, &dataset.labels().unwrap().to_vec())
+        .unwrap();
+
+    for (x, y) in a.weights.iter().zip(&b.weights) {
+        assert!((x - y).abs() < 1e-10);
+    }
+    for (x, y) in a.weights.iter().zip(&c.weights) {
+        assert!((x - y).abs() < 1e-10);
+    }
+    assert!((a.bias - b.bias).abs() < 1e-10);
+    assert!((a.bias - c.bias).abs() < 1e-10);
+    assert!(a.accuracy(&in_memory, &labels) > 0.9);
+}
+
+#[test]
+fn kmeans_paper_protocol_runs_over_container_and_separates_blobs() {
+    let dir = tempfile::tempdir().unwrap();
+    let generator = GaussianBlobs::new(5, 16, 40.0, 1.5, 4);
+    let path = dir.path().join("blobs.m3ds");
+    m3::data::writer::write_dataset(&generator, &path, 600).unwrap();
+    let dataset = Dataset::open(&path).unwrap();
+
+    let model = KMeans::new(KMeansConfig::paper()).fit(&dataset).unwrap();
+    assert_eq!(model.iterations, 10);
+    assert_eq!(model.k(), 5);
+
+    // Assignments should correlate strongly with the generating cluster ids.
+    let truth: Vec<f64> = dataset.labels().unwrap().to_vec();
+    let assignments = model.predict(&dataset);
+    // Build the best mapping from predicted cluster to true cluster by
+    // majority vote and measure agreement.
+    let mut votes = vec![vec![0usize; 5]; 5];
+    for (a, t) in assignments.iter().zip(&truth) {
+        votes[*a][*t as usize] += 1;
+    }
+    let agreement: usize = votes.iter().map(|row| row.iter().max().unwrap()).sum();
+    let fraction = agreement as f64 / truth.len() as f64;
+    assert!(fraction > 0.95, "cluster/label agreement only {fraction}");
+}
+
+#[test]
+fn standardizer_and_naive_bayes_work_over_mapped_features() {
+    let dir = tempfile::tempdir().unwrap();
+    let generator = GaussianBlobs::new(3, 8, 20.0, 2.0, 6);
+    let path = dir.path().join("nb.m3ds");
+    m3::data::writer::write_dataset(&generator, &path, 300).unwrap();
+    let dataset = Dataset::open(&path).unwrap();
+    let labels: Vec<f64> = dataset.labels().unwrap().to_vec();
+
+    let standardizer = Standardizer::fit(&dataset, 2).unwrap();
+    assert_eq!(standardizer.n_features(), 8);
+    let transformed = standardizer.transform_to_matrix(&dataset);
+    let stats = m3::linalg::stats::ColumnStats::compute(&transformed.view());
+    for c in 0..8 {
+        assert!(stats.mean[c].abs() < 1e-9);
+    }
+
+    let model = GaussianNbTrainer::new(3).fit(&dataset, &labels).unwrap();
+    assert!(model.accuracy(&dataset, &labels) > 0.95);
+}
+
+#[test]
+fn touch_stats_report_every_training_sweep() {
+    use std::sync::Arc;
+    let dir = tempfile::tempdir().unwrap();
+    let problem = LinearProblem::random_classification(8, 0.05, 2);
+    let raw = dir.path().join("touch.m3");
+    let labels = m3::data::writer::write_raw_matrix(&problem, &raw, 200).unwrap();
+
+    let stats = m3::core::stats::TouchStats::new_shared();
+    let mapped = mmap_alloc(&raw, 200, 8).unwrap().with_stats(Arc::clone(&stats));
+    let model = LogisticRegression::new(LogisticConfig {
+        max_iterations: 5,
+        fixed_iterations: true,
+        n_threads: 1,
+        ..Default::default()
+    })
+    .fit(&mapped, &labels)
+    .unwrap();
+
+    // Every objective/gradient evaluation sweeps all 200 rows exactly once.
+    let expected_rows = model.optimization.function_evaluations as u64 * 200;
+    assert_eq!(stats.rows_read(), expected_rows);
+    assert_eq!(stats.bytes_read(), expected_rows * 8 * 8);
+}

@@ -1,0 +1,121 @@
+//! Integration tests asserting the *shape* of every reproduced experiment:
+//! who wins, by roughly what factor, and where the crossovers fall.  These are
+//! the machine-checked versions of the claims recorded in EXPERIMENTS.md.
+
+use m3_bench::workload::{Algorithm, SweepProfile};
+use m3_bench::{fig1a, fig1b, paper_numbers, FIG1A_SIZES_GB};
+use m3::vmsim::SimConfig;
+
+fn measured_profile() -> SweepProfile {
+    SweepProfile::measure(250, paper_numbers::ITERATIONS, 7)
+}
+
+#[test]
+fn e2_figure_1a_linear_scaling_with_steeper_out_of_core_slope() {
+    let result = fig1a::run_sweep(&FIG1A_SIZES_GB, &measured_profile(), &SimConfig::paper_machine());
+
+    // Runtime grows monotonically with dataset size.
+    for pair in result.points.windows(2) {
+        assert!(pair[1].runtime_seconds > pair[0].runtime_seconds);
+    }
+    // Both regimes are close to linear and the out-of-core slope is much steeper.
+    let in_ram = result.in_ram_fit.expect("in-RAM fit");
+    let out = result.out_of_core_fit.expect("out-of-core fit");
+    assert!(in_ram.r_squared > 0.95);
+    assert!(out.r_squared > 0.95);
+    assert!(out.slope > 2.0 * in_ram.slope);
+
+    // The 190 GB point lands in the same ballpark as the paper's 1950 s.
+    let last = result.points.last().unwrap();
+    assert!(last.runtime_seconds > 0.5 * paper_numbers::LR_M3);
+    assert!(last.runtime_seconds < 2.0 * paper_numbers::LR_M3);
+}
+
+#[test]
+fn e5_out_of_core_runs_are_io_bound_with_low_cpu_utilisation() {
+    let result = fig1a::run_sweep(&FIG1A_SIZES_GB, &measured_profile(), &SimConfig::paper_machine());
+    for point in result.points.iter().filter(|p| p.out_of_core) {
+        assert!(point.io_utilization > 0.95, "disk should be ~100% busy");
+        assert!(point.cpu_utilization < 0.25, "CPU should be lightly used");
+    }
+}
+
+#[test]
+fn e3_e4_figure_1b_orderings_and_ratios() {
+    let result = fig1b::run_comparison(
+        paper_numbers::DATASET_GB,
+        &measured_profile(),
+        &SimConfig::paper_machine(),
+    );
+
+    for (algorithm, paper_m3, paper_8, paper_4) in [
+        (
+            Algorithm::LogisticRegression,
+            paper_numbers::LR_M3,
+            paper_numbers::LR_SPARK_8,
+            paper_numbers::LR_SPARK_4,
+        ),
+        (
+            Algorithm::KMeans,
+            paper_numbers::KM_M3,
+            paper_numbers::KM_SPARK_8,
+            paper_numbers::KM_SPARK_4,
+        ),
+    ] {
+        let m3_time = result.m3_seconds(algorithm);
+        let spark4 = result.get(algorithm, "4x Spark").unwrap().runtime_seconds;
+        let spark8 = result.get(algorithm, "8x Spark").unwrap().runtime_seconds;
+
+        // Ordering: M3 fastest, then 8-instance, then 4-instance Spark.
+        assert!(m3_time < spark8, "{algorithm:?}: M3 {m3_time} vs 8x {spark8}");
+        assert!(spark8 < spark4);
+
+        // Rough factors match the paper within a factor of ~1.6.
+        let paper_ratio_4 = paper_4 / paper_m3;
+        let ratio_4 = spark4 / m3_time;
+        assert!(
+            ratio_4 > paper_ratio_4 / 1.6 && ratio_4 < paper_ratio_4 * 1.6,
+            "{algorithm:?}: 4x ratio {ratio_4:.2} vs paper {paper_ratio_4:.2}"
+        );
+        let paper_ratio_8 = paper_8 / paper_m3;
+        let ratio_8 = spark8 / m3_time;
+        assert!(
+            ratio_8 > paper_ratio_8 / 1.6 && ratio_8 < paper_ratio_8 * 1.6,
+            "{algorithm:?}: 8x ratio {ratio_8:.2} vs paper {paper_ratio_8:.2}"
+        );
+
+        // Absolute numbers within 2x of the published ones.
+        for (simulated, paper) in [(m3_time, paper_m3), (spark4, paper_4), (spark8, paper_8)] {
+            assert!(simulated > 0.5 * paper && simulated < 2.0 * paper);
+        }
+    }
+}
+
+#[test]
+fn e8_ablations_read_ahead_and_device_speed_matter() {
+    let readahead = m3_bench::ablation::readahead_ablation(190.0, 10);
+    assert!(readahead[0].wall_seconds < readahead[1].wall_seconds);
+
+    let devices = m3_bench::ablation::device_sweep(190.0, 10);
+    let first = devices.first().unwrap();
+    let last = devices.last().unwrap();
+    assert!(first.label.contains("HDD"));
+    assert!(last.wall_seconds < first.wall_seconds / 5.0, "fast flash should crush the HDD");
+}
+
+#[test]
+fn e1_table1_models_identical_across_storage_backends() {
+    let dir = tempfile::tempdir().unwrap();
+    let result = m3_bench::table1::demonstrate(dir.path(), 400, 3);
+    assert!(result.max_weight_difference < 1e-10);
+    assert!(result.in_memory_accuracy > 0.9);
+}
+
+#[test]
+fn e7_graph_extension_results_match_across_backends() {
+    let dir = tempfile::tempdir().unwrap();
+    let experiment = m3_bench::graphs::run(dir.path(), 2_000, 5, 1);
+    assert!(experiment.pagerank_results_match);
+    assert!(experiment.components_results_match);
+    assert_eq!(experiment.rows.len(), 4);
+}
