@@ -40,7 +40,11 @@ fn bench_madvise_hints(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("mmap_sweep_by_advice");
     group.sample_size(30);
-    for pattern in [AccessPattern::Normal, AccessPattern::Sequential, AccessPattern::Random] {
+    for pattern in [
+        AccessPattern::Normal,
+        AccessPattern::Sequential,
+        AccessPattern::Random,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(pattern.name()),
             &pattern,

@@ -4,7 +4,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use m3_cluster::{ClusterConfig, SimCluster};
+use m3_core::ExecContext;
 use m3_data::{InfimnistLike, RowGenerator};
+use m3_ml::api::{Estimator, UnsupervisedEstimator};
 use m3_ml::kmeans::{KMeans, KMeansConfig};
 use m3_ml::logistic::{LogisticConfig, LogisticRegression};
 
@@ -13,7 +15,10 @@ const ROWS: usize = 1_500;
 fn data() -> (m3_linalg::DenseMatrix, Vec<f64>, Vec<f64>) {
     let generator = InfimnistLike::new(9);
     let (features, labels) = generator.materialize(ROWS);
-    let binary: Vec<f64> = labels.iter().map(|&l| if l < 5.0 { 0.0 } else { 1.0 }).collect();
+    let binary: Vec<f64> = labels
+        .iter()
+        .map(|&l| if l < 5.0 { 0.0 } else { 1.0 })
+        .collect();
     (features, labels, binary)
 }
 
@@ -21,28 +26,20 @@ fn bench_logistic(c: &mut Criterion) {
     let (features, _, binary) = data();
     let dir = tempfile::tempdir().unwrap();
     let mapped = m3_core::alloc::persist_matrix(dir.path().join("lr.m3"), &features).unwrap();
-    let config = LogisticConfig {
+    let trainer = LogisticRegression::new(LogisticConfig {
         max_iterations: 10,
         fixed_iterations: true,
-        n_threads: 2,
         ..Default::default()
-    };
+    });
+    let ctx = ExecContext::new().with_threads(2);
 
     let mut group = c.benchmark_group("logistic_lbfgs_10iters_1500x784");
     group.sample_size(10);
     group.bench_function("in_memory", |b| {
-        b.iter(|| {
-            LogisticRegression::new(config.clone())
-                .fit(black_box(&features), black_box(&binary))
-                .unwrap()
-        })
+        b.iter(|| Estimator::fit(&trainer, black_box(&features), black_box(&binary), &ctx).unwrap())
     });
     group.bench_function("mmap", |b| {
-        b.iter(|| {
-            LogisticRegression::new(config.clone())
-                .fit(black_box(&mapped), black_box(&binary))
-                .unwrap()
-        })
+        b.iter(|| Estimator::fit(&trainer, black_box(&mapped), black_box(&binary), &ctx).unwrap())
     });
     group.bench_function("simulated_4_instance_cluster", |b| {
         let cluster = SimCluster::new(ClusterConfig::emr_m3_2xlarge(4)).unwrap();
@@ -59,21 +56,21 @@ fn bench_kmeans(c: &mut Criterion) {
     let (features, _, _) = data();
     let dir = tempfile::tempdir().unwrap();
     let mapped = m3_core::alloc::persist_matrix(dir.path().join("km.m3"), &features).unwrap();
-    let config = KMeansConfig {
+    let trainer = KMeans::new(KMeansConfig {
         k: 5,
         max_iterations: 10,
         tolerance: 0.0,
-        n_threads: 2,
         ..Default::default()
-    };
+    });
+    let ctx = ExecContext::new().with_threads(2);
 
     let mut group = c.benchmark_group("kmeans_10iters_k5_1500x784");
     group.sample_size(10);
     group.bench_function("in_memory", |b| {
-        b.iter(|| KMeans::new(config.clone()).fit(black_box(&features)).unwrap())
+        b.iter(|| UnsupervisedEstimator::fit(&trainer, black_box(&features), &ctx).unwrap())
     });
     group.bench_function("mmap", |b| {
-        b.iter(|| KMeans::new(config.clone()).fit(black_box(&mapped)).unwrap())
+        b.iter(|| UnsupervisedEstimator::fit(&trainer, black_box(&mapped), &ctx).unwrap())
     });
     group.finish();
 }

@@ -34,7 +34,10 @@ pub struct AblationRow {
 pub fn readahead_ablation(dataset_gb: f64, sweeps: u32) -> Vec<AblationRow> {
     let bytes = (dataset_gb * GB) as u64;
     [
-        ("read-ahead enabled (MADV_SEQUENTIAL)", SimConfig::paper_machine()),
+        (
+            "read-ahead enabled (MADV_SEQUENTIAL)",
+            SimConfig::paper_machine(),
+        ),
         (
             "read-ahead disabled (MADV_RANDOM)",
             SimConfig::paper_machine().readahead(ReadAheadPolicy::disabled()),
@@ -62,7 +65,8 @@ pub fn access_pattern_ablation(region_mb: u64, touches_per_page: u32) -> Vec<Abl
     // Cache deliberately smaller than the region so both patterns fault.
     let config = SimConfig::paper_machine().ram_bytes(region_bytes / 4);
 
-    let sequential = AccessTrace::sequential_sweeps(region_bytes, touches_per_page, PAGE_SIZE as u64);
+    let sequential =
+        AccessTrace::sequential_sweeps(region_bytes, touches_per_page, PAGE_SIZE as u64);
     let random = AccessTrace::random_touches(region_bytes, total_touches, 7);
 
     [
@@ -177,7 +181,10 @@ mod tests {
             );
         }
         // RAID 0 roughly halves the RevoDrive runtime, as the paper suggests.
-        let revo = rows.iter().find(|r| r.label.contains("RevoDrive 350 (")).unwrap();
+        let revo = rows
+            .iter()
+            .find(|r| r.label.contains("RevoDrive 350 ("))
+            .unwrap();
         let raid = rows.iter().find(|r| r.label.contains("RAID 0")).unwrap();
         let ratio = revo.wall_seconds / raid.wall_seconds;
         assert!((1.5..2.5).contains(&ratio), "RAID-0 speed-up {ratio}");

@@ -39,7 +39,11 @@ fn main() {
         &ablation::device_sweep(190.0, 10),
     );
 
-    println!("Takeaways: read-ahead removes per-page seek overhead for sequential scans; random access");
+    println!(
+        "Takeaways: read-ahead removes per-page seek overhead for sequential scans; random access"
+    );
     println!("defeats both read-ahead and the LRU cache; more RAM moves the out-of-core cliff; and faster");
-    println!("devices (RAID 0 / NVMe) directly shrink out-of-core runtime, as the paper anticipates.");
+    println!(
+        "devices (RAID 0 / NVMe) directly shrink out-of-core runtime, as the paper anticipates."
+    );
 }

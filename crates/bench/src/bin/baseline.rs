@@ -1,0 +1,172 @@
+//! Perf-baseline recorder: times the workspace's hot kernels and workloads
+//! and prints a JSON report.
+//!
+//! Run `cargo run --release -p m3-bench --bin baseline > BENCH_seed.json`
+//! once per PR series to give future changes a perf trajectory to compare
+//! against.  `--quick` shrinks the workload for CI smoke runs.
+//!
+//! The JSON is hand-assembled (the workspace builds offline without serde);
+//! the schema is one flat object: `{ "<name>": seconds_per_iteration, ... }`
+//! plus an `_meta` block.
+
+use std::time::Instant;
+
+use m3_core::storage::RowStore;
+use m3_core::ExecContext;
+use m3_data::{InfimnistLike, LinearProblem, RowGenerator};
+use m3_linalg::{blas, ops, DenseMatrix};
+use m3_ml::api::{Estimator, UnsupervisedEstimator};
+use m3_ml::kmeans::{KMeans, KMeansConfig};
+use m3_ml::logistic::{LogisticConfig, LogisticRegression};
+
+/// Median seconds per call over `reps` timed repetitions of `f`.
+fn time_it<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (rows, reps) = if quick { (300, 3) } else { (2_000, 7) };
+    let cols = 784;
+
+    let mut results: Vec<(String, f64)> = Vec::new();
+    let mut record = |name: &str, secs: f64| {
+        eprintln!("{name:<44} {secs:.6e} s");
+        results.push((name.to_string(), secs));
+    };
+
+    // --- linalg kernels ----------------------------------------------------
+    let a: Vec<f64> = (0..cols).map(|i| i as f64 * 0.001).collect();
+    let b: Vec<f64> = (0..cols).map(|i| (i as f64 * 0.002).sin()).collect();
+    record("kernel/dot_784", time_it(reps * 100, || ops::dot(&a, &b)));
+    record(
+        "kernel/squared_distance_784",
+        time_it(reps * 100, || ops::squared_distance(&a, &b)),
+    );
+
+    let m = DenseMatrix::from_vec(
+        (0..rows * cols).map(|i| (i % 97) as f64 * 0.01).collect(),
+        rows,
+        cols,
+    )
+    .unwrap();
+    let x = vec![0.5; cols];
+    let mut y = vec![0.0; rows];
+    record(
+        &format!("kernel/gemv_{rows}x{cols}"),
+        time_it(reps, || blas::gemv(&m.view(), &x, &mut y)),
+    );
+
+    // --- storage sweeps ----------------------------------------------------
+    let dir = tempfile::tempdir().unwrap();
+    let mapped = m3_core::alloc::persist_matrix(dir.path().join("base.m3"), &m).unwrap();
+    let sweep = |store: &dyn RowStore| {
+        let mut acc = 0.0;
+        for r in 0..store.n_rows() {
+            let row = store.row(r);
+            acc += row[0] + row[cols - 1];
+        }
+        acc
+    };
+    record("storage/row_sweep_dense", time_it(reps, || sweep(&m)));
+    record("storage/row_sweep_mmap", time_it(reps, || sweep(&mapped)));
+
+    // --- exec-context chunked map-reduce ----------------------------------
+    let ctx_serial = ExecContext::serial();
+    let ctx_parallel = ExecContext::new();
+    let reduce_sum = |ctx: &ExecContext, store: &DenseMatrix| {
+        ctx.map_reduce_rows(store, |c| c.data.iter().sum::<f64>(), 0.0, |p, q| p + q)
+    };
+    record(
+        "exec/map_reduce_serial",
+        time_it(reps, || reduce_sum(&ctx_serial, &m)),
+    );
+    record(
+        "exec/map_reduce_parallel",
+        time_it(reps, || reduce_sum(&ctx_parallel, &m)),
+    );
+
+    // --- paper workloads through the estimator API -------------------------
+    let generator = InfimnistLike::new(9);
+    let (features, labels) = generator.materialize(rows);
+    let binary: Vec<f64> = labels
+        .iter()
+        .map(|&l| if l < 5.0 { 0.0 } else { 1.0 })
+        .collect();
+    let mapped_features =
+        m3_core::alloc::persist_matrix(dir.path().join("digits.m3"), &features).unwrap();
+
+    let logistic = LogisticRegression::new(LogisticConfig {
+        max_iterations: 10,
+        fixed_iterations: true,
+        ..Default::default()
+    });
+    record(
+        "workload/logistic_10it_dense",
+        time_it(3, || {
+            Estimator::fit(&logistic, &features, &binary, &ctx_parallel).unwrap()
+        }),
+    );
+    record(
+        "workload/logistic_10it_mmap",
+        time_it(3, || {
+            Estimator::fit(&logistic, &mapped_features, &binary, &ctx_parallel).unwrap()
+        }),
+    );
+
+    let kmeans = KMeans::new(KMeansConfig {
+        k: 5,
+        max_iterations: 10,
+        tolerance: 0.0,
+        ..Default::default()
+    });
+    record(
+        "workload/kmeans_10it_dense",
+        time_it(3, || {
+            UnsupervisedEstimator::fit(&kmeans, &features, &ctx_parallel).unwrap()
+        }),
+    );
+    record(
+        "workload/kmeans_10it_mmap",
+        time_it(3, || {
+            UnsupervisedEstimator::fit(&kmeans, &mapped_features, &ctx_parallel).unwrap()
+        }),
+    );
+
+    // --- normal-equations + scaler, the sequential-driver workloads --------
+    let lin_gen = LinearProblem::regression(vec![1.0, -0.5, 0.25, 2.0], 1.0, 0.05, 7);
+    let (lx, ly) = lin_gen.materialize(rows);
+    let linreg = m3_ml::linear_regression::LinearRegression::default();
+    record(
+        "workload/linreg_normal_eq",
+        time_it(3, || {
+            Estimator::fit(&linreg, &lx, &ly, &ctx_serial).unwrap()
+        }),
+    );
+    record(
+        "workload/standard_scaler",
+        time_it(reps, || {
+            UnsupervisedEstimator::fit(&m3_ml::StandardScaler, &features, &ctx_parallel).unwrap()
+        }),
+    );
+
+    // --- emit JSON ---------------------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"_meta\": {{ \"rows\": {rows}, \"cols\": {cols}, \"reps\": {reps}, \"quick\": {quick}, \"threads\": {} }},\n",
+        ExecContext::new().resolve_threads()
+    ));
+    for (i, (name, secs)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {secs:.6e}{comma}\n"));
+    }
+    json.push_str("}\n");
+    print!("{json}");
+}

@@ -14,7 +14,11 @@ fn main() {
         "Measured data sweeps for 10 L-BFGS iterations (from the real optimiser on a subsample): {}",
         result.sweeps
     );
-    println!("Simulated machine RAM: {:.0} GB (paper: {} GB installed)\n", result.ram_gb, paper_numbers::RAM_GB);
+    println!(
+        "Simulated machine RAM: {:.0} GB (paper: {} GB installed)\n",
+        result.ram_gb,
+        paper_numbers::RAM_GB
+    );
 
     let mut table = TextTable::new(vec![
         "dataset",
@@ -27,7 +31,11 @@ fn main() {
     for p in &result.points {
         table.add_row(vec![
             format!("{:.0} GB", p.dataset_gb),
-            if p.out_of_core { "out-of-core".to_string() } else { "fits in RAM".to_string() },
+            if p.out_of_core {
+                "out-of-core".to_string()
+            } else {
+                "fits in RAM".to_string()
+            },
             seconds(p.runtime_seconds),
             format!("{:.0}%", p.io_utilization * 100.0),
             format!("{:.0}%", p.cpu_utilization * 100.0),
@@ -53,8 +61,13 @@ fn main() {
     let last = result.points.last().expect("sweep has points");
     println!(
         "\nPaper reference at 190 GB: {:.0} s; simulated: {:.0} s.",
-        paper_numbers::LR_M3, last.runtime_seconds
+        paper_numbers::LR_M3,
+        last.runtime_seconds
     );
-    println!("Key finding reproduced: linear scaling in both regimes with a steeper out-of-core slope,");
-    println!("and out-of-core runs are I/O bound (disk ~100% busy, CPU ~13%), as reported in the paper.");
+    println!(
+        "Key finding reproduced: linear scaling in both regimes with a steeper out-of-core slope,"
+    );
+    println!(
+        "and out-of-core runs are I/O bound (disk ~100% busy, CPU ~13%), as reported in the paper."
+    );
 }

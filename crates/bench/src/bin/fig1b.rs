@@ -34,8 +34,12 @@ fn main() {
     println!("{}", table.render());
 
     let lr_m3 = result.m3_seconds(Algorithm::LogisticRegression);
-    let lr4 = result.get(Algorithm::LogisticRegression, "4x Spark").unwrap();
-    let lr8 = result.get(Algorithm::LogisticRegression, "8x Spark").unwrap();
+    let lr4 = result
+        .get(Algorithm::LogisticRegression, "4x Spark")
+        .unwrap();
+    let lr8 = result
+        .get(Algorithm::LogisticRegression, "8x Spark")
+        .unwrap();
     let km_m3 = result.m3_seconds(Algorithm::KMeans);
     let km8 = result.get(Algorithm::KMeans, "8x Spark").unwrap();
 

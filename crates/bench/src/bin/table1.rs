@@ -17,7 +17,10 @@ fn main() {
         "Trained binary logistic regression twice on the same {}-row synthetic dataset:",
         result.n_rows
     );
-    println!("  in-memory accuracy     : {:.4}", result.in_memory_accuracy);
+    println!(
+        "  in-memory accuracy     : {:.4}",
+        result.in_memory_accuracy
+    );
     println!("  memory-mapped accuracy : {:.4}", result.mmap_accuracy);
     println!(
         "  max |weight difference|: {:.2e}",

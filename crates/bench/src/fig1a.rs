@@ -135,7 +135,11 @@ mod tests {
 
     #[test]
     fn runtime_grows_monotonically_with_size() {
-        let result = run_sweep(&FIG1A_SIZES_GB, &quick_profile(), &SimConfig::paper_machine());
+        let result = run_sweep(
+            &FIG1A_SIZES_GB,
+            &quick_profile(),
+            &SimConfig::paper_machine(),
+        );
         assert_eq!(result.points.len(), 7);
         for pair in result.points.windows(2) {
             assert!(pair[1].runtime_seconds > pair[0].runtime_seconds);
@@ -144,9 +148,16 @@ mod tests {
 
     #[test]
     fn slope_steepens_past_the_ram_boundary() {
-        let result = run_sweep(&FIG1A_SIZES_GB, &quick_profile(), &SimConfig::paper_machine());
+        let result = run_sweep(
+            &FIG1A_SIZES_GB,
+            &quick_profile(),
+            &SimConfig::paper_machine(),
+        );
         let ratio = result.slope_ratio().expect("both regimes have points");
-        assert!(ratio > 2.0, "out-of-core slope should be much steeper, got {ratio}");
+        assert!(
+            ratio > 2.0,
+            "out-of-core slope should be much steeper, got {ratio}"
+        );
         // Both regimes are individually close to linear.
         assert!(result.in_ram_fit.unwrap().r_squared > 0.95);
         assert!(result.out_of_core_fit.unwrap().r_squared > 0.95);
@@ -154,9 +165,17 @@ mod tests {
 
     #[test]
     fn out_of_core_points_are_io_bound_like_the_paper() {
-        let result = run_sweep(&FIG1A_SIZES_GB, &quick_profile(), &SimConfig::paper_machine());
+        let result = run_sweep(
+            &FIG1A_SIZES_GB,
+            &quick_profile(),
+            &SimConfig::paper_machine(),
+        );
         for p in result.points.iter().filter(|p| p.out_of_core) {
-            assert!(p.io_utilization > 0.95, "disk should be saturated at {} GB", p.dataset_gb);
+            assert!(
+                p.io_utilization > 0.95,
+                "disk should be saturated at {} GB",
+                p.dataset_gb
+            );
             assert!(
                 (p.cpu_utilization - 0.13).abs() < 0.05,
                 "CPU utilisation {} should be near the paper's 13 %",

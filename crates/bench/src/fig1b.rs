@@ -49,17 +49,15 @@ impl Fig1bResult {
 
     /// The simulated M3 runtime for an algorithm.
     pub fn m3_seconds(&self, algorithm: Algorithm) -> f64 {
-        self.get(algorithm, "M3").map(|e| e.runtime_seconds).unwrap_or(f64::NAN)
+        self.get(algorithm, "M3")
+            .map(|e| e.runtime_seconds)
+            .unwrap_or(f64::NAN)
     }
 }
 
 /// Run the comparison for a dataset of `dataset_gb` decimal gigabytes and the
 /// paper's 10-iteration protocol.
-pub fn run_comparison(
-    dataset_gb: f64,
-    profile: &SweepProfile,
-    machine: &SimConfig,
-) -> Fig1bResult {
+pub fn run_comparison(dataset_gb: f64, profile: &SweepProfile, machine: &SimConfig) -> Fig1bResult {
     let dataset_bytes = (dataset_gb * GB) as u64;
     let iterations = paper_numbers::ITERATIONS;
     let mut entries = Vec::with_capacity(6);
@@ -134,7 +132,10 @@ mod tests {
         assert_eq!(r.entries.len(), 6);
         for algorithm in [Algorithm::LogisticRegression, Algorithm::KMeans] {
             for platform in ["M3", "4x Spark", "8x Spark"] {
-                assert!(r.get(algorithm, platform).is_some(), "{algorithm:?} {platform}");
+                assert!(
+                    r.get(algorithm, platform).is_some(),
+                    "{algorithm:?} {platform}"
+                );
             }
         }
     }
@@ -144,16 +145,28 @@ mod tests {
         // Paper: M3 (1950 s) < 8x Spark (2864 s) < 4x Spark (8256 s).
         let r = result();
         let m3 = r.m3_seconds(Algorithm::LogisticRegression);
-        let spark8 = r.get(Algorithm::LogisticRegression, "8x Spark").unwrap().runtime_seconds;
-        let spark4 = r.get(Algorithm::LogisticRegression, "4x Spark").unwrap().runtime_seconds;
+        let spark8 = r
+            .get(Algorithm::LogisticRegression, "8x Spark")
+            .unwrap()
+            .runtime_seconds;
+        let spark4 = r
+            .get(Algorithm::LogisticRegression, "4x Spark")
+            .unwrap()
+            .runtime_seconds;
         assert!(m3 < spark8, "M3 {m3}s should beat 8x Spark {spark8}s");
         assert!(spark8 < spark4);
         // 4-instance Spark is several times slower than M3 (paper: 4.2x).
         let ratio = spark4 / m3;
-        assert!((2.5..7.0).contains(&ratio), "4x Spark / M3 ratio {ratio} out of range");
+        assert!(
+            (2.5..7.0).contains(&ratio),
+            "4x Spark / M3 ratio {ratio} out of range"
+        );
         // 8-instance Spark is comparable: within ~2x of M3 (paper: 1.47x).
         let ratio8 = spark8 / m3;
-        assert!((1.0..2.2).contains(&ratio8), "8x Spark / M3 ratio {ratio8} out of range");
+        assert!(
+            (1.0..2.2).contains(&ratio8),
+            "8x Spark / M3 ratio {ratio8} out of range"
+        );
     }
 
     #[test]
@@ -161,14 +174,26 @@ mod tests {
         // Paper: M3 (1164 s) < 8x Spark (1604 s, 1.37x) < 4x Spark (3491 s, 3x).
         let r = result();
         let m3 = r.m3_seconds(Algorithm::KMeans);
-        let spark8 = r.get(Algorithm::KMeans, "8x Spark").unwrap().runtime_seconds;
-        let spark4 = r.get(Algorithm::KMeans, "4x Spark").unwrap().runtime_seconds;
+        let spark8 = r
+            .get(Algorithm::KMeans, "8x Spark")
+            .unwrap()
+            .runtime_seconds;
+        let spark4 = r
+            .get(Algorithm::KMeans, "4x Spark")
+            .unwrap()
+            .runtime_seconds;
         assert!(m3 < spark8);
         assert!(spark8 < spark4);
         let ratio8 = spark8 / m3;
-        assert!((1.0..2.2).contains(&ratio8), "8x Spark / M3 k-means ratio {ratio8}");
+        assert!(
+            (1.0..2.2).contains(&ratio8),
+            "8x Spark / M3 k-means ratio {ratio8}"
+        );
         let ratio4 = spark4 / m3;
-        assert!((2.0..5.0).contains(&ratio4), "4x Spark / M3 k-means ratio {ratio4}");
+        assert!(
+            (2.0..5.0).contains(&ratio4),
+            "4x Spark / M3 k-means ratio {ratio4}"
+        );
     }
 
     #[test]

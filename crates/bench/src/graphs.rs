@@ -110,7 +110,11 @@ mod tests {
         }
         // Both backends appear for both workloads.
         assert_eq!(
-            experiment.rows.iter().filter(|r| r.backend == "mmap").count(),
+            experiment
+                .rows
+                .iter()
+                .filter(|r| r.backend == "mmap")
+                .count(),
             2
         );
     }

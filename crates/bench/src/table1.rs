@@ -11,8 +11,10 @@
 use std::path::Path;
 
 use m3_core::storage::RowStore;
+use m3_core::ExecContext;
 use m3_data::{LinearProblem, RowGenerator};
 use m3_linalg::DenseMatrix;
+use m3_ml::api::Estimator;
 use m3_ml::logistic::{LogisticConfig, LogisticModel, LogisticRegression};
 
 /// Outcome of the Table 1 demonstration.
@@ -36,13 +38,13 @@ pub struct Table1Result {
 pub const ORIGINAL_SNIPPET: &str = "\
 // Original (in-memory)
 let data = DenseMatrix::from_vec(buffer, rows, cols)?;
-let model = LogisticRegression::new(config).fit(&data, &labels)?;";
+let model = Estimator::fit(&trainer, &data, &labels, &ctx)?;";
 
 /// The "M3" column of Table 1, adapted to this crate's API.
 pub const M3_SNIPPET: &str = "\
 // M3 (memory-mapped) — only the allocation line changes
 let data = m3_core::mmap_alloc(file, rows, cols)?;
-let model = LogisticRegression::new(config).fit(&data, &labels)?;";
+let model = Estimator::fit(&trainer, &data, &labels, &ctx)?;";
 
 /// Train the same model over in-memory and memory-mapped versions of the same
 /// synthetic dataset and compare the results.
@@ -57,12 +59,9 @@ pub fn demonstrate(dir: &Path, n_rows: usize, seed: u64) -> Table1Result {
     // The algorithm invocation is textually identical for both storages —
     // that is the whole point of Table 1.
     fn train<S: RowStore + Sync>(data: &S, labels: &[f64]) -> LogisticModel {
-        LogisticRegression::new(LogisticConfig {
-            n_threads: 1,
-            ..LogisticConfig::default()
-        })
-        .fit(data, labels)
-        .expect("training the demonstration model must succeed")
+        let trainer = LogisticRegression::new(LogisticConfig::default());
+        Estimator::fit(&trainer, data, labels, &ExecContext::serial())
+            .expect("training the demonstration model must succeed")
     }
 
     let in_memory_model = train(&in_memory, &labels);

@@ -9,7 +9,9 @@
 //! synthetic Infimnist-like data, then feed the measured sweep count into the
 //! `m3-vmsim` machine model.
 
+use m3_core::ExecContext;
 use m3_data::{InfimnistLike, RowGenerator};
+use m3_ml::api::{Estimator, UnsupervisedEstimator};
 use m3_ml::kmeans::{KMeans, KMeansConfig};
 use m3_ml::logistic::{LogisticConfig, LogisticRegression};
 use m3_vmsim::{SimConfig, SimReport, Simulator};
@@ -51,27 +53,36 @@ impl SweepProfile {
     pub fn measure(subsample_rows: usize, iterations: usize, seed: u64) -> Self {
         let generator = InfimnistLike::new(seed);
         let (features, labels) = generator.materialize(subsample_rows.max(50));
-        let binary_labels: Vec<f64> = labels.iter().map(|&l| if l < 5.0 { 0.0 } else { 1.0 }).collect();
+        let binary_labels: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l < 5.0 { 0.0 } else { 1.0 })
+            .collect();
 
-        let logistic = LogisticRegression::new(LogisticConfig {
-            max_iterations: iterations,
-            fixed_iterations: true,
-            n_threads: 1,
-            ..Default::default()
-        })
-        .fit(&features, &binary_labels)
+        let ctx = ExecContext::serial();
+        let logistic = Estimator::fit(
+            &LogisticRegression::new(LogisticConfig {
+                max_iterations: iterations,
+                fixed_iterations: true,
+                ..Default::default()
+            }),
+            &features,
+            &binary_labels,
+            &ctx,
+        )
         .expect("subsample training cannot fail on valid data");
         // Each function evaluation touches the whole dataset once.
         let logistic_sweeps = logistic.optimization.function_evaluations as u32;
 
-        let kmeans = KMeans::new(KMeansConfig {
-            k: 5,
-            max_iterations: iterations,
-            tolerance: 0.0,
-            n_threads: 1,
-            ..Default::default()
-        })
-        .fit(&features)
+        let kmeans = UnsupervisedEstimator::fit(
+            &KMeans::new(KMeansConfig {
+                k: 5,
+                max_iterations: iterations,
+                tolerance: 0.0,
+                ..Default::default()
+            }),
+            &features,
+            &ctx,
+        )
         .expect("subsample clustering cannot fail on valid data");
         // One assignment sweep per iteration plus the final inertia sweep.
         let kmeans_sweeps = (kmeans.iterations + 1) as u32;
@@ -133,7 +144,12 @@ mod tests {
         let large = m3_runtime(Algorithm::KMeans, 190 * m3_vmsim::GB, &profile, &config);
         assert!(large.wall_seconds() > small.wall_seconds() * 5.0);
         // LR does more sweeps, so it must take longer than k-means.
-        let lr = m3_runtime(Algorithm::LogisticRegression, 190 * m3_vmsim::GB, &profile, &config);
+        let lr = m3_runtime(
+            Algorithm::LogisticRegression,
+            190 * m3_vmsim::GB,
+            &profile,
+            &config,
+        );
         assert!(lr.wall_seconds() > large.wall_seconds());
     }
 

@@ -9,13 +9,11 @@
 //! iterations plus a one-off start-up cost, this produces the cluster
 //! runtimes reported by the `fig1b` benchmark.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::{ClusterConfig, WorkloadProfile};
 use crate::hdfs::HdfsLayout;
 
 /// Breakdown of one simulated cluster job.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterEstimate {
     /// Number of worker instances.
     pub n_instances: usize,
@@ -118,8 +116,20 @@ mod tests {
     #[test]
     fn spill_shrinks_with_more_instances() {
         let profile = WorkloadProfile::kmeans();
-        let four = estimate_job(&ClusterConfig::emr_m3_2xlarge(4), &profile, paper_dataset(), 10).unwrap();
-        let eight = estimate_job(&ClusterConfig::emr_m3_2xlarge(8), &profile, paper_dataset(), 10).unwrap();
+        let four = estimate_job(
+            &ClusterConfig::emr_m3_2xlarge(4),
+            &profile,
+            paper_dataset(),
+            10,
+        )
+        .unwrap();
+        let eight = estimate_job(
+            &ClusterConfig::emr_m3_2xlarge(8),
+            &profile,
+            paper_dataset(),
+            10,
+        )
+        .unwrap();
         assert!(four.share_bytes > eight.share_bytes);
         assert!(four.spilled_bytes > eight.spilled_bytes);
         assert!(four.spill_fraction() > eight.spill_fraction());
@@ -130,8 +140,20 @@ mod tests {
     fn figure_1b_logistic_regression_ratios_hold() {
         // Paper: M3 = 1950 s, 8x Spark = 2864 s, 4x Spark = 8256 s.
         let profile = WorkloadProfile::logistic_regression();
-        let four = estimate_job(&ClusterConfig::emr_m3_2xlarge(4), &profile, paper_dataset(), 10).unwrap();
-        let eight = estimate_job(&ClusterConfig::emr_m3_2xlarge(8), &profile, paper_dataset(), 10).unwrap();
+        let four = estimate_job(
+            &ClusterConfig::emr_m3_2xlarge(4),
+            &profile,
+            paper_dataset(),
+            10,
+        )
+        .unwrap();
+        let eight = estimate_job(
+            &ClusterConfig::emr_m3_2xlarge(8),
+            &profile,
+            paper_dataset(),
+            10,
+        )
+        .unwrap();
         assert!(
             (four.total_seconds - 8256.0).abs() / 8256.0 < 0.25,
             "4-instance LR estimate {}s should approximate 8256s",
@@ -150,8 +172,20 @@ mod tests {
     fn figure_1b_kmeans_ratios_hold() {
         // Paper: M3 = 1164 s, 8x Spark = 1604 s, 4x Spark = 3491 s.
         let profile = WorkloadProfile::kmeans();
-        let four = estimate_job(&ClusterConfig::emr_m3_2xlarge(4), &profile, paper_dataset(), 10).unwrap();
-        let eight = estimate_job(&ClusterConfig::emr_m3_2xlarge(8), &profile, paper_dataset(), 10).unwrap();
+        let four = estimate_job(
+            &ClusterConfig::emr_m3_2xlarge(4),
+            &profile,
+            paper_dataset(),
+            10,
+        )
+        .unwrap();
+        let eight = estimate_job(
+            &ClusterConfig::emr_m3_2xlarge(8),
+            &profile,
+            paper_dataset(),
+            10,
+        )
+        .unwrap();
         assert!(
             (four.total_seconds - 3491.0).abs() / 3491.0 < 0.25,
             "4-instance k-means estimate {}s should approximate 3491s",

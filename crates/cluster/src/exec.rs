@@ -182,11 +182,14 @@ impl SimCluster {
         }
         // Reuse the single-machine initialisation by running zero Lloyd
         // iterations through m3-ml, guaranteeing identical starting centroids.
-        let init_only = m3_ml::KMeans::new(KMeansConfig {
-            max_iterations: 0,
-            ..config.clone()
-        })
-        .fit(data)
+        let init_only = m3_ml::UnsupervisedEstimator::fit(
+            &m3_ml::KMeans::new(KMeansConfig {
+                max_iterations: 0,
+                ..config.clone()
+            }),
+            data,
+            &m3_core::ExecContext::serial(),
+        )
         .map_err(|e| ClusterError::Execution(e.to_string()))?;
         let mut centroids = init_only.centroids;
         let d = data.n_cols();
@@ -273,7 +276,11 @@ impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for DistributedLogistic
                 for (i, row) in block.chunks_exact(d).enumerate() {
                     let y = self.labels[start + i];
                     let z = ops::dot(&w[..d], row) + w[d];
-                    let log1p_exp = if z > 0.0 { z + (-z).exp().ln_1p() } else { z.exp().ln_1p() };
+                    let log1p_exp = if z > 0.0 {
+                        z + (-z).exp().ln_1p()
+                    } else {
+                        z.exp().ln_1p()
+                    };
                     acc += log1p_exp - y * z;
                     let residual = sigmoid(z) - y;
                     ops::axpy(residual, row, &mut g[..d]);
@@ -314,12 +321,15 @@ mod tests {
         let mut covered = vec![0usize; 100];
         for ranges in &partitions {
             for &(s, e) in ranges {
-                for r in s..e {
-                    covered[r] += 1;
+                for c in covered.iter_mut().take(e).skip(s) {
+                    *c += 1;
                 }
             }
         }
-        assert!(covered.iter().all(|&c| c == 1), "every row in exactly one partition");
+        assert!(
+            covered.iter().all(|&c| c == 1),
+            "every row in exactly one partition"
+        );
     }
 
     #[test]
@@ -328,7 +338,8 @@ mod tests {
         let cluster = small_cluster(4);
         let w: Vec<f64> = (0..7).map(|i| 0.05 * i as f64 - 0.1).collect();
 
-        let local = LogisticLoss::new(&x, &y, 0.01, 1);
+        let ctx = m3_core::ExecContext::serial();
+        let local = LogisticLoss::new(&x, &y, 0.01, &ctx);
         let mut g_local = vec![0.0; 7];
         let v_local = local.value_and_gradient(&w, &mut g_local);
 
@@ -350,13 +361,16 @@ mod tests {
         let (x, y) = LinearProblem::random_classification(5, 0.05, 11).materialize(200);
         let cluster = small_cluster(4);
         let distributed = cluster.train_logistic(&x, &y, 1e-4, 50).unwrap();
-        let single = LogisticRegression::new(LogisticConfig {
-            l2: 1e-4,
-            max_iterations: 50,
-            n_threads: 1,
-            ..Default::default()
-        })
-        .fit(&x, &y)
+        let single = m3_ml::Estimator::fit(
+            &LogisticRegression::new(LogisticConfig {
+                l2: 1e-4,
+                max_iterations: 50,
+                ..Default::default()
+            }),
+            &x,
+            &y,
+            &m3_core::ExecContext::serial(),
+        )
         .unwrap();
         // Same objective, same optimiser, same data ⇒ same model (within
         // floating-point reduction-order noise).
@@ -383,7 +397,12 @@ mod tests {
             ..Default::default()
         };
         let distributed = cluster.train_kmeans(&x, &config).unwrap();
-        let single = m3_ml::KMeans::new(config).fit(&x).unwrap();
+        let single = m3_ml::UnsupervisedEstimator::fit(
+            &m3_ml::KMeans::new(config),
+            &x,
+            &m3_core::ExecContext::serial(),
+        )
+        .unwrap();
         assert!(ops::approx_eq(
             distributed.centroids.as_slice(),
             single.centroids.as_slice(),
@@ -410,7 +429,13 @@ mod tests {
         let empty = DenseMatrix::zeros(0, 3);
         assert!(cluster.train_logistic(&empty, &[], 0.0, 5).is_err());
         assert!(cluster
-            .train_kmeans(&x, &KMeansConfig { k: 100, ..Default::default() })
+            .train_kmeans(
+                &x,
+                &KMeansConfig {
+                    k: 100,
+                    ..Default::default()
+                }
+            )
             .is_err());
         assert!(SimCluster::new(ClusterConfig::emr_m3_2xlarge(0)).is_err());
     }
@@ -423,6 +448,10 @@ mod tests {
         let cluster = small_cluster(4);
         let from_mmap = cluster.train_logistic(&mapped, &y, 1e-4, 30).unwrap();
         let from_memory = cluster.train_logistic(&x, &y, 1e-4, 30).unwrap();
-        assert!(ops::approx_eq(&from_mmap.weights, &from_memory.weights, 1e-10));
+        assert!(ops::approx_eq(
+            &from_mmap.weights,
+            &from_memory.weights,
+            1e-10
+        ));
     }
 }

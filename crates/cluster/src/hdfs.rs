@@ -156,11 +156,14 @@ mod tests {
         let parts = layout.row_partitions(50, 80); // 50 rows of 80 bytes = 4000 bytes
         let mut covered: Vec<bool> = vec![false; 50];
         for (s, e, _) in &parts {
-            for r in *s..*e {
-                covered[r] = true;
+            for c in covered.iter_mut().take(*e).skip(*s) {
+                *c = true;
             }
         }
-        assert!(covered.iter().all(|&c| c), "every row assigned to some block");
+        assert!(
+            covered.iter().all(|&c| c),
+            "every row assigned to some block"
+        );
         assert!(layout.row_partitions(50, 0).is_empty());
     }
 

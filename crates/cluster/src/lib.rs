@@ -32,7 +32,7 @@ pub mod exec;
 pub mod hdfs;
 
 pub use config::{ClusterConfig, InstanceSpec, SparkOverheads, WorkloadProfile};
-pub use cost::{ClusterEstimate, estimate_job};
+pub use cost::{estimate_job, ClusterEstimate};
 pub use exec::SimCluster;
 
 /// Errors produced by the cluster simulator.
@@ -64,7 +64,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ClusterError::InvalidConfig("x".into()).to_string().contains("configuration"));
-        assert!(ClusterError::Execution("y".into()).to_string().contains("execution"));
+        assert!(ClusterError::InvalidConfig("x".into())
+            .to_string()
+            .contains("configuration"));
+        assert!(ClusterError::Execution("y".into())
+            .to_string()
+            .contains("execution"));
     }
 }

@@ -7,9 +7,10 @@
 //! pattern of an upcoming pass so the kernel can prepare.
 
 /// A declarative description of how a mapped region is about to be accessed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum AccessPattern {
     /// No special expectation (the kernel default, `MADV_NORMAL`).
+    #[default]
     Normal,
     /// The region will be scanned front to back (`MADV_SEQUENTIAL`), so the
     /// kernel should read ahead aggressively and drop pages behind the scan.
@@ -64,7 +65,10 @@ impl AccessPattern {
     /// hint.  Mirrored by the `m3-vmsim` read-ahead model so simulated and
     /// real behaviour stay in sync.
     pub fn enables_readahead(&self) -> bool {
-        matches!(self, AccessPattern::Sequential | AccessPattern::WillNeed | AccessPattern::Normal)
+        matches!(
+            self,
+            AccessPattern::Sequential | AccessPattern::WillNeed | AccessPattern::Normal
+        )
     }
 
     /// Convert to the `memmap2` advice value (Unix only).
@@ -89,12 +93,6 @@ impl std::fmt::Display for AccessPattern {
     }
 }
 
-impl Default for AccessPattern {
-    fn default() -> Self {
-        AccessPattern::Normal
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,7 +102,10 @@ mod tests {
         for p in AccessPattern::ALL {
             assert_eq!(AccessPattern::from_name(p.name()), Some(p));
         }
-        assert_eq!(AccessPattern::from_name("SEQ"), Some(AccessPattern::Sequential));
+        assert_eq!(
+            AccessPattern::from_name("SEQ"),
+            Some(AccessPattern::Sequential)
+        );
         assert_eq!(AccessPattern::from_name("bogus"), None);
     }
 

@@ -102,7 +102,9 @@ mod tests {
         // the M3 version is the allocation line; the "algorithm" (here a row
         // sum) is byte-for-byte identical because both implement RowStore.
         fn algorithm<S: RowStore>(data: &S) -> f64 {
-            (0..data.n_rows()).map(|r| data.row(r).iter().sum::<f64>()).sum()
+            (0..data.n_rows())
+                .map(|r| data.row(r).iter().sum::<f64>())
+                .sum()
         }
 
         let dir = tempdir().unwrap();

@@ -122,7 +122,7 @@ impl DatasetBuilder {
     /// number of labels does not match the number of rows (for labelled
     /// datasets), or on I/O errors.
     pub fn push_rows(&mut self, features: &[f64], labels: Option<&[f64]>) -> Result<()> {
-        if features.len() % self.n_cols != 0 {
+        if !features.len().is_multiple_of(self.n_cols) {
             return Err(CoreError::BadHeader {
                 reason: format!(
                     "feature buffer of {} values is not a multiple of {} columns",
@@ -237,7 +237,8 @@ mod tests {
 
         let mut b = DatasetBuilder::create(&row_path, 3).unwrap();
         for r in 0..4 {
-            b.push_row(&features[r * 3..(r + 1) * 3], Some(labels[r])).unwrap();
+            b.push_row(&features[r * 3..(r + 1) * 3], Some(labels[r]))
+                .unwrap();
         }
         b.finish().unwrap();
 

@@ -34,7 +34,11 @@ impl<'a> RowChunk<'a> {
     /// # Panics
     /// Panics when `i >= n_rows()`.
     pub fn row(&self, i: usize) -> &'a [f64] {
-        assert!(i < self.n_rows(), "row {i} out of bounds ({})", self.n_rows());
+        assert!(
+            i < self.n_rows(),
+            "row {i} out of bounds ({})",
+            self.n_rows()
+        );
         &self.data[i * self.n_cols..(i + 1) * self.n_cols]
     }
 
@@ -158,7 +162,10 @@ mod tests {
         // 784 features * 8 bytes = 6 272 bytes per row.
         assert_eq!(chunk_rows_for_budget(784, 6_272 * 100), 100);
         assert_eq!(chunk_rows_for_budget(784, 10), 1);
-        assert_eq!(chunk_rows_for_budget(0, 1024), chunk_rows_for_budget(1, 1024));
+        assert_eq!(
+            chunk_rows_for_budget(0, 1024),
+            chunk_rows_for_budget(1, 1024)
+        );
     }
 
     #[test]

@@ -247,7 +247,8 @@ impl Dataset {
 
     /// Labels converted to integer class ids (`label as i64`).
     pub fn labels_as_classes(&self) -> Option<Vec<i64>> {
-        self.labels().map(|ls| ls.iter().map(|&l| l as i64).collect())
+        self.labels()
+            .map(|ls| ls.iter().map(|&l| l as i64).collect())
     }
 
     /// Forward an access-pattern hint for the whole mapping.
@@ -276,7 +277,10 @@ impl RowStore for Dataset {
         &self.data_slice()[i * cols..(i + 1) * cols]
     }
     fn rows_slice(&self, start: usize, end: usize) -> &[f64] {
-        assert!(start <= end && end <= Dataset::n_rows(self), "row range out of bounds");
+        assert!(
+            start <= end && end <= Dataset::n_rows(self),
+            "row range out of bounds"
+        );
         let cols = Dataset::n_cols(self);
         &self.data_slice()[start * cols..end * cols]
     }
@@ -329,7 +333,10 @@ mod tests {
     fn header_rejects_bad_magic_and_version() {
         let mut bytes = DatasetHeader::new(1, 1, false).encode();
         bytes[0] = b'X';
-        assert!(matches!(DatasetHeader::decode(&bytes), Err(CoreError::BadHeader { .. })));
+        assert!(matches!(
+            DatasetHeader::decode(&bytes),
+            Err(CoreError::BadHeader { .. })
+        ));
 
         let mut bytes = DatasetHeader::new(1, 1, false).encode();
         bytes[8] = 99;
@@ -378,7 +385,10 @@ mod tests {
         let mut bytes = vec![0u8; HEADER_BYTES];
         bytes[..64].copy_from_slice(&header.encode());
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(Dataset::open(&path), Err(CoreError::SizeMismatch { .. })));
+        assert!(matches!(
+            Dataset::open(&path),
+            Err(CoreError::SizeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -116,21 +116,32 @@ mod tests {
 
     #[test]
     fn io_error_carries_source() {
-        let e = CoreError::io("/tmp/y", std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        let e = CoreError::io(
+            "/tmp/y",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
         assert!(e.to_string().contains("/tmp/y"));
         assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]
     fn from_io_error_without_path() {
-        let e: CoreError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: CoreError = std::io::Error::other("boom").into();
         assert!(e.to_string().contains("boom"));
     }
 
     #[test]
     fn misaligned_and_shape_display() {
-        assert!(CoreError::Misaligned { address: 0x123 }.to_string().contains("0x123"));
-        assert!(CoreError::InvalidShape { rows: 1, cols: 2 }.to_string().contains("1x2"));
-        assert!(CoreError::BadHeader { reason: "nope".into() }.to_string().contains("nope"));
+        assert!(CoreError::Misaligned { address: 0x123 }
+            .to_string()
+            .contains("0x123"));
+        assert!(CoreError::InvalidShape { rows: 1, cols: 2 }
+            .to_string()
+            .contains("1x2"));
+        assert!(CoreError::BadHeader {
+            reason: "nope".into()
+        }
+        .to_string()
+        .contains("nope"));
     }
 }

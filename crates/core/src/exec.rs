@@ -1,0 +1,595 @@
+//! The shared execution context every data sweep in the workspace goes
+//! through.
+//!
+//! Before this layer existed, each algorithm in `m3-ml` hand-rolled its own
+//! parallel sweep: per-model thread counts, ad-hoc chunk sizes and per-call
+//! `madvise` hints.  [`ExecContext`] centralises that policy — worker thread
+//! count, page-aligned chunk size, [`AccessPattern`] advice and optional
+//! [`AccessTracer`] instrumentation — behind two drivers:
+//!
+//! * [`ExecContext::for_each_chunk`] — a sequential chunked sweep for
+//!   single-pass accumulators (naive Bayes, Gram matrices),
+//! * [`ExecContext::map_reduce_rows`] — a parallel chunked map-reduce for
+//!   everything else (losses, gradients, k-means assignment).
+//!
+//! Swapping the execution backend (serial, chunked, traced — and later
+//! sharded or async) is then a single `ExecContext` change instead of an
+//! edit in every model, which is the same "one-line change" philosophy the
+//! M3 paper applies to storage, applied to execution.
+//!
+//! ## Determinism
+//!
+//! `map_reduce_rows` always splits the data into the same row-aligned
+//! chunks — sized from a page-rounded byte budget and the data's shape,
+//! never from the thread count — and folds the partial results **in chunk
+//! order**, regardless of how many worker threads processed them.  Training
+//! results are therefore
+//! bit-identical across thread counts *and* across storage backends
+//! ([`m3_linalg::DenseMatrix`], [`crate::MmapMatrix`], [`crate::Dataset`]) —
+//! the property the paper's Table 1 claims and the workspace's parity suite
+//! enforces.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::chunked::RowChunk;
+use crate::storage::RowStore;
+use crate::trace::AccessTracer;
+use crate::{AccessPattern, PAGE_SIZE};
+
+/// Default per-chunk byte budget: 8 MiB (2 048 pages) keeps the OS
+/// read-ahead streaming while a chunk's working set stays far below any
+/// realistic page-cache share.
+pub const DEFAULT_CHUNK_BYTES: usize = 8 * 1024 * 1024;
+
+/// Minimum number of chunks a parallel sweep aims to split the data into
+/// (when there are at least that many rows).  Without this, a dataset
+/// smaller than one chunk budget would collapse to a single chunk and run
+/// serially no matter how many workers are available.  The value depends
+/// only on the data's row count — never on the thread count — so the
+/// bit-identical-across-thread-counts guarantee is preserved.
+pub const TARGET_PARALLEL_CHUNKS: usize = 64;
+
+/// Execution policy for data sweeps: thread count, chunk size, access-pattern
+/// advice and optional tracing.
+///
+/// Cheap to clone and to share; all configuration is by-value except the
+/// tracer, which is an `Arc`.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    threads: usize,
+    chunk_bytes: usize,
+    advice: AccessPattern,
+    tracer: Option<Arc<AccessTracer>>,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            advice: AccessPattern::Sequential,
+            tracer: None,
+        }
+    }
+}
+
+impl ExecContext {
+    /// The default context: every hardware thread, 8 MiB chunks, sequential
+    /// advice (the pattern of every batch-training sweep), no tracing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A single-threaded context (otherwise default).
+    pub fn serial() -> Self {
+        Self::default().with_threads(1)
+    }
+
+    /// Set the worker thread count; `0` means "all hardware threads".
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the per-chunk byte budget, rounded up to a whole page.
+    pub fn with_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.chunk_bytes = crate::round_up_to_page(bytes.max(1)).max(PAGE_SIZE);
+        self
+    }
+
+    /// Set the `madvise`-style hint issued to the store before each sweep.
+    pub fn with_advice(mut self, advice: AccessPattern) -> Self {
+        self.advice = advice;
+        self
+    }
+
+    /// Attach a tracer that records the row ranges every sweep touches.
+    pub fn with_tracer(mut self, tracer: Arc<AccessTracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Detach any tracer.
+    pub fn without_tracer(mut self) -> Self {
+        self.tracer = None;
+        self
+    }
+
+    /// The configured thread count (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The thread count actually used: the configured count, or every
+    /// available hardware thread when set to `0`.
+    pub fn resolve_threads(&self) -> usize {
+        if self.threads == 0 {
+            m3_linalg::parallel::default_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// The page-aligned per-chunk byte budget.
+    pub fn chunk_bytes(&self) -> usize {
+        self.chunk_bytes
+    }
+
+    /// The configured access-pattern advice.
+    pub fn advice(&self) -> AccessPattern {
+        self.advice
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<AccessTracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Rows per chunk for a store of `n_cols` features: the chunk byte budget
+    /// divided by the row size, at least one.  Chunk boundaries are
+    /// row-aligned; only the byte budget itself is page-rounded.
+    pub fn chunk_rows(&self, n_cols: usize) -> usize {
+        crate::chunked::chunk_rows_for_budget(n_cols, self.chunk_bytes as u64)
+    }
+
+    /// Rows per chunk a parallel sweep over `n_rows × n_cols` uses: the
+    /// budget-derived size, additionally capped so the sweep yields at least
+    /// [`TARGET_PARALLEL_CHUNKS`] chunks when the data has that many rows.
+    /// Depends only on the data's shape and this context's budget, never on
+    /// the thread count.
+    fn parallel_chunk_rows(&self, n_rows: usize, n_cols: usize) -> usize {
+        self.chunk_rows(n_cols)
+            .min(n_rows.div_ceil(TARGET_PARALLEL_CHUNKS))
+            .max(1)
+    }
+
+    /// Issue this context's advice to `data` and note the sweep in the
+    /// tracer-independent sense (no rows recorded yet).
+    fn begin_sweep<S: RowStore + ?Sized>(&self, data: &S) {
+        data.advise(self.advice);
+    }
+
+    fn record(&self, start: usize, end: usize) {
+        if let Some(tracer) = &self.tracer {
+            tracer.record_row_range(start, end);
+        }
+    }
+
+    /// Sweep `data` sequentially in budget-sized row chunks, calling `f` on
+    /// each chunk in order.
+    ///
+    /// This is the driver for single-pass, order-dependent accumulators
+    /// (Welford statistics, Gram matrices).
+    pub fn for_each_chunk<S: RowStore + ?Sized>(&self, data: &S, mut f: impl FnMut(RowChunk<'_>)) {
+        self.begin_sweep(data);
+        let chunk_rows = self.chunk_rows(data.n_cols());
+        for chunk in crate::chunked::ChunkedRows::new(data, chunk_rows) {
+            self.record(chunk.start_row, chunk.end_row);
+            f(chunk);
+        }
+    }
+
+    /// Sweep `data` in fixed row chunks (sized from the page-rounded byte
+    /// budget, capped so small datasets still split into
+    /// [`TARGET_PARALLEL_CHUNKS`] pieces), mapping each chunk to a partial
+    /// result on a pool of worker threads and folding the partials **in
+    /// chunk order** with `reduce`.
+    ///
+    /// The chunking and the reduction order depend only on the data's shape
+    /// and this context's chunk size — never on the thread count — so the
+    /// result is bit-identical whether it ran on one thread or sixty-four.
+    pub fn map_reduce_rows<S, T, Map, Reduce>(
+        &self,
+        data: &S,
+        map: Map,
+        identity: T,
+        mut reduce: Reduce,
+    ) -> T
+    where
+        S: RowStore + Sync + ?Sized,
+        T: Send,
+        Map: Fn(RowChunk<'_>) -> T + Sync,
+        Reduce: FnMut(T, T) -> T,
+    {
+        let n_rows = data.n_rows();
+        if n_rows == 0 {
+            return identity;
+        }
+        self.begin_sweep(data);
+
+        let chunk_rows = self.parallel_chunk_rows(n_rows, data.n_cols());
+        let n_chunks = n_rows.div_ceil(chunk_rows);
+        let threads = self.resolve_threads().min(n_chunks);
+
+        let chunk_at = |index: usize| {
+            let start = index * chunk_rows;
+            let end = (start + chunk_rows).min(n_rows);
+            RowChunk {
+                start_row: start,
+                end_row: end,
+                data: data.rows_slice(start, end),
+                n_cols: data.n_cols(),
+            }
+        };
+
+        if threads <= 1 {
+            let mut acc = identity;
+            for index in 0..n_chunks {
+                let chunk = chunk_at(index);
+                self.record(chunk.start_row, chunk.end_row);
+                acc = reduce(acc, map(chunk));
+            }
+            return acc;
+        }
+
+        // Work-stealing over an atomic chunk cursor: each worker claims the
+        // next unprocessed chunk, records it in the tracer as it is actually
+        // touched, and streams its partial back over a channel.  The main
+        // thread folds the partials **in chunk order** as they arrive,
+        // buffering out-of-order stragglers.  Workers never claim a chunk
+        // more than `window` ahead of the fold frontier, so live partials
+        // are O(threads + window) even if one chunk stalls for seconds on a
+        // saturated device — never one per chunk, which matters when a
+        // 190 GB sweep produces tens of thousands of gradient-sized
+        // partials.
+        let cursor = AtomicUsize::new(0);
+        let aborted = std::sync::atomic::AtomicBool::new(false);
+        let window = (threads * 4).max(8);
+        // Fold frontier (next chunk index to fold) behind a condvar so
+        // parked workers sleep instead of burning CPU — on an I/O-stalled
+        // sweep the idle cores belong to the OS read-ahead, not a spin loop.
+        let frontier = (std::sync::Mutex::new(0usize), std::sync::Condvar::new());
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+
+        /// Flags `aborted` when its thread unwinds, so workers parked on the
+        /// frontier back off instead of waiting on a frontier that will
+        /// never advance.  Guards the folding thread (a panicking `reduce`)
+        /// as well as the workers (a panicking `map`); the panic itself is
+        /// re-raised from `join` / scope exit.
+        struct AbortOnPanic<'a>(&'a std::sync::atomic::AtomicBool);
+        impl Drop for AbortOnPanic<'_> {
+            fn drop(&mut self) {
+                if std::thread::panicking() {
+                    self.0.store(true, Ordering::Release);
+                }
+            }
+        }
+
+        std::thread::scope(|scope| {
+            let _fold_guard = AbortOnPanic(&aborted);
+            let mut acc = identity;
+            let map_ref = &map;
+            let cursor_ref = &cursor;
+            let frontier_ref = &frontier;
+            let aborted_ref = &aborted;
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let tx = tx.clone();
+                handles.push(scope.spawn(move || {
+                    let _guard = AbortOnPanic(aborted_ref);
+                    'claims: loop {
+                        let index = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                        if index >= n_chunks {
+                            break;
+                        }
+                        // Backpressure: wait until the fold frontier is within
+                        // `window` of this chunk.  The chunk *at* the frontier
+                        // is always admitted, so progress is guaranteed; the
+                        // timeout bounds how long an abort can go unnoticed.
+                        let (lock, cvar) = frontier_ref;
+                        let mut f = lock.lock().expect("frontier lock poisoned");
+                        while index >= *f + window {
+                            if aborted_ref.load(Ordering::Acquire) {
+                                break 'claims;
+                            }
+                            (f, _) = cvar
+                                .wait_timeout(f, std::time::Duration::from_millis(20))
+                                .expect("frontier lock poisoned");
+                        }
+                        drop(f);
+                        let chunk = chunk_at(index);
+                        self.record(chunk.start_row, chunk.end_row);
+                        if tx.send((index, map_ref(chunk))).is_err() {
+                            break;
+                        }
+                    }
+                }));
+            }
+            drop(tx);
+
+            let mut next = 0usize;
+            let mut pending: std::collections::BTreeMap<usize, T> =
+                std::collections::BTreeMap::new();
+            while next < n_chunks {
+                // A closed channel here means a worker panicked before
+                // sending; fall through and surface the panic via join.
+                let Ok((index, partial)) = rx.recv() else {
+                    break;
+                };
+                pending.insert(index, partial);
+                while let Some(ready) = pending.remove(&next) {
+                    acc = reduce(acc, ready);
+                    next += 1;
+                }
+                let (lock, cvar) = &frontier;
+                *lock.lock().expect("frontier lock poisoned") = next;
+                cvar.notify_all();
+            }
+            for handle in handles {
+                handle.join().expect("sweep worker panicked");
+            }
+            acc
+        })
+    }
+
+    /// Map-reduce convenience for side-effect-free row visits that produce no
+    /// result (used by sweeps that only warm or measure paging behaviour).
+    pub fn visit_rows<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        visit: impl Fn(RowChunk<'_>) + Sync,
+    ) {
+        self.map_reduce_rows(data, visit, (), |_, _| ());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_linalg::DenseMatrix;
+
+    fn matrix(rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix::from_vec(
+            (0..rows * cols)
+                .map(|i| (i % 1000) as f64 * 0.125)
+                .collect(),
+            rows,
+            cols,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn default_is_sequential_full_parallel_8mib() {
+        let ctx = ExecContext::new();
+        assert_eq!(ctx.threads(), 0);
+        assert!(ctx.resolve_threads() >= 1);
+        assert_eq!(ctx.chunk_bytes(), DEFAULT_CHUNK_BYTES);
+        assert_eq!(ctx.chunk_bytes() % PAGE_SIZE, 0);
+        assert_eq!(ctx.advice(), AccessPattern::Sequential);
+        assert!(ctx.tracer().is_none());
+    }
+
+    #[test]
+    fn chunk_bytes_round_up_to_pages() {
+        let ctx = ExecContext::new().with_chunk_bytes(1);
+        assert_eq!(ctx.chunk_bytes(), PAGE_SIZE);
+        let ctx = ExecContext::new().with_chunk_bytes(PAGE_SIZE + 1);
+        assert_eq!(ctx.chunk_bytes(), 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn chunk_rows_honours_budget() {
+        // 784 cols × 8 bytes = 6 272 bytes per row; 8 MiB / 6 272 = 1 337.
+        let ctx = ExecContext::new();
+        assert_eq!(ctx.chunk_rows(784), DEFAULT_CHUNK_BYTES / 6_272);
+        assert!(ctx.chunk_rows(0) >= 1);
+        // Rows wider than the budget still make progress.
+        assert_eq!(ctx.with_chunk_bytes(PAGE_SIZE).chunk_rows(1_000_000), 1);
+    }
+
+    #[test]
+    fn for_each_chunk_covers_rows_in_order() {
+        let m = matrix(100, 3);
+        let ctx = ExecContext::new().with_chunk_bytes(PAGE_SIZE); // 170 rows/chunk
+        let mut seen = Vec::new();
+        ctx.for_each_chunk(&m, |chunk| {
+            for (index, row) in chunk.rows_with_index() {
+                assert_eq!(row, m.row(index));
+                seen.push(index);
+            }
+        });
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_reduce_sums_match_serial() {
+        let m = matrix(997, 5);
+        let expected: f64 = m.as_slice().iter().sum();
+        for threads in [1, 2, 7] {
+            let ctx = ExecContext::new()
+                .with_threads(threads)
+                .with_chunk_bytes(PAGE_SIZE);
+            let total = ctx.map_reduce_rows(
+                &m,
+                |chunk| chunk.data.iter().sum::<f64>(),
+                0.0,
+                |a, b| a + b,
+            );
+            assert_eq!(total, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_is_bit_identical_across_thread_counts() {
+        // Floating-point reduction order is fixed by the chunking, so even a
+        // numerically touchy accumulation is *exactly* equal across thread
+        // counts — not just approximately.
+        let m = matrix(3_000, 7);
+        let run = |threads| {
+            ExecContext::new()
+                .with_threads(threads)
+                .with_chunk_bytes(PAGE_SIZE)
+                .map_reduce_rows(
+                    &m,
+                    |chunk| chunk.data.iter().map(|v| (v * 1.37).sin()).sum::<f64>(),
+                    0.0,
+                    |a, b| a + b,
+                )
+        };
+        let serial = run(1);
+        assert_eq!(serial.to_bits(), run(2).to_bits());
+        assert_eq!(serial.to_bits(), run(16).to_bits());
+    }
+
+    #[test]
+    fn empty_store_returns_identity() {
+        let empty = DenseMatrix::zeros(0, 4);
+        let ctx = ExecContext::new();
+        let out = ctx.map_reduce_rows(&empty, |_| 1usize, 42usize, |a, b| a + b);
+        assert_eq!(out, 42);
+        let mut called = false;
+        ctx.for_each_chunk(&empty, |_| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn tracer_records_every_chunk() {
+        let m = matrix(100, 3);
+        let tracer = Arc::new(AccessTracer::for_matrix(100, 3));
+        let ctx = ExecContext::serial()
+            .with_chunk_bytes(PAGE_SIZE)
+            .with_tracer(Arc::clone(&tracer));
+        ctx.for_each_chunk(&m, |_| {});
+        let trace = tracer.snapshot();
+        assert!(!trace.is_empty());
+        // Every byte of the matrix is covered exactly once.
+        let total_pages: u64 = trace.total_page_touches();
+        assert_eq!(
+            total_pages,
+            crate::pages_for(100 * 3 * crate::ELEMENT_BYTES) as u64
+        );
+
+        // The parallel driver splits into TARGET_PARALLEL_CHUNKS-derived
+        // chunks (2 rows each here) and records one event per chunk, all
+        // inside the same single-page region.
+        let tracer2 = Arc::new(AccessTracer::for_matrix(100, 3));
+        ctx.clone()
+            .with_threads(4)
+            .with_tracer(Arc::clone(&tracer2))
+            .map_reduce_rows(&m, |c| c.n_rows(), 0, |a, b| a + b);
+        let parallel_trace = tracer2.snapshot();
+        let expected_chunks = 100usize.div_ceil(100usize.div_ceil(TARGET_PARALLEL_CHUNKS));
+        assert_eq!(parallel_trace.events().len(), expected_chunks);
+        assert!(parallel_trace
+            .events()
+            .iter()
+            .all(|e| e.first_page + e.page_count <= parallel_trace.region_pages()));
+    }
+
+    #[test]
+    fn stalled_first_chunk_still_folds_in_order() {
+        // Chunk 0 sleeps while the other workers race ahead; the frontier
+        // window holds them back and the fold still happens in chunk order.
+        let m = matrix(1_000, 3);
+        let expected: f64 = m.as_slice().iter().sum();
+        let total = ExecContext::new()
+            .with_threads(4)
+            .with_chunk_bytes(PAGE_SIZE)
+            .map_reduce_rows(
+                &m,
+                |chunk| {
+                    if chunk.start_row == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                    }
+                    chunk.data.iter().sum::<f64>()
+                },
+                0.0,
+                |a, b| a + b,
+            );
+        assert_eq!(total.to_bits(), expected.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        let m = matrix(1_000, 3);
+        ExecContext::new()
+            .with_threads(4)
+            .with_chunk_bytes(PAGE_SIZE)
+            .map_reduce_rows(
+                &m,
+                |chunk| {
+                    if chunk.start_row == 0 {
+                        // Stall first so other workers hit the frontier
+                        // window, then die: they must back off, not spin.
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        panic!("boom");
+                    }
+                    chunk.n_rows()
+                },
+                0usize,
+                |a, b| a + b,
+            );
+    }
+
+    #[test]
+    #[should_panic(expected = "reduce boom")]
+    fn reduce_panic_on_fold_thread_propagates_instead_of_deadlocking() {
+        // The folding thread dies mid-sweep while workers are parked on the
+        // frontier window; the abort guard must release them so the scope
+        // can join and re-raise, rather than hanging.
+        let m = matrix(1_000, 3);
+        ExecContext::new()
+            .with_threads(4)
+            .with_chunk_bytes(PAGE_SIZE)
+            .map_reduce_rows(
+                &m,
+                |chunk| chunk.n_rows(),
+                0usize,
+                |_, _| panic!("reduce boom"),
+            );
+    }
+
+    #[test]
+    fn visit_rows_sees_every_row_once() {
+        let m = matrix(257, 3);
+        let counter = AtomicUsize::new(0);
+        ExecContext::new()
+            .with_threads(4)
+            .with_chunk_bytes(PAGE_SIZE)
+            .visit_rows(&m, |chunk| {
+                counter.fetch_add(chunk.n_rows(), Ordering::SeqCst);
+            });
+        assert_eq!(counter.load(Ordering::SeqCst), 257);
+    }
+
+    #[test]
+    fn works_over_memory_mapped_stores() {
+        let dir = tempfile::tempdir().unwrap();
+        let m = matrix(64, 9);
+        let mapped = crate::alloc::persist_matrix(dir.path().join("exec.m3"), &m).unwrap();
+        let sum = |store: &(dyn RowStore + Sync)| {
+            ExecContext::serial()
+                .with_chunk_bytes(PAGE_SIZE)
+                .map_reduce_rows(
+                    store,
+                    |chunk| chunk.data.iter().sum::<f64>(),
+                    0.0,
+                    |a, b| a + b,
+                )
+        };
+        assert_eq!(sum(&m).to_bits(), sum(&mapped).to_bits());
+    }
+}

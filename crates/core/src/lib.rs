@@ -62,6 +62,7 @@ pub mod builder;
 pub mod chunked;
 pub mod dataset;
 pub mod error;
+pub mod exec;
 pub mod mmap;
 pub mod stats;
 pub mod storage;
@@ -71,6 +72,7 @@ pub use advice::AccessPattern;
 pub use alloc::{mmap_alloc, mmap_alloc_mut};
 pub use dataset::{Dataset, DatasetHeader};
 pub use error::{CoreError, Result};
+pub use exec::ExecContext;
 pub use mmap::{MmapMatrix, MmapMatrixMut};
 pub use storage::RowStore;
 

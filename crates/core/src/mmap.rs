@@ -39,7 +39,7 @@ fn required_bytes(rows: usize, cols: usize) -> Result<u64> {
 /// here).
 unsafe fn bytes_as_f64(bytes: &[u8], offset: usize, n_elements: usize) -> Result<&[f64]> {
     let start = bytes.as_ptr() as usize + offset;
-    if start % std::mem::align_of::<f64>() != 0 {
+    if !start.is_multiple_of(std::mem::align_of::<f64>()) {
         return Err(CoreError::Misaligned { address: start });
     }
     let needed = offset + n_elements * crate::ELEMENT_BYTES;
@@ -184,7 +184,10 @@ impl RowStore for MmapMatrix {
     }
 
     fn rows_slice(&self, start: usize, end: usize) -> &[f64] {
-        assert!(start <= end && end <= self.n_rows, "row range out of bounds");
+        assert!(
+            start <= end && end <= self.n_rows,
+            "row range out of bounds"
+        );
         self.record((end - start) as u64);
         &self.data()[start * self.n_cols..end * self.n_cols]
     }
@@ -233,7 +236,7 @@ impl MmapMatrixMut {
         // SAFETY: we hold the only mapping of a file we just created/resized.
         let map = unsafe { MmapMut::map_mut(&file) }.map_err(|e| CoreError::io(&path, e))?;
         let addr = map.as_ptr() as usize;
-        if addr % std::mem::align_of::<f64>() != 0 {
+        if !addr.is_multiple_of(std::mem::align_of::<f64>()) {
             return Err(CoreError::Misaligned { address: addr });
         }
         Ok(Self {
@@ -257,7 +260,10 @@ impl MmapMatrixMut {
             .write(true)
             .open(&path_buf)
             .map_err(|e| CoreError::io(&path_buf, e))?;
-        let actual = file.metadata().map_err(|e| CoreError::io(&path_buf, e))?.len();
+        let actual = file
+            .metadata()
+            .map_err(|e| CoreError::io(&path_buf, e))?
+            .len();
         if actual < needed {
             return Err(CoreError::SizeMismatch {
                 path: path_buf,
@@ -295,10 +301,7 @@ impl MmapMatrixMut {
     pub fn as_slice(&self) -> &[f64] {
         // SAFETY: alignment checked at construction; length set via set_len.
         unsafe {
-            std::slice::from_raw_parts(
-                self.map.as_ptr().cast::<f64>(),
-                self.n_rows * self.n_cols,
-            )
+            std::slice::from_raw_parts(self.map.as_ptr().cast::<f64>(), self.n_rows * self.n_cols)
         }
     }
 
@@ -337,9 +340,7 @@ impl MmapMatrixMut {
     /// # Errors
     /// Propagates the underlying `msync` failure.
     pub fn flush(&self) -> Result<()> {
-        self.map
-            .flush()
-            .map_err(|e| CoreError::io(&self.path, e))
+        self.map.flush().map_err(|e| CoreError::io(&self.path, e))
     }
 
     /// Flush and convert into a read-only [`MmapMatrix`] over the same file.
@@ -437,7 +438,9 @@ mod tests {
         }
         let stats = TouchStats::new_shared();
         let ro = m.into_read_only().unwrap().with_stats(Arc::clone(&stats));
-        let total: f64 = (0..ro.n_rows()).map(|r| ro.row(r).iter().sum::<f64>()).sum();
+        let total: f64 = (0..ro.n_rows())
+            .map(|r| ro.row(r).iter().sum::<f64>())
+            .sum();
         assert_eq!(total, (0..8).sum::<usize>() as f64);
         assert_eq!(stats.rows_read(), 4);
         assert_eq!(stats.elements_read(), 8);
@@ -451,7 +454,10 @@ mod tests {
     fn advise_is_best_effort_and_does_not_panic() {
         let dir = tempdir().unwrap();
         let p = path_in(&dir, "advice.bin");
-        let m = MmapMatrixMut::create(&p, 8, 8).unwrap().into_read_only().unwrap();
+        let m = MmapMatrixMut::create(&p, 8, 8)
+            .unwrap()
+            .into_read_only()
+            .unwrap();
         for pattern in AccessPattern::ALL {
             m.advise_pattern(pattern);
             RowStore::advise(&m, pattern);
@@ -471,7 +477,10 @@ mod tests {
     fn row_out_of_bounds_panics() {
         let dir = tempdir().unwrap();
         let p = path_in(&dir, "oob.bin");
-        let m = MmapMatrixMut::create(&p, 2, 2).unwrap().into_read_only().unwrap();
+        let m = MmapMatrixMut::create(&p, 2, 2)
+            .unwrap()
+            .into_read_only()
+            .unwrap();
         let _ = m.row(2);
     }
 

@@ -95,7 +95,10 @@ impl RowStore for DenseMatrix {
     }
 
     fn rows_slice(&self, start: usize, end: usize) -> &[f64] {
-        assert!(start <= end && end <= DenseMatrix::n_rows(self), "row range out of bounds");
+        assert!(
+            start <= end && end <= DenseMatrix::n_rows(self),
+            "row range out of bounds"
+        );
         let cols = DenseMatrix::n_cols(self);
         &DenseMatrix::as_slice(self)[start * cols..end * cols]
     }
@@ -106,6 +109,27 @@ impl RowStore for DenseMatrix {
 }
 
 impl<T: RowStore + ?Sized> RowStore for &T {
+    fn n_rows(&self) -> usize {
+        (**self).n_rows()
+    }
+    fn n_cols(&self) -> usize {
+        (**self).n_cols()
+    }
+    fn row(&self, i: usize) -> &[f64] {
+        (**self).row(i)
+    }
+    fn rows_slice(&self, start: usize, end: usize) -> &[f64] {
+        (**self).rows_slice(start, end)
+    }
+    fn as_slice(&self) -> &[f64] {
+        (**self).as_slice()
+    }
+    fn advise(&self, pattern: crate::AccessPattern) {
+        (**self).advise(pattern)
+    }
+}
+
+impl<T: RowStore + ?Sized> RowStore for Box<T> {
     fn n_rows(&self) -> usize {
         (**self).n_rows()
     }
@@ -190,6 +214,19 @@ mod tests {
         assert_eq!(arc.n_rows(), 4);
         assert_eq!(arc.rows_slice(0, 1), &[0.0, 1.0, 2.0]);
         arc.advise(crate::AccessPattern::Sequential); // no-op, must not panic
+    }
+
+    #[test]
+    fn boxed_and_trait_object_stores_forward() {
+        let boxed: Box<DenseMatrix> = Box::new(sample());
+        assert_eq!(boxed.n_rows(), 4);
+        assert_eq!(RowStore::row(&boxed, 2), &[6.0, 7.0, 8.0]);
+
+        // The erased form algorithms receive through the Estimator API.
+        let erased: Box<dyn RowStore + Sync> = Box::new(sample());
+        assert_eq!(erased.shape(), (4, 3));
+        assert_eq!(erased.rows_slice(0, 1), &[0.0, 1.0, 2.0]);
+        erased.advise(crate::AccessPattern::Sequential);
     }
 
     #[test]

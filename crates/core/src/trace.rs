@@ -162,6 +162,44 @@ impl TraceRecorder {
     }
 }
 
+/// A thread-safe [`TraceRecorder`], shareable across the parallel sweeps an
+/// [`crate::exec::ExecContext`] drives.
+///
+/// Workers lock per recorded chunk, so the event *order* under parallel
+/// execution reflects actual completion order — which is exactly the
+/// nondeterminism a real parallel mmap workload exhibits.  The page *set* is
+/// deterministic.
+#[derive(Debug)]
+pub struct AccessTracer {
+    inner: std::sync::Mutex<TraceRecorder>,
+}
+
+impl AccessTracer {
+    /// Create a tracer for a matrix of `rows × cols` `f64` elements.
+    pub fn for_matrix(rows: usize, cols: usize) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(TraceRecorder::for_matrix(rows, cols)),
+        }
+    }
+
+    /// Record a read of rows `start..end`.
+    pub fn record_row_range(&self, start: usize, end: usize) {
+        self.inner
+            .lock()
+            .expect("tracer lock poisoned")
+            .record_row_range(start, end);
+    }
+
+    /// A copy of the trace recorded so far.
+    pub fn snapshot(&self) -> AccessTrace {
+        self.inner
+            .lock()
+            .expect("tracer lock poisoned")
+            .trace
+            .clone()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,15 +211,33 @@ mod tests {
         t.push_range(PAGE_SIZE as u64 - 1, 2, true);
         t.push_range(0, 0, false); // ignored
         assert_eq!(t.events().len(), 2);
-        assert_eq!(t.events()[0], AccessEvent { first_page: 0, page_count: 1, is_write: false });
-        assert_eq!(t.events()[1], AccessEvent { first_page: 0, page_count: 2, is_write: true });
+        assert_eq!(
+            t.events()[0],
+            AccessEvent {
+                first_page: 0,
+                page_count: 1,
+                is_write: false
+            }
+        );
+        assert_eq!(
+            t.events()[1],
+            AccessEvent {
+                first_page: 0,
+                page_count: 2,
+                is_write: true
+            }
+        );
         assert_eq!(t.total_page_touches(), 3);
         assert!(!t.is_empty());
     }
 
     #[test]
     fn event_pages_iterates_span() {
-        let e = AccessEvent { first_page: 4, page_count: 3, is_write: false };
+        let e = AccessEvent {
+            first_page: 4,
+            page_count: 3,
+            is_write: false,
+        };
         assert_eq!(e.pages().collect::<Vec<_>>(), vec![4, 5, 6]);
     }
 
@@ -215,6 +271,21 @@ mod tests {
         assert_ne!(a, c);
         assert!(a.events().iter().all(|e| e.first_page < 64));
         assert_eq!(a.total_page_touches(), 100);
+    }
+
+    #[test]
+    fn tracer_is_shareable_and_snapshots() {
+        let tracer = std::sync::Arc::new(AccessTracer::for_matrix(100, 784));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let tracer = std::sync::Arc::clone(&tracer);
+                scope.spawn(move || tracer.record_row_range(t * 25, (t + 1) * 25));
+            }
+        });
+        let trace = tracer.snapshot();
+        assert_eq!(trace.events().len(), 4);
+        // 25 rows × 6 272 bytes per row per event.
+        assert_eq!(trace.region_bytes, 100 * 784 * 8);
     }
 
     #[test]

@@ -27,7 +27,11 @@ impl GaussianBlobs {
         assert!(n_cols > 0, "need at least one dimension");
         let mut rng = StdRng::seed_from_u64(seed ^ 0xB10B5);
         let centers = (0..k)
-            .map(|_| (0..n_cols).map(|_| rng.gen_range(-spread..spread)).collect())
+            .map(|_| {
+                (0..n_cols)
+                    .map(|_| rng.gen_range(-spread..spread))
+                    .collect()
+            })
             .collect();
         Self {
             centers,
@@ -40,7 +44,10 @@ impl GaussianBlobs {
     pub fn with_centers(centers: Vec<Vec<f64>>, std_dev: f64, seed: u64) -> Self {
         assert!(!centers.is_empty(), "need at least one cluster");
         let d = centers[0].len();
-        assert!(centers.iter().all(|c| c.len() == d), "centres must share a dimension");
+        assert!(
+            centers.iter().all(|c| c.len() == d),
+            "centres must share a dimension"
+        );
         Self {
             centers,
             std_dev,
@@ -94,11 +101,7 @@ mod tests {
 
     #[test]
     fn deterministic_and_centered() {
-        let g = GaussianBlobs::with_centers(
-            vec![vec![0.0, 0.0], vec![10.0, 10.0]],
-            0.5,
-            7,
-        );
+        let g = GaussianBlobs::with_centers(vec![vec![0.0, 0.0], vec![10.0, 10.0]], 0.5, 7);
         assert_eq!(g.k(), 2);
         let (a, la) = g.row(4);
         let (b, lb) = g.row(4);

@@ -82,7 +82,11 @@ pub fn parse_csv<R: BufRead>(reader: R, label_last_column: bool) -> Result<Label
         .expect("row-wise parsing keeps the buffer consistent");
     Ok(LabelledMatrix {
         features,
-        labels: if label_last_column { Some(labels) } else { None },
+        labels: if label_last_column {
+            Some(labels)
+        } else {
+            None
+        },
     })
 }
 

@@ -103,7 +103,7 @@ impl InfimnistLike {
         }
 
         // A vertical stroke whose column depends on the class.
-        if class % 2 == 0 {
+        if class.is_multiple_of(2) {
             let col = 8 + class % 12;
             for y in 6..22 {
                 img[y * IMAGE_SIDE + col] = 1.0;
@@ -111,7 +111,7 @@ impl InfimnistLike {
             }
         }
         // A horizontal stroke whose row depends on the class.
-        if class % 3 == 0 {
+        if class.is_multiple_of(3) {
             let row = 7 + class;
             for x in 6..22 {
                 img[(row % IMAGE_SIDE) * IMAGE_SIDE + x] = 1.0;
@@ -143,8 +143,8 @@ impl InfimnistLike {
         // A few class-specific random dots make prototypes unique even when
         // the stroke patterns coincide.
         for _ in 0..15 {
-            let x = rng.gen_range(4..24);
-            let y = rng.gen_range(4..24);
+            let x: usize = rng.gen_range(4..24);
+            let y: usize = rng.gen_range(4..24);
             img[y * IMAGE_SIDE + x] = rng.gen_range(0.5..1.0);
         }
         img
@@ -158,7 +158,11 @@ impl InfimnistLike {
     /// Generate sample `index` into `out` (length [`N_FEATURES`]) and return
     /// its label as `f64`.
     pub fn generate_into(&self, index: u64, out: &mut [f64]) -> f64 {
-        assert_eq!(out.len(), N_FEATURES, "output buffer must hold 784 features");
+        assert_eq!(
+            out.len(),
+            N_FEATURES,
+            "output buffer must hold 784 features"
+        );
         let class = self.label_of(index) as usize;
         let prototype = &self.prototypes[class];
         let mut rng = self.sample_rng(index);

@@ -99,9 +99,12 @@ mod tests {
 
     #[test]
     fn error_display_variants() {
-        let e = DataError::Parse { line: 3, reason: "bad float".into() };
+        let e = DataError::Parse {
+            line: 3,
+            reason: "bad float".into(),
+        };
         assert!(e.to_string().contains("line 3"));
-        let e: DataError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let e: DataError = std::io::Error::other("x").into();
         assert!(e.to_string().contains("I/O"));
         let e = DataError::InvalidConfig("k must be > 0".into());
         assert!(e.to_string().contains("k must be"));

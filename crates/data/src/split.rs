@@ -26,7 +26,9 @@ pub struct TrainTestSplit {
 /// Fails when `test_fraction` is outside `(0, 1)` or `n_rows == 0`.
 pub fn train_test_split(n_rows: usize, test_fraction: f64, seed: u64) -> Result<TrainTestSplit> {
     if n_rows == 0 {
-        return Err(DataError::InvalidConfig("cannot split zero rows".to_string()));
+        return Err(DataError::InvalidConfig(
+            "cannot split zero rows".to_string(),
+        ));
     }
     if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
         return Err(DataError::InvalidConfig(format!(
@@ -35,8 +37,7 @@ pub fn train_test_split(n_rows: usize, test_fraction: f64, seed: u64) -> Result<
     }
     let mut indices: Vec<usize> = (0..n_rows).collect();
     indices.shuffle(&mut StdRng::seed_from_u64(seed));
-    let n_test = ((n_rows as f64 * test_fraction).round() as usize)
-        .clamp(1, n_rows - 1);
+    let n_test = ((n_rows as f64 * test_fraction).round() as usize).clamp(1, n_rows - 1);
     let test = indices[..n_test].to_vec();
     let train = indices[n_test..].to_vec();
     Ok(TrainTestSplit { train, test })
@@ -120,8 +121,14 @@ mod tests {
 
     #[test]
     fn split_is_deterministic_in_seed() {
-        assert_eq!(train_test_split(50, 0.2, 9).unwrap(), train_test_split(50, 0.2, 9).unwrap());
-        assert_ne!(train_test_split(50, 0.2, 9).unwrap(), train_test_split(50, 0.2, 10).unwrap());
+        assert_eq!(
+            train_test_split(50, 0.2, 9).unwrap(),
+            train_test_split(50, 0.2, 9).unwrap()
+        );
+        assert_ne!(
+            train_test_split(50, 0.2, 9).unwrap(),
+            train_test_split(50, 0.2, 10).unwrap()
+        );
     }
 
     #[test]

@@ -80,7 +80,11 @@ impl RowGenerator for LinearProblem {
     }
 
     fn fill_row(&self, index: u64, out: &mut [f64]) -> f64 {
-        assert_eq!(out.len(), self.weights.len(), "output buffer has wrong length");
+        assert_eq!(
+            out.len(),
+            self.weights.len(),
+            "output buffer has wrong length"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed ^ index.wrapping_mul(0xA24BAED4963EE407));
         let (lo, hi) = self.feature_range;
         for v in out.iter_mut() {
@@ -135,9 +139,9 @@ mod tests {
     fn noise_free_classification_is_linearly_separable() {
         let p = LinearProblem::classification(vec![1.0, -1.0], 0.0, 0.0, 2);
         let (m, labels) = p.materialize(100);
-        for r in 0..100 {
+        for (r, &label) in labels.iter().enumerate() {
             let score = m.get(r, 0) - m.get(r, 1);
-            assert_eq!(labels[r] == 1.0, score > 0.0);
+            assert_eq!(label == 1.0, score > 0.0);
         }
     }
 }

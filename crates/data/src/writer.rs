@@ -85,8 +85,8 @@ pub fn write_raw_matrix<G: RowGenerator + ?Sized>(
     let cols = generator.n_cols();
     let mut mapped = MmapMatrixMut::create(&path, n_rows, cols)?;
     let mut labels = vec![0.0; n_rows];
-    for r in 0..n_rows {
-        labels[r] = generator.fill_row(r as u64, mapped.row_mut(r));
+    for (r, label) in labels.iter_mut().enumerate() {
+        *label = generator.fill_row(r as u64, mapped.row_mut(r));
     }
     mapped.flush()?;
     Ok(labels)

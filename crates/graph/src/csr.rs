@@ -26,7 +26,9 @@ impl CsrGraph {
             ));
         }
         if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err(GraphError::BadFormat("offsets must be non-decreasing".into()));
+            return Err(GraphError::BadFormat(
+                "offsets must be non-decreasing".into(),
+            ));
         }
         let n_nodes = offsets.len() - 1;
         if let Some(&bad) = targets.iter().find(|&&t| t as usize >= n_nodes) {
@@ -180,7 +182,10 @@ mod tests {
     #[test]
     fn out_of_range_edges_are_rejected() {
         let mut b = GraphBuilder::new(2);
-        assert!(matches!(b.add_edge(0, 5), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(
+            b.add_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
         assert!(b.add_edge(5, 0).is_err());
     }
 
@@ -211,6 +216,6 @@ mod tests {
         let g = triangle();
         let r: &dyn GraphStore = &g;
         assert_eq!(r.n_nodes(), 3);
-        assert_eq!((&g).n_edges(), 3);
+        assert_eq!(g.n_edges(), 3);
     }
 }

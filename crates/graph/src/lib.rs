@@ -100,9 +100,14 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = GraphError::NodeOutOfRange { node: 9, n_nodes: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: 9,
+            n_nodes: 5,
+        };
         assert!(e.to_string().contains('9'));
-        assert!(GraphError::BadFormat("short".into()).to_string().contains("short"));
+        assert!(GraphError::BadFormat("short".into())
+            .to_string()
+            .contains("short"));
         let e: GraphError = m3_core::CoreError::InvalidShape { rows: 1, cols: 1 }.into();
         assert!(e.to_string().contains("storage"));
     }

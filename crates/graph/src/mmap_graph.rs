@@ -189,7 +189,10 @@ mod tests {
         header[8..16].copy_from_slice(&100u64.to_le_bytes());
         header[16..24].copy_from_slice(&1000u64.to_le_bytes());
         std::fs::write(&path, &header).unwrap();
-        assert!(matches!(MmapGraph::open(&path), Err(GraphError::BadFormat(_))));
+        assert!(matches!(
+            MmapGraph::open(&path),
+            Err(GraphError::BadFormat(_))
+        ));
 
         assert!(MmapGraph::open(dir.path().join("missing.m3g")).is_err());
     }

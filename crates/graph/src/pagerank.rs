@@ -58,10 +58,10 @@ pub fn pagerank<G: GraphStore + ?Sized>(graph: &G, config: &PageRankConfig) -> P
     while iterations < config.max_iterations {
         next.fill((1.0 - config.damping) * uniform);
         let mut dangling_mass = 0.0;
-        for v in 0..n {
+        for (v, &score) in scores.iter().enumerate().take(n) {
             let neighbors = graph.neighbors(v);
             if neighbors.is_empty() {
-                dangling_mass += scores[v];
+                dangling_mass += score;
             } else {
                 let share = config.damping * scores[v] / neighbors.len() as f64;
                 for &t in neighbors {

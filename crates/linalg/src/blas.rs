@@ -33,8 +33,8 @@ pub fn gemv_t(a: &MatrixView<'_>, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.n_rows(), "gemv_t: x length must equal n_rows");
     assert_eq!(y.len(), a.n_cols(), "gemv_t: y length must equal n_cols");
     ops::fill(y, 0.0);
-    for r in 0..a.n_rows() {
-        ops::axpy(x[r], a.row(r), y);
+    for (r, &xr) in x.iter().enumerate() {
+        ops::axpy(xr, a.row(r), y);
     }
 }
 
@@ -45,8 +45,16 @@ pub fn gemv_t(a: &MatrixView<'_>, x: &[f64], y: &mut [f64]) {
 /// (`A: m×k`, `B: k×n`, `C: m×n`).
 pub fn gemm(a: &MatrixView<'_>, b: &MatrixView<'_>, c: &mut DenseMatrix) {
     assert_eq!(a.n_cols(), b.n_rows(), "gemm: inner dimensions must agree");
-    assert_eq!(c.n_rows(), a.n_rows(), "gemm: output rows must equal A rows");
-    assert_eq!(c.n_cols(), b.n_cols(), "gemm: output cols must equal B cols");
+    assert_eq!(
+        c.n_rows(),
+        a.n_rows(),
+        "gemm: output rows must equal A rows"
+    );
+    assert_eq!(
+        c.n_cols(),
+        b.n_cols(),
+        "gemm: output cols must equal B cols"
+    );
     let n = b.n_cols();
     // i-k-j loop ordering keeps the innermost traversal contiguous in both
     // B and C, which matters for the wide (784-column) matrices M3 targets.
@@ -206,7 +214,11 @@ mod tests {
         let a = a23();
         let g = gram(&a.view());
         let expected = a.transpose().matmul(&a).unwrap();
-        assert!(crate::ops::approx_eq(g.as_slice(), expected.as_slice(), 1e-12));
+        assert!(crate::ops::approx_eq(
+            g.as_slice(),
+            expected.as_slice(),
+            1e-12
+        ));
         // Gram matrices are symmetric.
         for i in 0..3 {
             for j in 0..3 {

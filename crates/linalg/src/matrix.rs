@@ -141,7 +141,10 @@ impl DenseMatrix {
     /// Panics when out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.n_rows && col < self.n_cols, "index out of bounds");
+        assert!(
+            row < self.n_rows && col < self.n_cols,
+            "index out of bounds"
+        );
         self.data[row * self.n_cols + col]
     }
 
@@ -151,7 +154,10 @@ impl DenseMatrix {
     /// Panics when out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n_rows && col < self.n_cols, "index out of bounds");
+        assert!(
+            row < self.n_rows && col < self.n_cols,
+            "index out of bounds"
+        );
         self.data[row * self.n_cols + col] = value;
     }
 
@@ -161,7 +167,11 @@ impl DenseMatrix {
     /// Panics when `row >= n_rows`.
     #[inline]
     pub fn row(&self, row: usize) -> &[f64] {
-        assert!(row < self.n_rows, "row {row} out of bounds ({})", self.n_rows);
+        assert!(
+            row < self.n_rows,
+            "row {row} out of bounds ({})",
+            self.n_rows
+        );
         &self.data[row * self.n_cols..(row + 1) * self.n_cols]
     }
 
@@ -171,7 +181,11 @@ impl DenseMatrix {
     /// Panics when `row >= n_rows`.
     #[inline]
     pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
-        assert!(row < self.n_rows, "row {row} out of bounds ({})", self.n_rows);
+        assert!(
+            row < self.n_rows,
+            "row {row} out of bounds ({})",
+            self.n_rows
+        );
         &mut self.data[row * self.n_cols..(row + 1) * self.n_cols]
     }
 
@@ -185,7 +199,11 @@ impl DenseMatrix {
     /// # Panics
     /// Panics when `col >= n_cols`.
     pub fn column(&self, col: usize) -> Vec<f64> {
-        assert!(col < self.n_cols, "col {col} out of bounds ({})", self.n_cols);
+        assert!(
+            col < self.n_cols,
+            "col {col} out of bounds ({})",
+            self.n_cols
+        );
         (0..self.n_rows).map(|r| self.get(r, col)).collect()
     }
 

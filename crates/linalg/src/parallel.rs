@@ -128,7 +128,7 @@ pub fn par_chunked_for_each<F>(n_rows: usize, n_threads: usize, f: F)
 where
     F: Fn(RowRange) + Sync,
 {
-    par_chunked_map_reduce(n_rows, n_threads, |r| f(r), (), |_, _| ());
+    par_chunked_map_reduce(n_rows, n_threads, f, (), |_, _| ());
 }
 
 #[cfg(test)]

@@ -50,7 +50,9 @@ pub fn row_sums(a: &MatrixView<'_>) -> Vec<f64> {
 
 /// Per-row means (length `n_rows`).
 pub fn row_means(a: &MatrixView<'_>) -> Vec<f64> {
-    (0..a.n_rows()).map(|r| crate::ops::mean(a.row(r))).collect()
+    (0..a.n_rows())
+        .map(|r| crate::ops::mean(a.row(r)))
+        .collect()
 }
 
 /// Per-column minimum and maximum, returned as `(mins, maxs)`.

@@ -43,26 +43,34 @@ impl ColumnStats {
     /// Standardise a single row in place: `x ← (x − mean) / std`.
     /// Columns with (near-)zero standard deviation are only centred.
     pub fn standardize_row(&self, row: &mut [f64]) {
-        assert_eq!(row.len(), self.n_cols(), "row length must match statistics");
-        for c in 0..row.len() {
-            row[c] -= self.mean[c];
-            if self.std_dev[c] > 1e-12 {
-                row[c] /= self.std_dev[c];
-            }
-        }
+        standardize_row_with(&self.mean, &self.std_dev, row);
     }
 
     /// Min-max scale a single row in place into `[0, 1]`.
     /// Constant columns are mapped to `0.0`.
     pub fn min_max_scale_row(&self, row: &mut [f64]) {
         assert_eq!(row.len(), self.n_cols(), "row length must match statistics");
-        for c in 0..row.len() {
+        for (c, v) in row.iter_mut().enumerate() {
             let range = self.max[c] - self.min[c];
             if range > 1e-12 {
-                row[c] = (row[c] - self.min[c]) / range;
+                *v = (*v - self.min[c]) / range;
             } else {
-                row[c] = 0.0;
+                *v = 0.0;
             }
+        }
+    }
+}
+
+/// Standardise a single row in place against the given per-column statistics:
+/// `x ← (x − mean) / std`, with columns of (near-)zero standard deviation
+/// only centred.  The single definition of this transform shared by
+/// [`ColumnStats::standardize_row`] and `m3-ml`'s `Standardizer`.
+pub fn standardize_row_with(mean: &[f64], std_dev: &[f64], row: &mut [f64]) {
+    assert_eq!(row.len(), mean.len(), "row length must match statistics");
+    for (c, v) in row.iter_mut().enumerate() {
+        *v -= mean[c];
+        if std_dev[c] > 1e-12 {
+            *v /= std_dev[c];
         }
     }
 }
@@ -97,10 +105,10 @@ impl RunningStats {
         assert_eq!(row.len(), self.mean.len(), "row length mismatch");
         self.count += 1;
         let n = self.count as f64;
-        for c in 0..row.len() {
-            let delta = row[c] - self.mean[c];
+        for (c, &v) in row.iter().enumerate() {
+            let delta = v - self.mean[c];
             self.mean[c] += delta / n;
-            let delta2 = row[c] - self.mean[c];
+            let delta2 = v - self.mean[c];
             self.m2[c] += delta * delta2;
         }
     }

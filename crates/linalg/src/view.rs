@@ -79,8 +79,16 @@ impl<'a> MatrixView<'a> {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.n_rows, "row {row} out of bounds ({})", self.n_rows);
-        assert!(col < self.n_cols, "col {col} out of bounds ({})", self.n_cols);
+        assert!(
+            row < self.n_rows,
+            "row {row} out of bounds ({})",
+            self.n_rows
+        );
+        assert!(
+            col < self.n_cols,
+            "col {col} out of bounds ({})",
+            self.n_cols
+        );
         self.data[row * self.n_cols + col]
     }
 
@@ -90,7 +98,11 @@ impl<'a> MatrixView<'a> {
     /// Panics if `row >= n_rows`.
     #[inline]
     pub fn row(&self, row: usize) -> &'a [f64] {
-        assert!(row < self.n_rows, "row {row} out of bounds ({})", self.n_rows);
+        assert!(
+            row < self.n_rows,
+            "row {row} out of bounds ({})",
+            self.n_rows
+        );
         &self.data[row * self.n_cols..(row + 1) * self.n_cols]
     }
 
@@ -100,7 +112,11 @@ impl<'a> MatrixView<'a> {
     /// Panics if the range exceeds the number of rows or `start > end`.
     pub fn rows(&self, start: usize, end: usize) -> MatrixView<'a> {
         assert!(start <= end, "row range start {start} > end {end}");
-        assert!(end <= self.n_rows, "row range end {end} out of bounds ({})", self.n_rows);
+        assert!(
+            end <= self.n_rows,
+            "row range end {end} out of bounds ({})",
+            self.n_rows
+        );
         MatrixView {
             data: &self.data[start * self.n_cols..end * self.n_cols],
             n_rows: end - start,
@@ -118,7 +134,11 @@ impl<'a> MatrixView<'a> {
     /// # Panics
     /// Panics if `col >= n_cols`.
     pub fn column(&self, col: usize) -> Vec<f64> {
-        assert!(col < self.n_cols, "col {col} out of bounds ({})", self.n_cols);
+        assert!(
+            col < self.n_cols,
+            "col {col} out of bounds ({})",
+            self.n_cols
+        );
         (0..self.n_rows).map(|r| self.get(r, col)).collect()
     }
 
@@ -184,7 +204,11 @@ impl<'a> MatrixViewMut<'a> {
     /// Panics if `row >= n_rows`.
     #[inline]
     pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
-        assert!(row < self.n_rows, "row {row} out of bounds ({})", self.n_rows);
+        assert!(
+            row < self.n_rows,
+            "row {row} out of bounds ({})",
+            self.n_rows
+        );
         &mut self.data[row * self.n_cols..(row + 1) * self.n_cols]
     }
 
@@ -194,7 +218,10 @@ impl<'a> MatrixViewMut<'a> {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.n_rows && col < self.n_cols, "index out of bounds");
+        assert!(
+            row < self.n_rows && col < self.n_cols,
+            "index out of bounds"
+        );
         self.data[row * self.n_cols + col] = value;
     }
 

@@ -1,0 +1,255 @@
+//! The unified estimator/model API every algorithm in this crate implements.
+//!
+//! M3's storage abstraction ([`RowStore`]) makes "where the data lives" a
+//! one-line change; this module does the same for "how training executes".
+//! Following *MLI: An API for Distributed Machine Learning* (Sparks et al.),
+//! a small common interface is what lets one codebase scale across execution
+//! backends:
+//!
+//! * [`Estimator`] — an unfitted, configured trainer.  `fit` takes the data,
+//!   the labels and an [`ExecContext`] (thread count, chunk size, `madvise`
+//!   policy, tracing) and produces `Self::Model`.
+//! * [`UnsupervisedEstimator`] — the label-free variant (k-means, scalers).
+//!   Every unsupervised estimator is blanket-adapted into an [`Estimator`]
+//!   that ignores its labels, so generic training loops handle both.
+//! * [`Model`] — a fitted model: per-row and batch prediction plus a scalar
+//!   goodness [`score`](Model::score).  Object-safe, so heterogeneous model
+//!   collections (`Vec<Box<dyn Model>>`) work.
+//! * [`Fit`] — a storage-parameterised view of [`Estimator`], handy for
+//!   writing functions generic over "anything that can fit on this store".
+//!
+//! ## Example
+//!
+//! ```
+//! use m3_core::ExecContext;
+//! use m3_ml::api::{Estimator, Model};
+//! use m3_ml::logistic::{LogisticConfig, LogisticRegression};
+//! use m3_data::{LinearProblem, RowGenerator};
+//!
+//! let (x, y) = LinearProblem::random_classification(6, 0.05, 7).materialize(200);
+//! let ctx = ExecContext::new();
+//! let trainer = LogisticRegression::new(LogisticConfig::default());
+//! let model = Estimator::fit(&trainer, &x, &y, &ctx).unwrap();
+//! assert!(model.score(&x, &y) > 0.9);
+//! ```
+//!
+//! (The explicit `Estimator::fit` form is used because the deprecated
+//! inherent `fit` shims still occupy the method namespace on concrete
+//! trainers; in generic code — `fn train<E: Estimator>(…)` — plain
+//! `estimator.fit(data, labels, ctx)` works.)
+//!
+//! The same call trains over a [`m3_core::MmapMatrix`] or [`m3_core::Dataset`]
+//! unchanged — and produces bit-identical parameters, which the workspace's
+//! parity suite enforces.
+
+use m3_core::storage::RowStore;
+use m3_core::ExecContext;
+
+use crate::Result;
+
+/// A configured, unfitted supervised trainer.
+///
+/// Implementations read hyper-parameters from `self` and execution policy
+/// (threads, chunking, advice, tracing) from the [`ExecContext`] — never from
+/// their own config.  That split is what makes a future backend (sharded,
+/// async, remote) a drop-in `ExecContext` change instead of a per-model edit.
+pub trait Estimator {
+    /// The fitted model this estimator produces.
+    type Model;
+
+    /// Train on `data` (rows = examples) with one label per row.
+    ///
+    /// # Errors
+    /// Implementations fail on shape mismatches, empty or invalid data, and
+    /// optimiser divergence.
+    fn fit<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        labels: &[f64],
+        ctx: &ExecContext,
+    ) -> Result<Self::Model>;
+}
+
+/// A configured, unfitted unsupervised trainer (no labels).
+pub trait UnsupervisedEstimator {
+    /// The fitted model this estimator produces.
+    type Model;
+
+    /// Train on the rows of `data`.
+    ///
+    /// # Errors
+    /// Implementations fail on empty or invalid data.
+    fn fit<S: RowStore + Sync + ?Sized>(&self, data: &S, ctx: &ExecContext) -> Result<Self::Model>;
+}
+
+/// Every unsupervised estimator also trains through the supervised entry
+/// point (labels are ignored), so generic pipelines need only [`Estimator`].
+impl<U: UnsupervisedEstimator> Estimator for U {
+    type Model = U::Model;
+
+    fn fit<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        _labels: &[f64],
+        ctx: &ExecContext,
+    ) -> Result<Self::Model> {
+        UnsupervisedEstimator::fit(self, data, ctx)
+    }
+}
+
+/// A fitted model over `f64` feature rows.
+///
+/// Object-safe: predictions are a single `f64` per row (a class index for
+/// classifiers and clusterers, a value for regressors) and batch inputs are
+/// taken as `&dyn RowStore`.
+pub trait Model {
+    /// Number of features a prediction row must have.
+    fn n_features(&self) -> usize;
+
+    /// Predict a single row.
+    fn predict_row(&self, row: &[f64]) -> f64;
+
+    /// Predict every row of `data`.
+    fn predict_batch(&self, data: &dyn RowStore) -> Vec<f64> {
+        (0..data.n_rows())
+            .map(|r| self.predict_row(data.row(r)))
+            .collect()
+    }
+
+    /// A scalar goodness measure over `data` — higher is better.  Accuracy
+    /// for classifiers, R² for regressors, negative inertia for clusterers
+    /// (which ignore `labels`).
+    fn score(&self, data: &dyn RowStore, labels: &[f64]) -> f64;
+}
+
+/// A storage-parameterised view of [`Estimator`], blanket-implemented for
+/// every estimator.
+///
+/// Use it to express "this function trains *on this particular store type*"
+/// — e.g. accepting `&dyn Fit<Dataset, Output = M>` — where [`Estimator`]'s
+/// generic `fit` cannot appear in a trait object.
+pub trait Fit<S: RowStore + Sync + ?Sized> {
+    /// The fitted model.
+    type Output;
+
+    /// Train on `data`; see [`Estimator::fit`].
+    ///
+    /// # Errors
+    /// As [`Estimator::fit`].
+    fn fit(&self, data: &S, labels: &[f64], ctx: &ExecContext) -> Result<Self::Output>;
+}
+
+impl<E: Estimator, S: RowStore + Sync + ?Sized> Fit<S> for E {
+    type Output = E::Model;
+
+    fn fit(&self, data: &S, labels: &[f64], ctx: &ExecContext) -> Result<E::Model> {
+        Estimator::fit(self, data, labels, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_linalg::DenseMatrix;
+
+    /// A tiny estimator/model pair exercising the trait plumbing without any
+    /// numerics: the "model" memorises the column means.
+    struct MeanEstimator;
+
+    struct MeanModel {
+        means: Vec<f64>,
+    }
+
+    impl UnsupervisedEstimator for MeanEstimator {
+        type Model = MeanModel;
+
+        fn fit<S: RowStore + Sync + ?Sized>(
+            &self,
+            data: &S,
+            ctx: &ExecContext,
+        ) -> Result<MeanModel> {
+            let d = data.n_cols();
+            let sums = ctx.map_reduce_rows(
+                data,
+                |chunk| {
+                    let mut acc = vec![0.0; d];
+                    for (_, row) in chunk.rows_with_index() {
+                        for (a, v) in acc.iter_mut().zip(row) {
+                            *a += v;
+                        }
+                    }
+                    acc
+                },
+                vec![0.0; d],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+            let n = data.n_rows().max(1) as f64;
+            Ok(MeanModel {
+                means: sums.into_iter().map(|s| s / n).collect(),
+            })
+        }
+    }
+
+    impl Model for MeanModel {
+        fn n_features(&self) -> usize {
+            self.means.len()
+        }
+        fn predict_row(&self, row: &[f64]) -> f64 {
+            row.iter().zip(&self.means).map(|(r, m)| r - m).sum()
+        }
+        fn score(&self, data: &dyn RowStore, _labels: &[f64]) -> f64 {
+            -self.predict_batch(data).iter().map(|p| p * p).sum::<f64>()
+        }
+    }
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_vec((0..20).map(|i| i as f64).collect(), 5, 4).unwrap()
+    }
+
+    #[test]
+    fn unsupervised_estimators_train_through_the_supervised_entry_point() {
+        let m = sample();
+        let ctx = ExecContext::serial();
+        // Once via UnsupervisedEstimator…
+        let a = UnsupervisedEstimator::fit(&MeanEstimator, &m, &ctx).unwrap();
+        // …once via the blanket Estimator (labels ignored).
+        let b = Estimator::fit(&MeanEstimator, &m, &[], &ctx).unwrap();
+        assert_eq!(a.means, b.means);
+        assert_eq!(a.means, vec![8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn fit_is_usable_as_a_storage_specific_bound() {
+        fn train_on_dense<F: Fit<DenseMatrix>>(f: &F, m: &DenseMatrix) -> Result<F::Output> {
+            f.fit(m, &[], &ExecContext::serial())
+        }
+        let model = train_on_dense(&MeanEstimator, &sample()).unwrap();
+        assert_eq!(model.n_features(), 4);
+    }
+
+    #[test]
+    fn model_default_batch_prediction_loops_rows() {
+        let m = sample();
+        let model = UnsupervisedEstimator::fit(&MeanEstimator, &m, &ExecContext::serial()).unwrap();
+        let batch = model.predict_batch(&m);
+        assert_eq!(batch.len(), 5);
+        for (r, p) in batch.iter().enumerate() {
+            assert_eq!(*p, model.predict_row(m.row(r)));
+        }
+        assert!(model.score(&m, &[]) <= 0.0);
+    }
+
+    #[test]
+    fn model_is_object_safe() {
+        let m = sample();
+        let model = UnsupervisedEstimator::fit(&MeanEstimator, &m, &ExecContext::serial()).unwrap();
+        let erased: Box<dyn Model> = Box::new(model);
+        assert_eq!(erased.n_features(), 4);
+        assert_eq!(erased.predict_batch(&m).len(), 5);
+    }
+}

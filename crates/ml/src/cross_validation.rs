@@ -2,14 +2,16 @@
 //!
 //! Model selection is the obvious next step after the paper's fixed-protocol
 //! experiments, and it multiplies the number of data sweeps — which is
-//! exactly when the in-memory-vs-mmap question matters most.  The helpers
-//! here evaluate any trainer over index folds, gathering only the fold's rows
-//! into memory (the training working set), while the full dataset stays
-//! memory-mapped.
+//! exactly when the in-memory-vs-mmap question matters most.  The generic
+//! driver here evaluates any [`Estimator`] over index folds under one shared
+//! [`ExecContext`], gathering only the fold's rows into memory (the training
+//! working set) while the full dataset stays memory-mapped.
 
 use m3_core::storage::RowStore;
+use m3_core::ExecContext;
 use m3_linalg::DenseMatrix;
 
+use crate::api::{Estimator, Model};
 use crate::{MlError, Result};
 
 /// Per-fold and aggregate scores of a cross-validation run.
@@ -55,6 +57,9 @@ impl CrossValidationResult {
 /// `train` receives `(train_features, train_labels)` gathered into memory;
 /// `score` receives `(model, validation_features, validation_labels)`.
 ///
+/// This is the closure-level driver; prefer [`cross_validate_estimator`]
+/// whenever the trainer implements [`Estimator`].
+///
 /// # Errors
 /// Fails when the labels do not match the store, when `k` is invalid for the
 /// row count, or when `train` fails on any fold.
@@ -94,6 +99,34 @@ where
     Ok(CrossValidationResult { fold_scores })
 }
 
+/// Cross-validate any [`Estimator`] whose model implements [`Model`],
+/// scoring each fold with [`Model::score`] under one shared [`ExecContext`].
+///
+/// # Errors
+/// As [`cross_validate`].
+pub fn cross_validate_estimator<S, E>(
+    data: &S,
+    labels: &[f64],
+    estimator: &E,
+    k: usize,
+    seed: u64,
+    ctx: &ExecContext,
+) -> Result<CrossValidationResult>
+where
+    S: RowStore + Sync + ?Sized,
+    E: Estimator,
+    E::Model: Model,
+{
+    cross_validate(
+        data,
+        labels,
+        k,
+        seed,
+        |x, y| estimator.fit(x, y, ctx),
+        |model, x, y| model.score(x, y),
+    )
+}
+
 /// Cross-validated accuracy of binary logistic regression with the given
 /// configuration.
 pub fn cross_validate_logistic<S: RowStore + Sync + ?Sized>(
@@ -102,14 +135,15 @@ pub fn cross_validate_logistic<S: RowStore + Sync + ?Sized>(
     config: &crate::logistic::LogisticConfig,
     k: usize,
     seed: u64,
+    ctx: &ExecContext,
 ) -> Result<CrossValidationResult> {
-    cross_validate(
+    cross_validate_estimator(
         data,
         labels,
+        &crate::logistic::LogisticRegression::new(config.clone()),
         k,
         seed,
-        |x, y| crate::logistic::LogisticRegression::new(config.clone()).fit(x, y),
-        |model, x, y| model.accuracy(x, y),
+        ctx,
     )
 }
 
@@ -121,14 +155,15 @@ pub fn cross_validate_softmax<S: RowStore + Sync + ?Sized>(
     config: &crate::softmax::SoftmaxConfig,
     k: usize,
     seed: u64,
+    ctx: &ExecContext,
 ) -> Result<CrossValidationResult> {
-    cross_validate(
+    cross_validate_estimator(
         data,
         labels,
+        &crate::softmax::SoftmaxRegression::new(config.clone()),
         k,
         seed,
-        |x, y| crate::softmax::SoftmaxRegression::new(config.clone()).fit(x, y),
-        |model, x, y| model.accuracy(x, y),
+        ctx,
     )
 }
 
@@ -147,11 +182,11 @@ mod tests {
             &y,
             &LogisticConfig {
                 max_iterations: 40,
-                n_threads: 1,
                 ..Default::default()
             },
             5,
             7,
+            &ExecContext::serial(),
         )
         .unwrap();
         assert_eq!(result.n_folds(), 5);
@@ -170,11 +205,11 @@ mod tests {
             &SoftmaxConfig {
                 n_classes: 3,
                 max_iterations: 30,
-                n_threads: 1,
                 ..Default::default()
             },
             4,
             1,
+            &ExecContext::serial(),
         )
         .unwrap();
         assert_eq!(result.n_folds(), 4);
@@ -182,33 +217,64 @@ mod tests {
     }
 
     #[test]
+    fn generic_estimator_driver_handles_unsupervised_models_too() {
+        // KMeans rides the blanket UnsupervisedEstimator→Estimator adapter,
+        // so the same driver cross-"validates" a clusterer (labels ignored,
+        // score = negative inertia).
+        let (x, y) = GaussianBlobs::new(3, 4, 12.0, 1.0, 3).materialize(120);
+        let result = cross_validate_estimator(
+            &x,
+            &y,
+            &crate::kmeans::KMeans::new(crate::kmeans::KMeansConfig {
+                k: 3,
+                max_iterations: 10,
+                ..Default::default()
+            }),
+            4,
+            2,
+            &ExecContext::serial(),
+        )
+        .unwrap();
+        assert_eq!(result.n_folds(), 4);
+        // Negative inertia: higher (closer to zero) is better; well-separated
+        // blobs cluster tightly, so the per-point score is small.
+        assert!(result.mean() < 0.0);
+        assert!(result.mean() > -10.0 * 120.0);
+    }
+
+    #[test]
     fn deterministic_in_seed() {
         let (x, y) = LinearProblem::random_classification(4, 0.1, 2).materialize(120);
         let config = LogisticConfig {
             max_iterations: 20,
-            n_threads: 1,
             ..Default::default()
         };
-        let a = cross_validate_logistic(&x, &y, &config, 3, 11).unwrap();
-        let b = cross_validate_logistic(&x, &y, &config, 3, 11).unwrap();
+        let ctx = ExecContext::serial();
+        let a = cross_validate_logistic(&x, &y, &config, 3, 11, &ctx).unwrap();
+        let b = cross_validate_logistic(&x, &y, &config, 3, 11, &ctx).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn validation_errors_propagate() {
         let (x, y) = LinearProblem::random_classification(4, 0.1, 3).materialize(20);
+        let ctx = ExecContext::new();
         // Label length mismatch.
-        assert!(cross_validate_logistic(&x, &y[..10], &LogisticConfig::default(), 3, 0).is_err());
+        assert!(
+            cross_validate_logistic(&x, &y[..10], &LogisticConfig::default(), 3, 0, &ctx).is_err()
+        );
         // Too many folds for the row count.
-        assert!(cross_validate_logistic(&x, &y, &LogisticConfig::default(), 50, 0).is_err());
+        assert!(cross_validate_logistic(&x, &y, &LogisticConfig::default(), 50, 0, &ctx).is_err());
         // Trainer failure (non-binary labels) surfaces as an error.
         let bad: Vec<f64> = (0..20).map(|i| (i % 3) as f64).collect();
-        assert!(cross_validate_logistic(&x, &bad, &LogisticConfig::default(), 3, 0).is_err());
+        assert!(cross_validate_logistic(&x, &bad, &LogisticConfig::default(), 3, 0, &ctx).is_err());
     }
 
     #[test]
     fn empty_result_statistics_are_zero() {
-        let r = CrossValidationResult { fold_scores: vec![] };
+        let r = CrossValidationResult {
+            fold_scores: vec![],
+        };
         assert_eq!(r.mean(), 0.0);
         assert_eq!(r.std_dev(), 0.0);
         assert_eq!(r.n_folds(), 0);

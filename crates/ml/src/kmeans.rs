@@ -5,15 +5,17 @@
 //! Lloyd iteration is one sequential sweep over the rows of a [`RowStore`] —
 //! assign every point to its nearest centroid while accumulating per-cluster
 //! sums — followed by a tiny centroid update.  Exactly the access pattern the
-//! OS read-ahead machinery (and the `m3-vmsim` model of it) rewards.
+//! OS read-ahead machinery (and the `m3-vmsim` model of it) rewards; the
+//! sweep itself is driven by the shared [`ExecContext`].
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use m3_core::storage::RowStore;
-use m3_core::AccessPattern;
-use m3_linalg::{ops, parallel, DenseMatrix};
+use m3_core::ExecContext;
+use m3_linalg::{ops, DenseMatrix};
 
+use crate::api::{Model, UnsupervisedEstimator};
 use crate::{MlError, Result};
 
 /// Centroid initialisation strategy.
@@ -41,7 +43,9 @@ pub struct KMeansConfig {
     pub init: KMeansInit,
     /// RNG seed for initialisation.
     pub seed: u64,
-    /// Worker threads per assignment sweep (`0` = all hardware threads).
+    /// Legacy worker-thread count (`0` = all hardware threads), honoured only
+    /// by the deprecated inherent [`KMeans::fit`] shim.  The estimator API
+    /// takes execution policy from its [`ExecContext`].
     pub n_threads: usize,
 }
 
@@ -100,7 +104,23 @@ impl KMeans {
     /// # Errors
     /// Fails when `k == 0`, the data is empty, or there are fewer rows than
     /// clusters.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `UnsupervisedEstimator::fit(&self, data, &ExecContext)` instead"
+    )]
     pub fn fit<S: RowStore + Sync + ?Sized>(&self, data: &S) -> Result<KMeansModel> {
+        UnsupervisedEstimator::fit(
+            self,
+            data,
+            &ExecContext::new().with_threads(self.config.n_threads),
+        )
+    }
+}
+
+impl UnsupervisedEstimator for KMeans {
+    type Model = KMeansModel;
+
+    fn fit<S: RowStore + Sync + ?Sized>(&self, data: &S, ctx: &ExecContext) -> Result<KMeansModel> {
         let k = self.config.k;
         let n = data.n_rows();
         let d = data.n_cols();
@@ -116,7 +136,6 @@ impl KMeans {
             )));
         }
 
-        let threads = crate::resolve_threads(self.config.n_threads);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut centroids = match self.config.init {
             KMeansInit::Random => init_random(data, k, &mut rng),
@@ -127,9 +146,8 @@ impl KMeans {
         let mut previous_inertia = f64::INFINITY;
         let mut iterations = 0;
 
-        data.advise(AccessPattern::Sequential);
         while iterations < self.config.max_iterations {
-            let sweep = assignment_sweep(data, &centroids, threads);
+            let sweep = assignment_sweep(data, &centroids, ctx);
             iterations += 1;
             inertia_history.push(sweep.inertia);
 
@@ -154,7 +172,7 @@ impl KMeans {
         }
 
         // One final sweep to report the inertia of the *final* centroids.
-        let final_sweep = assignment_sweep(data, &centroids, threads);
+        let final_sweep = assignment_sweep(data, &centroids, ctx);
         Ok(KMeansModel {
             centroids,
             inertia: final_sweep.inertia,
@@ -175,23 +193,22 @@ struct SweepResult {
 }
 
 /// Assign every row to its nearest centroid, accumulating per-cluster sums,
-/// counts and the total inertia, in parallel over contiguous row chunks.
+/// counts and the total inertia, in parallel over the context's fixed
+/// row chunks.
 fn assignment_sweep<S: RowStore + Sync + ?Sized>(
     data: &S,
     centroids: &DenseMatrix,
-    threads: usize,
+    ctx: &ExecContext,
 ) -> SweepResult {
     let d = data.n_cols();
     let k = centroids.n_rows();
-    parallel::par_chunked_map_reduce(
-        data.n_rows(),
-        threads,
-        |range| {
-            let block = data.rows_slice(range.start, range.end);
+    ctx.map_reduce_rows(
+        data,
+        |chunk| {
             let mut sums = vec![0.0; k * d];
             let mut counts = vec![0u64; k];
             let mut inertia = 0.0;
-            for row in block.chunks_exact(d) {
+            for row in chunk.data.chunks_exact(d) {
                 let (best, dist) = nearest_centroid(row, centroids);
                 inertia += dist;
                 counts[best] += 1;
@@ -297,7 +314,9 @@ impl KMeansModel {
 
     /// Cluster assignments for every row of `data`.
     pub fn predict<S: RowStore + ?Sized>(&self, data: &S) -> Vec<usize> {
-        (0..data.n_rows()).map(|r| self.predict_row(data.row(r))).collect()
+        (0..data.n_rows())
+            .map(|r| self.predict_row(data.row(r)))
+            .collect()
     }
 
     /// Within-cluster sum of squared distances of `data` under this model.
@@ -313,13 +332,29 @@ impl KMeansModel {
     }
 }
 
+impl Model for KMeansModel {
+    fn n_features(&self) -> usize {
+        self.centroids.n_cols()
+    }
+
+    /// The nearest cluster index, as `f64` (the trait's uniform row output).
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        KMeansModel::predict_row(self, row) as f64
+    }
+
+    /// Negative inertia over `data` (higher is better); `labels` are ignored.
+    fn score(&self, data: &dyn RowStore, _labels: &[f64]) -> f64 {
+        -self.inertia_of(data)
+    }
+}
+
 /// Mini-batch k-means (Sculley 2010) — the "online learning" counterpart of
 /// Lloyd's algorithm, included for the paper's future-work direction.  Each
 /// step samples a batch of rows, assigns them, and moves the affected
 /// centroids by a per-centroid decaying learning rate.
 #[derive(Debug, Clone)]
 pub struct MiniBatchKMeans {
-    /// Shared configuration (k, init, seed, threads).
+    /// Shared configuration (k, init, seed).
     pub config: KMeansConfig,
     /// Rows sampled per step.
     pub batch_size: usize,
@@ -341,7 +376,23 @@ impl MiniBatchKMeans {
     ///
     /// # Errors
     /// Same conditions as [`KMeans::fit`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `UnsupervisedEstimator::fit(&self, data, &ExecContext)` instead"
+    )]
     pub fn fit<S: RowStore + Sync + ?Sized>(&self, data: &S) -> Result<KMeansModel> {
+        UnsupervisedEstimator::fit(
+            self,
+            data,
+            &ExecContext::new().with_threads(self.config.n_threads),
+        )
+    }
+}
+
+impl UnsupervisedEstimator for MiniBatchKMeans {
+    type Model = KMeansModel;
+
+    fn fit<S: RowStore + Sync + ?Sized>(&self, data: &S, ctx: &ExecContext) -> Result<KMeansModel> {
         let k = self.config.k;
         let n = data.n_rows();
         if k == 0 || n == 0 || data.n_cols() == 0 {
@@ -359,6 +410,8 @@ impl MiniBatchKMeans {
         };
         let mut counts = vec![0u64; k];
 
+        // Stochastic row sampling: tell the OS not to read ahead.
+        data.advise(m3_core::AccessPattern::Random);
         for _ in 0..self.n_steps {
             // Sample a batch and apply per-centroid gradient-style updates.
             for _ in 0..self.batch_size.min(n) {
@@ -373,8 +426,7 @@ impl MiniBatchKMeans {
             }
         }
 
-        let threads = crate::resolve_threads(self.config.n_threads);
-        let sweep = assignment_sweep(data, &centroids, threads);
+        let sweep = assignment_sweep(data, &centroids, ctx);
         Ok(KMeansModel {
             centroids,
             inertia: sweep.inertia,
@@ -403,19 +455,25 @@ mod tests {
         (m, gen)
     }
 
+    fn fit(trainer: &KMeans, data: &DenseMatrix, ctx: &ExecContext) -> KMeansModel {
+        UnsupervisedEstimator::fit(trainer, data, ctx).unwrap()
+    }
+
     #[test]
     fn recovers_well_separated_clusters() {
         let (x, gen) = blobs(300);
-        let model = KMeans::new(KMeansConfig {
-            k: 3,
-            max_iterations: 50,
-            ..Default::default()
-        })
-        .fit(&x)
-        .unwrap();
+        let model = fit(
+            &KMeans::new(KMeansConfig {
+                k: 3,
+                max_iterations: 50,
+                ..Default::default()
+            }),
+            &x,
+            &ExecContext::new(),
+        );
         assert_eq!(model.k(), 3);
         // Every learnt centroid should be close to a distinct true centre.
-        let mut matched = vec![false; 3];
+        let mut matched = [false; 3];
         for c in 0..3 {
             let learnt = model.centroids.row(c);
             let (best, dist) = gen
@@ -425,7 +483,10 @@ mod tests {
                 .map(|(i, truth)| (i, ops::distance(learnt, truth)))
                 .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
                 .unwrap();
-            assert!(dist < 1.0, "centroid {c} is {dist} from its nearest true centre");
+            assert!(
+                dist < 1.0,
+                "centroid {c} is {dist} from its nearest true centre"
+            );
             matched[best] = true;
         }
         assert!(matched.iter().all(|&m| m), "each true centre matched once");
@@ -434,18 +495,23 @@ mod tests {
     #[test]
     fn inertia_decreases_monotonically() {
         let (x, _) = blobs(200);
-        let model = KMeans::new(KMeansConfig {
-            k: 3,
-            max_iterations: 20,
-            tolerance: 0.0,
-            init: KMeansInit::Random,
-            ..Default::default()
-        })
-        .fit(&x)
-        .unwrap();
+        let model = fit(
+            &KMeans::new(KMeansConfig {
+                k: 3,
+                max_iterations: 20,
+                tolerance: 0.0,
+                init: KMeansInit::Random,
+                ..Default::default()
+            }),
+            &x,
+            &ExecContext::new(),
+        );
         let mut previous = f64::INFINITY;
         for &inertia in &model.inertia_history {
-            assert!(inertia <= previous + 1e-9, "inertia increased: {inertia} > {previous}");
+            assert!(
+                inertia <= previous + 1e-9,
+                "inertia increased: {inertia} > {previous}"
+            );
             previous = inertia;
         }
         assert!(model.inertia <= model.inertia_history[0]);
@@ -456,7 +522,7 @@ mod tests {
         let (x, _) = blobs(100);
         let mut config = KMeansConfig::paper();
         config.k = 3; // only 3 true clusters in the fixture
-        let model = KMeans::new(config).fit(&x).unwrap();
+        let model = fit(&KMeans::new(config), &x, &ExecContext::new());
         assert_eq!(model.iterations, 10);
         assert_eq!(model.inertia_history.len(), 10);
     }
@@ -465,16 +531,18 @@ mod tests {
     fn plus_plus_is_no_worse_than_random_on_average() {
         let (x, _) = blobs(300);
         let inertia = |init| {
-            KMeans::new(KMeansConfig {
-                k: 3,
-                max_iterations: 1,
-                tolerance: 0.0,
-                init,
-                seed: 4,
-                ..Default::default()
-            })
-            .fit(&x)
-            .unwrap()
+            fit(
+                &KMeans::new(KMeansConfig {
+                    k: 3,
+                    max_iterations: 1,
+                    tolerance: 0.0,
+                    init,
+                    seed: 4,
+                    ..Default::default()
+                }),
+                &x,
+                &ExecContext::new(),
+            )
             .inertia
         };
         // After a single iteration, ++ seeding should already be competitive.
@@ -485,46 +553,76 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let (x, _) = blobs(150);
         let run = |seed| {
-            KMeans::new(KMeansConfig {
-                k: 3,
-                seed,
-                ..Default::default()
-            })
-            .fit(&x)
-            .unwrap()
+            fit(
+                &KMeans::new(KMeansConfig {
+                    k: 3,
+                    seed,
+                    ..Default::default()
+                }),
+                &x,
+                &ExecContext::new(),
+            )
             .centroids
         };
         assert_eq!(run(7).as_slice(), run(7).as_slice());
     }
 
     #[test]
-    fn parallel_and_serial_sweeps_agree() {
+    fn parallel_and_serial_sweeps_are_bit_identical() {
         let (x, _) = blobs(123);
-        let fit = |threads| {
-            KMeans::new(KMeansConfig {
-                k: 3,
-                n_threads: threads,
-                max_iterations: 5,
-                tolerance: 0.0,
-                ..Default::default()
-            })
-            .fit(&x)
-            .unwrap()
+        let config = KMeansConfig {
+            k: 3,
+            max_iterations: 5,
+            tolerance: 0.0,
+            ..Default::default()
         };
-        let serial = fit(1);
-        let parallel = fit(4);
-        assert!(ops::approx_eq(
-            serial.centroids.as_slice(),
-            parallel.centroids.as_slice(),
-            1e-9
-        ));
-        assert!((serial.inertia - parallel.inertia).abs() < 1e-9);
+        let run = |threads| {
+            fit(
+                &KMeans::new(config.clone()),
+                &x,
+                &ExecContext::new()
+                    .with_threads(threads)
+                    .with_chunk_bytes(m3_core::PAGE_SIZE),
+            )
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        for (a, b) in serial
+            .centroids
+            .as_slice()
+            .iter()
+            .zip(parallel.centroids.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(serial.inertia.to_bits(), parallel.inertia.to_bits());
+    }
+
+    #[test]
+    fn deprecated_inherent_fit_matches_trait_fit() {
+        let (x, _) = blobs(90);
+        let trainer = KMeans::new(KMeansConfig {
+            k: 3,
+            max_iterations: 5,
+            ..Default::default()
+        });
+        #[allow(deprecated)]
+        let old = KMeans::fit(&trainer, &x).unwrap();
+        let new = UnsupervisedEstimator::fit(&trainer, &x, &ExecContext::new()).unwrap();
+        assert_eq!(old.centroids.as_slice(), new.centroids.as_slice());
     }
 
     #[test]
     fn predictions_match_nearest_centroid() {
         let (x, _) = blobs(60);
-        let model = KMeans::new(KMeansConfig { k: 3, ..Default::default() }).fit(&x).unwrap();
+        let model = fit(
+            &KMeans::new(KMeansConfig {
+                k: 3,
+                ..Default::default()
+            }),
+            &x,
+            &ExecContext::new(),
+        );
         let preds = model.predict(&x);
         assert_eq!(preds.len(), 60);
         for (r, &c) in preds.iter().enumerate() {
@@ -532,6 +630,13 @@ mod tests {
             assert!(c < 3);
         }
         assert!((model.inertia_of(&x) - model.inertia).abs() < 1e-9);
+        // Model-trait view: f64 cluster ids and negative-inertia score.
+        let as_model: &dyn Model = &model;
+        let batch = as_model.predict_batch(&x);
+        for (p, &c) in batch.iter().zip(&preds) {
+            assert_eq!(*p, c as f64);
+        }
+        assert!((as_model.score(&x, &[]) + model.inertia).abs() < 1e-9);
     }
 
     #[test]
@@ -539,35 +644,81 @@ mod tests {
         let (x, _) = blobs(120);
         let dir = tempfile::tempdir().unwrap();
         let mapped = m3_core::alloc::persist_matrix(dir.path().join("km.m3"), &x).unwrap();
-        let config = KMeansConfig { k: 3, seed: 99, n_threads: 2, ..Default::default() };
-        let a = KMeans::new(config.clone()).fit(&x).unwrap();
-        let b = KMeans::new(config).fit(&mapped).unwrap();
-        assert!(ops::approx_eq(a.centroids.as_slice(), b.centroids.as_slice(), 1e-12));
+        let trainer = KMeans::new(KMeansConfig {
+            k: 3,
+            seed: 99,
+            ..Default::default()
+        });
+        let ctx = ExecContext::new().with_threads(2);
+        let a = fit(&trainer, &x, &ctx);
+        let b = UnsupervisedEstimator::fit(&trainer, &mapped, &ctx).unwrap();
+        for (va, vb) in a.centroids.as_slice().iter().zip(b.centroids.as_slice()) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
     }
 
     #[test]
     fn mini_batch_reaches_reasonable_inertia() {
         let (x, _) = blobs(300);
-        let full = KMeans::new(KMeansConfig { k: 3, ..Default::default() }).fit(&x).unwrap();
-        let mini = MiniBatchKMeans::new(
-            KMeansConfig { k: 3, ..Default::default() },
-            32,
-            50,
+        let ctx = ExecContext::new();
+        let full = fit(
+            &KMeans::new(KMeansConfig {
+                k: 3,
+                ..Default::default()
+            }),
+            &x,
+            &ctx,
+        );
+        let mini = UnsupervisedEstimator::fit(
+            &MiniBatchKMeans::new(
+                KMeansConfig {
+                    k: 3,
+                    ..Default::default()
+                },
+                32,
+                50,
+            ),
+            &x,
+            &ctx,
         )
-        .fit(&x)
         .unwrap();
-        assert!(mini.inertia < full.inertia * 3.0, "mini-batch inertia {} vs full {}", mini.inertia, full.inertia);
+        assert!(
+            mini.inertia < full.inertia * 3.0,
+            "mini-batch inertia {} vs full {}",
+            mini.inertia,
+            full.inertia
+        );
     }
 
     #[test]
     fn validation_errors() {
         let (x, _) = blobs(10);
-        assert!(KMeans::new(KMeansConfig { k: 0, ..Default::default() }).fit(&x).is_err());
-        assert!(KMeans::new(KMeansConfig { k: 11, ..Default::default() }).fit(&x).is_err());
+        let ctx = ExecContext::new();
+        let err = |config: KMeansConfig| {
+            UnsupervisedEstimator::fit(&KMeans::new(config), &x, &ctx).is_err()
+        };
+        assert!(err(KMeansConfig {
+            k: 0,
+            ..Default::default()
+        }));
+        assert!(err(KMeansConfig {
+            k: 11,
+            ..Default::default()
+        }));
         let empty = DenseMatrix::zeros(0, 2);
-        assert!(KMeans::new(KMeansConfig::default()).fit(&empty).is_err());
-        assert!(MiniBatchKMeans::new(KMeansConfig { k: 20, ..Default::default() }, 8, 5)
-            .fit(&x)
-            .is_err());
+        assert!(UnsupervisedEstimator::fit(&KMeans::default(), &empty, &ctx).is_err());
+        assert!(UnsupervisedEstimator::fit(
+            &MiniBatchKMeans::new(
+                KMeansConfig {
+                    k: 20,
+                    ..Default::default()
+                },
+                8,
+                5
+            ),
+            &x,
+            &ctx
+        )
+        .is_err());
     }
 }

@@ -6,18 +6,24 @@
 //! expect (multinomial softmax regression, linear/ridge regression, Gaussian
 //! naive Bayes, mini-batch k-means) and the usual metrics and preprocessing.
 //!
-//! Every algorithm is generic over [`m3_core::RowStore`], the storage trait
-//! implemented by both `m3_linalg::DenseMatrix` (in-memory) and
-//! `m3_core::MmapMatrix` / `m3_core::Dataset` (memory-mapped).  That is the
-//! entire point of M3: the training code below never knows whether its rows
-//! live in RAM or on disk, so switching a workload to out-of-core data is the
-//! one-line change shown in the paper's Table 1.
+//! Every algorithm implements the [`api::Estimator`] (or
+//! [`api::UnsupervisedEstimator`]) trait and is generic over
+//! [`m3_core::RowStore`], the storage trait implemented by both
+//! `m3_linalg::DenseMatrix` (in-memory) and `m3_core::MmapMatrix` /
+//! `m3_core::Dataset` (memory-mapped).  That is the entire point of M3: the
+//! training code below never knows whether its rows live in RAM or on disk,
+//! so switching a workload to out-of-core data is the one-line change shown
+//! in the paper's Table 1.  Execution policy — threads, chunk size,
+//! `madvise` hints, tracing — comes from a shared [`m3_core::ExecContext`]
+//! rather than per-model knobs, so swapping the execution backend is equally
+//! a one-line change.
 //!
 //! ## Example: logistic regression over a memory-mapped file
 //!
 //! ```
-//! use m3_core::storage::RowStore;
+//! use m3_core::{ExecContext, storage::RowStore};
 //! use m3_data::{LinearProblem, RowGenerator, writer::write_dataset};
+//! use m3_ml::api::{Estimator, Model};
 //! use m3_ml::logistic::{LogisticRegression, LogisticConfig};
 //!
 //! // Build a small on-disk dataset.
@@ -29,14 +35,14 @@
 //! // Memory-map it and train exactly as if it were in memory.
 //! let dataset = m3_core::Dataset::open(&path).unwrap();
 //! let labels = dataset.labels().unwrap().to_vec();
-//! let model = LogisticRegression::new(LogisticConfig::default())
-//!     .fit(&dataset, &labels)
-//!     .unwrap();
-//! assert!(model.accuracy(&dataset, &labels) > 0.9);
+//! let trainer = LogisticRegression::new(LogisticConfig::default());
+//! let model = Estimator::fit(&trainer, &dataset, &labels, &ExecContext::new()).unwrap();
+//! assert!(model.score(&dataset, &labels) > 0.9);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod cross_validation;
 pub mod kmeans;
 pub mod linear_regression;
@@ -46,9 +52,11 @@ pub mod naive_bayes;
 pub mod preprocess;
 pub mod softmax;
 
+pub use api::{Estimator, Fit, Model, UnsupervisedEstimator};
 pub use kmeans::{KMeans, KMeansConfig, KMeansInit, KMeansModel};
-pub use logistic::{LogisticConfig, LogisticRegression, LogisticModel};
-pub use softmax::{SoftmaxConfig, SoftmaxRegression, SoftmaxModel};
+pub use logistic::{LogisticConfig, LogisticModel, LogisticRegression};
+pub use preprocess::{StandardScaler, Standardizer};
+pub use softmax::{SoftmaxConfig, SoftmaxModel, SoftmaxRegression};
 
 /// Errors produced by model training and prediction.
 #[derive(Debug)]
@@ -86,6 +94,10 @@ pub type Result<T> = std::result::Result<T, MlError>;
 
 /// Shared training-parallelism setting: how many worker threads data sweeps
 /// use.  `0` means "use every available hardware thread".
+#[deprecated(
+    since = "0.1.0",
+    note = "execution policy now lives in `m3_core::ExecContext` (see `ExecContext::resolve_threads`)"
+)]
 pub fn resolve_threads(requested: usize) -> usize {
     if requested == 0 {
         m3_linalg::parallel::default_threads()
@@ -105,11 +117,16 @@ mod tests {
             found: "99 labels".into(),
         };
         assert!(e.to_string().contains("100 labels"));
-        assert!(MlError::InvalidData("empty".into()).to_string().contains("empty"));
-        assert!(MlError::OptimizationFailed("nan".into()).to_string().contains("nan"));
+        assert!(MlError::InvalidData("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(MlError::OptimizationFailed("nan".into())
+            .to_string()
+            .contains("nan"));
     }
 
     #[test]
+    #[allow(deprecated)]
     fn resolve_threads_zero_means_auto() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);

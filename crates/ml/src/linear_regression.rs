@@ -8,14 +8,17 @@
 //!   stream through, and therefore a natural extra workload for M3;
 //! * **gradient descent** on the least-squares objective, for feature counts
 //!   where a dense `d × d` Gram matrix is unreasonable.
+//!
+//! Both paths sweep the data through the shared [`ExecContext`].
 
 use m3_core::storage::RowStore;
-use m3_core::AccessPattern;
-use m3_linalg::{blas, ops, parallel, DenseMatrix};
+use m3_core::ExecContext;
+use m3_linalg::{blas, ops, DenseMatrix};
 use m3_optim::function::DifferentiableFunction;
 use m3_optim::gd::GradientDescent;
 use m3_optim::termination::TerminationCriteria;
 
+use crate::api::{Estimator, Model};
 use crate::{MlError, Result};
 
 /// How the coefficients are computed.
@@ -36,7 +39,8 @@ pub struct LinearRegressionConfig {
     pub solver: Solver,
     /// Iteration cap for the gradient-descent solver.
     pub max_iterations: usize,
-    /// Worker threads for data sweeps (`0` = all hardware threads).
+    /// Legacy worker-thread count (`0` = all hardware threads), honoured only
+    /// by the deprecated inherent [`LinearRegression::fit`] shim.
     pub n_threads: usize,
 }
 
@@ -71,7 +75,7 @@ struct LeastSquaresLoss<'a, S: RowStore + Sync + ?Sized> {
     data: &'a S,
     targets: &'a [f64],
     l2: f64,
-    n_threads: usize,
+    ctx: &'a ExecContext,
 }
 
 impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for LeastSquaresLoss<'_, S> {
@@ -95,15 +99,13 @@ impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for LeastSquaresLoss<'_
             grad.fill(0.0);
             return 0.0;
         }
-        let (loss, partial) = parallel::par_chunked_map_reduce(
-            n,
-            self.n_threads,
-            |range| {
-                let block = self.data.rows_slice(range.start, range.end);
+        let (loss, partial) = self.ctx.map_reduce_rows(
+            self.data,
+            |chunk| {
                 let mut g = vec![0.0; d + 1];
                 let mut acc = 0.0;
-                for (i, row) in block.chunks_exact(d).enumerate() {
-                    let target = self.targets[range.start + i];
+                for (i, row) in chunk.data.chunks_exact(d).enumerate() {
+                    let target = self.targets[chunk.start_row + i];
                     let residual = ops::dot(&w[..d], row) + w[d] - target;
                     acc += residual * residual;
                     ops::axpy(2.0 * residual, row, &mut g[..d]);
@@ -137,55 +139,59 @@ impl LinearRegression {
     /// # Errors
     /// Fails on shape mismatches, empty data, or a singular normal-equation
     /// system that even ridge regularisation cannot repair.
-    pub fn fit<S: RowStore + Sync + ?Sized>(&self, data: &S, targets: &[f64]) -> Result<LinearModel> {
-        if data.n_rows() == 0 || data.n_cols() == 0 {
-            return Err(MlError::InvalidData("training data is empty".to_string()));
-        }
-        if data.n_rows() != targets.len() {
-            return Err(MlError::ShapeMismatch {
-                expected: format!("{} targets", data.n_rows()),
-                found: format!("{} targets", targets.len()),
-            });
-        }
-        match self.config.solver {
-            Solver::NormalEquations => self.fit_normal_equations(data, targets),
-            Solver::GradientDescent => self.fit_gradient_descent(data, targets),
-        }
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Estimator::fit(&self, data, targets, &ExecContext)` instead"
+    )]
+    pub fn fit<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        targets: &[f64],
+    ) -> Result<LinearModel> {
+        Estimator::fit(
+            self,
+            data,
+            targets,
+            &ExecContext::new().with_threads(self.config.n_threads),
+        )
     }
 
     fn fit_normal_equations<S: RowStore + Sync + ?Sized>(
         &self,
         data: &S,
         targets: &[f64],
+        ctx: &ExecContext,
     ) -> Result<LinearModel> {
         let d = data.n_cols();
         let n = data.n_rows();
-        data.advise(AccessPattern::Sequential);
 
-        // Augmented design [X | 1]: Gram is (d+1)x(d+1), built in one sweep.
+        // Augmented design [X | 1]: Gram is (d+1)x(d+1), built in one
+        // sequential chunked sweep (the accumulation is order-dependent, so
+        // this uses the context's sequential driver).
         let mut gram = DenseMatrix::zeros(d + 1, d + 1);
         let mut xty = vec![0.0; d + 1];
-        for r in 0..n {
-            let row = data.row(r);
-            let y = targets[r];
-            for i in 0..d {
-                let xi = row[i];
-                if xi != 0.0 {
-                    let g_row = gram.row_mut(i);
-                    for j in 0..d {
-                        g_row[j] += xi * row[j];
+        ctx.for_each_chunk(data, |chunk| {
+            for (r, row) in chunk.rows_with_index() {
+                let y = targets[r];
+                for i in 0..d {
+                    let xi = row[i];
+                    if xi != 0.0 {
+                        let g_row = gram.row_mut(i);
+                        for j in 0..d {
+                            g_row[j] += xi * row[j];
+                        }
+                        g_row[d] += xi;
                     }
-                    g_row[d] += xi;
+                    xty[i] += row[i] * y;
                 }
-                xty[i] += row[i] * y;
+                let last = gram.row_mut(d);
+                for j in 0..d {
+                    last[j] += row[j];
+                }
+                last[d] += 1.0;
+                xty[d] += y;
             }
-            let last = gram.row_mut(d);
-            for j in 0..d {
-                last[j] += row[j];
-            }
-            last[d] += 1.0;
-            xty[d] += y;
-        }
+        });
         // Ridge on the weights (not the intercept).
         for i in 0..d {
             let v = gram.get(i, i) + self.config.l2 * n as f64;
@@ -204,12 +210,13 @@ impl LinearRegression {
         &self,
         data: &S,
         targets: &[f64],
+        ctx: &ExecContext,
     ) -> Result<LinearModel> {
         let loss = LeastSquaresLoss {
             data,
             targets,
             l2: self.config.l2,
-            n_threads: crate::resolve_threads(self.config.n_threads),
+            ctx,
         };
         let result = GradientDescent::new()
             .criteria(TerminationCriteria {
@@ -231,6 +238,31 @@ impl LinearRegression {
     }
 }
 
+impl Estimator for LinearRegression {
+    type Model = LinearModel;
+
+    fn fit<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        targets: &[f64],
+        ctx: &ExecContext,
+    ) -> Result<LinearModel> {
+        if data.n_rows() == 0 || data.n_cols() == 0 {
+            return Err(MlError::InvalidData("training data is empty".to_string()));
+        }
+        if data.n_rows() != targets.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{} targets", data.n_rows()),
+                found: format!("{} targets", targets.len()),
+            });
+        }
+        match self.config.solver {
+            Solver::NormalEquations => self.fit_normal_equations(data, targets, ctx),
+            Solver::GradientDescent => self.fit_gradient_descent(data, targets, ctx),
+        }
+    }
+}
+
 impl LinearModel {
     /// Predict the target of a single row.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
@@ -240,12 +272,29 @@ impl LinearModel {
 
     /// Predict the targets of every row of `data`.
     pub fn predict<S: RowStore + ?Sized>(&self, data: &S) -> Vec<f64> {
-        (0..data.n_rows()).map(|r| self.predict_row(data.row(r))).collect()
+        (0..data.n_rows())
+            .map(|r| self.predict_row(data.row(r)))
+            .collect()
     }
 
     /// R² of the model on `data` / `targets`.
     pub fn r2<S: RowStore + ?Sized>(&self, data: &S, targets: &[f64]) -> f64 {
         crate::metrics::r2_score(&self.predict(data), targets)
+    }
+}
+
+impl Model for LinearModel {
+    fn n_features(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        LinearModel::predict_row(self, row)
+    }
+
+    /// R² over `data` / `labels` (higher is better).
+    fn score(&self, data: &dyn RowStore, labels: &[f64]) -> f64 {
+        self.r2(data, labels)
     }
 }
 
@@ -258,10 +307,14 @@ mod tests {
         LinearProblem::regression(vec![2.0, -1.0, 0.5], 3.0, noise, 17).materialize(n)
     }
 
+    fn fit(trainer: &LinearRegression, x: &DenseMatrix, y: &[f64]) -> LinearModel {
+        Estimator::fit(trainer, x, y, &ExecContext::new()).unwrap()
+    }
+
     #[test]
     fn normal_equations_recover_exact_coefficients_without_noise() {
         let (x, y) = problem(200, 0.0);
-        let model = LinearRegression::default().fit(&x, &y).unwrap();
+        let model = fit(&LinearRegression::default(), &x, &y);
         assert!((model.weights[0] - 2.0).abs() < 1e-6);
         assert!((model.weights[1] + 1.0).abs() < 1e-6);
         assert!((model.weights[2] - 0.5).abs() < 1e-6);
@@ -272,14 +325,16 @@ mod tests {
     #[test]
     fn gradient_descent_agrees_with_normal_equations() {
         let (x, y) = problem(300, 0.05);
-        let ne = LinearRegression::default().fit(&x, &y).unwrap();
-        let gd = LinearRegression::new(LinearRegressionConfig {
-            solver: Solver::GradientDescent,
-            max_iterations: 2000,
-            ..Default::default()
-        })
-        .fit(&x, &y)
-        .unwrap();
+        let ne = fit(&LinearRegression::default(), &x, &y);
+        let gd = fit(
+            &LinearRegression::new(LinearRegressionConfig {
+                solver: Solver::GradientDescent,
+                max_iterations: 2000,
+                ..Default::default()
+            }),
+            &x,
+            &y,
+        );
         for (a, b) in ne.weights.iter().zip(&gd.weights) {
             assert!((a - b).abs() < 0.05, "{a} vs {b}");
         }
@@ -289,12 +344,22 @@ mod tests {
     #[test]
     fn ridge_shrinks_weights() {
         let (x, y) = problem(100, 0.1);
-        let small = LinearRegression::new(LinearRegressionConfig { l2: 1e-8, ..Default::default() })
-            .fit(&x, &y)
-            .unwrap();
-        let large = LinearRegression::new(LinearRegressionConfig { l2: 100.0, ..Default::default() })
-            .fit(&x, &y)
-            .unwrap();
+        let small = fit(
+            &LinearRegression::new(LinearRegressionConfig {
+                l2: 1e-8,
+                ..Default::default()
+            }),
+            &x,
+            &y,
+        );
+        let large = fit(
+            &LinearRegression::new(LinearRegressionConfig {
+                l2: 100.0,
+                ..Default::default()
+            }),
+            &x,
+            &y,
+        );
         let norm_small = m3_linalg::norm::l2(&small.weights);
         let norm_large = m3_linalg::norm::l2(&large.weights);
         assert!(norm_large < norm_small);
@@ -305,25 +370,47 @@ mod tests {
         let (x, y) = problem(150, 0.02);
         let dir = tempfile::tempdir().unwrap();
         let mapped = m3_core::alloc::persist_matrix(dir.path().join("lr.m3"), &x).unwrap();
-        let a = LinearRegression::default().fit(&x, &y).unwrap();
-        let b = LinearRegression::default().fit(&mapped, &y).unwrap();
-        assert!(ops::approx_eq(&a.weights, &b.weights, 1e-12));
-        assert!((a.bias - b.bias).abs() < 1e-12);
+        let trainer = LinearRegression::default();
+        let ctx = ExecContext::new();
+        let a = Estimator::fit(&trainer, &x, &y, &ctx).unwrap();
+        let b = Estimator::fit(&trainer, &mapped, &y, &ctx).unwrap();
+        for (wa, wb) in a.weights.iter().zip(&b.weights) {
+            assert_eq!(wa.to_bits(), wb.to_bits());
+        }
+        assert_eq!(a.bias.to_bits(), b.bias.to_bits());
+    }
+
+    #[test]
+    fn deprecated_inherent_fit_matches_trait_fit() {
+        let (x, y) = problem(80, 0.01);
+        let trainer = LinearRegression::default();
+        #[allow(deprecated)]
+        let old = LinearRegression::fit(&trainer, &x, &y).unwrap();
+        let new = fit(&trainer, &x, &y);
+        assert!(ops::approx_eq(&old.weights, &new.weights, 1e-12));
+        assert!((old.bias - new.bias).abs() < 1e-12);
     }
 
     #[test]
     fn validation_errors() {
         let (x, y) = problem(10, 0.0);
-        assert!(LinearRegression::default().fit(&x, &y[..5]).is_err());
+        let ctx = ExecContext::new();
+        assert!(Estimator::fit(&LinearRegression::default(), &x, &y[..5], &ctx).is_err());
         let empty = DenseMatrix::zeros(0, 2);
-        assert!(LinearRegression::default().fit(&empty, &[]).is_err());
+        assert!(Estimator::fit(&LinearRegression::default(), &empty, &[], &ctx).is_err());
     }
 
     #[test]
     fn predictions_are_linear_in_inputs() {
-        let model = LinearModel { weights: vec![1.0, 2.0], bias: -1.0 };
+        let model = LinearModel {
+            weights: vec![1.0, 2.0],
+            bias: -1.0,
+        };
         assert_eq!(model.predict_row(&[3.0, 4.0]), 10.0);
         let m = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
         assert_eq!(model.predict(&m), vec![0.0, 1.0]);
+        // The Model-trait view: score is R².
+        let y = vec![0.0, 1.0];
+        assert!((Model::score(&model, &m, &y) - model.r2(&m, &y)).abs() < 1e-12);
     }
 }

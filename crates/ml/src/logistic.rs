@@ -4,16 +4,18 @@
 //! optimization) … 10 iterations".  The loss below is the standard averaged
 //! negative log-likelihood with optional L2 regularisation; its value and
 //! gradient are computed in a single fused, chunk-parallel, **sequential**
-//! sweep over the rows of any [`RowStore`] — the access pattern that makes
-//! memory-mapped training I/O-friendly.
+//! sweep over the rows of any [`RowStore`], driven by the shared
+//! [`ExecContext`] — the access pattern that makes memory-mapped training
+//! I/O-friendly.
 
 use m3_core::storage::RowStore;
-use m3_core::AccessPattern;
-use m3_linalg::{ops, parallel};
+use m3_core::ExecContext;
+use m3_linalg::ops;
 use m3_optim::function::{DifferentiableFunction, StochasticFunction};
 use m3_optim::lbfgs::Lbfgs;
 use m3_optim::termination::{OptimizationResult, TerminationCriteria};
 
+use crate::api::{Estimator, Model};
 use crate::{MlError, Result};
 
 /// Numerically stable sigmoid.
@@ -42,19 +44,20 @@ fn log1p_exp(z: f64) -> f64 {
 ///
 /// Parameter layout: `[w_1 … w_d, b]` (`d + 1` values); the bias is not
 /// regularised.  Implements both [`DifferentiableFunction`] (for L-BFGS /
-/// batch GD) and [`StochasticFunction`] (for SGD).
+/// batch GD) and [`StochasticFunction`] (for SGD).  All full-data sweeps run
+/// through the [`ExecContext`] supplied at construction.
 pub struct LogisticLoss<'a, S: RowStore + Sync + ?Sized> {
     data: &'a S,
     labels: &'a [f64],
     /// L2 regularisation strength λ.
     pub l2: f64,
-    /// Worker threads used per sweep.
-    pub n_threads: usize,
+    ctx: &'a ExecContext,
 }
 
 impl<'a, S: RowStore + Sync + ?Sized> LogisticLoss<'a, S> {
-    /// Create the loss for `data` (rows = examples) and `labels` in `{0, 1}`.
-    pub fn new(data: &'a S, labels: &'a [f64], l2: f64, n_threads: usize) -> Self {
+    /// Create the loss for `data` (rows = examples) and `labels` in `{0, 1}`,
+    /// sweeping under `ctx`'s execution policy.
+    pub fn new(data: &'a S, labels: &'a [f64], l2: f64, ctx: &'a ExecContext) -> Self {
         assert_eq!(
             data.n_rows(),
             labels.len(),
@@ -64,7 +67,7 @@ impl<'a, S: RowStore + Sync + ?Sized> LogisticLoss<'a, S> {
             data,
             labels,
             l2,
-            n_threads: n_threads.max(1),
+            ctx,
         }
     }
 
@@ -90,15 +93,13 @@ impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for LogisticLoss<'_, S>
         if n == 0 {
             return 0.0;
         }
-        let loss = parallel::par_chunked_map_reduce(
-            n,
-            self.n_threads,
-            |range| {
-                let block = self.data.rows_slice(range.start, range.end);
-                let cols = self.n_features();
+        let loss = self.ctx.map_reduce_rows(
+            self.data,
+            |chunk| {
+                let cols = chunk.n_cols;
                 let mut acc = 0.0;
-                for (i, row) in block.chunks_exact(cols).enumerate() {
-                    let y = self.labels[range.start + i];
+                for (i, row) in chunk.data.chunks_exact(cols).enumerate() {
+                    let y = self.labels[chunk.start_row + i];
                     let z = Self::score(w, row);
                     // -[y ln σ(z) + (1-y) ln(1-σ(z))] = log(1+e^z) - y z
                     acc += log1p_exp(z) - y * z;
@@ -124,16 +125,13 @@ impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for LogisticLoss<'_, S>
             grad.fill(0.0);
             return 0.0;
         }
-        self.data.advise(AccessPattern::Sequential);
-        let (loss, partial_grad) = parallel::par_chunked_map_reduce(
-            n,
-            self.n_threads,
-            |range| {
-                let block = self.data.rows_slice(range.start, range.end);
+        let (loss, partial_grad) = self.ctx.map_reduce_rows(
+            self.data,
+            |chunk| {
                 let mut g = vec![0.0; d + 1];
                 let mut acc = 0.0;
-                for (i, row) in block.chunks_exact(d).enumerate() {
-                    let y = self.labels[range.start + i];
+                for (i, row) in chunk.data.chunks_exact(d).enumerate() {
+                    let y = self.labels[chunk.start_row + i];
                     let z = Self::score(w, row);
                     acc += log1p_exp(z) - y * z;
                     let residual = sigmoid(z) - y;
@@ -199,7 +197,9 @@ pub struct LogisticConfig {
     pub fixed_iterations: bool,
     /// L-BFGS history size.
     pub history_size: usize,
-    /// Worker threads per data sweep (`0` = all hardware threads).
+    /// Legacy worker-thread count (`0` = all hardware threads), honoured only
+    /// by the deprecated inherent [`LogisticRegression::fit`] shim.  The
+    /// [`Estimator`] API takes execution policy from its [`ExecContext`].
     pub n_threads: usize,
 }
 
@@ -243,10 +243,32 @@ impl LogisticRegression {
     /// # Errors
     /// Fails when shapes disagree, data is empty, labels are not binary, or
     /// the optimiser diverges.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Estimator::fit(&self, data, labels, &ExecContext)` instead"
+    )]
     pub fn fit<S: RowStore + Sync + ?Sized>(
         &self,
         data: &S,
         labels: &[f64],
+    ) -> Result<LogisticModel> {
+        Estimator::fit(
+            self,
+            data,
+            labels,
+            &ExecContext::new().with_threads(self.config.n_threads),
+        )
+    }
+}
+
+impl Estimator for LogisticRegression {
+    type Model = LogisticModel;
+
+    fn fit<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        labels: &[f64],
+        ctx: &ExecContext,
     ) -> Result<LogisticModel> {
         if data.n_rows() == 0 || data.n_cols() == 0 {
             return Err(MlError::InvalidData("training data is empty".to_string()));
@@ -263,8 +285,7 @@ impl LogisticRegression {
             ));
         }
 
-        let threads = crate::resolve_threads(self.config.n_threads);
-        let loss = LogisticLoss::new(data, labels, self.config.l2, threads);
+        let loss = LogisticLoss::new(data, labels, self.config.l2, ctx);
         let optimizer = if self.config.fixed_iterations {
             Lbfgs::with_fixed_iterations(self.config.max_iterations)
                 .history(self.config.history_size)
@@ -345,6 +366,20 @@ impl LogisticModel {
     }
 }
 
+impl Model for LogisticModel {
+    fn n_features(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        LogisticModel::predict_row(self, row)
+    }
+
+    fn score(&self, data: &dyn RowStore, labels: &[f64]) -> f64 {
+        self.accuracy(&data, labels)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,7 +404,8 @@ mod tests {
     #[test]
     fn loss_gradient_matches_numerical_gradient() {
         let (x, y) = toy_problem(60);
-        let loss = LogisticLoss::new(&x, &y, 0.01, 2);
+        let ctx = ExecContext::new().with_threads(2);
+        let loss = LogisticLoss::new(&x, &y, 0.01, &ctx);
         let w: Vec<f64> = (0..4).map(|i| 0.1 * i as f64 - 0.2).collect();
         let err = gradient_check(&loss, &w, 1e-5);
         assert!(err < 1e-6, "gradient error {err}");
@@ -378,30 +414,40 @@ mod tests {
     #[test]
     fn loss_is_lower_at_true_weights_than_at_zero() {
         let (x, y) = toy_problem(200);
-        let loss = LogisticLoss::new(&x, &y, 0.0, 1);
-        let zero = loss.value(&vec![0.0; 4]);
+        let ctx = ExecContext::serial();
+        let loss = LogisticLoss::new(&x, &y, 0.0, &ctx);
+        let zero = loss.value(&[0.0; 4]);
         let good = loss.value(&[1.5, -2.0, 0.5, 0.25]);
         assert!(good < zero);
     }
 
     #[test]
-    fn parallel_and_serial_gradients_agree() {
+    fn parallel_and_serial_gradients_are_bit_identical() {
         let (x, y) = toy_problem(101);
         let w: Vec<f64> = vec![0.3, -0.1, 0.2, 0.05];
-        let serial = LogisticLoss::new(&x, &y, 0.01, 1);
-        let parallel = LogisticLoss::new(&x, &y, 0.01, 4);
+        let serial_ctx = ExecContext::serial().with_chunk_bytes(m3_core::PAGE_SIZE);
+        let parallel_ctx = ExecContext::new()
+            .with_threads(4)
+            .with_chunk_bytes(m3_core::PAGE_SIZE);
+        let serial = LogisticLoss::new(&x, &y, 0.01, &serial_ctx);
+        let parallel = LogisticLoss::new(&x, &y, 0.01, &parallel_ctx);
         let mut gs = vec![0.0; 4];
         let mut gp = vec![0.0; 4];
         let vs = serial.value_and_gradient(&w, &mut gs);
         let vp = parallel.value_and_gradient(&w, &mut gp);
-        assert!((vs - vp).abs() < 1e-12);
-        assert!(ops::approx_eq(&gs, &gp, 1e-12));
+        // The ExecContext folds chunk partials in a fixed order, so parallel
+        // and serial runs agree exactly, not just approximately.
+        assert_eq!(vs.to_bits(), vp.to_bits());
+        for (a, b) in gs.iter().zip(&gp) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]
     fn fit_recovers_a_separable_problem() {
         let (x, y) = toy_problem(400);
-        let model = LogisticRegression::new(LogisticConfig::default()).fit(&x, &y).unwrap();
+        let trainer = LogisticRegression::new(LogisticConfig::default());
+        let model = Estimator::fit(&trainer, &x, &y, &ExecContext::new()).unwrap();
         let acc = model.accuracy(&x, &y);
         assert!(acc > 0.95, "training accuracy {acc}");
         // The learnt hyperplane should correlate with the true one.
@@ -412,9 +458,24 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_inherent_fit_matches_trait_fit() {
+        let (x, y) = toy_problem(150);
+        let trainer = LogisticRegression::new(LogisticConfig {
+            max_iterations: 15,
+            ..Default::default()
+        });
+        #[allow(deprecated)]
+        let old = LogisticRegression::fit(&trainer, &x, &y).unwrap();
+        let new = Estimator::fit(&trainer, &x, &y, &ExecContext::new()).unwrap();
+        assert!(ops::approx_eq(&old.weights, &new.weights, 1e-12));
+        assert!((old.bias - new.bias).abs() < 1e-12);
+    }
+
+    #[test]
     fn paper_config_runs_exactly_ten_iterations() {
         let (x, y) = toy_problem(300);
-        let model = LogisticRegression::new(LogisticConfig::paper()).fit(&x, &y).unwrap();
+        let trainer = LogisticRegression::new(LogisticConfig::paper());
+        let model = Estimator::fit(&trainer, &x, &y, &ExecContext::new()).unwrap();
         assert_eq!(model.optimization.iterations, 10);
         assert!(model.accuracy(&x, &y) > 0.85);
     }
@@ -427,25 +488,33 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let mapped = m3_core::alloc::persist_matrix(dir.path().join("train.m3"), &x).unwrap();
 
-        let config = LogisticConfig { n_threads: 2, ..LogisticConfig::default() };
-        let in_memory = LogisticRegression::new(config.clone()).fit(&x, &y).unwrap();
-        let out_of_core = LogisticRegression::new(config).fit(&mapped, &y).unwrap();
+        let ctx = ExecContext::new().with_threads(2);
+        let trainer = LogisticRegression::default();
+        let in_memory = Estimator::fit(&trainer, &x, &y, &ctx).unwrap();
+        let out_of_core = Estimator::fit(&trainer, &mapped, &y, &ctx).unwrap();
 
-        assert!(ops::approx_eq(&in_memory.weights, &out_of_core.weights, 1e-10));
-        assert!((in_memory.bias - out_of_core.bias).abs() < 1e-10);
+        for (a, b) in in_memory.weights.iter().zip(&out_of_core.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(in_memory.bias.to_bits(), out_of_core.bias.to_bits());
     }
 
     #[test]
     fn sgd_training_via_stochastic_interface() {
         let (x, y) = toy_problem(300);
-        let loss = LogisticLoss::new(&x, &y, 1e-4, 1);
+        let ctx = ExecContext::serial();
+        let loss = LogisticLoss::new(&x, &y, 1e-4, &ctx);
         let result = Sgd::new()
             .learning_rate(0.5)
             .epochs(60)
             .batch_size(32)
             .run(&loss, vec![0.0; 4]);
         let (weights, bias) = split_weights(&result.weights);
-        let model = LogisticModel { weights, bias, optimization: result };
+        let model = LogisticModel {
+            weights,
+            bias,
+            optimization: result,
+        };
         assert!(model.accuracy(&x, &y) > 0.9);
     }
 
@@ -453,40 +522,53 @@ mod tests {
     fn validation_errors() {
         let (x, y) = toy_problem(10);
         let trainer = LogisticRegression::default();
+        let ctx = ExecContext::new();
         assert!(matches!(
-            trainer.fit(&x, &y[..5]),
+            Estimator::fit(&trainer, &x, &y[..5], &ctx),
             Err(MlError::ShapeMismatch { .. })
         ));
         let bad_labels = vec![2.0; 10];
         assert!(matches!(
-            trainer.fit(&x, &bad_labels),
+            Estimator::fit(&trainer, &x, &bad_labels, &ctx),
             Err(MlError::InvalidData(_))
         ));
         let empty = DenseMatrix::zeros(0, 3);
-        assert!(matches!(trainer.fit(&empty, &[]), Err(MlError::InvalidData(_))));
+        assert!(matches!(
+            Estimator::fit(&trainer, &empty, &[], &ctx),
+            Err(MlError::InvalidData(_))
+        ));
     }
 
     #[test]
     fn predictions_and_probabilities_are_consistent() {
         let (x, y) = toy_problem(100);
-        let model = LogisticRegression::default().fit(&x, &y).unwrap();
+        let model =
+            Estimator::fit(&LogisticRegression::default(), &x, &y, &ExecContext::new()).unwrap();
         let probs = model.predict_proba(&x);
         let preds = model.predict(&x);
         for (p, c) in probs.iter().zip(&preds) {
             assert!((0.0..=1.0).contains(p));
             assert_eq!(*c == 1.0, *p >= 0.5);
         }
+        // The Model trait view agrees with the inherent API.
+        let as_model: &dyn Model = &model;
+        assert_eq!(as_model.predict_batch(&x), preds);
+        assert_eq!(as_model.score(&x, &y), model.accuracy(&x, &y));
     }
 
     #[test]
     fn empty_loss_is_zero() {
         let x = DenseMatrix::zeros(0, 2);
         let y: Vec<f64> = vec![];
-        let loss = LogisticLoss::new(&x, &y, 0.0, 2);
+        let ctx = ExecContext::new().with_threads(2);
+        let loss = LogisticLoss::new(&x, &y, 0.0, &ctx);
         let mut g = vec![1.0; 3];
         assert_eq!(loss.value(&[0.0, 0.0, 0.0]), 0.0);
         assert_eq!(loss.value_and_gradient(&[0.0, 0.0, 0.0], &mut g), 0.0);
         assert_eq!(g, vec![0.0; 3]);
-        assert_eq!(loss.batch_value_and_gradient(&[0.0, 0.0, 0.0], &[], &mut g), 0.0);
+        assert_eq!(
+            loss.batch_value_and_gradient(&[0.0, 0.0, 0.0], &[], &mut g),
+            0.0
+        );
     }
 }

@@ -4,12 +4,16 @@
 //! variances are all accumulated in one sequential sweep (Welford updates per
 //! class), making it the cheapest possible M3 workload — one scan, train
 //! done.  Included both as a baseline classifier and as the "single-sweep"
-//! extreme for the access-pattern ablation benchmarks.
+//! extreme for the access-pattern ablation benchmarks.  The sweep runs
+//! through [`ExecContext::for_each_chunk`], and the estimator carries the
+//! same `Sync` storage bound as every other estimator in the crate (the seed
+//! version was the one odd one out).
 
 use m3_core::storage::RowStore;
-use m3_core::AccessPattern;
+use m3_core::ExecContext;
 use m3_linalg::ops;
 
+use crate::api::{Estimator, Model};
 use crate::{MlError, Result};
 
 /// A trained Gaussian naive-Bayes classifier.
@@ -51,7 +55,24 @@ impl GaussianNbTrainer {
     /// # Errors
     /// Fails on empty data, shape mismatches, or labels outside
     /// `0..n_classes`.
-    pub fn fit<S: RowStore + ?Sized>(&self, data: &S, labels: &[f64]) -> Result<GaussianNb> {
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Estimator::fit(&self, data, labels, &ExecContext)` instead"
+    )]
+    pub fn fit<S: RowStore + Sync + ?Sized>(&self, data: &S, labels: &[f64]) -> Result<GaussianNb> {
+        Estimator::fit(self, data, labels, &ExecContext::new())
+    }
+}
+
+impl Estimator for GaussianNbTrainer {
+    type Model = GaussianNb;
+
+    fn fit<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        labels: &[f64],
+        ctx: &ExecContext,
+    ) -> Result<GaussianNb> {
         let n = data.n_rows();
         let d = data.n_cols();
         let k = self.n_classes;
@@ -64,28 +85,34 @@ impl GaussianNbTrainer {
                 found: format!("{} labels", labels.len()),
             });
         }
-        if labels.iter().any(|&l| l < 0.0 || l >= k as f64 || l.fract() != 0.0) {
-            return Err(MlError::InvalidData(format!("labels must be integers in 0..{k}")));
+        if labels
+            .iter()
+            .any(|&l| l < 0.0 || l >= k as f64 || l.fract() != 0.0)
+        {
+            return Err(MlError::InvalidData(format!(
+                "labels must be integers in 0..{k}"
+            )));
         }
 
-        data.advise(AccessPattern::Sequential);
+        // Welford accumulation is order-dependent, so this is one sequential
+        // chunked sweep under the context's chunking/advice policy.
         let mut counts = vec![0u64; k];
         let mut means = vec![0.0; k * d];
         let mut m2 = vec![0.0; k * d];
-
-        for r in 0..n {
-            let row = data.row(r);
-            let class = labels[r] as usize;
-            counts[class] += 1;
-            let cnt = counts[class] as f64;
-            let mean_row = &mut means[class * d..(class + 1) * d];
-            let m2_row = &mut m2[class * d..(class + 1) * d];
-            for j in 0..d {
-                let delta = row[j] - mean_row[j];
-                mean_row[j] += delta / cnt;
-                m2_row[j] += delta * (row[j] - mean_row[j]);
+        ctx.for_each_chunk(data, |chunk| {
+            for (r, row) in chunk.rows_with_index() {
+                let class = labels[r] as usize;
+                counts[class] += 1;
+                let cnt = counts[class] as f64;
+                let mean_row = &mut means[class * d..(class + 1) * d];
+                let m2_row = &mut m2[class * d..(class + 1) * d];
+                for j in 0..d {
+                    let delta = row[j] - mean_row[j];
+                    mean_row[j] += delta / cnt;
+                    m2_row[j] += delta * (row[j] - mean_row[j]);
+                }
             }
-        }
+        });
 
         // Finish: variances with smoothing, log priors.
         let max_var = {
@@ -163,12 +190,28 @@ impl GaussianNb {
 
     /// Predicted classes for every row of `data`.
     pub fn predict<S: RowStore + ?Sized>(&self, data: &S) -> Vec<f64> {
-        (0..data.n_rows()).map(|r| self.predict_row(data.row(r))).collect()
+        (0..data.n_rows())
+            .map(|r| self.predict_row(data.row(r)))
+            .collect()
     }
 
     /// Classification accuracy over `data`.
     pub fn accuracy<S: RowStore + ?Sized>(&self, data: &S, labels: &[f64]) -> f64 {
         crate::metrics::accuracy(&self.predict(data), labels)
+    }
+}
+
+impl Model for GaussianNb {
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        GaussianNb::predict_row(self, row)
+    }
+
+    fn score(&self, data: &dyn RowStore, labels: &[f64]) -> f64 {
+        self.accuracy(data, labels)
     }
 }
 
@@ -178,10 +221,14 @@ mod tests {
     use m3_data::{GaussianBlobs, RowGenerator};
     use m3_linalg::DenseMatrix;
 
+    fn fit(trainer: &GaussianNbTrainer, x: &DenseMatrix, y: &[f64]) -> GaussianNb {
+        Estimator::fit(trainer, x, y, &ExecContext::new()).unwrap()
+    }
+
     #[test]
     fn fits_gaussian_blobs_almost_perfectly() {
         let (x, y) = GaussianBlobs::new(3, 5, 10.0, 1.0, 8).materialize(300);
-        let model = GaussianNbTrainer::new(3).fit(&x, &y).unwrap();
+        let model = fit(&GaussianNbTrainer::new(3), &x, &y);
         assert!(model.accuracy(&x, &y) > 0.95);
     }
 
@@ -189,12 +236,15 @@ mod tests {
     fn estimated_means_match_generating_centres() {
         let gen = GaussianBlobs::with_centers(vec![vec![0.0, 5.0], vec![10.0, -5.0]], 0.5, 3);
         let (x, y) = gen.materialize(400);
-        let model = GaussianNbTrainer::new(2).fit(&x, &y).unwrap();
+        let model = fit(&GaussianNbTrainer::new(2), &x, &y);
         for c in 0..2 {
             for j in 0..2 {
                 let est = model.means[c * 2 + j];
                 let truth = gen.centers()[c][j];
-                assert!((est - truth).abs() < 0.2, "class {c} feature {j}: {est} vs {truth}");
+                assert!(
+                    (est - truth).abs() < 0.2,
+                    "class {c} feature {j}: {est} vs {truth}"
+                );
             }
             // Variance should be near 0.25 (std 0.5).
             for j in 0..2 {
@@ -211,7 +261,7 @@ mod tests {
         let x = DenseMatrix::from_rows(&[&[0.0], &[0.1], &[10.0], &[10.1]]).unwrap();
         let y = [0.0, 0.0, 1.0, 1.0];
         // Train with 3 classes although class 2 never appears.
-        let model = GaussianNbTrainer::new(3).fit(&x, &y).unwrap();
+        let model = fit(&GaussianNbTrainer::new(3), &x, &y);
         assert_eq!(model.log_priors[2], f64::NEG_INFINITY);
         let preds = model.predict(&x);
         assert!(preds.iter().all(|&p| p != 2.0));
@@ -219,12 +269,38 @@ mod tests {
     }
 
     #[test]
+    fn trains_from_an_erased_trait_object_store() {
+        // The satellite check for the RowStore-consistency fix: GaussianNb now
+        // carries the same `Sync` bound as every other estimator, so it can
+        // train over a boxed `dyn RowStore + Sync` exactly like the rest.
+        let (x, y) = GaussianBlobs::new(2, 3, 8.0, 1.0, 5).materialize(60);
+        let erased: Box<dyn RowStore + Sync> = Box::new(x.clone());
+        let ctx = ExecContext::new();
+        let from_erased = Estimator::fit(&GaussianNbTrainer::new(2), &*erased, &y, &ctx).unwrap();
+        let from_dense = Estimator::fit(&GaussianNbTrainer::new(2), &x, &y, &ctx).unwrap();
+        assert_eq!(from_erased.means, from_dense.means);
+        assert_eq!(from_erased.variances, from_dense.variances);
+    }
+
+    #[test]
+    fn deprecated_inherent_fit_matches_trait_fit() {
+        let (x, y) = GaussianBlobs::new(2, 3, 8.0, 1.0, 9).materialize(50);
+        let trainer = GaussianNbTrainer::new(2);
+        #[allow(deprecated)]
+        let old = GaussianNbTrainer::fit(&trainer, &x, &y).unwrap();
+        let new = fit(&trainer, &x, &y);
+        assert_eq!(old.means, new.means);
+        assert_eq!(old.log_priors, new.log_priors);
+    }
+
+    #[test]
     fn validation_errors() {
         let x = DenseMatrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
-        assert!(GaussianNbTrainer::new(2).fit(&x, &[0.0]).is_err());
-        assert!(GaussianNbTrainer::new(2).fit(&x, &[0.0, 5.0]).is_err());
+        let ctx = ExecContext::new();
+        assert!(Estimator::fit(&GaussianNbTrainer::new(2), &x, &[0.0], &ctx).is_err());
+        assert!(Estimator::fit(&GaussianNbTrainer::new(2), &x, &[0.0, 5.0], &ctx).is_err());
         let empty = DenseMatrix::zeros(0, 1);
-        assert!(GaussianNbTrainer::new(2).fit(&empty, &[]).is_err());
+        assert!(Estimator::fit(&GaussianNbTrainer::new(2), &empty, &[], &ctx).is_err());
     }
 
     #[test]
@@ -232,9 +308,18 @@ mod tests {
         let (x, y) = GaussianBlobs::new(2, 3, 5.0, 1.0, 21).materialize(100);
         let dir = tempfile::tempdir().unwrap();
         let mapped = m3_core::alloc::persist_matrix(dir.path().join("nb.m3"), &x).unwrap();
-        let a = GaussianNbTrainer::new(2).fit(&x, &y).unwrap();
-        let b = GaussianNbTrainer::new(2).fit(&mapped, &y).unwrap();
-        assert!(ops::approx_eq(&a.means, &b.means, 1e-12));
-        assert!(ops::approx_eq(&a.variances, &b.variances, 1e-12));
+        let trainer = GaussianNbTrainer::new(2);
+        let ctx = ExecContext::new();
+        let a = Estimator::fit(&trainer, &x, &y, &ctx).unwrap();
+        let b = Estimator::fit(&trainer, &mapped, &y, &ctx).unwrap();
+        for (ma, mb) in a.means.iter().zip(&b.means) {
+            assert_eq!(ma.to_bits(), mb.to_bits());
+        }
+        for (va, vb) in a.variances.iter().zip(&b.variances) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+        // Model-trait view.
+        let as_model: &dyn Model = &a;
+        assert!(as_model.score(&x, &y) > 0.9);
     }
 }

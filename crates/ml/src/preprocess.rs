@@ -1,17 +1,70 @@
 //! Feature preprocessing that works over out-of-core data.
 //!
 //! A standardiser over a 190 GB memory-mapped dataset cannot materialise the
-//! transformed matrix; instead [`Standardizer`] is fitted with one streaming
-//! sweep and then applied lazily, row by row, as algorithms pull data.
+//! transformed matrix; instead [`StandardScaler`] is fitted with one
+//! streaming sweep (producing a [`Standardizer`]) and then applied lazily,
+//! row by row, as algorithms pull data.
 
 use m3_core::storage::RowStore;
-use m3_core::AccessPattern;
+use m3_core::ExecContext;
 use m3_linalg::stats::RunningStats;
-use m3_linalg::{parallel, DenseMatrix};
+use m3_linalg::DenseMatrix;
 
+use crate::api::UnsupervisedEstimator;
 use crate::{MlError, Result};
 
-/// Z-score standardisation fitted from any [`RowStore`].
+/// Z-score standardisation estimator.
+///
+/// Fitting sweeps the store once (chunk-parallel, merging Welford-style
+/// running statistics) and yields a [`Standardizer`] holding the per-feature
+/// means and standard deviations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandardScaler;
+
+impl StandardScaler {
+    /// Create a scaler estimator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl UnsupervisedEstimator for StandardScaler {
+    type Model = Standardizer;
+
+    fn fit<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        ctx: &ExecContext,
+    ) -> Result<Standardizer> {
+        if data.n_rows() == 0 || data.n_cols() == 0 {
+            return Err(MlError::InvalidData(
+                "cannot fit a standardizer on an empty store".into(),
+            ));
+        }
+        let d = data.n_cols();
+        let stats = ctx.map_reduce_rows(
+            data,
+            |chunk| {
+                let mut acc = RunningStats::new(d);
+                for row in chunk.data.chunks_exact(d) {
+                    acc.push_row(row);
+                }
+                acc
+            },
+            RunningStats::new(d),
+            |mut a, b| {
+                a.merge(&b);
+                a
+            },
+        );
+        Ok(Standardizer {
+            mean: stats.mean().to_vec(),
+            std_dev: stats.std_dev(),
+        })
+    }
+}
+
+/// Fitted z-score standardisation: the model produced by [`StandardScaler`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Standardizer {
     /// Per-feature means.
@@ -25,34 +78,16 @@ impl Standardizer {
     ///
     /// # Errors
     /// Fails when the data has no rows.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `UnsupervisedEstimator::fit(&StandardScaler, data, &ExecContext)` instead"
+    )]
     pub fn fit<S: RowStore + Sync + ?Sized>(data: &S, n_threads: usize) -> Result<Self> {
-        if data.n_rows() == 0 {
-            return Err(MlError::InvalidData("cannot fit a standardizer on zero rows".into()));
-        }
-        data.advise(AccessPattern::Sequential);
-        let d = data.n_cols();
-        let threads = crate::resolve_threads(n_threads);
-        let stats = parallel::par_chunked_map_reduce(
-            data.n_rows(),
-            threads,
-            |range| {
-                let mut acc = RunningStats::new(d);
-                let block = data.rows_slice(range.start, range.end);
-                for row in block.chunks_exact(d) {
-                    acc.push_row(row);
-                }
-                acc
-            },
-            RunningStats::new(d),
-            |mut a, b| {
-                a.merge(&b);
-                a
-            },
-        );
-        Ok(Self {
-            mean: stats.mean().to_vec(),
-            std_dev: stats.std_dev(),
-        })
+        UnsupervisedEstimator::fit(
+            &StandardScaler,
+            data,
+            &ExecContext::new().with_threads(n_threads),
+        )
     }
 
     /// Number of features this standardiser was fitted on.
@@ -62,13 +97,7 @@ impl Standardizer {
 
     /// Standardise a single row in place.
     pub fn transform_row(&self, row: &mut [f64]) {
-        assert_eq!(row.len(), self.n_features(), "feature count mismatch");
-        for j in 0..row.len() {
-            row[j] -= self.mean[j];
-            if self.std_dev[j] > 1e-12 {
-                row[j] /= self.std_dev[j];
-            }
-        }
+        m3_linalg::stats::standardize_row_with(&self.mean, &self.std_dev, row);
     }
 
     /// Materialise the standardised copy of an entire store (only sensible
@@ -109,10 +138,14 @@ mod tests {
             .unwrap()
     }
 
+    fn fit(m: &DenseMatrix, ctx: &ExecContext) -> Standardizer {
+        UnsupervisedEstimator::fit(&StandardScaler, m, ctx).unwrap()
+    }
+
     #[test]
     fn fit_matches_batch_statistics() {
         let m = sample();
-        let s = Standardizer::fit(&m, 2).unwrap();
+        let s = fit(&m, &ExecContext::new().with_threads(2));
         let batch = ColumnStats::compute(&m.view());
         for j in 0..2 {
             assert!((s.mean[j] - batch.mean[j]).abs() < 1e-12);
@@ -123,7 +156,7 @@ mod tests {
     #[test]
     fn transformed_data_has_zero_mean_unit_variance() {
         let m = sample();
-        let s = Standardizer::fit(&m, 1).unwrap();
+        let s = fit(&m, &ExecContext::serial());
         let t = s.transform_to_matrix(&m);
         let stats = ColumnStats::compute(&t.view());
         for j in 0..2 {
@@ -135,7 +168,7 @@ mod tests {
     #[test]
     fn constant_columns_are_only_centred() {
         let m = DenseMatrix::from_rows(&[&[5.0, 1.0], &[5.0, 2.0]]).unwrap();
-        let s = Standardizer::fit(&m, 1).unwrap();
+        let s = fit(&m, &ExecContext::serial());
         let mut row = [5.0, 1.5];
         s.transform_row(&mut row);
         assert_eq!(row[0], 0.0);
@@ -145,16 +178,31 @@ mod tests {
     #[test]
     fn parallel_and_serial_fit_agree() {
         let m = sample();
-        let a = Standardizer::fit(&m, 1).unwrap();
-        let b = Standardizer::fit(&m, 4).unwrap();
+        let a = fit(&m, &ExecContext::serial());
+        let b = fit(&m, &ExecContext::new().with_threads(4));
         assert!(m3_linalg::ops::approx_eq(&a.mean, &b.mean, 1e-12));
         assert!(m3_linalg::ops::approx_eq(&a.std_dev, &b.std_dev, 1e-12));
     }
 
     #[test]
+    fn deprecated_inherent_fit_matches_trait_fit() {
+        let m = sample();
+        #[allow(deprecated)]
+        let old = Standardizer::fit(&m, 1).unwrap();
+        let new = fit(&m, &ExecContext::serial());
+        assert_eq!(old, new);
+    }
+
+    #[test]
     fn empty_data_is_rejected() {
         let empty = DenseMatrix::zeros(0, 3);
-        assert!(Standardizer::fit(&empty, 1).is_err());
+        assert!(UnsupervisedEstimator::fit(&StandardScaler, &empty, &ExecContext::new()).is_err());
+        // Zero columns must error like the other estimators, not panic in
+        // the sweep.
+        let no_cols = DenseMatrix::zeros(5, 0);
+        assert!(
+            UnsupervisedEstimator::fit(&StandardScaler, &no_cols, &ExecContext::new()).is_err()
+        );
     }
 
     #[test]

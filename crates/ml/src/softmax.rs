@@ -4,15 +4,16 @@
 //! paper's dataset is softmax regression rather than the binary model.  The
 //! loss is the averaged cross-entropy with L2 regularisation, computed — like
 //! every other loss in this workspace — in a single chunk-parallel sequential
-//! sweep over a [`RowStore`].
+//! sweep over a [`RowStore`], driven by the shared [`ExecContext`].
 
 use m3_core::storage::RowStore;
-use m3_core::AccessPattern;
-use m3_linalg::{ops, parallel};
+use m3_core::ExecContext;
+use m3_linalg::ops;
 use m3_optim::function::{DifferentiableFunction, StochasticFunction};
 use m3_optim::lbfgs::Lbfgs;
 use m3_optim::termination::{OptimizationResult, TerminationCriteria};
 
+use crate::api::{Estimator, Model};
 use crate::{MlError, Result};
 
 /// Cross-entropy loss for `k`-class softmax regression over a [`RowStore`].
@@ -26,13 +27,19 @@ pub struct SoftmaxLoss<'a, S: RowStore + Sync + ?Sized> {
     n_classes: usize,
     /// L2 regularisation strength.
     pub l2: f64,
-    /// Worker threads per sweep.
-    pub n_threads: usize,
+    ctx: &'a ExecContext,
 }
 
 impl<'a, S: RowStore + Sync + ?Sized> SoftmaxLoss<'a, S> {
-    /// Create the loss for labels in `{0, …, n_classes−1}` (stored as `f64`).
-    pub fn new(data: &'a S, labels: &'a [f64], n_classes: usize, l2: f64, n_threads: usize) -> Self {
+    /// Create the loss for labels in `{0, …, n_classes−1}` (stored as `f64`),
+    /// sweeping under `ctx`'s execution policy.
+    pub fn new(
+        data: &'a S,
+        labels: &'a [f64],
+        n_classes: usize,
+        l2: f64,
+        ctx: &'a ExecContext,
+    ) -> Self {
         assert_eq!(data.n_rows(), labels.len(), "labels must match rows");
         assert!(n_classes >= 2, "softmax needs at least two classes");
         Self {
@@ -40,7 +47,7 @@ impl<'a, S: RowStore + Sync + ?Sized> SoftmaxLoss<'a, S> {
             labels,
             n_classes,
             l2,
-            n_threads: n_threads.max(1),
+            ctx,
         }
     }
 
@@ -72,17 +79,20 @@ impl<'a, S: RowStore + Sync + ?Sized> SoftmaxLoss<'a, S> {
         max + sum.ln()
     }
 
-    /// Contribution of rows `range` to (loss, gradient).
-    fn chunk_loss_grad(&self, w: &[f64], start: usize, end: usize) -> (f64, Vec<f64>) {
+    /// Contribution of the rows in one chunk to (loss, gradient).
+    fn chunk_loss_grad(
+        &self,
+        w: &[f64],
+        chunk: &m3_core::chunked::RowChunk<'_>,
+    ) -> (f64, Vec<f64>) {
         let d = self.n_features();
         let k = self.n_classes;
         let stride = d + 1;
-        let block = self.data.rows_slice(start, end);
         let mut grad = vec![0.0; k * stride];
         let mut scores = vec![0.0; k];
         let mut loss = 0.0;
-        for (i, row) in block.chunks_exact(d).enumerate() {
-            let label = self.labels[start + i] as usize;
+        for (i, row) in chunk.data.chunks_exact(d).enumerate() {
+            let label = self.labels[chunk.start_row + i] as usize;
             Self::scores(w, row, k, &mut scores);
             let label_score = scores[label.min(k - 1)];
             let log_norm = Self::softmax_in_place(&mut scores);
@@ -121,11 +131,9 @@ impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for SoftmaxLoss<'_, S> 
             grad.fill(0.0);
             return 0.0;
         }
-        self.data.advise(AccessPattern::Sequential);
-        let (loss, partial) = parallel::par_chunked_map_reduce(
-            n,
-            self.n_threads,
-            |range| self.chunk_loss_grad(w, range.start, range.end),
+        let (loss, partial) = self.ctx.map_reduce_rows(
+            self.data,
+            |chunk| self.chunk_loss_grad(w, &chunk),
             (0.0, vec![0.0; k * stride]),
             |(la, mut ga), (lb, gb)| {
                 ops::add_assign(&mut ga, &gb);
@@ -199,7 +207,8 @@ pub struct SoftmaxConfig {
     pub max_iterations: usize,
     /// Run exactly `max_iterations` iterations (the paper's protocol).
     pub fixed_iterations: bool,
-    /// Worker threads per data sweep (`0` = all hardware threads).
+    /// Legacy worker-thread count (`0` = all hardware threads), honoured only
+    /// by the deprecated inherent [`SoftmaxRegression::fit`] shim.
     pub n_threads: usize,
 }
 
@@ -243,7 +252,33 @@ impl SoftmaxRegression {
     /// # Errors
     /// Fails when shapes disagree, data is empty, or labels fall outside
     /// `0..n_classes`.
-    pub fn fit<S: RowStore + Sync + ?Sized>(&self, data: &S, labels: &[f64]) -> Result<SoftmaxModel> {
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Estimator::fit(&self, data, labels, &ExecContext)` instead"
+    )]
+    pub fn fit<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        labels: &[f64],
+    ) -> Result<SoftmaxModel> {
+        Estimator::fit(
+            self,
+            data,
+            labels,
+            &ExecContext::new().with_threads(self.config.n_threads),
+        )
+    }
+}
+
+impl Estimator for SoftmaxRegression {
+    type Model = SoftmaxModel;
+
+    fn fit<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        labels: &[f64],
+        ctx: &ExecContext,
+    ) -> Result<SoftmaxModel> {
         if data.n_rows() == 0 || data.n_cols() == 0 {
             return Err(MlError::InvalidData("training data is empty".to_string()));
         }
@@ -263,8 +298,7 @@ impl SoftmaxRegression {
             )));
         }
 
-        let threads = crate::resolve_threads(self.config.n_threads);
-        let loss = SoftmaxLoss::new(data, labels, k, self.config.l2, threads);
+        let loss = SoftmaxLoss::new(data, labels, k, self.config.l2, ctx);
         let optimizer = if self.config.fixed_iterations {
             Lbfgs::with_fixed_iterations(self.config.max_iterations)
         } else {
@@ -308,7 +342,12 @@ impl SoftmaxModel {
     pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
         assert_eq!(row.len(), self.n_features, "feature count mismatch");
         let mut scores = vec![0.0; self.n_classes];
-        SoftmaxLoss::<m3_linalg::DenseMatrix>::scores(&self.weights, row, self.n_classes, &mut scores);
+        SoftmaxLoss::<m3_linalg::DenseMatrix>::scores(
+            &self.weights,
+            row,
+            self.n_classes,
+            &mut scores,
+        );
         SoftmaxLoss::<m3_linalg::DenseMatrix>::softmax_in_place(&mut scores);
         scores
     }
@@ -321,12 +360,28 @@ impl SoftmaxModel {
 
     /// Predicted classes for every row of `data`.
     pub fn predict<S: RowStore + ?Sized>(&self, data: &S) -> Vec<f64> {
-        (0..data.n_rows()).map(|r| self.predict_row(data.row(r))).collect()
+        (0..data.n_rows())
+            .map(|r| self.predict_row(data.row(r)))
+            .collect()
     }
 
     /// Classification accuracy over `data`.
     pub fn accuracy<S: RowStore + ?Sized>(&self, data: &S, labels: &[f64]) -> f64 {
         crate::metrics::accuracy(&self.predict(data), labels)
+    }
+}
+
+impl Model for SoftmaxModel {
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        SoftmaxModel::predict_row(self, row)
+    }
+
+    fn score(&self, data: &dyn RowStore, labels: &[f64]) -> f64 {
+        self.accuracy(data, labels)
     }
 }
 
@@ -339,34 +394,42 @@ mod tests {
     #[test]
     fn gradient_matches_numerical() {
         let (x, y) = GaussianBlobs::new(3, 4, 5.0, 1.0, 2).materialize(45);
-        let loss = SoftmaxLoss::new(&x, &y, 3, 0.01, 2);
-        let w: Vec<f64> = (0..loss.dimension()).map(|i| (i as f64 * 0.07).sin() * 0.1).collect();
+        let ctx = ExecContext::new().with_threads(2);
+        let loss = SoftmaxLoss::new(&x, &y, 3, 0.01, &ctx);
+        let w: Vec<f64> = (0..loss.dimension())
+            .map(|i| (i as f64 * 0.07).sin() * 0.1)
+            .collect();
         let err = gradient_check(&loss, &w, 1e-5);
         assert!(err < 1e-6, "gradient error {err}");
     }
 
     #[test]
-    fn parallel_matches_serial() {
+    fn parallel_is_bit_identical_to_serial() {
         let (x, y) = GaussianBlobs::new(4, 6, 5.0, 1.0, 5).materialize(80);
         let w: Vec<f64> = (0..4 * 7).map(|i| 0.01 * i as f64).collect();
         let mut gs = vec![0.0; w.len()];
         let mut gp = vec![0.0; w.len()];
-        let vs = SoftmaxLoss::new(&x, &y, 4, 0.0, 1).value_and_gradient(&w, &mut gs);
-        let vp = SoftmaxLoss::new(&x, &y, 4, 0.0, 4).value_and_gradient(&w, &mut gp);
-        assert!((vs - vp).abs() < 1e-12);
-        assert!(ops::approx_eq(&gs, &gp, 1e-12));
+        let serial_ctx = ExecContext::serial().with_chunk_bytes(m3_core::PAGE_SIZE);
+        let parallel_ctx = ExecContext::new()
+            .with_threads(4)
+            .with_chunk_bytes(m3_core::PAGE_SIZE);
+        let vs = SoftmaxLoss::new(&x, &y, 4, 0.0, &serial_ctx).value_and_gradient(&w, &mut gs);
+        let vp = SoftmaxLoss::new(&x, &y, 4, 0.0, &parallel_ctx).value_and_gradient(&w, &mut gp);
+        assert_eq!(vs.to_bits(), vp.to_bits());
+        for (a, b) in gs.iter().zip(&gp) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]
     fn fits_well_separated_blobs() {
         let (x, y) = GaussianBlobs::new(4, 5, 10.0, 0.8, 9).materialize(400);
-        let model = SoftmaxRegression::new(SoftmaxConfig {
+        let trainer = SoftmaxRegression::new(SoftmaxConfig {
             n_classes: 4,
             max_iterations: 60,
             ..Default::default()
-        })
-        .fit(&x, &y)
-        .unwrap();
+        });
+        let model = Estimator::fit(&trainer, &x, &y, &ExecContext::new()).unwrap();
         assert!(model.accuracy(&x, &y) > 0.95);
         // Probabilities sum to one.
         let probs = model.predict_proba_row(x.row(0));
@@ -377,40 +440,61 @@ mod tests {
     fn classifies_infimnist_like_digits_above_chance() {
         let generator = InfimnistLike::new(5);
         let (x, y) = generator.materialize(600);
-        let model = SoftmaxRegression::new(SoftmaxConfig {
+        let trainer = SoftmaxRegression::new(SoftmaxConfig {
             n_classes: 10,
             max_iterations: 30,
-            n_threads: 2,
             ..Default::default()
-        })
-        .fit(&x, &y)
-        .unwrap();
+        });
+        let model = Estimator::fit(&trainer, &x, &y, &ExecContext::new().with_threads(2)).unwrap();
         let acc = model.accuracy(&x, &y);
-        assert!(acc > 0.6, "training accuracy {acc} should beat chance (0.1) comfortably");
+        assert!(
+            acc > 0.6,
+            "training accuracy {acc} should beat chance (0.1) comfortably"
+        );
     }
 
     #[test]
     fn paper_protocol_runs_ten_iterations() {
         let (x, y) = GaussianBlobs::new(10, 8, 10.0, 1.5, 3).materialize(300);
-        let model = SoftmaxRegression::new(SoftmaxConfig::paper()).fit(&x, &y).unwrap();
+        let trainer = SoftmaxRegression::new(SoftmaxConfig::paper());
+        let model = Estimator::fit(&trainer, &x, &y, &ExecContext::new()).unwrap();
         assert_eq!(model.optimization.iterations, 10);
+    }
+
+    #[test]
+    fn deprecated_inherent_fit_matches_trait_fit() {
+        let (x, y) = GaussianBlobs::new(3, 4, 8.0, 1.0, 17).materialize(90);
+        let trainer = SoftmaxRegression::new(SoftmaxConfig {
+            n_classes: 3,
+            max_iterations: 10,
+            ..Default::default()
+        });
+        #[allow(deprecated)]
+        let old = SoftmaxRegression::fit(&trainer, &x, &y).unwrap();
+        let new = Estimator::fit(&trainer, &x, &y, &ExecContext::new()).unwrap();
+        assert!(ops::approx_eq(&old.weights, &new.weights, 1e-12));
     }
 
     #[test]
     fn validation_errors() {
         let (x, y) = GaussianBlobs::new(3, 3, 5.0, 1.0, 1).materialize(30);
-        let trainer = SoftmaxRegression::new(SoftmaxConfig { n_classes: 3, ..Default::default() });
-        assert!(trainer.fit(&x, &y[..10]).is_err());
+        let trainer = SoftmaxRegression::new(SoftmaxConfig {
+            n_classes: 3,
+            ..Default::default()
+        });
+        let ctx = ExecContext::new();
+        assert!(Estimator::fit(&trainer, &x, &y[..10], &ctx).is_err());
         let bad = vec![7.0; 30];
-        assert!(trainer.fit(&x, &bad).is_err());
+        assert!(Estimator::fit(&trainer, &x, &bad, &ctx).is_err());
         let empty = m3_linalg::DenseMatrix::zeros(0, 3);
-        assert!(trainer.fit(&empty, &[]).is_err());
+        assert!(Estimator::fit(&trainer, &empty, &[], &ctx).is_err());
     }
 
     #[test]
     fn stochastic_interface_reduces_loss() {
         let (x, y) = GaussianBlobs::new(3, 4, 8.0, 1.0, 11).materialize(150);
-        let loss = SoftmaxLoss::new(&x, &y, 3, 1e-4, 1);
+        let ctx = ExecContext::serial();
+        let loss = SoftmaxLoss::new(&x, &y, 3, 1e-4, &ctx);
         let w0 = vec![0.0; loss.dimension()];
         let initial = loss.value(&w0);
         let result = m3_optim::sgd::Sgd::new()

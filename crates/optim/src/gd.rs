@@ -196,6 +196,6 @@ mod tests {
             .criteria(TerminationCriteria::fixed_iterations(3))
             .run(&f, vec![8.0]);
         // 1 initial + per-iteration (line search ≥1 + gradient refresh).
-        assert!(r.function_evaluations >= 1 + 3 * 2);
+        assert!(r.function_evaluations > 3 * 2);
     }
 }

@@ -260,7 +260,10 @@ mod tests {
         let r = Lbfgs::with_fixed_iterations(15).run(&f, vec![0.0; 4]);
         let mut previous = f64::INFINITY;
         for &v in &r.value_history {
-            assert!(v <= previous + 1e-12, "objective increased: {v} > {previous}");
+            assert!(
+                v <= previous + 1e-12,
+                "objective increased: {v} > {previous}"
+            );
             previous = v;
         }
     }

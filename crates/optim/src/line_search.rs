@@ -160,12 +160,24 @@ pub fn strong_wolfe<F: DifferentiableFunction + ?Sized>(
     for iter in 0..params.max_iterations {
         let (value, d) = eval(step, &mut trial, &mut grad, &mut evaluations);
 
-        let armijo_violated = value > value0 + params.c1 * step * d0
-            || (iter > 0 && value >= prev_value);
+        let armijo_violated =
+            value > value0 + params.c1 * step * d0 || (iter > 0 && value >= prev_value);
         if armijo_violated {
             return zoom(
-                f, w, p, value0, d0, prev_step, prev_value, prev_d, step, value, params,
-                &mut trial, &mut grad, &mut evaluations,
+                f,
+                w,
+                p,
+                value0,
+                d0,
+                prev_step,
+                prev_value,
+                prev_d,
+                step,
+                value,
+                params,
+                &mut trial,
+                &mut grad,
+                &mut evaluations,
             );
         }
         if d.abs() <= -params.c2 * d0 {
@@ -178,8 +190,20 @@ pub fn strong_wolfe<F: DifferentiableFunction + ?Sized>(
         }
         if d >= 0.0 {
             return zoom(
-                f, w, p, value0, d0, step, value, d, prev_step, prev_value, params,
-                &mut trial, &mut grad, &mut evaluations,
+                f,
+                w,
+                p,
+                value0,
+                d0,
+                step,
+                value,
+                d,
+                prev_step,
+                prev_value,
+                params,
+                &mut trial,
+                &mut grad,
+                &mut evaluations,
             );
         }
         prev_step = step;
@@ -264,8 +288,8 @@ fn zoom<F: DifferentiableFunction + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_functions::{Quadratic, Rosenbrock};
     use crate::function::DifferentiableFunction;
+    use crate::test_functions::{Quadratic, Rosenbrock};
 
     fn setup(f: &impl DifferentiableFunction, w: &[f64]) -> (f64, Vec<f64>, Vec<f64>) {
         let mut grad = vec![0.0; w.len()];
@@ -292,10 +316,17 @@ mod tests {
         let w = [1.0];
         let (v0, g0, _) = setup(&f, &w);
         // Deliberately search uphill: the Armijo condition can never hold.
-        let r = backtracking(&f, &w, &[1.0], v0, &g0, &BacktrackingParams {
-            max_steps: 5,
-            ..Default::default()
-        });
+        let r = backtracking(
+            &f,
+            &w,
+            &[1.0],
+            v0,
+            &g0,
+            &BacktrackingParams {
+                max_steps: 5,
+                ..Default::default()
+            },
+        );
         assert!(!r.success);
         assert_eq!(r.step, 0.0);
     }
@@ -315,7 +346,10 @@ mod tests {
         let mut g = vec![0.0; 2];
         let v = f.value_and_gradient(&trial, &mut g);
         let d: f64 = g.iter().zip(&p).map(|(gi, pi)| gi * pi).sum();
-        assert!(v <= v0 + params.c1 * r.step * d0 + 1e-12, "sufficient decrease");
+        assert!(
+            v <= v0 + params.c1 * r.step * d0 + 1e-12,
+            "sufficient decrease"
+        );
         assert!(d.abs() <= -params.c2 * d0 + 1e-12, "curvature condition");
     }
 

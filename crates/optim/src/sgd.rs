@@ -290,7 +290,10 @@ mod tests {
             SamplingScheme::UniformRandom,
             SamplingScheme::Sequential,
         ] {
-            let r = Sgd::new().sampling(scheme).epochs(50).run(&f, vec![0.0, 0.0]);
+            let r = Sgd::new()
+                .sampling(scheme)
+                .epochs(50)
+                .run(&f, vec![0.0, 0.0]);
             assert!(
                 r.value < initial_loss * 0.5,
                 "{scheme:?} did not reduce the loss: {} vs {initial_loss}",
@@ -310,7 +313,10 @@ mod tests {
     #[test]
     fn huge_learning_rate_is_reported_as_numerical_error() {
         let f = LeastSquares::new();
-        let r = Sgd::new().learning_rate(1e12).epochs(50).run(&f, vec![0.0, 0.0]);
+        let r = Sgd::new()
+            .learning_rate(1e12)
+            .epochs(50)
+            .run(&f, vec![0.0, 0.0]);
         assert_eq!(r.reason, TerminationReason::NumericalError);
     }
 }

@@ -133,7 +133,9 @@ mod tests {
         assert!(TerminationReason::GradientTolerance.is_success());
         assert!(!TerminationReason::LineSearchFailed.is_success());
         assert!(!TerminationReason::NumericalError.is_success());
-        assert!(TerminationReason::FunctionTolerance.to_string().contains("objective"));
+        assert!(TerminationReason::FunctionTolerance
+            .to_string()
+            .contains("objective"));
     }
 
     #[test]

@@ -78,9 +78,15 @@ mod tests {
 
     #[test]
     fn pattern_mapping() {
-        assert!(ReadAheadPolicy::for_pattern(AccessPattern::Sequential).window_pages > ReadAheadPolicy::for_pattern(AccessPattern::Normal).window_pages);
+        assert!(
+            ReadAheadPolicy::for_pattern(AccessPattern::Sequential).window_pages
+                > ReadAheadPolicy::for_pattern(AccessPattern::Normal).window_pages
+        );
         assert!(!ReadAheadPolicy::for_pattern(AccessPattern::Random).enabled);
-        assert_eq!(ReadAheadPolicy::default(), ReadAheadPolicy::for_pattern(AccessPattern::Normal));
+        assert_eq!(
+            ReadAheadPolicy::default(),
+            ReadAheadPolicy::for_pattern(AccessPattern::Normal)
+        );
         assert_eq!(ReadAheadPolicy::disabled().prefetch_count(5, Some(4)), 0);
     }
 
@@ -90,6 +96,10 @@ mod tests {
         assert_eq!(p.prefetch_count(11, Some(10)), 512);
         assert_eq!(p.prefetch_count(11, Some(11)), 512);
         assert_eq!(p.prefetch_count(0, None), 512);
-        assert_eq!(p.prefetch_count(50, Some(10)), 0, "random jump disables read-ahead");
+        assert_eq!(
+            p.prefetch_count(50, Some(10)),
+            0,
+            "random jump disables read-ahead"
+        );
     }
 }

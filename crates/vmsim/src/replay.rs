@@ -215,7 +215,11 @@ impl Simulator {
         let region_pages = region_bytes.div_ceil(PAGE_SIZE as u64);
         let cache_pages = self.config.cache_pages();
         let fits = region_pages <= cache_pages;
-        let faulting_sweeps = if fits { 1.min(sweeps) as u64 } else { sweeps as u64 };
+        let faulting_sweeps = if fits {
+            1.min(sweeps) as u64
+        } else {
+            sweeps as u64
+        };
         let miss_pages = region_pages * faulting_sweeps;
         let hit_pages = region_pages * sweeps as u64 - miss_pages;
 
@@ -303,7 +307,8 @@ mod tests {
 
     #[test]
     fn analytic_path_matches_event_driven_replay() {
-        for (cache_pages, region_pages, sweeps) in [(100u64, 40u64, 3u32), (30, 80, 4), (64, 64, 2)] {
+        for (cache_pages, region_pages, sweeps) in [(100u64, 40u64, 3u32), (30, 80, 4), (64, 64, 2)]
+        {
             let config = small_config(cache_pages);
             let sim = Simulator::new(config);
             let region = region_pages * PAGE_SIZE as u64;
@@ -345,7 +350,11 @@ mod tests {
         let util = report.utilization();
         assert!(util.is_io_bound());
         assert!(util.io_utilization() > 0.95);
-        assert!((util.cpu_utilization() - 0.13).abs() < 0.05, "cpu {:.3}", util.cpu_utilization());
+        assert!(
+            (util.cpu_utilization() - 0.13).abs() < 0.05,
+            "cpu {:.3}",
+            util.cpu_utilization()
+        );
     }
 
     #[test]
@@ -377,10 +386,8 @@ mod tests {
     fn readahead_reduces_request_count() {
         let region = 512 * PAGE_SIZE as u64;
         let with = Simulator::new(small_config(1024)).sequential_scan_report(region, 1);
-        let without = Simulator::new(
-            small_config(1024).readahead(ReadAheadPolicy::disabled()),
-        )
-        .sequential_scan_report(region, 1);
+        let without = Simulator::new(small_config(1024).readahead(ReadAheadPolicy::disabled()))
+            .sequential_scan_report(region, 1);
         assert!(with.device_requests < without.device_requests);
         assert_eq!(with.device_bytes_read, without.device_bytes_read);
         assert!(with.io_seconds < without.io_seconds);

@@ -44,7 +44,11 @@ impl UtilizationReport {
             self.wall_seconds,
             self.io_utilization() * 100.0,
             self.cpu_utilization() * 100.0,
-            if self.is_io_bound() { "I/O bound" } else { "CPU bound" }
+            if self.is_io_bound() {
+                "I/O bound"
+            } else {
+                "CPU bound"
+            }
         )
     }
 }

@@ -40,11 +40,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("top 5 nodes by rank:");
     for (node, score) in top.iter().take(5) {
-        println!("  node {node:6}  score {score:.6}  out-degree {}", mapped.out_degree(*node));
+        println!(
+            "  node {node:6}  score {score:.6}  out-degree {}",
+            mapped.out_degree(*node)
+        );
     }
 
     let in_memory_ranks = pagerank(&graph, &PageRankConfig::default());
-    assert_eq!(ranks.scores, in_memory_ranks.scores, "mmap and in-memory must agree");
+    assert_eq!(
+        ranks.scores, in_memory_ranks.scores,
+        "mmap and in-memory must agree"
+    );
 
     let components = connected_components(&mapped);
     println!(

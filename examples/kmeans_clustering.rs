@@ -18,19 +18,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rows = 5_000;
     m3::data::writer::write_raw_matrix(&generator, &path, rows)?;
     let mapped = mmap_alloc(&path, rows, 20)?;
-    mapped.advise(AccessPattern::Sequential);
 
-    let config = KMeansConfig {
+    // One execution context for both runs: the sequential madvise hint and
+    // the chunked parallel sweep now live here, not in the model config.
+    let ctx = ExecContext::new();
+    let trainer = KMeans::new(KMeansConfig {
         k: 5,
         max_iterations: 10,
         tolerance: 0.0,
         init: KMeansInit::PlusPlus,
         seed: 77,
-        n_threads: 0,
-    };
+        ..Default::default()
+    });
 
     let start = std::time::Instant::now();
-    let model = KMeans::new(config.clone()).fit(&mapped)?;
+    let model = UnsupervisedEstimator::fit(&trainer, &mapped, &ctx)?;
     println!(
         "k-means over the memory-mapped file: {} iterations in {:.2?}, inertia {:.1}",
         model.iterations,
@@ -38,9 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.inertia
     );
 
-    // Compare against training over the same data in RAM.
+    // Compare against training over the same data in RAM — same trainer,
+    // same context, different storage.
     let (in_memory, _) = generator.materialize(rows);
-    let ram_model = KMeans::new(config).fit(&in_memory)?;
+    let ram_model = UnsupervisedEstimator::fit(&trainer, &in_memory, &ctx)?;
     let drift = model
         .centroids
         .as_slice()
@@ -62,7 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("centroid {c} -> true centre {nearest}, distance {distance:.2}");
     }
 
-    let inertia_drop = model.inertia_history.first().unwrap() / model.inertia_history.last().unwrap();
+    let inertia_drop =
+        model.inertia_history.first().unwrap() / model.inertia_history.last().unwrap();
     println!("inertia improved {inertia_drop:.1}x over 10 iterations");
     Ok(())
 }

@@ -29,16 +29,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let labels = m3::data::writer::write_raw_matrix(&generator, &path, rows as usize)?;
     // Binary task: digit < 5 vs >= 5 (same code path as any binary labelling).
-    let binary: Vec<f64> = labels.iter().map(|&l| if l < 5.0 { 0.0 } else { 1.0 }).collect();
+    let binary: Vec<f64> = labels
+        .iter()
+        .map(|&l| if l < 5.0 { 0.0 } else { 1.0 })
+        .collect();
 
     // The paper's one-line change: mmap_alloc instead of an in-memory matrix,
     // plus touch statistics so we can see the I/O volume.
     let stats = TouchStats::new_shared();
     let data = mmap_alloc(&path, rows as usize, 784)?.with_stats(Arc::clone(&stats));
-    data.advise(AccessPattern::Sequential);
+
+    // The execution context centralises what used to be per-model knobs:
+    // thread count, page-aligned chunking and the sequential madvise hint.
+    let ctx = ExecContext::new();
+    let trainer = LogisticRegression::new(LogisticConfig::paper());
 
     let start = std::time::Instant::now();
-    let model = LogisticRegression::new(LogisticConfig::paper()).fit(&data, &binary)?;
+    let model = Estimator::fit(&trainer, &data, &binary, &ctx)?;
     let elapsed = start.elapsed();
 
     println!(

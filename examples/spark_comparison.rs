@@ -20,12 +20,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let labels = m3::data::writer::write_raw_matrix(&problem, &path, rows)?;
     let data = mmap_alloc(&path, rows, 32)?;
 
-    let m3_model = LogisticRegression::new(LogisticConfig {
+    let trainer = LogisticRegression::new(LogisticConfig {
         max_iterations: 30,
         ..Default::default()
-    })
-    .fit(&data, &labels)?;
-    println!("M3 (single machine, mmap): accuracy {:.3}", m3_model.accuracy(&data, &labels));
+    });
+    let m3_model = Estimator::fit(&trainer, &data, &labels, &ExecContext::new())?;
+    println!(
+        "M3 (single machine, mmap): accuracy {:.3}",
+        m3_model.accuracy(&data, &labels)
+    );
 
     for instances in [4usize, 8] {
         let cluster = SimCluster::new(ClusterConfig::emr_m3_2xlarge(instances))?;
@@ -47,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nProjected runtimes for 10 iterations over 190 GB (cost model):");
     let dataset_bytes = 190_000_000_000u64;
     for (name, profile, m3_paper) in [
-        ("logistic regression (L-BFGS)", WorkloadProfile::logistic_regression(), 1950.0),
+        (
+            "logistic regression (L-BFGS)",
+            WorkloadProfile::logistic_regression(),
+            1950.0,
+        ),
         ("k-means", WorkloadProfile::kmeans(), 1164.0),
     ] {
         print!("  {name:32}  M3 (paper): {m3_paper:6.0}s");
@@ -62,7 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         println!();
     }
-    println!("\nThe simulated cluster computes the same models as M3; it is just slower per dollar");
+    println!(
+        "\nThe simulated cluster computes the same models as M3; it is just slower per dollar"
+    );
     println!("for moderately-sized datasets, which is the paper's Figure 1b message.");
     Ok(())
 }

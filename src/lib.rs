@@ -6,14 +6,24 @@
 //!
 //! | Module | Crate | Role |
 //! |--------|-------|------|
-//! | [`core`] | `m3-core` | memory-mapped matrices, `mmap_alloc`, dataset container, access hints & traces (the paper's contribution) |
+//! | [`core`] | `m3-core` | memory-mapped matrices, `mmap_alloc`, dataset container, access hints & traces, the shared [`ExecContext`](core::ExecContext) execution layer (the paper's contribution) |
 //! | [`linalg`] | `m3-linalg` | dense vectors/matrices and BLAS-lite kernels |
 //! | [`data`] | `m3-data` | Infimnist-like generator, blobs, CSV/libsvm, streaming writers |
 //! | [`optim`] | `m3-optim` | L-BFGS, line searches, GD, SGD |
-//! | [`ml`] | `m3-ml` | logistic regression, softmax, k-means, linear regression, naive Bayes |
+//! | [`ml`] | `m3-ml` | the [`Estimator`](ml::api::Estimator)/[`Model`](ml::api::Model) API: logistic regression, softmax, k-means, linear regression, naive Bayes, scalers |
 //! | [`vmsim`] | `m3-vmsim` | page-cache + SSD simulator behind Figure 1a |
 //! | [`cluster`] | `m3-cluster` | bulk-synchronous Spark-baseline simulator behind Figure 1b |
 //! | [`graph`] | `m3-graph` | memory-mapped PageRank / connected components extension |
+//!
+//! ## The two one-line changes
+//!
+//! M3's claim (Table 1 of the paper) is that moving a workload from RAM to a
+//! memory-mapped file is a **one-line change** because algorithms are written
+//! against one storage trait ([`RowStore`](core::RowStore)).  This workspace
+//! extends the same philosophy to execution: every estimator trains through
+//! [`Estimator::fit(&self, data, labels, &ExecContext)`](ml::api::Estimator::fit),
+//! so changing *how* training runs (threads, chunk size, `madvise` policy,
+//! tracing) is one `ExecContext` change — never a per-model edit.
 //!
 //! ## Quickstart
 //!
@@ -30,11 +40,11 @@
 //! let dataset = Dataset::open(&path).unwrap();
 //! let labels: Vec<f64> = dataset.labels().unwrap().to_vec();
 //!
-//! // 3. Train exactly as if the data were in RAM.
-//! let model = SoftmaxRegression::new(SoftmaxConfig::default())
-//!     .fit(&dataset, &labels)
-//!     .unwrap();
-//! assert!(model.accuracy(&dataset, &labels) > 0.5);
+//! // 3. Train through the estimator API, exactly as if the data were in RAM.
+//! let ctx = ExecContext::new();
+//! let trainer = SoftmaxRegression::new(SoftmaxConfig::default());
+//! let model = Estimator::fit(&trainer, &dataset, &labels, &ctx).unwrap();
+//! assert!(model.score(&dataset, &labels) > 0.5);
 //! ```
 
 pub use m3_cluster as cluster;
@@ -48,12 +58,16 @@ pub use m3_vmsim as vmsim;
 
 /// The most commonly used items, re-exported for glob import.
 pub mod prelude {
-    pub use m3_core::{mmap_alloc, mmap_alloc_mut, AccessPattern, Dataset, MmapMatrix, RowStore};
+    pub use m3_core::{
+        mmap_alloc, mmap_alloc_mut, AccessPattern, Dataset, ExecContext, MmapMatrix, RowStore,
+    };
     pub use m3_data::{GaussianBlobs, InfimnistLike, LinearProblem, RowGenerator};
     pub use m3_linalg::{DenseMatrix, MatrixView, Vector};
+    pub use m3_ml::api::{Estimator, Fit, Model, UnsupervisedEstimator};
     pub use m3_ml::{
         KMeans, KMeansConfig, KMeansInit, KMeansModel, LogisticConfig, LogisticModel,
-        LogisticRegression, SoftmaxConfig, SoftmaxModel, SoftmaxRegression,
+        LogisticRegression, SoftmaxConfig, SoftmaxModel, SoftmaxRegression, StandardScaler,
+        Standardizer,
     };
     pub use m3_optim::{Lbfgs, TerminationCriteria};
     pub use m3_vmsim::{SimConfig, Simulator, StorageDevice};
@@ -65,10 +79,12 @@ mod tests {
     fn facade_reexports_are_wired_up() {
         // Touch one item from every sub-crate so a broken re-export fails to compile.
         let _ = crate::core::PAGE_SIZE;
+        let _ = crate::core::ExecContext::new();
         let _ = crate::linalg::Vector::zeros(1);
         let _ = crate::data::infimnist::N_FEATURES;
         let _ = crate::optim::Lbfgs::new();
         let _ = crate::ml::KMeansConfig::paper();
+        let _ = crate::ml::StandardScaler::new();
         let _ = crate::vmsim::SimConfig::paper_machine();
         let _ = crate::cluster::ClusterConfig::emr_m3_2xlarge(4);
         let _ = crate::graph::csr::GraphBuilder::new(2);

@@ -1,0 +1,284 @@
+//! The Table 1 claim, enforced generically: every estimator in the workspace
+//! produces a **bit-identical** model whether its rows live in a
+//! `DenseMatrix` (RAM), an `MmapMatrix` (raw memory-mapped file) or a
+//! `Dataset` (memory-mapped container) — because the `Estimator` API routes
+//! every data sweep through one `ExecContext`, whose chunking and reduction
+//! order depend only on the data's shape.
+//!
+//! Also holds the `dyn`-compatibility smoke tests for the `Model` trait and
+//! the boxed/erased `RowStore` forms.
+
+use m3::prelude::*;
+
+/// The three storage backings of the same logical matrix.
+struct Backings {
+    dense: DenseMatrix,
+    mapped: MmapMatrix,
+    dataset: Dataset,
+    labels: Vec<f64>,
+    // Keeps the mapped files alive for the duration of the test.
+    _dir: tempfile::TempDir,
+}
+
+/// Materialise `rows` rows of `generator` into all three backings.
+fn backings<G: RowGenerator>(generator: &G, rows: usize) -> Backings {
+    let dir = tempfile::tempdir().unwrap();
+    let (dense, labels) = generator.materialize(rows);
+
+    let raw = dir.path().join("parity.m3");
+    m3::data::writer::write_raw_matrix(generator, &raw, rows).unwrap();
+    let mapped = mmap_alloc(&raw, rows, dense.n_cols()).unwrap();
+
+    let container = dir.path().join("parity.m3ds");
+    m3::data::writer::write_dataset(generator, &container, rows as u64).unwrap();
+    let dataset = Dataset::open(&container).unwrap();
+
+    Backings {
+        dense,
+        mapped,
+        dataset,
+        labels,
+        _dir: dir,
+    }
+}
+
+/// Train `estimator` over all three backings with the same context and hand
+/// the three models to `check`, which asserts their parameters are
+/// bit-identical.
+fn assert_parity<E, G, F>(generator: &G, rows: usize, estimator: &E, check: F)
+where
+    E: Estimator,
+    G: RowGenerator,
+    F: Fn(&E::Model, &E::Model),
+{
+    let b = backings(generator, rows);
+    // Exercise the parallel path with small chunks so multiple chunks exist
+    // even at test scale; determinism must hold regardless.
+    let ctx = ExecContext::new()
+        .with_threads(4)
+        .with_chunk_bytes(m3::core::PAGE_SIZE);
+    let on_dense = Estimator::fit(estimator, &b.dense, &b.labels, &ctx).unwrap();
+    let on_mapped = Estimator::fit(estimator, &b.mapped, &b.labels, &ctx).unwrap();
+    let on_dataset = Estimator::fit(estimator, &b.dataset, &b.labels, &ctx).unwrap();
+    check(&on_dense, &on_mapped);
+    check(&on_dense, &on_dataset);
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{x} != {y}");
+    }
+}
+
+#[test]
+fn logistic_regression_parity() {
+    let generator = LinearProblem::random_classification(10, 0.05, 31);
+    let estimator = LogisticRegression::new(LogisticConfig {
+        max_iterations: 25,
+        ..Default::default()
+    });
+    assert_parity(&generator, 240, &estimator, |a, b| {
+        assert_bits_eq(&a.weights, &b.weights);
+        assert_eq!(a.bias.to_bits(), b.bias.to_bits());
+    });
+}
+
+#[test]
+fn softmax_regression_parity() {
+    let generator = GaussianBlobs::new(4, 6, 12.0, 1.0, 8);
+    let estimator = SoftmaxRegression::new(SoftmaxConfig {
+        n_classes: 4,
+        max_iterations: 15,
+        ..Default::default()
+    });
+    assert_parity(&generator, 200, &estimator, |a, b| {
+        assert_bits_eq(&a.weights, &b.weights);
+    });
+}
+
+#[test]
+fn linear_regression_parity_both_solvers() {
+    let generator = LinearProblem::regression(vec![2.0, -1.0, 0.5, 0.25], 3.0, 0.05, 17);
+    for solver in [
+        m3::ml::linear_regression::Solver::NormalEquations,
+        m3::ml::linear_regression::Solver::GradientDescent,
+    ] {
+        let estimator = m3::ml::linear_regression::LinearRegression::new(
+            m3::ml::linear_regression::LinearRegressionConfig {
+                solver,
+                max_iterations: 300,
+                ..Default::default()
+            },
+        );
+        assert_parity(&generator, 180, &estimator, |a, b| {
+            assert_bits_eq(&a.weights, &b.weights);
+            assert_eq!(a.bias.to_bits(), b.bias.to_bits());
+        });
+    }
+}
+
+#[test]
+fn gaussian_naive_bayes_parity() {
+    let generator = GaussianBlobs::new(3, 5, 10.0, 1.2, 23);
+    let estimator = m3::ml::naive_bayes::GaussianNbTrainer::new(3);
+    assert_parity(&generator, 210, &estimator, |a, b| {
+        assert_bits_eq(&a.means, &b.means);
+        assert_bits_eq(&a.variances, &b.variances);
+        assert_bits_eq(&a.log_priors, &b.log_priors);
+    });
+}
+
+#[test]
+fn kmeans_parity() {
+    let generator = GaussianBlobs::new(5, 8, 25.0, 1.5, 5);
+    // Through the blanket UnsupervisedEstimator→Estimator adapter, so the
+    // same generic harness covers the unsupervised estimators.
+    let estimator = KMeans::new(KMeansConfig {
+        k: 5,
+        max_iterations: 8,
+        tolerance: 0.0,
+        seed: 71,
+        ..Default::default()
+    });
+    assert_parity(&generator, 260, &estimator, |a, b| {
+        assert_bits_eq(a.centroids.as_slice(), b.centroids.as_slice());
+        assert_eq!(a.inertia.to_bits(), b.inertia.to_bits());
+    });
+}
+
+#[test]
+fn standard_scaler_parity() {
+    let generator = GaussianBlobs::new(2, 7, 6.0, 2.0, 41);
+    assert_parity(&generator, 230, &StandardScaler, |a, b| {
+        assert_bits_eq(&a.mean, &b.mean);
+        assert_bits_eq(&a.std_dev, &b.std_dev);
+    });
+}
+
+#[test]
+fn parity_holds_across_thread_counts_too() {
+    // Storage parity is necessary; the ExecContext also guarantees the result
+    // does not depend on how many workers processed the chunks.
+    let generator = LinearProblem::random_classification(6, 0.05, 13);
+    let (x, y) = generator.materialize(300);
+    let estimator = LogisticRegression::new(LogisticConfig {
+        max_iterations: 20,
+        ..Default::default()
+    });
+    let run = |threads: usize| {
+        Estimator::fit(
+            &estimator,
+            &x,
+            &y,
+            &ExecContext::new()
+                .with_threads(threads)
+                .with_chunk_bytes(m3::core::PAGE_SIZE),
+        )
+        .unwrap()
+    };
+    let one = run(1);
+    for threads in [2, 3, 8] {
+        let multi = run(threads);
+        assert_bits_eq(&one.weights, &multi.weights);
+        assert_eq!(one.bias.to_bits(), multi.bias.to_bits());
+    }
+}
+
+#[test]
+fn model_trait_is_dyn_compatible_across_all_models() {
+    let dir = tempfile::tempdir().unwrap();
+    let ctx = ExecContext::new();
+
+    // A classification problem every model family can train on.
+    let generator = GaussianBlobs::new(3, 6, 15.0, 1.0, 3);
+    let (x, y) = generator.materialize(150);
+
+    let logistic_y: Vec<f64> = y.iter().map(|&l| if l < 1.5 { 0.0 } else { 1.0 }).collect();
+    let models: Vec<Box<dyn Model>> = vec![
+        Box::new(
+            Estimator::fit(
+                &LogisticRegression::new(LogisticConfig::default()),
+                &x,
+                &logistic_y,
+                &ctx,
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            Estimator::fit(
+                &SoftmaxRegression::new(SoftmaxConfig {
+                    n_classes: 3,
+                    max_iterations: 20,
+                    ..Default::default()
+                }),
+                &x,
+                &y,
+                &ctx,
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            Estimator::fit(
+                &m3::ml::linear_regression::LinearRegression::default(),
+                &x,
+                &y,
+                &ctx,
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            Estimator::fit(
+                &m3::ml::naive_bayes::GaussianNbTrainer::new(3),
+                &x,
+                &y,
+                &ctx,
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            UnsupervisedEstimator::fit(
+                &KMeans::new(KMeansConfig {
+                    k: 3,
+                    ..Default::default()
+                }),
+                &x,
+                &ctx,
+            )
+            .unwrap(),
+        ),
+    ];
+
+    // Every erased model predicts over every backing through &dyn RowStore.
+    let mapped = m3::core::alloc::persist_matrix(dir.path().join("dyn.m3"), &x).unwrap();
+    for model in &models {
+        assert_eq!(model.n_features(), 6);
+        let from_dense = model.predict_batch(&x);
+        let from_mapped = model.predict_batch(&mapped);
+        assert_eq!(from_dense.len(), 150);
+        assert_eq!(from_dense, from_mapped);
+        for (r, p) in from_dense.iter().enumerate().take(10) {
+            assert_eq!(*p, model.predict_row(x.row(r)));
+        }
+        // score() is callable through the erased interface for all of them.
+        let _ = model.score(&x, &y);
+    }
+}
+
+#[test]
+fn estimators_accept_boxed_trait_object_stores() {
+    // `impl RowStore for Box<T>` + the blanket `&T` impl mean an erased,
+    // boxed store drops straight into the generic Estimator API.
+    let generator = LinearProblem::random_classification(5, 0.05, 19);
+    let (x, y) = generator.materialize(120);
+    let erased: Box<dyn RowStore + Sync> = Box::new(x.clone());
+
+    let estimator = LogisticRegression::new(LogisticConfig {
+        max_iterations: 15,
+        ..Default::default()
+    });
+    let ctx = ExecContext::new();
+    let from_erased = Estimator::fit(&estimator, &erased, &y, &ctx).unwrap();
+    let from_dense = Estimator::fit(&estimator, &x, &y, &ctx).unwrap();
+    assert_bits_eq(&from_erased.weights, &from_dense.weights);
+}

@@ -1,11 +1,10 @@
 //! Cross-crate integration tests: dataset generation → on-disk container →
 //! memory-mapped training → evaluation, exercising the full M3 pipeline the
-//! way a downstream user would.
+//! way a downstream user would — through the `Estimator`/`ExecContext` API.
 
-use m3::prelude::*;
 use m3::data::split::{gather_rows, train_test_split};
 use m3::ml::naive_bayes::GaussianNbTrainer;
-use m3::ml::preprocess::Standardizer;
+use m3::prelude::*;
 
 /// Build a labelled Infimnist-like container on disk and return its path.
 fn build_dataset(dir: &tempfile::TempDir, rows: u64, seed: u64) -> std::path::PathBuf {
@@ -26,19 +25,21 @@ fn softmax_trained_on_mmap_dataset_generalises_to_held_out_rows() {
     let (train_x, train_y) = gather_rows(&dataset, &split.train, Some(&labels));
     let (test_x, test_y) = gather_rows(&dataset, &split.test, Some(&labels));
 
-    let model = SoftmaxRegression::new(SoftmaxConfig {
+    let trainer = SoftmaxRegression::new(SoftmaxConfig {
         n_classes: 10,
         max_iterations: 40,
-        n_threads: 2,
         ..Default::default()
-    })
-    .fit(&train_x, train_y.as_ref().unwrap())
-    .unwrap();
+    });
+    let ctx = ExecContext::new().with_threads(2);
+    let model = Estimator::fit(&trainer, &train_x, train_y.as_ref().unwrap(), &ctx).unwrap();
 
     let train_acc = model.accuracy(&train_x, train_y.as_ref().unwrap());
     let test_acc = model.accuracy(&test_x, test_y.as_ref().unwrap());
     assert!(train_acc > 0.7, "train accuracy {train_acc}");
-    assert!(test_acc > 0.5, "test accuracy {test_acc} should beat chance (0.1) clearly");
+    assert!(
+        test_acc > 0.5,
+        "test accuracy {test_acc} should beat chance (0.1) clearly"
+    );
 }
 
 #[test]
@@ -58,25 +59,26 @@ fn logistic_regression_identical_over_ram_mmap_and_dataset_container() {
     m3::data::writer::write_dataset(&problem, &container, 400).unwrap();
     let dataset = Dataset::open(&container).unwrap();
 
-    let config = LogisticConfig {
+    let trainer = LogisticRegression::new(LogisticConfig {
         max_iterations: 60,
-        n_threads: 2,
         ..Default::default()
-    };
-    let a = LogisticRegression::new(config.clone()).fit(&in_memory, &labels).unwrap();
-    let b = LogisticRegression::new(config.clone()).fit(&mapped, &labels).unwrap();
-    let c = LogisticRegression::new(config)
-        .fit(&dataset, &dataset.labels().unwrap().to_vec())
-        .unwrap();
+    });
+    let ctx = ExecContext::new().with_threads(2);
+    let a = Estimator::fit(&trainer, &in_memory, &labels, &ctx).unwrap();
+    let b = Estimator::fit(&trainer, &mapped, &labels, &ctx).unwrap();
+    let c = Estimator::fit(&trainer, &dataset, dataset.labels().unwrap(), &ctx).unwrap();
 
+    // The shared ExecContext fixes the chunking and reduction order, so the
+    // three storage backends produce bit-identical models (the parity suite
+    // checks this exhaustively; this is the end-to-end smoke version).
     for (x, y) in a.weights.iter().zip(&b.weights) {
-        assert!((x - y).abs() < 1e-10);
+        assert_eq!(x.to_bits(), y.to_bits());
     }
     for (x, y) in a.weights.iter().zip(&c.weights) {
-        assert!((x - y).abs() < 1e-10);
+        assert_eq!(x.to_bits(), y.to_bits());
     }
-    assert!((a.bias - b.bias).abs() < 1e-10);
-    assert!((a.bias - c.bias).abs() < 1e-10);
+    assert_eq!(a.bias.to_bits(), b.bias.to_bits());
+    assert_eq!(a.bias.to_bits(), c.bias.to_bits());
     assert!(a.accuracy(&in_memory, &labels) > 0.9);
 }
 
@@ -88,7 +90,8 @@ fn kmeans_paper_protocol_runs_over_container_and_separates_blobs() {
     m3::data::writer::write_dataset(&generator, &path, 600).unwrap();
     let dataset = Dataset::open(&path).unwrap();
 
-    let model = KMeans::new(KMeansConfig::paper()).fit(&dataset).unwrap();
+    let trainer = KMeans::new(KMeansConfig::paper());
+    let model = UnsupervisedEstimator::fit(&trainer, &dataset, &ExecContext::new()).unwrap();
     assert_eq!(model.iterations, 10);
     assert_eq!(model.k(), 5);
 
@@ -115,7 +118,8 @@ fn standardizer_and_naive_bayes_work_over_mapped_features() {
     let dataset = Dataset::open(&path).unwrap();
     let labels: Vec<f64> = dataset.labels().unwrap().to_vec();
 
-    let standardizer = Standardizer::fit(&dataset, 2).unwrap();
+    let ctx = ExecContext::new().with_threads(2);
+    let standardizer = UnsupervisedEstimator::fit(&StandardScaler, &dataset, &ctx).unwrap();
     assert_eq!(standardizer.n_features(), 8);
     let transformed = standardizer.transform_to_matrix(&dataset);
     let stats = m3::linalg::stats::ColumnStats::compute(&transformed.view());
@@ -123,7 +127,7 @@ fn standardizer_and_naive_bayes_work_over_mapped_features() {
         assert!(stats.mean[c].abs() < 1e-9);
     }
 
-    let model = GaussianNbTrainer::new(3).fit(&dataset, &labels).unwrap();
+    let model = Estimator::fit(&GaussianNbTrainer::new(3), &dataset, &labels, &ctx).unwrap();
     assert!(model.accuracy(&dataset, &labels) > 0.95);
 }
 
@@ -136,18 +140,62 @@ fn touch_stats_report_every_training_sweep() {
     let labels = m3::data::writer::write_raw_matrix(&problem, &raw, 200).unwrap();
 
     let stats = m3::core::stats::TouchStats::new_shared();
-    let mapped = mmap_alloc(&raw, 200, 8).unwrap().with_stats(Arc::clone(&stats));
-    let model = LogisticRegression::new(LogisticConfig {
+    let mapped = mmap_alloc(&raw, 200, 8)
+        .unwrap()
+        .with_stats(Arc::clone(&stats));
+    let trainer = LogisticRegression::new(LogisticConfig {
         max_iterations: 5,
         fixed_iterations: true,
-        n_threads: 1,
         ..Default::default()
-    })
-    .fit(&mapped, &labels)
-    .unwrap();
+    });
+    let model = Estimator::fit(&trainer, &mapped, &labels, &ExecContext::serial()).unwrap();
 
     // Every objective/gradient evaluation sweeps all 200 rows exactly once.
     let expected_rows = model.optimization.function_evaluations as u64 * 200;
     assert_eq!(stats.rows_read(), expected_rows);
     assert_eq!(stats.bytes_read(), expected_rows * 8 * 8);
+}
+
+#[test]
+fn access_tracer_hooks_record_training_sweeps_for_the_simulator() {
+    // The ExecContext tracer hook closes the loop the paper's ongoing-work
+    // section describes: record the page-level access pattern of a real
+    // training run, then replay it against the simulated page cache.
+    use std::sync::Arc;
+    let dir = tempfile::tempdir().unwrap();
+    let problem = LinearProblem::random_classification(8, 0.05, 13);
+    let raw = dir.path().join("trace.m3");
+    let labels = m3::data::writer::write_raw_matrix(&problem, &raw, 300).unwrap();
+    let mapped = mmap_alloc(&raw, 300, 8).unwrap();
+
+    let tracer = Arc::new(m3::core::trace::AccessTracer::for_matrix(300, 8));
+    let ctx = ExecContext::serial().with_tracer(Arc::clone(&tracer));
+    let trainer = LogisticRegression::new(LogisticConfig {
+        max_iterations: 3,
+        fixed_iterations: true,
+        ..Default::default()
+    });
+    let model = Estimator::fit(&trainer, &mapped, &labels, &ctx).unwrap();
+
+    let trace = tracer.snapshot();
+    assert!(!trace.is_empty());
+    // Every full-data sweep records the same chunk sequence, so the total is
+    // an exact multiple of the sweep count, and each sweep covers at least
+    // every page of the region (chunk boundaries that land mid-page count
+    // the shared page for both neighbouring chunks).
+    let region_pages = trace.region_pages();
+    let sweeps = model.optimization.function_evaluations as u64;
+    assert_eq!(trace.total_page_touches() % sweeps, 0);
+    let touches_per_sweep = trace.total_page_touches() / sweeps;
+    assert!(
+        touches_per_sweep >= region_pages,
+        "each sweep must touch every page: {touches_per_sweep} < {region_pages}"
+    );
+
+    // Replay the recorded trace against the simulated page cache.
+    let report = Simulator::new(SimConfig::paper_machine()).replay(&trace);
+    assert_eq!(
+        report.bytes_touched,
+        trace.total_page_touches() * m3::core::PAGE_SIZE as u64
+    );
 }

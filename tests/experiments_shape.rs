@@ -2,9 +2,9 @@
 //! who wins, by roughly what factor, and where the crossovers fall.  These are
 //! the machine-checked versions of the claims recorded in EXPERIMENTS.md.
 
+use m3::vmsim::SimConfig;
 use m3_bench::workload::{Algorithm, SweepProfile};
 use m3_bench::{fig1a, fig1b, paper_numbers, FIG1A_SIZES_GB};
-use m3::vmsim::SimConfig;
 
 fn measured_profile() -> SweepProfile {
     SweepProfile::measure(250, paper_numbers::ITERATIONS, 7)
@@ -12,7 +12,11 @@ fn measured_profile() -> SweepProfile {
 
 #[test]
 fn e2_figure_1a_linear_scaling_with_steeper_out_of_core_slope() {
-    let result = fig1a::run_sweep(&FIG1A_SIZES_GB, &measured_profile(), &SimConfig::paper_machine());
+    let result = fig1a::run_sweep(
+        &FIG1A_SIZES_GB,
+        &measured_profile(),
+        &SimConfig::paper_machine(),
+    );
 
     // Runtime grows monotonically with dataset size.
     for pair in result.points.windows(2) {
@@ -33,7 +37,11 @@ fn e2_figure_1a_linear_scaling_with_steeper_out_of_core_slope() {
 
 #[test]
 fn e5_out_of_core_runs_are_io_bound_with_low_cpu_utilisation() {
-    let result = fig1a::run_sweep(&FIG1A_SIZES_GB, &measured_profile(), &SimConfig::paper_machine());
+    let result = fig1a::run_sweep(
+        &FIG1A_SIZES_GB,
+        &measured_profile(),
+        &SimConfig::paper_machine(),
+    );
     for point in result.points.iter().filter(|p| p.out_of_core) {
         assert!(point.io_utilization > 0.95, "disk should be ~100% busy");
         assert!(point.cpu_utilization < 0.25, "CPU should be lightly used");
@@ -67,7 +75,10 @@ fn e3_e4_figure_1b_orderings_and_ratios() {
         let spark8 = result.get(algorithm, "8x Spark").unwrap().runtime_seconds;
 
         // Ordering: M3 fastest, then 8-instance, then 4-instance Spark.
-        assert!(m3_time < spark8, "{algorithm:?}: M3 {m3_time} vs 8x {spark8}");
+        assert!(
+            m3_time < spark8,
+            "{algorithm:?}: M3 {m3_time} vs 8x {spark8}"
+        );
         assert!(spark8 < spark4);
 
         // Rough factors match the paper within a factor of ~1.6.
@@ -100,7 +111,10 @@ fn e8_ablations_read_ahead_and_device_speed_matter() {
     let first = devices.first().unwrap();
     let last = devices.last().unwrap();
     assert!(first.label.contains("HDD"));
-    assert!(last.wall_seconds < first.wall_seconds / 5.0, "fast flash should crush the HDD");
+    assert!(
+        last.wall_seconds < first.wall_seconds / 5.0,
+        "fast flash should crush the HDD"
+    );
 }
 
 #[test]

@@ -1,42 +1,49 @@
-//! Property-based tests (proptest) over the core invariants of the workspace:
+//! Randomised property tests over the core invariants of the workspace:
 //! storage round-trips, in-memory/mmap equivalence, optimiser and clustering
 //! invariants, and the paging-simulator cache bounds.
+//!
+//! Originally written with `proptest`; this build environment is offline, so
+//! the cases are now driven by seeded loops over the vendored `rand` — the
+//! invariants checked are unchanged.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use m3::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    /// Writing any matrix to a file and mapping it back yields identical bytes,
-    /// and every row view matches the source row.
-    #[test]
-    fn mmap_round_trip_preserves_every_row(
-        rows in 1usize..40,
-        cols in 1usize..24,
-        seed in any::<u32>(),
-    ) {
+/// Writing any matrix to a file and mapping it back yields identical bytes,
+/// and every row view matches the source row.
+#[test]
+fn mmap_round_trip_preserves_every_row() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let rows = rng.gen_range(1usize..40);
+        let cols = rng.gen_range(1usize..24);
+        let seed: u32 = rng.gen_range(0u32..u32::MAX);
         let data: Vec<f64> = (0..rows * cols)
             .map(|i| ((i as u64 + seed as u64) % 1000) as f64 * 0.25 - 100.0)
             .collect();
         let matrix = DenseMatrix::from_vec(data, rows, cols).unwrap();
         let dir = tempfile::tempdir().unwrap();
         let mapped = m3::core::alloc::persist_matrix(dir.path().join("p.m3"), &matrix).unwrap();
-        prop_assert_eq!(mapped.shape(), matrix.shape());
-        prop_assert_eq!(mapped.as_slice(), matrix.as_slice());
+        assert_eq!(mapped.shape(), matrix.shape());
+        assert_eq!(mapped.as_slice(), matrix.as_slice());
         for r in 0..rows {
-            prop_assert_eq!(RowStore::row(&mapped, r), matrix.row(r));
+            assert_eq!(RowStore::row(&mapped, r), matrix.row(r));
         }
     }
+}
 
-    /// The dataset container preserves features and labels exactly.
-    #[test]
-    fn dataset_container_round_trip(
-        rows in 1usize..30,
-        cols in 1usize..16,
-        label_scale in 0u8..10,
-    ) {
+/// The dataset container preserves features and labels exactly.
+#[test]
+fn dataset_container_round_trip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1000 + case);
+        let rows = rng.gen_range(1usize..30);
+        let cols = rng.gen_range(1usize..16);
+        let label_scale = rng.gen_range(0usize..10);
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("c.m3ds");
         let mut builder = m3::core::builder::DatasetBuilder::create(&path, cols).unwrap();
@@ -44,110 +51,142 @@ proptest! {
         let mut expected_labels = Vec::new();
         for r in 0..rows {
             let row: Vec<f64> = (0..cols).map(|c| (r * cols + c) as f64 * 0.5).collect();
-            let label = (r % (label_scale as usize + 1)) as f64;
+            let label = (r % (label_scale + 1)) as f64;
             builder.push_row(&row, Some(label)).unwrap();
             expected_rows.push(row);
             expected_labels.push(label);
         }
         builder.finish().unwrap();
         let dataset = Dataset::open(&path).unwrap();
-        prop_assert_eq!(dataset.n_rows(), rows);
-        prop_assert_eq!(dataset.labels().unwrap(), &expected_labels[..]);
-        for r in 0..rows {
-            prop_assert_eq!(RowStore::row(&dataset, r), &expected_rows[r][..]);
+        assert_eq!(dataset.n_rows(), rows);
+        assert_eq!(dataset.labels().unwrap(), &expected_labels[..]);
+        for (r, expected) in expected_rows.iter().enumerate() {
+            assert_eq!(RowStore::row(&dataset, r), &expected[..]);
         }
     }
+}
 
-    /// The logistic loss gradient always matches central differences.
-    #[test]
-    fn logistic_gradient_matches_numerical_everywhere(
-        seed in any::<u64>(),
-        l2 in 0.0f64..0.5,
-    ) {
-        let (x, y) = LinearProblem::random_classification(4, 0.1, seed % 1000).materialize(40);
-        let loss = m3::ml::logistic::LogisticLoss::new(&x, &y, l2, 1);
-        let w: Vec<f64> = (0..5).map(|i| ((seed >> i) % 7) as f64 * 0.1 - 0.3).collect();
+/// The logistic loss gradient always matches central differences.
+#[test]
+fn logistic_gradient_matches_numerical_everywhere() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(2000 + case);
+        let seed: u64 = rng.gen_range(0u64..1000);
+        let l2 = rng.gen_range(0.0f64..0.5);
+        let (x, y) = LinearProblem::random_classification(4, 0.1, seed).materialize(40);
+        let ctx = ExecContext::serial();
+        let loss = m3::ml::logistic::LogisticLoss::new(&x, &y, l2, &ctx);
+        let w: Vec<f64> = (0..5)
+            .map(|i| ((seed >> i) % 7) as f64 * 0.1 - 0.3)
+            .collect();
         let err = m3::optim::function::gradient_check(&loss, &w, 1e-5);
-        prop_assert!(err < 1e-5, "gradient error {}", err);
+        assert!(err < 1e-5, "gradient error {err}");
     }
+}
 
-    /// k-means inertia never increases from one Lloyd iteration to the next.
-    #[test]
-    fn kmeans_inertia_is_monotone(seed in any::<u64>(), k in 2usize..5) {
+/// k-means inertia never increases from one Lloyd iteration to the next.
+#[test]
+fn kmeans_inertia_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(3000 + case);
+        let seed: u64 = rng.gen_range(0u64..u64::MAX / 2);
+        let k = rng.gen_range(2usize..5);
         let (x, _) = GaussianBlobs::new(k, 4, 15.0, 1.0, seed % 512).materialize(80);
-        let model = KMeans::new(KMeansConfig {
+        let trainer = KMeans::new(KMeansConfig {
             k,
             max_iterations: 12,
             tolerance: 0.0,
             seed: seed.wrapping_add(1),
-            n_threads: 1,
             ..Default::default()
-        })
-        .fit(&x)
-        .unwrap();
+        });
+        let model = UnsupervisedEstimator::fit(&trainer, &x, &ExecContext::new()).unwrap();
         let mut previous = f64::INFINITY;
         for &inertia in &model.inertia_history {
-            prop_assert!(inertia <= previous + 1e-9);
+            assert!(inertia <= previous + 1e-9);
             previous = inertia;
         }
     }
+}
 
-    /// L-BFGS never increases a convex quadratic objective between iterations
-    /// and ends close to its optimum.
-    #[test]
-    fn lbfgs_descends_convex_quadratics(
-        scale in prop::collection::vec(0.1f64..5.0, 2..6),
-        shift in prop::collection::vec(-3.0f64..3.0, 2..6),
-    ) {
-        let d = scale.len().min(shift.len());
-        let scale = scale[..d].to_vec();
-        let center = shift[..d].to_vec();
-        struct Quad { scale: Vec<f64>, center: Vec<f64> }
-        impl m3::optim::DifferentiableFunction for Quad {
-            fn dimension(&self) -> usize { self.scale.len() }
-            fn value(&self, w: &[f64]) -> f64 {
-                w.iter().zip(&self.scale).zip(&self.center)
-                    .map(|((wi, a), c)| a * (wi - c).powi(2)).sum()
-            }
-            fn gradient(&self, w: &[f64], g: &mut [f64]) {
-                for i in 0..w.len() { g[i] = 2.0 * self.scale[i] * (w[i] - self.center[i]); }
+/// L-BFGS never increases a convex quadratic objective between iterations
+/// and ends close to its optimum.
+#[test]
+fn lbfgs_descends_convex_quadratics() {
+    struct Quad {
+        scale: Vec<f64>,
+        center: Vec<f64>,
+    }
+    impl m3::optim::DifferentiableFunction for Quad {
+        fn dimension(&self) -> usize {
+            self.scale.len()
+        }
+        fn value(&self, w: &[f64]) -> f64 {
+            w.iter()
+                .zip(&self.scale)
+                .zip(&self.center)
+                .map(|((wi, a), c)| a * (wi - c).powi(2))
+                .sum()
+        }
+        fn gradient(&self, w: &[f64], g: &mut [f64]) {
+            for i in 0..w.len() {
+                g[i] = 2.0 * self.scale[i] * (w[i] - self.center[i]);
             }
         }
-        let f = Quad { scale, center: center.clone() };
+    }
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(4000 + case);
+        let d = rng.gen_range(2usize..6);
+        let scale: Vec<f64> = (0..d).map(|_| rng.gen_range(0.1f64..5.0)).collect();
+        let center: Vec<f64> = (0..d).map(|_| rng.gen_range(-3.0f64..3.0)).collect();
+        let f = Quad {
+            scale,
+            center: center.clone(),
+        };
         let result = Lbfgs::new().run(&f, vec![0.0; d]);
         let mut previous = f64::INFINITY;
         for &v in &result.value_history {
-            prop_assert!(v <= previous + 1e-9);
+            assert!(v <= previous + 1e-9);
             previous = v;
         }
         for (w, c) in result.weights.iter().zip(&center) {
-            prop_assert!((w - c).abs() < 1e-3, "weight {} vs centre {}", w, c);
+            assert!((w - c).abs() < 1e-3, "weight {w} vs centre {c}");
         }
     }
+}
 
-    /// The simulated page cache never reports more hits+misses than accesses
-    /// and never exceeds its capacity.
-    #[test]
-    fn page_cache_invariants(capacity in 1usize..64, accesses in prop::collection::vec(0u64..128, 1..200)) {
+/// The simulated page cache never reports more hits+misses than accesses and
+/// never exceeds its capacity.
+#[test]
+fn page_cache_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(5000 + case);
+        let capacity = rng.gen_range(1usize..64);
+        let n_accesses = rng.gen_range(1usize..200);
+        let accesses: Vec<u64> = (0..n_accesses).map(|_| rng.gen_range(0u64..128)).collect();
         let mut cache = m3::vmsim::PageCache::new(capacity);
         for &page in &accesses {
             cache.access(page);
-            prop_assert!(cache.len() <= capacity);
+            assert!(cache.len() <= capacity);
         }
         let stats = cache.stats();
-        prop_assert_eq!(stats.hits + stats.misses, accesses.len() as u64);
-        prop_assert!(stats.evictions <= stats.misses);
+        assert_eq!(stats.hits + stats.misses, accesses.len() as u64);
+        assert!(stats.evictions <= stats.misses);
     }
+}
 
-    /// Row-range splitting covers every row exactly once for any inputs.
-    #[test]
-    fn split_rows_partitions_exactly(n_rows in 0usize..500, n_chunks in 0usize..17) {
+/// Row-range splitting covers every row exactly once for any inputs.
+#[test]
+fn split_rows_partitions_exactly() {
+    for case in 0..CASES * 4 {
+        let mut rng = StdRng::seed_from_u64(6000 + case);
+        let n_rows = rng.gen_range(0usize..500);
+        let n_chunks = rng.gen_range(0usize..17);
         let ranges = m3::linalg::parallel::split_rows(n_rows, n_chunks);
         let total: usize = ranges.iter().map(|r| r.len()).sum();
-        prop_assert_eq!(total, n_rows);
+        assert_eq!(total, n_rows);
         let mut previous_end = 0;
         for r in &ranges {
-            prop_assert_eq!(r.start, previous_end);
+            assert_eq!(r.start, previous_end);
             previous_end = r.end;
         }
     }

@@ -1,0 +1,235 @@
+//! In-tree stand-in for the [`memmap2`](https://crates.io/crates/memmap2)
+//! crate, used because this build environment has no network access to the
+//! crates.io registry.
+//!
+//! It is **not** an emulation: mappings are created with the real `mmap(2)`
+//! syscall (issued directly, since `libc` is equally unavailable), so the
+//! memory-mapping behaviour the M3 paper studies — demand paging, OS
+//! read-ahead, `madvise` hints, `msync` write-back — is the genuine article.
+//! Only the subset of the memmap2 0.9 API that this workspace uses is
+//! provided: [`Mmap`], [`MmapMut`] and [`Advice`].
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::fs::File;
+use std::io;
+use std::ops::{Deref, DerefMut};
+use std::os::unix::io::AsRawFd;
+
+mod sys;
+
+/// `madvise(2)` advice values (the non-destructive subset memmap2 exposes as
+/// `memmap2::Advice`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(i32)]
+pub enum Advice {
+    /// `MADV_NORMAL`
+    Normal = 0,
+    /// `MADV_RANDOM`
+    Random = 1,
+    /// `MADV_SEQUENTIAL`
+    Sequential = 2,
+    /// `MADV_WILLNEED`
+    WillNeed = 3,
+}
+
+/// A read-only memory map of a file.
+#[derive(Debug)]
+pub struct Mmap {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is an immutable region owned by this value; the pointer
+// is never aliased mutably through it.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+/// A writable shared memory map of a file.
+#[derive(Debug)]
+pub struct MmapMut {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// SAFETY: `&MmapMut` only hands out shared slices and `&mut MmapMut` is
+// required for mutation, so the usual borrow rules apply.
+unsafe impl Send for MmapMut {}
+unsafe impl Sync for MmapMut {}
+
+fn map_file(file: &File, writable: bool) -> io::Result<(*mut u8, usize)> {
+    let len = file.metadata()?.len();
+    if len > usize::MAX as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "file too large to map",
+        ));
+    }
+    let len = len as usize;
+    if len == 0 {
+        // memmap2 maps empty files as a dangling, well-aligned empty region.
+        return Ok((std::ptr::NonNull::<u8>::dangling().as_ptr(), 0));
+    }
+    let prot = if writable {
+        sys::PROT_READ | sys::PROT_WRITE
+    } else {
+        sys::PROT_READ
+    };
+    // SAFETY: len is non-zero and the fd is valid for the duration of the
+    // call; mmap validates everything else and reports errors via errno.
+    let ptr = unsafe { sys::mmap(len, prot, sys::MAP_SHARED, file.as_raw_fd()) }?;
+    Ok((ptr, len))
+}
+
+impl Mmap {
+    /// Map `file` read-only.
+    ///
+    /// # Safety
+    /// As in memmap2: the caller must ensure the file is not truncated or
+    /// mutably aliased in ways that violate Rust's aliasing rules while the
+    /// map is alive.
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let (ptr, len) = map_file(file, false)?;
+        Ok(Mmap { ptr, len })
+    }
+
+    /// Forward an advice value to `madvise(2)`.
+    pub fn advise(&self, advice: Advice) -> io::Result<()> {
+        if self.len == 0 {
+            return Ok(());
+        }
+        // SAFETY: ptr/len describe a live mapping owned by self.
+        unsafe { sys::madvise(self.ptr, self.len, advice as i32) }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        // SAFETY: ptr/len describe a live mapping owned by self.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: unmapping the region this value owns.
+            unsafe { sys::munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+impl MmapMut {
+    /// Map `file` read-write (shared, so stores reach the file).
+    ///
+    /// # Safety
+    /// As in memmap2: the caller is responsible for external aliasing of the
+    /// underlying file.
+    pub unsafe fn map_mut(file: &File) -> io::Result<MmapMut> {
+        let (ptr, len) = map_file(file, true)?;
+        Ok(MmapMut { ptr, len })
+    }
+
+    /// `msync(MS_SYNC)` the whole mapping back to the file.
+    pub fn flush(&self) -> io::Result<()> {
+        if self.len == 0 {
+            return Ok(());
+        }
+        // SAFETY: ptr/len describe a live mapping owned by self.
+        unsafe { sys::msync(self.ptr, self.len, sys::MS_SYNC) }
+    }
+
+    /// Forward an advice value to `madvise(2)`.
+    pub fn advise(&self, advice: Advice) -> io::Result<()> {
+        if self.len == 0 {
+            return Ok(());
+        }
+        // SAFETY: ptr/len describe a live mapping owned by self.
+        unsafe { sys::madvise(self.ptr, self.len, advice as i32) }
+    }
+}
+
+impl Deref for MmapMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        // SAFETY: ptr/len describe a live mapping owned by self.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl DerefMut for MmapMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        // SAFETY: ptr/len describe a live mapping owned by self; &mut self
+        // guarantees exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+impl Drop for MmapMut {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // Dirty pages persist via the shared mapping even without an
+            // explicit flush; msync is only needed for durability ordering.
+            // SAFETY: unmapping the region this value owns.
+            unsafe { sys::munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("memmap2-sub-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn read_only_map_sees_file_contents() {
+        let path = temp_path("ro");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(b"hello mmap")
+            .unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert_eq!(&map[..], b"hello mmap");
+        map.advise(Advice::Sequential).unwrap();
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mutable_map_writes_reach_file() {
+        let path = temp_path("rw");
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        file.set_len(8).unwrap();
+        let mut map = unsafe { MmapMut::map_mut(&file) }.unwrap();
+        map[..8].copy_from_slice(b"12345678");
+        map.flush().unwrap();
+        drop(map);
+        assert_eq!(std::fs::read(&path).unwrap(), b"12345678");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_as_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let file = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&file) }.unwrap();
+        assert!(map.is_empty());
+        map.advise(Advice::Normal).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+}

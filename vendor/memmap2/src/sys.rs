@@ -1,0 +1,151 @@
+//! Raw Linux syscall wrappers for the mapping calls.
+//!
+//! `libc` is not available offline, so the four syscalls this crate needs are
+//! issued directly with inline assembly, following the kernel's syscall ABI
+//! (return values in `[-4095, -1]` encode `-errno`).
+
+use std::io;
+
+pub const PROT_READ: usize = 0x1;
+pub const PROT_WRITE: usize = 0x2;
+pub const MAP_SHARED: usize = 0x01;
+pub const MS_SYNC: usize = 0x4;
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod nr {
+    pub const MMAP: usize = 9;
+    pub const MUNMAP: usize = 11;
+    pub const MSYNC: usize = 26;
+    pub const MADVISE: usize = 28;
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod nr {
+    pub const MMAP: usize = 222;
+    pub const MUNMAP: usize = 215;
+    pub const MSYNC: usize = 227;
+    pub const MADVISE: usize = 233;
+}
+
+#[cfg(not(any(
+    all(target_os = "linux", target_arch = "x86_64"),
+    all(target_os = "linux", target_arch = "aarch64")
+)))]
+compile_error!(
+    "the in-tree memmap2 stand-in only supports Linux x86_64/aarch64; \
+     use the real memmap2 crate on other platforms"
+);
+
+/// Issue a raw 6-argument syscall.
+///
+/// # Safety
+/// The caller must uphold the contract of the specific syscall being made.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+unsafe fn syscall6(
+    n: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    // SAFETY: caller contract; `syscall` clobbers rcx/r11 which are declared.
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+/// Issue a raw 6-argument syscall.
+///
+/// # Safety
+/// The caller must uphold the contract of the specific syscall being made.
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+unsafe fn syscall6(
+    n: usize,
+    a1: usize,
+    a2: usize,
+    a3: usize,
+    a4: usize,
+    a5: usize,
+    a6: usize,
+) -> isize {
+    let ret: isize;
+    // SAFETY: caller contract.
+    unsafe {
+        core::arch::asm!(
+            "svc #0",
+            inlateout("x0") a1 as isize => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            in("x8") n,
+            options(nostack),
+        );
+    }
+    ret
+}
+
+fn check(ret: isize) -> io::Result<usize> {
+    if (-4095..0).contains(&ret) {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+/// `mmap(NULL, len, prot, flags, fd, 0)`.
+///
+/// # Safety
+/// `fd` must be a valid open file descriptor and `len` non-zero.
+pub unsafe fn mmap(len: usize, prot: usize, flags: usize, fd: i32) -> io::Result<*mut u8> {
+    // SAFETY: forwarded caller contract.
+    let ret = unsafe { syscall6(nr::MMAP, 0, len, prot, flags, fd as usize, 0) };
+    check(ret).map(|addr| addr as *mut u8)
+}
+
+/// `munmap(addr, len)`.
+///
+/// # Safety
+/// `addr..addr+len` must be a mapping owned by the caller with no live
+/// references into it.
+pub unsafe fn munmap(addr: *mut u8, len: usize) {
+    // SAFETY: forwarded caller contract.
+    let _ = unsafe { syscall6(nr::MUNMAP, addr as usize, len, 0, 0, 0, 0) };
+}
+
+/// `msync(addr, len, flags)`.
+///
+/// # Safety
+/// `addr..addr+len` must be a live mapping owned by the caller.
+pub unsafe fn msync(addr: *mut u8, len: usize, flags: usize) -> io::Result<()> {
+    // SAFETY: forwarded caller contract.
+    let ret = unsafe { syscall6(nr::MSYNC, addr as usize, len, flags, 0, 0, 0) };
+    check(ret).map(|_| ())
+}
+
+/// `madvise(addr, len, advice)`.
+///
+/// # Safety
+/// `addr..addr+len` must be a live mapping owned by the caller.
+pub unsafe fn madvise(addr: *mut u8, len: usize, advice: i32) -> io::Result<()> {
+    // SAFETY: forwarded caller contract.
+    let ret = unsafe { syscall6(nr::MADVISE, addr as usize, len, advice as usize, 0, 0, 0) };
+    check(ret).map(|_| ())
+}

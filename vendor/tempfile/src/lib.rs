@@ -1,0 +1,80 @@
+//! In-tree stand-in for the [`tempfile`](https://crates.io/crates/tempfile)
+//! crate (no registry access in this build environment).  Only the
+//! [`tempdir`] / [`TempDir`] surface the workspace uses is provided.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp dir, removed (recursively) on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Consume without deleting, returning the path.
+    pub fn into_path(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Create a fresh uniquely-named temporary directory.
+///
+/// # Errors
+/// Propagates directory-creation failures.
+pub fn tempdir() -> io::Result<TempDir> {
+    let base = std::env::temp_dir();
+    let pid = std::process::id();
+    loop {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        // Nanosecond clock mixes in entropy across processes with equal pids.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let candidate = base.join(format!(".m3tmp-{pid}-{n}-{nanos:x}"));
+        match std::fs::create_dir(&candidate) {
+            Ok(()) => return Ok(TempDir { path: candidate }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        assert!(path.is_dir());
+        std::fs::write(path.join("f.txt"), "x").unwrap();
+        drop(dir);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn distinct_paths() {
+        let a = tempdir().unwrap();
+        let b = tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
