@@ -17,6 +17,26 @@
 //! edit in every model, which is the same "one-line change" philosophy the
 //! M3 paper applies to storage, applied to execution.
 //!
+//! ## The worker pool and the serial fallback
+//!
+//! Parallel sweeps run on a **persistent worker pool** owned by the context
+//! (shared by all its clones) and spawned lazily on the first sweep that
+//! needs it.  Waking parked workers costs far less
+//! than the per-sweep thread spawning it replaced, but it is still not free,
+//! so the driver estimates the work per chunk (`chunk_rows × n_cols`
+//! elements) and runs the sweep **serially on the calling thread** whenever
+//! that estimate falls below [`PARALLEL_WORK_THRESHOLD`] — the regime where
+//! the seed benchmarks showed the parallel driver losing to the serial one.
+//! [`ExecContext::with_parallel_threshold`] overrides the threshold (`0`
+//! forces the pool on) and [`ExecContext::sweep_threads`] reports the
+//! decision for a given shape.  The fallback never changes results: the
+//! chunking and fold order are identical either way.
+//!
+//! Workers reuse a per-thread scratch value across all chunks they process
+//! (see [`ExecContext::map_reduce_rows_scratch`]), so per-chunk heap
+//! allocations — score buffers, probability rows — are paid once per worker
+//! per sweep instead of once per chunk.
+//!
 //! ## Determinism
 //!
 //! `map_reduce_rows` always splits the data into the same row-aligned
@@ -29,10 +49,13 @@
 //! the property the paper's Table 1 claims and the workspace's parity suite
 //! enforces.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
 
 use crate::chunked::RowChunk;
+use crate::pool::WorkerPool;
 use crate::storage::RowStore;
 use crate::trace::AccessTracer;
 use crate::{AccessPattern, PAGE_SIZE};
@@ -50,26 +73,75 @@ pub const DEFAULT_CHUNK_BYTES: usize = 8 * 1024 * 1024;
 /// bit-identical-across-thread-counts guarantee is preserved.
 pub const TARGET_PARALLEL_CHUNKS: usize = 64;
 
+/// Default serial-fallback threshold: a parallel sweep must carry at least
+/// this many elements (`f64`s) of work **per chunk** to be worth waking the
+/// worker pool; below it, coordination overhead dominates and the sweep runs
+/// on the calling thread.  64 Ki elements ≈ 512 KiB ≈ tens of microseconds
+/// of kernel work per chunk, comfortably above the pool's wake-up cost.
+pub const PARALLEL_WORK_THRESHOLD: usize = 64 * 1024;
+
+/// Lazily-spawned pool shared by an [`ExecContext`] and all its clones.
+struct LazyPool {
+    /// Configured thread count (`0` = all hardware threads), fixed at
+    /// construction; changing it via `with_threads` swaps the whole pool.
+    threads: usize,
+    inner: OnceLock<WorkerPool>,
+}
+
+impl LazyPool {
+    fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            inner: OnceLock::new(),
+        }
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            m3_linalg::parallel::default_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    fn get(&self) -> &WorkerPool {
+        self.inner
+            .get_or_init(|| WorkerPool::new(self.resolved_threads()))
+    }
+}
+
+impl std::fmt::Debug for LazyPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyPool")
+            .field("threads", &self.threads)
+            .field("spawned", &self.inner.get().is_some())
+            .finish()
+    }
+}
+
 /// Execution policy for data sweeps: thread count, chunk size, access-pattern
-/// advice and optional tracing.
+/// advice, serial-fallback threshold and optional tracing.
 ///
 /// Cheap to clone and to share; all configuration is by-value except the
-/// tracer, which is an `Arc`.
+/// tracer and the worker pool, which are `Arc`s — so every clone of a
+/// context drives its sweeps through the **same** persistent pool.
 #[derive(Debug, Clone)]
 pub struct ExecContext {
-    threads: usize,
     chunk_bytes: usize,
     advice: AccessPattern,
     tracer: Option<Arc<AccessTracer>>,
+    min_parallel_elements: usize,
+    pool: Arc<LazyPool>,
 }
 
 impl Default for ExecContext {
     fn default() -> Self {
         Self {
-            threads: 0,
             chunk_bytes: DEFAULT_CHUNK_BYTES,
             advice: AccessPattern::Sequential,
             tracer: None,
+            min_parallel_elements: PARALLEL_WORK_THRESHOLD,
+            pool: Arc::new(LazyPool::new(0)),
         }
     }
 }
@@ -87,8 +159,15 @@ impl ExecContext {
     }
 
     /// Set the worker thread count; `0` means "all hardware threads".
+    ///
+    /// Changing the count replaces the context's worker pool, so call it
+    /// before the first sweep; clones made earlier keep (and keep using)
+    /// the old pool.  Setting the count it already has is a no-op and
+    /// preserves the existing pool.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads;
+        if self.pool.threads != threads {
+            self.pool = Arc::new(LazyPool::new(threads));
+        }
         self
     }
 
@@ -101,6 +180,16 @@ impl ExecContext {
     /// Set the `madvise`-style hint issued to the store before each sweep.
     pub fn with_advice(mut self, advice: AccessPattern) -> Self {
         self.advice = advice;
+        self
+    }
+
+    /// Set the serial-fallback threshold: parallel sweeps whose estimated
+    /// work per chunk is below `elements` run on the calling thread instead
+    /// of the worker pool.  `0` disables the fallback (always parallel when
+    /// more than one thread and chunk are available); the default is
+    /// [`PARALLEL_WORK_THRESHOLD`].  Results are identical either way.
+    pub fn with_parallel_threshold(mut self, elements: usize) -> Self {
+        self.min_parallel_elements = elements;
         self
     }
 
@@ -118,17 +207,13 @@ impl ExecContext {
 
     /// The configured thread count (`0` = auto).
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pool.threads
     }
 
     /// The thread count actually used: the configured count, or every
     /// available hardware thread when set to `0`.
     pub fn resolve_threads(&self) -> usize {
-        if self.threads == 0 {
-            m3_linalg::parallel::default_threads()
-        } else {
-            self.threads
-        }
+        self.pool.resolved_threads()
     }
 
     /// The page-aligned per-chunk byte budget.
@@ -139,6 +224,11 @@ impl ExecContext {
     /// The configured access-pattern advice.
     pub fn advice(&self) -> AccessPattern {
         self.advice
+    }
+
+    /// The serial-fallback threshold in elements of work per chunk.
+    pub fn parallel_threshold(&self) -> usize {
+        self.min_parallel_elements
     }
 
     /// The attached tracer, if any.
@@ -162,6 +252,26 @@ impl ExecContext {
         self.chunk_rows(n_cols)
             .min(n_rows.div_ceil(TARGET_PARALLEL_CHUNKS))
             .max(1)
+    }
+
+    /// The number of worker threads a `map_reduce_rows` sweep over an
+    /// `n_rows × n_cols` store would use: `1` means the serial fallback (too
+    /// little work per chunk, a single chunk, or a single-threaded context);
+    /// anything larger means the persistent pool is engaged.  This is the
+    /// exact decision procedure the driver itself uses, exposed so tests and
+    /// tooling can assert on it.
+    pub fn sweep_threads(&self, n_rows: usize, n_cols: usize) -> usize {
+        if n_rows == 0 {
+            return 1;
+        }
+        let chunk_rows = self.parallel_chunk_rows(n_rows, n_cols);
+        let n_chunks = n_rows.div_ceil(chunk_rows);
+        let threads = self.resolve_threads().min(n_chunks);
+        if threads <= 1 || chunk_rows.saturating_mul(n_cols) < self.min_parallel_elements {
+            1
+        } else {
+            threads
+        }
     }
 
     /// Issue this context's advice to `data` and note the sweep in the
@@ -190,18 +300,46 @@ impl ExecContext {
         }
     }
 
-    /// Sweep `data` in fixed row chunks (sized from the page-rounded byte
-    /// budget, capped so small datasets still split into
-    /// [`TARGET_PARALLEL_CHUNKS`] pieces), mapping each chunk to a partial
-    /// result on a pool of worker threads and folding the partials **in
-    /// chunk order** with `reduce`.
-    ///
-    /// The chunking and the reduction order depend only on the data's shape
-    /// and this context's chunk size — never on the thread count — so the
-    /// result is bit-identical whether it ran on one thread or sixty-four.
+    /// [`map_reduce_rows_scratch`](Self::map_reduce_rows_scratch) without a
+    /// per-worker scratch value.
     pub fn map_reduce_rows<S, T, Map, Reduce>(
         &self,
         data: &S,
+        map: Map,
+        identity: T,
+        reduce: Reduce,
+    ) -> T
+    where
+        S: RowStore + Sync + ?Sized,
+        T: Send,
+        Map: Fn(RowChunk<'_>) -> T + Sync,
+        Reduce: FnMut(T, T) -> T,
+    {
+        self.map_reduce_rows_scratch(data, || (), |(), chunk| map(chunk), identity, reduce)
+    }
+
+    /// Sweep `data` in fixed row chunks (sized from the page-rounded byte
+    /// budget, capped so small datasets still split into
+    /// [`TARGET_PARALLEL_CHUNKS`] pieces), mapping each chunk to a partial
+    /// result on the persistent worker pool and folding the partials **in
+    /// chunk order** with `reduce`.
+    ///
+    /// Each worker calls `make_scratch` once and passes the same `&mut B` to
+    /// `map` for every chunk it processes, so reusable buffers (scores,
+    /// probabilities) cost one allocation per worker instead of one per
+    /// chunk.  The scratch value must not carry state that affects the
+    /// partials across chunks — partials are still folded in chunk order and
+    /// must not depend on which worker computed them.
+    ///
+    /// When the estimated work per chunk is below the
+    /// [parallel threshold](Self::with_parallel_threshold) — or only one
+    /// thread or chunk is available — the sweep runs on the calling thread
+    /// with identical chunking and fold order, so the result is the same
+    /// bit-for-bit.
+    pub fn map_reduce_rows_scratch<S, B, T, MakeScratch, Map, Reduce>(
+        &self,
+        data: &S,
+        make_scratch: MakeScratch,
         map: Map,
         identity: T,
         mut reduce: Reduce,
@@ -209,7 +347,8 @@ impl ExecContext {
     where
         S: RowStore + Sync + ?Sized,
         T: Send,
-        Map: Fn(RowChunk<'_>) -> T + Sync,
+        MakeScratch: Fn() -> B + Sync,
+        Map: Fn(&mut B, RowChunk<'_>) -> T + Sync,
         Reduce: FnMut(T, T) -> T,
     {
         let n_rows = data.n_rows();
@@ -218,9 +357,20 @@ impl ExecContext {
         }
         self.begin_sweep(data);
 
-        let chunk_rows = self.parallel_chunk_rows(n_rows, data.n_cols());
+        let n_cols = data.n_cols();
+        let chunk_rows = self.parallel_chunk_rows(n_rows, n_cols);
         let n_chunks = n_rows.div_ceil(chunk_rows);
-        let threads = self.resolve_threads().min(n_chunks);
+        // A sweep started from inside another parallel sweep (a `map` or
+        // `reduce` callback) must not touch the pool: `broadcast` would wait
+        // for the outer job to drain, and the outer job is waiting on this
+        // very callback — a deadlock.  Nested sweeps take the serial path,
+        // which is also what the old scoped-thread implementation's CPU
+        // budget amounted to.
+        let threads = if IN_PARALLEL_SWEEP.with(|flag| flag.get()) {
+            1
+        } else {
+            self.sweep_threads(n_rows, n_cols)
+        };
 
         let chunk_at = |index: usize| {
             let start = index * chunk_rows;
@@ -229,118 +379,136 @@ impl ExecContext {
                 start_row: start,
                 end_row: end,
                 data: data.rows_slice(start, end),
-                n_cols: data.n_cols(),
+                n_cols,
             }
         };
 
         if threads <= 1 {
+            let mut scratch = make_scratch();
             let mut acc = identity;
             for index in 0..n_chunks {
                 let chunk = chunk_at(index);
                 self.record(chunk.start_row, chunk.end_row);
-                acc = reduce(acc, map(chunk));
+                acc = reduce(acc, map(&mut scratch, chunk));
             }
             return acc;
         }
 
-        // Work-stealing over an atomic chunk cursor: each worker claims the
-        // next unprocessed chunk, records it in the tracer as it is actually
-        // touched, and streams its partial back over a channel.  The main
-        // thread folds the partials **in chunk order** as they arrive,
-        // buffering out-of-order stragglers.  Workers never claim a chunk
-        // more than `window` ahead of the fold frontier, so live partials
-        // are O(threads + window) even if one chunk stalls for seconds on a
-        // saturated device — never one per chunk, which matters when a
-        // 190 GB sweep produces tens of thousands of gradient-sized
-        // partials.
+        // Work-stealing over an atomic chunk cursor: each pool worker claims
+        // the next unprocessed chunk, records it in the tracer as it is
+        // actually touched, and publishes its partial into a shared ordered
+        // map.  The calling thread folds the partials **in chunk order** as
+        // they arrive.  Workers never claim a chunk more than `window` ahead
+        // of the fold frontier, so live partials are O(threads + window)
+        // even if one chunk stalls for seconds on a saturated device —
+        // never one per chunk, which matters when a 190 GB sweep produces
+        // tens of thousands of gradient-sized partials.
         let cursor = AtomicUsize::new(0);
-        let aborted = std::sync::atomic::AtomicBool::new(false);
+        let aborted = AtomicBool::new(false);
         let window = (threads * 4).max(8);
-        // Fold frontier (next chunk index to fold) behind a condvar so
-        // parked workers sleep instead of burning CPU — on an I/O-stalled
-        // sweep the idle cores belong to the OS read-ahead, not a spin loop.
-        let frontier = (std::sync::Mutex::new(0usize), std::sync::Condvar::new());
-        let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+        let sync = FoldSync {
+            state: Mutex::new(FoldState {
+                pending: BTreeMap::new(),
+                frontier: 0usize,
+            }),
+            partial_ready: Condvar::new(),
+            frontier_moved: Condvar::new(),
+        };
 
-        /// Flags `aborted` when its thread unwinds, so workers parked on the
-        /// frontier back off instead of waiting on a frontier that will
-        /// never advance.  Guards the folding thread (a panicking `reduce`)
-        /// as well as the workers (a panicking `map`); the panic itself is
-        /// re-raised from `join` / scope exit.
-        struct AbortOnPanic<'a>(&'a std::sync::atomic::AtomicBool);
-        impl Drop for AbortOnPanic<'_> {
-            fn drop(&mut self) {
-                if std::thread::panicking() {
-                    self.0.store(true, Ordering::Release);
+        let worker = || {
+            // Wakes the folder (and fellow workers) if `map` panics, so
+            // nobody waits on a frontier that will never advance.
+            let _guard = AbortOnPanic {
+                aborted: &aborted,
+                sync: &sync,
+            };
+            // Any sweep `map` starts on this thread must go serial.
+            let _nested = SweepScopeGuard::enter();
+            let mut scratch = make_scratch();
+            loop {
+                if aborted.load(Ordering::Acquire) {
+                    return;
                 }
-            }
-        }
-
-        std::thread::scope(|scope| {
-            let _fold_guard = AbortOnPanic(&aborted);
-            let mut acc = identity;
-            let map_ref = &map;
-            let cursor_ref = &cursor;
-            let frontier_ref = &frontier;
-            let aborted_ref = &aborted;
-            let mut handles = Vec::with_capacity(threads);
-            for _ in 0..threads {
-                let tx = tx.clone();
-                handles.push(scope.spawn(move || {
-                    let _guard = AbortOnPanic(aborted_ref);
-                    'claims: loop {
-                        let index = cursor_ref.fetch_add(1, Ordering::Relaxed);
-                        if index >= n_chunks {
-                            break;
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= n_chunks {
+                    return;
+                }
+                // Backpressure: wait until the fold frontier is within
+                // `window` of this chunk.  The chunk *at* the frontier is
+                // always admitted, so progress is guaranteed; the timeout
+                // bounds how long an abort can go unnoticed.
+                {
+                    let mut st = sync.state.lock().expect("fold state poisoned");
+                    while index >= st.frontier + window {
+                        if aborted.load(Ordering::Acquire) {
+                            return;
                         }
-                        // Backpressure: wait until the fold frontier is within
-                        // `window` of this chunk.  The chunk *at* the frontier
-                        // is always admitted, so progress is guaranteed; the
-                        // timeout bounds how long an abort can go unnoticed.
-                        let (lock, cvar) = frontier_ref;
-                        let mut f = lock.lock().expect("frontier lock poisoned");
-                        while index >= *f + window {
-                            if aborted_ref.load(Ordering::Acquire) {
-                                break 'claims;
-                            }
-                            (f, _) = cvar
-                                .wait_timeout(f, std::time::Duration::from_millis(20))
-                                .expect("frontier lock poisoned");
-                        }
-                        drop(f);
-                        let chunk = chunk_at(index);
-                        self.record(chunk.start_row, chunk.end_row);
-                        if tx.send((index, map_ref(chunk))).is_err() {
-                            break;
-                        }
+                        (st, _) = sync
+                            .frontier_moved
+                            .wait_timeout(st, Duration::from_millis(20))
+                            .expect("fold state poisoned");
                     }
-                }));
-            }
-            drop(tx);
-
-            let mut next = 0usize;
-            let mut pending: std::collections::BTreeMap<usize, T> =
-                std::collections::BTreeMap::new();
-            while next < n_chunks {
-                // A closed channel here means a worker panicked before
-                // sending; fall through and surface the panic via join.
-                let Ok((index, partial)) = rx.recv() else {
-                    break;
-                };
-                pending.insert(index, partial);
-                while let Some(ready) = pending.remove(&next) {
-                    acc = reduce(acc, ready);
-                    next += 1;
                 }
-                let (lock, cvar) = &frontier;
-                *lock.lock().expect("frontier lock poisoned") = next;
-                cvar.notify_all();
+                let chunk = chunk_at(index);
+                self.record(chunk.start_row, chunk.end_row);
+                let partial = map(&mut scratch, chunk);
+                sync.state
+                    .lock()
+                    .expect("fold state poisoned")
+                    .pending
+                    .insert(index, partial);
+                sync.partial_ready.notify_all();
             }
-            for handle in handles {
-                handle.join().expect("sweep worker panicked");
+        };
+
+        let pool = self.pool.get();
+        let worker_panicked = AtomicBool::new(false);
+        // Any sweep `reduce` starts on this thread must go serial too.
+        let _nested = SweepScopeGuard::enter();
+        let guard = pool.broadcast(threads, &worker, &worker_panicked);
+        // Wakes parked workers if `reduce` panics on this thread; must be
+        // declared after `guard` so it runs *before* the guard's
+        // wait-for-workers on unwind.
+        let _fold_guard = AbortOnPanic {
+            aborted: &aborted,
+            sync: &sync,
+        };
+
+        let mut acc = identity;
+        let mut next = 0usize;
+        let mut batch: Vec<T> = Vec::new();
+        'fold: while next < n_chunks {
+            {
+                let mut st = sync.state.lock().expect("fold state poisoned");
+                while !st.pending.contains_key(&next) {
+                    if aborted.load(Ordering::Acquire) {
+                        // A worker died; stop folding and let the sweep
+                        // guard below surface the panic.
+                        break 'fold;
+                    }
+                    (st, _) = sync
+                        .partial_ready
+                        .wait_timeout(st, Duration::from_millis(20))
+                        .expect("fold state poisoned");
+                }
+                let mut take = next;
+                while let Some(partial) = st.pending.remove(&take) {
+                    batch.push(partial);
+                    take += 1;
+                }
             }
-            acc
-        })
+            for partial in batch.drain(..) {
+                acc = reduce(acc, partial);
+                next += 1;
+            }
+            sync.state.lock().expect("fold state poisoned").frontier = next;
+            sync.frontier_moved.notify_all();
+        }
+        // Re-raises "sweep worker panicked" when a worker died (the only way
+        // the fold loop can exit early).
+        guard.finish();
+        assert_eq!(next, n_chunks, "sweep aborted without a worker panic");
+        acc
     }
 
     /// Map-reduce convenience for side-effect-free row visits that produce no
@@ -351,6 +519,71 @@ impl ExecContext {
         visit: impl Fn(RowChunk<'_>) + Sync,
     ) {
         self.map_reduce_rows(data, visit, (), |_, _| ());
+    }
+}
+
+thread_local! {
+    /// `true` while this thread is inside a parallel sweep — as a pool
+    /// worker running `map`, or as the submitting thread folding partials.
+    /// Sweeps started from such a thread run the serial fallback (see
+    /// [`ExecContext::map_reduce_rows_scratch`]).
+    static IN_PARALLEL_SWEEP: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// RAII scope for [`IN_PARALLEL_SWEEP`]: restores the previous value on
+/// drop (including unwind), so abutting and nested scopes compose.
+struct SweepScopeGuard {
+    previous: bool,
+}
+
+impl SweepScopeGuard {
+    fn enter() -> Self {
+        Self {
+            previous: IN_PARALLEL_SWEEP.with(|flag| flag.replace(true)),
+        }
+    }
+}
+
+impl Drop for SweepScopeGuard {
+    fn drop(&mut self) {
+        let previous = self.previous;
+        IN_PARALLEL_SWEEP.with(|flag| flag.set(previous));
+    }
+}
+
+/// Ordered hand-off point between mapping workers and the folding caller.
+struct FoldSync<T> {
+    state: Mutex<FoldState<T>>,
+    /// Signalled whenever a worker publishes a partial.
+    partial_ready: Condvar,
+    /// Signalled whenever the folder advances the frontier.
+    frontier_moved: Condvar,
+}
+
+struct FoldState<T> {
+    /// Completed partials not yet folded, keyed by chunk index.
+    pending: BTreeMap<usize, T>,
+    /// Next chunk index the folder will consume.
+    frontier: usize,
+}
+
+/// Flags `aborted` and wakes both condvars when its thread unwinds, so
+/// workers parked on the frontier (or the folder parked on `partial_ready`)
+/// back off instead of waiting on a signal that will never come.  Guards the
+/// folding thread (a panicking `reduce`) as well as the workers (a panicking
+/// `map`); the panic itself is re-raised by the pool's sweep guard.
+struct AbortOnPanic<'a, T> {
+    aborted: &'a AtomicBool,
+    sync: &'a FoldSync<T>,
+}
+
+impl<T> Drop for AbortOnPanic<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.aborted.store(true, Ordering::Release);
+            self.sync.partial_ready.notify_all();
+            self.sync.frontier_moved.notify_all();
+        }
     }
 }
 
@@ -370,6 +603,15 @@ mod tests {
         .unwrap()
     }
 
+    /// A context whose parallel path is always taken (threshold disabled),
+    /// for tests that exercise the pool on small fixtures.
+    fn pooled(threads: usize) -> ExecContext {
+        ExecContext::new()
+            .with_threads(threads)
+            .with_chunk_bytes(PAGE_SIZE)
+            .with_parallel_threshold(0)
+    }
+
     #[test]
     fn default_is_sequential_full_parallel_8mib() {
         let ctx = ExecContext::new();
@@ -378,6 +620,7 @@ mod tests {
         assert_eq!(ctx.chunk_bytes(), DEFAULT_CHUNK_BYTES);
         assert_eq!(ctx.chunk_bytes() % PAGE_SIZE, 0);
         assert_eq!(ctx.advice(), AccessPattern::Sequential);
+        assert_eq!(ctx.parallel_threshold(), PARALLEL_WORK_THRESHOLD);
         assert!(ctx.tracer().is_none());
     }
 
@@ -418,9 +661,7 @@ mod tests {
         let m = matrix(997, 5);
         let expected: f64 = m.as_slice().iter().sum();
         for threads in [1, 2, 7] {
-            let ctx = ExecContext::new()
-                .with_threads(threads)
-                .with_chunk_bytes(PAGE_SIZE);
+            let ctx = pooled(threads);
             let total = ctx.map_reduce_rows(
                 &m,
                 |chunk| chunk.data.iter().sum::<f64>(),
@@ -438,19 +679,127 @@ mod tests {
         // counts — not just approximately.
         let m = matrix(3_000, 7);
         let run = |threads| {
-            ExecContext::new()
-                .with_threads(threads)
-                .with_chunk_bytes(PAGE_SIZE)
-                .map_reduce_rows(
-                    &m,
-                    |chunk| chunk.data.iter().map(|v| (v * 1.37).sin()).sum::<f64>(),
-                    0.0,
-                    |a, b| a + b,
-                )
+            pooled(threads).map_reduce_rows(
+                &m,
+                |chunk| chunk.data.iter().map(|v| (v * 1.37).sin()).sum::<f64>(),
+                0.0,
+                |a, b| a + b,
+            )
         };
         let serial = run(1);
         assert_eq!(serial.to_bits(), run(2).to_bits());
         assert_eq!(serial.to_bits(), run(16).to_bits());
+    }
+
+    #[test]
+    fn serial_fallback_and_pool_agree_bitwise() {
+        // The same context, with and without the work threshold: identical
+        // chunking and fold order must give identical bits.
+        let m = matrix(2_111, 5);
+        let run = |threshold| {
+            ExecContext::new()
+                .with_threads(4)
+                .with_chunk_bytes(PAGE_SIZE)
+                .with_parallel_threshold(threshold)
+                .map_reduce_rows(
+                    &m,
+                    |chunk| chunk.data.iter().map(|v| (v * 0.73).cos()).sum::<f64>(),
+                    0.0,
+                    |a, b| a + b,
+                )
+        };
+        assert_eq!(run(usize::MAX).to_bits(), run(0).to_bits());
+    }
+
+    #[test]
+    fn small_sweeps_fall_back_to_the_calling_thread() {
+        // 100×3 = 300 elements is far below the default threshold: even a
+        // 4-thread context must run the sweep serially on the caller.
+        let ctx = ExecContext::new().with_threads(4);
+        assert_eq!(ctx.sweep_threads(100, 3), 1);
+        let m = matrix(100, 3);
+        let caller = std::thread::current().id();
+        let total = ctx.map_reduce_rows(
+            &m,
+            |chunk| {
+                assert_eq!(std::thread::current().id(), caller);
+                chunk.n_rows()
+            },
+            0usize,
+            |a, b| a + b,
+        );
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn parallel_driver_engages_only_above_the_work_threshold() {
+        let ctx = ExecContext::new().with_threads(4);
+        // Work per chunk for paper-shaped data: n_rows/64 × 784 elements.
+        // Below the threshold → serial; far above → all four workers.
+        assert_eq!(ctx.sweep_threads(2_000, 784), 1);
+        assert!(ctx.sweep_threads(1_000_000, 784) > 1);
+        // Disabling the fallback flips the small case to parallel…
+        assert!(
+            ctx.clone()
+                .with_parallel_threshold(0)
+                .sweep_threads(2_000, 784)
+                > 1
+        );
+        // …and a huge threshold forces even the big case serial.
+        assert_eq!(
+            ctx.with_parallel_threshold(usize::MAX)
+                .sweep_threads(1_000_000, 784),
+            1
+        );
+    }
+
+    #[test]
+    fn pooled_sweep_runs_off_the_calling_thread() {
+        let m = matrix(1_000, 3);
+        let caller = std::thread::current().id();
+        let off_thread = AtomicUsize::new(0);
+        pooled(4).map_reduce_rows(
+            &m,
+            |chunk| {
+                if std::thread::current().id() != caller {
+                    off_thread.fetch_add(1, Ordering::SeqCst);
+                }
+                chunk.n_rows()
+            },
+            0usize,
+            |a, b| a + b,
+        );
+        assert!(off_thread.load(Ordering::SeqCst) > 0);
+    }
+
+    #[test]
+    fn scratch_is_reused_per_worker_not_per_chunk() {
+        let m = matrix(1_000, 3); // 64 chunks at PAGE_SIZE budget
+        let scratches = AtomicUsize::new(0);
+        let chunks = AtomicUsize::new(0);
+        let threads = 4;
+        pooled(threads).map_reduce_rows_scratch(
+            &m,
+            || {
+                scratches.fetch_add(1, Ordering::SeqCst);
+                Vec::<f64>::new()
+            },
+            |scratch, chunk| {
+                scratch.clear();
+                scratch.extend_from_slice(chunk.data);
+                chunks.fetch_add(1, Ordering::SeqCst);
+                scratch.iter().sum::<f64>()
+            },
+            0.0,
+            |a, b| a + b,
+        );
+        let n_chunks = chunks.load(Ordering::SeqCst);
+        let n_scratches = scratches.load(Ordering::SeqCst);
+        assert!(n_chunks >= 60, "expected many chunks, got {n_chunks}");
+        assert!(
+            n_scratches <= threads,
+            "scratch allocated per chunk? {n_scratches} allocations for {n_chunks} chunks"
+        );
     }
 
     #[test]
@@ -483,12 +832,15 @@ mod tests {
 
         // The parallel driver splits into TARGET_PARALLEL_CHUNKS-derived
         // chunks (2 rows each here) and records one event per chunk, all
-        // inside the same single-page region.
+        // inside the same single-page region — whether the pool or the
+        // serial fallback processed them.
         let tracer2 = Arc::new(AccessTracer::for_matrix(100, 3));
-        ctx.clone()
-            .with_threads(4)
-            .with_tracer(Arc::clone(&tracer2))
-            .map_reduce_rows(&m, |c| c.n_rows(), 0, |a, b| a + b);
+        pooled(4).with_tracer(Arc::clone(&tracer2)).map_reduce_rows(
+            &m,
+            |c| c.n_rows(),
+            0,
+            |a, b| a + b,
+        );
         let parallel_trace = tracer2.snapshot();
         let expected_chunks = 100usize.div_ceil(100usize.div_ceil(TARGET_PARALLEL_CHUNKS));
         assert_eq!(parallel_trace.events().len(), expected_chunks);
@@ -504,20 +856,17 @@ mod tests {
         // window holds them back and the fold still happens in chunk order.
         let m = matrix(1_000, 3);
         let expected: f64 = m.as_slice().iter().sum();
-        let total = ExecContext::new()
-            .with_threads(4)
-            .with_chunk_bytes(PAGE_SIZE)
-            .map_reduce_rows(
-                &m,
-                |chunk| {
-                    if chunk.start_row == 0 {
-                        std::thread::sleep(std::time::Duration::from_millis(30));
-                    }
-                    chunk.data.iter().sum::<f64>()
-                },
-                0.0,
-                |a, b| a + b,
-            );
+        let total = pooled(4).map_reduce_rows(
+            &m,
+            |chunk| {
+                if chunk.start_row == 0 {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                chunk.data.iter().sum::<f64>()
+            },
+            0.0,
+            |a, b| a + b,
+        );
         assert_eq!(total.to_bits(), expected.to_bits());
     }
 
@@ -525,53 +874,125 @@ mod tests {
     #[should_panic(expected = "sweep worker panicked")]
     fn worker_panic_propagates_instead_of_deadlocking() {
         let m = matrix(1_000, 3);
-        ExecContext::new()
-            .with_threads(4)
-            .with_chunk_bytes(PAGE_SIZE)
-            .map_reduce_rows(
-                &m,
-                |chunk| {
-                    if chunk.start_row == 0 {
-                        // Stall first so other workers hit the frontier
-                        // window, then die: they must back off, not spin.
-                        std::thread::sleep(std::time::Duration::from_millis(10));
-                        panic!("boom");
-                    }
-                    chunk.n_rows()
-                },
-                0usize,
-                |a, b| a + b,
-            );
+        pooled(4).map_reduce_rows(
+            &m,
+            |chunk| {
+                if chunk.start_row == 0 {
+                    // Stall first so other workers hit the frontier
+                    // window, then die: they must back off, not spin.
+                    std::thread::sleep(Duration::from_millis(10));
+                    panic!("boom");
+                }
+                chunk.n_rows()
+            },
+            0usize,
+            |a, b| a + b,
+        );
     }
 
     #[test]
     #[should_panic(expected = "reduce boom")]
     fn reduce_panic_on_fold_thread_propagates_instead_of_deadlocking() {
         // The folding thread dies mid-sweep while workers are parked on the
-        // frontier window; the abort guard must release them so the scope
-        // can join and re-raise, rather than hanging.
+        // frontier window; the abort guard must release them so the pool's
+        // sweep guard can drain and the panic re-raise, rather than hanging.
         let m = matrix(1_000, 3);
-        ExecContext::new()
-            .with_threads(4)
-            .with_chunk_bytes(PAGE_SIZE)
-            .map_reduce_rows(
+        pooled(4).map_reduce_rows(
+            &m,
+            |chunk| chunk.n_rows(),
+            0usize,
+            |_, _| panic!("reduce boom"),
+        );
+    }
+
+    #[test]
+    fn nested_sweeps_fall_back_to_serial_instead_of_deadlocking() {
+        // A sweep issued from inside a `map` (or `reduce`) callback shares
+        // the caller's pool; running it through `broadcast` would wait on
+        // the outer job forever.  It must take the serial path — and still
+        // produce the serial result, on the worker's own thread.
+        let outer = matrix(1_000, 3);
+        let inner = matrix(500, 3);
+        let inner_expected: f64 = inner.as_slice().iter().sum();
+        let ctx = pooled(4);
+        let total = ctx.map_reduce_rows(
+            &outer,
+            |chunk| {
+                let worker = std::thread::current().id();
+                let nested = ctx.map_reduce_rows(
+                    &inner,
+                    |c| {
+                        assert_eq!(
+                            std::thread::current().id(),
+                            worker,
+                            "nested sweep must stay on the worker thread"
+                        );
+                        c.data.iter().sum::<f64>()
+                    },
+                    0.0,
+                    |a, b| a + b,
+                );
+                assert_eq!(nested.to_bits(), inner_expected.to_bits());
+                chunk.n_rows()
+            },
+            0usize,
+            |a, b| a + b,
+        );
+        assert_eq!(total, 1_000);
+
+        // Same from a `reduce` callback on the folding thread.
+        let total = ctx.map_reduce_rows(
+            &outer,
+            |chunk| chunk.n_rows(),
+            0usize,
+            |a, b| {
+                let nested =
+                    ctx.map_reduce_rows(&inner, |c| c.data.iter().sum::<f64>(), 0.0, |x, y| x + y);
+                assert_eq!(nested.to_bits(), inner_expected.to_bits());
+                a + b
+            },
+        );
+        assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn with_threads_same_count_keeps_the_pool() {
+        let ctx = ExecContext::new().with_threads(3);
+        let same = ctx.clone().with_threads(3);
+        assert!(Arc::ptr_eq(&ctx.pool, &same.pool));
+        let different = ctx.clone().with_threads(2);
+        assert!(!Arc::ptr_eq(&ctx.pool, &different.pool));
+    }
+
+    #[test]
+    fn pool_is_shared_by_clones_and_reused_across_sweeps() {
+        let m = matrix(1_000, 3);
+        let ctx = pooled(2);
+        let clone = ctx.clone();
+        let sum = |c: &ExecContext| {
+            c.map_reduce_rows(
                 &m,
-                |chunk| chunk.n_rows(),
-                0usize,
-                |_, _| panic!("reduce boom"),
-            );
+                |chunk| chunk.data.iter().sum::<f64>(),
+                0.0,
+                |a, b| a + b,
+            )
+        };
+        // Many sweeps through both handles reuse the same two workers.
+        let first = sum(&ctx);
+        for _ in 0..20 {
+            assert_eq!(first.to_bits(), sum(&ctx).to_bits());
+            assert_eq!(first.to_bits(), sum(&clone).to_bits());
+        }
+        assert!(Arc::ptr_eq(&ctx.pool, &clone.pool));
     }
 
     #[test]
     fn visit_rows_sees_every_row_once() {
         let m = matrix(257, 3);
         let counter = AtomicUsize::new(0);
-        ExecContext::new()
-            .with_threads(4)
-            .with_chunk_bytes(PAGE_SIZE)
-            .visit_rows(&m, |chunk| {
-                counter.fetch_add(chunk.n_rows(), Ordering::SeqCst);
-            });
+        pooled(4).visit_rows(&m, |chunk| {
+            counter.fetch_add(chunk.n_rows(), Ordering::SeqCst);
+        });
         assert_eq!(counter.load(Ordering::SeqCst), 257);
     }
 

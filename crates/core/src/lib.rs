@@ -64,6 +64,7 @@ pub mod dataset;
 pub mod error;
 pub mod exec;
 pub mod mmap;
+mod pool;
 pub mod stats;
 pub mod storage;
 pub mod trace;

@@ -141,10 +141,23 @@ impl MmapMatrix {
     }
 
     /// The full data region as a `f64` slice.
+    ///
+    /// Alignment and length were validated once in `from_mapping`, so this
+    /// is plain pointer arithmetic — it sits on the per-row access path of
+    /// every sweep, where re-running the checked conversion (and its error
+    /// formatting) per row made memory-mapped reads measurably slower than
+    /// heap reads even with a warm page cache.
+    #[inline]
     pub fn data(&self) -> &[f64] {
-        // SAFETY: validated in `from_mapping`.
-        unsafe { bytes_as_f64(&self.map[..], self.offset, self.n_rows * self.n_cols) }
-            .expect("mapping validated at construction")
+        // SAFETY: `from_mapping` verified that the region starting at
+        // `offset` is 8-byte aligned and holds `n_rows * n_cols` f64s, and
+        // the mapping is immutable and alive for `&self`'s lifetime.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.as_ptr().add(self.offset).cast::<f64>(),
+                self.n_rows * self.n_cols,
+            )
+        }
     }
 
     /// Forward an access-pattern hint to the kernel (`madvise`).  Errors are

@@ -1,12 +1,13 @@
 //! BLAS level-2/3 style kernels over matrix views.
 //!
-//! These kernels are intentionally simple, cache-friendly, row-major loops.
-//! They are the compute core used by logistic regression (`X·w`, `Xᵀ·r`) and
-//! k-means (distance evaluation), and they accept [`MatrixView`]s so the same
-//! code path serves heap-allocated and memory-mapped data.
+//! These wrappers adapt [`MatrixView`]s (which serve heap-allocated and
+//! memory-mapped data alike) to the runtime-dispatched flat-slice kernels in
+//! [`crate::kernels`], so every caller gets the AVX2+FMA path on hardware
+//! that supports it and the portable 4-accumulator scalar path everywhere
+//! else (`M3_FORCE_SCALAR=1` pins the latter).
 
+use crate::kernels;
 use crate::matrix::DenseMatrix;
-use crate::ops;
 use crate::view::MatrixView;
 
 /// General matrix–vector product: `y = A * x`.
@@ -16,9 +17,7 @@ use crate::view::MatrixView;
 pub fn gemv(a: &MatrixView<'_>, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.n_cols(), "gemv: x length must equal n_cols");
     assert_eq!(y.len(), a.n_rows(), "gemv: y length must equal n_rows");
-    for (r, yr) in y.iter_mut().enumerate() {
-        *yr = ops::dot(a.row(r), x);
-    }
+    kernels::gemv(a.as_slice(), a.n_rows(), a.n_cols(), x, y);
 }
 
 /// Transposed matrix–vector product: `y = Aᵀ * x`.
@@ -32,13 +31,14 @@ pub fn gemv(a: &MatrixView<'_>, x: &[f64], y: &mut [f64]) {
 pub fn gemv_t(a: &MatrixView<'_>, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.n_rows(), "gemv_t: x length must equal n_rows");
     assert_eq!(y.len(), a.n_cols(), "gemv_t: y length must equal n_cols");
-    ops::fill(y, 0.0);
-    for (r, &xr) in x.iter().enumerate() {
-        ops::axpy(xr, a.row(r), y);
-    }
+    crate::ops::fill(y, 0.0);
+    kernels::gemv_t(a.as_slice(), a.n_rows(), a.n_cols(), x, y);
 }
 
 /// General matrix–matrix product `C = A * B` into an owned output matrix.
+///
+/// Register-blocked on the SIMD path: 16 output columns stay in four 256-bit
+/// accumulators across the whole inner-product loop.
 ///
 /// # Panics
 /// Panics when the shapes are inconsistent
@@ -55,43 +55,20 @@ pub fn gemm(a: &MatrixView<'_>, b: &MatrixView<'_>, c: &mut DenseMatrix) {
         b.n_cols(),
         "gemm: output cols must equal B cols"
     );
-    let n = b.n_cols();
-    // i-k-j loop ordering keeps the innermost traversal contiguous in both
-    // B and C, which matters for the wide (784-column) matrices M3 targets.
-    for i in 0..a.n_rows() {
-        let a_row = a.row(i);
-        let c_row = c.row_mut(i);
-        ops::fill(c_row, 0.0);
-        for (k, &aik) in a_row.iter().enumerate() {
-            let b_row = b.row(k);
-            for j in 0..n {
-                c_row[j] += aik * b_row[j];
-            }
-        }
-    }
+    let (m, k, n) = (a.n_rows(), a.n_cols(), b.n_cols());
+    kernels::gemm(a.as_slice(), m, k, b.as_slice(), n, c.as_mut_slice());
 }
 
 /// Gram matrix `G = Aᵀ A` (symmetric `n_cols × n_cols`).
 ///
 /// Used by the ridge/linear-regression normal-equation solver.  Only a single
 /// sequential pass over the rows of `A` is made, so the kernel is
-/// mmap-friendly.
+/// mmap-friendly.  To *accumulate* a Gram matrix across row chunks, call
+/// [`crate::kernels::gram_into`] directly.
 pub fn gram(a: &MatrixView<'_>) -> DenseMatrix {
     let d = a.n_cols();
     let mut g = DenseMatrix::zeros(d, d);
-    for r in 0..a.n_rows() {
-        let row = a.row(r);
-        for i in 0..d {
-            let xi = row[i];
-            if xi == 0.0 {
-                continue;
-            }
-            let g_row = g.row_mut(i);
-            for j in 0..d {
-                g_row[j] += xi * row[j];
-            }
-        }
-    }
+    kernels::gram_into(a.as_slice(), a.n_rows(), d, g.as_mut_slice());
     g
 }
 

@@ -1,0 +1,99 @@
+//! Runtime kernel-path selection for the compute kernels in
+//! [`crate::kernels`].
+//!
+//! Every kernel exists in (at least) two implementations: a portable
+//! 4-accumulator unrolled scalar path that compiles everywhere, and an
+//! AVX2+FMA path compiled for `x86_64` and entered only when
+//! `is_x86_feature_detected!` confirms the CPU supports it.  The choice is
+//! made **once per process** — detection runs on the first kernel call and
+//! the result is cached in a [`OnceLock`] — so steady-state dispatch is a
+//! cached-load-plus-branch, cheap enough for 784-element dot products.
+//!
+//! ## Debug escape hatch
+//!
+//! Setting the environment variable `M3_FORCE_SCALAR=1` before the first
+//! kernel call forces the scalar path even on AVX2 hardware.  This exists to
+//! bisect numerical differences (the SIMD paths use FMA and block-wise
+//! accumulation, so results can differ from scalar by a few ULPs) and to
+//! exercise the portable path in CI on machines that would otherwise always
+//! take the SIMD route.  Because the selection is cached, the variable must
+//! be set at process start; changing it later has no effect.
+//!
+//! Within one process the selected path never changes, so every kernel is a
+//! deterministic function of its inputs — the property the workspace's
+//! bit-identical-across-thread-counts guarantee rests on.
+
+use std::sync::OnceLock;
+
+/// The kernel implementation selected for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Portable 4-accumulator unrolled scalar loops.
+    Scalar,
+    /// AVX2 + FMA intrinsics (x86_64 only, runtime-detected).
+    Avx2Fma,
+}
+
+impl KernelPath {
+    /// Human-readable name, used by benchmarks and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Avx2Fma => "avx2+fma",
+        }
+    }
+}
+
+static ACTIVE: OnceLock<KernelPath> = OnceLock::new();
+
+/// `true` when `M3_FORCE_SCALAR` is set to anything other than `0`/empty.
+pub fn force_scalar_requested() -> bool {
+    match std::env::var("M3_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+fn detect() -> KernelPath {
+    if force_scalar_requested() {
+        return KernelPath::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return KernelPath::Avx2Fma;
+        }
+    }
+    KernelPath::Scalar
+}
+
+/// The kernel path every dispatched kernel in [`crate::kernels`] uses,
+/// detected on first call and cached for the lifetime of the process.
+#[inline]
+pub fn active() -> KernelPath {
+    *ACTIVE.get_or_init(detect)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_is_stable_and_consistent() {
+        let first = active();
+        assert_eq!(first, active());
+        // If the env var was set for this test process the cached path must
+        // be scalar; otherwise it reflects the hardware.
+        if force_scalar_requested() {
+            assert_eq!(first, KernelPath::Scalar);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        assert_eq!(first, KernelPath::Scalar);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(KernelPath::Scalar.name(), KernelPath::Avx2Fma.name());
+    }
+}

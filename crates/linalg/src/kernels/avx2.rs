@@ -1,0 +1,372 @@
+//! AVX2+FMA kernels (x86_64 only).
+//!
+//! Every function here carries `#[target_feature(enable = "avx2,fma")]` and
+//! must only be reached after `is_x86_feature_detected!` has confirmed both
+//! features — [`crate::dispatch`] guarantees that, which is why the dispatch
+//! call sites are the only `unsafe` blocks needed to enter this module.
+//!
+//! The reductions use four 256-bit accumulators (16 doubles in flight) and a
+//! **fixed** combination order — `(acc0 + acc1) + (acc2 + acc3)`, then lanes
+//! `(l0 + l2) + (l1 + l3)`, then the scalar remainder in index order — so the
+//! results are deterministic run to run.  They differ from the scalar path by
+//! a few ULPs (FMA contracts the multiply-add, and the lane split changes the
+//! summation tree), which is why `M3_FORCE_SCALAR=1` exists for bisection.
+
+#![allow(clippy::needless_range_loop)]
+
+use std::arch::x86_64::*;
+
+/// Horizontal sum of one 256-bit accumulator: `(l0 + l2) + (l1 + l3)`.
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+fn hsum256(v: __m256d) -> f64 {
+    let lo = _mm256_castpd256_pd128(v);
+    let hi = _mm256_extractf128_pd::<1>(v);
+    let s = _mm_add_pd(lo, hi);
+    let h = _mm_unpackhi_pd(s, s);
+    _mm_cvtsd_f64(_mm_add_sd(s, h))
+}
+
+/// Dot product: 4×4-lane FMA accumulators, 16 elements per iteration.
+///
+/// # Safety
+/// Requires AVX2 and FMA support, verified at runtime by the caller
+/// (see [`crate::dispatch`]).
+#[target_feature(enable = "avx2,fma")]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut acc2 = _mm256_setzero_pd();
+    let mut acc3 = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 16 <= n {
+        // SAFETY: i + 16 <= n bounds every 4-lane load below.
+        unsafe {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)), acc0);
+            acc1 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(i + 4)),
+                _mm256_loadu_pd(bp.add(i + 4)),
+                acc1,
+            );
+            acc2 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(i + 8)),
+                _mm256_loadu_pd(bp.add(i + 8)),
+                acc2,
+            );
+            acc3 = _mm256_fmadd_pd(
+                _mm256_loadu_pd(ap.add(i + 12)),
+                _mm256_loadu_pd(bp.add(i + 12)),
+                acc3,
+            );
+        }
+        i += 16;
+    }
+    while i + 4 <= n {
+        // SAFETY: i + 4 <= n bounds the loads.
+        unsafe {
+            acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)), acc0);
+        }
+        i += 4;
+    }
+    let combined = _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+    let mut acc = hsum256(combined);
+    while i < n {
+        acc += a[i] * b[i];
+        i += 1;
+    }
+    acc
+}
+
+/// `y += alpha * x`, 8 elements per iteration.
+///
+/// # Safety
+/// Requires AVX2 and FMA support, verified at runtime by the caller
+/// (see [`crate::dispatch`]).
+#[target_feature(enable = "avx2,fma")]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    let n = x.len();
+    let av = _mm256_set1_pd(alpha);
+    let xp = x.as_ptr();
+    let yp = y.as_mut_ptr();
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n bounds every load/store; x and y do not alias
+        // (&[f64] vs &mut [f64]).
+        unsafe {
+            let r0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)));
+            let r1 = _mm256_fmadd_pd(
+                av,
+                _mm256_loadu_pd(xp.add(i + 4)),
+                _mm256_loadu_pd(yp.add(i + 4)),
+            );
+            _mm256_storeu_pd(yp.add(i), r0);
+            _mm256_storeu_pd(yp.add(i + 4), r1);
+        }
+        i += 8;
+    }
+    while i + 4 <= n {
+        // SAFETY: i + 4 <= n bounds the load/store pair.
+        unsafe {
+            let r = _mm256_fmadd_pd(av, _mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(yp.add(i)));
+            _mm256_storeu_pd(yp.add(i), r);
+        }
+        i += 4;
+    }
+    while i < n {
+        y[i] += alpha * x[i];
+        i += 1;
+    }
+}
+
+/// Squared Euclidean distance: subtract + FMA, 16 elements per iteration.
+///
+/// # Safety
+/// Requires AVX2 and FMA support, verified at runtime by the caller
+/// (see [`crate::dispatch`]).
+#[target_feature(enable = "avx2,fma")]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut acc2 = _mm256_setzero_pd();
+    let mut acc3 = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 16 <= n {
+        // SAFETY: i + 16 <= n bounds every 4-lane load below.
+        unsafe {
+            let d0 = _mm256_sub_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)));
+            let d1 = _mm256_sub_pd(
+                _mm256_loadu_pd(ap.add(i + 4)),
+                _mm256_loadu_pd(bp.add(i + 4)),
+            );
+            let d2 = _mm256_sub_pd(
+                _mm256_loadu_pd(ap.add(i + 8)),
+                _mm256_loadu_pd(bp.add(i + 8)),
+            );
+            let d3 = _mm256_sub_pd(
+                _mm256_loadu_pd(ap.add(i + 12)),
+                _mm256_loadu_pd(bp.add(i + 12)),
+            );
+            acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+            acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+            acc2 = _mm256_fmadd_pd(d2, d2, acc2);
+            acc3 = _mm256_fmadd_pd(d3, d3, acc3);
+        }
+        i += 16;
+    }
+    while i + 4 <= n {
+        // SAFETY: i + 4 <= n bounds the loads.
+        unsafe {
+            let d = _mm256_sub_pd(_mm256_loadu_pd(ap.add(i)), _mm256_loadu_pd(bp.add(i)));
+            acc0 = _mm256_fmadd_pd(d, d, acc0);
+        }
+        i += 4;
+    }
+    let combined = _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+    let mut acc = hsum256(combined);
+    while i < n {
+        let d = a[i] - b[i];
+        acc += d * d;
+        i += 1;
+    }
+    acc
+}
+
+/// `y = A * x`: one SIMD dot product per (contiguous) matrix row.
+///
+/// # Safety
+/// Requires AVX2 and FMA support, verified at runtime by the caller
+/// (see [`crate::dispatch`]).
+#[target_feature(enable = "avx2,fma")]
+pub fn gemv(a: &[f64], n_rows: usize, n_cols: usize, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(a.len(), n_rows * n_cols);
+    debug_assert_eq!(x.len(), n_cols);
+    debug_assert_eq!(y.len(), n_rows);
+    if n_cols == 0 {
+        y.fill(0.0);
+        return;
+    }
+    for (row, yr) in a.chunks_exact(n_cols).zip(y.iter_mut()) {
+        *yr = dot(row, x);
+    }
+}
+
+/// `y += Aᵀ * x` (accumulating): one SIMD axpy per matrix row.
+///
+/// # Safety
+/// Requires AVX2 and FMA support, verified at runtime by the caller
+/// (see [`crate::dispatch`]).
+#[target_feature(enable = "avx2,fma")]
+pub fn gemv_t(a: &[f64], n_rows: usize, n_cols: usize, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(a.len(), n_rows * n_cols);
+    debug_assert_eq!(x.len(), n_rows);
+    debug_assert_eq!(y.len(), n_cols);
+    if n_cols == 0 {
+        return;
+    }
+    for (row, &xr) in a.chunks_exact(n_cols).zip(x.iter()) {
+        axpy(xr, row, y);
+    }
+}
+
+/// `C = A * B` with register blocking: 16 output columns are held in four
+/// 256-bit accumulators across the whole `k` loop, so each `C` element is
+/// written exactly once.
+///
+/// # Safety
+/// Requires AVX2 and FMA support, verified at runtime by the caller
+/// (see [`crate::dispatch`]).
+#[target_feature(enable = "avx2,fma")]
+pub fn gemm(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let bp = b.as_ptr();
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut j = 0;
+        while j + 16 <= n {
+            let mut acc0 = _mm256_setzero_pd();
+            let mut acc1 = _mm256_setzero_pd();
+            let mut acc2 = _mm256_setzero_pd();
+            let mut acc3 = _mm256_setzero_pd();
+            for (kk, &aik) in a_row.iter().enumerate() {
+                let av = _mm256_set1_pd(aik);
+                // SAFETY: kk < k and j + 16 <= n keep every load inside
+                // B's k×n buffer.
+                unsafe {
+                    let base = bp.add(kk * n + j);
+                    acc0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(base), acc0);
+                    acc1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(base.add(4)), acc1);
+                    acc2 = _mm256_fmadd_pd(av, _mm256_loadu_pd(base.add(8)), acc2);
+                    acc3 = _mm256_fmadd_pd(av, _mm256_loadu_pd(base.add(12)), acc3);
+                }
+            }
+            // SAFETY: the same bounds hold for the four stores into C.
+            unsafe {
+                let out = c.as_mut_ptr().add(i * n + j);
+                _mm256_storeu_pd(out, acc0);
+                _mm256_storeu_pd(out.add(4), acc1);
+                _mm256_storeu_pd(out.add(8), acc2);
+                _mm256_storeu_pd(out.add(12), acc3);
+            }
+            j += 16;
+        }
+        while j + 4 <= n {
+            let mut acc = _mm256_setzero_pd();
+            for (kk, &aik) in a_row.iter().enumerate() {
+                // SAFETY: kk < k and j + 4 <= n bound the load.
+                unsafe {
+                    acc = _mm256_fmadd_pd(
+                        _mm256_set1_pd(aik),
+                        _mm256_loadu_pd(bp.add(kk * n + j)),
+                        acc,
+                    );
+                }
+            }
+            // SAFETY: j + 4 <= n bounds the store.
+            unsafe {
+                _mm256_storeu_pd(c.as_mut_ptr().add(i * n + j), acc);
+            }
+            j += 4;
+        }
+        while j < n {
+            let mut sum = 0.0;
+            for (kk, &aik) in a_row.iter().enumerate() {
+                sum += aik * b[kk * n + j];
+            }
+            c[i * n + j] = sum;
+            j += 1;
+        }
+    }
+}
+
+/// `G += Aᵀ A`: per non-zero row element, one SIMD axpy into G's row.
+///
+/// # Safety
+/// Requires AVX2 and FMA support, verified at runtime by the caller
+/// (see [`crate::dispatch`]).
+#[target_feature(enable = "avx2,fma")]
+pub fn gram_into(a: &[f64], n_rows: usize, n_cols: usize, g: &mut [f64]) {
+    debug_assert_eq!(a.len(), n_rows * n_cols);
+    debug_assert_eq!(g.len(), n_cols * n_cols);
+    if n_cols == 0 {
+        return;
+    }
+    for row in a.chunks_exact(n_cols) {
+        for (i, &xi) in row.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            axpy(xi, row, &mut g[i * n_cols..(i + 1) * n_cols]);
+        }
+    }
+}
+
+/// Fused distance-argmin: squared distances from `row` to blocks of four
+/// centroids are accumulated simultaneously, so each 4-lane load of the row
+/// is reused across four FMA chains.  Ties resolve to the lowest index,
+/// matching the scalar path.
+///
+/// # Safety
+/// Requires AVX2 and FMA support, verified at runtime by the caller
+/// (see [`crate::dispatch`]).
+#[target_feature(enable = "avx2,fma")]
+pub fn nearest_centroid(row: &[f64], centroids: &[f64], k: usize) -> (usize, f64) {
+    let d = row.len();
+    debug_assert_eq!(centroids.len(), k * d);
+    if d == 0 {
+        return (0, 0.0);
+    }
+    let rp = row.as_ptr();
+    let cp = centroids.as_ptr();
+    let mut best = 0usize;
+    let mut best_dist = f64::INFINITY;
+    let mut c = 0usize;
+    while c + 4 <= k {
+        let mut acc = [_mm256_setzero_pd(); 4];
+        let mut j = 0usize;
+        while j + 4 <= d {
+            // SAFETY: j + 4 <= d bounds the row load and, with c + t < k,
+            // every centroid load inside the k×d buffer.
+            unsafe {
+                let rv = _mm256_loadu_pd(rp.add(j));
+                for t in 0..4 {
+                    let cv = _mm256_loadu_pd(cp.add((c + t) * d + j));
+                    let diff = _mm256_sub_pd(rv, cv);
+                    acc[t] = _mm256_fmadd_pd(diff, diff, acc[t]);
+                }
+            }
+            j += 4;
+        }
+        for t in 0..4 {
+            let mut dist = hsum256(acc[t]);
+            for jj in j..d {
+                let diff = row[jj] - centroids[(c + t) * d + jj];
+                dist += diff * diff;
+            }
+            if dist < best_dist {
+                best = c + t;
+                best_dist = dist;
+            }
+        }
+        c += 4;
+    }
+    while c < k {
+        let dist = squared_distance(row, &centroids[c * d..(c + 1) * d]);
+        if dist < best_dist {
+            best = c;
+            best_dist = dist;
+        }
+        c += 1;
+    }
+    (best, best_dist)
+}

@@ -1,0 +1,398 @@
+//! Runtime-dispatched compute kernels — the hot core of every workload.
+//!
+//! Each function here checks its operand shapes once, then forwards to the
+//! implementation [`crate::dispatch`] selected for this process: the portable
+//! 4-accumulator [`scalar`] path, or the [`avx2`] AVX2+FMA path on x86_64
+//! hardware that supports it (`M3_FORCE_SCALAR=1` forces the former).  The
+//! higher-level [`crate::ops`] and [`crate::blas`] wrappers delegate to these
+//! entry points, so every caller in the workspace — logistic gradients,
+//! k-means assignment, Gram accumulation — picks up the SIMD path without
+//! changing a line.
+//!
+//! ## Determinism contract
+//!
+//! Within one process the selected path is fixed, and both paths use a fixed
+//! accumulation order, so every kernel is a pure deterministic function of
+//! its inputs.  *Across* paths results may differ by a few ULPs (FMA and
+//! different summation trees); the workspace's parity suite therefore runs
+//! once per path, never comparing across them bit-for-bit.
+//!
+//! Besides the BLAS-shaped primitives this module hosts the two **fused**
+//! workload kernels:
+//!
+//! * [`logistic_value_chunk`] / [`logistic_grad_chunk`] — gemv + sigmoid +
+//!   residual + gradient accumulation over one row chunk, the inner loop of
+//!   logistic-regression training;
+//! * [`nearest_centroid`] — distance + argmin over all `k` centroids in one
+//!   pass per row, the inner loop of Lloyd's algorithm.
+
+use crate::dispatch::{self, KernelPath};
+
+#[cfg(target_arch = "x86_64")]
+pub mod avx2;
+pub mod scalar;
+
+/// Dot product of two equally-long slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    match dispatch::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only ever selected after runtime detection.
+        KernelPath::Avx2Fma => unsafe { avx2::dot(a, b) },
+        _ => scalar::dot(a, b),
+    }
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    match dispatch::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only ever selected after runtime detection.
+        KernelPath::Avx2Fma => unsafe { avx2::axpy(alpha, x, y) },
+        _ => scalar::axpy(alpha, x, y),
+    }
+}
+
+/// Squared Euclidean distance between two points.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    match dispatch::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only ever selected after runtime detection.
+        KernelPath::Avx2Fma => unsafe { avx2::squared_distance(a, b) },
+        _ => scalar::squared_distance(a, b),
+    }
+}
+
+/// `y = A * x` for a row-major `n_rows × n_cols` matrix stored in `a`.
+///
+/// # Panics
+/// Panics when any buffer length disagrees with the shape.
+#[inline]
+pub fn gemv(a: &[f64], n_rows: usize, n_cols: usize, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.len(), n_rows * n_cols, "gemv: matrix buffer mismatch");
+    assert_eq!(x.len(), n_cols, "gemv: x length must equal n_cols");
+    assert_eq!(y.len(), n_rows, "gemv: y length must equal n_rows");
+    match dispatch::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only ever selected after runtime detection.
+        KernelPath::Avx2Fma => unsafe { avx2::gemv(a, n_rows, n_cols, x, y) },
+        _ => scalar::gemv(a, n_rows, n_cols, x, y),
+    }
+}
+
+/// `y += Aᵀ * x` (note: **accumulating**) for a row-major `n_rows × n_cols`
+/// matrix stored in `a` — a single sequential sweep over A's rows, the
+/// access pattern of gradient accumulation.
+///
+/// # Panics
+/// Panics when any buffer length disagrees with the shape.
+#[inline]
+pub fn gemv_t(a: &[f64], n_rows: usize, n_cols: usize, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.len(), n_rows * n_cols, "gemv_t: matrix buffer mismatch");
+    assert_eq!(x.len(), n_rows, "gemv_t: x length must equal n_rows");
+    assert_eq!(y.len(), n_cols, "gemv_t: y length must equal n_cols");
+    match dispatch::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only ever selected after runtime detection.
+        KernelPath::Avx2Fma => unsafe { avx2::gemv_t(a, n_rows, n_cols, x, y) },
+        _ => scalar::gemv_t(a, n_rows, n_cols, x, y),
+    }
+}
+
+/// `C = A * B` (`A: m×k`, `B: k×n`, `C: m×n`), register-blocked on the SIMD
+/// path.
+///
+/// # Panics
+/// Panics when any buffer length disagrees with the shapes.
+#[inline]
+pub fn gemm(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "gemm: A buffer mismatch");
+    assert_eq!(b.len(), k * n, "gemm: B buffer mismatch");
+    assert_eq!(c.len(), m * n, "gemm: C buffer mismatch");
+    match dispatch::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only ever selected after runtime detection.
+        KernelPath::Avx2Fma => unsafe { avx2::gemm(a, m, k, b, n, c) },
+        _ => scalar::gemm(a, m, k, b, n, c),
+    }
+}
+
+/// `G += Aᵀ A` for a row-major `n_rows × n_cols` matrix `a`, accumulated
+/// into the row-major `n_cols × n_cols` buffer `g`.  Accumulating (rather
+/// than overwriting) lets chunked sweeps build a Gram matrix incrementally.
+///
+/// # Panics
+/// Panics when any buffer length disagrees with the shape.
+#[inline]
+pub fn gram_into(a: &[f64], n_rows: usize, n_cols: usize, g: &mut [f64]) {
+    assert_eq!(
+        a.len(),
+        n_rows * n_cols,
+        "gram_into: matrix buffer mismatch"
+    );
+    assert_eq!(g.len(), n_cols * n_cols, "gram_into: G buffer mismatch");
+    match dispatch::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only ever selected after runtime detection.
+        KernelPath::Avx2Fma => unsafe { avx2::gram_into(a, n_rows, n_cols, g) },
+        _ => scalar::gram_into(a, n_rows, n_cols, g),
+    }
+}
+
+/// Fused distance-argmin: the index of the centroid (row of the row-major
+/// `k × row.len()` buffer `centroids`) nearest to `row`, and the squared
+/// distance to it.  One pass over the centroids per row; the SIMD path
+/// processes four centroids simultaneously so each row load is reused.
+/// Ties resolve to the lowest index on both paths.
+///
+/// # Panics
+/// Panics when `centroids.len() != k * row.len()`.
+#[inline]
+pub fn nearest_centroid(row: &[f64], centroids: &[f64], k: usize) -> (usize, f64) {
+    assert_eq!(
+        centroids.len(),
+        k * row.len(),
+        "nearest_centroid: centroid buffer mismatch"
+    );
+    match dispatch::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only ever selected after runtime detection.
+        KernelPath::Avx2Fma => unsafe { avx2::nearest_centroid(row, centroids, k) },
+        _ => scalar::nearest_centroid(row, centroids, k),
+    }
+}
+
+/// Numerically stable sigmoid `1 / (1 + e^{-z})`.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Numerically stable `ln(1 + e^z)` (softplus).
+#[inline]
+pub fn log1p_exp(z: f64) -> f64 {
+    if z > 0.0 {
+        z + (-z).exp().ln_1p()
+    } else {
+        z.exp().ln_1p()
+    }
+}
+
+/// Fused logistic **loss** over one row chunk: a block gemv computes every
+/// score, then one pass turns scores into the summed negative log-likelihood
+/// `Σ log(1+e^z) − y·z`.  `scores` is caller-provided scratch (resized to
+/// the chunk's row count) so sweeps reuse one buffer per worker thread.
+///
+/// # Panics
+/// Panics when `rows` is not a whole number of `weights.len()`-wide rows or
+/// `labels` does not cover every row.
+pub fn logistic_value_chunk(
+    rows: &[f64],
+    weights: &[f64],
+    bias: f64,
+    labels: &[f64],
+    scores: &mut Vec<f64>,
+) -> f64 {
+    let d = weights.len();
+    if d == 0 {
+        return 0.0;
+    }
+    assert_eq!(rows.len() % d, 0, "logistic_value_chunk: ragged chunk");
+    let n = rows.len() / d;
+    assert_eq!(
+        labels.len(),
+        n,
+        "logistic_value_chunk: label count mismatch"
+    );
+    scores.clear();
+    scores.resize(n, 0.0);
+    gemv(rows, n, d, weights, scores);
+    let mut loss = 0.0;
+    for (s, &y) in scores.iter().zip(labels) {
+        let z = s + bias;
+        loss += log1p_exp(z) - y * z;
+    }
+    loss
+}
+
+/// Fused logistic **loss + gradient** over one row chunk: block gemv for the
+/// scores, one sigmoid/residual pass (residuals overwrite `scores` in
+/// place), then an accumulating gemv_t folds `Aᵀ·residual` into
+/// `grad[..d]` and the residual sum into `grad[d]`.  Returns the summed
+/// loss.  `grad` has length `d + 1` (bias last) and is **accumulated into**,
+/// matching the chunk-partial contract of the sweep drivers.
+///
+/// # Panics
+/// Panics on any shape mismatch (see [`logistic_value_chunk`]).
+pub fn logistic_grad_chunk(
+    rows: &[f64],
+    weights: &[f64],
+    bias: f64,
+    labels: &[f64],
+    scores: &mut Vec<f64>,
+    grad: &mut [f64],
+) -> f64 {
+    let d = weights.len();
+    assert_eq!(grad.len(), d + 1, "logistic_grad_chunk: gradient length");
+    if d == 0 {
+        return 0.0;
+    }
+    assert_eq!(rows.len() % d, 0, "logistic_grad_chunk: ragged chunk");
+    let n = rows.len() / d;
+    assert_eq!(labels.len(), n, "logistic_grad_chunk: label count mismatch");
+    scores.clear();
+    scores.resize(n, 0.0);
+    gemv(rows, n, d, weights, scores);
+    let mut loss = 0.0;
+    for (s, &y) in scores.iter_mut().zip(labels) {
+        let z = *s + bias;
+        loss += log1p_exp(z) - y * z;
+        *s = sigmoid(z) - y;
+    }
+    let (grad_w, grad_b) = grad.split_at_mut(d);
+    gemv_t(rows, n, d, scores, grad_w);
+    for &r in scores.iter() {
+        grad_b[0] += r;
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn dispatched_dot_matches_naive() {
+        for n in [0usize, 1, 3, 4, 15, 16, 17, 63, 784] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!(approx(dot(&a, &b), naive, 1e-12), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn dispatched_kernels_are_deterministic() {
+        let a: Vec<f64> = (0..785).map(|i| (i as f64 * 0.0137).sin()).collect();
+        let b: Vec<f64> = (0..785).map(|i| (i as f64 * 0.0071).cos()).collect();
+        assert_eq!(dot(&a, &b).to_bits(), dot(&a, &b).to_bits());
+        assert_eq!(
+            squared_distance(&a, &b).to_bits(),
+            squared_distance(&a, &b).to_bits()
+        );
+    }
+
+    #[test]
+    fn gemv_and_gemv_t_shapes() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2×3
+        let mut y = [0.0; 2];
+        gemv(&a, 2, 3, &[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, [6.0, 15.0]);
+        let mut yt = [0.0; 3];
+        gemv_t(&a, 2, 3, &[1.0, 2.0], &mut yt);
+        assert_eq!(yt, [9.0, 12.0, 15.0]);
+        // gemv_t accumulates.
+        gemv_t(&a, 2, 3, &[1.0, 2.0], &mut yt);
+        assert_eq!(yt, [18.0, 24.0, 30.0]);
+    }
+
+    #[test]
+    fn gram_into_accumulates_at_a() {
+        let a = [1.0, 2.0, 3.0, 4.0]; // 2×2
+        let mut g = vec![0.0; 4];
+        gram_into(&a, 2, 2, &mut g);
+        assert_eq!(g, vec![10.0, 14.0, 14.0, 20.0]);
+        gram_into(&a, 2, 2, &mut g);
+        assert_eq!(g, vec![20.0, 28.0, 28.0, 40.0]);
+    }
+
+    #[test]
+    fn nearest_centroid_picks_lowest_tie() {
+        // Centroids 1 and 2 are identical; the tie must go to index 1.
+        let row = [1.0, 1.0];
+        let centroids = [5.0, 5.0, 1.5, 1.0, 1.5, 1.0, 9.0, 9.0];
+        let (idx, dist) = nearest_centroid(&row, &centroids, 4);
+        assert_eq!(idx, 1);
+        assert!(approx(dist, 0.25, 1e-12));
+    }
+
+    #[test]
+    fn nearest_centroid_many_k_matches_scalar_argmin() {
+        // k > 4 exercises the SIMD path's blocked-by-four loop plus tail.
+        let d = 19;
+        let row: Vec<f64> = (0..d).map(|i| (i as f64 * 0.3).sin()).collect();
+        let k = 7;
+        let centroids: Vec<f64> = (0..k * d).map(|i| (i as f64 * 0.17).cos()).collect();
+        let (idx, dist) = nearest_centroid(&row, &centroids, k);
+        let (sidx, sdist) = scalar::nearest_centroid(&row, &centroids, k);
+        assert_eq!(idx, sidx);
+        assert!(approx(dist, sdist, 1e-10));
+    }
+
+    #[test]
+    fn fused_logistic_chunks_match_per_row_reference() {
+        let d = 5;
+        let n = 13;
+        let rows: Vec<f64> = (0..n * d).map(|i| (i as f64 * 0.21).sin()).collect();
+        let labels: Vec<f64> = (0..n).map(|i| f64::from(i % 2 == 0)).collect();
+        let w: Vec<f64> = (0..d).map(|i| 0.1 * i as f64 - 0.2).collect();
+        let bias = 0.05;
+
+        // Per-row reference (the pre-fusion implementation).
+        let mut ref_loss = 0.0;
+        let mut ref_grad = vec![0.0; d + 1];
+        for (i, row) in rows.chunks_exact(d).enumerate() {
+            let z = row.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + bias;
+            ref_loss += log1p_exp(z) - labels[i] * z;
+            let r = sigmoid(z) - labels[i];
+            for (g, &x) in ref_grad[..d].iter_mut().zip(row) {
+                *g += r * x;
+            }
+            ref_grad[d] += r;
+        }
+
+        let mut scores = Vec::new();
+        let value = logistic_value_chunk(&rows, &w, bias, &labels, &mut scores);
+        assert!(approx(value, ref_loss, 1e-12));
+
+        let mut grad = vec![0.0; d + 1];
+        let value2 = logistic_grad_chunk(&rows, &w, bias, &labels, &mut scores, &mut grad);
+        assert!(approx(value2, ref_loss, 1e-12));
+        for (a, b) in grad.iter().zip(&ref_grad) {
+            assert!(approx(*a, *b, 1e-12), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_and_softplus_are_stable() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(800.0) <= 1.0);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(log1p_exp(-800.0) >= 0.0);
+        assert!((log1p_exp(800.0) - 800.0).abs() < 1e-9);
+    }
+}

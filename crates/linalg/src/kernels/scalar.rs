@@ -1,0 +1,150 @@
+//! Portable scalar kernels: 4-accumulator unrolled loops that compile on
+//! every architecture and auto-vectorise reasonably well.
+//!
+//! This is the fallback path of [`crate::dispatch`] and the reference
+//! implementation the SIMD paths are tested against.  Each function uses a
+//! **fixed** accumulation order (four independent partial sums combined as
+//! `(acc0 + acc1) + (acc2 + acc3)`, then the remainder in index order), so
+//! repeated calls on the same input are bit-identical.
+
+/// Dot product with four independent accumulation chains.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc0 = 0.0;
+    let mut acc1 = 0.0;
+    let mut acc2 = 0.0;
+    let mut acc3 = 0.0;
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc0 += a[j] * b[j];
+        acc1 += a[j + 1] * b[j + 1];
+        acc2 += a[j + 2] * b[j + 2];
+        acc3 += a[j + 3] * b[j + 3];
+    }
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for j in chunks * 4..a.len() {
+        acc += a[j] * b[j];
+    }
+    acc
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * *xi;
+    }
+}
+
+/// Squared Euclidean distance with four independent accumulation chains.
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc0 = 0.0;
+    let mut acc1 = 0.0;
+    let mut acc2 = 0.0;
+    let mut acc3 = 0.0;
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        let d0 = a[j] - b[j];
+        let d1 = a[j + 1] - b[j + 1];
+        let d2 = a[j + 2] - b[j + 2];
+        let d3 = a[j + 3] - b[j + 3];
+        acc0 += d0 * d0;
+        acc1 += d1 * d1;
+        acc2 += d2 * d2;
+        acc3 += d3 * d3;
+    }
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for j in chunks * 4..a.len() {
+        let d = a[j] - b[j];
+        acc += d * d;
+    }
+    acc
+}
+
+/// `y = A * x` for a row-major `n_rows × n_cols` matrix `a`.
+pub fn gemv(a: &[f64], n_rows: usize, n_cols: usize, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(a.len(), n_rows * n_cols);
+    debug_assert_eq!(x.len(), n_cols);
+    debug_assert_eq!(y.len(), n_rows);
+    for (row, yr) in a.chunks_exact(n_cols.max(1)).zip(y.iter_mut()) {
+        *yr = dot(row, x);
+    }
+    if n_cols == 0 {
+        y.fill(0.0);
+    }
+}
+
+/// `y += Aᵀ * x` (accumulating) for a row-major `n_rows × n_cols` matrix `a`.
+pub fn gemv_t(a: &[f64], n_rows: usize, n_cols: usize, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(a.len(), n_rows * n_cols);
+    debug_assert_eq!(x.len(), n_rows);
+    debug_assert_eq!(y.len(), n_cols);
+    if n_cols == 0 {
+        return;
+    }
+    for (row, &xr) in a.chunks_exact(n_cols).zip(x.iter()) {
+        axpy(xr, row, y);
+    }
+}
+
+/// `C = A * B` (`A: m×k`, `B: k×n`, `C: m×n`), i-k-j ordering with the inner
+/// j-loop unrolled four wide so both `B` and `C` stream contiguously.
+pub fn gemm(a: &[f64], m: usize, k: usize, b: &[f64], n: usize, c: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    c.fill(0.0);
+    if n == 0 {
+        return;
+    }
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            axpy(aik, b_row, c_row);
+        }
+    }
+}
+
+/// `G += Aᵀ A` for a row-major `n_rows × n_cols` matrix `a`; `g` is the
+/// row-major `n_cols × n_cols` accumulator.  Zero entries of a row skip the
+/// whole rank-1 row update (sparse-ish data like raster digits wins big).
+pub fn gram_into(a: &[f64], n_rows: usize, n_cols: usize, g: &mut [f64]) {
+    debug_assert_eq!(a.len(), n_rows * n_cols);
+    debug_assert_eq!(g.len(), n_cols * n_cols);
+    if n_cols == 0 {
+        return;
+    }
+    for row in a.chunks_exact(n_cols) {
+        for (i, &xi) in row.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            axpy(xi, row, &mut g[i * n_cols..(i + 1) * n_cols]);
+        }
+    }
+}
+
+/// Index of the nearest centroid (row-major `k × d` block `centroids`) to
+/// `row`, and the squared distance to it.  Ties resolve to the lowest index.
+pub fn nearest_centroid(row: &[f64], centroids: &[f64], k: usize) -> (usize, f64) {
+    let d = row.len();
+    debug_assert_eq!(centroids.len(), k * d);
+    let mut best = 0;
+    let mut best_dist = f64::INFINITY;
+    for (c, centroid) in centroids.chunks_exact(d.max(1)).enumerate().take(k) {
+        let dist = squared_distance(row, centroid);
+        if dist < best_dist {
+            best = c;
+            best_dist = dist;
+        }
+    }
+    if d == 0 {
+        return (0, 0.0);
+    }
+    (best, best_dist)
+}

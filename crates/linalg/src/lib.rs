@@ -19,6 +19,19 @@
 //!   identically over heap memory and over memory-mapped regions exposed by
 //!   `m3-core` — which is exactly the property the M3 paper relies on.
 //!
+//! ## Kernel dispatch
+//!
+//! The hot compute loops (`dot`, `axpy`, `squared_distance`, `gemv`,
+//! `gemv_t`, `gemm`, Gram accumulation and the fused logistic / k-means
+//! kernels) live in [`kernels`] in two implementations: a portable
+//! 4-accumulator unrolled scalar path and an AVX2+FMA path.  [`dispatch`]
+//! picks one per process — AVX2+FMA when `is_x86_feature_detected!` confirms
+//! support, scalar otherwise or when the `M3_FORCE_SCALAR=1` environment
+//! variable is set — and caches the choice, so [`ops`] and [`blas`] callers
+//! pay one predicted branch.  Both paths use fixed accumulation orders and
+//! are therefore deterministic run to run; they differ from *each other* by
+//! a few ULPs (FMA contraction), which the kernel test-suite bounds.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -35,6 +48,8 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod blas;
+pub mod dispatch;
+pub mod kernels;
 pub mod matrix;
 pub mod norm;
 pub mod ops;
@@ -44,6 +59,7 @@ pub mod stats;
 pub mod vector;
 pub mod view;
 
+pub use dispatch::KernelPath;
 pub use matrix::DenseMatrix;
 pub use vector::Vector;
 pub use view::{MatrixView, MatrixViewMut};

@@ -2,47 +2,28 @@
 //!
 //! These free functions operate directly on `&[f64]` / `&mut [f64]` so they
 //! work unchanged over heap-allocated vectors and over memory-mapped slices —
-//! the property M3 depends on.  All functions assert matching lengths in debug
-//! builds and use simple loops the compiler auto-vectorises in release builds.
+//! the property M3 depends on.  The hot reductions (`dot`, `axpy`,
+//! `squared_distance`) forward to the runtime-dispatched [`crate::kernels`],
+//! which select an AVX2+FMA implementation when the CPU supports it
+//! (`M3_FORCE_SCALAR=1` pins the portable path); the remaining element-wise
+//! loops are simple enough for the compiler to auto-vectorise on its own.
 
-/// Dot product of two equally-long slices.
+/// Dot product of two equally-long slices (runtime-dispatched kernel).
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    // Manual 4-way unrolling gives the optimiser independent accumulation
-    // chains without requiring unsafe code.
-    let mut acc0 = 0.0;
-    let mut acc1 = 0.0;
-    let mut acc2 = 0.0;
-    let mut acc3 = 0.0;
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc0 += a[j] * b[j];
-        acc1 += a[j + 1] * b[j + 1];
-        acc2 += a[j + 2] * b[j + 2];
-        acc3 += a[j + 3] * b[j + 3];
-    }
-    let mut acc = acc0 + acc1 + acc2 + acc3;
-    for j in chunks * 4..a.len() {
-        acc += a[j] * b[j];
-    }
-    acc
+    crate::kernels::dot(a, b)
 }
 
-/// `y += alpha * x` (the classic BLAS `axpy`).
+/// `y += alpha * x` (the classic BLAS `axpy`, runtime-dispatched kernel).
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * *xi;
-    }
+    crate::kernels::axpy(alpha, x, y)
 }
 
 /// `x *= alpha` in place.
@@ -151,16 +132,14 @@ pub fn lincomb(alpha: f64, a: &[f64], beta: f64, b: &[f64], out: &mut [f64]) {
     }
 }
 
-/// Squared Euclidean distance between two points.
+/// Squared Euclidean distance between two points (runtime-dispatched
+/// kernel).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
 #[inline]
 pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
-    let mut acc = 0.0;
-    for i in 0..a.len() {
-        let d = a[i] - b[i];
-        acc += d * d;
-    }
-    acc
+    crate::kernels::squared_distance(a, b)
 }
 
 /// Euclidean distance between two points.

@@ -59,10 +59,17 @@ pub fn split_rows(n_rows: usize, n_chunks: usize) -> Vec<RowRange> {
 
 /// Default degree of parallelism: the number of available hardware threads,
 /// falling back to `1` when it cannot be determined.
+///
+/// Cached after the first call: `available_parallelism` re-inspects cgroup
+/// CPU quotas on Linux (several file reads, tens of microseconds), which is
+/// comparable to a whole small sweep when queried per call.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 /// Run `map` over each contiguous row chunk in parallel and fold the partial

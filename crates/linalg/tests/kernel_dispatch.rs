@@ -1,0 +1,327 @@
+//! Kernel-dispatch coverage: randomized (proptest-style) agreement between
+//! the SIMD and scalar paths within a ULP budget, exact run-to-run
+//! determinism of each path, and the `M3_FORCE_SCALAR` escape hatch.
+//!
+//! The two paths intentionally differ in a few low bits (FMA contraction and
+//! different summation trees), so cross-path checks use a ULP/condition
+//! tolerance while same-path checks demand bit equality.
+
+use m3_linalg::dispatch;
+use m3_linalg::kernels::{self, scalar};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// ULP distance for same-sign finite values; `u64::MAX` when incomparable.
+fn ulp_distance(a: f64, b: f64) -> u64 {
+    if a == b {
+        return 0;
+    }
+    if a.is_nan() || b.is_nan() || a.is_sign_positive() != b.is_sign_positive() {
+        return u64::MAX;
+    }
+    (a.to_bits() as i64).abs_diff(b.to_bits() as i64)
+}
+
+/// SIMD/scalar agreement: within `max_ulps`, or within an absolute tolerance
+/// scaled by `magnitude` (the sum of absolute terms of the reduction — the
+/// quantity that bounds the rounding gap when the result itself cancels
+/// towards zero).
+fn reduction_close(a: f64, b: f64, magnitude: f64) -> bool {
+    ulp_distance(a, b) <= 128 || (a - b).abs() <= 1e-12 * magnitude.max(1e-300)
+}
+
+/// Random value with widely varying magnitude (exercises rounding paths).
+fn sample(rng: &mut StdRng) -> f64 {
+    let mantissa = rng.gen::<f64>() * 2.0 - 1.0;
+    let exponent = rng.gen_range(-12i32..12);
+    mantissa * f64::powi(2.0, exponent)
+}
+
+fn vector(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| sample(rng)).collect()
+}
+
+/// `true` when the AVX2+FMA path can actually run on this machine.
+#[cfg(target_arch = "x86_64")]
+fn simd_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(target_arch = "x86_64")]
+mod simd_vs_scalar {
+    use super::*;
+    use m3_linalg::kernels::avx2;
+
+    /// Lengths touching every code path: empty, sub-lane, one lane, the
+    /// 16-wide main loop, its 4-wide epilogue and the scalar tail.
+    const LENGTHS: &[usize] = &[
+        0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 63, 64, 100, 784, 1023,
+    ];
+
+    #[test]
+    fn randomized_dot_agrees_within_ulps() {
+        if !simd_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0xD07);
+        for &n in LENGTHS {
+            for _ in 0..20 {
+                let a = vector(&mut rng, n);
+                let b = vector(&mut rng, n);
+                // SAFETY: simd_available() verified AVX2+FMA above.
+                let fast = unsafe { avx2::dot(&a, &b) };
+                let slow = scalar::dot(&a, &b);
+                let magnitude: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+                assert!(
+                    reduction_close(fast, slow, magnitude),
+                    "dot n={n}: simd {fast:e} vs scalar {slow:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_squared_distance_agrees_within_ulps() {
+        if !simd_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0x5D1);
+        for &n in LENGTHS {
+            for _ in 0..20 {
+                let a = vector(&mut rng, n);
+                let b = vector(&mut rng, n);
+                // SAFETY: simd_available() verified AVX2+FMA above.
+                let fast = unsafe { avx2::squared_distance(&a, &b) };
+                let slow = scalar::squared_distance(&a, &b);
+                // All terms are non-negative: the result is the magnitude.
+                assert!(
+                    reduction_close(fast, slow, slow),
+                    "squared_distance n={n}: simd {fast:e} vs scalar {slow:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_axpy_agrees_elementwise() {
+        if !simd_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0xA99);
+        for &n in LENGTHS {
+            for _ in 0..10 {
+                let alpha = sample(&mut rng);
+                let x = vector(&mut rng, n);
+                let y0 = vector(&mut rng, n);
+                let mut fast = y0.clone();
+                // SAFETY: simd_available() verified AVX2+FMA above.
+                unsafe { avx2::axpy(alpha, &x, &mut fast) };
+                let mut slow = y0;
+                scalar::axpy(alpha, &x, &mut slow);
+                for (i, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                    // One FMA vs mul+add: at most a one-rounding gap per lane.
+                    assert!(
+                        ulp_distance(*f, *s) <= 4 || (f - s).abs() <= 1e-13 * (alpha * x[i]).abs(),
+                        "axpy n={n} lane {i}: {f:e} vs {s:e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_gemv_pair_agrees() {
+        if !simd_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0x6E37);
+        for &(rows, cols) in &[(1usize, 1usize), (3, 17), (16, 16), (7, 784), (33, 65)] {
+            let a = vector(&mut rng, rows * cols);
+            let x = vector(&mut rng, cols);
+            let xt = vector(&mut rng, rows);
+
+            let mut fast = vec![0.0; rows];
+            let mut slow = vec![0.0; rows];
+            // SAFETY: simd_available() verified AVX2+FMA above.
+            unsafe { avx2::gemv(&a, rows, cols, &x, &mut fast) };
+            scalar::gemv(&a, rows, cols, &x, &mut slow);
+            for (r, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                let magnitude: f64 = a[r * cols..(r + 1) * cols]
+                    .iter()
+                    .zip(&x)
+                    .map(|(p, q)| (p * q).abs())
+                    .sum();
+                assert!(
+                    reduction_close(*f, *s, magnitude),
+                    "gemv {rows}x{cols} row {r}: {f:e} vs {s:e}"
+                );
+            }
+
+            let mut fast_t = vec![0.0; cols];
+            let mut slow_t = vec![0.0; cols];
+            // SAFETY: simd_available() verified AVX2+FMA above.
+            unsafe { avx2::gemv_t(&a, rows, cols, &xt, &mut fast_t) };
+            scalar::gemv_t(&a, rows, cols, &xt, &mut slow_t);
+            for (c, (f, s)) in fast_t.iter().zip(&slow_t).enumerate() {
+                let magnitude: f64 = (0..rows).map(|r| (a[r * cols + c] * xt[r]).abs()).sum();
+                assert!(
+                    reduction_close(*f, *s, magnitude),
+                    "gemv_t {rows}x{cols} col {c}: {f:e} vs {s:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_gemm_and_gram_agree() {
+        if !simd_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0x6E44);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (4, 7, 19),
+            (5, 16, 16),
+            (3, 33, 65),
+        ] {
+            let a = vector(&mut rng, m * k);
+            let b = vector(&mut rng, k * n);
+            let mut fast = vec![0.0; m * n];
+            let mut slow = vec![0.0; m * n];
+            // SAFETY: simd_available() verified AVX2+FMA above.
+            unsafe { avx2::gemm(&a, m, k, &b, n, &mut fast) };
+            scalar::gemm(&a, m, k, &b, n, &mut slow);
+            for (idx, (f, s)) in fast.iter().zip(&slow).enumerate() {
+                let (i, j) = (idx / n, idx % n);
+                let magnitude: f64 = (0..k).map(|kk| (a[i * k + kk] * b[kk * n + j]).abs()).sum();
+                assert!(
+                    reduction_close(*f, *s, magnitude),
+                    "gemm {m}x{k}x{n} at ({i},{j}): {f:e} vs {s:e}"
+                );
+            }
+
+            let rows = m.max(2);
+            let d = k;
+            let g_input = vector(&mut rng, rows * d);
+            let mut g_fast = vec![0.0; d * d];
+            let mut g_slow = vec![0.0; d * d];
+            // SAFETY: simd_available() verified AVX2+FMA above.
+            unsafe { avx2::gram_into(&g_input, rows, d, &mut g_fast) };
+            scalar::gram_into(&g_input, rows, d, &mut g_slow);
+            for (idx, (f, s)) in g_fast.iter().zip(&g_slow).enumerate() {
+                let (i, j) = (idx / d, idx % d);
+                let magnitude: f64 = (0..rows)
+                    .map(|r| (g_input[r * d + i] * g_input[r * d + j]).abs())
+                    .sum();
+                assert!(
+                    reduction_close(*f, *s, magnitude),
+                    "gram {rows}x{d} at ({i},{j}): {f:e} vs {s:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn randomized_nearest_centroid_agrees() {
+        if !simd_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0xCE27);
+        for &(k, d) in &[(1usize, 5usize), (4, 16), (5, 784), (7, 33), (9, 3)] {
+            for _ in 0..10 {
+                let row = vector(&mut rng, d);
+                let centroids = vector(&mut rng, k * d);
+                // SAFETY: simd_available() verified AVX2+FMA above.
+                let (fi, fd) = unsafe { avx2::nearest_centroid(&row, &centroids, k) };
+                let (si, sd) = scalar::nearest_centroid(&row, &centroids, k);
+                // Random reals never tie, so the argmin must agree exactly.
+                assert_eq!(fi, si, "nearest_centroid k={k} d={d} index");
+                assert!(
+                    reduction_close(fd, sd, sd),
+                    "nearest_centroid k={k} d={d}: {fd:e} vs {sd:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn each_path_is_bitwise_deterministic() {
+        if !simd_available() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0xDE7);
+        let a = vector(&mut rng, 1001);
+        let b = vector(&mut rng, 1001);
+        // SAFETY: simd_available() verified AVX2+FMA above.
+        let (f1, f2) = unsafe { (avx2::dot(&a, &b), avx2::dot(&a, &b)) };
+        assert_eq!(f1.to_bits(), f2.to_bits(), "avx2 dot must be deterministic");
+        assert_eq!(
+            scalar::dot(&a, &b).to_bits(),
+            scalar::dot(&a, &b).to_bits(),
+            "scalar dot must be deterministic"
+        );
+        // SAFETY: as above.
+        let (d1, d2) = unsafe {
+            (
+                avx2::squared_distance(&a, &b),
+                avx2::squared_distance(&a, &b),
+            )
+        };
+        assert_eq!(d1.to_bits(), d2.to_bits());
+    }
+}
+
+#[test]
+fn dispatched_kernels_are_deterministic_across_calls() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let a = vector(&mut rng, 787);
+    let b = vector(&mut rng, 787);
+    assert_eq!(
+        kernels::dot(&a, &b).to_bits(),
+        kernels::dot(&a, &b).to_bits()
+    );
+    assert_eq!(
+        kernels::squared_distance(&a, &b).to_bits(),
+        kernels::squared_distance(&a, &b).to_bits()
+    );
+    let centroids = vector(&mut rng, 5 * 787);
+    assert_eq!(
+        kernels::nearest_centroid(&a, &centroids, 5),
+        kernels::nearest_centroid(&a, &centroids, 5)
+    );
+}
+
+#[test]
+fn force_scalar_env_selects_scalar_path() {
+    if dispatch::force_scalar_requested() {
+        // Child-process branch: the cached path must be scalar, and the
+        // dispatched kernels must produce exactly the scalar results.
+        assert_eq!(dispatch::active(), m3_linalg::KernelPath::Scalar);
+        let mut rng = StdRng::seed_from_u64(0x5CA1);
+        let a = vector(&mut rng, 333);
+        let b = vector(&mut rng, 333);
+        assert_eq!(
+            kernels::dot(&a, &b).to_bits(),
+            scalar::dot(&a, &b).to_bits()
+        );
+        assert_eq!(
+            kernels::squared_distance(&a, &b).to_bits(),
+            scalar::squared_distance(&a, &b).to_bits()
+        );
+        return;
+    }
+    // Parent branch: the path is cached per process, so exercise the env
+    // override in a fresh process running exactly this test.
+    let exe = std::env::current_exe().expect("test binary path");
+    let output = std::process::Command::new(exe)
+        .args(["--exact", "force_scalar_env_selects_scalar_path"])
+        .env("M3_FORCE_SCALAR", "1")
+        .output()
+        .expect("failed to re-exec the kernel dispatch test");
+    assert!(
+        output.status.success(),
+        "forced-scalar child failed:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}

@@ -6,7 +6,10 @@
 //! assign every point to its nearest centroid while accumulating per-cluster
 //! sums — followed by a tiny centroid update.  Exactly the access pattern the
 //! OS read-ahead machinery (and the `m3-vmsim` model of it) rewards; the
-//! sweep itself is driven by the shared [`ExecContext`].
+//! sweep itself is driven by the shared [`ExecContext`], and the per-row
+//! assignment runs through the fused distance-argmin kernel
+//! ([`m3_linalg::kernels::nearest_centroid`]), which evaluates all `k`
+//! centroids in one pass over the row (four at a time on the SIMD path).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -236,18 +239,10 @@ fn assignment_sweep<S: RowStore + Sync + ?Sized>(
     )
 }
 
-/// Index of the nearest centroid and the squared distance to it.
+/// Index of the nearest centroid and the squared distance to it, via the
+/// fused distance-argmin kernel (ties resolve to the lowest index).
 fn nearest_centroid(row: &[f64], centroids: &DenseMatrix) -> (usize, f64) {
-    let mut best = 0;
-    let mut best_dist = f64::INFINITY;
-    for c in 0..centroids.n_rows() {
-        let dist = ops::squared_distance(row, centroids.row(c));
-        if dist < best_dist {
-            best = c;
-            best_dist = dist;
-        }
-    }
-    (best, best_dist)
+    m3_linalg::kernels::nearest_centroid(row, centroids.as_slice(), centroids.n_rows())
 }
 
 /// Random initialisation: `k` distinct rows.
@@ -582,7 +577,8 @@ mod tests {
                 &x,
                 &ExecContext::new()
                     .with_threads(threads)
-                    .with_chunk_bytes(m3_core::PAGE_SIZE),
+                    .with_chunk_bytes(m3_core::PAGE_SIZE)
+                    .with_parallel_threshold(0), // force the pool at test scale
             )
         };
         let serial = run(1);

@@ -13,7 +13,7 @@
 
 use m3_core::storage::RowStore;
 use m3_core::ExecContext;
-use m3_linalg::{blas, ops, DenseMatrix};
+use m3_linalg::{blas, kernels, ops, DenseMatrix};
 use m3_optim::function::DifferentiableFunction;
 use m3_optim::gd::GradientDescent;
 use m3_optim::termination::TerminationCriteria;
@@ -165,39 +165,44 @@ impl LinearRegression {
         let d = data.n_cols();
         let n = data.n_rows();
 
-        // Augmented design [X | 1]: Gram is (d+1)x(d+1), built in one
-        // sequential chunked sweep (the accumulation is order-dependent, so
-        // this uses the context's sequential driver).
-        let mut gram = DenseMatrix::zeros(d + 1, d + 1);
-        let mut xty = vec![0.0; d + 1];
+        // One sequential chunked sweep (the accumulation is order-dependent,
+        // so this uses the context's sequential driver): the d×d block of
+        // XᵀX goes through the dispatched Gram kernel, while the bias
+        // row/column (column sums), Xᵀy and Σy accumulate alongside.
+        let mut gtg = vec![0.0; d * d];
+        let mut col_sums = vec![0.0; d];
+        let mut xty = vec![0.0; d];
+        let mut y_sum = 0.0;
         ctx.for_each_chunk(data, |chunk| {
+            kernels::gram_into(chunk.data, chunk.n_rows(), d, &mut gtg);
             for (r, row) in chunk.rows_with_index() {
                 let y = targets[r];
-                for i in 0..d {
-                    let xi = row[i];
-                    if xi != 0.0 {
-                        let g_row = gram.row_mut(i);
-                        for j in 0..d {
-                            g_row[j] += xi * row[j];
-                        }
-                        g_row[d] += xi;
-                    }
-                    xty[i] += row[i] * y;
-                }
-                let last = gram.row_mut(d);
-                for j in 0..d {
-                    last[j] += row[j];
-                }
-                last[d] += 1.0;
-                xty[d] += y;
+                ops::add_assign(&mut col_sums, row);
+                ops::axpy(y, row, &mut xty);
+                y_sum += y;
             }
         });
+
+        // Assemble the augmented [X | 1] system: (d+1)×(d+1) Gram and rhs.
+        let mut gram = DenseMatrix::zeros(d + 1, d + 1);
+        for i in 0..d {
+            let g_row = gram.row_mut(i);
+            g_row[..d].copy_from_slice(&gtg[i * d..(i + 1) * d]);
+            g_row[d] = col_sums[i];
+        }
+        let last = gram.row_mut(d);
+        last[..d].copy_from_slice(&col_sums);
+        last[d] = n as f64;
+        let mut rhs = vec![0.0; d + 1];
+        rhs[..d].copy_from_slice(&xty);
+        rhs[d] = y_sum;
+
         // Ridge on the weights (not the intercept).
         for i in 0..d {
             let v = gram.get(i, i) + self.config.l2 * n as f64;
             gram.set(i, i, v);
         }
-        let solution = blas::cholesky_solve(&gram, &xty).ok_or_else(|| {
+        let solution = blas::cholesky_solve(&gram, &rhs).ok_or_else(|| {
             MlError::OptimizationFailed("normal-equation system is not positive definite".into())
         })?;
         Ok(LinearModel {

@@ -3,14 +3,16 @@
 //! This is the paper's headline workload: "logistic regression (L-BFGS for
 //! optimization) … 10 iterations".  The loss below is the standard averaged
 //! negative log-likelihood with optional L2 regularisation; its value and
-//! gradient are computed in a single fused, chunk-parallel, **sequential**
-//! sweep over the rows of any [`RowStore`], driven by the shared
-//! [`ExecContext`] — the access pattern that makes memory-mapped training
-//! I/O-friendly.
+//! gradient are computed in a single chunk-parallel, **sequential** sweep
+//! over the rows of any [`RowStore`], driven by the shared [`ExecContext`] —
+//! the access pattern that makes memory-mapped training I/O-friendly.  Each
+//! chunk runs through the fused gemv + sigmoid + residual kernels
+//! ([`kernels::logistic_value_chunk`] / [`kernels::logistic_grad_chunk`]),
+//! with per-worker score buffers reused across chunks.
 
 use m3_core::storage::RowStore;
 use m3_core::ExecContext;
-use m3_linalg::ops;
+use m3_linalg::{kernels, ops};
 use m3_optim::function::{DifferentiableFunction, StochasticFunction};
 use m3_optim::lbfgs::Lbfgs;
 use m3_optim::termination::{OptimizationResult, TerminationCriteria};
@@ -18,26 +20,16 @@ use m3_optim::termination::{OptimizationResult, TerminationCriteria};
 use crate::api::{Estimator, Model};
 use crate::{MlError, Result};
 
-/// Numerically stable sigmoid.
+/// Numerically stable sigmoid (re-exported from the kernel layer).
 #[inline]
 pub fn sigmoid(z: f64) -> f64 {
-    if z >= 0.0 {
-        let e = (-z).exp();
-        1.0 / (1.0 + e)
-    } else {
-        let e = z.exp();
-        e / (1.0 + e)
-    }
+    kernels::sigmoid(z)
 }
 
 /// Numerically stable `ln(1 + e^z)`.
 #[inline]
 fn log1p_exp(z: f64) -> f64 {
-    if z > 0.0 {
-        z + (-z).exp().ln_1p()
-    } else {
-        z.exp().ln_1p()
-    }
+    kernels::log1p_exp(z)
 }
 
 /// The averaged logistic loss over a [`RowStore`], with L2 regularisation.
@@ -90,26 +82,22 @@ impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for LogisticLoss<'_, S>
 
     fn value(&self, w: &[f64]) -> f64 {
         let n = self.data.n_rows();
+        let d = self.n_features();
         if n == 0 {
             return 0.0;
         }
-        let loss = self.ctx.map_reduce_rows(
+        // Fused gemv + softplus per chunk; each pool worker reuses one score
+        // buffer for every chunk it maps.
+        let loss = self.ctx.map_reduce_rows_scratch(
             self.data,
-            |chunk| {
-                let cols = chunk.n_cols;
-                let mut acc = 0.0;
-                for (i, row) in chunk.data.chunks_exact(cols).enumerate() {
-                    let y = self.labels[chunk.start_row + i];
-                    let z = Self::score(w, row);
-                    // -[y ln σ(z) + (1-y) ln(1-σ(z))] = log(1+e^z) - y z
-                    acc += log1p_exp(z) - y * z;
-                }
-                acc
+            Vec::new,
+            |scores, chunk| {
+                let labels = &self.labels[chunk.start_row..chunk.end_row];
+                kernels::logistic_value_chunk(chunk.data, &w[..d], w[d], labels, scores)
             },
             0.0,
             |a, b| a + b,
         );
-        let d = self.n_features();
         let reg = 0.5 * self.l2 * ops::dot(&w[..d], &w[..d]);
         loss / n as f64 + reg
     }
@@ -125,19 +113,17 @@ impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for LogisticLoss<'_, S>
             grad.fill(0.0);
             return 0.0;
         }
-        let (loss, partial_grad) = self.ctx.map_reduce_rows(
+        // Fused gemv + sigmoid + residual + gemv_t per chunk: the partial
+        // gradient is the chunk's output (folded in chunk order), while the
+        // score/residual buffer is per-worker scratch reused across chunks.
+        let (loss, partial_grad) = self.ctx.map_reduce_rows_scratch(
             self.data,
-            |chunk| {
+            Vec::new,
+            |scores, chunk| {
+                let labels = &self.labels[chunk.start_row..chunk.end_row];
                 let mut g = vec![0.0; d + 1];
-                let mut acc = 0.0;
-                for (i, row) in chunk.data.chunks_exact(d).enumerate() {
-                    let y = self.labels[chunk.start_row + i];
-                    let z = Self::score(w, row);
-                    acc += log1p_exp(z) - y * z;
-                    let residual = sigmoid(z) - y;
-                    ops::axpy(residual, row, &mut g[..d]);
-                    g[d] += residual;
-                }
+                let acc =
+                    kernels::logistic_grad_chunk(chunk.data, &w[..d], w[d], labels, scores, &mut g);
                 (acc, g)
             },
             (0.0, vec![0.0; d + 1]),
@@ -428,7 +414,8 @@ mod tests {
         let serial_ctx = ExecContext::serial().with_chunk_bytes(m3_core::PAGE_SIZE);
         let parallel_ctx = ExecContext::new()
             .with_threads(4)
-            .with_chunk_bytes(m3_core::PAGE_SIZE);
+            .with_chunk_bytes(m3_core::PAGE_SIZE)
+            .with_parallel_threshold(0); // force the pool even at test scale
         let serial = LogisticLoss::new(&x, &y, 0.01, &serial_ctx);
         let parallel = LogisticLoss::new(&x, &y, 0.01, &parallel_ctx);
         let mut gs = vec![0.0; 4];

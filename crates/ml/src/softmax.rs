@@ -80,22 +80,28 @@ impl<'a, S: RowStore + Sync + ?Sized> SoftmaxLoss<'a, S> {
     }
 
     /// Contribution of the rows in one chunk to (loss, gradient).
+    ///
+    /// `scores` is per-worker scratch (resized to `k`) reused across every
+    /// chunk the worker processes; the per-class dot products and residual
+    /// axpys inside run on the dispatched SIMD kernels.
     fn chunk_loss_grad(
         &self,
         w: &[f64],
         chunk: &m3_core::chunked::RowChunk<'_>,
+        scores: &mut Vec<f64>,
     ) -> (f64, Vec<f64>) {
         let d = self.n_features();
         let k = self.n_classes;
         let stride = d + 1;
         let mut grad = vec![0.0; k * stride];
-        let mut scores = vec![0.0; k];
+        scores.clear();
+        scores.resize(k, 0.0);
         let mut loss = 0.0;
         for (i, row) in chunk.data.chunks_exact(d).enumerate() {
             let label = self.labels[chunk.start_row + i] as usize;
-            Self::scores(w, row, k, &mut scores);
+            Self::scores(w, row, k, scores);
             let label_score = scores[label.min(k - 1)];
-            let log_norm = Self::softmax_in_place(&mut scores);
+            let log_norm = Self::softmax_in_place(scores);
             loss += log_norm - label_score;
             for c in 0..k {
                 let residual = scores[c] - if c == label { 1.0 } else { 0.0 };
@@ -131,9 +137,10 @@ impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for SoftmaxLoss<'_, S> 
             grad.fill(0.0);
             return 0.0;
         }
-        let (loss, partial) = self.ctx.map_reduce_rows(
+        let (loss, partial) = self.ctx.map_reduce_rows_scratch(
             self.data,
-            |chunk| self.chunk_loss_grad(w, &chunk),
+            Vec::new,
+            |scores, chunk| self.chunk_loss_grad(w, &chunk, scores),
             (0.0, vec![0.0; k * stride]),
             |(la, mut ga), (lb, gb)| {
                 ops::add_assign(&mut ga, &gb);
@@ -412,7 +419,8 @@ mod tests {
         let serial_ctx = ExecContext::serial().with_chunk_bytes(m3_core::PAGE_SIZE);
         let parallel_ctx = ExecContext::new()
             .with_threads(4)
-            .with_chunk_bytes(m3_core::PAGE_SIZE);
+            .with_chunk_bytes(m3_core::PAGE_SIZE)
+            .with_parallel_threshold(0); // force the pool even at test scale
         let vs = SoftmaxLoss::new(&x, &y, 4, 0.0, &serial_ctx).value_and_gradient(&w, &mut gs);
         let vp = SoftmaxLoss::new(&x, &y, 4, 0.0, &parallel_ctx).value_and_gradient(&w, &mut gp);
         assert_eq!(vs.to_bits(), vp.to_bits());

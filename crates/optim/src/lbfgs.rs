@@ -124,12 +124,22 @@ impl Lbfgs {
                 };
             }
 
-            // Take the step and refresh the gradient at the new point.
-            let mut new_w = w.clone();
-            ops::axpy(ls.step, &direction, &mut new_w);
-            let mut new_grad = vec![0.0; d];
-            let new_value = f.value_and_gradient(&new_w, &mut new_grad);
-            evaluations += 1;
+            // Take the step.  The strong-Wolfe search's final evaluation was
+            // at the accepted point, so on its success paths the point and
+            // gradient come back with the result and the extra
+            // value-and-gradient sweep over the data — one full pass of a
+            // memory-mapped dataset per iteration — is skipped entirely.
+            let (new_w, new_grad, new_value) = match (ls.point, ls.gradient) {
+                (Some(point), Some(gradient)) => (point, gradient, ls.value),
+                _ => {
+                    let mut new_w = w.clone();
+                    ops::axpy(ls.step, &direction, &mut new_w);
+                    let mut new_grad = vec![0.0; d];
+                    let new_value = f.value_and_gradient(&new_w, &mut new_grad);
+                    evaluations += 1;
+                    (new_w, new_grad, new_value)
+                }
+            };
 
             // Store the curvature pair when it is positive (guaranteed by the
             // Wolfe conditions up to round-off).

@@ -19,6 +19,29 @@ pub struct LineSearchResult {
     pub evaluations: usize,
     /// Whether the search found a step satisfying its acceptance condition.
     pub success: bool,
+    /// The accepted point `w + α·p`, when the search's final evaluation was
+    /// exactly there ([`strong_wolfe`] success paths).  Lets the caller skip
+    /// recomputing the trial point.
+    pub point: Option<Vec<f64>>,
+    /// The gradient at [`point`](Self::point), when available.  Every
+    /// gradient evaluation is a full sweep over the training data, so
+    /// callers that reuse this (L-BFGS does) save one whole data pass per
+    /// iteration — a first-order win for memory-mapped datasets.
+    pub gradient: Option<Vec<f64>>,
+}
+
+impl LineSearchResult {
+    /// A result with no reusable point/gradient attached.
+    fn bare(step: f64, value: f64, evaluations: usize, success: bool) -> Self {
+        Self {
+            step,
+            value,
+            evaluations,
+            success,
+            point: None,
+            gradient: None,
+        }
+    }
 }
 
 /// Parameters for [`backtracking`] (Armijo condition).
@@ -69,21 +92,11 @@ pub fn backtracking<F: DifferentiableFunction + ?Sized>(
         let value = f.value(&trial);
         evaluations += 1;
         if value.is_finite() && value <= value0 + params.c1 * step * directional {
-            return LineSearchResult {
-                step,
-                value,
-                evaluations,
-                success: true,
-            };
+            return LineSearchResult::bare(step, value, evaluations, true);
         }
         step *= params.shrink;
     }
-    LineSearchResult {
-        step: 0.0,
-        value: value0,
-        evaluations,
-        success: false,
-    }
+    LineSearchResult::bare(0.0, value0, evaluations, false)
 }
 
 /// Parameters for [`strong_wolfe`].
@@ -129,12 +142,7 @@ pub fn strong_wolfe<F: DifferentiableFunction + ?Sized>(
     let d0: f64 = grad0.iter().zip(p).map(|(g, d)| g * d).sum();
     if d0 >= 0.0 {
         // Not a descent direction; nothing sensible to do.
-        return LineSearchResult {
-            step: 0.0,
-            value: value0,
-            evaluations: 0,
-            success: false,
-        };
+        return LineSearchResult::bare(0.0, value0, 0, false);
     }
 
     let n = w.len();
@@ -181,11 +189,15 @@ pub fn strong_wolfe<F: DifferentiableFunction + ?Sized>(
             );
         }
         if d.abs() <= -params.c2 * d0 {
+            // `trial` and `grad` were just evaluated at `step`: hand them to
+            // the caller so it need not redo that data sweep.
             return LineSearchResult {
                 step,
                 value,
                 evaluations,
                 success: true,
+                point: Some(trial.clone()),
+                gradient: Some(grad.clone()),
             };
         }
         if d >= 0.0 {
@@ -215,12 +227,7 @@ pub fn strong_wolfe<F: DifferentiableFunction + ?Sized>(
         }
     }
 
-    LineSearchResult {
-        step: prev_step,
-        value: prev_value,
-        evaluations,
-        success: prev_step > 0.0,
-    }
+    LineSearchResult::bare(prev_step, prev_value, evaluations, prev_step > 0.0)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -263,6 +270,8 @@ fn zoom<F: DifferentiableFunction + ?Sized>(
                     value,
                     evaluations: *evaluations,
                     success: true,
+                    point: Some(trial.to_vec()),
+                    gradient: Some(grad.to_vec()),
                 };
             }
             if d * (hi_step - lo_step) >= 0.0 {
@@ -277,12 +286,7 @@ fn zoom<F: DifferentiableFunction + ?Sized>(
         }
     }
     let _ = hi_value;
-    LineSearchResult {
-        step: lo_step,
-        value: lo_value,
-        evaluations: *evaluations,
-        success: lo_step > 0.0,
-    }
+    LineSearchResult::bare(lo_step, lo_value, *evaluations, lo_step > 0.0)
 }
 
 #[cfg(test)]

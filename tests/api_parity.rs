@@ -53,10 +53,12 @@ where
 {
     let b = backings(generator, rows);
     // Exercise the parallel path with small chunks so multiple chunks exist
-    // even at test scale; determinism must hold regardless.
+    // even at test scale, and disable the serial-fallback work threshold so
+    // the worker pool actually runs; determinism must hold regardless.
     let ctx = ExecContext::new()
         .with_threads(4)
-        .with_chunk_bytes(m3::core::PAGE_SIZE);
+        .with_chunk_bytes(m3::core::PAGE_SIZE)
+        .with_parallel_threshold(0);
     let on_dense = Estimator::fit(estimator, &b.dense, &b.labels, &ctx).unwrap();
     let on_mapped = Estimator::fit(estimator, &b.mapped, &b.labels, &ctx).unwrap();
     let on_dataset = Estimator::fit(estimator, &b.dataset, &b.labels, &ctx).unwrap();
@@ -173,7 +175,8 @@ fn parity_holds_across_thread_counts_too() {
             &y,
             &ExecContext::new()
                 .with_threads(threads)
-                .with_chunk_bytes(m3::core::PAGE_SIZE),
+                .with_chunk_bytes(m3::core::PAGE_SIZE)
+                .with_parallel_threshold(0),
         )
         .unwrap()
     };
@@ -263,6 +266,34 @@ fn model_trait_is_dyn_compatible_across_all_models() {
         // score() is callable through the erased interface for all of them.
         let _ = model.score(&x, &y);
     }
+}
+
+#[test]
+fn parity_suite_passes_under_forced_scalar_kernels() {
+    // The kernel path is cached per process, so the scalar-path run needs a
+    // fresh process: re-exec this test binary with M3_FORCE_SCALAR=1 and a
+    // filter that picks up every `*parity*` test (this one included — it
+    // short-circuits below in the child, so there is no recursion).
+    if m3::linalg::dispatch::force_scalar_requested() {
+        assert_eq!(
+            m3::linalg::dispatch::active(),
+            m3::linalg::KernelPath::Scalar,
+            "M3_FORCE_SCALAR=1 must pin the scalar kernel path"
+        );
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let output = std::process::Command::new(exe)
+        .args(["parity", "--test-threads", "1"])
+        .env("M3_FORCE_SCALAR", "1")
+        .output()
+        .expect("failed to re-exec the parity suite");
+    assert!(
+        output.status.success(),
+        "parity suite failed under M3_FORCE_SCALAR=1:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
 }
 
 #[test]
