@@ -222,6 +222,94 @@ fn main() {
         }),
     );
 
+    // --- sparse (CSR) kernels and workload ---------------------------------
+    // RCV1-ish shape at bench scale: same row/column counts as the dense
+    // fixtures, ~5% density, trained in memory and through the mmap-backed
+    // binary CSR container.
+    let density = 0.05;
+    let per_row = (cols as f64 * density) as usize;
+    let mut sparse_builder = m3_linalg::CsrBuilder::new(cols);
+    let mut sparse_labels = Vec::with_capacity(rows);
+    {
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..rows {
+            idx.clear();
+            val.clear();
+            let mut score = 0.0;
+            let mut c = next() as usize % (cols / per_row);
+            while c < cols && idx.len() < per_row {
+                let v = (next() % 2000) as f64 * 0.001 - 1.0;
+                idx.push(c as u32);
+                val.push(v);
+                if c < 16 {
+                    score += v * if c.is_multiple_of(2) { 1.0 } else { -1.0 };
+                }
+                c += 1 + next() as usize % (2 * cols / per_row);
+            }
+            sparse_labels.push(f64::from(score >= 0.0));
+            sparse_builder
+                .push_row(&idx, &val)
+                .expect("generated sparse rows are valid");
+        }
+    }
+    let sparse = sparse_builder.finish();
+    let sparse_mapped = m3_core::sparse::persist_csr(
+        dir.path().join("sparse.m3csr"),
+        &sparse,
+        Some(&sparse_labels),
+    )
+    .expect("persisting the sparse fixture");
+
+    let (row_idx, row_val) = sparse.row(0);
+    record(
+        &format!("kernel/sparse_dot_{cols}_5pct"),
+        time_it_batched(reps * 10, 256, || kernels::sparse_dot(row_idx, row_val, &a)),
+    );
+    let sparse_weights = vec![0.01; cols];
+    let mut sparse_grad = vec![0.0; cols + 1];
+    record(
+        "kernel/fused_sparse_logistic_grad_chunk",
+        time_it(reps, || {
+            sparse_grad.fill(0.0);
+            kernels::logistic_grad_chunk_csr(
+                sparse.indptr(),
+                sparse.indices(),
+                sparse.values(),
+                &sparse_weights,
+                0.1,
+                &sparse_labels,
+                &mut scores,
+                &mut sparse_grad,
+            )
+        }),
+    );
+
+    use m3_ml::api::SparseEstimator;
+    record(
+        "workload/logistic_10it_csr_mem",
+        time_it(3, || {
+            logistic
+                .fit_sparse(&sparse, &sparse_labels, &ctx_parallel)
+                .unwrap()
+        }),
+    );
+    record(
+        "workload/logistic_10it_csr_mmap",
+        time_it(3, || {
+            logistic
+                .fit_sparse(&sparse_mapped, &sparse_labels, &ctx_parallel)
+                .unwrap()
+        }),
+    );
+
     // --- normal-equations + scaler, the sequential-driver workloads --------
     let lin_gen = LinearProblem::regression(vec![1.0, -0.5, 0.25, 2.0], 1.0, 0.05, 7);
     let (lx, ly) = lin_gen.materialize(rows);

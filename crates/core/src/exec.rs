@@ -10,7 +10,12 @@
 //! * [`ExecContext::for_each_chunk`] — a sequential chunked sweep for
 //!   single-pass accumulators (naive Bayes, Gram matrices),
 //! * [`ExecContext::map_reduce_rows`] — a parallel chunked map-reduce for
-//!   everything else (losses, gradients, k-means assignment).
+//!   everything else (losses, gradients, k-means assignment),
+//! * [`ExecContext::for_each_sparse_chunk`] /
+//!   [`ExecContext::map_reduce_sparse_rows`] — the same two drivers over
+//!   compressed-sparse-row stores ([`crate::sparse::SparseRowStore`]),
+//!   sharing the worker pool, chunk-ordered fold and tracer with the dense
+//!   path.
 //!
 //! Swapping the execution backend (serial, chunked, traced — and later
 //! sharded or async) is then a single `ExecContext` change instead of an
@@ -56,9 +61,10 @@ use std::time::Duration;
 
 use crate::chunked::RowChunk;
 use crate::pool::WorkerPool;
+use crate::sparse::{SparseRowChunk, SparseRowStore};
 use crate::storage::RowStore;
 use crate::trace::AccessTracer;
-use crate::{AccessPattern, PAGE_SIZE};
+use crate::{AccessPattern, ELEMENT_BYTES, PAGE_SIZE};
 
 /// Default per-chunk byte budget: 8 MiB (2 048 pages) keeps the OS
 /// read-ahead streaming while a chunk's working set stays far below any
@@ -342,7 +348,7 @@ impl ExecContext {
         make_scratch: MakeScratch,
         map: Map,
         identity: T,
-        mut reduce: Reduce,
+        reduce: Reduce,
     ) -> T
     where
         S: RowStore + Sync + ?Sized,
@@ -359,19 +365,7 @@ impl ExecContext {
 
         let n_cols = data.n_cols();
         let chunk_rows = self.parallel_chunk_rows(n_rows, n_cols);
-        let n_chunks = n_rows.div_ceil(chunk_rows);
-        // A sweep started from inside another parallel sweep (a `map` or
-        // `reduce` callback) must not touch the pool: `broadcast` would wait
-        // for the outer job to drain, and the outer job is waiting on this
-        // very callback — a deadlock.  Nested sweeps take the serial path,
-        // which is also what the old scoped-thread implementation's CPU
-        // budget amounted to.
-        let threads = if IN_PARALLEL_SWEEP.with(|flag| flag.get()) {
-            1
-        } else {
-            self.sweep_threads(n_rows, n_cols)
-        };
-
+        let threads = self.nested_aware_threads(|| self.sweep_threads(n_rows, n_cols));
         let chunk_at = |index: usize| {
             let start = index * chunk_rows;
             let end = (start + chunk_rows).min(n_rows);
@@ -382,14 +376,74 @@ impl ExecContext {
                 n_cols,
             }
         };
+        self.drive_chunks(
+            n_rows,
+            chunk_rows,
+            threads,
+            chunk_at,
+            make_scratch,
+            map,
+            identity,
+            reduce,
+        )
+    }
+
+    /// The number of worker threads to use for a sweep on *this* thread:
+    /// `decide()` when the thread is free, `1` when it is already inside a
+    /// parallel sweep.  A sweep started from inside another parallel sweep
+    /// (a `map` or `reduce` callback) must not touch the pool: `broadcast`
+    /// would wait for the outer job to drain, and the outer job is waiting
+    /// on this very callback — a deadlock.  Nested sweeps take the serial
+    /// path, which is also what the old scoped-thread implementation's CPU
+    /// budget amounted to.
+    fn nested_aware_threads(&self, decide: impl FnOnce() -> usize) -> usize {
+        if IN_PARALLEL_SWEEP.with(|flag| flag.get()) {
+            1
+        } else {
+            decide()
+        }
+    }
+
+    /// The shared sweep driver behind the dense and sparse map-reduce entry
+    /// points: splits `n_rows` into fixed `chunk_rows`-sized chunks (the
+    /// last may be short), materialises each through `chunk_at`, maps chunks
+    /// to partials — serially on the calling thread when `threads <= 1`,
+    /// otherwise work-stealing on the persistent pool — and folds the
+    /// partials **in chunk order**.  Chunk shape (`RowChunk`,
+    /// [`SparseRowChunk`], anything else) is opaque to the driver: a chunk
+    /// is produced and consumed on the same worker thread, so only the
+    /// partial type `T` crosses threads.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_chunks<C, B, T, ChunkAt, MakeScratch, Map, Reduce>(
+        &self,
+        n_rows: usize,
+        chunk_rows: usize,
+        threads: usize,
+        chunk_at: ChunkAt,
+        make_scratch: MakeScratch,
+        map: Map,
+        identity: T,
+        mut reduce: Reduce,
+    ) -> T
+    where
+        T: Send,
+        ChunkAt: Fn(usize) -> C + Sync,
+        MakeScratch: Fn() -> B + Sync,
+        Map: Fn(&mut B, C) -> T + Sync,
+        Reduce: FnMut(T, T) -> T,
+    {
+        let n_chunks = n_rows.div_ceil(chunk_rows);
+        let record_chunk = |index: usize| {
+            let start = index * chunk_rows;
+            self.record(start, (start + chunk_rows).min(n_rows));
+        };
 
         if threads <= 1 {
             let mut scratch = make_scratch();
             let mut acc = identity;
             for index in 0..n_chunks {
-                let chunk = chunk_at(index);
-                self.record(chunk.start_row, chunk.end_row);
-                acc = reduce(acc, map(&mut scratch, chunk));
+                record_chunk(index);
+                acc = reduce(acc, map(&mut scratch, chunk_at(index)));
             }
             return acc;
         }
@@ -449,9 +503,8 @@ impl ExecContext {
                             .expect("fold state poisoned");
                     }
                 }
-                let chunk = chunk_at(index);
-                self.record(chunk.start_row, chunk.end_row);
-                let partial = map(&mut scratch, chunk);
+                record_chunk(index);
+                let partial = map(&mut scratch, chunk_at(index));
                 sync.state
                     .lock()
                     .expect("fold state poisoned")
@@ -519,6 +572,148 @@ impl ExecContext {
         visit: impl Fn(RowChunk<'_>) + Sync,
     ) {
         self.map_reduce_rows(data, visit, (), |_, _| ());
+    }
+
+    // --- sparse (CSR) sweeps ------------------------------------------------
+    //
+    // The sparse drivers reuse everything above — the persistent pool, the
+    // chunk-ordered fold, tracing and the serial fallback — and differ only
+    // in how a chunk is materialised (three rebased CSR slices instead of
+    // one dense slice) and how chunk size and per-chunk work are estimated
+    // (from the store's *average* row payload, since sparse rows are
+    // ragged).  Both estimates depend only on the data's shape
+    // (`n_rows`, `nnz`) and this context's budget — never on the thread
+    // count and never on which backing store holds the arrays — so sparse
+    // training inherits the bit-identical-across-thread-counts-and-storage
+    // guarantee unchanged.
+
+    /// Average bytes per sparse row: one `u64` row pointer plus 12 bytes
+    /// (`u32` index + `f64` value) per stored entry.
+    fn sparse_row_bytes(n_rows: usize, nnz: usize) -> u64 {
+        let entry_bytes = (std::mem::size_of::<u32>() + ELEMENT_BYTES) as u128;
+        let per_row = entry_bytes * nnz as u128 / n_rows.max(1) as u128;
+        (std::mem::size_of::<u64>() as u128 + per_row) as u64
+    }
+
+    /// Rows per chunk for a sparse store of `n_rows` rows and `nnz` stored
+    /// entries: the chunk byte budget divided by the average row payload, at
+    /// least one — the sparse counterpart of [`chunk_rows`](Self::chunk_rows).
+    pub fn sparse_chunk_rows(&self, n_rows: usize, nnz: usize) -> usize {
+        ((self.chunk_bytes as u64) / Self::sparse_row_bytes(n_rows, nnz)).max(1) as usize
+    }
+
+    /// Rows per chunk a parallel sparse sweep uses: the budget-derived size,
+    /// capped so the sweep yields at least [`TARGET_PARALLEL_CHUNKS`] chunks
+    /// when the data has that many rows.
+    fn parallel_sparse_chunk_rows(&self, n_rows: usize, nnz: usize) -> usize {
+        self.sparse_chunk_rows(n_rows, nnz)
+            .min(n_rows.div_ceil(TARGET_PARALLEL_CHUNKS))
+            .max(1)
+    }
+
+    /// The number of worker threads a sparse map-reduce over `n_rows` rows
+    /// with `nnz` stored entries would use — the sparse counterpart of
+    /// [`sweep_threads`](Self::sweep_threads), with the work-per-chunk
+    /// estimate taken from the average number of stored entries per chunk.
+    pub fn sweep_threads_sparse(&self, n_rows: usize, nnz: usize) -> usize {
+        if n_rows == 0 {
+            return 1;
+        }
+        let chunk_rows = self.parallel_sparse_chunk_rows(n_rows, nnz);
+        let n_chunks = n_rows.div_ceil(chunk_rows);
+        let threads = self.resolve_threads().min(n_chunks);
+        let work_per_chunk = (nnz as u128 * chunk_rows as u128 / n_rows as u128) as usize;
+        if threads <= 1 || work_per_chunk < self.min_parallel_elements {
+            1
+        } else {
+            threads
+        }
+    }
+
+    /// Sweep a sparse store sequentially in budget-sized row chunks, calling
+    /// `f` on each [`SparseRowChunk`] in order — the sparse counterpart of
+    /// [`for_each_chunk`](Self::for_each_chunk), for order-dependent
+    /// accumulators (Gram matrices, Welford statistics).
+    pub fn for_each_sparse_chunk<S: SparseRowStore + ?Sized>(
+        &self,
+        data: &S,
+        mut f: impl FnMut(SparseRowChunk<'_>),
+    ) {
+        data.advise(self.advice);
+        let n_rows = data.n_rows();
+        let chunk_rows = self.sparse_chunk_rows(n_rows, data.nnz());
+        let mut start = 0;
+        while start < n_rows {
+            let end = (start + chunk_rows).min(n_rows);
+            self.record(start, end);
+            f(data.sparse_chunk(start, end));
+            start = end;
+        }
+    }
+
+    /// [`map_reduce_sparse_rows_scratch`](Self::map_reduce_sparse_rows_scratch)
+    /// without a per-worker scratch value.
+    pub fn map_reduce_sparse_rows<S, T, Map, Reduce>(
+        &self,
+        data: &S,
+        map: Map,
+        identity: T,
+        reduce: Reduce,
+    ) -> T
+    where
+        S: SparseRowStore + Sync + ?Sized,
+        T: Send,
+        Map: Fn(SparseRowChunk<'_>) -> T + Sync,
+        Reduce: FnMut(T, T) -> T,
+    {
+        self.map_reduce_sparse_rows_scratch(data, || (), |(), chunk| map(chunk), identity, reduce)
+    }
+
+    /// Sweep a sparse store in fixed row chunks, mapping each
+    /// [`SparseRowChunk`] to a partial result on the persistent worker pool
+    /// and folding the partials **in chunk order** — the sparse counterpart
+    /// of [`map_reduce_rows_scratch`](Self::map_reduce_rows_scratch), with
+    /// identical scratch reuse, serial fallback, nested-sweep and
+    /// determinism behaviour.
+    pub fn map_reduce_sparse_rows_scratch<S, B, T, MakeScratch, Map, Reduce>(
+        &self,
+        data: &S,
+        make_scratch: MakeScratch,
+        map: Map,
+        identity: T,
+        reduce: Reduce,
+    ) -> T
+    where
+        S: SparseRowStore + Sync + ?Sized,
+        T: Send,
+        MakeScratch: Fn() -> B + Sync,
+        Map: Fn(&mut B, SparseRowChunk<'_>) -> T + Sync,
+        Reduce: FnMut(T, T) -> T,
+    {
+        let n_rows = data.n_rows();
+        if n_rows == 0 {
+            return identity;
+        }
+        data.advise(self.advice);
+
+        let nnz = data.nnz();
+        let chunk_rows = self.parallel_sparse_chunk_rows(n_rows, nnz);
+        let threads = self.nested_aware_threads(|| self.sweep_threads_sparse(n_rows, nnz));
+        let chunk_at = |index: usize| {
+            let start = index * chunk_rows;
+            let end = (start + chunk_rows).min(n_rows);
+            data.sparse_chunk(start, end)
+        };
+        self.drive_chunks(
+            n_rows,
+            chunk_rows,
+            threads,
+            chunk_at,
+            make_scratch,
+            map,
+            identity,
+            reduce,
+        )
     }
 }
 
@@ -994,6 +1189,161 @@ mod tests {
             counter.fetch_add(chunk.n_rows(), Ordering::SeqCst);
         });
         assert_eq!(counter.load(Ordering::SeqCst), 257);
+    }
+
+    /// A deterministic ragged CSR fixture (some rows empty, ~1/3 density)
+    /// plus its labels.
+    fn sparse_fixture(rows: usize, cols: usize) -> m3_linalg::CsrMatrix {
+        let mut b = m3_linalg::CsrBuilder::new(cols);
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for r in 0..rows {
+            idx.clear();
+            val.clear();
+            for c in 0..cols {
+                if (r * 31 + c * 7) % 3 == 0 && r % 5 != 0 {
+                    idx.push(c as u32);
+                    val.push(((r * cols + c) % 100) as f64 * 0.125 - 3.0);
+                }
+            }
+            b.push_row(&idx, &val).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn sparse_chunk_rows_follow_the_average_row_payload() {
+        let ctx = ExecContext::new();
+        // 100 entries/row ⇒ 8 + 1200 bytes per row; 8 MiB / 1208 = 6 944.
+        assert_eq!(ctx.sparse_chunk_rows(1_000, 100_000), (8 << 20) / 1208);
+        // Empty matrix: indptr-only rows still make progress.
+        assert!(ctx.sparse_chunk_rows(10, 0) >= 1);
+        assert!(ctx.sparse_chunk_rows(0, 0) >= 1);
+        // Denser rows ⇒ fewer rows per chunk.
+        assert!(ctx.sparse_chunk_rows(100, 100_000) < ctx.sparse_chunk_rows(100, 1_000));
+    }
+
+    #[test]
+    fn sweep_threads_sparse_mirrors_the_dense_decision() {
+        let ctx = ExecContext::new().with_threads(4);
+        // Tiny work per chunk ⇒ serial fallback.
+        assert_eq!(ctx.sweep_threads_sparse(2_000, 4_000), 1);
+        // RCV1-shaped: ~80 nnz/row over many rows ⇒ pool engaged.
+        assert!(ctx.sweep_threads_sparse(1_000_000, 80_000_000) > 1);
+        assert_eq!(ctx.sweep_threads_sparse(0, 0), 1);
+        // Threshold overrides work exactly as for dense sweeps.
+        assert!(
+            ctx.clone()
+                .with_parallel_threshold(0)
+                .sweep_threads_sparse(2_000, 4_000)
+                > 1
+        );
+        assert_eq!(
+            ctx.with_parallel_threshold(usize::MAX)
+                .sweep_threads_sparse(1_000_000, 80_000_000),
+            1
+        );
+    }
+
+    #[test]
+    fn sparse_for_each_chunk_covers_rows_in_order() {
+        let m = sparse_fixture(137, 11);
+        let ctx = ExecContext::new().with_chunk_bytes(PAGE_SIZE);
+        let mut seen = Vec::new();
+        let mut entries = 0usize;
+        ctx.for_each_sparse_chunk(&m, |chunk| {
+            entries += chunk.nnz();
+            for (r, idx, val) in chunk.rows_with_index() {
+                assert_eq!((idx, val), m.row(r));
+                seen.push(r);
+            }
+        });
+        assert_eq!(seen, (0..137).collect::<Vec<_>>());
+        assert_eq!(entries, m.nnz());
+    }
+
+    #[test]
+    fn sparse_map_reduce_is_bit_identical_across_thread_counts() {
+        let m = sparse_fixture(1_500, 13);
+        let run = |threads| {
+            pooled(threads).map_reduce_sparse_rows(
+                &m,
+                |chunk| chunk.values.iter().map(|v| (v * 1.19).sin()).sum::<f64>(),
+                0.0,
+                |a, b| a + b,
+            )
+        };
+        let serial = run(1);
+        assert_ne!(serial, 0.0);
+        assert_eq!(serial.to_bits(), run(2).to_bits());
+        assert_eq!(serial.to_bits(), run(8).to_bits());
+    }
+
+    #[test]
+    fn sparse_and_dense_sweeps_share_the_nested_serial_fallback() {
+        // A sparse sweep issued from inside a dense `map` callback must run
+        // serially on the worker thread, exactly like nested dense sweeps.
+        let outer = matrix(1_000, 3);
+        let inner = sparse_fixture(300, 7);
+        let expected: f64 = inner.values().iter().sum();
+        let ctx = pooled(4);
+        let total = ctx.map_reduce_rows(
+            &outer,
+            |chunk| {
+                let worker = std::thread::current().id();
+                let nested = ctx.map_reduce_sparse_rows(
+                    &inner,
+                    |c| {
+                        assert_eq!(std::thread::current().id(), worker);
+                        c.values.iter().sum::<f64>()
+                    },
+                    0.0,
+                    |a, b| a + b,
+                );
+                assert_eq!(nested.to_bits(), expected.to_bits());
+                chunk.n_rows()
+            },
+            0usize,
+            |a, b| a + b,
+        );
+        assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn sparse_sweep_traces_and_handles_empty_stores() {
+        let empty = m3_linalg::CsrBuilder::new(4).finish();
+        let ctx = ExecContext::new();
+        assert_eq!(
+            ctx.map_reduce_sparse_rows(&empty, |_| 1usize, 7usize, |a, b| a + b),
+            7
+        );
+        let mut called = false;
+        ctx.for_each_sparse_chunk(&empty, |_| called = true);
+        assert!(!called);
+
+        let m = sparse_fixture(100, 6);
+        let tracer = Arc::new(AccessTracer::for_matrix(100, 6));
+        pooled(4)
+            .with_tracer(Arc::clone(&tracer))
+            .map_reduce_sparse_rows(&m, |c| c.n_rows(), 0, |a, b| a + b);
+        let expected_chunks = 100usize.div_ceil(100usize.div_ceil(TARGET_PARALLEL_CHUNKS));
+        assert_eq!(tracer.snapshot().events().len(), expected_chunks);
+    }
+
+    #[test]
+    fn sparse_sweep_works_over_memory_mapped_csr() {
+        let dir = tempfile::tempdir().unwrap();
+        let m = sparse_fixture(200, 9);
+        let mapped = crate::sparse::persist_csr(dir.path().join("s.m3csr"), &m, None).unwrap();
+        let sum = |store: &(dyn SparseRowStore + Sync)| {
+            pooled(3).map_reduce_sparse_rows(
+                store,
+                |chunk| chunk.values.iter().sum::<f64>(),
+                0.0,
+                |a, b| a + b,
+            )
+        };
+        assert_eq!(sum(&m).to_bits(), sum(&mapped).to_bits());
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //! * [`dataset::Dataset`] — a small self-describing binary container
 //!   (header + labels + row-major features) used by the experiment harness,
 //!   opened via `mmap` without reading it eagerly.
+//! * [`sparse::CsrFile`] — the sparse counterpart of [`dataset::Dataset`]: a
+//!   binary compressed-sparse-row container (versioned header plus three
+//!   page-rounded mapped sections — row pointers, column indices, values —
+//!   and optional labels) behind the [`sparse::SparseRowStore`] trait, so
+//!   sparse training scales past RAM exactly like the dense path.
 //! * [`advice::AccessPattern`] — `madvise(2)` hints (sequential / random /
 //!   will-need) exposed so callers can tell the OS about their access pattern,
 //!   which the paper highlights as a key OS-side optimisation.
@@ -65,6 +70,7 @@ pub mod error;
 pub mod exec;
 pub mod mmap;
 mod pool;
+pub mod sparse;
 pub mod stats;
 pub mod storage;
 pub mod trace;
@@ -75,6 +81,7 @@ pub use dataset::{Dataset, DatasetHeader};
 pub use error::{CoreError, Result};
 pub use exec::ExecContext;
 pub use mmap::{MmapMatrix, MmapMatrixMut};
+pub use sparse::{CsrFile, CsrFileBuilder, CsrHeader, SparseRowChunk, SparseRowStore};
 pub use storage::RowStore;
 
 /// Number of bytes per matrix element (`f64`), matching the paper's

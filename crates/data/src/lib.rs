@@ -18,7 +18,10 @@
 //! * [`blobs::GaussianBlobs`] — well-separated Gaussian clusters for k-means,
 //! * [`synthetic::LinearProblem`] — noisy linear / logistic ground-truth
 //!   generators used by correctness tests,
-//! * [`csv`] and [`libsvm`] — text-format readers/writers for small datasets,
+//! * [`csv`] and [`libsvm`] — text-format readers/writers; the libsvm module
+//!   also parses straight into sparse CSR ([`libsvm::read_libsvm_csr`]) and
+//!   streams text files into the `m3-core` binary CSR container
+//!   ([`libsvm::convert_libsvm_to_csr`]) without ever densifying,
 //! * [`writer`] — streaming helpers that materialise any [`RowGenerator`]
 //!   into an `m3-core` dataset container or raw matrix file of any size with
 //!   constant memory,
@@ -36,8 +39,9 @@ pub mod writer;
 
 pub use blobs::GaussianBlobs;
 pub use infimnist::InfimnistLike;
+pub use libsvm::{convert_libsvm_to_csr, read_libsvm, read_libsvm_csr};
 pub use synthetic::LinearProblem;
-pub use writer::RowGenerator;
+pub use writer::{write_libsvm, write_libsvm_csr, RowGenerator};
 
 /// Errors produced by dataset parsing and generation.
 #[derive(Debug)]

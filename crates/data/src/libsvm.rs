@@ -1,96 +1,166 @@
-//! Reader for the libsvm / svmlight sparse text format.
+//! Reader and converters for the libsvm / svmlight sparse text format.
 //!
 //! Spark's MLlib examples consume libsvm files, so the cluster-simulator
-//! comparison and the examples can share datasets in this format.  Parsed
-//! data is densified into a [`DenseMatrix`] because every algorithm in this
-//! workspace (like the paper's mlpack algorithms) operates on dense rows.
+//! comparison and the examples can share datasets in this format.  Three
+//! consumers are provided:
+//!
+//! * [`read_libsvm`] — the legacy densifying reader (small datasets only: a
+//!   row costs `n_features × 8` bytes no matter how sparse it is);
+//! * [`read_libsvm_csr`] — parses into an in-memory
+//!   [`CsrMatrix`], costing memory proportional to the *stored*
+//!   entries;
+//! * [`convert_libsvm_to_csr`] — a **streaming** converter to the `m3-core`
+//!   binary CSR container: two passes over the text file (count, then
+//!   fill), constant memory beyond one line, and never a dense buffer —
+//!   this is how an RCV1/url/kdd-scale file becomes an mmap-trainable
+//!   [`CsrFile`] on a machine whose RAM it exceeds.
+//!
+//! Sparse consumers sort each row's entries by column and reject duplicate
+//! columns; the densifying reader keeps its historical last-wins behaviour.
 
 use std::io::{BufRead, BufReader};
 use std::path::Path;
 
-use m3_linalg::DenseMatrix;
+use m3_core::sparse::{CsrFile, CsrFileBuilder};
+use m3_linalg::{CsrBuilder, CsrMatrix, DenseMatrix};
 
 use crate::csv::LabelledMatrix;
 use crate::{DataError, Result};
 
-/// Read a libsvm-format file (`label index:value index:value ...`, indices
-/// are 1-based) and densify it.
-///
-/// `n_features` may be given explicitly (needed when the trailing features of
-/// the last examples are all zero); pass `None` to infer it from the largest
-/// index seen.
-pub fn read_libsvm(path: impl AsRef<Path>, n_features: Option<usize>) -> Result<LabelledMatrix> {
-    let file = std::fs::File::open(path)?;
-    parse_libsvm(BufReader::new(file), n_features)
+/// One parsed libsvm line: the label and the `(0-based column, value)`
+/// entries in file order.
+type ParsedLine = (f64, Vec<(u32, f64)>);
+
+/// Parse one non-empty, non-comment libsvm line
+/// (`label index:value index:value ...`, 1-based indices).
+fn parse_line(trimmed: &str, line_no: usize) -> Result<ParsedLine> {
+    let mut parts = trimmed.split_whitespace();
+    let label: f64 = parts
+        .next()
+        .ok_or_else(|| DataError::Parse {
+            line: line_no,
+            reason: "missing label".to_string(),
+        })?
+        .parse()
+        .map_err(|_| DataError::Parse {
+            line: line_no,
+            reason: "label is not a number".to_string(),
+        })?;
+    let mut entries = Vec::new();
+    for part in parts {
+        let (idx, value) = part.split_once(':').ok_or_else(|| DataError::Parse {
+            line: line_no,
+            reason: format!("'{part}' is not in index:value form"),
+        })?;
+        let idx: u64 = idx.parse().map_err(|_| DataError::Parse {
+            line: line_no,
+            reason: format!("'{idx}' is not a valid feature index"),
+        })?;
+        if idx == 0 {
+            return Err(DataError::Parse {
+                line: line_no,
+                reason: "libsvm feature indices are 1-based".to_string(),
+            });
+        }
+        if idx > u32::MAX as u64 {
+            return Err(DataError::Parse {
+                line: line_no,
+                reason: format!("feature index {idx} exceeds the u32 column type"),
+            });
+        }
+        let value: f64 = value.parse().map_err(|_| DataError::Parse {
+            line: line_no,
+            reason: format!("'{value}' is not a number"),
+        })?;
+        entries.push(((idx - 1) as u32, value));
+    }
+    Ok((label, entries))
 }
 
-/// Parse libsvm content from any reader.
-pub fn parse_libsvm<R: BufRead>(reader: R, n_features: Option<usize>) -> Result<LabelledMatrix> {
-    let mut rows: Vec<(f64, Vec<(usize, f64)>)> = Vec::new();
-    let mut max_index = 0usize;
-
+/// Drive `visit` over every parsed line of `reader`, skipping blanks and
+/// `#` comments.
+fn for_each_line<R: BufRead>(
+    reader: R,
+    mut visit: impl FnMut(ParsedLine, usize) -> Result<()>,
+) -> Result<()> {
     for (line_no, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let mut parts = trimmed.split_whitespace();
-        let label: f64 = parts
-            .next()
-            .ok_or_else(|| DataError::Parse {
-                line: line_no + 1,
-                reason: "missing label".to_string(),
-            })?
-            .parse()
-            .map_err(|_| DataError::Parse {
-                line: line_no + 1,
-                reason: "label is not a number".to_string(),
-            })?;
-        let mut entries = Vec::new();
-        for part in parts {
-            let (idx, value) = part.split_once(':').ok_or_else(|| DataError::Parse {
-                line: line_no + 1,
-                reason: format!("'{part}' is not in index:value form"),
-            })?;
-            let idx: usize = idx.parse().map_err(|_| DataError::Parse {
-                line: line_no + 1,
-                reason: format!("'{idx}' is not a valid feature index"),
-            })?;
-            if idx == 0 {
-                return Err(DataError::Parse {
-                    line: line_no + 1,
-                    reason: "libsvm feature indices are 1-based".to_string(),
-                });
-            }
-            let value: f64 = value.parse().map_err(|_| DataError::Parse {
-                line: line_no + 1,
-                reason: format!("'{value}' is not a number"),
-            })?;
-            max_index = max_index.max(idx);
-            entries.push((idx - 1, value));
-        }
-        rows.push((label, entries));
+        visit(parse_line(trimmed, line_no + 1)?, line_no + 1)?;
     }
+    Ok(())
+}
 
-    let n_cols = match n_features {
+/// Sort a row's entries by column and reject duplicates — the invariant the
+/// CSR consumers need.
+fn sort_row(entries: &mut [(u32, f64)], line_no: usize) -> Result<()> {
+    entries.sort_by_key(|&(c, _)| c);
+    for pair in entries.windows(2) {
+        if pair[0].0 == pair[1].0 {
+            return Err(DataError::Parse {
+                line: line_no,
+                reason: format!("duplicate feature index {}", pair[0].0 + 1),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Resolve the column count from an optional explicit `n_features` and the
+/// largest (1-based) index seen.
+fn resolve_n_cols(n_features: Option<usize>, max_index: usize) -> Result<usize> {
+    match n_features {
         Some(n) => {
             if max_index > n {
-                return Err(DataError::InvalidConfig(format!(
+                Err(DataError::InvalidConfig(format!(
                     "file contains feature index {max_index} but only {n} features were requested"
-                )));
+                )))
+            } else {
+                Ok(n)
             }
-            n
         }
-        None => max_index,
-    };
+        None => Ok(max_index),
+    }
+}
+
+/// Read a libsvm-format file and densify it.
+///
+/// `n_features` may be given explicitly (needed when the trailing features of
+/// the last examples are all zero); pass `None` to infer it from the largest
+/// index seen.
+///
+/// # Errors
+/// Fails on I/O or parse errors, or when `n_features` is too small.
+pub fn read_libsvm(path: impl AsRef<Path>, n_features: Option<usize>) -> Result<LabelledMatrix> {
+    let file = std::fs::File::open(path)?;
+    parse_libsvm(BufReader::new(file), n_features)
+}
+
+/// Parse libsvm content from any reader into a dense matrix.
+///
+/// # Errors
+/// As [`read_libsvm`].
+pub fn parse_libsvm<R: BufRead>(reader: R, n_features: Option<usize>) -> Result<LabelledMatrix> {
+    let mut rows: Vec<ParsedLine> = Vec::new();
+    let mut max_index = 0usize;
+    for_each_line(reader, |(label, entries), _| {
+        for &(c, _) in &entries {
+            max_index = max_index.max(c as usize + 1);
+        }
+        rows.push((label, entries));
+        Ok(())
+    })?;
+    let n_cols = resolve_n_cols(n_features, max_index)?;
 
     let mut data = vec![0.0; rows.len() * n_cols];
     let mut labels = Vec::with_capacity(rows.len());
     for (r, (label, entries)) in rows.iter().enumerate() {
         labels.push(*label);
         for &(c, v) in entries {
-            data[r * n_cols + c] = v;
+            data[r * n_cols + c as usize] = v;
         }
     }
     let features = DenseMatrix::from_vec(data, rows.len(), n_cols)
@@ -101,9 +171,120 @@ pub fn parse_libsvm<R: BufRead>(reader: R, n_features: Option<usize>) -> Result<
     })
 }
 
+/// Read a libsvm-format file into an in-memory [`CsrMatrix`] plus labels,
+/// without ever materialising a dense row.
+///
+/// # Errors
+/// As [`read_libsvm`], plus a parse error on duplicate feature indices
+/// within a row.
+pub fn read_libsvm_csr(
+    path: impl AsRef<Path>,
+    n_features: Option<usize>,
+) -> Result<(CsrMatrix, Vec<f64>)> {
+    let file = std::fs::File::open(path)?;
+    parse_libsvm_csr(BufReader::new(file), n_features)
+}
+
+/// Parse libsvm content from any reader into a [`CsrMatrix`] plus labels.
+///
+/// # Errors
+/// As [`read_libsvm_csr`].
+pub fn parse_libsvm_csr<R: BufRead>(
+    reader: R,
+    n_features: Option<usize>,
+) -> Result<(CsrMatrix, Vec<f64>)> {
+    let mut labels = Vec::new();
+    let mut rows: Vec<Vec<(u32, f64)>> = Vec::new();
+    let mut max_index = 0usize;
+    for_each_line(reader, |(label, mut entries), line_no| {
+        sort_row(&mut entries, line_no)?;
+        if let Some(&(c, _)) = entries.last() {
+            max_index = max_index.max(c as usize + 1);
+        }
+        labels.push(label);
+        rows.push(entries);
+        Ok(())
+    })?;
+    let n_cols = resolve_n_cols(n_features, max_index)?;
+
+    let mut builder = CsrBuilder::new(n_cols);
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    for entries in &rows {
+        idx.clear();
+        val.clear();
+        for &(c, v) in entries {
+            idx.push(c);
+            val.push(v);
+        }
+        builder
+            .push_row(&idx, &val)
+            .map_err(|e| DataError::InvalidConfig(e.to_string()))?;
+    }
+    Ok((builder.finish(), labels))
+}
+
+/// Stream a libsvm text file into the `m3-core` binary CSR container at
+/// `dst` (header + row pointers + indices + values + labels) and reopen it
+/// memory-mapped.
+///
+/// Two passes over the text file: the first counts rows, stored entries and
+/// the largest feature index (and surfaces parse errors early); the second
+/// fills the pre-sized sections row by row.  Memory use is one text line
+/// plus one row's entries — **no dense buffer and no in-memory copy of the
+/// matrix**, so the conversion works for files far larger than RAM.
+///
+/// # Errors
+/// Fails on I/O or parse errors, duplicate feature indices within a row, or
+/// when `n_features` is too small.
+pub fn convert_libsvm_to_csr(
+    src: impl AsRef<Path>,
+    dst: impl AsRef<Path>,
+    n_features: Option<usize>,
+) -> Result<CsrFile> {
+    // Pass 1: count.
+    let mut n_rows = 0usize;
+    let mut nnz = 0usize;
+    let mut max_index = 0usize;
+    for_each_line(
+        BufReader::new(std::fs::File::open(&src)?),
+        |(_, mut entries), line_no| {
+            sort_row(&mut entries, line_no)?;
+            if let Some(&(c, _)) = entries.last() {
+                max_index = max_index.max(c as usize + 1);
+            }
+            n_rows += 1;
+            nnz += entries.len();
+            Ok(())
+        },
+    )?;
+    let n_cols = resolve_n_cols(n_features, max_index)?;
+
+    // Pass 2: fill.
+    let mut builder = CsrFileBuilder::create(&dst, n_rows, n_cols, nnz, true)?;
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    for_each_line(
+        BufReader::new(std::fs::File::open(&src)?),
+        |(label, mut entries), line_no| {
+            sort_row(&mut entries, line_no)?;
+            idx.clear();
+            val.clear();
+            for &(c, v) in &entries {
+                idx.push(c);
+                val.push(v);
+            }
+            builder.push_row(&idx, &val, label)?;
+            Ok(())
+        },
+    )?;
+    Ok(builder.finish()?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use m3_core::sparse::SparseRowStore;
     use std::io::Cursor;
 
     #[test]
@@ -117,12 +298,41 @@ mod tests {
     }
 
     #[test]
+    fn parses_sparse_rows_into_csr() {
+        // Out-of-order indices are sorted; an all-zero row stays empty.
+        let text = "1 3:2.0 1:0.5\n0\n2 2:-1.0\n";
+        let (csr, labels) = parse_libsvm_csr(Cursor::new(text), None).unwrap();
+        assert_eq!(csr.shape(), (3, 3));
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.row(0), (&[0u32, 2][..], &[0.5, 2.0][..]));
+        assert_eq!(csr.row(1), (&[][..], &[][..]));
+        assert_eq!(labels, vec![1.0, 0.0, 2.0]);
+        // The densified twin agrees with the dense reader.
+        let dense = parse_libsvm(Cursor::new(text), None).unwrap();
+        assert_eq!(csr.to_dense().as_slice(), dense.features.as_slice());
+    }
+
+    #[test]
+    fn csr_reader_rejects_duplicate_indices() {
+        match parse_libsvm_csr(Cursor::new("1 2:1.0 2:3.0\n"), None) {
+            Err(DataError::Parse { line, reason }) => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("duplicate"));
+            }
+            other => panic!("expected duplicate-index error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn explicit_feature_count_pads_columns() {
         let text = "1 1:1.0\n";
         let parsed = parse_libsvm(Cursor::new(text), Some(5)).unwrap();
         assert_eq!(parsed.features.shape(), (1, 5));
-        // Too small an explicit count is rejected.
+        let (csr, _) = parse_libsvm_csr(Cursor::new(text), Some(5)).unwrap();
+        assert_eq!(csr.shape(), (1, 5));
+        // Too small an explicit count is rejected by both readers.
         assert!(parse_libsvm(Cursor::new("1 4:1.0\n"), Some(2)).is_err());
+        assert!(parse_libsvm_csr(Cursor::new("1 4:1.0\n"), Some(2)).is_err());
     }
 
     #[test]
@@ -133,11 +343,13 @@ mod tests {
             ("1 0:1\n", 1),
             ("ok\n1 nonsense\n", 1),
             ("1 1:1\nnot-a-label 1:1\n", 2),
+            ("1 99999999999:1\n", 1),
         ] {
             match parse_libsvm(Cursor::new(text), None) {
                 Err(DataError::Parse { line, .. }) => assert_eq!(line, bad_line, "text: {text:?}"),
                 other => panic!("expected parse error for {text:?}, got {other:?}"),
             }
+            assert!(parse_libsvm_csr(Cursor::new(text), None).is_err());
         }
     }
 
@@ -146,6 +358,8 @@ mod tests {
         let text = "# header\n\n1 1:2.0\n";
         let parsed = parse_libsvm(Cursor::new(text), None).unwrap();
         assert_eq!(parsed.features.n_rows(), 1);
+        let (csr, _) = parse_libsvm_csr(Cursor::new(text), None).unwrap();
+        assert_eq!(csr.n_rows(), 1);
     }
 
     #[test]
@@ -156,5 +370,33 @@ mod tests {
         let parsed = read_libsvm(&path, None).unwrap();
         assert_eq!(parsed.features.shape(), (2, 2));
         assert_eq!(parsed.labels, Some(vec![2.0, 3.0]));
+        let (csr, labels) = read_libsvm_csr(&path, None).unwrap();
+        assert_eq!(csr.to_dense().as_slice(), parsed.features.as_slice());
+        assert_eq!(labels, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn streaming_conversion_matches_in_memory_parse() {
+        let dir = tempfile::tempdir().unwrap();
+        let src = dir.path().join("conv.svm");
+        let dst = dir.path().join("conv.m3csr");
+        std::fs::write(
+            &src,
+            "# comment\n1 1:0.5 3:2.5\n0\n1 2:-0.125 4:8.0\n0 1:1e-3\n",
+        )
+        .unwrap();
+        let file = convert_libsvm_to_csr(&src, &dst, Some(6)).unwrap();
+        let (mem, labels) = read_libsvm_csr(&src, Some(6)).unwrap();
+        assert_eq!(file.shape(), (4, 6));
+        assert_eq!(file.indptr(), mem.indptr());
+        assert_eq!(file.indices(), mem.indices());
+        assert_eq!(file.values(), mem.values());
+        assert_eq!(file.labels().unwrap(), &labels[..]);
+        // Inferred feature count works too.
+        let file2 = convert_libsvm_to_csr(&src, dir.path().join("c2.m3csr"), None).unwrap();
+        assert_eq!(file2.n_cols(), 4);
+        // And bad input surfaces as an error, not a corrupt file.
+        std::fs::write(&src, "1 2:1 2:2\n").unwrap();
+        assert!(convert_libsvm_to_csr(&src, &dst, None).is_err());
     }
 }

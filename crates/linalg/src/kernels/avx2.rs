@@ -370,3 +370,105 @@ pub fn nearest_centroid(row: &[f64], centroids: &[f64], k: usize) -> (usize, f64
     }
     (best, best_dist)
 }
+
+/// Sparse dot product via 4-lane gathers: each iteration loads four column
+/// indices, bounds-checks their maximum against `x`, gathers the four dense
+/// operands and FMAs them against four contiguous values.  The accumulator
+/// blocking matches the scalar path's nnz-axis split; as with the dense
+/// kernels the final combine differs in the last ULPs (FMA + lane order).
+///
+/// # Safety
+/// Requires AVX2 and FMA support, verified at runtime by the caller (see
+/// [`crate::dispatch`]).  The caller must also guarantee
+/// `x.len() <= i32::MAX` so `u32` indices survive the signed-gather
+/// reinterpretation; out-of-range indices panic before any gather runs.
+#[target_feature(enable = "avx2,fma")]
+pub fn sparse_dot(indices: &[u32], values: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(indices.len(), values.len());
+    debug_assert!(x.len() <= i32::MAX as usize);
+    let n = indices.len();
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let (i0, i1, i2, i3) = (indices[i], indices[i + 1], indices[i + 2], indices[i + 3]);
+        let max = i0.max(i1).max(i2).max(i3) as usize;
+        assert!(max < x.len(), "sparse_dot: column {max} out of bounds");
+        // SAFETY: all four indices were just checked against x.len(), which
+        // the dispatch wrapper guarantees fits in i32, and i + 4 <= n bounds
+        // the index/value loads.
+        unsafe {
+            let idx = _mm_loadu_si128(indices.as_ptr().add(i).cast());
+            let gathered = _mm256_i32gather_pd::<8>(x.as_ptr(), idx);
+            acc = _mm256_fmadd_pd(_mm256_loadu_pd(values.as_ptr().add(i)), gathered, acc);
+        }
+        i += 4;
+    }
+    let mut total = hsum256(acc);
+    while i < n {
+        total += values[i] * x[indices[i] as usize];
+        i += 1;
+    }
+    total
+}
+
+/// `y = A * x` for a CSR row block (see the scalar twin for the `indptr`
+/// base-offset convention) — one gathered [`sparse_dot`] per row.
+///
+/// # Safety
+/// As [`sparse_dot`].
+#[target_feature(enable = "avx2,fma")]
+pub fn sparse_gemv(indptr: &[u64], indices: &[u32], values: &[f64], x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(indptr.len(), y.len() + 1);
+    let base = indptr[0];
+    for (r, yr) in y.iter_mut().enumerate() {
+        let start = (indptr[r] - base) as usize;
+        let end = (indptr[r + 1] - base) as usize;
+        // The caller's contract is forwarded; slice bounds are checked.
+        *yr = sparse_dot(&indices[start..end], &values[start..end], x);
+    }
+}
+
+/// Sparse squared distance via gathers: `‖c‖² + Σ v·(v − 2·c[idx])` over the
+/// stored entries.
+///
+/// # Safety
+/// As [`sparse_dot`], with `center` in the role of `x`.
+#[target_feature(enable = "avx2,fma")]
+pub fn sparse_squared_distance(
+    indices: &[u32],
+    values: &[f64],
+    center: &[f64],
+    center_sq_norm: f64,
+) -> f64 {
+    debug_assert_eq!(indices.len(), values.len());
+    debug_assert!(center.len() <= i32::MAX as usize);
+    let n = indices.len();
+    let neg_two = _mm256_set1_pd(-2.0);
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let (i0, i1, i2, i3) = (indices[i], indices[i + 1], indices[i + 2], indices[i + 3]);
+        let max = i0.max(i1).max(i2).max(i3) as usize;
+        assert!(
+            max < center.len(),
+            "sparse_squared_distance: column {max} out of bounds"
+        );
+        // SAFETY: indices checked above; i + 4 <= n bounds the loads.
+        unsafe {
+            let idx = _mm_loadu_si128(indices.as_ptr().add(i).cast());
+            let gathered = _mm256_i32gather_pd::<8>(center.as_ptr(), idx);
+            let v = _mm256_loadu_pd(values.as_ptr().add(i));
+            // v - 2c, then FMA with v.
+            let inner = _mm256_fmadd_pd(neg_two, gathered, v);
+            acc = _mm256_fmadd_pd(v, inner, acc);
+        }
+        i += 4;
+    }
+    let mut total = hsum256(acc);
+    while i < n {
+        let v = values[i];
+        total += v * (v - 2.0 * center[indices[i] as usize]);
+        i += 1;
+    }
+    center_sq_norm + total
+}

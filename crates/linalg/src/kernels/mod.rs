@@ -25,6 +25,12 @@
 //!   logistic-regression training;
 //! * [`nearest_centroid`] — distance + argmin over all `k` centroids in one
 //!   pass per row, the inner loop of Lloyd's algorithm.
+//!
+//! The sparse (CSR) counterparts — [`sparse_dot`], [`scatter_axpy`],
+//! [`sparse_gemv`] / [`sparse_gemv_t`], [`sparse_squared_distance`] and the
+//! fused [`logistic_value_chunk_csr`] / [`logistic_grad_chunk_csr`] — follow
+//! the same pattern: shape checks here, then the dispatched path (AVX2
+//! gathers where the hardware has them, the portable scalar loop otherwise).
 
 use crate::dispatch::{self, KernelPath};
 
@@ -277,6 +283,222 @@ pub fn logistic_grad_chunk(
     loss
 }
 
+/// `true` when the AVX2 gather kernels may be used against a dense operand
+/// of `len` elements: `u32` column indices pass through a *signed* 32-bit
+/// gather, so the operand must fit in `i32` for the reinterpretation to be
+/// sound.  (Every realistic feature count does; the guard keeps the fallback
+/// correct rather than fast.)
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn gather_addressable(len: usize) -> bool {
+    len <= i32::MAX as usize
+}
+
+/// Sparse dot product `Σ values[k] * x[indices[k]]` over one CSR row.
+///
+/// # Panics
+/// Panics if `indices` and `values` lengths differ, or when an index is out
+/// of range for `x`.
+#[inline]
+pub fn sparse_dot(indices: &[u32], values: &[f64], x: &[f64]) -> f64 {
+    assert_eq!(indices.len(), values.len(), "sparse_dot: length mismatch");
+    match dispatch::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only selected after runtime detection, and the
+        // addressability guard upholds the gather's i32 contract.
+        KernelPath::Avx2Fma if gather_addressable(x.len()) => unsafe {
+            avx2::sparse_dot(indices, values, x)
+        },
+        _ => scalar::sparse_dot(indices, values, x),
+    }
+}
+
+/// Sparse scaled scatter-add `y[indices[k]] += alpha * values[k]`.
+///
+/// Scatter stores have no AVX2 form (and the adjacent-index hazard would
+/// forbid blind vectorisation anyway), so both dispatch paths run the scalar
+/// loop; the wrapper exists so callers stay uniform and a future AVX-512
+/// path drops in here.
+///
+/// # Panics
+/// Panics if `indices` and `values` lengths differ, or when an index is out
+/// of range for `y`.
+#[inline]
+pub fn scatter_axpy(alpha: f64, indices: &[u32], values: &[f64], y: &mut [f64]) {
+    assert_eq!(indices.len(), values.len(), "scatter_axpy: length mismatch");
+    scalar::scatter_axpy(alpha, indices, values, y);
+}
+
+/// `y = A * x` for a CSR row block: `indptr` holds `y.len() + 1` row
+/// pointers (possibly carrying a global base offset, as chunked sweeps do);
+/// `indices`/`values` are the block's entries rebased to `indptr[0]`.
+///
+/// # Panics
+/// Panics when any buffer length disagrees with the row pointers, or when a
+/// column index is out of range for `x`.
+#[inline]
+pub fn sparse_gemv(indptr: &[u64], indices: &[u32], values: &[f64], x: &[f64], y: &mut [f64]) {
+    assert_eq!(
+        indptr.len(),
+        y.len() + 1,
+        "sparse_gemv: indptr must have one entry per row plus one"
+    );
+    assert_eq!(indices.len(), values.len(), "sparse_gemv: length mismatch");
+    assert_eq!(
+        (indptr[indptr.len() - 1] - indptr[0]) as usize,
+        values.len(),
+        "sparse_gemv: entry count disagrees with indptr span"
+    );
+    match dispatch::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only selected after runtime detection, and the
+        // addressability guard upholds the gather's i32 contract.
+        KernelPath::Avx2Fma if gather_addressable(x.len()) => unsafe {
+            avx2::sparse_gemv(indptr, indices, values, x, y)
+        },
+        _ => scalar::sparse_gemv(indptr, indices, values, x, y),
+    }
+}
+
+/// `y += Aᵀ * x` (accumulating) for a CSR row block — the gradient-side
+/// sweep.  Row-by-row scatter on both paths (see [`scatter_axpy`]).
+///
+/// # Panics
+/// Panics when any buffer length disagrees with the row pointers, or when a
+/// column index is out of range for `y`.
+#[inline]
+pub fn sparse_gemv_t(indptr: &[u64], indices: &[u32], values: &[f64], x: &[f64], y: &mut [f64]) {
+    assert_eq!(
+        indptr.len(),
+        x.len() + 1,
+        "sparse_gemv_t: indptr must have one entry per row plus one"
+    );
+    assert_eq!(
+        indices.len(),
+        values.len(),
+        "sparse_gemv_t: length mismatch"
+    );
+    assert_eq!(
+        (indptr[indptr.len() - 1] - indptr[0]) as usize,
+        values.len(),
+        "sparse_gemv_t: entry count disagrees with indptr span"
+    );
+    scalar::sparse_gemv_t(indptr, indices, values, x, y);
+}
+
+/// Squared Euclidean distance between a sparse row and a dense `center`
+/// whose squared norm `center_sq_norm` is precomputed (k-means assignment
+/// reuses it across every row): `‖c‖² + Σ v·(v − 2·c[idx])`.
+///
+/// # Panics
+/// Panics if `indices` and `values` lengths differ, or when an index is out
+/// of range for `center`.
+#[inline]
+pub fn sparse_squared_distance(
+    indices: &[u32],
+    values: &[f64],
+    center: &[f64],
+    center_sq_norm: f64,
+) -> f64 {
+    assert_eq!(
+        indices.len(),
+        values.len(),
+        "sparse_squared_distance: length mismatch"
+    );
+    match dispatch::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only selected after runtime detection, and the
+        // addressability guard upholds the gather's i32 contract.
+        KernelPath::Avx2Fma if gather_addressable(center.len()) => unsafe {
+            avx2::sparse_squared_distance(indices, values, center, center_sq_norm)
+        },
+        _ => scalar::sparse_squared_distance(indices, values, center, center_sq_norm),
+    }
+}
+
+/// Fused logistic **loss** over one CSR row block: [`sparse_gemv`] computes
+/// every score, then one pass turns scores into the summed negative
+/// log-likelihood — the sparse twin of [`logistic_value_chunk`].  `scores`
+/// is caller-provided per-worker scratch.
+///
+/// # Panics
+/// Panics on any shape mismatch (see [`sparse_gemv`]) or when `labels` does
+/// not cover every row.
+pub fn logistic_value_chunk_csr(
+    indptr: &[u64],
+    indices: &[u32],
+    values: &[f64],
+    weights: &[f64],
+    bias: f64,
+    labels: &[f64],
+    scores: &mut Vec<f64>,
+) -> f64 {
+    let n = indptr.len() - 1;
+    assert_eq!(
+        labels.len(),
+        n,
+        "logistic_value_chunk_csr: label count mismatch"
+    );
+    scores.clear();
+    scores.resize(n, 0.0);
+    sparse_gemv(indptr, indices, values, weights, scores);
+    let mut loss = 0.0;
+    for (s, &y) in scores.iter().zip(labels) {
+        let z = s + bias;
+        loss += log1p_exp(z) - y * z;
+    }
+    loss
+}
+
+/// Fused logistic **loss + gradient** over one CSR row block: sparse gemv
+/// for the scores, one sigmoid/residual pass (in place over `scores`), then
+/// an accumulating [`sparse_gemv_t`] folds `Aᵀ·residual` into `grad[..d]`
+/// and the residual sum into `grad[d]` — the sparse twin of
+/// [`logistic_grad_chunk`].  Returns the summed loss.
+///
+/// # Panics
+/// Panics on any shape mismatch (see [`sparse_gemv`]), when `labels` does
+/// not cover every row, or when `grad.len() != weights.len() + 1`.
+#[allow(clippy::too_many_arguments)]
+pub fn logistic_grad_chunk_csr(
+    indptr: &[u64],
+    indices: &[u32],
+    values: &[f64],
+    weights: &[f64],
+    bias: f64,
+    labels: &[f64],
+    scores: &mut Vec<f64>,
+    grad: &mut [f64],
+) -> f64 {
+    let d = weights.len();
+    assert_eq!(
+        grad.len(),
+        d + 1,
+        "logistic_grad_chunk_csr: gradient length"
+    );
+    let n = indptr.len() - 1;
+    assert_eq!(
+        labels.len(),
+        n,
+        "logistic_grad_chunk_csr: label count mismatch"
+    );
+    scores.clear();
+    scores.resize(n, 0.0);
+    sparse_gemv(indptr, indices, values, weights, scores);
+    let mut loss = 0.0;
+    for (s, &y) in scores.iter_mut().zip(labels) {
+        let z = *s + bias;
+        loss += log1p_exp(z) - y * z;
+        *s = sigmoid(z) - y;
+    }
+    let (grad_w, grad_b) = grad.split_at_mut(d);
+    sparse_gemv_t(indptr, indices, values, scores, grad_w);
+    for &r in scores.iter() {
+        grad_b[0] += r;
+    }
+    loss
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,6 +607,174 @@ mod tests {
         for (a, b) in grad.iter().zip(&ref_grad) {
             assert!(approx(*a, *b, 1e-12), "{a} vs {b}");
         }
+    }
+
+    /// A small CSR fixture: indptr/indices/values plus its dense expansion.
+    fn csr_fixture(n_rows: usize, d: usize, seed: u64) -> (Vec<u64>, Vec<u32>, Vec<f64>, Vec<f64>) {
+        let mut indptr = vec![0u64];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        let mut dense = vec![0.0; n_rows * d];
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for r in 0..n_rows {
+            for c in 0..d {
+                // ~40% density, deterministic.
+                if next() % 5 < 2 {
+                    let v = (next() % 1000) as f64 * 0.01 - 5.0;
+                    indices.push(c as u32);
+                    values.push(v);
+                    dense[r * d + c] = v;
+                }
+            }
+            indptr.push(indices.len() as u64);
+        }
+        (indptr, indices, values, dense)
+    }
+
+    #[test]
+    fn sparse_dot_matches_dense_dot_on_expanded_rows() {
+        for n in [0usize, 1, 3, 4, 9, 40, 130] {
+            let (indptr, indices, values, dense) = csr_fixture(1, n.max(1), n as u64 + 7);
+            let x: Vec<f64> = (0..n.max(1)).map(|i| (i as f64 * 0.13).cos()).collect();
+            let row = &indices[..indptr[1] as usize];
+            let vals = &values[..indptr[1] as usize];
+            let naive: f64 = row.iter().zip(vals).map(|(&c, &v)| v * x[c as usize]).sum();
+            assert!(approx(sparse_dot(row, vals, &x), naive, 1e-12), "n = {n}");
+            assert!(approx(sparse_dot(row, vals, &x), dot(&dense, &x), 1e-12));
+        }
+    }
+
+    #[test]
+    fn sparse_gemv_pair_matches_dense_pair() {
+        let (rows, d) = (13, 17);
+        let (indptr, indices, values, dense) = csr_fixture(rows, d, 3);
+        let x: Vec<f64> = (0..d).map(|i| (i as f64 * 0.21).sin()).collect();
+        let mut ys = vec![0.0; rows];
+        let mut yd = vec![0.0; rows];
+        sparse_gemv(&indptr, &indices, &values, &x, &mut ys);
+        gemv(&dense, rows, d, &x, &mut yd);
+        for (a, b) in ys.iter().zip(&yd) {
+            assert!(approx(*a, *b, 1e-12), "{a} vs {b}");
+        }
+
+        let r: Vec<f64> = (0..rows).map(|i| (i as f64 * 0.37).cos()).collect();
+        let mut gs = vec![1.0; d];
+        let mut gd = vec![1.0; d];
+        sparse_gemv_t(&indptr, &indices, &values, &r, &mut gs);
+        gemv_t(&dense, rows, d, &r, &mut gd);
+        for (a, b) in gs.iter().zip(&gd) {
+            assert!(approx(*a, *b, 1e-12), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_kernels_accept_rebased_indptr() {
+        // Chunked sweeps hand the kernels global row pointers with rebased
+        // entry slices; results must match the zero-based equivalent.
+        let (indptr, indices, values, _) = csr_fixture(6, 9, 11);
+        let x: Vec<f64> = (0..9).map(|i| i as f64 * 0.25).collect();
+        let (lo, hi) = (2usize, 5usize);
+        let (s, e) = (indptr[lo] as usize, indptr[hi] as usize);
+        let mut from_block = vec![0.0; hi - lo];
+        sparse_gemv(
+            &indptr[lo..=hi],
+            &indices[s..e],
+            &values[s..e],
+            &x,
+            &mut from_block,
+        );
+        let mut rebased = indptr[lo..=hi].to_vec();
+        for p in rebased.iter_mut() {
+            *p -= indptr[lo];
+        }
+        let mut from_zero = vec![0.0; hi - lo];
+        sparse_gemv(&rebased, &indices[s..e], &values[s..e], &x, &mut from_zero);
+        for (a, b) in from_block.iter().zip(&from_zero) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn scatter_axpy_accumulates() {
+        let mut y = vec![1.0; 5];
+        scatter_axpy(2.0, &[0, 3], &[0.5, -1.0], &mut y);
+        assert_eq!(y, vec![2.0, 1.0, 1.0, -1.0, 1.0]);
+        scatter_axpy(1.0, &[3], &[1.0], &mut y);
+        assert_eq!(y[3], 0.0);
+    }
+
+    #[test]
+    fn sparse_squared_distance_matches_dense() {
+        let d = 23;
+        let (indptr, indices, values, dense) = csr_fixture(1, d, 29);
+        let center: Vec<f64> = (0..d).map(|i| (i as f64 * 0.19).sin() * 2.0).collect();
+        let c_sq = dot(&center, &center);
+        let row = &indices[..indptr[1] as usize];
+        let vals = &values[..indptr[1] as usize];
+        let sparse = sparse_squared_distance(row, vals, &center, c_sq);
+        let dense_dist = squared_distance(&dense, &center);
+        assert!(
+            approx(sparse, dense_dist, 1e-10),
+            "{sparse} vs {dense_dist}"
+        );
+    }
+
+    #[test]
+    fn fused_csr_logistic_chunks_match_dense_fused_chunks() {
+        let (rows, d) = (11, 7);
+        let (indptr, indices, values, dense) = csr_fixture(rows, d, 5);
+        let labels: Vec<f64> = (0..rows).map(|i| f64::from(i % 2 == 0)).collect();
+        let w: Vec<f64> = (0..d).map(|i| 0.1 * i as f64 - 0.3).collect();
+        let bias = -0.07;
+
+        let mut scores = Vec::new();
+        let dense_value = logistic_value_chunk(&dense, &w, bias, &labels, &mut scores);
+        let sparse_value =
+            logistic_value_chunk_csr(&indptr, &indices, &values, &w, bias, &labels, &mut scores);
+        assert!(approx(sparse_value, dense_value, 1e-12));
+
+        let mut dense_grad = vec![0.0; d + 1];
+        let v1 = logistic_grad_chunk(&dense, &w, bias, &labels, &mut scores, &mut dense_grad);
+        let mut sparse_grad = vec![0.0; d + 1];
+        let v2 = logistic_grad_chunk_csr(
+            &indptr,
+            &indices,
+            &values,
+            &w,
+            bias,
+            &labels,
+            &mut scores,
+            &mut sparse_grad,
+        );
+        assert!(approx(v1, v2, 1e-12));
+        for (a, b) in sparse_grad.iter().zip(&dense_grad) {
+            assert!(approx(*a, *b, 1e-11), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_kernels_are_deterministic() {
+        let (indptr, indices, values, _) = csr_fixture(9, 31, 13);
+        let x: Vec<f64> = (0..31).map(|i| (i as f64 * 0.017).sin()).collect();
+        let run = || {
+            let mut y = vec![0.0; 9];
+            sparse_gemv(&indptr, &indices, &values, &x, &mut y);
+            y.iter().sum::<f64>()
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sparse_dot_rejects_out_of_range_indices() {
+        // Both dispatch paths must panic (not scribble) on a bad index.
+        let _ = sparse_dot(&[7], &[1.0], &[0.0; 3]);
     }
 
     #[test]

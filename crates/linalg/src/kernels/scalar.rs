@@ -148,3 +148,97 @@ pub fn nearest_centroid(row: &[f64], centroids: &[f64], k: usize) -> (usize, f64
     }
     (best, best_dist)
 }
+
+/// Sparse dot product `Σ values[k] * x[indices[k]]` with four independent
+/// accumulation chains over the stored entries (mirroring [`dot`]'s blocking,
+/// but over the nnz axis).
+pub fn sparse_dot(indices: &[u32], values: &[f64], x: &[f64]) -> f64 {
+    debug_assert_eq!(indices.len(), values.len());
+    let mut acc0 = 0.0;
+    let mut acc1 = 0.0;
+    let mut acc2 = 0.0;
+    let mut acc3 = 0.0;
+    let chunks = indices.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc0 += values[j] * x[indices[j] as usize];
+        acc1 += values[j + 1] * x[indices[j + 1] as usize];
+        acc2 += values[j + 2] * x[indices[j + 2] as usize];
+        acc3 += values[j + 3] * x[indices[j + 3] as usize];
+    }
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for j in chunks * 4..indices.len() {
+        acc += values[j] * x[indices[j] as usize];
+    }
+    acc
+}
+
+/// Sparse scaled scatter-add: `y[indices[k]] += alpha * values[k]`.
+pub fn scatter_axpy(alpha: f64, indices: &[u32], values: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(indices.len(), values.len());
+    for (&c, &v) in indices.iter().zip(values) {
+        y[c as usize] += alpha * v;
+    }
+}
+
+/// `y = A * x` for a CSR row block.  `indptr` carries `y.len() + 1` row
+/// pointers whose values may start at any base offset (chunked sweeps pass
+/// global offsets); `indices`/`values` are the block's entries rebased so
+/// that entry `indptr[0]` is at slice position 0.
+pub fn sparse_gemv(indptr: &[u64], indices: &[u32], values: &[f64], x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(indptr.len(), y.len() + 1);
+    let base = indptr[0];
+    for (r, yr) in y.iter_mut().enumerate() {
+        let start = (indptr[r] - base) as usize;
+        let end = (indptr[r + 1] - base) as usize;
+        *yr = sparse_dot(&indices[start..end], &values[start..end], x);
+    }
+}
+
+/// `y += Aᵀ * x` (accumulating) for a CSR row block — one scatter-axpy per
+/// row, the sparse analogue of [`gemv_t`]'s sequential row sweep.  `indptr`
+/// follows the same base-offset convention as [`sparse_gemv`].
+pub fn sparse_gemv_t(indptr: &[u64], indices: &[u32], values: &[f64], x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(indptr.len(), x.len() + 1);
+    let base = indptr[0];
+    for (r, &xr) in x.iter().enumerate() {
+        let start = (indptr[r] - base) as usize;
+        let end = (indptr[r + 1] - base) as usize;
+        scatter_axpy(xr, &indices[start..end], &values[start..end], y);
+    }
+}
+
+/// Squared Euclidean distance between a sparse row and a dense point whose
+/// squared norm is known: `‖x − c‖² = ‖c‖² + Σ v·(v − 2·c[idx])`, visiting
+/// only the row's stored entries (four accumulation chains, like
+/// [`squared_distance`]).
+pub fn sparse_squared_distance(
+    indices: &[u32],
+    values: &[f64],
+    center: &[f64],
+    center_sq_norm: f64,
+) -> f64 {
+    debug_assert_eq!(indices.len(), values.len());
+    let mut acc0 = 0.0;
+    let mut acc1 = 0.0;
+    let mut acc2 = 0.0;
+    let mut acc3 = 0.0;
+    let chunks = indices.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        let v0 = values[j];
+        let v1 = values[j + 1];
+        let v2 = values[j + 2];
+        let v3 = values[j + 3];
+        acc0 += v0 * (v0 - 2.0 * center[indices[j] as usize]);
+        acc1 += v1 * (v1 - 2.0 * center[indices[j + 1] as usize]);
+        acc2 += v2 * (v2 - 2.0 * center[indices[j + 2] as usize]);
+        acc3 += v3 * (v3 - 2.0 * center[indices[j + 3] as usize]);
+    }
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for j in chunks * 4..indices.len() {
+        let v = values[j];
+        acc += v * (v - 2.0 * center[indices[j] as usize]);
+    }
+    center_sq_norm + acc
+}

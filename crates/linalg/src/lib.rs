@@ -8,7 +8,13 @@
 //! chunked parallel map-reduce helper used by every algorithm in `m3-ml`.
 //!
 //! Everything is `f64` and row-major, matching the paper's dataset layout
-//! (784 features × 8 bytes = 6 272 bytes per image row).
+//! (784 features × 8 bytes = 6 272 bytes per image row).  Sparse data is
+//! covered by [`sparse::CsrMatrix`] (compressed sparse row, `u64` row
+//! pointers / `u32` column indices / `f64` values — the same layout the
+//! `m3-core` binary CSR container memory-maps) together with the dispatched
+//! sparse kernels in [`kernels`] (`sparse_dot`, `scatter_axpy`,
+//! `sparse_gemv`/`sparse_gemv_t`, sparse squared distance and the fused
+//! sparse logistic chunks).
 //!
 //! ## Layout conventions
 //!
@@ -55,12 +61,14 @@ pub mod norm;
 pub mod ops;
 pub mod parallel;
 pub mod reduce;
+pub mod sparse;
 pub mod stats;
 pub mod vector;
 pub mod view;
 
 pub use dispatch::KernelPath;
 pub use matrix::DenseMatrix;
+pub use sparse::{CsrBuilder, CsrMatrix};
 pub use vector::Vector;
 pub use view::{MatrixView, MatrixViewMut};
 
@@ -87,6 +95,12 @@ pub enum LinalgError {
     /// An operation that requires a non-empty matrix or vector received an
     /// empty one.
     Empty,
+    /// A compressed-sparse-row structure violates a CSR invariant (see
+    /// [`sparse::CsrMatrix`]).
+    InvalidCsr {
+        /// Explanation of which invariant failed.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for LinalgError {
@@ -101,6 +115,7 @@ impl std::fmt::Display for LinalgError {
                 rows * cols
             ),
             LinalgError::Empty => write!(f, "operation requires a non-empty operand"),
+            LinalgError::InvalidCsr { reason } => write!(f, "invalid CSR structure: {reason}"),
         }
     }
 }

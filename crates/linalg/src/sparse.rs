@@ -1,0 +1,385 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Large text-classification and web datasets (RCV1, url, kdd) are extremely
+//! sparse; densifying them explodes exactly the on-disk footprint the M3
+//! out-of-core story is about.  [`CsrMatrix`] is the in-memory sparse
+//! counterpart of [`crate::DenseMatrix`]: three parallel arrays in the
+//! classical CSR layout, with fixed-width integer types chosen to match the
+//! workspace's on-disk format (`m3-core`'s binary CSR container) so the same
+//! slices can be memory-mapped without conversion:
+//!
+//! * `indptr: [u64; n_rows + 1]` — row `r`'s entries live at
+//!   `indptr[r]..indptr[r + 1]` in the other two arrays;
+//! * `indices: [u32; nnz]` — the column of each stored entry, strictly
+//!   increasing within a row;
+//! * `values: [f64; nnz]` — the entry values.
+//!
+//! Structural invariants (validated on construction, relied upon by the
+//! sparse kernels): `indptr` starts at zero, never decreases and ends at
+//! `nnz`; within each row the column indices are strictly increasing and
+//! below `n_cols`; and `n_cols` fits in a `u32`.  Explicitly stored zeros
+//! are permitted — they round-trip through the text formats — but
+//! [`CsrMatrix::from_dense`] never creates them.
+
+use crate::matrix::DenseMatrix;
+use crate::{LinalgError, Result};
+
+/// Validate one CSR row: `indices` and `values` must have equal lengths,
+/// the indices must be strictly increasing (sorted, duplicate-free) and all
+/// below `n_cols`.  This is the single definition of the per-row invariant;
+/// every CSR constructor in the workspace (in-memory and on-disk) funnels
+/// through it.
+///
+/// # Errors
+/// Returns [`LinalgError::InvalidCsr`] naming `row` when a check fails.
+pub fn validate_csr_row(row: usize, indices: &[u32], values: &[f64], n_cols: usize) -> Result<()> {
+    let invalid = |reason: String| LinalgError::InvalidCsr { reason };
+    if indices.len() != values.len() {
+        return Err(invalid(format!(
+            "row {row}: {} indices but {} values",
+            indices.len(),
+            values.len()
+        )));
+    }
+    for pair in indices.windows(2) {
+        if pair[0] >= pair[1] {
+            return Err(invalid(format!(
+                "row {row}: column indices must be strictly increasing ({} then {})",
+                pair[0], pair[1]
+            )));
+        }
+    }
+    if let Some(&last) = indices.last() {
+        if last as usize >= n_cols {
+            return Err(invalid(format!(
+                "row {row}: column {last} out of range for {n_cols} columns"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// An owned, immutable sparse matrix in compressed sparse row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n_cols: usize,
+    indptr: Vec<u64>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build a CSR matrix from its raw parts, validating every structural
+    /// invariant listed in the module docs.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidCsr`] when the arrays are inconsistent
+    /// (non-monotone `indptr`, unsorted or out-of-range column indices,
+    /// mismatched lengths, or `n_cols` too large for `u32` indices).
+    pub fn new(
+        n_cols: usize,
+        indptr: Vec<u64>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        let invalid = |reason: String| LinalgError::InvalidCsr { reason };
+        if n_cols > u32::MAX as usize {
+            return Err(invalid(format!(
+                "n_cols {n_cols} does not fit in the u32 column-index type"
+            )));
+        }
+        if indptr.is_empty() {
+            return Err(invalid("indptr must have at least one entry".into()));
+        }
+        if indptr[0] != 0 {
+            return Err(invalid(format!(
+                "indptr must start at 0, got {}",
+                indptr[0]
+            )));
+        }
+        if indices.len() != values.len() {
+            return Err(invalid(format!(
+                "indices ({}) and values ({}) lengths differ",
+                indices.len(),
+                values.len()
+            )));
+        }
+        if *indptr.last().expect("non-empty") != indices.len() as u64 {
+            return Err(invalid(format!(
+                "indptr ends at {} but there are {} stored entries",
+                indptr.last().expect("non-empty"),
+                indices.len()
+            )));
+        }
+        for r in 0..indptr.len() - 1 {
+            let (start, end) = (indptr[r], indptr[r + 1]);
+            if start > end {
+                return Err(invalid(format!("indptr decreases at row {r}")));
+            }
+            // An interior entry can exceed nnz even though the endpoints are
+            // valid (it must come back down, but that is only caught at the
+            // *next* pair) — bounds-check before slicing.
+            if end > indices.len() as u64 {
+                return Err(invalid(format!(
+                    "indptr[{}] = {end} exceeds the {} stored entries",
+                    r + 1,
+                    indices.len()
+                )));
+            }
+            let row_range = start as usize..end as usize;
+            validate_csr_row(r, &indices[row_range.clone()], &values[row_range], n_cols)?;
+        }
+        Ok(Self {
+            n_cols,
+            indptr,
+            indices,
+            values,
+        })
+    }
+
+    /// Convert a dense matrix, storing only its non-zero entries.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let mut builder = CsrBuilder::new(dense.n_cols());
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for r in 0..dense.n_rows() {
+            idx.clear();
+            val.clear();
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    idx.push(c as u32);
+                    val.push(v);
+                }
+            }
+            builder
+                .push_row(&idx, &val)
+                .expect("rows built from a dense matrix are always valid");
+        }
+        builder.finish()
+    }
+
+    /// Materialise the matrix as a dense row-major [`DenseMatrix`].
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut data = vec![0.0; self.n_rows() * self.n_cols];
+        for r in 0..self.n_rows() {
+            let (idx, val) = self.row(r);
+            let row = &mut data[r * self.n_cols..(r + 1) * self.n_cols];
+            for (&c, &v) in idx.iter().zip(val) {
+                row[c as usize] = v;
+            }
+        }
+        DenseMatrix::from_vec(data, self.n_rows(), self.n_cols)
+            .expect("shape is consistent by construction")
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.n_rows(), self.n_cols)
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries that are stored (`nnz / (rows × cols)`).
+    pub fn density(&self) -> f64 {
+        let total = self.n_rows() * self.n_cols;
+        if total == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / total as f64
+        }
+    }
+
+    /// `true` when the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n_rows() == 0
+    }
+
+    /// The row-pointer array (`n_rows + 1` entries).
+    pub fn indptr(&self) -> &[u64] {
+        &self.indptr
+    }
+
+    /// The column index of every stored entry.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The value of every stored entry.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The stored entries of row `i` as `(column indices, values)`.
+    ///
+    /// # Panics
+    /// Panics when `i >= n_rows()`.
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        assert!(
+            i < self.n_rows(),
+            "row {i} out of bounds ({})",
+            self.n_rows()
+        );
+        let start = self.indptr[i] as usize;
+        let end = self.indptr[i + 1] as usize;
+        (&self.indices[start..end], &self.values[start..end])
+    }
+}
+
+/// Incremental row-by-row construction of a [`CsrMatrix`].
+///
+/// Used by the libsvm readers and tests; each pushed row is validated
+/// immediately, so [`finish`](Self::finish) cannot fail.
+#[derive(Debug)]
+pub struct CsrBuilder {
+    n_cols: usize,
+    indptr: Vec<u64>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrBuilder {
+    /// Start a matrix with `n_cols` columns and no rows.
+    pub fn new(n_cols: usize) -> Self {
+        Self {
+            n_cols,
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Append one row given its strictly-increasing column `indices` and
+    /// matching `values` (either may be empty for an all-zero row).
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::InvalidCsr`] when the slices' lengths differ or
+    /// the indices are unsorted, duplicated or out of range.
+    pub fn push_row(&mut self, indices: &[u32], values: &[f64]) -> Result<()> {
+        validate_csr_row(self.indptr.len() - 1, indices, values, self.n_cols)?;
+        self.indices.extend_from_slice(indices);
+        self.values.extend_from_slice(values);
+        self.indptr.push(self.indices.len() as u64);
+        Ok(())
+    }
+
+    /// Number of rows pushed so far.
+    pub fn n_rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Finish the matrix.
+    pub fn finish(self) -> CsrMatrix {
+        CsrMatrix {
+            n_cols: self.n_cols,
+            indptr: self.indptr,
+            indices: self.indices,
+            values: self.values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2], [0, 0, 0], [0, -3, 0]]
+        CsrMatrix::new(3, vec![0, 2, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, -3.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(m.nnz(), 3);
+        assert!((m.density() - 3.0 / 9.0).abs() < 1e-15);
+        assert!(!m.is_empty());
+        assert_eq!(m.row(0), (&[0u32, 2][..], &[1.0, 2.0][..]));
+        assert_eq!(m.row(1), (&[][..], &[][..]));
+        assert_eq!(m.row(2), (&[1u32][..], &[-3.0][..]));
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let m = sample();
+        let dense = m.to_dense();
+        assert_eq!(dense.row(0), &[1.0, 0.0, 2.0]);
+        assert_eq!(dense.row(1), &[0.0, 0.0, 0.0]);
+        assert_eq!(dense.row(2), &[0.0, -3.0, 0.0]);
+        let back = CsrMatrix::from_dense(&dense);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn builder_matches_direct_construction() {
+        let mut b = CsrBuilder::new(3);
+        b.push_row(&[0, 2], &[1.0, 2.0]).unwrap();
+        b.push_row(&[], &[]).unwrap();
+        assert_eq!(b.n_rows(), 2);
+        b.push_row(&[1], &[-3.0]).unwrap();
+        assert_eq!(b.finish(), sample());
+    }
+
+    #[test]
+    fn invalid_structures_are_rejected() {
+        // indptr not starting at zero.
+        assert!(CsrMatrix::new(2, vec![1, 1], vec![], vec![]).is_err());
+        // indptr decreasing.
+        assert!(CsrMatrix::new(2, vec![0, 1, 0], vec![0], vec![1.0]).is_err());
+        // indptr end disagrees with nnz.
+        assert!(CsrMatrix::new(2, vec![0, 2], vec![0], vec![1.0]).is_err());
+        // length mismatch.
+        assert!(CsrMatrix::new(2, vec![0, 1], vec![0], vec![]).is_err());
+        // duplicate column in a row.
+        assert!(CsrMatrix::new(2, vec![0, 2], vec![1, 1], vec![1.0, 2.0]).is_err());
+        // unsorted columns.
+        assert!(CsrMatrix::new(3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
+        // interior indptr spike beyond nnz (endpoints valid) must be an
+        // error, not a slice panic.
+        assert!(CsrMatrix::new(2, vec![0, 10, 3], vec![0, 1, 0], vec![1.0, 2.0, 3.0]).is_err());
+        // column out of range.
+        assert!(CsrMatrix::new(2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // empty indptr.
+        assert!(CsrMatrix::new(2, vec![], vec![], vec![]).is_err());
+
+        let mut b = CsrBuilder::new(2);
+        assert!(b.push_row(&[0, 0], &[1.0, 2.0]).is_err());
+        assert!(b.push_row(&[3], &[1.0]).is_err());
+        assert!(b.push_row(&[0], &[]).is_err());
+    }
+
+    #[test]
+    fn explicit_zero_entries_are_preserved() {
+        let m = CsrMatrix::new(2, vec![0, 1], vec![1], vec![0.0]).unwrap();
+        assert_eq!(m.nnz(), 1);
+        // from_dense drops them again.
+        assert_eq!(CsrMatrix::from_dense(&m.to_dense()).nnz(), 0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::new(4, vec![0], vec![], vec![]).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.density(), 0.0);
+        assert_eq!(m.to_dense().shape(), (0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let _ = sample().row(3);
+    }
+}

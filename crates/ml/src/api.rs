@@ -42,6 +42,7 @@
 //! unchanged — and produces bit-identical parameters, which the workspace's
 //! parity suite enforces.
 
+use m3_core::sparse::SparseRowStore;
 use m3_core::storage::RowStore;
 use m3_core::ExecContext;
 
@@ -63,6 +64,29 @@ pub trait Estimator {
     /// Implementations fail on shape mismatches, empty or invalid data, and
     /// optimiser divergence.
     fn fit<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        labels: &[f64],
+        ctx: &ExecContext,
+    ) -> Result<Self::Model>;
+}
+
+/// An [`Estimator`] that can also train on compressed-sparse-row data.
+///
+/// The produced model type is the *same* as the dense path's — a model does
+/// not care how its training rows were stored — so downstream prediction,
+/// scoring and serialisation code is shared.  Training results agree with
+/// the densified twin up to floating-point summation order (sparse kernels
+/// skip the zero terms, which re-brackets the reductions), and are
+/// bit-identical across thread counts and across in-memory
+/// ([`m3_linalg::CsrMatrix`]) vs memory-mapped ([`m3_core::CsrFile`])
+/// backings, exactly like the dense guarantee.
+pub trait SparseEstimator: Estimator {
+    /// Train on sparse `data` (rows = examples) with one label per row.
+    ///
+    /// # Errors
+    /// As [`Estimator::fit`].
+    fn fit_sparse<S: SparseRowStore + Sync + ?Sized>(
         &self,
         data: &S,
         labels: &[f64],

@@ -18,6 +18,12 @@
 //! rather than per-model knobs, so swapping the execution backend is equally
 //! a one-line change.
 //!
+//! Sparse data gets the same treatment: logistic, softmax and linear
+//! regression also implement [`api::SparseEstimator`], training over any
+//! [`m3_core::SparseRowStore`] — the in-memory `m3_linalg::CsrMatrix` or
+//! the memory-mapped `m3_core::CsrFile` — through the context's sparse
+//! sweep drivers, producing the *same* model types as the dense paths.
+//!
 //! ## Example: logistic regression over a memory-mapped file
 //!
 //! ```
@@ -52,7 +58,7 @@ pub mod naive_bayes;
 pub mod preprocess;
 pub mod softmax;
 
-pub use api::{Estimator, Fit, Model, UnsupervisedEstimator};
+pub use api::{Estimator, Fit, Model, SparseEstimator, UnsupervisedEstimator};
 pub use kmeans::{KMeans, KMeansConfig, KMeansInit, KMeansModel};
 pub use logistic::{LogisticConfig, LogisticModel, LogisticRegression};
 pub use preprocess::{StandardScaler, Standardizer};

@@ -11,6 +11,7 @@
 //!
 //! Both paths sweep the data through the shared [`ExecContext`].
 
+use m3_core::sparse::SparseRowStore;
 use m3_core::storage::RowStore;
 use m3_core::ExecContext;
 use m3_linalg::{blas, kernels, ops, DenseMatrix};
@@ -18,7 +19,7 @@ use m3_optim::function::DifferentiableFunction;
 use m3_optim::gd::GradientDescent;
 use m3_optim::termination::TerminationCriteria;
 
-use crate::api::{Estimator, Model};
+use crate::api::{Estimator, Model, SparseEstimator};
 use crate::{MlError, Result};
 
 /// How the coefficients are computed.
@@ -128,6 +129,65 @@ impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for LeastSquaresLoss<'_
     }
 }
 
+/// Mean-squared-error objective over a [`SparseRowStore`], used by the
+/// sparse gradient-descent solver.
+struct SparseLeastSquaresLoss<'a, S: SparseRowStore + Sync + ?Sized> {
+    data: &'a S,
+    targets: &'a [f64],
+    l2: f64,
+    ctx: &'a ExecContext,
+}
+
+impl<S: SparseRowStore + Sync + ?Sized> DifferentiableFunction for SparseLeastSquaresLoss<'_, S> {
+    fn dimension(&self) -> usize {
+        self.data.n_cols() + 1
+    }
+
+    fn value(&self, w: &[f64]) -> f64 {
+        let mut grad = vec![0.0; w.len()];
+        self.value_and_gradient(w, &mut grad)
+    }
+
+    fn gradient(&self, w: &[f64], grad: &mut [f64]) {
+        self.value_and_gradient(w, grad);
+    }
+
+    fn value_and_gradient(&self, w: &[f64], grad: &mut [f64]) -> f64 {
+        let n = self.data.n_rows();
+        let d = self.data.n_cols();
+        if n == 0 {
+            grad.fill(0.0);
+            return 0.0;
+        }
+        let (loss, partial) = self.ctx.map_reduce_sparse_rows(
+            self.data,
+            |chunk| {
+                let mut g = vec![0.0; d + 1];
+                let mut acc = 0.0;
+                for (r, indices, values) in chunk.rows_with_index() {
+                    let target = self.targets[r];
+                    let residual = kernels::sparse_dot(indices, values, &w[..d]) + w[d] - target;
+                    acc += residual * residual;
+                    kernels::scatter_axpy(2.0 * residual, indices, values, &mut g[..d]);
+                    g[d] += 2.0 * residual;
+                }
+                (acc, g)
+            },
+            (0.0, vec![0.0; d + 1]),
+            |(la, mut ga), (lb, gb)| {
+                ops::add_assign(&mut ga, &gb);
+                (la + lb, ga)
+            },
+        );
+        let inv = 1.0 / n as f64;
+        for (gi, pi) in grad.iter_mut().zip(&partial) {
+            *gi = pi * inv;
+        }
+        ops::axpy(self.l2, &w[..d], &mut grad[..d]);
+        loss * inv + 0.5 * self.l2 * ops::dot(&w[..d], &w[..d])
+    }
+}
+
 impl LinearRegression {
     /// Create a trainer with the given configuration.
     pub fn new(config: LinearRegressionConfig) -> Self {
@@ -182,7 +242,54 @@ impl LinearRegression {
                 y_sum += y;
             }
         });
+        self.solve_normal_system(d, n, gtg, col_sums, xty, y_sum)
+    }
 
+    /// Sparse normal equations: the same accumulators as the dense sweep,
+    /// but each row contributes only its stored entries — the Gram update is
+    /// the O(k²) outer product of the row's nnz, and the bias/Xᵀy terms are
+    /// scatters.
+    fn fit_normal_equations_sparse<S: SparseRowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        targets: &[f64],
+        ctx: &ExecContext,
+    ) -> Result<LinearModel> {
+        let d = data.n_cols();
+        let n = data.n_rows();
+
+        let mut gtg = vec![0.0; d * d];
+        let mut col_sums = vec![0.0; d];
+        let mut xty = vec![0.0; d];
+        let mut y_sum = 0.0;
+        ctx.for_each_sparse_chunk(data, |chunk| {
+            for (r, indices, values) in chunk.rows_with_index() {
+                let y = targets[r];
+                for (&ci, &vi) in indices.iter().zip(values) {
+                    kernels::scatter_axpy(vi, indices, values, {
+                        let row = ci as usize * d;
+                        &mut gtg[row..row + d]
+                    });
+                }
+                kernels::scatter_axpy(1.0, indices, values, &mut col_sums);
+                kernels::scatter_axpy(y, indices, values, &mut xty);
+                y_sum += y;
+            }
+        });
+        self.solve_normal_system(d, n, gtg, col_sums, xty, y_sum)
+    }
+
+    /// Assemble and solve the augmented `[X | 1]` ridge system from the
+    /// sweep accumulators — shared by the dense and sparse paths.
+    fn solve_normal_system(
+        &self,
+        d: usize,
+        n: usize,
+        gtg: Vec<f64>,
+        col_sums: Vec<f64>,
+        xty: Vec<f64>,
+        y_sum: f64,
+    ) -> Result<LinearModel> {
         // Assemble the augmented [X | 1] system: (d+1)×(d+1) Gram and rhs.
         let mut gram = DenseMatrix::zeros(d + 1, d + 1);
         for i in 0..d {
@@ -223,23 +330,61 @@ impl LinearRegression {
             l2: self.config.l2,
             ctx,
         };
+        self.run_gradient_descent(&loss, data.n_cols())
+    }
+
+    fn fit_gradient_descent_sparse<S: SparseRowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        targets: &[f64],
+        ctx: &ExecContext,
+    ) -> Result<LinearModel> {
+        let loss = SparseLeastSquaresLoss {
+            data,
+            targets,
+            l2: self.config.l2,
+            ctx,
+        };
+        self.run_gradient_descent(&loss, data.n_cols())
+    }
+
+    /// Run the iterative solver on any least-squares objective of `d + 1`
+    /// parameters — shared by the dense and sparse paths.
+    fn run_gradient_descent(
+        &self,
+        loss: &impl DifferentiableFunction,
+        d: usize,
+    ) -> Result<LinearModel> {
         let result = GradientDescent::new()
             .criteria(TerminationCriteria {
                 max_iterations: self.config.max_iterations,
                 ..Default::default()
             })
-            .run(&loss, vec![0.0; data.n_cols() + 1]);
+            .run(loss, vec![0.0; d + 1]);
         if result.weights.iter().any(|w| !w.is_finite()) {
             return Err(MlError::OptimizationFailed(format!(
                 "gradient descent terminated with {:?}",
                 result.reason
             )));
         }
-        let d = data.n_cols();
         Ok(LinearModel {
             weights: result.weights[..d].to_vec(),
             bias: result.weights[d],
         })
+    }
+
+    /// Shared validation for the dense and sparse fit paths.
+    fn validate(n_rows: usize, n_cols: usize, targets: &[f64]) -> Result<()> {
+        if n_rows == 0 || n_cols == 0 {
+            return Err(MlError::InvalidData("training data is empty".to_string()));
+        }
+        if n_rows != targets.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{n_rows} targets"),
+                found: format!("{} targets", targets.len()),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -252,18 +397,25 @@ impl Estimator for LinearRegression {
         targets: &[f64],
         ctx: &ExecContext,
     ) -> Result<LinearModel> {
-        if data.n_rows() == 0 || data.n_cols() == 0 {
-            return Err(MlError::InvalidData("training data is empty".to_string()));
-        }
-        if data.n_rows() != targets.len() {
-            return Err(MlError::ShapeMismatch {
-                expected: format!("{} targets", data.n_rows()),
-                found: format!("{} targets", targets.len()),
-            });
-        }
+        Self::validate(data.n_rows(), data.n_cols(), targets)?;
         match self.config.solver {
             Solver::NormalEquations => self.fit_normal_equations(data, targets, ctx),
             Solver::GradientDescent => self.fit_gradient_descent(data, targets, ctx),
+        }
+    }
+}
+
+impl SparseEstimator for LinearRegression {
+    fn fit_sparse<S: SparseRowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        targets: &[f64],
+        ctx: &ExecContext,
+    ) -> Result<LinearModel> {
+        Self::validate(data.n_rows(), data.n_cols(), targets)?;
+        match self.config.solver {
+            Solver::NormalEquations => self.fit_normal_equations_sparse(data, targets, ctx),
+            Solver::GradientDescent => self.fit_gradient_descent_sparse(data, targets, ctx),
         }
     }
 }
@@ -383,6 +535,66 @@ mod tests {
             assert_eq!(wa.to_bits(), wb.to_bits());
         }
         assert_eq!(a.bias.to_bits(), b.bias.to_bits());
+    }
+
+    /// The regression problem with most entries zeroed, as CSR + dense twin.
+    fn sparse_problem(n: usize) -> (m3_linalg::CsrMatrix, DenseMatrix, Vec<f64>) {
+        let (x, y) = problem(n, 0.05);
+        let mut data = x.as_slice().to_vec();
+        for (i, v) in data.iter_mut().enumerate() {
+            if (i * 2654435761) % 3 == 1 {
+                *v = 0.0;
+            }
+        }
+        let dense = DenseMatrix::from_vec(data, x.n_rows(), x.n_cols()).unwrap();
+        (m3_linalg::CsrMatrix::from_dense(&dense), dense, y)
+    }
+
+    #[test]
+    fn sparse_fit_agrees_with_dense_fit_for_both_solvers() {
+        let (csr, dense, y) = sparse_problem(250);
+        let ctx = ExecContext::new();
+        for solver in [Solver::NormalEquations, Solver::GradientDescent] {
+            let trainer = LinearRegression::new(LinearRegressionConfig {
+                solver,
+                max_iterations: 800,
+                ..Default::default()
+            });
+            let on_dense = Estimator::fit(&trainer, &dense, &y, &ctx).unwrap();
+            let on_sparse = trainer.fit_sparse(&csr, &y, &ctx).unwrap();
+            for (a, b) in on_dense.weights.iter().zip(&on_sparse.weights) {
+                assert!((a - b).abs() < 1e-6, "{solver:?}: {a} vs {b}");
+            }
+            assert!((on_dense.bias - on_sparse.bias).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sparse_fit_is_bit_identical_across_backings() {
+        let (csr, _, y) = sparse_problem(180);
+        let dir = tempfile::tempdir().unwrap();
+        let mapped = m3_core::sparse::persist_csr(dir.path().join("lr.m3csr"), &csr, None).unwrap();
+        let trainer = LinearRegression::default();
+        let ctx = ExecContext::new();
+        let a = trainer.fit_sparse(&csr, &y, &ctx).unwrap();
+        let b = trainer.fit_sparse(&mapped, &y, &ctx).unwrap();
+        for (wa, wb) in a.weights.iter().zip(&b.weights) {
+            assert_eq!(wa.to_bits(), wb.to_bits());
+        }
+        assert_eq!(a.bias.to_bits(), b.bias.to_bits());
+    }
+
+    #[test]
+    fn sparse_fit_validation_errors() {
+        let (csr, _, y) = sparse_problem(10);
+        let ctx = ExecContext::new();
+        assert!(LinearRegression::default()
+            .fit_sparse(&csr, &y[..4], &ctx)
+            .is_err());
+        let empty = m3_linalg::CsrBuilder::new(2).finish();
+        assert!(LinearRegression::default()
+            .fit_sparse(&empty, &[], &ctx)
+            .is_err());
     }
 
     #[test]

@@ -9,7 +9,15 @@
 //! chunk runs through the fused gemv + sigmoid + residual kernels
 //! ([`kernels::logistic_value_chunk`] / [`kernels::logistic_grad_chunk`]),
 //! with per-worker score buffers reused across chunks.
+//!
+//! Sparse data trains through the same trainer via
+//! [`crate::api::SparseEstimator::fit_sparse`]: [`SparseLogisticLoss`] runs
+//! the fused CSR kernels over the context's sparse sweep, touching only the
+//! stored entries, and hands the identical L-BFGS protocol the same kind of
+//! objective — so the produced [`LogisticModel`] is the same type with the
+//! same guarantees.
 
+use m3_core::sparse::SparseRowStore;
 use m3_core::storage::RowStore;
 use m3_core::ExecContext;
 use m3_linalg::{kernels, ops};
@@ -17,7 +25,7 @@ use m3_optim::function::{DifferentiableFunction, StochasticFunction};
 use m3_optim::lbfgs::Lbfgs;
 use m3_optim::termination::{OptimizationResult, TerminationCriteria};
 
-use crate::api::{Estimator, Model};
+use crate::api::{Estimator, Model, SparseEstimator};
 use crate::{MlError, Result};
 
 /// Numerically stable sigmoid (re-exported from the kernel layer).
@@ -171,6 +179,120 @@ impl<S: RowStore + Sync + ?Sized> StochasticFunction for LogisticLoss<'_, S> {
     }
 }
 
+/// The averaged logistic loss over a [`SparseRowStore`] — the CSR twin of
+/// [`LogisticLoss`], with the same parameter layout (`[w_1 … w_d, b]`, bias
+/// unregularised).  Chunks run through the fused sparse kernels
+/// ([`kernels::logistic_value_chunk_csr`] /
+/// [`kernels::logistic_grad_chunk_csr`]) under the context's sparse sweep
+/// driver, so only the stored entries are ever touched.
+pub struct SparseLogisticLoss<'a, S: SparseRowStore + Sync + ?Sized> {
+    data: &'a S,
+    labels: &'a [f64],
+    /// L2 regularisation strength λ.
+    pub l2: f64,
+    ctx: &'a ExecContext,
+}
+
+impl<'a, S: SparseRowStore + Sync + ?Sized> SparseLogisticLoss<'a, S> {
+    /// Create the loss for sparse `data` and `labels` in `{0, 1}`, sweeping
+    /// under `ctx`'s execution policy.
+    pub fn new(data: &'a S, labels: &'a [f64], l2: f64, ctx: &'a ExecContext) -> Self {
+        assert_eq!(
+            data.n_rows(),
+            labels.len(),
+            "labels must match the number of rows"
+        );
+        Self {
+            data,
+            labels,
+            l2,
+            ctx,
+        }
+    }
+
+    fn n_features(&self) -> usize {
+        self.data.n_cols()
+    }
+}
+
+impl<S: SparseRowStore + Sync + ?Sized> DifferentiableFunction for SparseLogisticLoss<'_, S> {
+    fn dimension(&self) -> usize {
+        self.n_features() + 1
+    }
+
+    fn value(&self, w: &[f64]) -> f64 {
+        let n = self.data.n_rows();
+        let d = self.n_features();
+        if n == 0 {
+            return 0.0;
+        }
+        let loss = self.ctx.map_reduce_sparse_rows_scratch(
+            self.data,
+            Vec::new,
+            |scores, chunk| {
+                let labels = &self.labels[chunk.start_row..chunk.end_row];
+                kernels::logistic_value_chunk_csr(
+                    chunk.indptr,
+                    chunk.indices,
+                    chunk.values,
+                    &w[..d],
+                    w[d],
+                    labels,
+                    scores,
+                )
+            },
+            0.0,
+            |a, b| a + b,
+        );
+        let reg = 0.5 * self.l2 * ops::dot(&w[..d], &w[..d]);
+        loss / n as f64 + reg
+    }
+
+    fn gradient(&self, w: &[f64], grad: &mut [f64]) {
+        self.value_and_gradient(w, grad);
+    }
+
+    fn value_and_gradient(&self, w: &[f64], grad: &mut [f64]) -> f64 {
+        let n = self.data.n_rows();
+        let d = self.n_features();
+        if n == 0 {
+            grad.fill(0.0);
+            return 0.0;
+        }
+        let (loss, partial_grad) = self.ctx.map_reduce_sparse_rows_scratch(
+            self.data,
+            Vec::new,
+            |scores, chunk| {
+                let labels = &self.labels[chunk.start_row..chunk.end_row];
+                let mut g = vec![0.0; d + 1];
+                let acc = kernels::logistic_grad_chunk_csr(
+                    chunk.indptr,
+                    chunk.indices,
+                    chunk.values,
+                    &w[..d],
+                    w[d],
+                    labels,
+                    scores,
+                    &mut g,
+                );
+                (acc, g)
+            },
+            (0.0, vec![0.0; d + 1]),
+            |(la, mut ga), (lb, gb)| {
+                ops::add_assign(&mut ga, &gb);
+                (la + lb, ga)
+            },
+        );
+
+        let inv_n = 1.0 / n as f64;
+        for (gi, pi) in grad.iter_mut().zip(&partial_grad) {
+            *gi = pi * inv_n;
+        }
+        ops::axpy(self.l2, &w[..d], &mut grad[..d]);
+        loss * inv_n + 0.5 * self.l2 * ops::dot(&w[..d], &w[..d])
+    }
+}
+
 /// Hyper-parameters for [`LogisticRegression`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogisticConfig {
@@ -247,21 +369,15 @@ impl LogisticRegression {
     }
 }
 
-impl Estimator for LogisticRegression {
-    type Model = LogisticModel;
-
-    fn fit<S: RowStore + Sync + ?Sized>(
-        &self,
-        data: &S,
-        labels: &[f64],
-        ctx: &ExecContext,
-    ) -> Result<LogisticModel> {
-        if data.n_rows() == 0 || data.n_cols() == 0 {
+impl LogisticRegression {
+    /// Shared validation for the dense and sparse fit paths.
+    fn validate(n_rows: usize, n_cols: usize, labels: &[f64]) -> Result<()> {
+        if n_rows == 0 || n_cols == 0 {
             return Err(MlError::InvalidData("training data is empty".to_string()));
         }
-        if data.n_rows() != labels.len() {
+        if n_rows != labels.len() {
             return Err(MlError::ShapeMismatch {
-                expected: format!("{} labels", data.n_rows()),
+                expected: format!("{n_rows} labels"),
                 found: format!("{} labels", labels.len()),
             });
         }
@@ -270,8 +386,13 @@ impl Estimator for LogisticRegression {
                 "binary logistic regression requires labels in {0, 1}".to_string(),
             ));
         }
+        Ok(())
+    }
 
-        let loss = LogisticLoss::new(data, labels, self.config.l2, ctx);
+    /// Run L-BFGS on any logistic objective of `d + 1` parameters and wrap
+    /// the optimum as a model — shared by the dense and sparse fit paths, so
+    /// both run the exact same optimiser protocol.
+    fn solve(&self, loss: &impl DifferentiableFunction, d: usize) -> Result<LogisticModel> {
         let optimizer = if self.config.fixed_iterations {
             Lbfgs::with_fixed_iterations(self.config.max_iterations)
                 .history(self.config.history_size)
@@ -283,8 +404,8 @@ impl Estimator for LogisticRegression {
                     ..Default::default()
                 })
         };
-        let initial = vec![0.0; data.n_cols() + 1];
-        let result = optimizer.run(&loss, initial);
+        let initial = vec![0.0; d + 1];
+        let result = optimizer.run(loss, initial);
         if !result.converged() && result.weights.iter().any(|w| !w.is_finite()) {
             return Err(MlError::OptimizationFailed(format!(
                 "L-BFGS terminated with {:?}",
@@ -297,6 +418,34 @@ impl Estimator for LogisticRegression {
             bias,
             optimization: result,
         })
+    }
+}
+
+impl Estimator for LogisticRegression {
+    type Model = LogisticModel;
+
+    fn fit<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        labels: &[f64],
+        ctx: &ExecContext,
+    ) -> Result<LogisticModel> {
+        Self::validate(data.n_rows(), data.n_cols(), labels)?;
+        let loss = LogisticLoss::new(data, labels, self.config.l2, ctx);
+        self.solve(&loss, data.n_cols())
+    }
+}
+
+impl SparseEstimator for LogisticRegression {
+    fn fit_sparse<S: SparseRowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        labels: &[f64],
+        ctx: &ExecContext,
+    ) -> Result<LogisticModel> {
+        Self::validate(data.n_rows(), data.n_cols(), labels)?;
+        let loss = SparseLogisticLoss::new(data, labels, self.config.l2, ctx);
+        self.solve(&loss, data.n_cols())
     }
 }
 
@@ -503,6 +652,95 @@ mod tests {
             optimization: result,
         };
         assert!(model.accuracy(&x, &y) > 0.9);
+    }
+
+    /// The toy problem with most entries zeroed out, as CSR + densified twin.
+    fn sparse_toy_problem(n: usize) -> (m3_linalg::CsrMatrix, DenseMatrix, Vec<f64>) {
+        let (x, y) = toy_problem(n);
+        let mut data = x.as_slice().to_vec();
+        for (i, v) in data.iter_mut().enumerate() {
+            // Deterministically zero ~2/3 of the entries.
+            if (i * 2654435761) % 3 != 0 {
+                *v = 0.0;
+            }
+        }
+        let dense = DenseMatrix::from_vec(data, x.n_rows(), x.n_cols()).unwrap();
+        (m3_linalg::CsrMatrix::from_dense(&dense), dense, y)
+    }
+
+    #[test]
+    fn sparse_loss_gradient_matches_numerical_gradient() {
+        let (csr, _, y) = sparse_toy_problem(60);
+        let ctx = ExecContext::new().with_threads(2);
+        let loss = SparseLogisticLoss::new(&csr, &y, 0.01, &ctx);
+        let w: Vec<f64> = (0..4).map(|i| 0.1 * i as f64 - 0.2).collect();
+        let err = gradient_check(&loss, &w, 1e-5);
+        assert!(err < 1e-6, "gradient error {err}");
+    }
+
+    #[test]
+    fn sparse_loss_agrees_with_dense_loss_on_the_same_data() {
+        let (csr, dense, y) = sparse_toy_problem(120);
+        let ctx = ExecContext::serial();
+        let w = [0.4, -0.3, 0.2, 0.1];
+        let mut gs = vec![0.0; 4];
+        let mut gd = vec![0.0; 4];
+        let vs = SparseLogisticLoss::new(&csr, &y, 0.01, &ctx).value_and_gradient(&w, &mut gs);
+        let vd = LogisticLoss::new(&dense, &y, 0.01, &ctx).value_and_gradient(&w, &mut gd);
+        // Same math, different summation bracketing (zeros are skipped):
+        // equal to high relative precision, not necessarily bit-equal.
+        assert!((vs - vd).abs() <= 1e-12 * (1.0 + vd.abs()), "{vs} vs {vd}");
+        for (a, b) in gs.iter().zip(&gd) {
+            assert!((a - b).abs() <= 1e-12 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_fit_is_bit_identical_across_thread_counts_and_backings() {
+        let (csr, _, y) = sparse_toy_problem(200);
+        let dir = tempfile::tempdir().unwrap();
+        let mapped = m3_core::sparse::persist_csr(dir.path().join("sp.m3csr"), &csr, None).unwrap();
+        let trainer = LogisticRegression::new(LogisticConfig {
+            max_iterations: 15,
+            ..Default::default()
+        });
+        let run = |data: &dyn Fn(&ExecContext) -> LogisticModel, threads: usize| {
+            data(
+                &ExecContext::new()
+                    .with_threads(threads)
+                    .with_chunk_bytes(m3_core::PAGE_SIZE)
+                    .with_parallel_threshold(0),
+            )
+        };
+        let on_mem = |ctx: &ExecContext| trainer.fit_sparse(&csr, &y, ctx).unwrap();
+        let on_map = |ctx: &ExecContext| trainer.fit_sparse(&mapped, &y, ctx).unwrap();
+        let reference = run(&on_mem, 1);
+        for threads in [2usize, 4] {
+            for model in [run(&on_mem, threads), run(&on_map, threads)] {
+                for (a, b) in reference.weights.iter().zip(&model.weights) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                assert_eq!(reference.bias.to_bits(), model.bias.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_fit_validation_errors() {
+        let (csr, _, y) = sparse_toy_problem(10);
+        let trainer = LogisticRegression::default();
+        let ctx = ExecContext::new();
+        assert!(matches!(
+            trainer.fit_sparse(&csr, &y[..5], &ctx),
+            Err(MlError::ShapeMismatch { .. })
+        ));
+        let bad = vec![3.0; 10];
+        assert!(matches!(
+            trainer.fit_sparse(&csr, &bad, &ctx),
+            Err(MlError::InvalidData(_))
+        ));
+        let empty = m3_linalg::CsrBuilder::new(3).finish();
+        assert!(trainer.fit_sparse(&empty, &[], &ctx).is_err());
     }
 
     #[test]

@@ -6,15 +6,58 @@
 //! every other loss in this workspace — in a single chunk-parallel sequential
 //! sweep over a [`RowStore`], driven by the shared [`ExecContext`].
 
+use m3_core::sparse::SparseRowStore;
 use m3_core::storage::RowStore;
 use m3_core::ExecContext;
-use m3_linalg::ops;
+use m3_linalg::{kernels, ops};
 use m3_optim::function::{DifferentiableFunction, StochasticFunction};
 use m3_optim::lbfgs::Lbfgs;
 use m3_optim::termination::{OptimizationResult, TerminationCriteria};
 
-use crate::api::{Estimator, Model};
+use crate::api::{Estimator, Model, SparseEstimator};
 use crate::{MlError, Result};
+
+/// Per-class scores `w_c · row + b_c` for one dense row, written into
+/// `scores` (parameter layout: `k` blocks of `d + 1`, bias last).
+fn class_scores(w: &[f64], row: &[f64], n_classes: usize, scores: &mut [f64]) {
+    let d = row.len();
+    let stride = d + 1;
+    for (c, s) in scores.iter_mut().enumerate().take(n_classes) {
+        let block = &w[c * stride..c * stride + stride];
+        *s = ops::dot(&block[..d], row) + block[d];
+    }
+}
+
+/// Per-class scores for one sparse row (`d` must be passed since the row
+/// slices do not carry it).
+fn class_scores_sparse(
+    w: &[f64],
+    indices: &[u32],
+    values: &[f64],
+    d: usize,
+    n_classes: usize,
+    scores: &mut [f64],
+) {
+    let stride = d + 1;
+    for (c, s) in scores.iter_mut().enumerate().take(n_classes) {
+        let block = &w[c * stride..c * stride + stride];
+        *s = kernels::sparse_dot(indices, values, &block[..d]) + block[d];
+    }
+}
+
+/// Softmax in place with the max-subtraction trick; returns `log Σ e^s`.
+fn softmax_in_place(scores: &mut [f64]) -> f64 {
+    let max = scores.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let mut sum = 0.0;
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+        sum += *s;
+    }
+    for s in scores.iter_mut() {
+        *s /= sum;
+    }
+    max + sum.ln()
+}
 
 /// Cross-entropy loss for `k`-class softmax regression over a [`RowStore`].
 ///
@@ -55,30 +98,6 @@ impl<'a, S: RowStore + Sync + ?Sized> SoftmaxLoss<'a, S> {
         self.data.n_cols()
     }
 
-    /// Per-class scores for one row, written into `scores`.
-    fn scores(w: &[f64], row: &[f64], n_classes: usize, scores: &mut [f64]) {
-        let d = row.len();
-        let stride = d + 1;
-        for (c, s) in scores.iter_mut().enumerate().take(n_classes) {
-            let block = &w[c * stride..c * stride + stride];
-            *s = ops::dot(&block[..d], row) + block[d];
-        }
-    }
-
-    /// Softmax in place with the max-subtraction trick; returns `log Σ e^s`.
-    fn softmax_in_place(scores: &mut [f64]) -> f64 {
-        let max = scores.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
-        let mut sum = 0.0;
-        for s in scores.iter_mut() {
-            *s = (*s - max).exp();
-            sum += *s;
-        }
-        for s in scores.iter_mut() {
-            *s /= sum;
-        }
-        max + sum.ln()
-    }
-
     /// Contribution of the rows in one chunk to (loss, gradient).
     ///
     /// `scores` is per-worker scratch (resized to `k`) reused across every
@@ -99,9 +118,9 @@ impl<'a, S: RowStore + Sync + ?Sized> SoftmaxLoss<'a, S> {
         let mut loss = 0.0;
         for (i, row) in chunk.data.chunks_exact(d).enumerate() {
             let label = self.labels[chunk.start_row + i] as usize;
-            Self::scores(w, row, k, scores);
+            class_scores(w, row, k, scores);
             let label_score = scores[label.min(k - 1)];
-            let log_norm = Self::softmax_in_place(scores);
+            let log_norm = softmax_in_place(scores);
             loss += log_norm - label_score;
             for c in 0..k {
                 let residual = scores[c] - if c == label { 1.0 } else { 0.0 };
@@ -180,9 +199,9 @@ impl<S: RowStore + Sync + ?Sized> StochasticFunction for SoftmaxLoss<'_, S> {
         for &i in examples {
             let row = self.data.row(i);
             let label = self.labels[i] as usize;
-            Self::scores(w, row, k, &mut scores);
+            class_scores(w, row, k, &mut scores);
             let label_score = scores[label.min(k - 1)];
-            let log_norm = Self::softmax_in_place(&mut scores);
+            let log_norm = softmax_in_place(&mut scores);
             loss += log_norm - label_score;
             for c in 0..k {
                 let residual = scores[c] - if c == label { 1.0 } else { 0.0 };
@@ -200,6 +219,124 @@ impl<S: RowStore + Sync + ?Sized> StochasticFunction for SoftmaxLoss<'_, S> {
             ops::axpy(self.l2, ws, &mut grad[c * stride..c * stride + d]);
         }
         loss * inv + 0.5 * self.l2 * reg
+    }
+}
+
+/// Cross-entropy loss for `k`-class softmax regression over a
+/// [`SparseRowStore`] — the CSR twin of [`SoftmaxLoss`], same parameter
+/// layout.  Per-row work is proportional to the row's stored entries: the
+/// per-class scores come from [`kernels::sparse_dot`] and the residual
+/// updates from [`kernels::scatter_axpy`].
+pub struct SparseSoftmaxLoss<'a, S: SparseRowStore + Sync + ?Sized> {
+    data: &'a S,
+    labels: &'a [f64],
+    n_classes: usize,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    ctx: &'a ExecContext,
+}
+
+impl<'a, S: SparseRowStore + Sync + ?Sized> SparseSoftmaxLoss<'a, S> {
+    /// Create the loss for labels in `{0, …, n_classes−1}` (stored as
+    /// `f64`), sweeping under `ctx`'s execution policy.
+    pub fn new(
+        data: &'a S,
+        labels: &'a [f64],
+        n_classes: usize,
+        l2: f64,
+        ctx: &'a ExecContext,
+    ) -> Self {
+        assert_eq!(data.n_rows(), labels.len(), "labels must match rows");
+        assert!(n_classes >= 2, "softmax needs at least two classes");
+        Self {
+            data,
+            labels,
+            n_classes,
+            l2,
+            ctx,
+        }
+    }
+
+    fn n_features(&self) -> usize {
+        self.data.n_cols()
+    }
+
+    /// Contribution of one sparse chunk to (loss, gradient).
+    fn chunk_loss_grad(
+        &self,
+        w: &[f64],
+        chunk: &m3_core::sparse::SparseRowChunk<'_>,
+        scores: &mut Vec<f64>,
+    ) -> (f64, Vec<f64>) {
+        let d = self.n_features();
+        let k = self.n_classes;
+        let stride = d + 1;
+        let mut grad = vec![0.0; k * stride];
+        scores.clear();
+        scores.resize(k, 0.0);
+        let mut loss = 0.0;
+        for (r, indices, values) in chunk.rows_with_index() {
+            let label = self.labels[r] as usize;
+            class_scores_sparse(w, indices, values, d, k, scores);
+            let label_score = scores[label.min(k - 1)];
+            let log_norm = softmax_in_place(scores);
+            loss += log_norm - label_score;
+            for c in 0..k {
+                let residual = scores[c] - if c == label { 1.0 } else { 0.0 };
+                let g = &mut grad[c * stride..(c + 1) * stride];
+                kernels::scatter_axpy(residual, indices, values, &mut g[..d]);
+                g[d] += residual;
+            }
+        }
+        (loss, grad)
+    }
+}
+
+impl<S: SparseRowStore + Sync + ?Sized> DifferentiableFunction for SparseSoftmaxLoss<'_, S> {
+    fn dimension(&self) -> usize {
+        self.n_classes * (self.n_features() + 1)
+    }
+
+    fn value(&self, w: &[f64]) -> f64 {
+        let mut grad = vec![0.0; self.dimension()];
+        self.value_and_gradient(w, &mut grad)
+    }
+
+    fn gradient(&self, w: &[f64], grad: &mut [f64]) {
+        self.value_and_gradient(w, grad);
+    }
+
+    fn value_and_gradient(&self, w: &[f64], grad: &mut [f64]) -> f64 {
+        let n = self.data.n_rows();
+        let d = self.n_features();
+        let k = self.n_classes;
+        let stride = d + 1;
+        if n == 0 {
+            grad.fill(0.0);
+            return 0.0;
+        }
+        let (loss, partial) = self.ctx.map_reduce_sparse_rows_scratch(
+            self.data,
+            Vec::new,
+            |scores, chunk| self.chunk_loss_grad(w, &chunk, scores),
+            (0.0, vec![0.0; k * stride]),
+            |(la, mut ga), (lb, gb)| {
+                ops::add_assign(&mut ga, &gb);
+                (la + lb, ga)
+            },
+        );
+        let inv_n = 1.0 / n as f64;
+        for (gi, pi) in grad.iter_mut().zip(&partial) {
+            *gi = pi * inv_n;
+        }
+        // Regularise weights (not biases) and accumulate the penalty.
+        let mut reg = 0.0;
+        for c in 0..k {
+            let ws = &w[c * stride..c * stride + d];
+            reg += ops::dot(ws, ws);
+            ops::axpy(self.l2, ws, &mut grad[c * stride..c * stride + d]);
+        }
+        loss * inv_n + 0.5 * self.l2 * reg
     }
 }
 
@@ -277,21 +414,15 @@ impl SoftmaxRegression {
     }
 }
 
-impl Estimator for SoftmaxRegression {
-    type Model = SoftmaxModel;
-
-    fn fit<S: RowStore + Sync + ?Sized>(
-        &self,
-        data: &S,
-        labels: &[f64],
-        ctx: &ExecContext,
-    ) -> Result<SoftmaxModel> {
-        if data.n_rows() == 0 || data.n_cols() == 0 {
+impl SoftmaxRegression {
+    /// Shared validation for the dense and sparse fit paths.
+    fn validate(&self, n_rows: usize, n_cols: usize, labels: &[f64]) -> Result<()> {
+        if n_rows == 0 || n_cols == 0 {
             return Err(MlError::InvalidData("training data is empty".to_string()));
         }
-        if data.n_rows() != labels.len() {
+        if n_rows != labels.len() {
             return Err(MlError::ShapeMismatch {
-                expected: format!("{} labels", data.n_rows()),
+                expected: format!("{n_rows} labels"),
                 found: format!("{} labels", labels.len()),
             });
         }
@@ -304,8 +435,12 @@ impl Estimator for SoftmaxRegression {
                 "labels must be integers in 0..{k}"
             )));
         }
+        Ok(())
+    }
 
-        let loss = SoftmaxLoss::new(data, labels, k, self.config.l2, ctx);
+    /// Run L-BFGS on any softmax objective and wrap the optimum — shared by
+    /// the dense and sparse fit paths.
+    fn solve(&self, loss: &impl DifferentiableFunction, n_features: usize) -> Result<SoftmaxModel> {
         let optimizer = if self.config.fixed_iterations {
             Lbfgs::with_fixed_iterations(self.config.max_iterations)
         } else {
@@ -315,7 +450,7 @@ impl Estimator for SoftmaxRegression {
             })
         };
         let initial = vec![0.0; loss.dimension()];
-        let result = optimizer.run(&loss, initial);
+        let result = optimizer.run(loss, initial);
         if result.weights.iter().any(|w| !w.is_finite()) {
             return Err(MlError::OptimizationFailed(format!(
                 "L-BFGS terminated with {:?}",
@@ -324,10 +459,38 @@ impl Estimator for SoftmaxRegression {
         }
         Ok(SoftmaxModel {
             weights: result.weights.clone(),
-            n_classes: k,
-            n_features: data.n_cols(),
+            n_classes: self.config.n_classes,
+            n_features,
             optimization: result,
         })
+    }
+}
+
+impl Estimator for SoftmaxRegression {
+    type Model = SoftmaxModel;
+
+    fn fit<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        labels: &[f64],
+        ctx: &ExecContext,
+    ) -> Result<SoftmaxModel> {
+        self.validate(data.n_rows(), data.n_cols(), labels)?;
+        let loss = SoftmaxLoss::new(data, labels, self.config.n_classes, self.config.l2, ctx);
+        self.solve(&loss, data.n_cols())
+    }
+}
+
+impl SparseEstimator for SoftmaxRegression {
+    fn fit_sparse<S: SparseRowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        labels: &[f64],
+        ctx: &ExecContext,
+    ) -> Result<SoftmaxModel> {
+        self.validate(data.n_rows(), data.n_cols(), labels)?;
+        let loss = SparseSoftmaxLoss::new(data, labels, self.config.n_classes, self.config.l2, ctx);
+        self.solve(&loss, data.n_cols())
     }
 }
 
@@ -349,13 +512,8 @@ impl SoftmaxModel {
     pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
         assert_eq!(row.len(), self.n_features, "feature count mismatch");
         let mut scores = vec![0.0; self.n_classes];
-        SoftmaxLoss::<m3_linalg::DenseMatrix>::scores(
-            &self.weights,
-            row,
-            self.n_classes,
-            &mut scores,
-        );
-        SoftmaxLoss::<m3_linalg::DenseMatrix>::softmax_in_place(&mut scores);
+        class_scores(&self.weights, row, self.n_classes, &mut scores);
+        softmax_in_place(&mut scores);
         scores
     }
 
@@ -481,6 +639,77 @@ mod tests {
         let old = SoftmaxRegression::fit(&trainer, &x, &y).unwrap();
         let new = Estimator::fit(&trainer, &x, &y, &ExecContext::new()).unwrap();
         assert!(ops::approx_eq(&old.weights, &new.weights, 1e-12));
+    }
+
+    /// Blobs with most entries zeroed, as CSR + densified twin.
+    fn sparse_blobs(n: usize) -> (m3_linalg::CsrMatrix, m3_linalg::DenseMatrix, Vec<f64>) {
+        let (x, y) = GaussianBlobs::new(3, 6, 8.0, 1.0, 21).materialize(n);
+        let mut data = x.as_slice().to_vec();
+        for (i, v) in data.iter_mut().enumerate() {
+            if (i * 2654435761) % 4 != 0 {
+                *v = 0.0;
+            }
+        }
+        let dense = m3_linalg::DenseMatrix::from_vec(data, x.n_rows(), x.n_cols()).unwrap();
+        (m3_linalg::CsrMatrix::from_dense(&dense), dense, y)
+    }
+
+    #[test]
+    fn sparse_gradient_matches_numerical() {
+        let (csr, _, y) = sparse_blobs(45);
+        let ctx = ExecContext::new().with_threads(2);
+        let loss = SparseSoftmaxLoss::new(&csr, &y, 3, 0.01, &ctx);
+        let w: Vec<f64> = (0..loss.dimension())
+            .map(|i| (i as f64 * 0.07).sin() * 0.1)
+            .collect();
+        let err = gradient_check(&loss, &w, 1e-5);
+        assert!(err < 1e-6, "gradient error {err}");
+    }
+
+    #[test]
+    fn sparse_loss_agrees_with_dense_loss() {
+        let (csr, dense, y) = sparse_blobs(80);
+        let ctx = ExecContext::serial();
+        let w: Vec<f64> = (0..3 * 7).map(|i| 0.01 * i as f64 - 0.1).collect();
+        let mut gs = vec![0.0; w.len()];
+        let mut gd = vec![0.0; w.len()];
+        let vs = SparseSoftmaxLoss::new(&csr, &y, 3, 0.01, &ctx).value_and_gradient(&w, &mut gs);
+        let vd = SoftmaxLoss::new(&dense, &y, 3, 0.01, &ctx).value_and_gradient(&w, &mut gd);
+        assert!((vs - vd).abs() <= 1e-12 * (1.0 + vd.abs()));
+        for (a, b) in gs.iter().zip(&gd) {
+            assert!((a - b).abs() <= 1e-12 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sparse_fit_is_bit_identical_across_thread_counts() {
+        let (csr, _, y) = sparse_blobs(120);
+        let trainer = SoftmaxRegression::new(SoftmaxConfig {
+            n_classes: 3,
+            max_iterations: 12,
+            ..Default::default()
+        });
+        let run = |threads: usize| {
+            trainer
+                .fit_sparse(
+                    &csr,
+                    &y,
+                    &ExecContext::new()
+                        .with_threads(threads)
+                        .with_chunk_bytes(m3_core::PAGE_SIZE)
+                        .with_parallel_threshold(0),
+                )
+                .unwrap()
+        };
+        let one = run(1);
+        for threads in [2, 4] {
+            let multi = run(threads);
+            for (a, b) in one.weights.iter().zip(&multi.weights) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // And the model itself is usable.
+        assert!(one.accuracy(&csr.to_dense(), &y) > 0.5);
     }
 
     #[test]

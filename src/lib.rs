@@ -15,6 +15,17 @@
 //! | [`cluster`] | `m3-cluster` | bulk-synchronous Spark-baseline simulator behind Figure 1b |
 //! | [`graph`] | `m3-graph` | memory-mapped PageRank / connected components extension |
 //!
+//! ## Sparse data
+//!
+//! The same one-line storage change works for sparse matrices: a libsvm
+//! text file converts (streaming, never densified) into a binary CSR
+//! container with [`data::libsvm::convert_libsvm_to_csr`], memory-maps as a
+//! [`core::CsrFile`], and trains through
+//! [`SparseEstimator::fit_sparse`](ml::api::SparseEstimator::fit_sparse) —
+//! logistic, softmax and linear regression all take either an in-memory
+//! [`linalg::CsrMatrix`] or the mapped file, and produce the same model
+//! types as their dense paths.
+//!
 //! ## The two one-line changes
 //!
 //! M3's claim (Table 1 of the paper) is that moving a workload from RAM to a
@@ -59,11 +70,15 @@ pub use m3_vmsim as vmsim;
 /// The most commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use m3_core::{
-        mmap_alloc, mmap_alloc_mut, AccessPattern, Dataset, ExecContext, MmapMatrix, RowStore,
+        mmap_alloc, mmap_alloc_mut, AccessPattern, CsrFile, Dataset, ExecContext, MmapMatrix,
+        RowStore, SparseRowStore,
     };
-    pub use m3_data::{GaussianBlobs, InfimnistLike, LinearProblem, RowGenerator};
-    pub use m3_linalg::{DenseMatrix, MatrixView, Vector};
-    pub use m3_ml::api::{Estimator, Fit, Model, UnsupervisedEstimator};
+    pub use m3_data::{
+        convert_libsvm_to_csr, read_libsvm, read_libsvm_csr, write_libsvm, write_libsvm_csr,
+        GaussianBlobs, InfimnistLike, LinearProblem, RowGenerator,
+    };
+    pub use m3_linalg::{CsrBuilder, CsrMatrix, DenseMatrix, MatrixView, Vector};
+    pub use m3_ml::api::{Estimator, Fit, Model, SparseEstimator, UnsupervisedEstimator};
     pub use m3_ml::{
         KMeans, KMeansConfig, KMeansInit, KMeansModel, LogisticConfig, LogisticModel,
         LogisticRegression, SoftmaxConfig, SoftmaxModel, SoftmaxRegression, StandardScaler,

@@ -268,6 +268,165 @@ fn model_trait_is_dyn_compatible_across_all_models() {
     }
 }
 
+// --- sparse vs dense estimator parity ---------------------------------------
+//
+// A sparse store and its densified twin describe the same matrix, so the
+// trained models must agree — up to floating-point summation order, since the
+// sparse kernels skip the zero terms and therefore re-bracket every
+// reduction.  The tests below bound that divergence tightly (relative 1e-9
+// after a full L-BFGS/GD run) and additionally require the sparse path to be
+// **bit-identical** across thread counts 1/2/4 and across the in-memory /
+// memory-mapped backings, mirroring the dense guarantee.  (These tests match
+// the `*parity*` filter, so the forced-scalar re-exec below covers them on
+// the portable kernel path too.)
+
+/// A deterministic sparse classification problem: CSR, densified twin,
+/// mmap-backed copy and labels.
+struct SparseBackings {
+    csr: CsrMatrix,
+    dense: DenseMatrix,
+    mapped: m3::core::CsrFile,
+    labels: Vec<f64>,
+    _dir: tempfile::TempDir,
+}
+
+fn sparse_backings(rows: usize, cols: usize, seed: u64) -> SparseBackings {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = CsrBuilder::new(cols);
+    let mut labels = Vec::with_capacity(rows);
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    for _ in 0..rows {
+        idx.clear();
+        val.clear();
+        let mut score = 0.0;
+        for c in 0..cols {
+            if rng.gen_range(0.0f64..1.0) < 0.3 {
+                let v = rng.gen_range(-1.5f64..1.5);
+                idx.push(c as u32);
+                val.push(v);
+                score += v * if c % 2 == 0 { 1.0 } else { -1.0 };
+            }
+        }
+        labels.push(f64::from(score >= 0.0));
+        builder.push_row(&idx, &val).unwrap();
+    }
+    let csr = builder.finish();
+    let dir = tempfile::tempdir().unwrap();
+    let mapped =
+        m3::core::sparse::persist_csr(dir.path().join("parity.m3csr"), &csr, Some(&labels))
+            .unwrap();
+    SparseBackings {
+        dense: csr.to_dense(),
+        csr,
+        mapped,
+        labels,
+        _dir: dir,
+    }
+}
+
+fn assert_rel_close(a: &[f64], b: &[f64], tol: f64) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert!(
+            (x - y).abs() <= tol * (1.0 + y.abs()),
+            "{x} vs {y} beyond relative {tol}"
+        );
+    }
+}
+
+/// Train `estimator` on the sparse backings across thread counts 1/2/4:
+/// sparse results must be bit-identical to each other (threads *and*
+/// in-memory vs mmap), and must agree with the dense twin within `tol`.
+fn assert_sparse_parity<E, F, G>(b: &SparseBackings, estimator: &E, params: F, check_dense: G)
+where
+    E: SparseEstimator,
+    F: Fn(&E::Model) -> Vec<f64>,
+    G: Fn(&E::Model, &E::Model),
+{
+    let ctx_for = |threads: usize| {
+        ExecContext::new()
+            .with_threads(threads)
+            .with_chunk_bytes(m3::core::PAGE_SIZE)
+            .with_parallel_threshold(0)
+    };
+    let reference = estimator
+        .fit_sparse(&b.csr, &b.labels, &ctx_for(1))
+        .unwrap();
+    for threads in [1usize, 2, 4] {
+        let ctx = ctx_for(threads);
+        let on_mem = estimator.fit_sparse(&b.csr, &b.labels, &ctx).unwrap();
+        let on_map = estimator.fit_sparse(&b.mapped, &b.labels, &ctx).unwrap();
+        assert_bits_eq(&params(&reference), &params(&on_mem));
+        assert_bits_eq(&params(&reference), &params(&on_map));
+        let on_dense = Estimator::fit(estimator, &b.dense, &b.labels, &ctx).unwrap();
+        check_dense(&on_dense, &on_mem);
+    }
+}
+
+#[test]
+fn sparse_logistic_regression_parity() {
+    let b = sparse_backings(220, 24, 101);
+    let estimator = LogisticRegression::new(LogisticConfig {
+        max_iterations: 25,
+        ..Default::default()
+    });
+    assert_sparse_parity(
+        &b,
+        &estimator,
+        |m| m.weights.clone(),
+        |dense, sparse| {
+            assert_rel_close(&dense.weights, &sparse.weights, 1e-9);
+            assert!((dense.bias - sparse.bias).abs() <= 1e-9 * (1.0 + dense.bias.abs()));
+        },
+    );
+}
+
+#[test]
+fn sparse_softmax_regression_parity() {
+    let b = sparse_backings(200, 18, 67);
+    // Reuse the binary labels as two classes.
+    let estimator = SoftmaxRegression::new(SoftmaxConfig {
+        n_classes: 2,
+        max_iterations: 15,
+        ..Default::default()
+    });
+    assert_sparse_parity(
+        &b,
+        &estimator,
+        |m| m.weights.clone(),
+        |dense, sparse| assert_rel_close(&dense.weights, &sparse.weights, 1e-9),
+    );
+}
+
+#[test]
+fn sparse_linear_regression_parity_both_solvers() {
+    let b = sparse_backings(190, 14, 23);
+    for solver in [
+        m3::ml::linear_regression::Solver::NormalEquations,
+        m3::ml::linear_regression::Solver::GradientDescent,
+    ] {
+        let estimator = m3::ml::linear_regression::LinearRegression::new(
+            m3::ml::linear_regression::LinearRegressionConfig {
+                solver,
+                max_iterations: 300,
+                ..Default::default()
+            },
+        );
+        assert_sparse_parity(
+            &b,
+            &estimator,
+            |m| m.weights.clone(),
+            |dense, sparse| {
+                assert_rel_close(&dense.weights, &sparse.weights, 1e-7);
+                assert!((dense.bias - sparse.bias).abs() <= 1e-7 * (1.0 + dense.bias.abs()));
+            },
+        );
+    }
+}
+
 #[test]
 fn parity_suite_passes_under_forced_scalar_kernels() {
     // The kernel path is cached per process, so the scalar-path run needs a

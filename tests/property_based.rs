@@ -66,6 +66,136 @@ fn dataset_container_round_trip() {
     }
 }
 
+/// A seeded random sparse matrix with adversarial structure: empty rows,
+/// rows ending early, and (optionally) trailing all-zero columns that only
+/// an explicit `n_features` can represent.
+fn random_csr(rng: &mut StdRng, rows: usize, cols: usize) -> CsrMatrix {
+    let mut builder = CsrBuilder::new(cols);
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    for _ in 0..rows {
+        idx.clear();
+        val.clear();
+        if rng.gen_range(0u32..5) != 0 {
+            for c in 0..cols {
+                if rng.gen_range(0.0f64..1.0) < 0.35 {
+                    idx.push(c as u32);
+                    // Values that stress text round-tripping.
+                    val.push(rng.gen_range(-4.0f64..4.0) / 3.0);
+                }
+            }
+        }
+        builder.push_row(&idx, &val).unwrap();
+    }
+    builder.finish()
+}
+
+/// Random sparse matrix → libsvm text → CSR → densify equals the original,
+/// bit for bit, including empty rows and strictly-increasing duplicate-free
+/// index ordering.
+#[test]
+fn libsvm_csr_round_trip_preserves_every_entry() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(7000 + case);
+        let rows = rng.gen_range(1usize..30);
+        let cols = rng.gen_range(1usize..20);
+        let matrix = random_csr(&mut rng, rows, cols);
+        let labels: Vec<f64> = (0..rows).map(|r| (r % 3) as f64).collect();
+
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("rt.svm");
+        m3::data::write_libsvm_csr(&path, &matrix, &labels).unwrap();
+        let (back, back_labels) = m3::data::read_libsvm_csr(&path, Some(cols)).unwrap();
+        assert_eq!(back, matrix, "case {case}");
+        assert_eq!(back_labels, labels);
+        assert_eq!(
+            back.to_dense().as_slice(),
+            matrix.to_dense().as_slice(),
+            "densified twin must match bit for bit"
+        );
+        // Index ordering is strictly increasing (duplicate-free) per row.
+        for r in 0..back.n_rows() {
+            let (idx, _) = back.row(r);
+            assert!(idx.windows(2).all(|p| p[0] < p[1]));
+        }
+
+        // The dense writer round-trips through the dense reader too.
+        let dense = matrix.to_dense();
+        m3::data::write_libsvm(&path, &dense, &labels).unwrap();
+        let parsed = m3::data::read_libsvm(&path, Some(cols)).unwrap();
+        assert_eq!(parsed.features.as_slice(), dense.as_slice());
+    }
+}
+
+/// Trailing all-zero columns survive a round trip only through an explicit
+/// `n_features`, and inference recovers exactly the largest used column.
+#[test]
+fn libsvm_round_trip_with_trailing_zero_columns() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(7500 + case);
+        let rows = rng.gen_range(1usize..20);
+        let used_cols = rng.gen_range(1usize..10);
+        let padding = rng.gen_range(1usize..6);
+        let mut matrix = random_csr(&mut rng, rows, used_cols);
+        // Guarantee at least one entry in the last used column so inference
+        // has a definite answer.
+        if !matrix
+            .indices()
+            .iter()
+            .any(|&c| c as usize == used_cols - 1)
+        {
+            let mut b = CsrBuilder::new(used_cols);
+            b.push_row(&[(used_cols - 1) as u32], &[1.5]).unwrap();
+            for r in 0..matrix.n_rows() {
+                let (i, v) = matrix.row(r);
+                b.push_row(i, v).unwrap();
+            }
+            matrix = b.finish();
+        }
+        let total_cols = used_cols + padding;
+        let labels = vec![1.0; matrix.n_rows()];
+
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("pad.svm");
+        m3::data::write_libsvm_csr(&path, &matrix, &labels).unwrap();
+
+        // Explicit n_features widens the matrix with all-zero columns.
+        let (wide, _) = m3::data::read_libsvm_csr(&path, Some(total_cols)).unwrap();
+        assert_eq!(wide.shape(), (matrix.n_rows(), total_cols));
+        assert_eq!(wide.nnz(), matrix.nnz());
+        assert_eq!(wide.indices(), matrix.indices());
+        assert_eq!(wide.values(), matrix.values());
+        // Inference recovers the largest used column.
+        let (inferred, _) = m3::data::read_libsvm_csr(&path, None).unwrap();
+        assert_eq!(inferred.n_cols(), used_cols);
+    }
+}
+
+/// The streaming libsvm→binary-CSR converter produces exactly the arrays the
+/// in-memory parser does, for any input.
+#[test]
+fn libsvm_binary_conversion_matches_in_memory_parse() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(8000 + case);
+        let rows = rng.gen_range(1usize..25);
+        let cols = rng.gen_range(1usize..16);
+        let matrix = random_csr(&mut rng, rows, cols);
+        let labels: Vec<f64> = (0..rows).map(|r| f64::from(r % 2 == 0)).collect();
+
+        let dir = tempfile::tempdir().unwrap();
+        let text = dir.path().join("conv.svm");
+        let binary = dir.path().join("conv.m3csr");
+        m3::data::write_libsvm_csr(&text, &matrix, &labels).unwrap();
+        let file = m3::data::convert_libsvm_to_csr(&text, &binary, Some(cols)).unwrap();
+        assert_eq!(file.shape(), matrix.shape());
+        assert_eq!(file.indptr(), matrix.indptr());
+        assert_eq!(file.indices(), matrix.indices());
+        assert_eq!(file.values(), matrix.values());
+        assert_eq!(file.labels().unwrap(), &labels[..]);
+        assert_eq!(file.to_csr_matrix().unwrap(), matrix);
+    }
+}
+
 /// The logistic loss gradient always matches central differences.
 #[test]
 fn logistic_gradient_matches_numerical_everywhere() {

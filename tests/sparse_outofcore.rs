@@ -1,0 +1,163 @@
+//! Out-of-core sparse training: a binary CSR file **larger than the
+//! `ExecContext` chunk budget** is written through the streaming builder,
+//! memory-mapped, and trained through the sparse estimator paths — and the
+//! results must match the in-memory CSR path **bit for bit**, because the
+//! sparse sweep's chunking and fold order depend only on the data's shape
+//! (`n_rows`, `nnz`), never on where the arrays live.
+//!
+//! Also drives the ISSUE's acceptance scenario end to end: a libsvm text
+//! dataset converts to binary CSR without densification and trains logistic
+//! regression through the mmap-backed store, matching the dense result
+//! within tolerance.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use m3::prelude::*;
+
+/// Chunk budget deliberately far below the dataset size so every sweep must
+/// cross many mapped chunks.
+const CHUNK_BYTES: usize = 64 * 1024;
+
+/// A seeded sparse classification problem sized to overflow `CHUNK_BYTES`
+/// many times over.
+fn big_sparse_problem() -> (CsrMatrix, Vec<f64>) {
+    let (rows, cols, per_row) = (3_000, 120, 14);
+    let mut rng = StdRng::seed_from_u64(0xC5);
+    let mut builder = CsrBuilder::new(cols);
+    let mut labels = Vec::with_capacity(rows);
+    let mut idx = Vec::new();
+    let mut val = Vec::new();
+    for _ in 0..rows {
+        idx.clear();
+        val.clear();
+        let mut score = 0.0;
+        let mut c = rng.gen_range(0usize..4);
+        while c < cols && idx.len() < per_row {
+            let v = rng.gen_range(-1.0f64..1.0);
+            idx.push(c as u32);
+            val.push(v);
+            if c < 10 {
+                score += v * if c % 2 == 0 { 1.5 } else { -1.5 };
+            }
+            c += 1 + rng.gen_range(0usize..2 * (cols / per_row));
+        }
+        labels.push(f64::from(score >= 0.0));
+        builder.push_row(&idx, &val).unwrap();
+    }
+    (builder.finish(), labels)
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{x} != {y}");
+    }
+}
+
+#[test]
+fn mmap_backed_training_matches_in_memory_bit_for_bit() {
+    let (matrix, labels) = big_sparse_problem();
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("big.m3csr");
+    let mapped = m3::core::sparse::persist_csr(&path, &matrix, Some(&labels)).unwrap();
+
+    // The file genuinely exceeds the chunk budget — the training sweep
+    // cannot hold it in one chunk.
+    let file_bytes = std::fs::metadata(&path).unwrap().len();
+    assert!(
+        file_bytes > 4 * CHUNK_BYTES as u64,
+        "fixture too small: {file_bytes} bytes vs {CHUNK_BYTES} budget"
+    );
+    let ctx = ExecContext::new()
+        .with_threads(2)
+        .with_chunk_bytes(CHUNK_BYTES);
+    let chunk_rows = ctx.sparse_chunk_rows(matrix.n_rows(), matrix.nnz());
+    assert!(
+        chunk_rows < matrix.n_rows() / 4,
+        "sweeps must span many chunks (chunk_rows = {chunk_rows})"
+    );
+
+    // Logistic regression, the paper's protocol.
+    let logistic = LogisticRegression::new(LogisticConfig::paper());
+    let mem = logistic.fit_sparse(&matrix, &labels, &ctx).unwrap();
+    let map = logistic.fit_sparse(&mapped, &labels, &ctx).unwrap();
+    assert_bits_eq(&mem.weights, &map.weights);
+    assert_eq!(mem.bias.to_bits(), map.bias.to_bits());
+    assert_eq!(
+        mem.optimization.value_history, map.optimization.value_history,
+        "the whole loss trajectory must match, not just the optimum"
+    );
+
+    // Softmax over the same binary labels.
+    let softmax = SoftmaxRegression::new(SoftmaxConfig {
+        n_classes: 2,
+        max_iterations: 8,
+        ..Default::default()
+    });
+    let mem = softmax.fit_sparse(&matrix, &labels, &ctx).unwrap();
+    let map = softmax.fit_sparse(&mapped, &labels, &ctx).unwrap();
+    assert_bits_eq(&mem.weights, &map.weights);
+
+    // Linear regression (normal equations run the sequential sparse driver).
+    let linear = m3::ml::linear_regression::LinearRegression::default();
+    let mem = linear.fit_sparse(&matrix, &labels, &ctx).unwrap();
+    let map = linear.fit_sparse(&mapped, &labels, &ctx).unwrap();
+    assert_bits_eq(&mem.weights, &map.weights);
+    assert_eq!(mem.bias.to_bits(), map.bias.to_bits());
+}
+
+#[test]
+fn mmap_backed_training_is_thread_count_invariant() {
+    let (matrix, labels) = big_sparse_problem();
+    let dir = tempfile::tempdir().unwrap();
+    let mapped =
+        m3::core::sparse::persist_csr(dir.path().join("t.m3csr"), &matrix, Some(&labels)).unwrap();
+    let logistic = LogisticRegression::new(LogisticConfig::paper());
+    let run = |threads: usize| {
+        let ctx = ExecContext::new()
+            .with_threads(threads)
+            .with_chunk_bytes(CHUNK_BYTES)
+            .with_parallel_threshold(0);
+        logistic.fit_sparse(&mapped, &labels, &ctx).unwrap()
+    };
+    let one = run(1);
+    for threads in [2, 4] {
+        let multi = run(threads);
+        assert_bits_eq(&one.weights, &multi.weights);
+        assert_eq!(one.bias.to_bits(), multi.bias.to_bits());
+    }
+}
+
+#[test]
+fn libsvm_converts_without_densification_and_trains_out_of_core() {
+    // The acceptance scenario: libsvm text → streaming binary CSR →
+    // mmap-backed logistic training ≈ dense training on the same data.
+    let (matrix, labels) = big_sparse_problem();
+    let dir = tempfile::tempdir().unwrap();
+    let text = dir.path().join("train.svm");
+    let binary = dir.path().join("train.m3csr");
+    m3::data::write_libsvm_csr(&text, &matrix, &labels).unwrap();
+
+    let data = m3::data::convert_libsvm_to_csr(&text, &binary, Some(matrix.n_cols())).unwrap();
+    assert_eq!(data.indptr(), matrix.indptr());
+    assert_eq!(data.indices(), matrix.indices());
+    assert_eq!(data.values(), matrix.values());
+    let stored_labels = data.labels().unwrap().to_vec();
+    assert_eq!(stored_labels, labels);
+
+    let ctx = ExecContext::new().with_chunk_bytes(CHUNK_BYTES);
+    let trainer = LogisticRegression::new(LogisticConfig::paper());
+    let sparse_model = trainer.fit_sparse(&data, &stored_labels, &ctx).unwrap();
+    let dense = matrix.to_dense();
+    let dense_model = Estimator::fit(&trainer, &dense, &labels, &ctx).unwrap();
+    for (a, b) in sparse_model.weights.iter().zip(&dense_model.weights) {
+        assert!(
+            (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+            "sparse {a} vs dense {b}"
+        );
+    }
+    assert!((sparse_model.bias - dense_model.bias).abs() <= 1e-9 * (1.0 + dense_model.bias.abs()));
+    // And the model actually learned the planted signal.
+    assert!(sparse_model.accuracy(&dense, &labels) > 0.9);
+}
