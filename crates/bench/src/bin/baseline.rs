@@ -327,6 +327,65 @@ fn main() {
         }),
     );
 
+    // --- artifact-backed batch prediction (the serving path) ---------------
+    // Throughput at batch sizes 1/64/1024, dense and CSR, through a model
+    // loaded zero-copy from an on-disk M3MODL01 artifact — the same path
+    // m3-serve's prediction server drives per request.  Each batch size gets
+    // two entries: seconds per batch and derived rows/second.
+    use m3_ml::api::{BatchPredict, SparsePredictor};
+    let trained = Estimator::fit(&logistic, &features, &binary, &ctx_parallel).unwrap();
+    let artifact = dir.path().join("logistic.m3m");
+    trained.save(&artifact).expect("persisting the bench model");
+    let served = m3_ml::LogisticModel::load(&artifact).expect("mapping the bench model");
+
+    let (dense_pool, _) = generator.materialize(1024);
+    for &batch in &[1usize, 64, 1024] {
+        let data =
+            DenseMatrix::from_vec(dense_pool.as_slice()[..batch * cols].to_vec(), batch, cols)
+                .unwrap();
+        let inner = (256 / batch).max(1);
+        let secs = time_it_batched(reps, inner, || {
+            served.predict_batch_ctx(&data, &ctx_parallel)
+        });
+        record(&format!("predict/logistic_dense_batch{batch}"), secs);
+        record(
+            &format!("predict/logistic_dense_batch{batch}_rows_per_s"),
+            batch as f64 / secs,
+        );
+    }
+
+    for &batch in &[1usize, 64, 1024] {
+        let mut builder = m3_linalg::CsrBuilder::new(cols);
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..batch {
+            let mut idx = Vec::new();
+            let mut val = Vec::new();
+            let mut c = next() as usize % 20;
+            while c < cols && idx.len() < per_row {
+                idx.push(c as u32);
+                val.push((next() % 2000) as f64 * 0.001 - 1.0);
+                c += 1 + next() as usize % (2 * cols / per_row);
+            }
+            builder.push_row(&idx, &val).expect("valid sparse rows");
+        }
+        let data = builder.finish();
+        let inner = (256 / batch).max(1);
+        let secs = time_it_batched(reps, inner, || {
+            served.predict_batch_csr(&data, &ctx_parallel)
+        });
+        record(&format!("predict/logistic_csr_batch{batch}"), secs);
+        record(
+            &format!("predict/logistic_csr_batch{batch}_rows_per_s"),
+            batch as f64 / secs,
+        );
+    }
+
     // --- emit JSON ---------------------------------------------------------
     let mut json = String::from("{\n");
     json.push_str(&format!(

@@ -124,7 +124,7 @@ impl SimCluster {
             .run(&loss, vec![0.0; data.n_cols() + 1]);
         let d = data.n_cols();
         Ok(LogisticModel {
-            weights: result.weights[..d].to_vec(),
+            weights: result.weights[..d].to_vec().into(),
             bias: result.weights[d],
             optimization: result,
         })
@@ -191,7 +191,7 @@ impl SimCluster {
             &m3_core::ExecContext::serial(),
         )
         .map_err(|e| ClusterError::Execution(e.to_string()))?;
-        let mut centroids = init_only.centroids;
+        let mut centroids = init_only.centroids.to_dense();
         let d = data.n_cols();
         let mut history = Vec::with_capacity(config.max_iterations);
 
@@ -209,7 +209,7 @@ impl SimCluster {
         }
         let (_, _, final_inertia) = self.kmeans_step(data, &centroids);
         Ok(KMeansModel {
-            centroids,
+            centroids: centroids.into(),
             inertia: final_inertia,
             iterations: config.max_iterations,
             inertia_history: history,

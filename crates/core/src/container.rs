@@ -1,0 +1,162 @@
+//! Shared plumbing for the single-file mmap container formats.
+//!
+//! Three on-disk formats live in this workspace — the dense
+//! [`crate::Dataset`] (`M3DSET01`), the sparse [`crate::CsrFile`]
+//! (`M3CSRF01`) and the model artifact [`crate::ModelFile`] (`M3MODL01`) —
+//! and all three follow the same discipline: a fixed-size page of header
+//! (magic, version, flags, shape, section offsets), page-rounded sections,
+//! O(1) validation at open, and lazily-faulted `mmap` access afterwards.
+//! This module holds the pieces of that discipline that were previously
+//! duplicated per format:
+//!
+//! * [`decode_preamble`] — the magic/version/flags check every header decoder
+//!   starts with, returning typed [`CoreError::BadHeader`] values (never
+//!   panicking) on truncated or corrupt input.
+//! * [`section_slice`] — bounds- and alignment-checked reinterpretation of a
+//!   mapped byte range as a typed little-endian slice.
+//!
+//! Any new container format should build on these helpers rather than
+//! growing its own copies of the checks.
+
+use crate::error::{CoreError, Result};
+
+/// The common 16-byte preamble every M3 container header starts with:
+/// `magic[8] ++ version(u32) ++ flags(u32)`, all little-endian.
+pub const PREAMBLE_BYTES: usize = 16;
+
+/// Validate the magic/version preamble shared by every container header and
+/// check that at least `header_len` bytes are present for the
+/// format-specific fields that follow; returns the header's flags word.
+///
+/// # Errors
+/// Returns [`CoreError::BadHeader`] when the input is shorter than
+/// `header_len`, the magic does not match, or the version is unsupported.
+/// Never panics, regardless of input — corrupt and truncated artifacts must
+/// surface as typed errors.
+pub fn decode_preamble(
+    bytes: &[u8],
+    magic: &[u8; 8],
+    version: u32,
+    header_len: usize,
+) -> Result<u32> {
+    debug_assert!(header_len >= PREAMBLE_BYTES);
+    if bytes.len() < header_len {
+        return Err(CoreError::BadHeader {
+            reason: format!(
+                "header needs at least {header_len} bytes, got {}",
+                bytes.len()
+            ),
+        });
+    }
+    if &bytes[0..8] != magic {
+        return Err(CoreError::BadHeader {
+            reason: format!(
+                "magic bytes do not match {}",
+                String::from_utf8_lossy(magic)
+            ),
+        });
+    }
+    let found = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if found != version {
+        return Err(CoreError::BadHeader {
+            reason: format!("unsupported format version {found} (expected {version})"),
+        });
+    }
+    Ok(u32::from_le_bytes(bytes[12..16].try_into().unwrap()))
+}
+
+/// Reinterpret `bytes[offset..]` as a typed little-endian slice after
+/// checking bounds and alignment.
+///
+/// # Errors
+/// Returns [`CoreError::BadHeader`] when the section does not fit the file
+/// (or its extent overflows `usize`), and [`CoreError::Misaligned`] when the
+/// mapped address is not aligned for `T`.
+///
+/// # Safety
+/// `T` must be a plain-old-data type for which every bit pattern is valid
+/// (`u32`, `u64`, `f64` here).  The returned slice borrows `bytes`.
+pub(crate) unsafe fn section_slice<T>(bytes: &[u8], offset: u64, len: usize) -> Result<&[T]> {
+    let offset = usize::try_from(offset).map_err(|_| CoreError::BadHeader {
+        reason: "section offset overflows".to_string(),
+    })?;
+    let needed = offset
+        .checked_add(
+            len.checked_mul(std::mem::size_of::<T>())
+                .ok_or(CoreError::BadHeader {
+                    reason: "section length overflows".to_string(),
+                })?,
+        )
+        .ok_or(CoreError::BadHeader {
+            reason: "section offset overflows".to_string(),
+        })?;
+    if bytes.len() < needed {
+        return Err(CoreError::BadHeader {
+            reason: format!(
+                "file is {} bytes but a section needs {} bytes",
+                bytes.len(),
+                needed
+            ),
+        });
+    }
+    let addr = bytes.as_ptr() as usize + offset;
+    if !addr.is_multiple_of(std::mem::align_of::<T>()) {
+        return Err(CoreError::Misaligned { address: addr });
+    }
+    // SAFETY: bounds and alignment checked above; T is plain-old-data per
+    // the caller contract; lifetime is tied to `bytes` by the signature.
+    Ok(unsafe { std::slice::from_raw_parts(bytes[offset..].as_ptr().cast::<T>(), len) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: [u8; 8] = *b"M3TEST01";
+
+    fn preamble(version: u32, flags: u32) -> [u8; 16] {
+        let mut buf = [0u8; 16];
+        buf[0..8].copy_from_slice(&MAGIC);
+        buf[8..12].copy_from_slice(&version.to_le_bytes());
+        buf[12..16].copy_from_slice(&flags.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn preamble_round_trip() {
+        let bytes = preamble(3, 0b101);
+        assert_eq!(decode_preamble(&bytes, &MAGIC, 3, 16).unwrap(), 0b101);
+    }
+
+    #[test]
+    fn preamble_rejects_truncation_magic_and_version() {
+        let bytes = preamble(1, 0);
+        assert!(matches!(
+            decode_preamble(&bytes[..10], &MAGIC, 1, 16),
+            Err(CoreError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            decode_preamble(&bytes, &MAGIC, 1, 64),
+            Err(CoreError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            decode_preamble(&bytes, b"M3OTHER1", 1, 16),
+            Err(CoreError::BadHeader { .. })
+        ));
+        let err = decode_preamble(&bytes, &MAGIC, 2, 16).unwrap_err();
+        assert!(err.to_string().contains("version 1"));
+    }
+
+    #[test]
+    fn section_slice_checks_bounds_and_overflow() {
+        let bytes = vec![0u8; 64];
+        // SAFETY: u64 is plain-old-data.
+        unsafe {
+            assert_eq!(section_slice::<u64>(&bytes, 0, 8).unwrap().len(), 8);
+            assert!(section_slice::<u64>(&bytes, 0, 9).is_err());
+            assert!(section_slice::<u64>(&bytes, 8, 8).is_err());
+            assert!(section_slice::<u64>(&bytes, u64::MAX, 1).is_err());
+            assert!(section_slice::<u64>(&bytes, 0, usize::MAX).is_err());
+        }
+    }
+}

@@ -104,23 +104,7 @@ impl DatasetHeader {
     /// Returns [`CoreError::BadHeader`] when the magic, version or offsets are
     /// inconsistent.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
-        if bytes.len() < 64 {
-            return Err(CoreError::BadHeader {
-                reason: format!("header needs at least 64 bytes, got {}", bytes.len()),
-            });
-        }
-        if bytes[0..8] != MAGIC {
-            return Err(CoreError::BadHeader {
-                reason: "magic bytes do not match M3DSET01".to_string(),
-            });
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != FORMAT_VERSION {
-            return Err(CoreError::BadHeader {
-                reason: format!("unsupported format version {version}"),
-            });
-        }
-        let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let flags = crate::container::decode_preamble(bytes, &MAGIC, FORMAT_VERSION, 64)?;
         let n_rows = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
         let n_cols = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
         let data_offset = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
@@ -130,7 +114,21 @@ impl DatasetHeader {
                 reason: format!("unexpected data offset {data_offset}"),
             });
         }
-        let expected_labels = data_offset + n_rows * n_cols * ELEMENT_BYTES as u64;
+        // The shape fields are untrusted: checked arithmetic, so a crafted
+        // n_rows/n_cols near u64::MAX surfaces as BadHeader, not a panic.
+        let expected_labels = n_rows
+            .checked_mul(n_cols)
+            .and_then(|n| n.checked_mul(ELEMENT_BYTES as u64))
+            .and_then(|b| b.checked_add(data_offset))
+            .and_then(|end| {
+                // file_bytes() and the usize conversions the accessors
+                // perform must not overflow either.
+                end.checked_add(n_rows.checked_mul(ELEMENT_BYTES as u64)?)?;
+                Some(end)
+            })
+            .ok_or_else(|| CoreError::BadHeader {
+                reason: "shape overflows the section layout".to_string(),
+            })?;
         if labels_offset != expected_labels {
             return Err(CoreError::BadHeader {
                 reason: format!(
@@ -139,7 +137,7 @@ impl DatasetHeader {
             });
         }
         Ok(Self {
-            version,
+            version: FORMAT_VERSION,
             n_rows,
             n_cols,
             has_labels: flags & FLAG_HAS_LABELS != 0,

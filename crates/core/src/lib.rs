@@ -65,10 +65,12 @@ pub mod advice;
 pub mod alloc;
 pub mod builder;
 pub mod chunked;
+pub mod container;
 pub mod dataset;
 pub mod error;
 pub mod exec;
 pub mod mmap;
+pub mod model;
 mod pool;
 pub mod sparse;
 pub mod stats;
@@ -81,6 +83,7 @@ pub use dataset::{Dataset, DatasetHeader};
 pub use error::{CoreError, Result};
 pub use exec::ExecContext;
 pub use mmap::{MmapMatrix, MmapMatrixMut};
+pub use model::{ModelFile, ModelFileBuilder, ModelHeader, ModelKind, ParamMatrix, ParamVec};
 pub use sparse::{CsrFile, CsrFileBuilder, CsrHeader, SparseRowChunk, SparseRowStore};
 pub use storage::RowStore;
 

@@ -1,0 +1,852 @@
+//! The M3 model artifact container format (`ModelFile`) and the in-place
+//! parameter storage ([`ParamVec`] / [`ParamMatrix`]) it hands out.
+//!
+//! Training proved the paper's thesis — mmap makes "where the *data* lives"
+//! a one-line change — and this module applies the same discipline to fitted
+//! models so the serving path gets it too: a model artifact is a single
+//! page-aligned binary file that is opened with `mmap`, validated in O(1)
+//! from its header, and whose weight payload is then used **in place**.
+//! Zero copy, zero deserialize: loading a multi-gigabyte model costs a
+//! header read, and its pages fault in lazily (or eagerly, via the
+//! `MADV_WILLNEED` hint issued at open so first-request latency does not eat
+//! the page faults).
+//!
+//! ## On-disk layout (version 1)
+//!
+//! ```text
+//! offset 0    : 4096-byte header (magic "M3MODL01", version, flags, kind,
+//!               n_features, n_outputs, n_params, payload offset)
+//! offset 4096 : payload — n_params little-endian f64, one contiguous
+//!               page-aligned section whose internal layout is fixed by the
+//!               model kind (see [`ModelKind`])
+//! ```
+//!
+//! The payload layout per kind (`d` = `n_features`, `k` = `n_outputs`):
+//!
+//! | kind         | payload                                    | `n_params`    |
+//! |--------------|--------------------------------------------|---------------|
+//! | `Logistic`   | `weights[d] ++ [bias]`                     | `d + 1`       |
+//! | `Softmax`    | `k` blocks of `weights[d] ++ [bias]`       | `k * (d + 1)` |
+//! | `Linear`     | `weights[d] ++ [bias]`                     | `d + 1`       |
+//! | `GaussianNb` | `log_priors[k] ++ means[k*d] ++ vars[k*d]` | `k * (1+2d)`  |
+//! | `KMeans`     | `centroids[k*d] ++ [inertia]`              | `k * d + 1`   |
+//! | `Scaler`     | `mean[d] ++ std_dev[d]`                    | `2 * d`       |
+//!
+//! The header/validation/advise discipline is shared with [`crate::Dataset`]
+//! and [`crate::CsrFile`] through [`crate::container`]: corrupt or truncated
+//! artifacts fail [`ModelFile::open`] with typed [`CoreError`]s, never
+//! panics, and untrusted header fields go through checked arithmetic.
+
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use memmap2::{Mmap, MmapMut};
+
+use crate::container::{decode_preamble, section_slice};
+use crate::error::{CoreError, Result};
+use crate::{AccessPattern, ELEMENT_BYTES, PAGE_SIZE};
+
+/// Magic bytes identifying an M3 model artifact.
+pub const MODEL_MAGIC: [u8; 8] = *b"M3MODL01";
+/// Current on-disk model format version.
+pub const MODEL_FORMAT_VERSION: u32 = 1;
+/// Size of the fixed model header block (one page).
+pub const MODEL_HEADER_BYTES: usize = PAGE_SIZE;
+/// Size of the encoded portion of the header.
+pub const MODEL_HEADER_ENCODED_BYTES: usize = 56;
+
+/// The family of model stored in a [`ModelFile`], which fixes the payload
+/// layout (see the module-level table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum ModelKind {
+    /// Binary logistic regression: `weights[d] ++ [bias]`.
+    Logistic = 1,
+    /// Multinomial softmax regression: `k` blocks of `weights[d] ++ [bias]`.
+    Softmax = 2,
+    /// Linear (ridge) regression: `weights[d] ++ [bias]`.
+    Linear = 3,
+    /// Gaussian naive Bayes: `log_priors[k] ++ means[k*d] ++ variances[k*d]`.
+    GaussianNb = 4,
+    /// K-means clustering: `centroids[k*d] ++ [inertia]`.
+    KMeans = 5,
+    /// Standardising scaler: `mean[d] ++ std_dev[d]`.
+    Scaler = 6,
+}
+
+impl ModelKind {
+    /// All defined kinds.
+    pub const ALL: [ModelKind; 6] = [
+        ModelKind::Logistic,
+        ModelKind::Softmax,
+        ModelKind::Linear,
+        ModelKind::GaussianNb,
+        ModelKind::KMeans,
+        ModelKind::Scaler,
+    ];
+
+    /// The on-disk discriminant.
+    pub fn as_u32(self) -> u32 {
+        self as u32
+    }
+
+    /// Parse an on-disk discriminant.
+    pub fn from_u32(v: u32) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.as_u32() == v)
+    }
+
+    /// A short lowercase name for reports and file listings.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Logistic => "logistic",
+            ModelKind::Softmax => "softmax",
+            ModelKind::Linear => "linear",
+            ModelKind::GaussianNb => "gaussian_nb",
+            ModelKind::KMeans => "kmeans",
+            ModelKind::Scaler => "scaler",
+        }
+    }
+
+    /// The exact payload length (in `f64` elements) this kind requires for
+    /// the given shape, or `None` when the shape is invalid for the kind or
+    /// its layout overflows `u64`.  Untrusted header fields are validated
+    /// against this with checked arithmetic.
+    pub fn expected_params(self, n_features: u64, n_outputs: u64) -> Option<u64> {
+        if n_features == 0 {
+            return None;
+        }
+        let single_output = n_outputs == 1;
+        match self {
+            ModelKind::Logistic | ModelKind::Linear => {
+                single_output.then(|| n_features.checked_add(1))?
+            }
+            ModelKind::Scaler => single_output.then(|| n_features.checked_mul(2))?,
+            ModelKind::Softmax => {
+                (n_outputs >= 2).then(|| n_features.checked_add(1)?.checked_mul(n_outputs))?
+            }
+            ModelKind::GaussianNb => (n_outputs >= 1).then(|| {
+                n_features
+                    .checked_mul(2)?
+                    .checked_add(1)?
+                    .checked_mul(n_outputs)
+            })?,
+            ModelKind::KMeans => {
+                (n_outputs >= 1).then(|| n_features.checked_mul(n_outputs)?.checked_add(1))?
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Parsed model-artifact header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelHeader {
+    /// On-disk format version.
+    pub version: u32,
+    /// The stored model family.
+    pub kind: ModelKind,
+    /// Number of input features (`d`).
+    pub n_features: u64,
+    /// Number of outputs (`k`): classes for classifiers, centroids for
+    /// k-means, 1 for regressors and scalers.
+    pub n_outputs: u64,
+    /// Payload length in `f64` elements.
+    pub n_params: u64,
+    /// Byte offset of the payload section (always one page).
+    pub payload_offset: u64,
+}
+
+impl ModelHeader {
+    /// Construct the header for a model of the given kind and shape.
+    ///
+    /// # Panics
+    /// Panics when the shape is invalid for the kind (see
+    /// [`ModelKind::expected_params`]); untrusted headers read from files go
+    /// through the checked path in [`decode`](Self::decode) instead.
+    pub fn new(kind: ModelKind, n_features: u64, n_outputs: u64) -> Self {
+        Self::checked_new(kind, n_features, n_outputs).expect("model shape is invalid for its kind")
+    }
+
+    /// [`new`](Self::new) with checked arithmetic for *untrusted* shape
+    /// fields read from a file: `None` when the shape is invalid for the
+    /// kind or its payload would not even fit in a `u64`.
+    fn checked_new(kind: ModelKind, n_features: u64, n_outputs: u64) -> Option<Self> {
+        let n_params = kind.expected_params(n_features, n_outputs)?;
+        let payload_offset = MODEL_HEADER_BYTES as u64;
+        // The payload section (and the usize conversions open() performs)
+        // must not overflow either.
+        payload_offset.checked_add(n_params.checked_mul(ELEMENT_BYTES as u64)?)?;
+        Some(Self {
+            version: MODEL_FORMAT_VERSION,
+            kind,
+            n_features,
+            n_outputs,
+            n_params,
+            payload_offset,
+        })
+    }
+
+    /// Total file size implied by this header.
+    pub fn file_bytes(&self) -> u64 {
+        self.payload_offset + self.n_params * ELEMENT_BYTES as u64
+    }
+
+    /// Size of the payload section in bytes.
+    pub fn payload_bytes(&self) -> u64 {
+        self.n_params * ELEMENT_BYTES as u64
+    }
+
+    /// Serialise into the fixed-size header block.
+    pub fn encode(&self) -> [u8; MODEL_HEADER_ENCODED_BYTES] {
+        let mut buf = [0u8; MODEL_HEADER_ENCODED_BYTES];
+        buf[0..8].copy_from_slice(&MODEL_MAGIC);
+        buf[8..12].copy_from_slice(&self.version.to_le_bytes());
+        buf[12..16].copy_from_slice(&0u32.to_le_bytes()); // flags (reserved)
+        buf[16..20].copy_from_slice(&self.kind.as_u32().to_le_bytes());
+        buf[20..24].copy_from_slice(&0u32.to_le_bytes()); // padding
+        buf[24..32].copy_from_slice(&self.n_features.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.n_outputs.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.n_params.to_le_bytes());
+        buf[48..56].copy_from_slice(&self.payload_offset.to_le_bytes());
+        buf
+    }
+
+    /// Parse a header from the first bytes of a file and check that the
+    /// shape, payload length and section offset are internally consistent.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::BadHeader`] on a wrong magic, an unsupported
+    /// version, an unknown kind, or a shape/layout mismatch — with checked
+    /// arithmetic throughout, so crafted headers near `u64::MAX` surface as
+    /// errors rather than overflow panics.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let bad = |reason: String| CoreError::BadHeader { reason };
+        decode_preamble(
+            bytes,
+            &MODEL_MAGIC,
+            MODEL_FORMAT_VERSION,
+            MODEL_HEADER_ENCODED_BYTES,
+        )?;
+        let kind_raw = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+        let kind = ModelKind::from_u32(kind_raw)
+            .ok_or_else(|| bad(format!("unknown model kind {kind_raw}")))?;
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        let header = Self {
+            version: MODEL_FORMAT_VERSION,
+            kind,
+            n_features: u64_at(24),
+            n_outputs: u64_at(32),
+            n_params: u64_at(40),
+            payload_offset: u64_at(48),
+        };
+        let expected = Self::checked_new(kind, header.n_features, header.n_outputs)
+            .ok_or_else(|| bad("shape is invalid for the model kind".to_string()))?;
+        if header != expected {
+            return Err(bad(
+                "payload length or offset disagrees with the shape in the header".to_string(),
+            ));
+        }
+        Ok(header)
+    }
+}
+
+/// A model parameter vector that is either owned (fresh from training) or a
+/// view into a memory-mapped [`ModelFile`] (fresh from [`ModelFile::open`],
+/// zero-copy).
+///
+/// Dereferences to `&[f64]`, so model code indexes and iterates it exactly
+/// like the `Vec<f64>` it replaces — prediction never knows whether its
+/// weights live in RAM or on disk, which is the M3 one-line-change story
+/// applied to serving.  Cloning a mapped vector clones an [`Arc`], not the
+/// parameters.
+#[derive(Clone)]
+pub struct ParamVec(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Owned(Vec<f64>),
+    Mapped {
+        map: Arc<Mmap>,
+        /// Byte offset of the first element; 8-aligned (checked at build).
+        offset: usize,
+        /// Length in elements; in bounds (checked at build).
+        len: usize,
+    },
+}
+
+impl ParamVec {
+    /// Borrow the parameters.
+    pub fn as_slice(&self) -> &[f64] {
+        match &self.0 {
+            Repr::Owned(v) => v,
+            Repr::Mapped { map, offset, len } => {
+                let bytes = &map[*offset..*offset + *len * ELEMENT_BYTES];
+                // SAFETY: bounds and 8-alignment were checked when this view
+                // was constructed (ModelFile::param_vec), the mapping is
+                // pinned by the Arc, and f64 is plain-old-data.
+                unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f64>(), *len) }
+            }
+        }
+    }
+
+    /// `true` when the parameters are a zero-copy view into a mapped
+    /// artifact (as opposed to owned memory).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.0, Repr::Mapped { .. })
+    }
+}
+
+impl std::ops::Deref for ParamVec {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<f64>> for ParamVec {
+    fn from(v: Vec<f64>) -> Self {
+        ParamVec(Repr::Owned(v))
+    }
+}
+
+impl<'a> IntoIterator for &'a ParamVec {
+    type Item = &'a f64;
+    type IntoIter = std::slice::Iter<'a, f64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for ParamVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for ParamVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+/// A row-major matrix of model parameters over a [`ParamVec`] — the
+/// matrix-shaped analogue (k-means centroids, per-class means) of the same
+/// owned-or-mapped story.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamMatrix {
+    values: ParamVec,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl ParamMatrix {
+    /// Wrap `values` as an `n_rows × n_cols` row-major matrix.
+    ///
+    /// # Errors
+    /// Fails with [`CoreError::InvalidShape`] when the length does not match
+    /// the shape.
+    pub fn new(values: ParamVec, n_rows: usize, n_cols: usize) -> Result<Self> {
+        if n_rows.checked_mul(n_cols) != Some(values.len()) {
+            return Err(CoreError::InvalidShape {
+                rows: n_rows,
+                cols: n_cols,
+            });
+        }
+        Ok(Self {
+            values,
+            n_rows,
+            n_cols,
+        })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics when `i >= n_rows()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n_rows, "row {i} out of bounds ({})", self.n_rows);
+        &self.values[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// The whole matrix as one row-major slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// `true` when the values are a zero-copy view into a mapped artifact.
+    pub fn is_mapped(&self) -> bool {
+        self.values.is_mapped()
+    }
+
+    /// Copy into an owned [`m3_linalg::DenseMatrix`] (for code that needs to
+    /// mutate, e.g. warm-starting k-means from an existing model).
+    pub fn to_dense(&self) -> m3_linalg::DenseMatrix {
+        m3_linalg::DenseMatrix::from_vec(self.values.to_vec(), self.n_rows, self.n_cols)
+            .expect("shape was validated at construction")
+    }
+}
+
+impl From<m3_linalg::DenseMatrix> for ParamMatrix {
+    fn from(m: m3_linalg::DenseMatrix) -> Self {
+        let (n_rows, n_cols) = (m.n_rows(), m.n_cols());
+        Self {
+            values: ParamVec::from(m.as_slice().to_vec()),
+            n_rows,
+            n_cols,
+        }
+    }
+}
+
+/// A read-only memory-mapped model artifact.
+///
+/// Opening performs only O(1) header validation, then issues
+/// `madvise(WILLNEED)` for the payload so the kernel starts faulting the
+/// weights in before the first request needs them.  Cloning shares the
+/// mapping behind an [`Arc`], and every [`ParamVec`] handed out pins it.
+#[derive(Debug, Clone)]
+pub struct ModelFile {
+    map: Arc<Mmap>,
+    path: PathBuf,
+    header: ModelHeader,
+}
+
+impl ModelFile {
+    /// Memory-map an existing model artifact.
+    ///
+    /// # Errors
+    /// Fails when the file cannot be opened or mapped, its header is
+    /// malformed (wrong magic/version/kind, inconsistent shape — see
+    /// [`ModelHeader::decode`]), or its size disagrees with the header.
+    /// Corruption surfaces as typed errors, never panics.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .open(&path)
+            .map_err(|e| CoreError::io(&path, e))?;
+        // SAFETY: read-only mapping, never mutably aliased by this process.
+        let map = unsafe { Mmap::map(&file) }.map_err(|e| CoreError::io(&path, e))?;
+        let header = ModelHeader::decode(&map[..map.len().min(MODEL_HEADER_BYTES)])?;
+        let actual = map.len() as u64;
+        if actual < header.file_bytes() {
+            return Err(CoreError::SizeMismatch {
+                path,
+                expected_bytes: header.file_bytes(),
+                actual_bytes: actual,
+            });
+        }
+        // Validate the payload section once so the accessors are panic-free.
+        // SAFETY: f64 is plain-old-data.
+        unsafe {
+            section_slice::<f64>(&map[..], header.payload_offset, header.n_params as usize)?;
+        }
+        let this = Self {
+            map: Arc::new(map),
+            path,
+            header,
+        };
+        // Serving loads a model to use it immediately: tell the kernel to
+        // start faulting the weights in now rather than on first request.
+        this.advise(AccessPattern::WillNeed);
+        Ok(this)
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &ModelHeader {
+        &self.header
+    }
+
+    /// The stored model family.
+    pub fn kind(&self) -> ModelKind {
+        self.header.kind
+    }
+
+    /// Number of input features.
+    pub fn n_features(&self) -> usize {
+        self.header.n_features as usize
+    }
+
+    /// Number of outputs (classes / centroids; 1 for regressors).
+    pub fn n_outputs(&self) -> usize {
+        self.header.n_outputs as usize
+    }
+
+    /// Payload length in `f64` elements.
+    pub fn n_params(&self) -> usize {
+        self.header.n_params as usize
+    }
+
+    /// The path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The whole payload as one slice (layout fixed by [`Self::kind`]).
+    pub fn payload(&self) -> &[f64] {
+        // SAFETY: validated at open; f64 is plain-old-data.
+        unsafe {
+            section_slice(
+                &self.map[..],
+                self.header.payload_offset,
+                self.header.n_params as usize,
+            )
+        }
+        .expect("payload section was validated at open")
+    }
+
+    /// A zero-copy [`ParamVec`] over payload elements `start..start + len`,
+    /// sharing (and pinning) this file's mapping.
+    ///
+    /// # Errors
+    /// Fails with [`CoreError::BadHeader`] when the range exceeds the
+    /// payload.
+    pub fn param_vec(&self, start: usize, len: usize) -> Result<ParamVec> {
+        let end = start.checked_add(len).ok_or(CoreError::BadHeader {
+            reason: "parameter range overflows".to_string(),
+        })?;
+        if end > self.n_params() {
+            return Err(CoreError::BadHeader {
+                reason: format!(
+                    "parameter range {start}..{end} exceeds the {} stored parameters",
+                    self.n_params()
+                ),
+            });
+        }
+        Ok(ParamVec(Repr::Mapped {
+            map: Arc::clone(&self.map),
+            offset: self.header.payload_offset as usize + start * ELEMENT_BYTES,
+            len,
+        }))
+    }
+
+    /// Forward an access-pattern hint for the whole mapping to the kernel
+    /// (`madvise`).  Best-effort: errors are ignored, as with the data
+    /// stores.
+    pub fn advise(&self, pattern: AccessPattern) {
+        #[cfg(unix)]
+        {
+            let _ = self.map.advise(pattern.to_memmap_advice());
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = pattern;
+        }
+    }
+}
+
+/// Streaming writer for the model artifact format.
+///
+/// The file is created at its final size up front, mapped read-write, and
+/// filled by appending parameter slices in payload order — the same
+/// discipline as [`crate::CsrFileBuilder`].  The payload length is fixed by
+/// the kind and shape declared at creation, and [`finish`](Self::finish)
+/// refuses underfilled files.
+#[derive(Debug)]
+pub struct ModelFileBuilder {
+    map: MmapMut,
+    path: PathBuf,
+    header: ModelHeader,
+    params_pushed: usize,
+}
+
+impl ModelFileBuilder {
+    /// Create (or truncate) `path` sized for a `kind` model with
+    /// `n_features` inputs and `n_outputs` outputs.
+    ///
+    /// # Errors
+    /// Fails when the shape is invalid for the kind, or when the file cannot
+    /// be created, sized or mapped.
+    pub fn create(
+        path: impl AsRef<Path>,
+        kind: ModelKind,
+        n_features: usize,
+        n_outputs: usize,
+    ) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let header = ModelHeader::checked_new(kind, n_features as u64, n_outputs as u64).ok_or(
+            CoreError::InvalidShape {
+                rows: n_outputs,
+                cols: n_features,
+            },
+        )?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| CoreError::io(&path, e))?;
+        file.set_len(header.file_bytes())
+            .map_err(|e| CoreError::io(&path, e))?;
+        // SAFETY: we hold the only mapping of a file we just created.
+        let mut map = unsafe { MmapMut::map_mut(&file) }.map_err(|e| CoreError::io(&path, e))?;
+        map[..MODEL_HEADER_ENCODED_BYTES].copy_from_slice(&header.encode());
+        Ok(Self {
+            map,
+            path,
+            header,
+            params_pushed: 0,
+        })
+    }
+
+    /// Append a parameter slice to the payload, in the kind's layout order.
+    ///
+    /// # Errors
+    /// Fails when the payload budget declared at creation would be exceeded.
+    pub fn push_params(&mut self, values: &[f64]) -> Result<()> {
+        if self.params_pushed + values.len() > self.header.n_params as usize {
+            return Err(CoreError::BadHeader {
+                reason: format!(
+                    "parameter budget of {} exhausted at element {}",
+                    self.header.n_params, self.params_pushed
+                ),
+            });
+        }
+        let off = self.header.payload_offset as usize + self.params_pushed * ELEMENT_BYTES;
+        for (k, &v) in values.iter().enumerate() {
+            self.map[off + k * ELEMENT_BYTES..off + (k + 1) * ELEMENT_BYTES]
+                .copy_from_slice(&v.to_le_bytes());
+        }
+        self.params_pushed += values.len();
+        Ok(())
+    }
+
+    /// Number of payload elements pushed so far.
+    pub fn params_pushed(&self) -> usize {
+        self.params_pushed
+    }
+
+    /// Flush and reopen the finished artifact read-only.
+    ///
+    /// # Errors
+    /// Fails when fewer parameters were pushed than the kind's layout
+    /// requires, or on flush/reopen I/O errors.
+    pub fn finish(self) -> Result<ModelFile> {
+        if self.params_pushed != self.header.n_params as usize {
+            return Err(CoreError::BadHeader {
+                reason: format!(
+                    "declared {} parameters but received {}",
+                    self.header.n_params, self.params_pushed
+                ),
+            });
+        }
+        self.map.flush().map_err(|e| CoreError::io(&self.path, e))?;
+        let path = self.path.clone();
+        drop(self);
+        ModelFile::open(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::tempdir;
+
+    #[test]
+    fn kind_round_trips_and_names() {
+        for kind in ModelKind::ALL {
+            assert_eq!(ModelKind::from_u32(kind.as_u32()), Some(kind));
+            assert!(!kind.name().is_empty());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(ModelKind::from_u32(0), None);
+        assert_eq!(ModelKind::from_u32(99), None);
+    }
+
+    #[test]
+    fn expected_params_per_kind() {
+        let d = 10;
+        assert_eq!(ModelKind::Logistic.expected_params(d, 1), Some(11));
+        assert_eq!(ModelKind::Logistic.expected_params(d, 2), None);
+        assert_eq!(ModelKind::Linear.expected_params(d, 1), Some(11));
+        assert_eq!(ModelKind::Scaler.expected_params(d, 1), Some(20));
+        assert_eq!(ModelKind::Softmax.expected_params(d, 3), Some(33));
+        assert_eq!(ModelKind::Softmax.expected_params(d, 1), None);
+        assert_eq!(ModelKind::GaussianNb.expected_params(d, 3), Some(63));
+        assert_eq!(ModelKind::KMeans.expected_params(d, 4), Some(41));
+        assert_eq!(ModelKind::KMeans.expected_params(0, 4), None);
+        // Overflow is an error, not a wrap-around.
+        assert_eq!(ModelKind::Softmax.expected_params(u64::MAX, 2), None);
+        assert_eq!(ModelKind::GaussianNb.expected_params(u64::MAX / 2, 2), None);
+    }
+
+    #[test]
+    fn header_round_trip_and_layout() {
+        let h = ModelHeader::new(ModelKind::Softmax, 784, 10);
+        assert_eq!(ModelHeader::decode(&h.encode()).unwrap(), h);
+        assert_eq!(h.payload_offset, MODEL_HEADER_BYTES as u64);
+        assert_eq!(h.n_params, 10 * 785);
+        assert_eq!(h.payload_bytes(), 10 * 785 * 8);
+        assert_eq!(h.file_bytes(), 4096 + 10 * 785 * 8);
+    }
+
+    #[test]
+    fn bad_headers_are_rejected() {
+        let h = ModelHeader::new(ModelKind::Logistic, 8, 1);
+        let mut bytes = h.encode();
+        bytes[0] = b'X'; // magic
+        assert!(matches!(
+            ModelHeader::decode(&bytes),
+            Err(CoreError::BadHeader { .. })
+        ));
+        let mut bytes = h.encode();
+        bytes[8] = 99; // version
+        assert!(ModelHeader::decode(&bytes).is_err());
+        let mut bytes = h.encode();
+        bytes[16] = 77; // unknown kind
+        assert!(ModelHeader::decode(&bytes).is_err());
+        let mut bytes = h.encode();
+        bytes[40] = 0xFF; // n_params disagrees with the shape
+        assert!(ModelHeader::decode(&bytes).is_err());
+        assert!(ModelHeader::decode(&h.encode()[..20]).is_err());
+
+        // Crafted shapes near u64::MAX must decode to BadHeader — checked
+        // arithmetic, not overflow panics or wrap-around acceptance.
+        let mut crafted = h.encode();
+        crafted[24..32].copy_from_slice(&u64::MAX.to_le_bytes()); // n_features
+        assert!(matches!(
+            ModelHeader::decode(&crafted),
+            Err(CoreError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_round_trips_and_enforces_budget() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("m.m3mdl");
+        let mut b = ModelFileBuilder::create(&path, ModelKind::Logistic, 3, 1).unwrap();
+        b.push_params(&[1.0, -2.0, 3.0]).unwrap();
+        assert_eq!(b.params_pushed(), 3);
+        assert!(b.push_params(&[0.5, 0.5]).is_err()); // budget
+        b.push_params(&[0.25]).unwrap();
+        let file = b.finish().unwrap();
+        assert_eq!(file.kind(), ModelKind::Logistic);
+        assert_eq!(file.n_features(), 3);
+        assert_eq!(file.n_outputs(), 1);
+        assert_eq!(file.n_params(), 4);
+        assert_eq!(file.payload(), &[1.0, -2.0, 3.0, 0.25]);
+        assert!(file.path().ends_with("m.m3mdl"));
+        assert_eq!(file.header().kind, ModelKind::Logistic);
+        for p in AccessPattern::ALL {
+            file.advise(p);
+        }
+
+        // Underfilled builders refuse to finish.
+        let b =
+            ModelFileBuilder::create(dir.path().join("u.m3mdl"), ModelKind::Linear, 3, 1).unwrap();
+        assert!(b.finish().is_err());
+
+        // Invalid shapes refuse to create.
+        assert!(
+            ModelFileBuilder::create(dir.path().join("x.m3mdl"), ModelKind::Softmax, 3, 1).is_err()
+        );
+    }
+
+    #[test]
+    fn param_vec_views_are_zero_copy_and_slice_like() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("v.m3mdl");
+        let mut b = ModelFileBuilder::create(&path, ModelKind::Scaler, 4, 1).unwrap();
+        b.push_params(&[1.0, 2.0, 3.0, 4.0, 0.1, 0.2, 0.3, 0.4])
+            .unwrap();
+        let file = b.finish().unwrap();
+
+        let mean = file.param_vec(0, 4).unwrap();
+        let std_dev = file.param_vec(4, 4).unwrap();
+        assert!(mean.is_mapped());
+        assert_eq!(&mean[..], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(std_dev.iter().sum::<f64>(), 1.0);
+        // The view is literally the mapped payload — same address.
+        assert_eq!(mean.as_slice().as_ptr(), file.payload().as_ptr());
+
+        // Slice-like surface: Deref, IntoIterator, PartialEq, Debug, Clone.
+        let owned = ParamVec::from(vec![1.0, 2.0, 3.0, 4.0]);
+        assert!(!owned.is_mapped());
+        assert_eq!(owned, mean);
+        assert_eq!(owned.clone(), mean.clone());
+        assert_eq!((&owned).into_iter().count(), 4);
+        assert_eq!(format!("{owned:?}"), format!("{mean:?}"));
+        assert_eq!(owned.len(), 4);
+
+        // Out-of-range views are rejected.
+        assert!(file.param_vec(6, 4).is_err());
+        assert!(file.param_vec(usize::MAX, 2).is_err());
+
+        // The view keeps the mapping alive after the file handle is gone.
+        drop(file);
+        assert_eq!(mean[3], 4.0);
+    }
+
+    #[test]
+    fn param_matrix_shapes_and_conversions() {
+        let m = ParamMatrix::new(ParamVec::from(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]), 2, 3).unwrap();
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.n_cols(), 3);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.as_slice().len(), 6);
+        assert!(!m.is_mapped());
+        let dense = m.to_dense();
+        assert_eq!(dense.row(0), &[1.0, 2.0, 3.0]);
+        let back = ParamMatrix::from(dense);
+        assert_eq!(back, m);
+
+        assert!(ParamMatrix::new(ParamVec::from(vec![0.0; 5]), 2, 3).is_err());
+    }
+
+    #[test]
+    fn open_rejects_truncated_and_corrupt_files() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.m3mdl");
+        let mut b = ModelFileBuilder::create(&path, ModelKind::Linear, 64, 1).unwrap();
+        b.push_params(&vec![0.5; 65]).unwrap();
+        b.finish().unwrap();
+
+        // Truncate below the declared size.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(MODEL_HEADER_BYTES as u64 + 8).unwrap();
+        drop(f);
+        assert!(matches!(
+            ModelFile::open(&path),
+            Err(CoreError::SizeMismatch { .. } | CoreError::BadHeader { .. })
+        ));
+        assert!(ModelFile::open(dir.path().join("missing.m3mdl")).is_err());
+
+        // A header-only file (no payload at all) is rejected too.
+        let path2 = dir.path().join("h.m3mdl");
+        let header = ModelHeader::new(ModelKind::Logistic, 1000, 1);
+        let mut bytes = vec![0u8; MODEL_HEADER_BYTES];
+        bytes[..MODEL_HEADER_ENCODED_BYTES].copy_from_slice(&header.encode());
+        std::fs::write(&path2, &bytes).unwrap();
+        assert!(matches!(
+            ModelFile::open(&path2),
+            Err(CoreError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn clone_shares_the_mapping() {
+        let dir = tempdir().unwrap();
+        let mut b = ModelFileBuilder::create(dir.path().join("c.m3mdl"), ModelKind::Logistic, 2, 1)
+            .unwrap();
+        b.push_params(&[1.0, 2.0, 3.0]).unwrap();
+        let file = b.finish().unwrap();
+        let clone = file.clone();
+        assert_eq!(clone.payload().as_ptr(), file.payload().as_ptr());
+    }
+}

@@ -34,6 +34,7 @@ use memmap2::{Mmap, MmapMut};
 
 use m3_linalg::CsrMatrix;
 
+use crate::container::{decode_preamble, section_slice};
 use crate::error::{CoreError, Result};
 use crate::{AccessPattern, ELEMENT_BYTES, PAGE_SIZE};
 
@@ -380,23 +381,10 @@ impl CsrHeader {
     /// version, or offsets that overlap, misalign or overflow.
     pub fn decode(bytes: &[u8]) -> Result<Self> {
         let bad = |reason: String| CoreError::BadHeader { reason };
-        if bytes.len() < 72 {
-            return Err(bad(format!(
-                "CSR header needs at least 72 bytes, got {}",
-                bytes.len()
-            )));
-        }
-        if bytes[0..8] != CSR_MAGIC {
-            return Err(bad("magic bytes do not match M3CSRF01".to_string()));
-        }
-        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-        if version != CSR_FORMAT_VERSION {
-            return Err(bad(format!("unsupported CSR format version {version}")));
-        }
-        let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let flags = decode_preamble(bytes, &CSR_MAGIC, CSR_FORMAT_VERSION, 72)?;
         let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
         let header = Self {
-            version,
+            version: CSR_FORMAT_VERSION,
             has_labels: flags & FLAG_HAS_LABELS != 0,
             n_rows: u64_at(16),
             n_cols: u64_at(24),
@@ -426,42 +414,6 @@ impl CsrHeader {
         }
         Ok(header)
     }
-}
-
-/// Reinterpret `bytes[offset..]` as a typed little-endian slice after
-/// checking bounds and alignment.
-///
-/// # Safety
-/// `T` must be a plain-old-data type for which every bit pattern is valid
-/// (`u32`, `u64`, `f64` here).  The returned slice borrows `bytes`.
-unsafe fn section_slice<T>(bytes: &[u8], offset: u64, len: usize) -> Result<&[T]> {
-    let offset = offset as usize;
-    let needed = offset
-        .checked_add(
-            len.checked_mul(std::mem::size_of::<T>())
-                .ok_or(CoreError::BadHeader {
-                    reason: "section length overflows".to_string(),
-                })?,
-        )
-        .ok_or(CoreError::BadHeader {
-            reason: "section offset overflows".to_string(),
-        })?;
-    if bytes.len() < needed {
-        return Err(CoreError::BadHeader {
-            reason: format!(
-                "file is {} bytes but a section needs {} bytes",
-                bytes.len(),
-                needed
-            ),
-        });
-    }
-    let addr = bytes.as_ptr() as usize + offset;
-    if !addr.is_multiple_of(std::mem::align_of::<T>()) {
-        return Err(CoreError::Misaligned { address: addr });
-    }
-    // SAFETY: bounds and alignment checked above; T is plain-old-data per
-    // the caller contract; lifetime is tied to `bytes` by the signature.
-    Ok(unsafe { std::slice::from_raw_parts(bytes[offset..].as_ptr().cast::<T>(), len) })
 }
 
 /// A read-only memory-mapped binary CSR file.

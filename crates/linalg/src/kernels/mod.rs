@@ -499,6 +499,117 @@ pub fn logistic_grad_chunk_csr(
     loss
 }
 
+/// Fused logistic **prediction** over one row chunk: a block [`gemv`]
+/// computes every score in place in `out`, then one pass applies the bias,
+/// sigmoid and 0.5 threshold — the serving-side twin of
+/// [`logistic_value_chunk`].  Because [`gemv`] is a per-row [`dot`] on both
+/// dispatch paths, the result is bit-identical to calling the per-row
+/// predict on each row.
+///
+/// # Panics
+/// Panics when `rows` is not a whole number of `weights.len()`-wide rows or
+/// `out` does not cover every row.
+pub fn logistic_predict_chunk(rows: &[f64], weights: &[f64], bias: f64, out: &mut [f64]) {
+    let d = weights.len();
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    assert_eq!(rows.len() % d, 0, "logistic_predict_chunk: ragged chunk");
+    let n = rows.len() / d;
+    assert_eq!(out.len(), n, "logistic_predict_chunk: output length");
+    gemv(rows, n, d, weights, out);
+    for s in out.iter_mut() {
+        *s = f64::from(sigmoid(*s + bias) >= 0.5);
+    }
+}
+
+/// Fused linear **prediction** over one row chunk: block [`gemv`] plus one
+/// bias pass.  Bit-identical to the per-row `dot + bias` prediction (see
+/// [`logistic_predict_chunk`]).
+///
+/// # Panics
+/// Panics when `rows` is not a whole number of `weights.len()`-wide rows or
+/// `out` does not cover every row.
+pub fn linear_predict_chunk(rows: &[f64], weights: &[f64], bias: f64, out: &mut [f64]) {
+    let d = weights.len();
+    if d == 0 {
+        out.fill(bias);
+        return;
+    }
+    assert_eq!(rows.len() % d, 0, "linear_predict_chunk: ragged chunk");
+    let n = rows.len() / d;
+    assert_eq!(out.len(), n, "linear_predict_chunk: output length");
+    gemv(rows, n, d, weights, out);
+    for s in out.iter_mut() {
+        *s += bias;
+    }
+}
+
+/// Fused cluster **assignment** over one row chunk: one
+/// [`nearest_centroid`] pass per row, assignments written as `f64` indices.
+///
+/// # Panics
+/// Panics when `rows` is not a whole number of `d`-wide rows where
+/// `centroids.len() == k * d`, or `out` does not cover every row.
+pub fn nearest_centroid_chunk(rows: &[f64], centroids: &[f64], k: usize, out: &mut [f64]) {
+    assert!(k > 0, "nearest_centroid_chunk: k must be positive");
+    assert_eq!(
+        centroids.len() % k,
+        0,
+        "nearest_centroid_chunk: centroid buffer mismatch"
+    );
+    let d = centroids.len() / k;
+    if d == 0 {
+        out.fill(0.0);
+        return;
+    }
+    assert_eq!(rows.len() % d, 0, "nearest_centroid_chunk: ragged chunk");
+    let n = rows.len() / d;
+    assert_eq!(out.len(), n, "nearest_centroid_chunk: output length");
+    for (row, o) in rows.chunks_exact(d).zip(out.iter_mut()) {
+        *o = nearest_centroid(row, centroids, k).0 as f64;
+    }
+}
+
+/// Fused logistic **prediction** over one CSR row block — the sparse twin of
+/// [`logistic_predict_chunk`], built on [`sparse_gemv`].
+///
+/// # Panics
+/// Panics on any shape mismatch (see [`sparse_gemv`]).
+pub fn logistic_predict_chunk_csr(
+    indptr: &[u64],
+    indices: &[u32],
+    values: &[f64],
+    weights: &[f64],
+    bias: f64,
+    out: &mut [f64],
+) {
+    sparse_gemv(indptr, indices, values, weights, out);
+    for s in out.iter_mut() {
+        *s = f64::from(sigmoid(*s + bias) >= 0.5);
+    }
+}
+
+/// Fused linear **prediction** over one CSR row block — the sparse twin of
+/// [`linear_predict_chunk`], built on [`sparse_gemv`].
+///
+/// # Panics
+/// Panics on any shape mismatch (see [`sparse_gemv`]).
+pub fn linear_predict_chunk_csr(
+    indptr: &[u64],
+    indices: &[u32],
+    values: &[f64],
+    weights: &[f64],
+    bias: f64,
+    out: &mut [f64],
+) {
+    sparse_gemv(indptr, indices, values, weights, out);
+    for s in out.iter_mut() {
+        *s += bias;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -768,6 +879,65 @@ mod tests {
             y.iter().sum::<f64>()
         };
         assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn predict_chunks_match_per_row_predictions_bit_for_bit() {
+        let d = 7;
+        let n = 11;
+        let rows: Vec<f64> = (0..n * d).map(|i| (i as f64 * 0.29).sin()).collect();
+        let w: Vec<f64> = (0..d).map(|i| 0.2 * i as f64 - 0.5).collect();
+        let bias = 0.13;
+
+        let mut logistic = vec![0.0; n];
+        logistic_predict_chunk(&rows, &w, bias, &mut logistic);
+        let mut linear = vec![0.0; n];
+        linear_predict_chunk(&rows, &w, bias, &mut linear);
+        for (i, row) in rows.chunks_exact(d).enumerate() {
+            let z = dot(row, &w) + bias;
+            assert_eq!(logistic[i], f64::from(sigmoid(z) >= 0.5));
+            assert_eq!(linear[i].to_bits(), z.to_bits());
+        }
+
+        let k = 3;
+        let centroids: Vec<f64> = (0..k * d).map(|i| (i as f64 * 0.41).cos()).collect();
+        let mut assigned = vec![0.0; n];
+        nearest_centroid_chunk(&rows, &centroids, k, &mut assigned);
+        for (i, row) in rows.chunks_exact(d).enumerate() {
+            assert_eq!(assigned[i], nearest_centroid(row, &centroids, k).0 as f64);
+        }
+    }
+
+    #[test]
+    fn csr_predict_chunks_match_dense_predict_chunks() {
+        let (rows, d) = (9, 13);
+        let (indptr, indices, values, dense) = csr_fixture(rows, d, 17);
+        let w: Vec<f64> = (0..d).map(|i| 0.15 * i as f64 - 0.4).collect();
+        let bias = -0.21;
+
+        let mut dense_log = vec![0.0; rows];
+        logistic_predict_chunk(&dense, &w, bias, &mut dense_log);
+        let mut sparse_log = vec![0.0; rows];
+        logistic_predict_chunk_csr(&indptr, &indices, &values, &w, bias, &mut sparse_log);
+        assert_eq!(dense_log, sparse_log);
+
+        let mut dense_lin = vec![0.0; rows];
+        linear_predict_chunk(&dense, &w, bias, &mut dense_lin);
+        let mut sparse_lin = vec![0.0; rows];
+        linear_predict_chunk_csr(&indptr, &indices, &values, &w, bias, &mut sparse_lin);
+        for (a, b) in sparse_lin.iter().zip(&dense_lin) {
+            assert!(approx(*a, *b, 1e-12), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn predict_chunks_handle_degenerate_shapes() {
+        let mut out = [7.0; 3];
+        logistic_predict_chunk(&[], &[], 0.4, &mut out);
+        assert_eq!(out, [0.0; 3]);
+        let mut out = [7.0; 2];
+        linear_predict_chunk(&[], &[], 0.25, &mut out);
+        assert_eq!(out, [0.25; 2]);
     }
 
     #[test]

@@ -42,7 +42,8 @@
 //! unchanged — and produces bit-identical parameters, which the workspace's
 //! parity suite enforces.
 
-use m3_core::sparse::SparseRowStore;
+use m3_core::chunked::RowChunk;
+use m3_core::sparse::{SparseRowChunk, SparseRowStore};
 use m3_core::storage::RowStore;
 use m3_core::ExecContext;
 
@@ -140,10 +141,87 @@ pub trait Model {
             .collect()
     }
 
+    /// Predict one contiguous chunk of rows, appending one value per row to
+    /// `out`.
+    ///
+    /// The default loops [`predict_row`](Model::predict_row); models with a
+    /// fused chunk kernel (gemv-based scoring, distance-argmin) override it.
+    /// Either way the appended values must be bit-identical to the per-row
+    /// loop — that contract is what lets
+    /// [`BatchPredict::predict_batch_ctx`] split a batch across the worker
+    /// pool without changing a single output bit.
+    fn predict_chunk(&self, chunk: RowChunk<'_>, out: &mut Vec<f64>) {
+        out.reserve(chunk.n_rows());
+        for row in chunk.data.chunks_exact(chunk.n_cols.max(1)) {
+            out.push(self.predict_row(row));
+        }
+    }
+
     /// A scalar goodness measure over `data` — higher is better.  Accuracy
     /// for classifiers, R² for regressors, negative inertia for clusterers
     /// (which ignore `labels`).
     fn score(&self, data: &dyn RowStore, labels: &[f64]) -> f64;
+}
+
+/// Batch prediction driven through an [`ExecContext`] — the serving-side
+/// counterpart of `Estimator::fit`'s training sweeps.
+///
+/// Blanket-implemented for every `Model + Sync` (including trait objects such
+/// as `dyn Model + Send + Sync`), so callers holding a heterogeneous model —
+/// e.g. one loaded by [`crate::persist::load_model`] — get pooled prediction
+/// without knowing the concrete type.  The batch is chunked exactly like a
+/// training sweep and the per-chunk outputs are folded back **in chunk
+/// order**, so the result is bit-identical to
+/// [`Model::predict_batch`] regardless of thread count.
+pub trait BatchPredict: Model + Sync {
+    /// Predict every row of `data` under `ctx`'s execution policy (threads,
+    /// chunk size, advice, tracing).
+    fn predict_batch_ctx(&self, data: &(dyn RowStore + Sync), ctx: &ExecContext) -> Vec<f64> {
+        ctx.map_reduce_rows(
+            data,
+            |chunk| {
+                let mut out = Vec::new();
+                self.predict_chunk(chunk, &mut out);
+                out
+            },
+            Vec::new(),
+            |mut acc, mut part| {
+                acc.append(&mut part);
+                acc
+            },
+        )
+    }
+}
+
+impl<M: Model + Sync + ?Sized> BatchPredict for M {}
+
+/// Batch prediction over compressed-sparse-row inputs.
+///
+/// Implemented by models whose scoring has a fused CSR kernel (logistic,
+/// softmax, linear): the request rows never get densified, matching the
+/// training-side [`SparseEstimator`] guarantee.  Predictions agree with the
+/// densified twin up to floating-point summation order (the sparse kernels
+/// skip zero terms) and are bit-identical across thread counts.
+pub trait SparsePredictor: Model + Sync {
+    /// Predict one chunk of CSR rows, appending one value per row to `out`.
+    fn predict_sparse_chunk(&self, chunk: SparseRowChunk<'_>, out: &mut Vec<f64>);
+
+    /// Predict every row of sparse `data` under `ctx`'s execution policy.
+    fn predict_batch_csr(&self, data: &(dyn SparseRowStore + Sync), ctx: &ExecContext) -> Vec<f64> {
+        ctx.map_reduce_sparse_rows(
+            data,
+            |chunk| {
+                let mut out = Vec::new();
+                self.predict_sparse_chunk(chunk, &mut out);
+                out
+            },
+            Vec::new(),
+            |mut acc, mut part| {
+                acc.append(&mut part);
+                acc
+            },
+        )
+    }
 }
 
 /// A storage-parameterised view of [`Estimator`], blanket-implemented for

@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use m3_core::storage::RowStore;
-use m3_core::ExecContext;
+use m3_core::{ExecContext, ParamMatrix};
 use m3_linalg::{ops, DenseMatrix};
 
 use crate::api::{Model, UnsupervisedEstimator};
@@ -84,10 +84,13 @@ pub struct KMeans {
 }
 
 /// A fitted k-means model.
+///
+/// The centroids live in a [`ParamMatrix`]: owned after training, or a
+/// zero-copy view into a memory-mapped artifact after [`KMeansModel::load`].
 #[derive(Debug, Clone)]
 pub struct KMeansModel {
     /// Cluster centroids (`k × n_cols`).
-    pub centroids: DenseMatrix,
+    pub centroids: ParamMatrix,
     /// Final within-cluster sum of squared distances.
     pub inertia: f64,
     /// Number of Lloyd iterations performed.
@@ -177,7 +180,7 @@ impl UnsupervisedEstimator for KMeans {
         // One final sweep to report the inertia of the *final* centroids.
         let final_sweep = assignment_sweep(data, &centroids, ctx);
         Ok(KMeansModel {
-            centroids,
+            centroids: centroids.into(),
             inertia: final_sweep.inertia,
             iterations,
             inertia_history,
@@ -304,7 +307,7 @@ fn init_plus_plus<S: RowStore + ?Sized>(data: &S, k: usize, rng: &mut StdRng) ->
 impl KMeansModel {
     /// Index of the cluster nearest to `row`.
     pub fn predict_row(&self, row: &[f64]) -> usize {
-        nearest_centroid(row, &self.centroids).0
+        m3_linalg::kernels::nearest_centroid(row, self.centroids.as_slice(), self.k()).0
     }
 
     /// Cluster assignments for every row of `data`.
@@ -317,7 +320,14 @@ impl KMeansModel {
     /// Within-cluster sum of squared distances of `data` under this model.
     pub fn inertia_of<S: RowStore + ?Sized>(&self, data: &S) -> f64 {
         (0..data.n_rows())
-            .map(|r| nearest_centroid(data.row(r), &self.centroids).1)
+            .map(|r| {
+                m3_linalg::kernels::nearest_centroid(
+                    data.row(r),
+                    self.centroids.as_slice(),
+                    self.k(),
+                )
+                .1
+            })
             .sum()
     }
 
@@ -335,6 +345,18 @@ impl Model for KMeansModel {
     /// The nearest cluster index, as `f64` (the trait's uniform row output).
     fn predict_row(&self, row: &[f64]) -> f64 {
         KMeansModel::predict_row(self, row) as f64
+    }
+
+    /// Fused chunk kernel: distance-argmin over all centroids per row.
+    fn predict_chunk(&self, chunk: m3_core::chunked::RowChunk<'_>, out: &mut Vec<f64>) {
+        let start = out.len();
+        out.resize(start + chunk.n_rows(), 0.0);
+        m3_linalg::kernels::nearest_centroid_chunk(
+            chunk.data,
+            self.centroids.as_slice(),
+            self.k(),
+            &mut out[start..],
+        );
     }
 
     /// Negative inertia over `data` (higher is better); `labels` are ignored.
@@ -423,7 +445,7 @@ impl UnsupervisedEstimator for MiniBatchKMeans {
 
         let sweep = assignment_sweep(data, &centroids, ctx);
         Ok(KMeansModel {
-            centroids,
+            centroids: centroids.into(),
             inertia: sweep.inertia,
             iterations: self.n_steps,
             inertia_history: Vec::new(),

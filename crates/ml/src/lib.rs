@@ -55,12 +55,18 @@ pub mod linear_regression;
 pub mod logistic;
 pub mod metrics;
 pub mod naive_bayes;
+pub mod persist;
 pub mod preprocess;
 pub mod softmax;
 
-pub use api::{Estimator, Fit, Model, SparseEstimator, UnsupervisedEstimator};
+pub use api::{
+    BatchPredict, Estimator, Fit, Model, SparseEstimator, SparsePredictor, UnsupervisedEstimator,
+};
 pub use kmeans::{KMeans, KMeansConfig, KMeansInit, KMeansModel};
+pub use linear_regression::{LinearModel, LinearRegression, LinearRegressionConfig};
 pub use logistic::{LogisticConfig, LogisticModel, LogisticRegression};
+pub use naive_bayes::{GaussianNb, GaussianNbTrainer};
+pub use persist::load_model;
 pub use preprocess::{StandardScaler, Standardizer};
 pub use softmax::{SoftmaxConfig, SoftmaxModel, SoftmaxRegression};
 
@@ -79,6 +85,9 @@ pub enum MlError {
     InvalidData(String),
     /// The underlying optimiser failed (e.g. produced non-finite values).
     OptimizationFailed(String),
+    /// Reading or writing a model artifact failed (I/O, header validation,
+    /// or a kind/shape mismatch between the artifact and the model type).
+    Artifact(m3_core::CoreError),
 }
 
 impl std::fmt::Display for MlError {
@@ -89,11 +98,25 @@ impl std::fmt::Display for MlError {
             }
             MlError::InvalidData(msg) => write!(f, "invalid training data: {msg}"),
             MlError::OptimizationFailed(msg) => write!(f, "optimisation failed: {msg}"),
+            MlError::Artifact(e) => write!(f, "model artifact error: {e}"),
         }
     }
 }
 
-impl std::error::Error for MlError {}
+impl std::error::Error for MlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MlError::Artifact(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<m3_core::CoreError> for MlError {
+    fn from(e: m3_core::CoreError) -> Self {
+        MlError::Artifact(e)
+    }
+}
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, MlError>;

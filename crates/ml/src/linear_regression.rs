@@ -11,9 +11,10 @@
 //!
 //! Both paths sweep the data through the shared [`ExecContext`].
 
-use m3_core::sparse::SparseRowStore;
+use m3_core::chunked::RowChunk;
+use m3_core::sparse::{SparseRowChunk, SparseRowStore};
 use m3_core::storage::RowStore;
-use m3_core::ExecContext;
+use m3_core::{ExecContext, ParamVec};
 use m3_linalg::{blas, kernels, ops, DenseMatrix};
 use m3_optim::function::DifferentiableFunction;
 use m3_optim::gd::GradientDescent;
@@ -63,10 +64,13 @@ pub struct LinearRegression {
 }
 
 /// A fitted linear model `y ≈ w·x + b`.
+///
+/// The coefficients live in a [`ParamVec`]: owned after training, or a
+/// zero-copy view into a memory-mapped artifact after [`LinearModel::load`].
 #[derive(Debug, Clone)]
 pub struct LinearModel {
     /// Feature coefficients.
-    pub weights: Vec<f64>,
+    pub weights: ParamVec,
     /// Intercept.
     pub bias: f64,
 }
@@ -313,7 +317,7 @@ impl LinearRegression {
             MlError::OptimizationFailed("normal-equation system is not positive definite".into())
         })?;
         Ok(LinearModel {
-            weights: solution[..d].to_vec(),
+            weights: solution[..d].to_vec().into(),
             bias: solution[d],
         })
     }
@@ -368,7 +372,7 @@ impl LinearRegression {
             )));
         }
         Ok(LinearModel {
-            weights: result.weights[..d].to_vec(),
+            weights: result.weights[..d].to_vec().into(),
             bias: result.weights[d],
         })
     }
@@ -449,9 +453,31 @@ impl Model for LinearModel {
         LinearModel::predict_row(self, row)
     }
 
+    /// Fused chunk kernel: one gemv over the chunk, then the bias shift.
+    fn predict_chunk(&self, chunk: RowChunk<'_>, out: &mut Vec<f64>) {
+        let start = out.len();
+        out.resize(start + chunk.n_rows(), 0.0);
+        kernels::linear_predict_chunk(chunk.data, &self.weights, self.bias, &mut out[start..]);
+    }
+
     /// R² over `data` / `labels` (higher is better).
     fn score(&self, data: &dyn RowStore, labels: &[f64]) -> f64 {
         self.r2(data, labels)
+    }
+}
+
+impl crate::api::SparsePredictor for LinearModel {
+    fn predict_sparse_chunk(&self, chunk: SparseRowChunk<'_>, out: &mut Vec<f64>) {
+        let start = out.len();
+        out.resize(start + chunk.n_rows(), 0.0);
+        kernels::linear_predict_chunk_csr(
+            chunk.indptr,
+            chunk.indices,
+            chunk.values,
+            &self.weights,
+            self.bias,
+            &mut out[start..],
+        );
     }
 }
 
@@ -620,7 +646,7 @@ mod tests {
     #[test]
     fn predictions_are_linear_in_inputs() {
         let model = LinearModel {
-            weights: vec![1.0, 2.0],
+            weights: vec![1.0, 2.0].into(),
             bias: -1.0,
         };
         assert_eq!(model.predict_row(&[3.0, 4.0]), 10.0);

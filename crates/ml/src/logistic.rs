@@ -17,9 +17,10 @@
 //! objective — so the produced [`LogisticModel`] is the same type with the
 //! same guarantees.
 
-use m3_core::sparse::SparseRowStore;
+use m3_core::chunked::RowChunk;
+use m3_core::sparse::{SparseRowChunk, SparseRowStore};
 use m3_core::storage::RowStore;
-use m3_core::ExecContext;
+use m3_core::{ExecContext, ParamVec};
 use m3_linalg::{kernels, ops};
 use m3_optim::function::{DifferentiableFunction, StochasticFunction};
 use m3_optim::lbfgs::Lbfgs;
@@ -414,7 +415,7 @@ impl LogisticRegression {
         }
         let (weights, bias) = split_weights(&result.weights);
         Ok(LogisticModel {
-            weights,
+            weights: weights.into(),
             bias,
             optimization: result,
         })
@@ -455,13 +456,17 @@ fn split_weights(packed: &[f64]) -> (Vec<f64>, f64) {
 }
 
 /// A trained binary logistic-regression model.
+///
+/// The weights live in a [`ParamVec`]: owned after training, or a zero-copy
+/// view into a memory-mapped artifact after [`LogisticModel::load`].
 #[derive(Debug, Clone)]
 pub struct LogisticModel {
     /// Feature weights.
-    pub weights: Vec<f64>,
+    pub weights: ParamVec,
     /// Intercept.
     pub bias: f64,
     /// Statistics of the training run (iterations, evaluations, loss curve).
+    /// Synthetic (empty) for models loaded from an artifact.
     pub optimization: OptimizationResult,
 }
 
@@ -510,8 +515,30 @@ impl Model for LogisticModel {
         LogisticModel::predict_row(self, row)
     }
 
+    /// Fused chunk kernel: one gemv over the chunk, then sigmoid + threshold.
+    fn predict_chunk(&self, chunk: RowChunk<'_>, out: &mut Vec<f64>) {
+        let start = out.len();
+        out.resize(start + chunk.n_rows(), 0.0);
+        kernels::logistic_predict_chunk(chunk.data, &self.weights, self.bias, &mut out[start..]);
+    }
+
     fn score(&self, data: &dyn RowStore, labels: &[f64]) -> f64 {
         self.accuracy(&data, labels)
+    }
+}
+
+impl crate::api::SparsePredictor for LogisticModel {
+    fn predict_sparse_chunk(&self, chunk: SparseRowChunk<'_>, out: &mut Vec<f64>) {
+        let start = out.len();
+        out.resize(start + chunk.n_rows(), 0.0);
+        kernels::logistic_predict_chunk_csr(
+            chunk.indptr,
+            chunk.indices,
+            chunk.values,
+            &self.weights,
+            self.bias,
+            &mut out[start..],
+        );
     }
 }
 
@@ -647,7 +674,7 @@ mod tests {
             .run(&loss, vec![0.0; 4]);
         let (weights, bias) = split_weights(&result.weights);
         let model = LogisticModel {
-            weights,
+            weights: weights.into(),
             bias,
             optimization: result,
         };

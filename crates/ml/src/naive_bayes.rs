@@ -10,21 +10,24 @@
 //! version was the one odd one out).
 
 use m3_core::storage::RowStore;
-use m3_core::ExecContext;
+use m3_core::{ExecContext, ParamVec};
 use m3_linalg::ops;
 
 use crate::api::{Estimator, Model};
 use crate::{MlError, Result};
 
 /// A trained Gaussian naive-Bayes classifier.
+///
+/// The parameters live in [`ParamVec`]s: owned after training, or zero-copy
+/// views into a memory-mapped artifact after [`GaussianNb::load`].
 #[derive(Debug, Clone)]
 pub struct GaussianNb {
     /// Log prior of each class.
-    pub log_priors: Vec<f64>,
+    pub log_priors: ParamVec,
     /// Per-class per-feature means (`n_classes × n_features`, row-major).
-    pub means: Vec<f64>,
+    pub means: ParamVec,
     /// Per-class per-feature variances (same layout, floored for stability).
-    pub variances: Vec<f64>,
+    pub variances: ParamVec,
     /// Number of classes.
     pub n_classes: usize,
     /// Number of features.
@@ -139,7 +142,7 @@ impl Estimator for GaussianNbTrainer {
                 variances[c * d + j] = v + floor.max(1e-12);
             }
         }
-        let log_priors = counts
+        let log_priors: Vec<f64> = counts
             .iter()
             .map(|&c| {
                 if c == 0 {
@@ -151,9 +154,9 @@ impl Estimator for GaussianNbTrainer {
             .collect();
 
         Ok(GaussianNb {
-            log_priors,
-            means,
-            variances,
+            log_priors: log_priors.into(),
+            means: means.into(),
+            variances: variances.into(),
             n_classes: k,
             n_features: d,
         })
@@ -161,25 +164,31 @@ impl Estimator for GaussianNbTrainer {
 }
 
 impl GaussianNb {
-    /// Unnormalised per-class log-posteriors of a row.
-    pub fn log_scores_row(&self, row: &[f64]) -> Vec<f64> {
+    /// Unnormalised per-class log-posteriors of a row, written into `scores`.
+    fn log_scores_into(&self, row: &[f64], scores: &mut [f64]) {
         assert_eq!(row.len(), self.n_features, "feature count mismatch");
         let d = self.n_features;
-        (0..self.n_classes)
-            .map(|c| {
-                if self.log_priors[c] == f64::NEG_INFINITY {
-                    return f64::NEG_INFINITY;
-                }
-                let mut score = self.log_priors[c];
-                let means = &self.means[c * d..(c + 1) * d];
-                let vars = &self.variances[c * d..(c + 1) * d];
-                for j in 0..d {
-                    let diff = row[j] - means[j];
-                    score -= 0.5 * ((std::f64::consts::TAU * vars[j]).ln() + diff * diff / vars[j]);
-                }
-                score
-            })
-            .collect()
+        for (c, score) in scores.iter_mut().enumerate().take(self.n_classes) {
+            if self.log_priors[c] == f64::NEG_INFINITY {
+                *score = f64::NEG_INFINITY;
+                continue;
+            }
+            let mut acc = self.log_priors[c];
+            let means = &self.means[c * d..(c + 1) * d];
+            let vars = &self.variances[c * d..(c + 1) * d];
+            for j in 0..d {
+                let diff = row[j] - means[j];
+                acc -= 0.5 * ((std::f64::consts::TAU * vars[j]).ln() + diff * diff / vars[j]);
+            }
+            *score = acc;
+        }
+    }
+
+    /// Unnormalised per-class log-posteriors of a row.
+    pub fn log_scores_row(&self, row: &[f64]) -> Vec<f64> {
+        let mut scores = vec![0.0; self.n_classes];
+        self.log_scores_into(row, &mut scores);
+        scores
     }
 
     /// Most probable class for a row.
@@ -208,6 +217,17 @@ impl Model for GaussianNb {
 
     fn predict_row(&self, row: &[f64]) -> f64 {
         GaussianNb::predict_row(self, row)
+    }
+
+    /// Chunked prediction with one reused score buffer (the per-row API
+    /// allocates a fresh log-score vector per call).
+    fn predict_chunk(&self, chunk: m3_core::chunked::RowChunk<'_>, out: &mut Vec<f64>) {
+        let mut scores = vec![0.0; self.n_classes];
+        out.reserve(chunk.n_rows());
+        for row in chunk.data.chunks_exact(self.n_features.max(1)) {
+            self.log_scores_into(row, &mut scores);
+            out.push(ops::argmax(&scores).map(|(i, _)| i as f64).unwrap_or(0.0));
+        }
     }
 
     fn score(&self, data: &dyn RowStore, labels: &[f64]) -> f64 {

@@ -1,0 +1,516 @@
+//! Zero-copy model persistence over the [`m3_core::ModelFile`] artifact
+//! format.
+//!
+//! Saving writes a fitted model's parameters into a versioned, page-aligned
+//! `M3MODL01` container; loading memory-maps the artifact, validates the
+//! header in O(1), and hands the parameters back as [`m3_core::ParamVec`]
+//! views **into the mapping** — no copy, no deserialisation, first access
+//! pulls pages on demand (with `madvise(WILLNEED)` issued at open).  A loaded
+//! model therefore predicts bit-identically to the model that was saved: the
+//! weights are, byte for byte, the same memory the trainer produced.
+//!
+//! Every fitted model gains inherent `save`/`load`:
+//!
+//! ```
+//! use m3_core::ExecContext;
+//! use m3_data::{LinearProblem, RowGenerator};
+//! use m3_ml::api::{Estimator, Model};
+//! use m3_ml::logistic::{LogisticConfig, LogisticRegression};
+//! use m3_ml::LogisticModel;
+//!
+//! let dir = tempfile::tempdir().unwrap();
+//! let (x, y) = LinearProblem::random_classification(6, 0.05, 7).materialize(200);
+//! let trained = Estimator::fit(
+//!     &LogisticRegression::new(LogisticConfig::default()),
+//!     &x,
+//!     &y,
+//!     &ExecContext::new(),
+//! )
+//! .unwrap();
+//!
+//! let path = dir.path().join("model.m3m");
+//! trained.save(&path).unwrap();
+//! let served = LogisticModel::load(&path).unwrap();   // zero-copy mmap
+//! assert!(served.weights.is_mapped());
+//! assert_eq!(served.predict(&x), trained.predict(&x));
+//! ```
+//!
+//! [`load_model`] opens an artifact of *any* predictive kind as a
+//! `Box<dyn Model + Send + Sync>` by dispatching on the header's kind tag —
+//! the entry point a model server uses to hot-load artifacts it did not
+//! train.
+
+use std::path::Path;
+
+use m3_core::{CoreError, ModelFile, ModelFileBuilder, ModelKind, ParamMatrix};
+use m3_optim::termination::{OptimizationResult, TerminationReason};
+
+use crate::api::Model;
+use crate::kmeans::KMeansModel;
+use crate::linear_regression::LinearModel;
+use crate::logistic::LogisticModel;
+use crate::naive_bayes::GaussianNb;
+use crate::preprocess::Standardizer;
+use crate::softmax::SoftmaxModel;
+use crate::Result;
+
+/// Open `path` and require its kind tag to match `kind`.
+fn open_as(path: &Path, kind: ModelKind) -> Result<ModelFile> {
+    let file = ModelFile::open(path)?;
+    if file.kind() != kind {
+        return Err(CoreError::BadHeader {
+            reason: format!(
+                "expected a {} artifact, found {}",
+                kind.name(),
+                file.kind().name()
+            ),
+        }
+        .into());
+    }
+    Ok(file)
+}
+
+/// Placeholder training statistics for models loaded from an artifact — the
+/// container persists parameters, not the optimiser run that produced them.
+fn loaded_result() -> OptimizationResult {
+    OptimizationResult {
+        weights: Vec::new(),
+        value: f64::NAN,
+        iterations: 0,
+        function_evaluations: 0,
+        reason: TerminationReason::MaxIterations,
+        value_history: Vec::new(),
+    }
+}
+
+fn logistic_from_file(file: &ModelFile) -> Result<LogisticModel> {
+    let d = file.n_features();
+    Ok(LogisticModel {
+        weights: file.param_vec(0, d)?,
+        bias: file.payload()[d],
+        optimization: loaded_result(),
+    })
+}
+
+fn linear_from_file(file: &ModelFile) -> Result<LinearModel> {
+    let d = file.n_features();
+    Ok(LinearModel {
+        weights: file.param_vec(0, d)?,
+        bias: file.payload()[d],
+    })
+}
+
+fn softmax_from_file(file: &ModelFile) -> Result<SoftmaxModel> {
+    let (d, k) = (file.n_features(), file.n_outputs());
+    Ok(SoftmaxModel {
+        weights: file.param_vec(0, k * (d + 1))?,
+        n_classes: k,
+        n_features: d,
+        optimization: loaded_result(),
+    })
+}
+
+fn gaussian_nb_from_file(file: &ModelFile) -> Result<GaussianNb> {
+    let (d, k) = (file.n_features(), file.n_outputs());
+    Ok(GaussianNb {
+        log_priors: file.param_vec(0, k)?,
+        means: file.param_vec(k, k * d)?,
+        variances: file.param_vec(k + k * d, k * d)?,
+        n_classes: k,
+        n_features: d,
+    })
+}
+
+fn kmeans_from_file(file: &ModelFile) -> Result<KMeansModel> {
+    let (d, k) = (file.n_features(), file.n_outputs());
+    Ok(KMeansModel {
+        centroids: ParamMatrix::new(file.param_vec(0, k * d)?, k, d)?,
+        inertia: file.payload()[k * d],
+        iterations: 0,
+        inertia_history: Vec::new(),
+    })
+}
+
+fn standardizer_from_file(file: &ModelFile) -> Result<Standardizer> {
+    let d = file.n_features();
+    Ok(Standardizer {
+        mean: file.param_vec(0, d)?,
+        std_dev: file.param_vec(d, d)?,
+    })
+}
+
+/// Open a model artifact of any predictive kind, dispatching on the header's
+/// kind tag.
+///
+/// This is the server-side entry point: the caller does not know (or care)
+/// which estimator produced the artifact, only that the result predicts.
+/// Scaler artifacts are transformers, not predictors, and are rejected —
+/// load those with [`Standardizer::load`].
+///
+/// # Errors
+/// Fails when the artifact cannot be opened or validated, or when its kind
+/// has no `dyn Model` view.
+pub fn load_model(path: impl AsRef<Path>) -> Result<Box<dyn Model + Send + Sync>> {
+    let file = ModelFile::open(path.as_ref())?;
+    Ok(match file.kind() {
+        ModelKind::Logistic => Box::new(logistic_from_file(&file)?),
+        ModelKind::Softmax => Box::new(softmax_from_file(&file)?),
+        ModelKind::Linear => Box::new(linear_from_file(&file)?),
+        ModelKind::GaussianNb => Box::new(gaussian_nb_from_file(&file)?),
+        ModelKind::KMeans => Box::new(kmeans_from_file(&file)?),
+        ModelKind::Scaler => {
+            return Err(CoreError::BadHeader {
+                reason: "scaler artifacts transform rows rather than predict; \
+                         open them with Standardizer::load"
+                    .to_string(),
+            }
+            .into())
+        }
+    })
+}
+
+impl LogisticModel {
+    /// Persist the model as a page-aligned mmap artifact at `path`.
+    ///
+    /// Payload layout: `weights[d]` then `[bias]`.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or an invalid shape.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<ModelFile> {
+        let mut b = ModelFileBuilder::create(path, ModelKind::Logistic, self.weights.len(), 1)?;
+        b.push_params(&self.weights)?;
+        b.push_params(&[self.bias])?;
+        Ok(b.finish()?)
+    }
+
+    /// Load a model saved by [`LogisticModel::save`], using the mapped
+    /// weights in place (zero copy).  The attached `optimization` statistics
+    /// are synthetic — the artifact does not persist the training run.
+    ///
+    /// # Errors
+    /// Fails when the artifact is missing, corrupt, or of another kind.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        logistic_from_file(&open_as(path.as_ref(), ModelKind::Logistic)?)
+    }
+}
+
+impl LinearModel {
+    /// Persist the model as a page-aligned mmap artifact at `path`.
+    ///
+    /// Payload layout: `weights[d]` then `[bias]`.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or an invalid shape.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<ModelFile> {
+        let mut b = ModelFileBuilder::create(path, ModelKind::Linear, self.weights.len(), 1)?;
+        b.push_params(&self.weights)?;
+        b.push_params(&[self.bias])?;
+        Ok(b.finish()?)
+    }
+
+    /// Load a model saved by [`LinearModel::save`], using the mapped weights
+    /// in place (zero copy).
+    ///
+    /// # Errors
+    /// Fails when the artifact is missing, corrupt, or of another kind.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        linear_from_file(&open_as(path.as_ref(), ModelKind::Linear)?)
+    }
+}
+
+impl SoftmaxModel {
+    /// Persist the model as a page-aligned mmap artifact at `path`.
+    ///
+    /// Payload layout: `n_classes` blocks of `weights[d] ++ [bias]` — the
+    /// model's packed parameter vector verbatim.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or an invalid shape.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<ModelFile> {
+        let mut b =
+            ModelFileBuilder::create(path, ModelKind::Softmax, self.n_features, self.n_classes)?;
+        b.push_params(&self.weights)?;
+        Ok(b.finish()?)
+    }
+
+    /// Load a model saved by [`SoftmaxModel::save`], using the mapped
+    /// parameters in place (zero copy).  The attached `optimization`
+    /// statistics are synthetic.
+    ///
+    /// # Errors
+    /// Fails when the artifact is missing, corrupt, or of another kind.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        softmax_from_file(&open_as(path.as_ref(), ModelKind::Softmax)?)
+    }
+}
+
+impl GaussianNb {
+    /// Persist the model as a page-aligned mmap artifact at `path`.
+    ///
+    /// Payload layout: `log_priors[k]`, `means[k*d]`, `variances[k*d]`.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or an invalid shape.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<ModelFile> {
+        let mut b =
+            ModelFileBuilder::create(path, ModelKind::GaussianNb, self.n_features, self.n_classes)?;
+        b.push_params(&self.log_priors)?;
+        b.push_params(&self.means)?;
+        b.push_params(&self.variances)?;
+        Ok(b.finish()?)
+    }
+
+    /// Load a model saved by [`GaussianNb::save`], using the mapped
+    /// parameters in place (zero copy).
+    ///
+    /// # Errors
+    /// Fails when the artifact is missing, corrupt, or of another kind.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        gaussian_nb_from_file(&open_as(path.as_ref(), ModelKind::GaussianNb)?)
+    }
+}
+
+impl KMeansModel {
+    /// Persist the model as a page-aligned mmap artifact at `path`.
+    ///
+    /// Payload layout: `centroids[k*d]` then `[inertia]`.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or an invalid shape.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<ModelFile> {
+        let mut b = ModelFileBuilder::create(
+            path,
+            ModelKind::KMeans,
+            self.centroids.n_cols(),
+            self.centroids.n_rows(),
+        )?;
+        b.push_params(self.centroids.as_slice())?;
+        b.push_params(&[self.inertia])?;
+        Ok(b.finish()?)
+    }
+
+    /// Load a model saved by [`KMeansModel::save`], using the mapped
+    /// centroids in place (zero copy).  `iterations` and `inertia_history`
+    /// are not persisted and come back empty.
+    ///
+    /// # Errors
+    /// Fails when the artifact is missing, corrupt, or of another kind.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        kmeans_from_file(&open_as(path.as_ref(), ModelKind::KMeans)?)
+    }
+}
+
+impl Standardizer {
+    /// Persist the transformer as a page-aligned mmap artifact at `path`.
+    ///
+    /// Payload layout: `mean[d]` then `std_dev[d]`.
+    ///
+    /// # Errors
+    /// Fails on I/O errors or an invalid shape.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<ModelFile> {
+        let mut b = ModelFileBuilder::create(path, ModelKind::Scaler, self.mean.len(), 1)?;
+        b.push_params(&self.mean)?;
+        b.push_params(&self.std_dev)?;
+        Ok(b.finish()?)
+    }
+
+    /// Load a transformer saved by [`Standardizer::save`], using the mapped
+    /// statistics in place (zero copy).
+    ///
+    /// # Errors
+    /// Fails when the artifact is missing, corrupt, or of another kind.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        standardizer_from_file(&open_as(path.as_ref(), ModelKind::Scaler)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{BatchPredict, Estimator, UnsupervisedEstimator};
+    use crate::kmeans::{KMeans, KMeansConfig};
+    use crate::linear_regression::LinearRegression;
+    use crate::logistic::LogisticRegression;
+    use crate::naive_bayes::GaussianNbTrainer;
+    use crate::preprocess::StandardScaler;
+    use crate::softmax::{SoftmaxConfig, SoftmaxRegression};
+    use crate::MlError;
+    use m3_core::ExecContext;
+    use m3_data::{GaussianBlobs, LinearProblem, RowGenerator};
+    use m3_linalg::DenseMatrix;
+
+    fn blobs(n: usize) -> (DenseMatrix, Vec<f64>) {
+        GaussianBlobs::new(3, 4, 8.0, 1.0, 11).materialize(n)
+    }
+
+    #[test]
+    fn logistic_round_trip_is_zero_copy_and_bit_identical() {
+        let dir = tempfile::tempdir().unwrap();
+        let (x, y) = LinearProblem::random_classification(5, 0.05, 3).materialize(150);
+        let ctx = ExecContext::new();
+        let trained = Estimator::fit(&LogisticRegression::default(), &x, &y, &ctx).unwrap();
+
+        let path = dir.path().join("logistic.m3m");
+        let file = trained.save(&path).unwrap();
+        assert_eq!(file.kind(), ModelKind::Logistic);
+
+        let loaded = LogisticModel::load(&path).unwrap();
+        assert!(loaded.weights.is_mapped());
+        assert!(!trained.weights.is_mapped());
+        for (a, b) in trained.weights.iter().zip(&loaded.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(trained.bias.to_bits(), loaded.bias.to_bits());
+        assert_eq!(trained.predict(&x), loaded.predict(&x));
+        assert_eq!(
+            trained.predict_batch_ctx(&x, &ctx),
+            loaded.predict_batch_ctx(&x, &ctx)
+        );
+    }
+
+    #[test]
+    fn softmax_round_trip_predicts_identically() {
+        let dir = tempfile::tempdir().unwrap();
+        let (x, y) = blobs(200);
+        let trained = Estimator::fit(
+            &SoftmaxRegression::new(SoftmaxConfig {
+                n_classes: 3,
+                max_iterations: 20,
+                ..Default::default()
+            }),
+            &x,
+            &y,
+            &ExecContext::new(),
+        )
+        .unwrap();
+        let path = dir.path().join("softmax.m3m");
+        trained.save(&path).unwrap();
+        let loaded = SoftmaxModel::load(&path).unwrap();
+        assert!(loaded.weights.is_mapped());
+        assert_eq!(loaded.n_classes, 3);
+        assert_eq!(loaded.n_features, 4);
+        assert_eq!(trained.predict(&x), loaded.predict(&x));
+    }
+
+    #[test]
+    fn gaussian_nb_round_trip_predicts_identically() {
+        let dir = tempfile::tempdir().unwrap();
+        let (x, y) = blobs(150);
+        let trained =
+            Estimator::fit(&GaussianNbTrainer::new(3), &x, &y, &ExecContext::new()).unwrap();
+        let path = dir.path().join("nb.m3m");
+        trained.save(&path).unwrap();
+        let loaded = GaussianNb::load(&path).unwrap();
+        assert!(loaded.log_priors.is_mapped());
+        assert!(loaded.means.is_mapped());
+        assert!(loaded.variances.is_mapped());
+        assert_eq!(trained.predict(&x), loaded.predict(&x));
+    }
+
+    #[test]
+    fn kmeans_round_trip_predicts_identically() {
+        let dir = tempfile::tempdir().unwrap();
+        let (x, _) = blobs(120);
+        let trained = UnsupervisedEstimator::fit(
+            &KMeans::new(KMeansConfig {
+                k: 3,
+                ..Default::default()
+            }),
+            &x,
+            &ExecContext::new(),
+        )
+        .unwrap();
+        let path = dir.path().join("kmeans.m3m");
+        trained.save(&path).unwrap();
+        let loaded = KMeansModel::load(&path).unwrap();
+        assert!(loaded.centroids.is_mapped());
+        assert_eq!(loaded.inertia.to_bits(), trained.inertia.to_bits());
+        assert_eq!(trained.predict(&x), loaded.predict(&x));
+    }
+
+    #[test]
+    fn linear_round_trip_predicts_identically() {
+        let dir = tempfile::tempdir().unwrap();
+        let (x, y) = LinearProblem::regression(vec![2.0, -1.0, 0.5], 3.0, 0.01, 5).materialize(80);
+        let trained =
+            Estimator::fit(&LinearRegression::default(), &x, &y, &ExecContext::new()).unwrap();
+        let path = dir.path().join("linear.m3m");
+        trained.save(&path).unwrap();
+        let loaded = LinearModel::load(&path).unwrap();
+        assert!(loaded.weights.is_mapped());
+        for (a, b) in trained.predict(&x).iter().zip(loaded.predict(&x)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn standardizer_round_trip_transforms_identically() {
+        let dir = tempfile::tempdir().unwrap();
+        let (x, _) = blobs(90);
+        let fitted = UnsupervisedEstimator::fit(&StandardScaler, &x, &ExecContext::new()).unwrap();
+        let path = dir.path().join("scaler.m3m");
+        fitted.save(&path).unwrap();
+        let loaded = Standardizer::load(&path).unwrap();
+        assert!(loaded.mean.is_mapped());
+        assert_eq!(fitted, loaded);
+        let mut a = x.row(0).to_vec();
+        let mut b = a.clone();
+        fitted.transform_row(&mut a);
+        loaded.transform_row(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn load_model_dispatches_on_kind() {
+        let dir = tempfile::tempdir().unwrap();
+        let (x, y) = blobs(150);
+        let ctx = ExecContext::new();
+        let nb = Estimator::fit(&GaussianNbTrainer::new(3), &x, &y, &ctx).unwrap();
+        let path = dir.path().join("any.m3m");
+        nb.save(&path).unwrap();
+
+        let erased = load_model(&path).unwrap();
+        assert_eq!(erased.n_features(), 4);
+        assert_eq!(erased.predict_batch(&x), nb.predict(&x));
+        // Pooled batch prediction through the trait object.
+        assert_eq!(erased.predict_batch_ctx(&x, &ctx), nb.predict(&x));
+    }
+
+    #[test]
+    fn wrong_kind_is_a_typed_error() {
+        let dir = tempfile::tempdir().unwrap();
+        let (x, y) = blobs(100);
+        let nb = Estimator::fit(&GaussianNbTrainer::new(3), &x, &y, &ExecContext::new()).unwrap();
+        let path = dir.path().join("nb.m3m");
+        nb.save(&path).unwrap();
+        match LogisticModel::load(&path) {
+            Err(MlError::Artifact(CoreError::BadHeader { reason })) => {
+                assert!(reason.contains("logistic"), "{reason}");
+                assert!(reason.contains("gaussian_nb"), "{reason}");
+            }
+            other => panic!("expected a kind mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scaler_artifacts_are_rejected_by_load_model() {
+        let dir = tempfile::tempdir().unwrap();
+        let (x, _) = blobs(60);
+        let fitted = UnsupervisedEstimator::fit(&StandardScaler, &x, &ExecContext::new()).unwrap();
+        let path = dir.path().join("scaler.m3m");
+        fitted.save(&path).unwrap();
+        assert!(matches!(
+            load_model(&path),
+            Err(MlError::Artifact(CoreError::BadHeader { .. }))
+        ));
+    }
+
+    #[test]
+    fn missing_artifact_is_a_typed_io_error() {
+        let dir = tempfile::tempdir().unwrap();
+        assert!(matches!(
+            LogisticModel::load(dir.path().join("absent.m3m")),
+            Err(MlError::Artifact(CoreError::Io { .. }))
+        ));
+    }
+}

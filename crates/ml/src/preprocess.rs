@@ -6,7 +6,7 @@
 //! row by row, as algorithms pull data.
 
 use m3_core::storage::RowStore;
-use m3_core::ExecContext;
+use m3_core::{ExecContext, ParamVec};
 use m3_linalg::stats::RunningStats;
 use m3_linalg::DenseMatrix;
 
@@ -58,19 +58,22 @@ impl UnsupervisedEstimator for StandardScaler {
             },
         );
         Ok(Standardizer {
-            mean: stats.mean().to_vec(),
-            std_dev: stats.std_dev(),
+            mean: stats.mean().to_vec().into(),
+            std_dev: stats.std_dev().into(),
         })
     }
 }
 
 /// Fitted z-score standardisation: the model produced by [`StandardScaler`].
+///
+/// The statistics live in [`ParamVec`]s: owned after fitting, or zero-copy
+/// views into a memory-mapped artifact after [`Standardizer::load`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Standardizer {
     /// Per-feature means.
-    pub mean: Vec<f64>,
+    pub mean: ParamVec,
     /// Per-feature standard deviations (zero-variance columns keep 0).
-    pub std_dev: Vec<f64>,
+    pub std_dev: ParamVec,
 }
 
 impl Standardizer {

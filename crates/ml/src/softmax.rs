@@ -6,9 +6,10 @@
 //! every other loss in this workspace — in a single chunk-parallel sequential
 //! sweep over a [`RowStore`], driven by the shared [`ExecContext`].
 
-use m3_core::sparse::SparseRowStore;
+use m3_core::chunked::RowChunk;
+use m3_core::sparse::{SparseRowChunk, SparseRowStore};
 use m3_core::storage::RowStore;
-use m3_core::ExecContext;
+use m3_core::{ExecContext, ParamVec};
 use m3_linalg::{kernels, ops};
 use m3_optim::function::{DifferentiableFunction, StochasticFunction};
 use m3_optim::lbfgs::Lbfgs;
@@ -458,7 +459,7 @@ impl SoftmaxRegression {
             )));
         }
         Ok(SoftmaxModel {
-            weights: result.weights.clone(),
+            weights: result.weights.clone().into(),
             n_classes: self.config.n_classes,
             n_features,
             optimization: result,
@@ -495,15 +496,19 @@ impl SparseEstimator for SoftmaxRegression {
 }
 
 /// A trained softmax-regression model.
+///
+/// The packed parameters live in a [`ParamVec`]: owned after training, or a
+/// zero-copy view into a memory-mapped artifact after [`SoftmaxModel::load`].
 #[derive(Debug, Clone)]
 pub struct SoftmaxModel {
     /// Packed parameters (`n_classes` blocks of `n_features + 1`).
-    pub weights: Vec<f64>,
+    pub weights: ParamVec,
     /// Number of classes.
     pub n_classes: usize,
     /// Number of features.
     pub n_features: usize,
-    /// Statistics of the training run.
+    /// Statistics of the training run.  Synthetic (empty) for models loaded
+    /// from an artifact.
     pub optimization: OptimizationResult,
 }
 
@@ -545,8 +550,39 @@ impl Model for SoftmaxModel {
         SoftmaxModel::predict_row(self, row)
     }
 
+    /// Chunked prediction with one reused score buffer (the per-row API
+    /// allocates a fresh probability vector per call).  Softmax is strictly
+    /// monotonic, so taking the argmax before normalisation returns exactly
+    /// the per-row result, ties included.
+    fn predict_chunk(&self, chunk: RowChunk<'_>, out: &mut Vec<f64>) {
+        let mut scores = vec![0.0; self.n_classes];
+        out.reserve(chunk.n_rows());
+        for row in chunk.data.chunks_exact(self.n_features.max(1)) {
+            class_scores(&self.weights, row, self.n_classes, &mut scores);
+            out.push(ops::argmax(&scores).map(|(i, _)| i as f64).unwrap_or(0.0));
+        }
+    }
+
     fn score(&self, data: &dyn RowStore, labels: &[f64]) -> f64 {
         self.accuracy(data, labels)
+    }
+}
+
+impl crate::api::SparsePredictor for SoftmaxModel {
+    fn predict_sparse_chunk(&self, chunk: SparseRowChunk<'_>, out: &mut Vec<f64>) {
+        let mut scores = vec![0.0; self.n_classes];
+        out.reserve(chunk.n_rows());
+        for (_, indices, values) in chunk.rows_with_index() {
+            class_scores_sparse(
+                &self.weights,
+                indices,
+                values,
+                self.n_features,
+                self.n_classes,
+                &mut scores,
+            );
+            out.push(ops::argmax(&scores).map(|(i, _)| i as f64).unwrap_or(0.0));
+        }
     }
 }
 

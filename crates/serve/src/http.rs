@@ -1,0 +1,428 @@
+//! Minimal std-only HTTP/1.1 batch prediction server.
+//!
+//! Three routes, all returning JSON:
+//!
+//! | Route | Body | Response |
+//! |-------|------|----------|
+//! | `GET /health` | — | `{"status":"ok","model_version":v,"n_features":d}` |
+//! | `POST /predict` | CSV rows (one sample per line) | `{"model_version":v,"predictions":[...]}` |
+//! | `POST /swap` | path to a model artifact | `{"model_version":v}` |
+//!
+//! Every worker thread holds a cached [`SwapReader`] over the registry, so
+//! the per-request model lookup is a single atomic load between swaps.  A
+//! `/swap` loads and validates the new artifact on the handler's own thread
+//! and then replaces the served model with a pointer swap — predictions in
+//! flight on other workers finish on the version they started with, and
+//! every response carries the version that actually produced it.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use m3_core::ExecContext;
+use m3_linalg::DenseMatrix;
+use m3_ml::api::BatchPredict;
+
+use crate::registry::ModelRegistry;
+
+/// Cap on request body size (64 MiB) so a malformed Content-Length cannot
+/// make a worker allocate unbounded memory.
+const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// A running prediction server.
+///
+/// Dropping the handle without calling [`PredictServer::shutdown`] leaves
+/// the listener thread running for the life of the process.
+pub struct PredictServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PredictServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving `registry` with
+    /// `n_workers` connection-handler threads.  Predictions run through
+    /// `ctx`, so thread count and chunking of the batch kernels follow the
+    /// caller's execution policy.
+    ///
+    /// # Errors
+    /// Fails when the address cannot be bound.
+    pub fn bind(
+        addr: &str,
+        registry: Arc<ModelRegistry>,
+        ctx: Arc<ExecContext>,
+        n_workers: usize,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let workers = (0..n_workers.max(1))
+            .map(|_| {
+                let conn_rx = Arc::clone(&conn_rx);
+                let registry = Arc::clone(&registry);
+                let ctx = Arc::clone(&ctx);
+                std::thread::spawn(move || {
+                    // The cached reader makes the steady-state model lookup
+                    // one atomic load per request.
+                    let mut reader = registry.reader();
+                    loop {
+                        let stream = match conn_rx.lock().expect("conn queue poisoned").recv() {
+                            Ok(stream) => stream,
+                            Err(_) => return,
+                        };
+                        // A broken connection only loses that connection.
+                        let _ = serve_connection(stream, &registry, &mut reader, &ctx);
+                    }
+                })
+            })
+            .collect();
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if let Ok(stream) = stream {
+                        if conn_tx.send(stream).is_err() {
+                            return;
+                        }
+                    }
+                }
+            })
+        };
+
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections, drain the workers, and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // The accept thread owned the sender; once it exits, workers see a
+        // disconnected queue and return.
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One parsed HTTP request.
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// Read one request off the connection; `Ok(None)` on a clean EOF.
+fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad request line",
+        ));
+    }
+
+    let mut content_length = 0usize;
+    let mut keep_alive = true; // HTTP/1.1 default
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(None);
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value.parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+                "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
+                _ => {}
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "request body too large",
+        ));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Serve requests on one connection until EOF or `Connection: close`.
+fn serve_connection(
+    stream: TcpStream,
+    registry: &ModelRegistry,
+    reader: &mut crate::swap::SwapReader<'_, crate::registry::ServedModel>,
+    ctx: &ExecContext,
+) -> io::Result<()> {
+    let mut buf = BufReader::new(stream.try_clone()?);
+    let mut stream = stream;
+    while let Some(request) = read_request(&mut buf)? {
+        let (status, body) = route(&request, registry, reader, ctx);
+        write_response(&mut stream, status, &body, request.keep_alive)?;
+        if !request.keep_alive {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn route(
+    request: &Request,
+    registry: &ModelRegistry,
+    reader: &mut crate::swap::SwapReader<'_, crate::registry::ServedModel>,
+    ctx: &ExecContext,
+) -> (&'static str, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => {
+            let (version, served) = reader.get();
+            (
+                "200 OK",
+                format!(
+                    "{{\"status\":\"ok\",\"model_version\":{version},\"n_features\":{}}}",
+                    served.model.n_features()
+                ),
+            )
+        }
+        ("POST", "/predict") => match predict(&request.body, reader, ctx) {
+            Ok(body) => ("200 OK", body),
+            Err(message) => ("400 Bad Request", error_json(&message)),
+        },
+        ("POST", "/swap") => {
+            let path = String::from_utf8_lossy(&request.body);
+            match registry.swap_from(path.trim()) {
+                Ok(version) => ("200 OK", format!("{{\"model_version\":{version}}}")),
+                Err(e) => ("400 Bad Request", error_json(&e.to_string())),
+            }
+        }
+        _ => ("404 Not Found", error_json("no such route")),
+    }
+}
+
+fn predict(
+    body: &[u8],
+    reader: &mut crate::swap::SwapReader<'_, crate::registry::ServedModel>,
+    ctx: &ExecContext,
+) -> Result<String, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let batch = parse_csv_batch(text)?;
+
+    // Pin (version, model) once; the whole batch is answered by this
+    // version even if a swap lands mid-request.
+    let (version, served) = reader.get();
+    if batch.n_cols() != served.model.n_features() {
+        return Err(format!(
+            "expected {} features per row, got {}",
+            served.model.n_features(),
+            batch.n_cols()
+        ));
+    }
+    let predictions = served.model.predict_batch_ctx(&batch, ctx);
+
+    let mut out = String::with_capacity(24 + predictions.len() * 8);
+    out.push_str(&format!("{{\"model_version\":{version},\"predictions\":["));
+    for (i, p) in predictions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format_f64_json(*p));
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+/// Parse one sample per line, comma-separated features.
+fn parse_csv_batch(text: &str) -> Result<DenseMatrix, String> {
+    let mut data = Vec::new();
+    let mut n_cols = 0usize;
+    let mut n_rows = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let start = data.len();
+        for field in line.split(',') {
+            let value: f64 = field
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: bad number {field:?}", lineno + 1))?;
+            data.push(value);
+        }
+        let width = data.len() - start;
+        if n_rows == 0 {
+            n_cols = width;
+        } else if width != n_cols {
+            return Err(format!(
+                "line {}: expected {n_cols} fields, got {width}",
+                lineno + 1
+            ));
+        }
+        n_rows += 1;
+    }
+    if n_rows == 0 {
+        return Err("empty batch".to_string());
+    }
+    DenseMatrix::from_vec(data, n_rows, n_cols).map_err(|e| e.to_string())
+}
+
+/// JSON has no NaN/Infinity literals; encode them as null.
+fn format_f64_json(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn error_json(message: &str) -> String {
+    let escaped: String = message
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect();
+    format!("{{\"error\":\"{escaped}\"}}")
+}
+
+/// Blocking one-shot HTTP client for tests, examples and benchmarks: sends
+/// `method path` with `body`, returns `(status_code, response_body)`.
+///
+/// # Errors
+/// Fails on connection or protocol errors.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: m3\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_batch_parses_rows_and_rejects_ragged_input() {
+        let m = parse_csv_batch("1,2,3\n4,5,6\n").unwrap();
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert!(parse_csv_batch("1,2\n3\n").is_err());
+        assert!(parse_csv_batch("").is_err());
+        assert!(parse_csv_batch("1,abc\n").is_err());
+    }
+
+    #[test]
+    fn json_floats_encode_non_finite_as_null() {
+        assert_eq!(format_f64_json(1.5), "1.5");
+        assert_eq!(format_f64_json(f64::NAN), "null");
+        assert_eq!(format_f64_json(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn error_json_escapes_quotes() {
+        assert_eq!(error_json("a \"b\""), "{\"error\":\"a \\\"b\\\"\"}");
+    }
+}

@@ -1,0 +1,62 @@
+//! # m3-serve — batch inference over memory-mapped model artifacts
+//!
+//! The serving-side counterpart of the M3 training story: a model saved as
+//! a page-aligned `M3MODL01` artifact (see [`m3_core::ModelFile`]) is loaded
+//! with one `mmap` + O(1) header validation and served **in place** — the
+//! weights a request multiplies against are the mapped bytes of the
+//! artifact, never a deserialised copy.  Process RSS therefore barely moves
+//! when a model is loaded; the page cache holds the weights once, shared
+//! across every process serving the same artifact.
+//!
+//! Three pieces:
+//!
+//! - [`Swap`] — a generation-counted, atomically replaceable `Arc<T>` with a
+//!   wait-free cached reader. This is the hot-swap primitive.
+//! - [`ModelRegistry`] — [`Swap`] specialised to a loaded model: background
+//!   threads load + validate a new artifact entirely outside the critical
+//!   section, then publish it with a pointer swap.  In-flight requests
+//!   finish on the version they started with; the old mapping unmaps when
+//!   its last request completes.
+//! - [`PredictServer`] — a std-only HTTP/1.1 front end (`GET /health`,
+//!   `POST /predict`, `POST /swap`) whose worker threads drive batched
+//!   predictions through the shared [`ExecContext`](m3_core::ExecContext)
+//!   worker pool and the fused SIMD predict kernels.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use m3_core::ExecContext;
+//! use m3_data::{LinearProblem, RowGenerator};
+//! use m3_ml::api::Estimator;
+//! use m3_ml::logistic::LogisticRegression;
+//! use m3_serve::{http_request, ModelRegistry, PredictServer};
+//!
+//! // Train and persist an artifact.
+//! let dir = tempfile::tempdir().unwrap();
+//! let (x, y) = LinearProblem::random_classification(4, 0.05, 3).materialize(120);
+//! let model = Estimator::fit(&LogisticRegression::default(), &x, &y, &ExecContext::new()).unwrap();
+//! let artifact = dir.path().join("model.m3m");
+//! model.save(&artifact).unwrap();
+//!
+//! // Serve it.
+//! let registry = Arc::new(ModelRegistry::open(&artifact).unwrap());
+//! let server = PredictServer::bind(
+//!     "127.0.0.1:0",
+//!     Arc::clone(&registry),
+//!     Arc::new(ExecContext::new()),
+//!     2,
+//! )
+//! .unwrap();
+//!
+//! let (status, body) = http_request(server.local_addr(), "POST", "/predict", "0.5,0,1,0\n").unwrap();
+//! assert_eq!(status, 200);
+//! assert!(body.starts_with("{\"model_version\":1,\"predictions\":["));
+//! server.shutdown();
+//! ```
+
+pub mod http;
+pub mod registry;
+pub mod swap;
+
+pub use http::{http_request, PredictServer};
+pub use registry::{ModelRegistry, ServedModel};
+pub use swap::{Swap, SwapReader};

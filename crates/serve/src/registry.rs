@@ -1,0 +1,100 @@
+//! Model registry: the serving-side owner of the current model artifact.
+//!
+//! A [`ModelRegistry`] wraps a [`Swap`] of [`ServedModel`] — a loaded,
+//! memory-mapped model plus its version and source path.  Loading a new
+//! artifact (open, validate, `madvise`) happens entirely outside the swap's
+//! critical section, so requests never stall behind a load; the swap itself
+//! is a pointer replacement.  Requests that started on the old version keep
+//! their `Arc` and finish on it; the old mapping unmaps when the last such
+//! request drops.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use m3_ml::api::Model;
+use m3_ml::{load_model, Result};
+
+use crate::swap::{Swap, SwapReader};
+
+/// A loaded model plus the metadata a server reports alongside predictions.
+pub struct ServedModel {
+    /// Registry-assigned version, monotonically increasing from 1.
+    pub version: u64,
+    /// Artifact path the model was loaded from.
+    pub source: PathBuf,
+    /// The model itself, its parameters mapped from the artifact.
+    pub model: Box<dyn Model + Send + Sync>,
+}
+
+impl std::fmt::Debug for ServedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServedModel")
+            .field("version", &self.version)
+            .field("source", &self.source)
+            .field("n_features", &self.model.n_features())
+            .finish()
+    }
+}
+
+/// Hot-swappable registry holding the currently served model.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    swap: Swap<ServedModel>,
+}
+
+impl ModelRegistry {
+    /// Load the artifact at `path` and serve it as version 1.
+    ///
+    /// # Errors
+    /// Fails when the artifact cannot be opened, validated, or is not a
+    /// predictive kind.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref();
+        let model = load_model(path)?;
+        Ok(Self {
+            swap: Swap::new(ServedModel {
+                version: 1,
+                source: path.to_path_buf(),
+                model,
+            }),
+        })
+    }
+
+    /// Version of the currently served model.
+    pub fn version(&self) -> u64 {
+        self.swap.generation()
+    }
+
+    /// Snapshot the currently served model.
+    pub fn current(&self) -> Arc<ServedModel> {
+        self.swap.load().1
+    }
+
+    /// A cached per-thread reader over the served model (see
+    /// [`SwapReader`]): wait-free between swaps.
+    pub fn reader(&self) -> SwapReader<'_, ServedModel> {
+        self.swap.reader()
+    }
+
+    /// Load the artifact at `path` and swap it in, returning the new
+    /// version.  The load — open, header validation, `madvise` — runs on the
+    /// caller's thread *before* the swap; concurrent readers are never
+    /// blocked by it, and in-flight requests finish on the version they
+    /// started with.
+    ///
+    /// On a load error the registry is untouched and keeps serving the
+    /// current model.
+    ///
+    /// # Errors
+    /// Fails when the new artifact cannot be opened, validated, or is not a
+    /// predictive kind.
+    pub fn swap_from(&self, path: impl AsRef<Path>) -> Result<u64> {
+        let path = path.as_ref();
+        let model = load_model(path)?;
+        Ok(self.swap.store_with(|version| ServedModel {
+            version,
+            source: path.to_path_buf(),
+            model,
+        }))
+    }
+}

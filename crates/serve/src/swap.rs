@@ -1,0 +1,179 @@
+//! Lock-free hot-swap cell for shared, read-mostly state.
+//!
+//! [`Swap`] holds an `Arc<T>` that writers replace atomically while readers
+//! keep serving from whatever value they already hold — an in-flight request
+//! finishes on the version it started with, and the old value is freed only
+//! when its last reader drops its `Arc`.
+//!
+//! Readers that touch the cell on every request (a server's connection
+//! handlers) use a [`SwapReader`], which caches the current `Arc` together
+//! with the cell's generation counter.  While no swap happens, a read is one
+//! relaxed-free atomic load and a pointer return — no lock, no reference
+//! count traffic, no allocation.  Only when the generation moves does the
+//! reader take the (writer-side) mutex once to refresh its cache.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// An atomically replaceable `Arc<T>` with generation counting.
+///
+/// Writers call [`Swap::store`]; readers call [`Swap::load`] for a one-off
+/// snapshot or [`Swap::reader`] for a cached fast path.  The generation
+/// starts at 1 and increases by 1 per swap, so it doubles as a version
+/// number for the stored value.
+#[derive(Debug)]
+pub struct Swap<T> {
+    /// Generation of the value currently in `slot`.  Written only while
+    /// `slot`'s mutex is held; read without the lock on the fast path.
+    generation: AtomicU64,
+    slot: Mutex<Arc<T>>,
+}
+
+impl<T> Swap<T> {
+    /// Create a cell holding `value` at generation 1.
+    pub fn new(value: T) -> Self {
+        Self {
+            generation: AtomicU64::new(1),
+            slot: Mutex::new(Arc::new(value)),
+        }
+    }
+
+    /// Generation of the currently stored value.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Replace the stored value, returning the new generation.
+    ///
+    /// The swap itself is a pointer replacement under a short critical
+    /// section; expensive construction of `value` (loading an artifact,
+    /// validating it) belongs *before* this call, outside the lock.
+    pub fn store(&self, value: T) -> u64 {
+        self.store_with(|_| value)
+    }
+
+    /// Like [`Swap::store`], but the value is built *from* the generation it
+    /// will be stored at — for values that carry their own version number.
+    /// The closure runs inside the critical section, so it must stay cheap
+    /// (stamp a field, not load a file).
+    pub fn store_with(&self, make: impl FnOnce(u64) -> T) -> u64 {
+        let mut slot = self.slot.lock().expect("swap slot poisoned");
+        let next = self.generation.load(Ordering::Acquire) + 1;
+        *slot = Arc::new(make(next));
+        // Publish inside the critical section so (generation, value) pairs
+        // observed under the lock are always consistent.
+        self.generation.store(next, Ordering::Release);
+        next
+    }
+
+    /// Snapshot the current value and its generation.
+    pub fn load(&self) -> (u64, Arc<T>) {
+        let slot = self.slot.lock().expect("swap slot poisoned");
+        (self.generation.load(Ordering::Acquire), Arc::clone(&slot))
+    }
+
+    /// A cached reader: wait-free while the stored value does not change.
+    pub fn reader(&self) -> SwapReader<'_, T> {
+        let (generation, cached) = self.load();
+        SwapReader {
+            swap: self,
+            generation,
+            cached,
+        }
+    }
+}
+
+/// Per-thread cached view of a [`Swap`].
+///
+/// [`SwapReader::get`] returns the current value without touching the lock
+/// or the `Arc` reference count unless a swap happened since the last call.
+#[derive(Debug)]
+pub struct SwapReader<'a, T> {
+    swap: &'a Swap<T>,
+    generation: u64,
+    cached: Arc<T>,
+}
+
+impl<T> SwapReader<'_, T> {
+    /// Current value and its generation, refreshing the cache if a swap
+    /// happened since the previous call.
+    pub fn get(&mut self) -> (u64, &Arc<T>) {
+        if self.swap.generation.load(Ordering::Acquire) != self.generation {
+            let (generation, cached) = self.swap.load();
+            self.generation = generation;
+            self.cached = cached;
+        }
+        (self.generation, &self.cached)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn store_bumps_generation_and_replaces_value() {
+        let swap = Swap::new(10);
+        assert_eq!(swap.generation(), 1);
+        assert_eq!(*swap.load().1, 10);
+        assert_eq!(swap.store(20), 2);
+        let (generation, value) = swap.load();
+        assert_eq!((generation, *value), (2, 20));
+    }
+
+    #[test]
+    fn reader_serves_cached_value_until_swap() {
+        let swap = Swap::new(5);
+        let mut reader = swap.reader();
+        assert_eq!(reader.get(), (1, &Arc::new(5)));
+        swap.store(6);
+        let (generation, value) = reader.get();
+        assert_eq!((generation, **value), (2, 6));
+    }
+
+    #[test]
+    fn old_readers_keep_their_version_alive_across_a_swap() {
+        let swap = Swap::new(vec![1.0; 8]);
+        let (generation, held) = swap.load();
+        assert_eq!(generation, 1);
+        swap.store(vec![2.0; 8]);
+        // The pre-swap snapshot is untouched by the swap.
+        assert_eq!(*held, vec![1.0; 8]);
+        assert_eq!(*swap.load().1, vec![2.0; 8]);
+    }
+
+    #[test]
+    fn concurrent_readers_always_observe_a_consistent_pair() {
+        // Each stored value embeds its own generation; readers check that the
+        // generation reported by the cell matches the value they got.
+        let swap = Arc::new(Swap::new(1u64));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let swap = Arc::clone(&swap);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut reader = swap.reader();
+                    let mut observed = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let (generation, value) = reader.get();
+                        assert_eq!(generation, **value);
+                        observed = observed.max(generation);
+                    }
+                    observed
+                })
+            })
+            .collect();
+        for next in 2..200u64 {
+            assert_eq!(swap.store(next), next);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for handle in readers {
+            let observed = handle.join().unwrap();
+            assert!(observed <= 199);
+        }
+        assert_eq!(swap.generation(), 199);
+    }
+}

@@ -1,0 +1,198 @@
+//! Hot-swap under load: worker threads hammer the registry (and the HTTP
+//! server) with batch predictions while the main thread swaps the served
+//! artifact back and forth.  The two artifacts are constant-output linear
+//! models with distinct constants, so a torn read — a response mixing
+//! parameters from two versions, or reporting a version that did not
+//! produce it — is detectable from the payload alone.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use m3_core::ExecContext;
+use m3_linalg::DenseMatrix;
+use m3_ml::api::BatchPredict;
+use m3_ml::LinearModel;
+use m3_serve::{http_request, ModelRegistry, PredictServer};
+
+const N_FEATURES: usize = 8;
+const CONSTANT_A: f64 = 100.0;
+const CONSTANT_B: f64 = -7.5;
+
+/// A model predicting exactly `constant` for every row.
+fn constant_model(constant: f64) -> LinearModel {
+    LinearModel {
+        weights: vec![0.0; N_FEATURES].into(),
+        bias: constant,
+    }
+}
+
+/// Version v serves A when odd (v1 = artifact A, swaps alternate B, A, …).
+fn expected_constant(version: u64) -> f64 {
+    if version % 2 == 1 {
+        CONSTANT_A
+    } else {
+        CONSTANT_B
+    }
+}
+
+fn batch(n_rows: usize) -> DenseMatrix {
+    let data: Vec<f64> = (0..n_rows * N_FEATURES).map(|i| i as f64 * 0.25).collect();
+    DenseMatrix::from_vec(data, n_rows, N_FEATURES).unwrap()
+}
+
+#[test]
+fn registry_swaps_are_never_torn_under_concurrent_batch_prediction() {
+    let dir = tempfile::tempdir().unwrap();
+    let path_a = dir.path().join("a.m3m");
+    let path_b = dir.path().join("b.m3m");
+    constant_model(CONSTANT_A).save(&path_a).unwrap();
+    constant_model(CONSTANT_B).save(&path_b).unwrap();
+
+    let registry = Arc::new(ModelRegistry::open(&path_a).unwrap());
+    let stop = Arc::new(AtomicBool::new(false));
+    let rows = batch(64);
+
+    let hammers: Vec<_> = (0..4)
+        .map(|_| {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            let rows = rows.clone();
+            thread::spawn(move || {
+                let ctx = ExecContext::new().with_threads(2);
+                let mut reader = registry.reader();
+                let mut checked = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Pin (version, model) once per batch, as a server does.
+                    let (version, served) = reader.get();
+                    assert_eq!(version, served.version);
+                    let predictions = served.model.predict_batch_ctx(&rows, &ctx);
+                    let want = expected_constant(version);
+                    for p in &predictions {
+                        assert_eq!(
+                            p.to_bits(),
+                            want.to_bits(),
+                            "version {version} answered {p}, want {want}: torn read"
+                        );
+                    }
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    for swap in 0..60 {
+        let next = if swap % 2 == 0 { &path_b } else { &path_a };
+        let version = registry.swap_from(next).unwrap();
+        assert_eq!(version, swap + 2);
+        thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for handle in hammers {
+        assert!(handle.join().unwrap() > 0, "hammer thread never predicted");
+    }
+    assert_eq!(registry.version(), 61);
+}
+
+#[test]
+fn http_responses_match_exactly_one_version_during_swaps() {
+    let dir = tempfile::tempdir().unwrap();
+    let path_a = dir.path().join("a.m3m");
+    let path_b = dir.path().join("b.m3m");
+    constant_model(CONSTANT_A).save(&path_a).unwrap();
+    constant_model(CONSTANT_B).save(&path_b).unwrap();
+
+    let registry = Arc::new(ModelRegistry::open(&path_a).unwrap());
+    let server = PredictServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        Arc::new(ExecContext::new().with_threads(2)),
+        4,
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut body = String::new();
+    for r in 0..16 {
+        for c in 0..N_FEATURES {
+            if c > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!("{}", (r * N_FEATURES + c) as f64 * 0.5));
+        }
+        body.push('\n');
+    }
+    let body = Arc::new(body);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            let body = Arc::clone(&body);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut responses = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let (status, response) = http_request(addr, "POST", "/predict", &body).unwrap();
+                    assert_eq!(status, 200, "{response}");
+                    let (version, predictions) = parse_response(&response);
+                    let want = expected_constant(version);
+                    assert_eq!(predictions.len(), 16);
+                    for p in predictions {
+                        assert_eq!(
+                            p, want,
+                            "version {version} answered {p}, want {want}: torn read"
+                        );
+                    }
+                    responses += 1;
+                }
+                responses
+            })
+        })
+        .collect();
+
+    for swap in 0..20 {
+        let next = if swap % 2 == 0 { &path_b } else { &path_a };
+        let (status, response) =
+            http_request(addr, "POST", "/swap", next.to_str().unwrap()).unwrap();
+        assert_eq!(status, 200, "{response}");
+        thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for handle in clients {
+        assert!(handle.join().unwrap() > 0, "client never got a response");
+    }
+
+    let (status, health) = http_request(addr, "GET", "/health", "").unwrap();
+    assert_eq!(status, 200);
+    assert!(health.contains("\"model_version\":21"), "{health}");
+    server.shutdown();
+}
+
+/// Pull `model_version` and the prediction list out of a response like
+/// `{"model_version":3,"predictions":[1,2]}` without a JSON dependency.
+fn parse_response(response: &str) -> (u64, Vec<f64>) {
+    let version: u64 = response
+        .split("\"model_version\":")
+        .nth(1)
+        .and_then(|rest| {
+            rest.split(|c: char| !c.is_ascii_digit())
+                .next()?
+                .parse()
+                .ok()
+        })
+        .unwrap_or_else(|| panic!("no model_version in {response}"));
+    let list = response
+        .split("\"predictions\":[")
+        .nth(1)
+        .and_then(|rest| rest.split(']').next())
+        .unwrap_or_else(|| panic!("no predictions in {response}"));
+    let predictions = list
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("bad prediction number"))
+        .collect();
+    (version, predictions)
+}

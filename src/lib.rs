@@ -11,6 +11,7 @@
 //! | [`data`] | `m3-data` | Infimnist-like generator, blobs, CSV/libsvm, streaming writers |
 //! | [`optim`] | `m3-optim` | L-BFGS, line searches, GD, SGD |
 //! | [`ml`] | `m3-ml` | the [`Estimator`](ml::api::Estimator)/[`Model`](ml::api::Model) API: logistic regression, softmax, k-means, linear regression, naive Bayes, scalers |
+//! | [`serve`] | `m3-serve` | zero-copy artifact serving: hot-swappable model registry + batch HTTP prediction server |
 //! | [`vmsim`] | `m3-vmsim` | page-cache + SSD simulator behind Figure 1a |
 //! | [`cluster`] | `m3-cluster` | bulk-synchronous Spark-baseline simulator behind Figure 1b |
 //! | [`graph`] | `m3-graph` | memory-mapped PageRank / connected components extension |
@@ -65,6 +66,7 @@ pub use m3_graph as graph;
 pub use m3_linalg as linalg;
 pub use m3_ml as ml;
 pub use m3_optim as optim;
+pub use m3_serve as serve;
 pub use m3_vmsim as vmsim;
 
 /// The most commonly used items, re-exported for glob import.
@@ -78,13 +80,17 @@ pub mod prelude {
         GaussianBlobs, InfimnistLike, LinearProblem, RowGenerator,
     };
     pub use m3_linalg::{CsrBuilder, CsrMatrix, DenseMatrix, MatrixView, Vector};
-    pub use m3_ml::api::{Estimator, Fit, Model, SparseEstimator, UnsupervisedEstimator};
+    pub use m3_ml::api::{
+        BatchPredict, Estimator, Fit, Model, SparseEstimator, SparsePredictor,
+        UnsupervisedEstimator,
+    };
     pub use m3_ml::{
-        KMeans, KMeansConfig, KMeansInit, KMeansModel, LogisticConfig, LogisticModel,
-        LogisticRegression, SoftmaxConfig, SoftmaxModel, SoftmaxRegression, StandardScaler,
-        Standardizer,
+        load_model, GaussianNb, GaussianNbTrainer, KMeans, KMeansConfig, KMeansInit, KMeansModel,
+        LinearModel, LinearRegression, LogisticConfig, LogisticModel, LogisticRegression,
+        SoftmaxConfig, SoftmaxModel, SoftmaxRegression, StandardScaler, Standardizer,
     };
     pub use m3_optim::{Lbfgs, TerminationCriteria};
+    pub use m3_serve::{ModelRegistry, PredictServer, Swap};
     pub use m3_vmsim::{SimConfig, Simulator, StorageDevice};
 }
 
@@ -100,6 +106,7 @@ mod tests {
         let _ = crate::optim::Lbfgs::new();
         let _ = crate::ml::KMeansConfig::paper();
         let _ = crate::ml::StandardScaler::new();
+        let _ = crate::serve::Swap::new(0u8).generation();
         let _ = crate::vmsim::SimConfig::paper_machine();
         let _ = crate::cluster::ClusterConfig::emr_m3_2xlarge(4);
         let _ = crate::graph::csr::GraphBuilder::new(2);

@@ -376,7 +376,7 @@ fn sparse_logistic_regression_parity() {
     assert_sparse_parity(
         &b,
         &estimator,
-        |m| m.weights.clone(),
+        |m| m.weights.to_vec(),
         |dense, sparse| {
             assert_rel_close(&dense.weights, &sparse.weights, 1e-9);
             assert!((dense.bias - sparse.bias).abs() <= 1e-9 * (1.0 + dense.bias.abs()));
@@ -396,7 +396,7 @@ fn sparse_softmax_regression_parity() {
     assert_sparse_parity(
         &b,
         &estimator,
-        |m| m.weights.clone(),
+        |m| m.weights.to_vec(),
         |dense, sparse| assert_rel_close(&dense.weights, &sparse.weights, 1e-9),
     );
 }
@@ -418,7 +418,7 @@ fn sparse_linear_regression_parity_both_solvers() {
         assert_sparse_parity(
             &b,
             &estimator,
-            |m| m.weights.clone(),
+            |m| m.weights.to_vec(),
             |dense, sparse| {
                 assert_rel_close(&dense.weights, &sparse.weights, 1e-7);
                 assert!((dense.bias - sparse.bias).abs() <= 1e-7 * (1.0 + dense.bias.abs()));
@@ -471,4 +471,189 @@ fn estimators_accept_boxed_trait_object_stores() {
     let from_erased = Estimator::fit(&estimator, &erased, &y, &ctx).unwrap();
     let from_dense = Estimator::fit(&estimator, &x, &y, &ctx).unwrap();
     assert_bits_eq(&from_erased.weights, &from_dense.weights);
+}
+
+// --- artifact round-trip parity ----------------------------------------------
+//
+// The serving-side mirror of the storage parity above: saving a fitted model
+// to an `M3MODL01` artifact and memory-mapping it back must not change a
+// single prediction bit.  The loaded model's parameters are zero-copy views
+// into the artifact, so these tests compare the two model *backings* (owned
+// vs mapped) the way the earlier tests compare data backings — per-row
+// predictions against pooled batch predictions at 1/2/4 worker threads.
+// (Named `*parity*` so the forced-scalar re-exec covers them too.)
+
+fn predict_ctx(threads: usize) -> ExecContext {
+    ExecContext::new()
+        .with_threads(threads)
+        .with_chunk_bytes(m3::core::PAGE_SIZE)
+        .with_parallel_threshold(0)
+}
+
+/// Per-row predictions of the in-memory model are the baseline; the pooled
+/// batch path of both the in-memory and the artifact-mapped model must match
+/// it bit for bit at every thread count.
+fn assert_model_backing_parity<M: BatchPredict>(mem: &M, mapped: &M, x: &DenseMatrix) {
+    let baseline: Vec<f64> = (0..x.n_rows()).map(|r| mem.predict_row(x.row(r))).collect();
+    for threads in [1usize, 2, 4] {
+        let ctx = predict_ctx(threads);
+        assert_bits_eq(&baseline, &mem.predict_batch_ctx(x, &ctx));
+        assert_bits_eq(&baseline, &mapped.predict_batch_ctx(x, &ctx));
+    }
+}
+
+#[test]
+fn saved_logistic_model_parity() {
+    let dir = tempfile::tempdir().unwrap();
+    let (x, y) = LinearProblem::random_classification(9, 0.05, 51).materialize(220);
+    let mem = Estimator::fit(
+        &LogisticRegression::new(LogisticConfig {
+            max_iterations: 20,
+            ..Default::default()
+        }),
+        &x,
+        &y,
+        &ExecContext::new(),
+    )
+    .unwrap();
+    let path = dir.path().join("logistic.m3m");
+    mem.save(&path).unwrap();
+    let mapped = LogisticModel::load(&path).unwrap();
+    assert!(mapped.weights.is_mapped());
+    assert_model_backing_parity(&mem, &mapped, &x);
+}
+
+#[test]
+fn saved_softmax_model_parity() {
+    let dir = tempfile::tempdir().unwrap();
+    let (x, y) = GaussianBlobs::new(4, 6, 12.0, 1.0, 9).materialize(240);
+    let mem = Estimator::fit(
+        &SoftmaxRegression::new(SoftmaxConfig {
+            n_classes: 4,
+            max_iterations: 15,
+            ..Default::default()
+        }),
+        &x,
+        &y,
+        &ExecContext::new(),
+    )
+    .unwrap();
+    let path = dir.path().join("softmax.m3m");
+    mem.save(&path).unwrap();
+    let mapped = SoftmaxModel::load(&path).unwrap();
+    assert!(mapped.weights.is_mapped());
+    assert_model_backing_parity(&mem, &mapped, &x);
+}
+
+#[test]
+fn saved_linear_model_parity() {
+    let dir = tempfile::tempdir().unwrap();
+    let (x, y) =
+        LinearProblem::regression(vec![2.0, -1.0, 0.5, 0.25], 3.0, 0.05, 27).materialize(200);
+    let mem = Estimator::fit(
+        &m3::ml::linear_regression::LinearRegression::default(),
+        &x,
+        &y,
+        &ExecContext::new(),
+    )
+    .unwrap();
+    let path = dir.path().join("linear.m3m");
+    mem.save(&path).unwrap();
+    let mapped = LinearModel::load(&path).unwrap();
+    assert!(mapped.weights.is_mapped());
+    assert_model_backing_parity(&mem, &mapped, &x);
+}
+
+#[test]
+fn saved_gaussian_nb_model_parity() {
+    let dir = tempfile::tempdir().unwrap();
+    let (x, y) = GaussianBlobs::new(3, 5, 10.0, 1.2, 33).materialize(210);
+    let mem = Estimator::fit(&GaussianNbTrainer::new(3), &x, &y, &ExecContext::new()).unwrap();
+    let path = dir.path().join("nb.m3m");
+    mem.save(&path).unwrap();
+    let mapped = GaussianNb::load(&path).unwrap();
+    assert!(mapped.means.is_mapped());
+    assert_model_backing_parity(&mem, &mapped, &x);
+}
+
+#[test]
+fn saved_kmeans_model_parity() {
+    let dir = tempfile::tempdir().unwrap();
+    let (x, _) = GaussianBlobs::new(5, 8, 25.0, 1.5, 61).materialize(260);
+    let mem = UnsupervisedEstimator::fit(
+        &KMeans::new(KMeansConfig {
+            k: 5,
+            max_iterations: 8,
+            seed: 71,
+            ..Default::default()
+        }),
+        &x,
+        &ExecContext::new(),
+    )
+    .unwrap();
+    let path = dir.path().join("kmeans.m3m");
+    mem.save(&path).unwrap();
+    let mapped = KMeansModel::load(&path).unwrap();
+    assert!(mapped.centroids.is_mapped());
+    assert_model_backing_parity(&mem, &mapped, &x);
+}
+
+#[test]
+fn saved_standardizer_transform_parity() {
+    let dir = tempfile::tempdir().unwrap();
+    let (x, _) = GaussianBlobs::new(2, 7, 6.0, 2.0, 77).materialize(230);
+    let mem = UnsupervisedEstimator::fit(&StandardScaler, &x, &ExecContext::new()).unwrap();
+    let path = dir.path().join("scaler.m3m");
+    mem.save(&path).unwrap();
+    let mapped = Standardizer::load(&path).unwrap();
+    assert!(mapped.mean.is_mapped() && mapped.std_dev.is_mapped());
+    assert_bits_eq(&mem.mean, &mapped.mean);
+    assert_bits_eq(&mem.std_dev, &mapped.std_dev);
+    for r in 0..x.n_rows() {
+        let mut a = x.row(r).to_vec();
+        let mut b = a.clone();
+        mem.transform_row(&mut a);
+        mapped.transform_row(&mut b);
+        assert_bits_eq(&a, &b);
+    }
+}
+
+#[test]
+fn load_model_erased_dispatch_parity() {
+    // The server-side loader — kind-dispatched `Box<dyn Model + Send + Sync>`
+    // — must agree bit for bit with the typed loaders it wraps.
+    let dir = tempfile::tempdir().unwrap();
+    let (x, y) = GaussianBlobs::new(3, 6, 15.0, 1.0, 29).materialize(180);
+    let ctx = ExecContext::new();
+    let binary: Vec<f64> = y.iter().map(|&l| f64::from(l >= 1.5)).collect();
+
+    let logistic = Estimator::fit(
+        &LogisticRegression::new(LogisticConfig::default()),
+        &x,
+        &binary,
+        &ctx,
+    )
+    .unwrap();
+    let kmeans = UnsupervisedEstimator::fit(
+        &KMeans::new(KMeansConfig {
+            k: 3,
+            ..Default::default()
+        }),
+        &x,
+        &ctx,
+    )
+    .unwrap();
+
+    let typed_predictions = [logistic.predict(&x), Model::predict_batch(&kmeans, &x)];
+    let paths = [dir.path().join("l.m3m"), dir.path().join("k.m3m")];
+    logistic.save(&paths[0]).unwrap();
+    kmeans.save(&paths[1]).unwrap();
+
+    for (path, want) in paths.iter().zip(&typed_predictions) {
+        let erased = load_model(path).unwrap();
+        assert_bits_eq(want, &erased.predict_batch(&x));
+        for threads in [1usize, 2, 4] {
+            assert_bits_eq(want, &erased.predict_batch_ctx(&x, &predict_ctx(threads)));
+        }
+    }
 }
