@@ -5,24 +5,36 @@
 //! constant memory: feature rows stream straight to disk, labels are buffered
 //! (8 bytes per row) and appended at the end, and the header is patched last
 //! once the row count is known.
+//!
+//! Writes are crash-safe: the builder streams into a `.tmp` sibling of the
+//! target path, patches the header (including per-section CRC32 checksums
+//! computed while streaming), fsyncs the file, atomically renames it into
+//! place and fsyncs the parent directory.  A crash — or an injected fault,
+//! see [`crate::faults`] — at any step leaves either the intact previous
+//! artifact or no artifact at the target path, never a torn file.  An
+//! abandoned builder removes its temporary file on drop.
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::io::{BufWriter, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
+use crate::checksum::Crc32;
+use crate::container::{encode_checksums, SectionChecksum, CHECKSUM_BLOCK_OFFSET};
 use crate::dataset::{DatasetHeader, HEADER_BYTES};
 use crate::error::{CoreError, Result};
-use crate::ELEMENT_BYTES;
+use crate::{faults, ELEMENT_BYTES};
 
 /// Incrementally writes an M3 dataset container.
 #[derive(Debug)]
 pub struct DatasetBuilder {
-    writer: BufWriter<File>,
+    writer: Option<BufWriter<File>>,
     path: PathBuf,
+    tmp: PathBuf,
     n_cols: usize,
     n_rows: u64,
     labelled: bool,
     labels: Vec<f64>,
+    features_crc: Crc32,
     finished: bool,
 }
 
@@ -48,24 +60,29 @@ impl DatasetBuilder {
             return Err(CoreError::InvalidShape { rows: 0, cols: 0 });
         }
         let path = path.as_ref().to_path_buf();
+        let tmp = faults::tmp_sibling(&path);
         let file = OpenOptions::new()
             .write(true)
             .create(true)
             .truncate(true)
-            .open(&path)
-            .map_err(|e| CoreError::io(&path, e))?;
+            .open(&tmp)
+            .map_err(|e| CoreError::io(&tmp, e))?;
         let mut writer = BufWriter::new(file);
         // Reserve the header page; the real header is patched in `finish`.
-        writer
-            .write_all(&[0u8; HEADER_BYTES])
-            .map_err(|e| CoreError::io(&path, e))?;
+        if let Err(e) = faults::write_all(&mut writer, &[0u8; HEADER_BYTES], &tmp) {
+            drop(writer);
+            let _ = std::fs::remove_file(&tmp);
+            return Err(CoreError::io(&tmp, e));
+        }
         Ok(Self {
-            writer,
+            writer: Some(writer),
             path,
+            tmp,
             n_cols,
             n_rows: 0,
             labelled,
             labels: Vec::new(),
+            features_crc: Crc32::new(),
             finished: false,
         })
     }
@@ -78,6 +95,16 @@ impl DatasetBuilder {
     /// Number of rows written so far.
     pub fn n_rows(&self) -> u64 {
         self.n_rows
+    }
+
+    fn write_features(&mut self, features: &[f64]) -> Result<()> {
+        let mut buf = Vec::with_capacity(features.len() * ELEMENT_BYTES);
+        for &v in features {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self.features_crc.update(&buf);
+        let writer = self.writer.as_mut().expect("builder already finished");
+        faults::write_all(writer, &buf, &self.tmp).map_err(|e| CoreError::io(&self.tmp, e))
     }
 
     /// Append one example.
@@ -104,13 +131,7 @@ impl DatasetBuilder {
             })?;
             self.labels.push(label);
         }
-        let mut buf = Vec::with_capacity(features.len() * ELEMENT_BYTES);
-        for &v in features {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
-        self.writer
-            .write_all(&buf)
-            .map_err(|e| CoreError::io(&self.path, e))?;
+        self.write_features(features)?;
         self.n_rows += 1;
         Ok(())
     }
@@ -143,54 +164,96 @@ impl DatasetBuilder {
             }
             self.labels.extend_from_slice(labels);
         }
-        let mut buf = Vec::with_capacity(features.len() * ELEMENT_BYTES);
-        for &v in features {
-            buf.extend_from_slice(&v.to_le_bytes());
-        }
-        self.writer
-            .write_all(&buf)
-            .map_err(|e| CoreError::io(&self.path, e))?;
+        self.write_features(features)?;
         self.n_rows += rows as u64;
         Ok(())
     }
 
-    /// Write the label section and the final header, then flush and close.
+    /// Write the label section, the final header and its checksum block,
+    /// fsync, and atomically rename the temporary file into place.
     ///
     /// # Errors
-    /// Propagates I/O failures.
+    /// Propagates I/O failures.  On failure the target path is untouched:
+    /// it still holds whatever artifact (if any) was there before, and the
+    /// temporary file is removed when the builder drops.
     pub fn finish(mut self) -> Result<DatasetHeader> {
+        let header = DatasetHeader::new(self.n_rows, self.n_cols as u64, self.labelled);
+
         // Label section (immediately after the feature block).
+        let mut labels_crc = Crc32::new();
         if self.labelled {
             let mut buf = Vec::with_capacity(self.labels.len() * ELEMENT_BYTES);
             for &l in &self.labels {
                 buf.extend_from_slice(&l.to_le_bytes());
             }
-            self.writer
-                .write_all(&buf)
-                .map_err(|e| CoreError::io(&self.path, e))?;
+            labels_crc.update(&buf);
+            let writer = self.writer.as_mut().expect("builder already finished");
+            faults::write_all(writer, &buf, &self.tmp).map_err(|e| CoreError::io(&self.tmp, e))?;
         }
-        self.writer
-            .flush()
-            .map_err(|e| CoreError::io(&self.path, e))?;
+        {
+            let writer = self.writer.as_mut().expect("builder already finished");
+            faults::flush(writer, &self.tmp).map_err(|e| CoreError::io(&self.tmp, e))?;
+        }
 
-        // Patch the header now that the row count is known.
-        let header = DatasetHeader::new(self.n_rows, self.n_cols as u64, self.labelled);
-        let mut file = self.writer.into_inner().map_err(|e| CoreError::Io {
-            path: Some(self.path.clone()),
-            source: e.into_error(),
-        })?;
+        // Patch the header page: encoded header up front, checksum block in
+        // the page's spare tail.
+        let mut sections = vec![SectionChecksum {
+            name: "features",
+            offset: header.data_offset,
+            len: header.data_bytes(),
+            crc: self.features_crc.finish(),
+        }];
+        if self.labelled {
+            sections.push(SectionChecksum {
+                name: "labels",
+                offset: header.labels_offset,
+                len: self.n_rows * ELEMENT_BYTES as u64,
+                crc: labels_crc.finish(),
+            });
+        }
+        let mut page = [0u8; HEADER_BYTES];
+        page[..64].copy_from_slice(&header.encode());
+        let block = encode_checksums(&sections);
+        page[CHECKSUM_BLOCK_OFFSET..CHECKSUM_BLOCK_OFFSET + block.len()].copy_from_slice(&block);
+
+        let mut file = self
+            .writer
+            .take()
+            .expect("builder already finished")
+            .into_inner()
+            .map_err(|e| CoreError::Io {
+                path: Some(self.tmp.clone()),
+                source: e.into_error(),
+            })?;
         file.seek(SeekFrom::Start(0))
-            .map_err(|e| CoreError::io(&self.path, e))?;
-        file.write_all(&header.encode())
-            .map_err(|e| CoreError::io(&self.path, e))?;
-        file.sync_all().map_err(|e| CoreError::io(&self.path, e))?;
+            .map_err(|e| CoreError::io(&self.tmp, e))?;
+        faults::write_all(&mut file, &page, &self.tmp).map_err(|e| CoreError::io(&self.tmp, e))?;
+        faults::sync_file(&file, &self.tmp).map_err(|e| CoreError::io(&self.tmp, e))?;
+        drop(file);
+
+        // Publish: atomic rename, then make the rename itself durable.
+        faults::rename(&self.tmp, &self.path).map_err(|e| CoreError::io(&self.tmp, e))?;
+        if let Some(parent) = self.path.parent() {
+            faults::sync_dir(parent).map_err(|e| CoreError::io(parent, e))?;
+        }
         self.finished = true;
         Ok(header)
     }
 
-    /// The path being written.
+    /// The path being written (the final artifact path; until
+    /// [`DatasetBuilder::finish`] succeeds the bytes live in a `.tmp`
+    /// sibling).
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+impl Drop for DatasetBuilder {
+    fn drop(&mut self) {
+        if !self.finished {
+            drop(self.writer.take());
+            let _ = std::fs::remove_file(&self.tmp);
+        }
     }
 }
 
@@ -220,6 +283,9 @@ mod tests {
         assert_eq!(ds.n_rows(), 10);
         assert_eq!(RowStore::row(&ds, 7), &[7.0; 4]);
         assert_eq!(ds.labels().unwrap()[7], 1.0);
+        // Checksums were written and verify.
+        ds.verify().unwrap();
+        Dataset::open_verified(&path).unwrap();
     }
 
     #[test]
@@ -270,5 +336,37 @@ mod tests {
         let ds = Dataset::open(&path).unwrap();
         assert_eq!(ds.n_rows(), 0);
         assert!(RowStore::is_empty(&ds));
+    }
+
+    #[test]
+    fn unfinished_builder_leaves_no_files_behind() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("abandoned.m3ds");
+        let mut b = DatasetBuilder::create(&path, 2).unwrap();
+        b.push_row(&[1.0, 2.0], Some(0.0)).unwrap();
+        drop(b);
+        assert!(!path.exists(), "final path must not appear");
+        assert!(
+            !faults::tmp_sibling(&path).exists(),
+            "tmp sibling must be cleaned up"
+        );
+    }
+
+    #[test]
+    fn rebuild_is_atomic_over_an_existing_artifact() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("replace.m3ds");
+        let mut b = DatasetBuilder::create(&path, 2).unwrap();
+        b.push_row(&[1.0, 2.0], Some(0.0)).unwrap();
+        b.finish().unwrap();
+
+        // A second build in flight does not disturb the published artifact.
+        let mut b = DatasetBuilder::create(&path, 2).unwrap();
+        b.push_row(&[9.0, 9.0], Some(1.0)).unwrap();
+        let ds = Dataset::open(&path).unwrap();
+        assert_eq!(RowStore::row(&ds, 0), &[1.0, 2.0]);
+        b.finish().unwrap();
+        let ds = Dataset::open(&path).unwrap();
+        assert_eq!(RowStore::row(&ds, 0), &[9.0, 9.0]);
     }
 }

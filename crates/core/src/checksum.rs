@@ -1,0 +1,113 @@
+//! Hand-rolled CRC32 (IEEE 802.3, the zlib/gzip polynomial) used to
+//! checksum container sections.
+//!
+//! The workspace vendors no general-purpose crates, so the checksum lives
+//! here: a 256-entry table computed at first use, a streaming [`Crc32`]
+//! hasher for writers that produce a section incrementally (the dataset
+//! builder streams rows through a `BufWriter`), and a one-shot [`crc32`]
+//! for verifying an already-mapped section.  CRC32 is not cryptographic —
+//! the threat model is torn writes, bit rot and truncation, not an
+//! adversary forging artifacts — and it verifies at memory bandwidth,
+//! which matters because the serve registry checksums every artifact
+//! before publishing a swap.
+
+use std::sync::OnceLock;
+
+/// The reflected IEEE polynomial, as used by zlib, gzip and PNG.
+const POLYNOMIAL: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLYNOMIAL
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// A streaming CRC32 hasher.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Self { state: !0 }
+    }
+
+    /// Feed `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let table = table();
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything fed so far (the hasher stays usable).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut hasher = Crc32::new();
+    hasher.update(bytes);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC32 check values (same as zlib's crc32()).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut h = Crc32::default();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finish(), crc32(&data));
+        // finish() is non-destructive.
+        assert_eq!(h.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0x5Au8; 4096];
+        let clean = crc32(&data);
+        data[1234] ^= 0x10;
+        assert_ne!(crc32(&data), clean);
+    }
+}

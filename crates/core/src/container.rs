@@ -14,10 +14,17 @@
 //!   panicking) on truncated or corrupt input.
 //! * [`section_slice`] — bounds- and alignment-checked reinterpretation of a
 //!   mapped byte range as a typed little-endian slice.
+//! * [`SectionChecksum`] plus [`encode_checksums`] / [`verify_checksums`] —
+//!   the per-section CRC32 block all three builders write into the spare
+//!   tail of the header page, and the verification every `open_verified`
+//!   call (and the serve registry, unconditionally) runs against it.
 //!
 //! Any new container format should build on these helpers rather than
 //! growing its own copies of the checks.
 
+use std::path::Path;
+
+use crate::checksum::crc32;
 use crate::error::{CoreError, Result};
 
 /// The common 16-byte preamble every M3 container header starts with:
@@ -108,6 +115,190 @@ pub(crate) unsafe fn section_slice<T>(bytes: &[u8], offset: u64, len: usize) -> 
     Ok(unsafe { std::slice::from_raw_parts(bytes[offset..].as_ptr().cast::<T>(), len) })
 }
 
+/// Whether the `M3_VERIFY` environment variable requests checksum
+/// verification on every `open` (any value except `0` enables it).  The
+/// serve registry verifies unconditionally; this knob extends the same
+/// protection to batch/training jobs without touching their code.
+pub fn verify_on_open() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("M3_VERIFY").is_some_and(|v| v != "0"))
+}
+
+/// Where the checksum block lives inside the 4096-byte header page.  Every
+/// encoded container header is at most 72 bytes, so the block sits far past
+/// it, in space that has always been zero padding — version-1 files written
+/// before checksums existed simply have no block there, which
+/// [`verify_checksums`] reports as a typed error rather than a mismatch.
+pub const CHECKSUM_BLOCK_OFFSET: usize = 3584;
+
+/// Magic opening the checksum block.
+pub const CHECKSUM_MAGIC: [u8; 8] = *b"M3CKSM01";
+
+/// Encoded bytes per checksum entry.
+const CHECKSUM_ENTRY_BYTES: usize = 32;
+
+/// Encoded bytes of the block prelude (magic + count + reserved).
+const CHECKSUM_PRELUDE_BYTES: usize = 16;
+
+/// The most sections any container format records (CSR has four).
+const CHECKSUM_MAX_SECTIONS: usize = 8;
+
+/// One checksummed section of a container: a named byte range and its CRC32.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionChecksum {
+    /// Section name (ASCII, at most 8 bytes) — `features`, `labels`,
+    /// `indptr`, `indices`, `values`, `payload`.  Used in error messages.
+    pub name: &'static str,
+    /// Byte offset of the section within the file.
+    pub offset: u64,
+    /// Section length in bytes (the meaningful bytes, not the page-rounded
+    /// extent — padding is not covered).
+    pub len: u64,
+    /// CRC32 of the section's bytes.
+    pub crc: u32,
+}
+
+impl SectionChecksum {
+    /// Checksum the byte range `[offset, offset + len)` of `file_bytes`.
+    pub fn of(name: &'static str, file_bytes: &[u8], offset: u64, len: u64) -> Self {
+        let start = offset as usize;
+        let end = start + len as usize;
+        Self {
+            name,
+            offset,
+            len,
+            crc: crc32(&file_bytes[start..end]),
+        }
+    }
+}
+
+/// Encode `sections` as a checksum block to be written at
+/// [`CHECKSUM_BLOCK_OFFSET`] in the header page.
+///
+/// Layout: `M3CKSM01` magic, `count: u32`, 4 reserved bytes, then per
+/// section a 32-byte entry of `name[8]` (ASCII, zero padded), `offset: u64`,
+/// `len: u64`, `crc: u32`, 4 pad bytes — all little-endian.
+pub fn encode_checksums(sections: &[SectionChecksum]) -> Vec<u8> {
+    assert!(sections.len() <= CHECKSUM_MAX_SECTIONS);
+    let mut out =
+        Vec::with_capacity(CHECKSUM_PRELUDE_BYTES + sections.len() * CHECKSUM_ENTRY_BYTES);
+    out.extend_from_slice(&CHECKSUM_MAGIC);
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]);
+    for s in sections {
+        let mut name = [0u8; 8];
+        let ascii = s.name.as_bytes();
+        assert!(ascii.len() <= 8, "section name too long");
+        name[..ascii.len()].copy_from_slice(ascii);
+        out.extend_from_slice(&name);
+        out.extend_from_slice(&s.offset.to_le_bytes());
+        out.extend_from_slice(&s.len.to_le_bytes());
+        out.extend_from_slice(&s.crc.to_le_bytes());
+        out.extend_from_slice(&[0u8; 4]);
+    }
+    out
+}
+
+/// Decoded entry of a checksum block: the name is owned because it comes
+/// from the file, not from code.
+#[derive(Debug, Clone)]
+pub struct StoredChecksum {
+    /// Section name as recorded in the block.
+    pub name: String,
+    /// Byte offset of the section within the file.
+    pub offset: u64,
+    /// Section length in bytes.
+    pub len: u64,
+    /// CRC32 recorded for the section.
+    pub crc: u32,
+}
+
+/// Decode the checksum block from a full container mapping.
+///
+/// # Errors
+/// [`CoreError::BadHeader`] when the file carries no block (pre-checksum
+/// artifact), the block magic or count is corrupt, or an entry points
+/// outside the file.
+pub fn decode_checksums(file_bytes: &[u8]) -> Result<Vec<StoredChecksum>> {
+    let start = CHECKSUM_BLOCK_OFFSET;
+    let bytes = file_bytes
+        .get(start..start + CHECKSUM_PRELUDE_BYTES)
+        .ok_or_else(|| CoreError::BadHeader {
+            reason: "file too short for a checksum block".to_string(),
+        })?;
+    if bytes[0..8] != CHECKSUM_MAGIC {
+        return Err(CoreError::BadHeader {
+            reason: "artifact carries no section checksums \
+                     (written before checksums existed, or block corrupted)"
+                .to_string(),
+        });
+    }
+    let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    if count > CHECKSUM_MAX_SECTIONS {
+        return Err(CoreError::BadHeader {
+            reason: format!("checksum block claims {count} sections"),
+        });
+    }
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = start + CHECKSUM_PRELUDE_BYTES + i * CHECKSUM_ENTRY_BYTES;
+        let entry = file_bytes
+            .get(at..at + CHECKSUM_ENTRY_BYTES)
+            .ok_or_else(|| CoreError::BadHeader {
+                reason: "checksum block truncated".to_string(),
+            })?;
+        let name_end = entry[..8].iter().position(|&b| b == 0).unwrap_or(8);
+        let name = String::from_utf8_lossy(&entry[..name_end]).into_owned();
+        let offset = u64::from_le_bytes(entry[8..16].try_into().unwrap());
+        let len = u64::from_le_bytes(entry[16..24].try_into().unwrap());
+        let crc = u32::from_le_bytes(entry[24..28].try_into().unwrap());
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| CoreError::BadHeader {
+                reason: format!("checksum entry '{name}' overflows"),
+            })?;
+        if end > file_bytes.len() as u64 {
+            return Err(CoreError::BadHeader {
+                reason: format!(
+                    "checksum entry '{name}' covers bytes {offset}..{end} \
+                     but the file has {}",
+                    file_bytes.len()
+                ),
+            });
+        }
+        out.push(StoredChecksum {
+            name,
+            offset,
+            len,
+            crc,
+        });
+    }
+    Ok(out)
+}
+
+/// Re-hash every section named in the file's checksum block and compare.
+///
+/// # Errors
+/// [`CoreError::BadHeader`] when the file has no valid block, and
+/// [`CoreError::ChecksumMismatch`] naming the first section whose bytes do
+/// not hash to the recorded value.
+pub fn verify_checksums(file_bytes: &[u8], path: &Path) -> Result<()> {
+    for stored in decode_checksums(file_bytes)? {
+        let start = stored.offset as usize;
+        let end = start + stored.len as usize;
+        let found = crc32(&file_bytes[start..end]);
+        if found != stored.crc {
+            return Err(CoreError::ChecksumMismatch {
+                path: path.to_path_buf(),
+                section: stored.name,
+                expected: stored.crc,
+                found,
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +336,67 @@ mod tests {
         ));
         let err = decode_preamble(&bytes, &MAGIC, 2, 16).unwrap_err();
         assert!(err.to_string().contains("version 1"));
+    }
+
+    #[test]
+    fn checksum_block_round_trip_and_verification() {
+        let mut file = vec![0u8; 2 * crate::PAGE_SIZE];
+        // Payload section in the second page.
+        for (i, b) in file[crate::PAGE_SIZE..].iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let sections = vec![SectionChecksum::of(
+            "payload",
+            &file,
+            crate::PAGE_SIZE as u64,
+            100,
+        )];
+        let block = encode_checksums(&sections);
+        file[CHECKSUM_BLOCK_OFFSET..CHECKSUM_BLOCK_OFFSET + block.len()].copy_from_slice(&block);
+
+        verify_checksums(&file, Path::new("t")).unwrap();
+        let stored = decode_checksums(&file).unwrap();
+        assert_eq!(stored.len(), 1);
+        assert_eq!(stored[0].name, "payload");
+        assert_eq!(stored[0].len, 100);
+
+        // Corrupt a covered byte → mismatch naming the section.
+        file[crate::PAGE_SIZE + 50] ^= 0xFF;
+        let err = verify_checksums(&file, Path::new("t")).unwrap_err();
+        match err {
+            CoreError::ChecksumMismatch { section, .. } => {
+                assert_eq!(section, "payload");
+            }
+            other => panic!("wanted ChecksumMismatch, got {other}"),
+        }
+
+        // A file with no block is a typed BadHeader, not a panic.
+        let blank = vec![0u8; 2 * crate::PAGE_SIZE];
+        assert!(matches!(
+            verify_checksums(&blank, Path::new("t")),
+            Err(CoreError::BadHeader { .. })
+        ));
+        // Truncated below the block offset: also typed.
+        assert!(matches!(
+            verify_checksums(&blank[..100], Path::new("t")),
+            Err(CoreError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_block_rejects_out_of_range_entries() {
+        let mut file = vec![0u8; 2 * crate::PAGE_SIZE];
+        let block = encode_checksums(&[SectionChecksum {
+            name: "labels",
+            offset: crate::PAGE_SIZE as u64,
+            len: u64::MAX - 10,
+            crc: 0,
+        }]);
+        file[CHECKSUM_BLOCK_OFFSET..CHECKSUM_BLOCK_OFFSET + block.len()].copy_from_slice(&block);
+        assert!(matches!(
+            decode_checksums(&file),
+            Err(CoreError::BadHeader { .. })
+        ));
     }
 
     #[test]

@@ -185,11 +185,40 @@ impl Dataset {
                 actual_bytes: len,
             });
         }
-        Ok(Self {
+        let ds = Self {
             map: Arc::new(map),
             header,
             path,
-        })
+        };
+        if crate::container::verify_on_open() {
+            ds.verify()?;
+        }
+        Ok(ds)
+    }
+
+    /// Open and verify every section checksum — [`Dataset::open`] followed
+    /// by [`Dataset::verify`].
+    ///
+    /// # Errors
+    /// Everything `open` can fail with, plus
+    /// [`CoreError::ChecksumMismatch`] for a corrupted section and
+    /// [`CoreError::BadHeader`] for a file carrying no checksum block.
+    pub fn open_verified(path: impl AsRef<Path>) -> Result<Self> {
+        let ds = Self::open(path)?;
+        ds.verify()?;
+        Ok(ds)
+    }
+
+    /// Re-hash every section against the header's checksum block.
+    ///
+    /// Reads (faults in) the whole file, unlike `open` — this is the
+    /// explicit opt-in integrity pass, also run when `M3_VERIFY` is set.
+    ///
+    /// # Errors
+    /// [`CoreError::ChecksumMismatch`] naming the corrupt section, or
+    /// [`CoreError::BadHeader`] when the file carries no checksum block.
+    pub fn verify(&self) -> Result<()> {
+        crate::container::verify_checksums(&self.map, &self.path)
     }
 
     /// The parsed header.

@@ -39,6 +39,18 @@ pub enum CoreError {
         /// Requested number of columns.
         cols: usize,
     },
+    /// A container section's stored checksum does not match its bytes —
+    /// the artifact is corrupt (torn write, bit rot, truncation).
+    ChecksumMismatch {
+        /// The artifact that failed verification.
+        path: PathBuf,
+        /// The section that failed (`features`, `indptr`, `payload`, ...).
+        section: String,
+        /// The checksum recorded in the header.
+        expected: u32,
+        /// The checksum of the bytes actually on disk.
+        found: u32,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -64,6 +76,17 @@ impl std::fmt::Display for CoreError {
             CoreError::InvalidShape { rows, cols } => {
                 write!(f, "invalid matrix shape {rows}x{cols}")
             }
+            CoreError::ChecksumMismatch {
+                path,
+                section,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{}: section '{section}' checksum mismatch (header says {expected:#010x}, \
+                 bytes hash to {found:#010x}) — artifact is corrupt",
+                path.display()
+            ),
         }
     }
 }

@@ -64,11 +64,13 @@
 pub mod advice;
 pub mod alloc;
 pub mod builder;
+pub mod checksum;
 pub mod chunked;
 pub mod container;
 pub mod dataset;
 pub mod error;
 pub mod exec;
+pub mod faults;
 pub mod mmap;
 pub mod model;
 mod pool;
@@ -79,6 +81,7 @@ pub mod trace;
 
 pub use advice::AccessPattern;
 pub use alloc::{mmap_alloc, mmap_alloc_mut};
+pub use checksum::{crc32, Crc32};
 pub use dataset::{Dataset, DatasetHeader};
 pub use error::{CoreError, Result};
 pub use exec::ExecContext;

@@ -37,15 +37,17 @@
 //! artifacts fail [`ModelFile::open`] with typed [`CoreError`]s, never
 //! panics, and untrusted header fields go through checked arithmetic.
 
-use std::fs::OpenOptions;
+use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use memmap2::{Mmap, MmapMut};
 
-use crate::container::{decode_preamble, section_slice};
+use crate::container::{
+    decode_preamble, encode_checksums, section_slice, SectionChecksum, CHECKSUM_BLOCK_OFFSET,
+};
 use crate::error::{CoreError, Result};
-use crate::{AccessPattern, ELEMENT_BYTES, PAGE_SIZE};
+use crate::{faults, AccessPattern, ELEMENT_BYTES, PAGE_SIZE};
 
 /// Magic bytes identifying an M3 model artifact.
 pub const MODEL_MAGIC: [u8; 8] = *b"M3MODL01";
@@ -461,10 +463,38 @@ impl ModelFile {
             path,
             header,
         };
+        if crate::container::verify_on_open() {
+            this.verify()?;
+        }
         // Serving loads a model to use it immediately: tell the kernel to
         // start faulting the weights in now rather than on first request.
         this.advise(AccessPattern::WillNeed);
         Ok(this)
+    }
+
+    /// Open and verify the payload checksum — [`ModelFile::open`] followed
+    /// by [`ModelFile::verify`].  This is what the serve registry uses
+    /// unconditionally before publishing a swap.
+    ///
+    /// # Errors
+    /// Everything `open` can fail with, plus
+    /// [`CoreError::ChecksumMismatch`] for a corrupted payload and
+    /// [`CoreError::BadHeader`] for a file carrying no checksum block.
+    pub fn open_verified(path: impl AsRef<Path>) -> Result<Self> {
+        let file = Self::open(path)?;
+        file.verify()?;
+        Ok(file)
+    }
+
+    /// Re-hash the payload against the header's checksum block.  Reads
+    /// (faults in) the whole payload, unlike `open`; also run automatically
+    /// when `M3_VERIFY` is set.
+    ///
+    /// # Errors
+    /// [`CoreError::ChecksumMismatch`] naming the corrupt section, or
+    /// [`CoreError::BadHeader`] when the file carries no checksum block.
+    pub fn verify(&self) -> Result<()> {
+        crate::container::verify_checksums(&self.map, &self.path)
     }
 
     /// The parsed header.
@@ -557,12 +587,21 @@ impl ModelFile {
 /// discipline as [`crate::CsrFileBuilder`].  The payload length is fixed by
 /// the kind and shape declared at creation, and [`finish`](Self::finish)
 /// refuses underfilled files.
+///
+/// The builder works on a `.tmp` sibling of the target path;
+/// [`finish`](Self::finish) checksums the payload, fsyncs and atomically
+/// renames into place, so a crash mid-save never clobbers the previously
+/// published artifact.  An abandoned builder removes its temporary file on
+/// drop.
 #[derive(Debug)]
 pub struct ModelFileBuilder {
-    map: MmapMut,
+    map: Option<MmapMut>,
+    file: Option<File>,
     path: PathBuf,
+    tmp: PathBuf,
     header: ModelHeader,
     params_pushed: usize,
+    finished: bool,
 }
 
 impl ModelFileBuilder {
@@ -585,23 +624,32 @@ impl ModelFileBuilder {
                 cols: n_features,
             },
         )?;
+        let tmp = faults::tmp_sibling(&path);
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
-            .open(&path)
-            .map_err(|e| CoreError::io(&path, e))?;
-        file.set_len(header.file_bytes())
-            .map_err(|e| CoreError::io(&path, e))?;
+            .open(&tmp)
+            .map_err(|e| CoreError::io(&tmp, e))?;
+        faults::set_len(&file, header.file_bytes(), &tmp).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            CoreError::io(&tmp, e)
+        })?;
         // SAFETY: we hold the only mapping of a file we just created.
-        let mut map = unsafe { MmapMut::map_mut(&file) }.map_err(|e| CoreError::io(&path, e))?;
+        let mut map = unsafe { MmapMut::map_mut(&file) }.map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            CoreError::io(&tmp, e)
+        })?;
         map[..MODEL_HEADER_ENCODED_BYTES].copy_from_slice(&header.encode());
         Ok(Self {
-            map,
+            map: Some(map),
+            file: Some(file),
             path,
+            tmp,
             header,
             params_pushed: 0,
+            finished: false,
         })
     }
 
@@ -619,8 +667,9 @@ impl ModelFileBuilder {
             });
         }
         let off = self.header.payload_offset as usize + self.params_pushed * ELEMENT_BYTES;
+        let map = self.map.as_mut().expect("builder already finished");
         for (k, &v) in values.iter().enumerate() {
-            self.map[off + k * ELEMENT_BYTES..off + (k + 1) * ELEMENT_BYTES]
+            map[off + k * ELEMENT_BYTES..off + (k + 1) * ELEMENT_BYTES]
                 .copy_from_slice(&v.to_le_bytes());
         }
         self.params_pushed += values.len();
@@ -632,12 +681,15 @@ impl ModelFileBuilder {
         self.params_pushed
     }
 
-    /// Flush and reopen the finished artifact read-only.
+    /// Checksum the payload, flush, fsync, atomically rename the temporary
+    /// file into place and reopen the finished artifact read-only.
     ///
     /// # Errors
     /// Fails when fewer parameters were pushed than the kind's layout
-    /// requires, or on flush/reopen I/O errors.
-    pub fn finish(self) -> Result<ModelFile> {
+    /// requires, or on flush/sync/rename/reopen I/O errors.  On failure the
+    /// target path still holds whatever artifact (if any) was there before;
+    /// the temporary file is removed when the builder drops.
+    pub fn finish(mut self) -> Result<ModelFile> {
         if self.params_pushed != self.header.n_params as usize {
             return Err(CoreError::BadHeader {
                 reason: format!(
@@ -646,10 +698,40 @@ impl ModelFileBuilder {
                 ),
             });
         }
-        self.map.flush().map_err(|e| CoreError::io(&self.path, e))?;
-        let path = self.path.clone();
-        drop(self);
-        ModelFile::open(path)
+        let h = self.header;
+        {
+            let map = self.map.as_mut().expect("builder already finished");
+            let sections = [SectionChecksum::of(
+                "payload",
+                map,
+                h.payload_offset,
+                h.payload_bytes(),
+            )];
+            let block = encode_checksums(&sections);
+            map[CHECKSUM_BLOCK_OFFSET..CHECKSUM_BLOCK_OFFSET + block.len()].copy_from_slice(&block);
+        }
+        let map = self.map.as_ref().expect("builder already finished");
+        faults::flush_map(map, &self.tmp).map_err(|e| CoreError::io(&self.tmp, e))?;
+        let file = self.file.as_ref().expect("builder already finished");
+        faults::sync_file(file, &self.tmp).map_err(|e| CoreError::io(&self.tmp, e))?;
+        drop(self.map.take());
+        drop(self.file.take());
+        faults::rename(&self.tmp, &self.path).map_err(|e| CoreError::io(&self.tmp, e))?;
+        if let Some(parent) = self.path.parent() {
+            faults::sync_dir(parent).map_err(|e| CoreError::io(parent, e))?;
+        }
+        self.finished = true;
+        ModelFile::open(&self.path)
+    }
+}
+
+impl Drop for ModelFileBuilder {
+    fn drop(&mut self) {
+        if !self.finished {
+            drop(self.map.take());
+            drop(self.file.take());
+            let _ = std::fs::remove_file(&self.tmp);
+        }
     }
 }
 

@@ -26,7 +26,7 @@
 //! [`crate::Dataset`] container, and means a sweep's `madvise` hints act on
 //! whole sections.
 
-use std::fs::OpenOptions;
+use std::fs::{File, OpenOptions};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -34,9 +34,11 @@ use memmap2::{Mmap, MmapMut};
 
 use m3_linalg::CsrMatrix;
 
-use crate::container::{decode_preamble, section_slice};
+use crate::container::{
+    decode_preamble, encode_checksums, section_slice, SectionChecksum, CHECKSUM_BLOCK_OFFSET,
+};
 use crate::error::{CoreError, Result};
-use crate::{AccessPattern, ELEMENT_BYTES, PAGE_SIZE};
+use crate::{faults, AccessPattern, ELEMENT_BYTES, PAGE_SIZE};
 
 /// Magic bytes identifying an M3 binary CSR file.
 pub const CSR_MAGIC: [u8; 8] = *b"M3CSRF01";
@@ -478,7 +480,34 @@ impl CsrFile {
                 ),
             });
         }
+        if crate::container::verify_on_open() {
+            this.verify()?;
+        }
         Ok(this)
+    }
+
+    /// Open and verify every section checksum — [`CsrFile::open`] followed
+    /// by [`CsrFile::verify`].
+    ///
+    /// # Errors
+    /// Everything `open` can fail with, plus
+    /// [`CoreError::ChecksumMismatch`] for a corrupted section and
+    /// [`CoreError::BadHeader`] for a file carrying no checksum block.
+    pub fn open_verified(path: impl AsRef<Path>) -> Result<Self> {
+        let file = Self::open(path)?;
+        file.verify()?;
+        Ok(file)
+    }
+
+    /// Re-hash every section against the header's checksum block.  Reads
+    /// (faults in) the whole file, unlike `open`; also run automatically
+    /// when `M3_VERIFY` is set.
+    ///
+    /// # Errors
+    /// [`CoreError::ChecksumMismatch`] naming the corrupt section, or
+    /// [`CoreError::BadHeader`] when the file carries no checksum block.
+    pub fn verify(&self) -> Result<()> {
+        crate::container::verify_checksums(&self.map, &self.path)
     }
 
     fn try_indptr(&self) -> Result<&[u64]> {
@@ -575,13 +604,21 @@ impl SparseRowStore for CsrFile {
 /// dataset size, the same discipline as the dense
 /// [`crate::builder::DatasetBuilder`].  Row and entry counts must be known
 /// in advance (converters take a counting pass first).
+///
+/// The builder works on a `.tmp` sibling of the target path;
+/// [`CsrFileBuilder::finish`] checksums the sections, fsyncs and atomically
+/// renames into place, so a crash mid-build never leaves a torn artifact
+/// visible.  An abandoned builder removes its temporary file on drop.
 #[derive(Debug)]
 pub struct CsrFileBuilder {
-    map: MmapMut,
+    map: Option<MmapMut>,
+    file: Option<File>,
     path: PathBuf,
+    tmp: PathBuf,
     header: CsrHeader,
     rows_pushed: usize,
     entries_pushed: usize,
+    finished: bool,
 }
 
 impl CsrFileBuilder {
@@ -605,33 +642,50 @@ impl CsrFileBuilder {
                 cols: n_cols,
             });
         }
+        let tmp = faults::tmp_sibling(&path);
         let header = CsrHeader::new(n_rows as u64, n_cols as u64, nnz as u64, with_labels);
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
-            .open(&path)
-            .map_err(|e| CoreError::io(&path, e))?;
-        file.set_len(header.file_bytes())
-            .map_err(|e| CoreError::io(&path, e))?;
+            .open(&tmp)
+            .map_err(|e| CoreError::io(&tmp, e))?;
+        faults::set_len(&file, header.file_bytes(), &tmp).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            CoreError::io(&tmp, e)
+        })?;
         // SAFETY: we hold the only mapping of a file we just created.
-        let mut map = unsafe { MmapMut::map_mut(&file) }.map_err(|e| CoreError::io(&path, e))?;
+        let mut map = unsafe { MmapMut::map_mut(&file) }.map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            CoreError::io(&tmp, e)
+        })?;
         map[..72].copy_from_slice(&header.encode());
         let mut builder = Self {
-            map,
+            map: Some(map),
+            file: Some(file),
             path,
+            tmp,
             header,
             rows_pushed: 0,
             entries_pushed: 0,
+            finished: false,
         };
         builder.write_indptr(0, 0);
         Ok(builder)
     }
 
+    fn map(&self) -> &MmapMut {
+        self.map.as_ref().expect("builder already finished")
+    }
+
+    fn map_mut(&mut self) -> &mut MmapMut {
+        self.map.as_mut().expect("builder already finished")
+    }
+
     fn write_indptr(&mut self, row: usize, value: u64) {
         let offset = self.header.indptr_offset as usize + row * INDPTR_BYTES;
-        self.map[offset..offset + INDPTR_BYTES].copy_from_slice(&value.to_le_bytes());
+        self.map_mut()[offset..offset + INDPTR_BYTES].copy_from_slice(&value.to_le_bytes());
     }
 
     /// Append one row (strictly-increasing column `indices`, matching
@@ -667,18 +721,20 @@ impl CsrFileBuilder {
         .map_err(|e| bad(e.to_string()))?;
 
         let idx_off = self.header.indices_offset as usize + self.entries_pushed * INDEX_BYTES;
+        let val_off = self.header.values_offset as usize + self.entries_pushed * ELEMENT_BYTES;
+        let lbl_off = self.header.labels_offset as usize + self.rows_pushed * ELEMENT_BYTES;
+        let has_labels = self.header.has_labels;
+        let map = self.map_mut();
         for (k, &c) in indices.iter().enumerate() {
-            self.map[idx_off + k * INDEX_BYTES..idx_off + (k + 1) * INDEX_BYTES]
+            map[idx_off + k * INDEX_BYTES..idx_off + (k + 1) * INDEX_BYTES]
                 .copy_from_slice(&c.to_le_bytes());
         }
-        let val_off = self.header.values_offset as usize + self.entries_pushed * ELEMENT_BYTES;
         for (k, &v) in values.iter().enumerate() {
-            self.map[val_off + k * ELEMENT_BYTES..val_off + (k + 1) * ELEMENT_BYTES]
+            map[val_off + k * ELEMENT_BYTES..val_off + (k + 1) * ELEMENT_BYTES]
                 .copy_from_slice(&v.to_le_bytes());
         }
-        if self.header.has_labels {
-            let lbl_off = self.header.labels_offset as usize + self.rows_pushed * ELEMENT_BYTES;
-            self.map[lbl_off..lbl_off + ELEMENT_BYTES].copy_from_slice(&label.to_le_bytes());
+        if has_labels {
+            map[lbl_off..lbl_off + ELEMENT_BYTES].copy_from_slice(&label.to_le_bytes());
         }
 
         self.entries_pushed += indices.len();
@@ -693,12 +749,15 @@ impl CsrFileBuilder {
         self.rows_pushed
     }
 
-    /// Flush and reopen the finished file read-only.
+    /// Checksum the sections, flush, fsync, atomically rename the temporary
+    /// file into place and reopen it read-only.
     ///
     /// # Errors
     /// Fails when fewer rows or entries were pushed than declared, or on
-    /// flush/reopen I/O errors.
-    pub fn finish(self) -> Result<CsrFile> {
+    /// flush/sync/rename/reopen I/O errors.  On failure the target path
+    /// still holds whatever artifact (if any) was there before; the
+    /// temporary file is removed when the builder drops.
+    pub fn finish(mut self) -> Result<CsrFile> {
         if self.rows_pushed != self.header.n_rows as usize
             || self.entries_pushed != self.header.nnz as usize
         {
@@ -709,10 +768,51 @@ impl CsrFileBuilder {
                 ),
             });
         }
-        self.map.flush().map_err(|e| CoreError::io(&self.path, e))?;
-        let path = self.path.clone();
-        drop(self);
-        CsrFile::open(path)
+        let h = self.header;
+        {
+            let map = self.map_mut();
+            let mut sections = vec![
+                SectionChecksum::of(
+                    "indptr",
+                    map,
+                    h.indptr_offset,
+                    (h.n_rows + 1) * INDPTR_BYTES as u64,
+                ),
+                SectionChecksum::of("indices", map, h.indices_offset, h.nnz * INDEX_BYTES as u64),
+                SectionChecksum::of("values", map, h.values_offset, h.nnz * ELEMENT_BYTES as u64),
+            ];
+            if h.has_labels {
+                sections.push(SectionChecksum::of(
+                    "labels",
+                    map,
+                    h.labels_offset,
+                    h.n_rows * ELEMENT_BYTES as u64,
+                ));
+            }
+            let block = encode_checksums(&sections);
+            map[CHECKSUM_BLOCK_OFFSET..CHECKSUM_BLOCK_OFFSET + block.len()].copy_from_slice(&block);
+        }
+        faults::flush_map(self.map(), &self.tmp).map_err(|e| CoreError::io(&self.tmp, e))?;
+        let file = self.file.as_ref().expect("builder already finished");
+        faults::sync_file(file, &self.tmp).map_err(|e| CoreError::io(&self.tmp, e))?;
+        drop(self.map.take());
+        drop(self.file.take());
+        faults::rename(&self.tmp, &self.path).map_err(|e| CoreError::io(&self.tmp, e))?;
+        if let Some(parent) = self.path.parent() {
+            faults::sync_dir(parent).map_err(|e| CoreError::io(parent, e))?;
+        }
+        self.finished = true;
+        CsrFile::open(&self.path)
+    }
+}
+
+impl Drop for CsrFileBuilder {
+    fn drop(&mut self) {
+        if !self.finished {
+            drop(self.map.take());
+            drop(self.file.take());
+            let _ = std::fs::remove_file(&self.tmp);
+        }
     }
 }
 

@@ -11,11 +11,36 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 
 use m3_core::builder::DatasetBuilder;
+use m3_core::faults;
 use m3_core::mmap::MmapMatrixMut;
 use m3_core::storage::RowStore;
 use m3_linalg::{CsrMatrix, DenseMatrix};
 
 use crate::Result;
+
+/// Flush `out`, fsync it, and atomically rename its temporary file into
+/// `path` — the publish step shared by the libsvm text writers, routed
+/// through [`m3_core::faults`] so crash-matrix tests can interrupt it.
+fn publish_text(mut out: BufWriter<std::fs::File>, tmp: &Path, path: &Path) -> std::io::Result<()> {
+    faults::flush(&mut out, tmp)?;
+    let file = out.into_inner().map_err(|e| e.into_error())?;
+    faults::sync_file(&file, tmp)?;
+    drop(file);
+    faults::rename(tmp, path)?;
+    if let Some(parent) = path.parent() {
+        faults::sync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// Remove the temporary file when a libsvm write fails partway, keeping the
+/// previously published file (if any) intact at `path`.
+fn cleanup_on_err<T>(result: std::io::Result<T>, tmp: &Path) -> std::io::Result<T> {
+    if result.is_err() {
+        let _ = std::fs::remove_file(tmp);
+    }
+    result
+}
 
 /// A deterministic source of labelled rows, indexed by row number.
 pub trait RowGenerator {
@@ -115,17 +140,22 @@ pub fn write_libsvm<S: RowStore + ?Sized>(
             data.n_rows()
         )));
     }
-    let mut out = BufWriter::new(std::fs::File::create(path)?);
-    for (r, &label) in labels.iter().enumerate() {
-        write!(out, "{label}")?;
-        for (c, &v) in data.row(r).iter().enumerate() {
-            if v != 0.0 {
-                write!(out, " {}:{v}", c + 1)?;
+    let path = path.as_ref();
+    let tmp = faults::tmp_sibling(path);
+    let write = || -> std::io::Result<()> {
+        let mut out = BufWriter::new(std::fs::File::create(&tmp)?);
+        for (r, &label) in labels.iter().enumerate() {
+            write!(out, "{label}")?;
+            for (c, &v) in data.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    write!(out, " {}:{v}", c + 1)?;
+                }
             }
+            writeln!(out)?;
         }
-        writeln!(out)?;
-    }
-    out.flush()?;
+        publish_text(out, &tmp, path)
+    };
+    cleanup_on_err(write(), &tmp)?;
     Ok(())
 }
 
@@ -147,16 +177,21 @@ pub fn write_libsvm_csr(
             data.n_rows()
         )));
     }
-    let mut out = BufWriter::new(std::fs::File::create(path)?);
-    for (r, &label) in labels.iter().enumerate() {
-        write!(out, "{label}")?;
-        let (indices, values) = data.row(r);
-        for (&c, &v) in indices.iter().zip(values) {
-            write!(out, " {}:{v}", c + 1)?;
+    let path = path.as_ref();
+    let tmp = faults::tmp_sibling(path);
+    let write = || -> std::io::Result<()> {
+        let mut out = BufWriter::new(std::fs::File::create(&tmp)?);
+        for (r, &label) in labels.iter().enumerate() {
+            write!(out, "{label}")?;
+            let (indices, values) = data.row(r);
+            for (&c, &v) in indices.iter().zip(values) {
+                write!(out, " {}:{v}", c + 1)?;
+            }
+            writeln!(out)?;
         }
-        writeln!(out)?;
-    }
-    out.flush()?;
+        publish_text(out, &tmp, path)
+    };
+    cleanup_on_err(write(), &tmp)?;
     Ok(())
 }
 

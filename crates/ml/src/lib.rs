@@ -66,7 +66,7 @@ pub use kmeans::{KMeans, KMeansConfig, KMeansInit, KMeansModel};
 pub use linear_regression::{LinearModel, LinearRegression, LinearRegressionConfig};
 pub use logistic::{LogisticConfig, LogisticModel, LogisticRegression};
 pub use naive_bayes::{GaussianNb, GaussianNbTrainer};
-pub use persist::load_model;
+pub use persist::{load_model, load_model_verified};
 pub use preprocess::{StandardScaler, Standardizer};
 pub use softmax::{SoftmaxConfig, SoftmaxModel, SoftmaxRegression};
 

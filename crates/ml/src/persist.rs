@@ -151,7 +151,24 @@ fn standardizer_from_file(file: &ModelFile) -> Result<Standardizer> {
 /// Fails when the artifact cannot be opened or validated, or when its kind
 /// has no `dyn Model` view.
 pub fn load_model(path: impl AsRef<Path>) -> Result<Box<dyn Model + Send + Sync>> {
-    let file = ModelFile::open(path.as_ref())?;
+    model_from_file(ModelFile::open(path.as_ref())?)
+}
+
+/// [`load_model`] with a mandatory checksum pass: every payload byte is
+/// re-hashed against the artifact's header checksums before the model is
+/// returned.  This is what the serve registry calls before publishing a
+/// swap, so a torn or bit-rotted artifact can never reach traffic.
+///
+/// # Errors
+/// Everything [`load_model`] can fail with, plus
+/// [`CoreError::ChecksumMismatch`] for corrupted payloads and
+/// [`CoreError::BadHeader`] for artifacts written without checksums.
+pub fn load_model_verified(path: impl AsRef<Path>) -> Result<Box<dyn Model + Send + Sync>> {
+    model_from_file(ModelFile::open_verified(path.as_ref())?)
+}
+
+/// Shared dispatch on the header's kind tag.
+fn model_from_file(file: ModelFile) -> Result<Box<dyn Model + Send + Sync>> {
     Ok(match file.kind() {
         ModelKind::Logistic => Box::new(logistic_from_file(&file)?),
         ModelKind::Softmax => Box::new(softmax_from_file(&file)?),

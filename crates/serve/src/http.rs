@@ -1,25 +1,59 @@
-//! Minimal std-only HTTP/1.1 batch prediction server.
+//! Minimal std-only HTTP/1.1 batch prediction server, hardened against
+//! slow, hostile, and overload traffic.
 //!
 //! Three routes, all returning JSON:
 //!
 //! | Route | Body | Response |
 //! |-------|------|----------|
-//! | `GET /health` | — | `{"status":"ok","model_version":v,"n_features":d}` |
+//! | `GET /health` | — | `{"status":"ok"\|"degraded","model_version":v,"n_features":d,...}` |
 //! | `POST /predict` | CSV rows (one sample per line) | `{"model_version":v,"predictions":[...]}` |
 //! | `POST /swap` | path to a model artifact | `{"model_version":v}` |
 //!
 //! Every worker thread holds a cached [`SwapReader`] over the registry, so
 //! the per-request model lookup is a single atomic load between swaps.  A
-//! `/swap` loads and validates the new artifact on the handler's own thread
-//! and then replaces the served model with a pointer swap — predictions in
-//! flight on other workers finish on the version they started with, and
-//! every response carries the version that actually produced it.
+//! `/swap` loads and checksum-verifies the new artifact on the handler's own
+//! thread and then replaces the served model with a pointer swap —
+//! predictions in flight on other workers finish on the version they
+//! started with, and every response carries the version that actually
+//! produced it.  A failed `/swap` leaves the last good model serving and
+//! flips `/health` to `"degraded"` until a later swap succeeds.
+//!
+//! ## Hardening
+//!
+//! The server assumes clients are slow, malicious, or both
+//! ([`ServeConfig`] holds the knobs):
+//!
+//! - **Read deadlines.** The request line must arrive within
+//!   [`ServeConfig::idle_timeout`]; the rest of the request (headers +
+//!   body) within [`ServeConfig::request_read_timeout`].  A slow-loris
+//!   client trickling header bytes gets `408 Request Timeout` and a closed
+//!   socket, never a parked worker.
+//! - **Bounded queue with shedding.** Accepted connections go through a
+//!   bounded queue ([`ServeConfig::queue_capacity`]); when it is full the
+//!   accept thread answers `503 {"status":"overloaded"}` immediately
+//!   instead of queueing unbounded work.
+//! - **Typed protocol errors.** Oversized header lines get `431`, a
+//!   malformed request line or `Content-Length` gets `400`, a declared body
+//!   larger than [`ServeConfig::max_body_bytes`] gets `413` — the
+//!   connection is answered and closed, never left hanging and never a
+//!   panic.
+//! - **Panic containment.** Each connection runs under
+//!   [`std::panic::catch_unwind`]; a panicking handler loses only its own
+//!   connection.  The worker thread survives, so the pool never shrinks
+//!   and no lock poisoning cascades ([`PredictServer::worker_panics`]
+//!   counts occurrences).
+//! - **Graceful shutdown.** [`PredictServer::shutdown`] stops the accept
+//!   loop, lets in-flight requests finish, closes idle keep-alive sockets,
+//!   and returns within [`ServeConfig::drain_deadline`] even if a worker is
+//!   wedged (reported via [`ShutdownReport`]).
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use m3_core::ExecContext;
 use m3_linalg::DenseMatrix;
@@ -27,9 +61,75 @@ use m3_ml::api::BatchPredict;
 
 use crate::registry::ModelRegistry;
 
-/// Cap on request body size (64 MiB) so a malformed Content-Length cannot
-/// make a worker allocate unbounded memory.
-const MAX_BODY_BYTES: usize = 64 << 20;
+/// Default cap on request body size (64 MiB) so a hostile Content-Length
+/// cannot make a worker allocate unbounded memory.
+const DEFAULT_MAX_BODY_BYTES: usize = 64 << 20;
+
+/// Cap on a single header (or request) line; longer lines get `431`.
+const MAX_HEADER_LINE_BYTES: usize = 8 << 10;
+
+/// Socket read-timeout granularity: how often a blocked read wakes up to
+/// check the stop flag and the request deadline.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Write timeout for the accept thread's `503` shed response, kept short so
+/// an unreadable client cannot stall the accept loop.
+const SHED_WRITE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Tuning knobs for [`PredictServer`]: pool size, queue bound, timeouts.
+///
+/// The defaults suit tests and small deployments; every field exists
+/// because some client misbehaviour (slow-loris, overload, wedged reader)
+/// needs a bound.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Connection-handler threads (minimum 1).
+    pub n_workers: usize,
+    /// Accepted connections waiting for a worker; beyond this the accept
+    /// thread sheds with `503 {"status":"overloaded"}`.
+    pub queue_capacity: usize,
+    /// Deadline for receiving a complete request (headers + body) once the
+    /// request line has arrived; exceeded → `408` and close.
+    pub request_read_timeout: Duration,
+    /// How long a keep-alive connection may sit idle (or dribble its
+    /// request line) before the server closes it.
+    pub idle_timeout: Duration,
+    /// Socket write timeout for responses; a client that stops reading
+    /// loses its connection instead of parking a worker.
+    pub write_timeout: Duration,
+    /// How long [`PredictServer::shutdown`] waits for workers to drain
+    /// in-flight requests before abandoning them.
+    pub drain_deadline: Duration,
+    /// Maximum accepted request body; larger declared bodies get `413`.
+    pub max_body_bytes: usize,
+    /// Enable `POST /__fault/panic`, which panics inside the handler — for
+    /// exercising panic containment in tests.  Never enable in production.
+    pub fault_route: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            n_workers: 4,
+            queue_capacity: 128,
+            request_read_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+            drain_deadline: Duration::from_secs(5),
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            fault_route: false,
+        }
+    }
+}
+
+/// What [`PredictServer::shutdown`] accomplished before returning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Every worker exited within the drain deadline.
+    pub drained: bool,
+    /// Workers still running when the deadline expired (left detached).
+    pub abandoned_workers: usize,
+}
 
 /// A running prediction server.
 ///
@@ -40,13 +140,16 @@ pub struct PredictServer {
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    panics: Arc<AtomicU64>,
+    drain_deadline: Duration,
 }
 
 impl PredictServer {
     /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving `registry` with
-    /// `n_workers` connection-handler threads.  Predictions run through
-    /// `ctx`, so thread count and chunking of the batch kernels follow the
-    /// caller's execution policy.
+    /// `n_workers` connection-handler threads and default hardening knobs
+    /// (see [`ServeConfig`]).  Predictions run through `ctx`, so thread
+    /// count and chunking of the batch kernels follow the caller's
+    /// execution policy.
     ///
     /// # Errors
     /// Fails when the address cannot be bound.
@@ -56,29 +159,87 @@ impl PredictServer {
         ctx: Arc<ExecContext>,
         n_workers: usize,
     ) -> io::Result<Self> {
+        Self::bind_with(
+            addr,
+            registry,
+            ctx,
+            ServeConfig {
+                n_workers,
+                ..ServeConfig::default()
+            },
+        )
+    }
+
+    /// Like [`PredictServer::bind`], with explicit [`ServeConfig`] knobs.
+    ///
+    /// # Errors
+    /// Fails when the address cannot be bound.
+    pub fn bind_with(
+        addr: &str,
+        registry: Arc<ModelRegistry>,
+        ctx: Arc<ExecContext>,
+        config: ServeConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let panics = Arc::new(AtomicU64::new(0));
+        let config = Arc::new(config);
 
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let (conn_tx, conn_rx) = mpsc::sync_channel::<TcpStream>(config.queue_capacity.max(1));
+        // `sync_channel` receivers cannot be shared, so connections are
+        // fanned out by wrapping the receiver in a mutex; workers poll with
+        // a timeout so they also notice the stop flag.
+        let conn_rx = Arc::new(std::sync::Mutex::new(conn_rx));
 
-        let workers = (0..n_workers.max(1))
+        let workers = (0..config.n_workers.max(1))
             .map(|_| {
                 let conn_rx = Arc::clone(&conn_rx);
                 let registry = Arc::clone(&registry);
                 let ctx = Arc::clone(&ctx);
+                let config = Arc::clone(&config);
+                let stop = Arc::clone(&stop);
+                let panics = Arc::clone(&panics);
                 std::thread::spawn(move || {
                     // The cached reader makes the steady-state model lookup
                     // one atomic load per request.
                     let mut reader = registry.reader();
                     loop {
-                        let stream = match conn_rx.lock().expect("conn queue poisoned").recv() {
+                        // Recover the guard if a sibling worker panicked
+                        // while holding it — the receiver has no invariant
+                        // a panic could tear, and cascading the poison
+                        // would shrink the pool to zero.
+                        let received = conn_rx
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .recv_timeout(POLL_TICK);
+                        let stream = match received {
                             Ok(stream) => stream,
-                            Err(_) => return,
+                            Err(mpsc::RecvTimeoutError::Timeout) => {
+                                if stop.load(Ordering::Acquire) {
+                                    return;
+                                }
+                                continue;
+                            }
+                            Err(mpsc::RecvTimeoutError::Disconnected) => return,
                         };
-                        // A broken connection only loses that connection.
-                        let _ = serve_connection(stream, &registry, &mut reader, &ctx);
+                        // A panicking handler loses only its own
+                        // connection; the worker thread survives, so the
+                        // pool never shrinks.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            // A broken connection only loses that connection.
+                            let _ = serve_connection(
+                                stream,
+                                &registry,
+                                &mut reader,
+                                &ctx,
+                                &config,
+                                &stop,
+                            );
+                        }));
+                        if outcome.is_err() {
+                            panics.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                 })
             })
@@ -91,10 +252,11 @@ impl PredictServer {
                     if stop.load(Ordering::Acquire) {
                         return;
                     }
-                    if let Ok(stream) = stream {
-                        if conn_tx.send(stream).is_err() {
-                            return;
-                        }
+                    let Ok(stream) = stream else { continue };
+                    match conn_tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(stream)) => shed(stream),
+                        Err(mpsc::TrySendError::Disconnected(_)) => return,
                     }
                 }
             })
@@ -105,6 +267,8 @@ impl PredictServer {
             stop,
             accept_thread: Some(accept_thread),
             workers,
+            panics,
+            drain_deadline: config.drain_deadline,
         })
     }
 
@@ -113,20 +277,61 @@ impl PredictServer {
         self.addr
     }
 
-    /// Stop accepting connections, drain the workers, and join all threads.
-    pub fn shutdown(mut self) {
+    /// Connections lost to a panicking handler since the server started.
+    /// Stays 0 unless a handler bug (or the test-only fault route) fires.
+    pub fn worker_panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting connections, drain in-flight requests, close idle
+    /// keep-alive sockets, and join the worker threads — waiting at most
+    /// the configured drain deadline.  Workers still busy when the deadline
+    /// expires are left detached (their requests may still complete) and
+    /// counted in the returned [`ShutdownReport`].
+    pub fn shutdown(mut self) -> ShutdownReport {
         self.stop.store(true, Ordering::Release);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        // The accept thread owned the sender; once it exits, workers see a
-        // disconnected queue and return.
+        // The accept thread owned the sender; workers drain whatever is
+        // queued, then see a disconnected queue (or the stop flag) and
+        // return.  Keep-alive connections are closed after their in-flight
+        // request because the read loops check the stop flag each tick.
+        let deadline = Instant::now() + self.drain_deadline;
+        let drained = loop {
+            if self.workers.iter().all(|w| w.is_finished()) {
+                break true;
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        let abandoned_workers = self.workers.iter().filter(|w| !w.is_finished()).count();
         for handle in self.workers.drain(..) {
-            let _ = handle.join();
+            if handle.is_finished() {
+                let _ = handle.join();
+            }
+        }
+        ShutdownReport {
+            drained,
+            abandoned_workers,
         }
     }
+}
+
+/// Queue-full path: answer `503` and drop the connection without blocking
+/// the accept loop for longer than [`SHED_WRITE_TIMEOUT`].
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
+    let _ = write_response(
+        &mut stream,
+        "503 Service Unavailable",
+        "{\"status\":\"overloaded\"}",
+        false,
+    );
 }
 
 /// One parsed HTTP request.
@@ -137,28 +342,148 @@ struct Request {
     keep_alive: bool,
 }
 
-/// Read one request off the connection; `Ok(None)` on a clean EOF.
-fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+/// What reading one request off a connection produced.
+enum RequestOutcome {
+    /// A complete, well-formed request.
+    Request(Request),
+    /// Clean close (EOF, idle timeout with no bytes, or server stopping):
+    /// close the connection without a response.
+    Closed,
+    /// Protocol violation or deadline hit: answer `status` and close.
+    Reject {
+        status: &'static str,
+        message: String,
+    },
+}
+
+/// How one deadline-bounded line read ended.
+enum LineRead {
+    /// A complete `\n`-terminated line is in the buffer.
+    Line,
+    /// Peer closed (possibly mid-line — caller checks the buffer).
+    Eof,
+    /// Deadline expired before the newline arrived.
+    TimedOut,
+    /// The server is shutting down.
+    Stopped,
+    /// The line exceeded [`MAX_HEADER_LINE_BYTES`].
+    TooLong,
+}
+
+/// Read one `\n`-terminated line, waking every [`POLL_TICK`] to check the
+/// stop flag and `deadline`.  Partial bytes accumulate in `line` across
+/// timeouts (the socket has a read timeout of [`POLL_TICK`]).
+fn read_line_deadline(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    deadline: Instant,
+    stop: &AtomicBool,
+) -> io::Result<LineRead> {
+    loop {
+        match reader.read_line(line) {
+            // read_line returns Ok only at a newline or EOF.
+            Ok(0) => return Ok(LineRead::Eof),
+            Ok(_) if line.ends_with('\n') => {
+                return Ok(if line.len() > MAX_HEADER_LINE_BYTES {
+                    LineRead::TooLong
+                } else {
+                    LineRead::Line
+                })
+            }
+            Ok(_) => return Ok(LineRead::Eof),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(LineRead::Stopped);
+                }
+                if line.len() > MAX_HEADER_LINE_BYTES {
+                    return Ok(LineRead::TooLong);
+                }
+                if Instant::now() >= deadline {
+                    return Ok(LineRead::TimedOut);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Read one request off the connection, enforcing the config's deadlines
+/// and size caps.  The request line gets the idle deadline (covering
+/// keep-alive idleness); headers and body get `request_read_timeout` from
+/// the moment the request line completes.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    config: &ServeConfig,
+    stop: &AtomicBool,
+) -> io::Result<RequestOutcome> {
+    let reject = |status, message: &str| {
+        Ok(RequestOutcome::Reject {
+            status,
+            message: message.to_string(),
+        })
+    };
+
     let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
-        return Ok(None);
+    let idle_deadline = Instant::now() + config.idle_timeout;
+    match read_line_deadline(reader, &mut line, idle_deadline, stop) {
+        Ok(LineRead::Line) => {}
+        Ok(LineRead::Eof) | Ok(LineRead::Stopped) => return Ok(RequestOutcome::Closed),
+        Ok(LineRead::TimedOut) => {
+            // Idle keep-alive clients are closed silently; a client caught
+            // mid-request-line is told why.
+            return if line.is_empty() {
+                Ok(RequestOutcome::Closed)
+            } else {
+                reject("408 Request Timeout", "timed out reading request line")
+            };
+        }
+        Ok(LineRead::TooLong) => {
+            return reject(
+                "431 Request Header Fields Too Large",
+                "request line too long",
+            )
+        }
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return reject("400 Bad Request", "request line is not valid UTF-8")
+        }
+        Err(e) => return Err(e),
     }
     let mut parts = line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_string();
     let path = parts.next().unwrap_or_default().to_string();
     if method.is_empty() || path.is_empty() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad request line",
-        ));
+        return reject("400 Bad Request", "bad request line");
     }
 
+    // Request line arrived: the rest of the request must land within the
+    // read deadline, however slowly the client dribbles it.
+    let deadline = Instant::now() + config.request_read_timeout;
     let mut content_length = 0usize;
     let mut keep_alive = true; // HTTP/1.1 default
     loop {
         let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Ok(None);
+        match read_line_deadline(reader, &mut header, deadline, stop) {
+            Ok(LineRead::Line) => {}
+            Ok(LineRead::Eof) | Ok(LineRead::Stopped) => return Ok(RequestOutcome::Closed),
+            Ok(LineRead::TimedOut) => {
+                return reject("408 Request Timeout", "timed out reading headers")
+            }
+            Ok(LineRead::TooLong) => {
+                return reject(
+                    "431 Request Header Fields Too Large",
+                    "header line too long",
+                )
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return reject("400 Bad Request", "header is not valid UTF-8")
+            }
+            Err(e) => return Err(e),
         }
         let header = header.trim_end();
         if header.is_empty() {
@@ -167,26 +492,54 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>
         if let Some((name, value)) = header.split_once(':') {
             let value = value.trim();
             match name.to_ascii_lowercase().as_str() {
-                "content-length" => {
-                    content_length = value.parse().map_err(|_| {
-                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
-                    })?;
-                }
+                "content-length" => match value.parse::<usize>() {
+                    Ok(n) => content_length = n,
+                    Err(_) => {
+                        return reject(
+                            "400 Bad Request",
+                            &format!("malformed content-length {value:?}"),
+                        )
+                    }
+                },
                 "connection" => keep_alive = !value.eq_ignore_ascii_case("close"),
                 _ => {}
             }
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "request body too large",
-        ));
+    if content_length > config.max_body_bytes {
+        return reject(
+            "413 Content Too Large",
+            &format!(
+                "declared body of {content_length} bytes exceeds the {} byte limit",
+                config.max_body_bytes
+            ),
+        );
     }
 
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(Some(Request {
+    let mut filled = 0usize;
+    while filled < content_length {
+        match reader.read(&mut body[filled..]) {
+            Ok(0) => return reject("400 Bad Request", "request body truncated"),
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(RequestOutcome::Closed);
+                }
+                if Instant::now() >= deadline {
+                    return reject("408 Request Timeout", "timed out reading request body");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(RequestOutcome::Request(Request {
         method,
         path,
         body,
@@ -209,23 +562,40 @@ fn write_response(
     stream.flush()
 }
 
-/// Serve requests on one connection until EOF or `Connection: close`.
+/// Serve requests on one connection until EOF, `Connection: close`, a
+/// protocol error, or server shutdown.
 fn serve_connection(
     stream: TcpStream,
     registry: &ModelRegistry,
     reader: &mut crate::swap::SwapReader<'_, crate::registry::ServedModel>,
     ctx: &ExecContext,
+    config: &ServeConfig,
+    stop: &AtomicBool,
 ) -> io::Result<()> {
+    // Short read timeout = deadline polling granularity; write timeout so a
+    // client that stops reading cannot park this worker.
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
     let mut buf = BufReader::new(stream.try_clone()?);
     let mut stream = stream;
-    while let Some(request) = read_request(&mut buf)? {
-        let (status, body) = route(&request, registry, reader, ctx);
-        write_response(&mut stream, status, &body, request.keep_alive)?;
-        if !request.keep_alive {
-            break;
+    loop {
+        match read_request(&mut buf, config, stop)? {
+            RequestOutcome::Request(request) => {
+                let (status, body) = route(&request, registry, reader, ctx, config);
+                write_response(&mut stream, status, &body, request.keep_alive)?;
+                // On shutdown, finish the in-flight request but do not wait
+                // for another on a keep-alive socket.
+                if !request.keep_alive || stop.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+            }
+            RequestOutcome::Closed => return Ok(()),
+            RequestOutcome::Reject { status, message } => {
+                let _ = write_response(&mut stream, status, &error_json(&message), false);
+                return Ok(());
+            }
         }
     }
-    Ok(())
 }
 
 fn route(
@@ -233,17 +603,28 @@ fn route(
     registry: &ModelRegistry,
     reader: &mut crate::swap::SwapReader<'_, crate::registry::ServedModel>,
     ctx: &ExecContext,
+    config: &ServeConfig,
 ) -> (&'static str, String) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/health") => {
+            let health = registry.health();
             let (version, served) = reader.get();
-            (
-                "200 OK",
-                format!(
-                    "{{\"status\":\"ok\",\"model_version\":{version},\"n_features\":{}}}",
-                    served.model.n_features()
+            let n_features = served.model.n_features();
+            match health.last_swap_error {
+                None => (
+                    "200 OK",
+                    format!(
+                        "{{\"status\":\"ok\",\"model_version\":{version},\"n_features\":{n_features}}}"
+                    ),
                 ),
-            )
+                Some(err) => (
+                    "200 OK",
+                    format!(
+                        "{{\"status\":\"degraded\",\"model_version\":{version},\"n_features\":{n_features},\"last_swap_error\":{}}}",
+                        json_string(&err)
+                    ),
+                ),
+            }
         }
         ("POST", "/predict") => match predict(&request.body, reader, ctx) {
             Ok(body) => ("200 OK", body),
@@ -255,6 +636,9 @@ fn route(
                 Ok(version) => ("200 OK", format!("{{\"model_version\":{version}}}")),
                 Err(e) => ("400 Bad Request", error_json(&e.to_string())),
             }
+        }
+        ("POST", "/__fault/panic") if config.fault_route => {
+            panic!("injected panic via /__fault/panic")
         }
         _ => ("404 Not Found", error_json("no such route")),
     }
@@ -336,7 +720,8 @@ fn format_f64_json(value: f64) -> String {
     }
 }
 
-fn error_json(message: &str) -> String {
+/// Escape `message` as a JSON string literal (with quotes).
+fn json_string(message: &str) -> String {
     let escaped: String = message
         .chars()
         .flat_map(|c| match c {
@@ -346,7 +731,11 @@ fn error_json(message: &str) -> String {
             c => vec![c],
         })
         .collect();
-    format!("{{\"error\":\"{escaped}\"}}")
+    format!("\"{escaped}\"")
+}
+
+fn error_json(message: &str) -> String {
+    format!("{{\"error\":{}}}", json_string(message))
 }
 
 /// Blocking one-shot HTTP client for tests, examples and benchmarks: sends
@@ -367,8 +756,14 @@ pub fn http_request(
         body.len()
     )?;
     stream.flush()?;
-    let mut reader = BufReader::new(stream);
+    read_response(BufReader::new(stream))
+}
 
+/// Parse one HTTP response off `reader`: `(status_code, body)`.
+///
+/// # Errors
+/// Fails on protocol errors (bad status line, non-UTF-8 body).
+pub fn read_response<R: BufRead>(mut reader: R) -> io::Result<(u16, String)> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status: u16 = status_line
@@ -424,5 +819,14 @@ mod tests {
     #[test]
     fn error_json_escapes_quotes() {
         assert_eq!(error_json("a \"b\""), "{\"error\":\"a \\\"b\\\"\"}");
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let config = ServeConfig::default();
+        assert!(config.n_workers >= 1);
+        assert!(config.queue_capacity >= 1);
+        assert!(!config.fault_route);
+        assert_eq!(config.max_body_bytes, 64 << 20);
     }
 }

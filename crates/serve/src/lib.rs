@@ -20,7 +20,14 @@
 //! - [`PredictServer`] — a std-only HTTP/1.1 front end (`GET /health`,
 //!   `POST /predict`, `POST /swap`) whose worker threads drive batched
 //!   predictions through the shared [`ExecContext`](m3_core::ExecContext)
-//!   worker pool and the fused SIMD predict kernels.
+//!   worker pool and the fused SIMD predict kernels.  The server is
+//!   hardened against hostile clients: read/write deadlines (slow-loris
+//!   defence), a bounded accept queue that sheds with
+//!   `503 {"status":"overloaded"}`, per-connection panic containment, and
+//!   graceful shutdown with a drain deadline — see [`ServeConfig`] for the
+//!   knobs and [`http`] for the full story.  Models are checksum-verified
+//!   before they are published, and `/health` reports `"degraded"` after a
+//!   failed swap while the last good model keeps serving.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -57,6 +64,6 @@ pub mod http;
 pub mod registry;
 pub mod swap;
 
-pub use http::{http_request, PredictServer};
-pub use registry::{ModelRegistry, ServedModel};
+pub use http::{http_request, read_response, PredictServer, ServeConfig, ShutdownReport};
+pub use registry::{ModelRegistry, RegistryHealth, ServedModel};
 pub use swap::{Swap, SwapReader};

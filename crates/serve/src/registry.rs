@@ -2,17 +2,23 @@
 //!
 //! A [`ModelRegistry`] wraps a [`Swap`] of [`ServedModel`] — a loaded,
 //! memory-mapped model plus its version and source path.  Loading a new
-//! artifact (open, validate, `madvise`) happens entirely outside the swap's
-//! critical section, so requests never stall behind a load; the swap itself
-//! is a pointer replacement.  Requests that started on the old version keep
-//! their `Arc` and finish on it; the old mapping unmaps when the last such
-//! request drops.
+//! artifact (open, checksum verification, validate, `madvise`) happens
+//! entirely outside the swap's critical section, so requests never stall
+//! behind a load; the swap itself is a pointer replacement.  Requests that
+//! started on the old version keep their `Arc` and finish on it; the old
+//! mapping unmaps when the last such request drops.
+//!
+//! The registry *always* verifies section checksums before publishing a
+//! model ([`m3_ml::load_model_verified`]) — a corrupt or torn artifact is
+//! rejected before any reader can observe it, and the last good model keeps
+//! serving.  A failed swap is remembered and reported through
+//! [`ModelRegistry::health`], which backs the server's `/health` route.
 
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use m3_ml::api::Model;
-use m3_ml::{load_model, Result};
+use m3_ml::{load_model_verified, Result};
 
 use crate::swap::{Swap, SwapReader};
 
@@ -36,27 +42,49 @@ impl std::fmt::Debug for ServedModel {
     }
 }
 
+/// Point-in-time health of a registry, as reported by `/health`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryHealth {
+    /// Version of the model currently being served.
+    pub version: u64,
+    /// Error message from the most recent failed swap, if the failure has
+    /// not been superseded by a successful one.
+    pub last_swap_error: Option<String>,
+}
+
+impl RegistryHealth {
+    /// Whether the registry is degraded: still serving, but the most recent
+    /// attempt to load a new artifact failed.
+    pub fn degraded(&self) -> bool {
+        self.last_swap_error.is_some()
+    }
+}
+
 /// Hot-swappable registry holding the currently served model.
 #[derive(Debug)]
 pub struct ModelRegistry {
     swap: Swap<ServedModel>,
+    /// Most recent swap failure, cleared by the next successful swap.
+    last_swap_error: Mutex<Option<String>>,
 }
 
 impl ModelRegistry {
-    /// Load the artifact at `path` and serve it as version 1.
+    /// Load and checksum-verify the artifact at `path` and serve it as
+    /// version 1.
     ///
     /// # Errors
-    /// Fails when the artifact cannot be opened, validated, or is not a
-    /// predictive kind.
+    /// Fails when the artifact cannot be opened, fails checksum
+    /// verification, or is not a predictive kind.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let path = path.as_ref();
-        let model = load_model(path)?;
+        let model = load_model_verified(path)?;
         Ok(Self {
             swap: Swap::new(ServedModel {
                 version: 1,
                 source: path.to_path_buf(),
                 model,
             }),
+            last_swap_error: Mutex::new(None),
         })
     }
 
@@ -76,25 +104,51 @@ impl ModelRegistry {
         self.swap.reader()
     }
 
-    /// Load the artifact at `path` and swap it in, returning the new
-    /// version.  The load — open, header validation, `madvise` — runs on the
-    /// caller's thread *before* the swap; concurrent readers are never
-    /// blocked by it, and in-flight requests finish on the version they
-    /// started with.
+    /// Current version plus the outcome of the most recent swap attempt.
+    pub fn health(&self) -> RegistryHealth {
+        RegistryHealth {
+            version: self.version(),
+            last_swap_error: self.lock_error().clone(),
+        }
+    }
+
+    /// Load, checksum-verify, and swap in the artifact at `path`, returning
+    /// the new version.  The load — open, checksum pass, header validation,
+    /// `madvise` — runs on the caller's thread *before* the swap; concurrent
+    /// readers are never blocked by it, and in-flight requests finish on the
+    /// version they started with.
     ///
     /// On a load error the registry is untouched and keeps serving the
-    /// current model.
+    /// current model; the failure is recorded and surfaces through
+    /// [`ModelRegistry::health`] until a later swap succeeds.
     ///
     /// # Errors
-    /// Fails when the new artifact cannot be opened, validated, or is not a
-    /// predictive kind.
+    /// Fails when the new artifact cannot be opened, fails checksum
+    /// verification, or is not a predictive kind.
     pub fn swap_from(&self, path: impl AsRef<Path>) -> Result<u64> {
         let path = path.as_ref();
-        let model = load_model(path)?;
-        Ok(self.swap.store_with(|version| ServedModel {
-            version,
-            source: path.to_path_buf(),
-            model,
-        }))
+        match load_model_verified(path) {
+            Ok(model) => {
+                let version = self.swap.store_with(|version| ServedModel {
+                    version,
+                    source: path.to_path_buf(),
+                    model,
+                });
+                *self.lock_error() = None;
+                Ok(version)
+            }
+            Err(e) => {
+                *self.lock_error() = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// Lock the swap-error slot, recovering from poisoning: the slot holds a
+    /// plain `Option<String>` with no invariant a panic could tear.
+    fn lock_error(&self) -> std::sync::MutexGuard<'_, Option<String>> {
+        self.last_swap_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }

@@ -13,7 +13,7 @@
 //! reader take the (writer-side) mutex once to refresh its cache.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// An atomically replaceable `Arc<T>` with generation counting.
 ///
@@ -43,6 +43,16 @@ impl<T> Swap<T> {
         self.generation.load(Ordering::Acquire)
     }
 
+    /// Lock the slot, recovering from poisoning.  The invariant the mutex
+    /// protects — slot holds an `Arc` whose generation was published — is
+    /// maintained by every writer before any code that could panic, so a
+    /// panicking thread cannot leave the cell torn; cascading the poison to
+    /// every other server thread would turn one bad request into a full
+    /// outage.
+    fn lock_slot(&self) -> MutexGuard<'_, Arc<T>> {
+        self.slot.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Replace the stored value, returning the new generation.
     ///
     /// The swap itself is a pointer replacement under a short critical
@@ -57,7 +67,7 @@ impl<T> Swap<T> {
     /// The closure runs inside the critical section, so it must stay cheap
     /// (stamp a field, not load a file).
     pub fn store_with(&self, make: impl FnOnce(u64) -> T) -> u64 {
-        let mut slot = self.slot.lock().expect("swap slot poisoned");
+        let mut slot = self.lock_slot();
         let next = self.generation.load(Ordering::Acquire) + 1;
         *slot = Arc::new(make(next));
         // Publish inside the critical section so (generation, value) pairs
@@ -68,7 +78,7 @@ impl<T> Swap<T> {
 
     /// Snapshot the current value and its generation.
     pub fn load(&self) -> (u64, Arc<T>) {
-        let slot = self.slot.lock().expect("swap slot poisoned");
+        let slot = self.lock_slot();
         (self.generation.load(Ordering::Acquire), Arc::clone(&slot))
     }
 
