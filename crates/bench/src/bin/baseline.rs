@@ -310,6 +310,71 @@ fn main() {
         }),
     );
 
+    // --- SGD vs L-BFGS on the sparse workload -------------------------------
+    // Fast-mode (Hogwild) mini-batch SGD against the paper's 10-iteration
+    // L-BFGS protocol on the same CSR fixture: the async solver must reach
+    // the L-BFGS final loss (rel ≤ 1e-3) in less wall clock.  Both solvers
+    // minimise the same l2 = 0.1 objective — the fixture's labels are a
+    // deterministic linear threshold, so the unregularised problem is
+    // near-separable and its 10-iteration loss is an arbitrary point on a
+    // still-descending curve rather than an optimum any first-order method
+    // could be asked to reach.  Both the times and the losses are recorded
+    // so the claim stays auditable.
+    use m3_optim::{AsyncSgd, UpdateMode};
+    let sgd_l2 = 0.1;
+    let lbfgs_ref = LogisticRegression::new(LogisticConfig {
+        l2: sgd_l2,
+        max_iterations: 10,
+        fixed_iterations: true,
+        ..Default::default()
+    });
+    let lbfgs_secs = time_it(3, || {
+        lbfgs_ref
+            .fit_sparse(&sparse, &sparse_labels, &ctx_parallel)
+            .unwrap()
+    });
+    let lbfgs_loss = lbfgs_ref
+        .fit_sparse(&sparse, &sparse_labels, &ctx_parallel)
+        .unwrap()
+        .optimization
+        .value;
+    let sgd_trainer = LogisticRegression::new(LogisticConfig {
+        l2: sgd_l2,
+        solver: m3_ml::Solver::Sgd(
+            AsyncSgd::new()
+                .learning_rate(4.0)
+                .decay(1.0)
+                .batch_size(256)
+                .epochs(8)
+                .seed(0x5eed)
+                .mode(UpdateMode::Hogwild)
+                // Benchmark cadence: skip the per-epoch full-data sweeps and
+                // evaluate the loss once, after the final epoch.
+                .eval_every(0),
+        ),
+        ..Default::default()
+    });
+    let sgd_secs = time_it(3, || {
+        sgd_trainer
+            .fit_sparse(&sparse, &sparse_labels, &ctx_parallel)
+            .unwrap()
+    });
+    let sgd_loss = sgd_trainer
+        .fit_sparse(&sparse, &sparse_labels, &ctx_parallel)
+        .unwrap()
+        .optimization
+        .value;
+    record("workload/logistic_sgd_hogwild_csr_mem", sgd_secs);
+    record("sgd_vs_lbfgs/lbfgs_secs", lbfgs_secs);
+    record("sgd_vs_lbfgs/sgd_secs", sgd_secs);
+    record("sgd_vs_lbfgs/lbfgs_final_loss", lbfgs_loss);
+    record("sgd_vs_lbfgs/sgd_final_loss", sgd_loss);
+    record(
+        "sgd_vs_lbfgs/rel_loss_gap",
+        (sgd_loss - lbfgs_loss) / lbfgs_loss.abs(),
+    );
+    record("sgd_vs_lbfgs/speedup", lbfgs_secs / sgd_secs);
+
     // --- normal-equations + scaler, the sequential-driver workloads --------
     let lin_gen = LinearProblem::regression(vec![1.0, -0.5, 0.25, 2.0], 1.0, 0.05, 7);
     let (lx, ly) = lin_gen.materialize(rows);

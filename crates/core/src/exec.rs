@@ -715,6 +715,43 @@ impl ExecContext {
             reduce,
         )
     }
+
+    /// Run `worker` concurrently on `threads` executors — `threads - 1`
+    /// pool workers plus the **calling thread** — and return once every
+    /// executor has finished.  This is the epoch-sweep primitive behind
+    /// asynchronous SGD: unlike [`map_reduce_rows`](Self::map_reduce_rows),
+    /// the closures share work through their own channel (typically an
+    /// atomic batch cursor over a pre-materialised epoch plan) rather than
+    /// through the chunk-ordered fold, so the driver imposes no ordering at
+    /// all.
+    ///
+    /// `threads` is clamped to `1..=resolve_threads()`.  With one executor
+    /// (or when called from inside another parallel sweep, where touching
+    /// the pool would deadlock — see
+    /// [`map_reduce_rows_scratch`](Self::map_reduce_rows_scratch)) `worker`
+    /// runs once on the calling thread.  A panicking pool worker is
+    /// re-raised on the calling thread as `"sweep worker panicked"` after
+    /// the surviving executors drain.
+    pub fn run_epoch_workers(&self, threads: usize, worker: impl Fn() + Sync) {
+        let requested = threads.clamp(1, self.resolve_threads().max(1));
+        let threads = self.nested_aware_threads(|| requested);
+        // Every executor — pooled or calling — marks its scope so sweeps
+        // started from inside `worker` take the serial fallback.
+        if threads <= 1 {
+            let _nested = SweepScopeGuard::enter();
+            worker();
+            return;
+        }
+        let task = || {
+            let _nested = SweepScopeGuard::enter();
+            worker();
+        };
+        let panicked = AtomicBool::new(false);
+        let _nested = SweepScopeGuard::enter();
+        let guard = self.pool.get().broadcast(threads - 1, &task, &panicked);
+        worker();
+        guard.finish();
+    }
 }
 
 thread_local! {
@@ -1344,6 +1381,100 @@ mod tests {
             )
         };
         assert_eq!(sum(&m).to_bits(), sum(&mapped).to_bits());
+    }
+
+    #[test]
+    fn run_epoch_workers_engages_requested_executors() {
+        let ctx = ExecContext::new().with_threads(4);
+        let starts = AtomicUsize::new(0);
+        let caller = std::thread::current().id();
+        let caller_participated = AtomicBool::new(false);
+        ctx.run_epoch_workers(4, || {
+            starts.fetch_add(1, Ordering::SeqCst);
+            if std::thread::current().id() == caller {
+                caller_participated.store(true, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(starts.load(Ordering::SeqCst), 4);
+        assert!(caller_participated.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn run_epoch_workers_clamps_and_serialises_single_thread() {
+        // threads = 0 and threads = 1 both run `worker` exactly once, on the
+        // calling thread; a request above resolve_threads() is clamped.
+        let ctx = ExecContext::new().with_threads(2);
+        for request in [0, 1] {
+            let starts = AtomicUsize::new(0);
+            let caller = std::thread::current().id();
+            ctx.run_epoch_workers(request, || {
+                assert_eq!(std::thread::current().id(), caller);
+                starts.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(starts.load(Ordering::SeqCst), 1, "request = {request}");
+        }
+        let starts = AtomicUsize::new(0);
+        ctx.run_epoch_workers(64, || {
+            starts.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(starts.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn run_epoch_workers_nested_inside_a_sweep_goes_serial() {
+        let outer = matrix(1_000, 3);
+        let ctx = pooled(4);
+        let total = ctx.map_reduce_rows(
+            &outer,
+            |chunk| {
+                let worker = std::thread::current().id();
+                let starts = AtomicUsize::new(0);
+                ctx.run_epoch_workers(4, || {
+                    assert_eq!(std::thread::current().id(), worker);
+                    starts.fetch_add(1, Ordering::SeqCst);
+                });
+                assert_eq!(starts.load(Ordering::SeqCst), 1);
+                chunk.n_rows()
+            },
+            0usize,
+            |a, b| a + b,
+        );
+        assert_eq!(total, 1_000);
+    }
+
+    #[test]
+    fn run_epoch_workers_inner_sweeps_take_the_serial_fallback() {
+        // A map-reduce issued from inside an epoch worker must not touch the
+        // pool (it is busy running the epoch job) — it runs serially on the
+        // executor's own thread.
+        let inner = matrix(500, 3);
+        let expected: f64 = inner.as_slice().iter().sum();
+        let ctx = pooled(4);
+        ctx.run_epoch_workers(4, || {
+            let me = std::thread::current().id();
+            let nested = ctx.map_reduce_rows(
+                &inner,
+                |c| {
+                    assert_eq!(std::thread::current().id(), me);
+                    c.data.iter().sum::<f64>()
+                },
+                0.0,
+                |a, b| a + b,
+            );
+            assert_eq!(nested.to_bits(), expected.to_bits());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn run_epoch_workers_reraises_pool_worker_panics() {
+        let ctx = pooled(4);
+        let caller = std::thread::current().id();
+        ctx.run_epoch_workers(4, || {
+            if std::thread::current().id() != caller {
+                panic!("boom");
+            }
+        });
     }
 
     #[test]

@@ -283,6 +283,85 @@ pub fn logistic_grad_chunk(
     loss
 }
 
+/// Fused squared-error **loss** over one row chunk: a block gemv computes
+/// every prediction, then one pass accumulates the summed squared residuals
+/// `Σ (xᵀw + b − y)²`.  `residuals` is caller-provided scratch (resized to
+/// the chunk's row count) so sweeps reuse one buffer per worker thread.
+///
+/// # Panics
+/// Panics when `rows` is not a whole number of `weights.len()`-wide rows or
+/// `targets` does not cover every row.
+pub fn linear_value_chunk(
+    rows: &[f64],
+    weights: &[f64],
+    bias: f64,
+    targets: &[f64],
+    residuals: &mut Vec<f64>,
+) -> f64 {
+    let d = weights.len();
+    if d == 0 {
+        return 0.0;
+    }
+    assert_eq!(rows.len() % d, 0, "linear_value_chunk: ragged chunk");
+    let n = rows.len() / d;
+    assert_eq!(
+        targets.len(),
+        n,
+        "linear_value_chunk: target count mismatch"
+    );
+    residuals.clear();
+    residuals.resize(n, 0.0);
+    gemv(rows, n, d, weights, residuals);
+    let mut loss = 0.0;
+    for (s, &y) in residuals.iter().zip(targets) {
+        let r = s + bias - y;
+        loss += r * r;
+    }
+    loss
+}
+
+/// Fused squared-error **loss + gradient** over one row chunk: block gemv
+/// for the predictions, one residual pass (doubled residuals overwrite
+/// `residuals` in place), then an accumulating gemv_t folds `Aᵀ·2r` into
+/// `grad[..d]` and the doubled-residual sum into `grad[d]`.  Returns the
+/// summed loss.  `grad` has length `d + 1` (bias last) and is **accumulated
+/// into**, matching the chunk-partial contract of the sweep drivers.
+///
+/// # Panics
+/// Panics on any shape mismatch (see [`linear_value_chunk`]).
+pub fn linear_grad_chunk(
+    rows: &[f64],
+    weights: &[f64],
+    bias: f64,
+    targets: &[f64],
+    residuals: &mut Vec<f64>,
+    grad: &mut [f64],
+) -> f64 {
+    let d = weights.len();
+    assert_eq!(grad.len(), d + 1, "linear_grad_chunk: gradient length");
+    if d == 0 {
+        return 0.0;
+    }
+    assert_eq!(rows.len() % d, 0, "linear_grad_chunk: ragged chunk");
+    let n = rows.len() / d;
+    assert_eq!(targets.len(), n, "linear_grad_chunk: target count mismatch");
+    residuals.clear();
+    residuals.resize(n, 0.0);
+    gemv(rows, n, d, weights, residuals);
+    let mut loss = 0.0;
+    for (s, &y) in residuals.iter_mut().zip(targets) {
+        let r = *s + bias - y;
+        loss += r * r;
+        *s = 2.0 * r;
+    }
+    let (grad_w, grad_b) = grad.split_at_mut(d);
+    gemv_t(rows, n, d, residuals, grad_w);
+    for &r in residuals.iter() {
+        grad_b[0] += r;
+    }
+    loss
+}
+
 /// `true` when the AVX2 gather kernels may be used against a dense operand
 /// of `len` elements: `u32` column indices pass through a *signed* 32-bit
 /// gather, so the operand must fit in `i32` for the reinterpretation to be
@@ -717,6 +796,46 @@ mod tests {
         assert!(approx(value2, ref_loss, 1e-12));
         for (a, b) in grad.iter().zip(&ref_grad) {
             assert!(approx(*a, *b, 1e-12), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fused_linear_chunks_match_per_row_reference() {
+        let d = 6;
+        let n = 11;
+        let rows: Vec<f64> = (0..n * d).map(|i| (i as f64 * 0.17).sin()).collect();
+        let targets: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).cos()).collect();
+        let w: Vec<f64> = (0..d).map(|i| 0.15 * i as f64 - 0.3).collect();
+        let bias = -0.07;
+
+        // Per-row reference (the pre-fusion implementation).
+        let mut ref_loss = 0.0;
+        let mut ref_grad = vec![0.0; d + 1];
+        for (i, row) in rows.chunks_exact(d).enumerate() {
+            let r = row.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() + bias - targets[i];
+            ref_loss += r * r;
+            for (g, &x) in ref_grad[..d].iter_mut().zip(row) {
+                *g += 2.0 * r * x;
+            }
+            ref_grad[d] += 2.0 * r;
+        }
+
+        let mut residuals = Vec::new();
+        let value = linear_value_chunk(&rows, &w, bias, &targets, &mut residuals);
+        assert!(approx(value, ref_loss, 1e-12));
+
+        let mut grad = vec![0.0; d + 1];
+        let value2 = linear_grad_chunk(&rows, &w, bias, &targets, &mut residuals, &mut grad);
+        assert!(approx(value2, ref_loss, 1e-12));
+        for (a, b) in grad.iter().zip(&ref_grad) {
+            assert!(approx(*a, *b, 1e-12), "{a} vs {b}");
+        }
+
+        // Accumulation contract: a second call doubles the gradient.
+        let before = grad.clone();
+        linear_grad_chunk(&rows, &w, bias, &targets, &mut residuals, &mut grad);
+        for (a, b) in grad.iter().zip(&before) {
+            assert!(approx(*a, 2.0 * b, 1e-12), "{a} vs 2×{b}");
         }
     }
 

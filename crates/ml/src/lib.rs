@@ -58,6 +58,7 @@ pub mod naive_bayes;
 pub mod persist;
 pub mod preprocess;
 pub mod softmax;
+pub mod solver;
 
 pub use api::{
     BatchPredict, Estimator, Fit, Model, SparseEstimator, SparsePredictor, UnsupervisedEstimator,
@@ -69,6 +70,7 @@ pub use naive_bayes::{GaussianNb, GaussianNbTrainer};
 pub use persist::{load_model, load_model_verified};
 pub use preprocess::{StandardScaler, Standardizer};
 pub use softmax::{SoftmaxConfig, SoftmaxModel, SoftmaxRegression};
+pub use solver::Solver;
 
 /// Errors produced by model training and prediction.
 #[derive(Debug)]

@@ -16,20 +16,24 @@ use m3_core::sparse::{SparseRowChunk, SparseRowStore};
 use m3_core::storage::RowStore;
 use m3_core::{ExecContext, ParamVec};
 use m3_linalg::{blas, kernels, ops, DenseMatrix};
-use m3_optim::function::DifferentiableFunction;
+use m3_optim::function::{DifferentiableFunction, StochasticFunction};
 use m3_optim::gd::GradientDescent;
 use m3_optim::termination::TerminationCriteria;
+use m3_optim::AsyncSgd;
 
 use crate::api::{Estimator, Model, SparseEstimator};
 use crate::{MlError, Result};
 
 /// How the coefficients are computed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Solver {
     /// Closed-form ridge solution via Cholesky on the Gram matrix.
     NormalEquations,
     /// Iterative minimisation of the least-squares objective.
     GradientDescent,
+    /// Mini-batch SGD with the given [`AsyncSgd`] configuration (see
+    /// [`crate::solver::Solver`] for the determinism contract).
+    Sgd(AsyncSgd),
 }
 
 /// Hyper-parameters for [`LinearRegression`].
@@ -133,6 +137,54 @@ impl<S: RowStore + Sync + ?Sized> DifferentiableFunction for LeastSquaresLoss<'_
     }
 }
 
+impl<S: RowStore + Sync + ?Sized> StochasticFunction for LeastSquaresLoss<'_, S> {
+    fn n_examples(&self) -> usize {
+        self.data.n_rows()
+    }
+
+    fn batch_value_and_gradient(&self, w: &[f64], examples: &[usize], grad: &mut [f64]) -> f64 {
+        let d = self.data.n_cols();
+        grad.fill(0.0);
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let mut loss = 0.0;
+        for &i in examples {
+            let row = self.data.row(i);
+            let residual = ops::dot(&w[..d], row) + w[d] - self.targets[i];
+            loss += residual * residual;
+            ops::axpy(2.0 * residual, row, &mut grad[..d]);
+            grad[d] += 2.0 * residual;
+        }
+        let inv = 1.0 / examples.len() as f64;
+        ops::scale(inv, grad);
+        ops::axpy(self.l2, &w[..d], &mut grad[..d]);
+        loss * inv + 0.5 * self.l2 * ops::dot(&w[..d], &w[..d])
+    }
+
+    fn batch_range_value_and_gradient(
+        &self,
+        w: &[f64],
+        examples: std::ops::Range<usize>,
+        grad: &mut [f64],
+    ) -> f64 {
+        let d = self.data.n_cols();
+        grad.fill(0.0);
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let rows = self.data.rows_slice(examples.start, examples.end);
+        let targets = &self.targets[examples.clone()];
+        let loss = crate::solver::with_scores(|residuals| {
+            kernels::linear_grad_chunk(rows, &w[..d], w[d], targets, residuals, grad)
+        });
+        let inv = 1.0 / examples.len() as f64;
+        ops::scale(inv, grad);
+        ops::axpy(self.l2, &w[..d], &mut grad[..d]);
+        loss * inv + 0.5 * self.l2 * ops::dot(&w[..d], &w[..d])
+    }
+}
+
 /// Mean-squared-error objective over a [`SparseRowStore`], used by the
 /// sparse gradient-descent solver.
 struct SparseLeastSquaresLoss<'a, S: SparseRowStore + Sync + ?Sized> {
@@ -187,6 +239,61 @@ impl<S: SparseRowStore + Sync + ?Sized> DifferentiableFunction for SparseLeastSq
         for (gi, pi) in grad.iter_mut().zip(&partial) {
             *gi = pi * inv;
         }
+        ops::axpy(self.l2, &w[..d], &mut grad[..d]);
+        loss * inv + 0.5 * self.l2 * ops::dot(&w[..d], &w[..d])
+    }
+}
+
+impl<S: SparseRowStore + Sync + ?Sized> StochasticFunction for SparseLeastSquaresLoss<'_, S> {
+    fn n_examples(&self) -> usize {
+        self.data.n_rows()
+    }
+
+    fn batch_value_and_gradient(&self, w: &[f64], examples: &[usize], grad: &mut [f64]) -> f64 {
+        let d = self.data.n_cols();
+        grad.fill(0.0);
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let indptr = self.data.indptr();
+        let col_indices = self.data.indices();
+        let vals = self.data.values();
+        let mut loss = 0.0;
+        for &i in examples {
+            let (lo, hi) = (indptr[i] as usize, indptr[i + 1] as usize);
+            let (row_idx, row_vals) = (&col_indices[lo..hi], &vals[lo..hi]);
+            let residual = kernels::sparse_dot(row_idx, row_vals, &w[..d]) + w[d] - self.targets[i];
+            loss += residual * residual;
+            kernels::scatter_axpy(2.0 * residual, row_idx, row_vals, &mut grad[..d]);
+            grad[d] += 2.0 * residual;
+        }
+        let inv = 1.0 / examples.len() as f64;
+        ops::scale(inv, grad);
+        ops::axpy(self.l2, &w[..d], &mut grad[..d]);
+        loss * inv + 0.5 * self.l2 * ops::dot(&w[..d], &w[..d])
+    }
+
+    fn batch_range_value_and_gradient(
+        &self,
+        w: &[f64],
+        examples: std::ops::Range<usize>,
+        grad: &mut [f64],
+    ) -> f64 {
+        let d = self.data.n_cols();
+        grad.fill(0.0);
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let chunk = self.data.sparse_chunk(examples.start, examples.end);
+        let mut loss = 0.0;
+        for (r, row_idx, row_vals) in chunk.rows_with_index() {
+            let residual = kernels::sparse_dot(row_idx, row_vals, &w[..d]) + w[d] - self.targets[r];
+            loss += residual * residual;
+            kernels::scatter_axpy(2.0 * residual, row_idx, row_vals, &mut grad[..d]);
+            grad[d] += 2.0 * residual;
+        }
+        let inv = 1.0 / chunk.n_rows() as f64;
+        ops::scale(inv, grad);
         ops::axpy(self.l2, &w[..d], &mut grad[..d]);
         loss * inv + 0.5 * self.l2 * ops::dot(&w[..d], &w[..d])
     }
@@ -352,6 +459,48 @@ impl LinearRegression {
         self.run_gradient_descent(&loss, data.n_cols())
     }
 
+    fn fit_sgd<S: RowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        targets: &[f64],
+        sgd: &AsyncSgd,
+        ctx: &ExecContext,
+    ) -> Result<LinearModel> {
+        let loss = LeastSquaresLoss {
+            data,
+            targets,
+            l2: self.config.l2,
+            ctx,
+        };
+        let d = data.n_cols();
+        let result = crate::solver::run_sgd(sgd, &loss, d + 1, ctx)?;
+        Ok(LinearModel {
+            weights: result.weights[..d].to_vec().into(),
+            bias: result.weights[d],
+        })
+    }
+
+    fn fit_sgd_sparse<S: SparseRowStore + Sync + ?Sized>(
+        &self,
+        data: &S,
+        targets: &[f64],
+        sgd: &AsyncSgd,
+        ctx: &ExecContext,
+    ) -> Result<LinearModel> {
+        let loss = SparseLeastSquaresLoss {
+            data,
+            targets,
+            l2: self.config.l2,
+            ctx,
+        };
+        let d = data.n_cols();
+        let result = crate::solver::run_sgd(sgd, &loss, d + 1, ctx)?;
+        Ok(LinearModel {
+            weights: result.weights[..d].to_vec().into(),
+            bias: result.weights[d],
+        })
+    }
+
     /// Run the iterative solver on any least-squares objective of `d + 1`
     /// parameters — shared by the dense and sparse paths.
     fn run_gradient_descent(
@@ -402,9 +551,10 @@ impl Estimator for LinearRegression {
         ctx: &ExecContext,
     ) -> Result<LinearModel> {
         Self::validate(data.n_rows(), data.n_cols(), targets)?;
-        match self.config.solver {
+        match &self.config.solver {
             Solver::NormalEquations => self.fit_normal_equations(data, targets, ctx),
             Solver::GradientDescent => self.fit_gradient_descent(data, targets, ctx),
+            Solver::Sgd(sgd) => self.fit_sgd(data, targets, sgd, ctx),
         }
     }
 }
@@ -417,9 +567,10 @@ impl SparseEstimator for LinearRegression {
         ctx: &ExecContext,
     ) -> Result<LinearModel> {
         Self::validate(data.n_rows(), data.n_cols(), targets)?;
-        match self.config.solver {
+        match &self.config.solver {
             Solver::NormalEquations => self.fit_normal_equations_sparse(data, targets, ctx),
             Solver::GradientDescent => self.fit_gradient_descent_sparse(data, targets, ctx),
+            Solver::Sgd(sgd) => self.fit_sgd_sparse(data, targets, sgd, ctx),
         }
     }
 }
@@ -582,7 +733,7 @@ mod tests {
         let ctx = ExecContext::new();
         for solver in [Solver::NormalEquations, Solver::GradientDescent] {
             let trainer = LinearRegression::new(LinearRegressionConfig {
-                solver,
+                solver: solver.clone(),
                 max_iterations: 800,
                 ..Default::default()
             });
@@ -655,5 +806,52 @@ mod tests {
         // The Model-trait view: score is R².
         let y = vec![0.0, 1.0];
         assert!((Model::score(&model, &m, &y) - model.r2(&m, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sgd_solver_approximates_the_normal_equations() {
+        let (x, y) = problem(400, 0.05);
+        let ne = fit(&LinearRegression::default(), &x, &y);
+        let sgd = fit(
+            &LinearRegression::new(LinearRegressionConfig {
+                solver: Solver::Sgd(
+                    AsyncSgd::new()
+                        .learning_rate(0.05)
+                        .epochs(80)
+                        .batch_size(32)
+                        .seed(5),
+                ),
+                ..Default::default()
+            }),
+            &x,
+            &y,
+        );
+        for (a, b) in ne.weights.iter().zip(&sgd.weights) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+        assert!((ne.bias - sgd.bias).abs() < 0.05);
+    }
+
+    #[test]
+    fn sparse_sgd_fit_tracks_the_dense_sgd_fit() {
+        let (csr, dense, y) = sparse_problem(300);
+        let trainer = LinearRegression::new(LinearRegressionConfig {
+            solver: Solver::Sgd(
+                AsyncSgd::new()
+                    .learning_rate(0.05)
+                    .epochs(60)
+                    .batch_size(32)
+                    .seed(11),
+            ),
+            ..Default::default()
+        });
+        let ctx = ExecContext::new().with_threads(2);
+        let on_dense = Estimator::fit(&trainer, &dense, &y, &ctx).unwrap();
+        let on_sparse = trainer.fit_sparse(&csr, &y, &ctx).unwrap();
+        // Deterministic SGD runs the same batch schedule on both layouts.
+        for (a, b) in on_dense.weights.iter().zip(&on_sparse.weights) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        assert!((on_dense.bias - on_sparse.bias).abs() <= 1e-9);
     }
 }

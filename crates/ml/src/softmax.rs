@@ -16,6 +16,7 @@ use m3_optim::lbfgs::Lbfgs;
 use m3_optim::termination::{OptimizationResult, TerminationCriteria};
 
 use crate::api::{Estimator, Model, SparseEstimator};
+use crate::solver::Solver;
 use crate::{MlError, Result};
 
 /// Per-class scores `w_c · row + b_c` for one dense row, written into
@@ -221,6 +222,40 @@ impl<S: RowStore + Sync + ?Sized> StochasticFunction for SoftmaxLoss<'_, S> {
         }
         loss * inv + 0.5 * self.l2 * reg
     }
+
+    fn batch_range_value_and_gradient(
+        &self,
+        w: &[f64],
+        examples: std::ops::Range<usize>,
+        grad: &mut [f64],
+    ) -> f64 {
+        let d = self.n_features();
+        let k = self.n_classes;
+        let stride = d + 1;
+        grad.fill(0.0);
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let chunk = RowChunk {
+            start_row: examples.start,
+            end_row: examples.end,
+            data: self.data.rows_slice(examples.start, examples.end),
+            n_cols: d,
+        };
+        let (loss, partial) =
+            crate::solver::with_scores(|scores| self.chunk_loss_grad(w, &chunk, scores));
+        let inv = 1.0 / chunk.n_rows() as f64;
+        for (gi, pi) in grad.iter_mut().zip(&partial) {
+            *gi = pi * inv;
+        }
+        let mut reg = 0.0;
+        for c in 0..k {
+            let ws = &w[c * stride..c * stride + d];
+            reg += ops::dot(ws, ws);
+            ops::axpy(self.l2, ws, &mut grad[c * stride..c * stride + d]);
+        }
+        loss * inv + 0.5 * self.l2 * reg
+    }
 }
 
 /// Cross-entropy loss for `k`-class softmax regression over a
@@ -341,6 +376,80 @@ impl<S: SparseRowStore + Sync + ?Sized> DifferentiableFunction for SparseSoftmax
     }
 }
 
+impl<S: SparseRowStore + Sync + ?Sized> StochasticFunction for SparseSoftmaxLoss<'_, S> {
+    fn n_examples(&self) -> usize {
+        self.data.n_rows()
+    }
+
+    fn batch_value_and_gradient(&self, w: &[f64], examples: &[usize], grad: &mut [f64]) -> f64 {
+        let d = self.n_features();
+        let k = self.n_classes;
+        let stride = d + 1;
+        grad.fill(0.0);
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let indptr = self.data.indptr();
+        let col_indices = self.data.indices();
+        let vals = self.data.values();
+        let mut scores = vec![0.0; k];
+        let mut loss = 0.0;
+        for &i in examples {
+            let (lo, hi) = (indptr[i] as usize, indptr[i + 1] as usize);
+            let (row_idx, row_vals) = (&col_indices[lo..hi], &vals[lo..hi]);
+            let label = self.labels[i] as usize;
+            class_scores_sparse(w, row_idx, row_vals, d, k, &mut scores);
+            let label_score = scores[label.min(k - 1)];
+            let log_norm = softmax_in_place(&mut scores);
+            loss += log_norm - label_score;
+            for c in 0..k {
+                let residual = scores[c] - if c == label { 1.0 } else { 0.0 };
+                let g = &mut grad[c * stride..(c + 1) * stride];
+                kernels::scatter_axpy(residual, row_idx, row_vals, &mut g[..d]);
+                g[d] += residual;
+            }
+        }
+        let inv = 1.0 / examples.len() as f64;
+        ops::scale(inv, grad);
+        let mut reg = 0.0;
+        for c in 0..k {
+            let ws = &w[c * stride..c * stride + d];
+            reg += ops::dot(ws, ws);
+            ops::axpy(self.l2, ws, &mut grad[c * stride..c * stride + d]);
+        }
+        loss * inv + 0.5 * self.l2 * reg
+    }
+
+    fn batch_range_value_and_gradient(
+        &self,
+        w: &[f64],
+        examples: std::ops::Range<usize>,
+        grad: &mut [f64],
+    ) -> f64 {
+        let d = self.n_features();
+        let k = self.n_classes;
+        let stride = d + 1;
+        grad.fill(0.0);
+        if examples.is_empty() {
+            return 0.0;
+        }
+        let chunk = self.data.sparse_chunk(examples.start, examples.end);
+        let (loss, partial) =
+            crate::solver::with_scores(|scores| self.chunk_loss_grad(w, &chunk, scores));
+        let inv = 1.0 / chunk.n_rows() as f64;
+        for (gi, pi) in grad.iter_mut().zip(&partial) {
+            *gi = pi * inv;
+        }
+        let mut reg = 0.0;
+        for c in 0..k {
+            let ws = &w[c * stride..c * stride + d];
+            reg += ops::dot(ws, ws);
+            ops::axpy(self.l2, ws, &mut grad[c * stride..c * stride + d]);
+        }
+        loss * inv + 0.5 * self.l2 * reg
+    }
+}
+
 /// Hyper-parameters for [`SoftmaxRegression`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SoftmaxConfig {
@@ -355,6 +464,9 @@ pub struct SoftmaxConfig {
     /// Legacy worker-thread count (`0` = all hardware threads), honoured only
     /// by the deprecated inherent [`SoftmaxRegression::fit`] shim.
     pub n_threads: usize,
+    /// Which optimiser runs: full-batch L-BFGS (default, the paper's
+    /// protocol) or mini-batch [`Solver::Sgd`].
+    pub solver: Solver,
 }
 
 impl Default for SoftmaxConfig {
@@ -365,6 +477,7 @@ impl Default for SoftmaxConfig {
             max_iterations: 50,
             fixed_iterations: false,
             n_threads: 0,
+            solver: Solver::Lbfgs,
         }
     }
 }
@@ -439,25 +552,36 @@ impl SoftmaxRegression {
         Ok(())
     }
 
-    /// Run L-BFGS on any softmax objective and wrap the optimum — shared by
-    /// the dense and sparse fit paths.
-    fn solve(&self, loss: &impl DifferentiableFunction, n_features: usize) -> Result<SoftmaxModel> {
-        let optimizer = if self.config.fixed_iterations {
-            Lbfgs::with_fixed_iterations(self.config.max_iterations)
-        } else {
-            Lbfgs::new().criteria(TerminationCriteria {
-                max_iterations: self.config.max_iterations,
-                ..Default::default()
-            })
+    /// Run the configured solver on any softmax objective and wrap the
+    /// optimum — shared by the dense and sparse fit paths.
+    fn solve(
+        &self,
+        loss: &(impl StochasticFunction + Sync),
+        n_features: usize,
+        ctx: &ExecContext,
+    ) -> Result<SoftmaxModel> {
+        let result = match &self.config.solver {
+            Solver::Lbfgs => {
+                let optimizer = if self.config.fixed_iterations {
+                    Lbfgs::with_fixed_iterations(self.config.max_iterations)
+                } else {
+                    Lbfgs::new().criteria(TerminationCriteria {
+                        max_iterations: self.config.max_iterations,
+                        ..Default::default()
+                    })
+                };
+                let initial = vec![0.0; loss.dimension()];
+                let result = optimizer.run(loss, initial);
+                if result.weights.iter().any(|w| !w.is_finite()) {
+                    return Err(MlError::OptimizationFailed(format!(
+                        "L-BFGS terminated with {:?}",
+                        result.reason
+                    )));
+                }
+                result
+            }
+            Solver::Sgd(sgd) => crate::solver::run_sgd(sgd, loss, loss.dimension(), ctx)?,
         };
-        let initial = vec![0.0; loss.dimension()];
-        let result = optimizer.run(loss, initial);
-        if result.weights.iter().any(|w| !w.is_finite()) {
-            return Err(MlError::OptimizationFailed(format!(
-                "L-BFGS terminated with {:?}",
-                result.reason
-            )));
-        }
         Ok(SoftmaxModel {
             weights: result.weights.clone().into(),
             n_classes: self.config.n_classes,
@@ -478,7 +602,7 @@ impl Estimator for SoftmaxRegression {
     ) -> Result<SoftmaxModel> {
         self.validate(data.n_rows(), data.n_cols(), labels)?;
         let loss = SoftmaxLoss::new(data, labels, self.config.n_classes, self.config.l2, ctx);
-        self.solve(&loss, data.n_cols())
+        self.solve(&loss, data.n_cols(), ctx)
     }
 }
 
@@ -491,7 +615,7 @@ impl SparseEstimator for SoftmaxRegression {
     ) -> Result<SoftmaxModel> {
         self.validate(data.n_rows(), data.n_cols(), labels)?;
         let loss = SparseSoftmaxLoss::new(data, labels, self.config.n_classes, self.config.l2, ctx);
-        self.solve(&loss, data.n_cols())
+        self.solve(&loss, data.n_cols(), ctx)
     }
 }
 
@@ -775,5 +899,48 @@ mod tests {
             .epochs(40)
             .run(&loss, w0);
         assert!(result.value < initial * 0.5);
+    }
+
+    #[test]
+    fn sgd_solver_trains_dense_and_sparse_models() {
+        let (csr, dense, y) = sparse_blobs(300);
+        let trainer = SoftmaxRegression::new(SoftmaxConfig {
+            n_classes: 3,
+            solver: Solver::Sgd(
+                m3_optim::AsyncSgd::new()
+                    .learning_rate(0.3)
+                    .epochs(40)
+                    .batch_size(32)
+                    .seed(7),
+            ),
+            ..Default::default()
+        });
+        let ctx = ExecContext::new().with_threads(2);
+        let dense_model = Estimator::fit(&trainer, &dense, &y, &ctx).unwrap();
+        let sparse_model = trainer.fit_sparse(&csr, &y, &ctx).unwrap();
+        assert!(dense_model.accuracy(&dense, &y) > 0.8);
+        // Same deterministic batch schedule on both layouts.
+        for (a, b) in dense_model.weights.iter().zip(&sparse_model.weights) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn hogwild_sgd_solver_fits_blobs() {
+        let (x, y) = GaussianBlobs::new(4, 5, 10.0, 0.8, 9).materialize(400);
+        let trainer = SoftmaxRegression::new(SoftmaxConfig {
+            n_classes: 4,
+            solver: Solver::Sgd(
+                m3_optim::AsyncSgd::new()
+                    .learning_rate(0.3)
+                    .epochs(30)
+                    .batch_size(16)
+                    .mode(m3_optim::UpdateMode::Hogwild)
+                    .seed(13),
+            ),
+            ..Default::default()
+        });
+        let model = Estimator::fit(&trainer, &x, &y, &ExecContext::new().with_threads(4)).unwrap();
+        assert!(model.accuracy(&x, &y) > 0.9);
     }
 }

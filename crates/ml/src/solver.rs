@@ -1,0 +1,79 @@
+//! Solver selection shared by the loss-minimising estimators.
+//!
+//! Logistic, softmax and linear regression all minimise a smooth convex loss,
+//! so they share one choice: the full-batch **L-BFGS** protocol the paper
+//! evaluates, or the mini-batch **SGD** path built on
+//! [`m3_optim::AsyncSgd`].  The [`Solver`] enum carries that choice inside
+//! each estimator's config; the determinism contract follows the SGD
+//! driver's [`m3_optim::UpdateMode`] — `Deterministic` keeps the workspace's
+//! bit-identical guarantee, `Hogwild` trades it for wall clock.
+
+use m3_core::ExecContext;
+use m3_optim::{AsyncSgd, OptimizationResult, StochasticFunction};
+
+use crate::{MlError, Result};
+
+/// Which optimiser a loss-minimising estimator runs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Solver {
+    /// Full-batch L-BFGS (the paper's protocol; bit-deterministic).
+    #[default]
+    Lbfgs,
+    /// Mini-batch SGD with the given [`AsyncSgd`] configuration.
+    /// Deterministic mode stays bit-identical across thread counts; Hogwild
+    /// mode is fast but stochastic (see `m3_optim::async_sgd`).
+    Sgd(AsyncSgd),
+}
+
+/// Run `sgd` on `loss` from zero and surface divergence as a typed error —
+/// the SGD counterpart of each estimator's L-BFGS `solve` arm, shared so all
+/// three estimators enforce the same protocol.
+pub(crate) fn run_sgd<F: StochasticFunction + Sync + ?Sized>(
+    sgd: &AsyncSgd,
+    loss: &F,
+    dim: usize,
+    ctx: &ExecContext,
+) -> Result<OptimizationResult> {
+    let result = sgd.run(loss, vec![0.0; dim], ctx);
+    if !result.converged() || result.weights.iter().any(|w| !w.is_finite()) {
+        return Err(MlError::OptimizationFailed(format!(
+            "SGD terminated with {:?}",
+            result.reason
+        )));
+    }
+    Ok(result)
+}
+
+thread_local! {
+    /// Per-thread score/residual scratch for the fused mini-batch kernels.
+    /// SGD calls a batch gradient thousands of times per epoch on each
+    /// executor; this keeps that hot path allocation-free without widening
+    /// the `StochasticFunction` signature with a scratch parameter.
+    static BATCH_SCRATCH: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Hand the calling thread's batch scratch buffer to `f`.  Not re-entrant:
+/// `f` must not call `with_scores` itself (the losses' batch methods never
+/// nest).
+pub(crate) fn with_scores<R>(f: impl FnOnce(&mut Vec<f64>) -> R) -> R {
+    BATCH_SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_solver_is_lbfgs() {
+        assert_eq!(Solver::default(), Solver::Lbfgs);
+    }
+
+    #[test]
+    fn solver_carries_sgd_configuration() {
+        let solver = Solver::Sgd(AsyncSgd::new().epochs(3));
+        match solver {
+            Solver::Sgd(cfg) => assert_eq!(cfg.epochs, 3),
+            Solver::Lbfgs => panic!("expected the SGD variant"),
+        }
+    }
+}

@@ -1,0 +1,613 @@
+//! Asynchronous (Hogwild-style) mini-batch SGD on the shared worker pool.
+//!
+//! [`AsyncSgd`] is the parallel counterpart of the serial [`crate::sgd::Sgd`]
+//! driver.  Both consume the same [`MinibatchSampler`] plans, so there is one
+//! sampling implementation and one definition of an epoch; they differ only
+//! in **how batch updates are applied**:
+//!
+//! * [`UpdateMode::Deterministic`] processes the plan's batches in order on
+//!   one thread.  The result is a pure function of `(seed, config, data)` —
+//!   the thread count never enters the computation — so models are
+//!   bit-identical across thread counts, storage backings and runs.  This is
+//!   the mode the workspace parity suite locks down.
+//! * [`UpdateMode::Hogwild`] fans the plan's batches out to
+//!   `ExecContext::run_epoch_workers` executors that race lock-free over a
+//!   [`SharedParams`] vector, applying per-coordinate atomic compare-exchange
+//!   updates without any synchronisation between batches — the scheme of
+//!   Niu et al.'s HOGWILD! and the asynchronous-parallel SGD of Keuper &
+//!   Pfreundt that ROADMAP names.  Individual `f64` reads are always some
+//!   fully released value (no torn writes — each coordinate is one atomic
+//!   cell), but the interleaving of batches is scheduler-dependent, so runs
+//!   are *fast but stochastic*: expect run-to-run weight jitter at equal
+//!   statistical quality.
+//!
+//! The paper's M3 story carries over unchanged: the loss implementations pull
+//! rows through `RowStore`/`SparseRowStore`, so either mode trains straight
+//! out of a memory-mapped file, and the mmap-friendly
+//! [`SamplingScheme::ShuffledChunks`] default keeps the access pattern
+//! near-sequential.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use m3_core::ExecContext;
+use m3_linalg::ops;
+
+use crate::function::StochasticFunction;
+use crate::minibatch::{Batch, MinibatchSampler, SamplingScheme};
+use crate::termination::{OptimizationResult, TerminationReason};
+
+/// A parameter vector shared by racing SGD workers: one `AtomicU64` cell per
+/// `f64` coordinate (bit-cast), updated by lock-free compare-exchange.
+///
+/// Because every coordinate is a single atomic cell, a concurrent reader can
+/// never observe a torn value — any load returns some value that a writer
+/// fully released.  No ordering is promised *across* coordinates; Hogwild
+/// explicitly tolerates that staleness.
+#[derive(Debug)]
+pub struct SharedParams {
+    bits: Vec<AtomicU64>,
+}
+
+impl SharedParams {
+    /// Wrap an initial parameter vector.
+    pub fn new(initial: &[f64]) -> Self {
+        Self {
+            bits: initial
+                .iter()
+                .map(|v| AtomicU64::new(v.to_bits()))
+                .collect(),
+        }
+    }
+
+    /// Number of coordinates.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` when the vector has no coordinates.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Load coordinate `i`.
+    pub fn load(&self, i: usize) -> f64 {
+        f64::from_bits(self.bits[i].load(Ordering::Relaxed))
+    }
+
+    /// Atomically add `delta` to coordinate `i` via a compare-exchange loop.
+    /// A no-op for `delta == 0.0`, which keeps sparse gradients cheap.
+    pub fn fetch_add(&self, i: usize, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
+        let cell = &self.bits[i];
+        let mut current = cell.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match cell.compare_exchange_weak(current, next, Ordering::Release, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Copy the current parameters into `out` (`out.len() == len()`).
+    pub fn snapshot_into(&self, out: &mut [f64]) {
+        assert_eq!(
+            out.len(),
+            self.bits.len(),
+            "snapshot buffer has wrong length"
+        );
+        for (dst, cell) in out.iter_mut().zip(&self.bits) {
+            *dst = f64::from_bits(cell.load(Ordering::Relaxed));
+        }
+    }
+
+    /// The current parameters as a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.bits.len()];
+        self.snapshot_into(&mut out);
+        out
+    }
+}
+
+/// How mini-batch updates are applied to the parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Plan-ordered serial updates: bit-identical across thread counts,
+    /// backings and runs (the parity-suite mode).
+    Deterministic,
+    /// Lock-free racing updates over [`SharedParams`] on the worker pool:
+    /// fast but stochastic (run-to-run weight jitter at equal statistical
+    /// quality).
+    Hogwild,
+}
+
+/// Asynchronous mini-batch SGD configuration (see the module docs for the
+/// determinism contract of each [`UpdateMode`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncSgd {
+    /// Initial learning rate.
+    pub learning_rate: f64,
+    /// Learning-rate decay per epoch: `lr / (1 + decay · epoch)`.
+    pub decay: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// How batches are drawn (see [`SamplingScheme`]).
+    pub sampling: SamplingScheme,
+    /// RNG seed.  Deterministic runs are a pure function of it; Hogwild runs
+    /// use it for the batch *plans* only (the update interleaving still
+    /// races).
+    pub seed: u64,
+    /// How updates are applied.
+    pub mode: UpdateMode,
+    /// Evaluate the full objective every `eval_every` epochs (`0` = only
+    /// after the final epoch).  Each evaluation is a full data sweep —
+    /// exactly the I/O the stochastic path exists to avoid — so benchmark
+    /// configurations set this to `0`.
+    pub eval_every: usize,
+}
+
+impl Default for AsyncSgd {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.1,
+            decay: 0.01,
+            batch_size: 128,
+            epochs: 10,
+            sampling: SamplingScheme::ShuffledChunks,
+            seed: 0x5eed,
+            mode: UpdateMode::Deterministic,
+            eval_every: 1,
+        }
+    }
+}
+
+impl AsyncSgd {
+    /// Create a driver with default settings (deterministic mode).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style setter for the learning rate.
+    pub fn learning_rate(mut self, lr: f64) -> Self {
+        self.learning_rate = lr;
+        self
+    }
+
+    /// Builder-style setter for the per-epoch learning-rate decay.
+    pub fn decay(mut self, decay: f64) -> Self {
+        self.decay = decay;
+        self
+    }
+
+    /// Builder-style setter for the batch size (clamped to at least 1).
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n.max(1);
+        self
+    }
+
+    /// Builder-style setter for the number of epochs.
+    pub fn epochs(mut self, n: usize) -> Self {
+        self.epochs = n;
+        self
+    }
+
+    /// Builder-style setter for the sampling scheme.
+    pub fn sampling(mut self, scheme: SamplingScheme) -> Self {
+        self.sampling = scheme;
+        self
+    }
+
+    /// Builder-style setter for the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the update mode.
+    pub fn mode(mut self, mode: UpdateMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Builder-style setter for the evaluation cadence (`0` = final only).
+    pub fn eval_every(mut self, every: usize) -> Self {
+        self.eval_every = every;
+        self
+    }
+
+    /// The per-epoch learning rate.
+    fn lr_at(&self, epoch: usize) -> f64 {
+        self.learning_rate / (1.0 + self.decay * epoch as f64)
+    }
+
+    /// `true` when the full objective should be evaluated after `epoch`.
+    fn eval_after(&self, epoch: usize) -> bool {
+        let last = epoch + 1 == self.epochs;
+        last || (self.eval_every > 0 && (epoch + 1).is_multiple_of(self.eval_every))
+    }
+
+    fn initial_result<F: StochasticFunction + ?Sized>(f: &F, w: Vec<f64>) -> OptimizationResult {
+        let value = f.value(&w);
+        OptimizationResult {
+            weights: w,
+            value,
+            iterations: 0,
+            function_evaluations: 1,
+            reason: TerminationReason::MaxIterations,
+            value_history: Vec::new(),
+        }
+    }
+
+    fn numerical_error(
+        weights: Vec<f64>,
+        value: f64,
+        iterations: usize,
+        function_evaluations: usize,
+        value_history: Vec<f64>,
+    ) -> OptimizationResult {
+        OptimizationResult {
+            weights,
+            value,
+            iterations,
+            function_evaluations,
+            reason: TerminationReason::NumericalError,
+            value_history,
+        }
+    }
+
+    /// Minimise `f` from `initial` using this configuration's
+    /// [`UpdateMode`].  Hogwild runs draw their executors from `ctx`'s
+    /// worker pool; deterministic runs are serial by construction and only
+    /// use `ctx` for the losses' own data sweeps during evaluation.
+    pub fn run<F: StochasticFunction + Sync + ?Sized>(
+        &self,
+        f: &F,
+        initial: Vec<f64>,
+        ctx: &ExecContext,
+    ) -> OptimizationResult {
+        match self.mode {
+            UpdateMode::Deterministic => self.run_deterministic(f, initial),
+            UpdateMode::Hogwild => self.run_hogwild(f, initial, ctx),
+        }
+    }
+
+    /// The serial, plan-ordered driver ([`UpdateMode::Deterministic`]).
+    /// `crate::sgd::Sgd` delegates here, so the `?Sized` objective does not
+    /// need `Sync`.
+    pub(crate) fn run_deterministic<F: StochasticFunction + ?Sized>(
+        &self,
+        f: &F,
+        initial: Vec<f64>,
+    ) -> OptimizationResult {
+        let d = f.dimension();
+        assert_eq!(initial.len(), d, "initial point has wrong dimension");
+        let n = f.n_examples();
+        let mut w = initial;
+
+        if n == 0 || self.epochs == 0 {
+            return Self::initial_result(f, w);
+        }
+        let sampler = MinibatchSampler::new(n, self.batch_size, self.sampling, self.seed)
+            .expect("batch_size >= 1 and n > 0 were just checked");
+
+        let mut grad = vec![0.0; d];
+        let mut evaluations = 0usize;
+        let mut value_history = Vec::new();
+
+        for epoch in 0..self.epochs {
+            let lr = self.lr_at(epoch);
+            let plan = sampler.epoch(epoch);
+            for b in 0..plan.n_batches() {
+                match plan.batch(b) {
+                    Batch::Range(range) => {
+                        f.batch_range_value_and_gradient(&w, range, &mut grad);
+                    }
+                    Batch::Indices(indices) => {
+                        f.batch_value_and_gradient(&w, indices, &mut grad);
+                    }
+                }
+                evaluations += 1;
+                if grad.iter().any(|g| !g.is_finite()) {
+                    return Self::numerical_error(w, f64::NAN, epoch, evaluations, value_history);
+                }
+                ops::axpy(-lr, &grad, &mut w);
+            }
+
+            if self.eval_after(epoch) {
+                let value = f.value(&w);
+                evaluations += 1;
+                value_history.push(value);
+                if !value.is_finite() {
+                    return Self::numerical_error(w, value, epoch + 1, evaluations, value_history);
+                }
+            }
+        }
+
+        let value = *value_history
+            .last()
+            .expect("the final epoch always evaluates");
+        OptimizationResult {
+            weights: w,
+            value,
+            iterations: self.epochs,
+            function_evaluations: evaluations,
+            reason: TerminationReason::MaxIterations,
+            value_history,
+        }
+    }
+
+    /// The lock-free parallel driver ([`UpdateMode::Hogwild`]).
+    fn run_hogwild<F: StochasticFunction + Sync + ?Sized>(
+        &self,
+        f: &F,
+        initial: Vec<f64>,
+        ctx: &ExecContext,
+    ) -> OptimizationResult {
+        let d = f.dimension();
+        assert_eq!(initial.len(), d, "initial point has wrong dimension");
+        let n = f.n_examples();
+
+        if n == 0 || self.epochs == 0 {
+            return Self::initial_result(f, initial);
+        }
+        let sampler = MinibatchSampler::new(n, self.batch_size, self.sampling, self.seed)
+            .expect("batch_size >= 1 and n > 0 were just checked");
+
+        let shared = SharedParams::new(&initial);
+        let mut w = initial;
+        let mut evaluations = 0usize;
+        let mut value_history = Vec::new();
+        let threads = ctx.resolve_threads().min(sampler.n_batches()).max(1);
+
+        for epoch in 0..self.epochs {
+            let lr = self.lr_at(epoch);
+            let plan = sampler.epoch(epoch);
+            let n_batches = plan.n_batches();
+            let cursor = AtomicUsize::new(0);
+            let batches_done = AtomicUsize::new(0);
+
+            ctx.run_epoch_workers(threads, || {
+                // Per-executor buffers: a private snapshot of the shared
+                // parameters (reloaded before every batch — the Hogwild
+                // staleness window is one batch) and a private gradient.
+                let mut local_w = vec![0.0; d];
+                let mut grad = vec![0.0; d];
+                loop {
+                    let b = cursor.fetch_add(1, Ordering::Relaxed);
+                    if b >= n_batches {
+                        return;
+                    }
+                    shared.snapshot_into(&mut local_w);
+                    match plan.batch(b) {
+                        Batch::Range(range) => {
+                            f.batch_range_value_and_gradient(&local_w, range, &mut grad);
+                        }
+                        Batch::Indices(indices) => {
+                            f.batch_value_and_gradient(&local_w, indices, &mut grad);
+                        }
+                    }
+                    batches_done.fetch_add(1, Ordering::Relaxed);
+                    for (i, &g) in grad.iter().enumerate() {
+                        shared.fetch_add(i, -lr * g);
+                    }
+                }
+            });
+            evaluations += batches_done.load(Ordering::Relaxed);
+
+            shared.snapshot_into(&mut w);
+            if w.iter().any(|v| !v.is_finite()) {
+                return Self::numerical_error(w, f64::NAN, epoch, evaluations, value_history);
+            }
+            if self.eval_after(epoch) {
+                let value = f.value(&w);
+                evaluations += 1;
+                value_history.push(value);
+                if !value.is_finite() {
+                    return Self::numerical_error(w, value, epoch + 1, evaluations, value_history);
+                }
+            }
+        }
+
+        let value = *value_history
+            .last()
+            .expect("the final epoch always evaluates");
+        OptimizationResult {
+            weights: w,
+            value,
+            iterations: self.epochs,
+            function_evaluations: evaluations,
+            reason: TerminationReason::MaxIterations,
+            value_history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::DifferentiableFunction;
+
+    /// Least squares on a tiny synthetic regression problem:
+    /// y = 2·x₀ − 3·x₁ (the same fixture the serial SGD tests use).
+    struct LeastSquares {
+        xs: Vec<[f64; 2]>,
+        ys: Vec<f64>,
+    }
+
+    impl LeastSquares {
+        fn new() -> Self {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            for i in 0..64 {
+                let x0 = i as f64 / 32.0 - 1.0;
+                let x1 = (i % 7) as f64 / 7.0;
+                xs.push([x0, x1]);
+                ys.push(2.0 * x0 - 3.0 * x1);
+            }
+            Self { xs, ys }
+        }
+    }
+
+    impl DifferentiableFunction for LeastSquares {
+        fn dimension(&self) -> usize {
+            2
+        }
+        fn value(&self, w: &[f64]) -> f64 {
+            self.xs
+                .iter()
+                .zip(&self.ys)
+                .map(|(x, y)| (w[0] * x[0] + w[1] * x[1] - y).powi(2))
+                .sum::<f64>()
+                / self.xs.len() as f64
+        }
+        fn gradient(&self, w: &[f64], grad: &mut [f64]) {
+            let idx: Vec<usize> = (0..self.xs.len()).collect();
+            self.batch_value_and_gradient(w, &idx, grad);
+        }
+    }
+
+    impl StochasticFunction for LeastSquares {
+        fn n_examples(&self) -> usize {
+            self.xs.len()
+        }
+        fn batch_value_and_gradient(&self, w: &[f64], examples: &[usize], grad: &mut [f64]) -> f64 {
+            grad.fill(0.0);
+            let mut loss = 0.0;
+            for &i in examples {
+                let x = &self.xs[i];
+                let r = w[0] * x[0] + w[1] * x[1] - self.ys[i];
+                loss += r * r;
+                grad[0] += 2.0 * r * x[0];
+                grad[1] += 2.0 * r * x[1];
+            }
+            let scale = 1.0 / examples.len().max(1) as f64;
+            grad[0] *= scale;
+            grad[1] *= scale;
+            loss * scale
+        }
+    }
+
+    #[test]
+    fn shared_params_round_trip_and_accumulate() {
+        let p = SharedParams::new(&[1.0, -2.5, 0.0]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.load(1), -2.5);
+        p.fetch_add(0, 0.5);
+        p.fetch_add(2, 0.0); // no-op fast path
+        assert_eq!(p.to_vec(), vec![1.5, -2.5, 0.0]);
+        let mut out = vec![0.0; 3];
+        p.snapshot_into(&mut out);
+        assert_eq!(out, vec![1.5, -2.5, 0.0]);
+    }
+
+    #[test]
+    fn deterministic_mode_is_bit_identical_across_thread_counts() {
+        let f = LeastSquares::new();
+        let config = AsyncSgd::new().epochs(8).batch_size(8).seed(7);
+        let runs: Vec<Vec<f64>> = [1, 2, 4]
+            .iter()
+            .map(|&t| {
+                let ctx = ExecContext::new().with_threads(t);
+                config.run(&f, vec![0.0, 0.0], &ctx).weights
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn hogwild_reduces_the_loss() {
+        let f = LeastSquares::new();
+        let initial_loss = f.value(&[0.0, 0.0]);
+        let ctx = ExecContext::new().with_threads(4);
+        let r = AsyncSgd::new()
+            .mode(UpdateMode::Hogwild)
+            .learning_rate(0.2)
+            .epochs(60)
+            .batch_size(4)
+            .run(&f, vec![0.0, 0.0], &ctx);
+        assert!(r.converged());
+        assert!(
+            r.value < initial_loss * 0.05,
+            "hogwild did not reduce the loss: {} vs {initial_loss}",
+            r.value
+        );
+        assert!((r.weights[0] - 2.0).abs() < 0.2, "w0 = {}", r.weights[0]);
+        assert!((r.weights[1] + 3.0).abs() < 0.2, "w1 = {}", r.weights[1]);
+    }
+
+    #[test]
+    fn eval_cadence_controls_history_length() {
+        let f = LeastSquares::new();
+        let ctx = ExecContext::serial();
+        let every = AsyncSgd::new()
+            .epochs(6)
+            .eval_every(1)
+            .run(&f, vec![0.0, 0.0], &ctx);
+        assert_eq!(every.value_history.len(), 6);
+        let sparse = AsyncSgd::new()
+            .epochs(6)
+            .eval_every(0)
+            .run(&f, vec![0.0, 0.0], &ctx);
+        assert_eq!(
+            sparse.value_history.len(),
+            1,
+            "final epoch always evaluates"
+        );
+        assert_eq!(sparse.value, *sparse.value_history.last().unwrap());
+        let thirds = AsyncSgd::new()
+            .epochs(6)
+            .eval_every(4)
+            .run(&f, vec![0.0, 0.0], &ctx);
+        // Epoch 4 (cadence) and epoch 6 (final).
+        assert_eq!(thirds.value_history.len(), 2);
+    }
+
+    #[test]
+    fn zero_epochs_and_empty_objectives_return_the_initial_point() {
+        let f = LeastSquares::new();
+        let ctx = ExecContext::serial();
+        for mode in [UpdateMode::Deterministic, UpdateMode::Hogwild] {
+            let r = AsyncSgd::new()
+                .mode(mode)
+                .epochs(0)
+                .run(&f, vec![1.0, -1.0], &ctx);
+            assert_eq!(r.weights, vec![1.0, -1.0]);
+            assert_eq!(r.iterations, 0);
+            assert_eq!(r.function_evaluations, 1);
+        }
+    }
+
+    #[test]
+    fn divergence_is_reported_as_numerical_error_in_both_modes() {
+        let f = LeastSquares::new();
+        let ctx = ExecContext::new().with_threads(2);
+        for mode in [UpdateMode::Deterministic, UpdateMode::Hogwild] {
+            let r = AsyncSgd::new()
+                .mode(mode)
+                .learning_rate(1e12)
+                .epochs(50)
+                .run(&f, vec![0.0, 0.0], &ctx);
+            assert_eq!(r.reason, TerminationReason::NumericalError, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn hogwild_counts_every_batch_evaluation() {
+        let f = LeastSquares::new(); // 64 examples
+        let ctx = ExecContext::new().with_threads(4);
+        let r = AsyncSgd::new()
+            .mode(UpdateMode::Hogwild)
+            .epochs(3)
+            .batch_size(16) // 4 batches per epoch
+            .eval_every(1)
+            .run(&f, vec![0.0, 0.0], &ctx);
+        // 3 epochs × 4 batches + 3 full evaluations.
+        assert_eq!(r.function_evaluations, 15);
+    }
+}

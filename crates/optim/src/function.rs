@@ -35,6 +35,21 @@ pub trait StochasticFunction: DifferentiableFunction {
     /// Write the gradient of the loss restricted to `examples` into `grad`
     /// and return the corresponding loss value.
     fn batch_value_and_gradient(&self, w: &[f64], examples: &[usize], grad: &mut [f64]) -> f64;
+
+    /// Like [`batch_value_and_gradient`](Self::batch_value_and_gradient) but
+    /// for a **contiguous** row range.  The default gathers the range into an
+    /// index list; the `m3-ml` losses override it to hand the raw range to
+    /// their fused SIMD chunk kernels (and, for mmap-backed stores, to read
+    /// the rows in-place with no gather at all).
+    fn batch_range_value_and_gradient(
+        &self,
+        w: &[f64],
+        examples: std::ops::Range<usize>,
+        grad: &mut [f64],
+    ) -> f64 {
+        let indices: Vec<usize> = examples.collect();
+        self.batch_value_and_gradient(w, &indices, grad)
+    }
 }
 
 /// Numerically estimate a gradient by central differences.  Intended for

@@ -8,8 +8,11 @@
 //!   recursion and a strong-Wolfe line search (the algorithm behind the
 //!   paper's headline logistic-regression experiments),
 //! * [`gd::GradientDescent`] — plain batch gradient descent (baseline),
-//! * [`sgd::Sgd`] — mini-batch stochastic gradient descent, covering the
-//!   paper's "online learning" future-work direction,
+//! * [`sgd::Sgd`] — serial mini-batch stochastic gradient descent, covering
+//!   the paper's "online learning" future-work direction,
+//! * [`async_sgd::AsyncSgd`] — mini-batch SGD on the shared worker pool,
+//!   with a bit-deterministic plan-ordered mode and a lock-free Hogwild
+//!   mode; both draw batches from [`minibatch::MinibatchSampler`],
 //! * [`line_search`] — Armijo backtracking and strong-Wolfe searches,
 //! * [`function::DifferentiableFunction`] — the objective-function trait that
 //!   `m3-ml` models implement; because models compute their objective by
@@ -41,15 +44,19 @@
 
 #![warn(missing_docs)]
 
+pub mod async_sgd;
 pub mod function;
 pub mod gd;
 pub mod lbfgs;
 pub mod line_search;
+pub mod minibatch;
 pub mod sgd;
 pub mod termination;
 
+pub use async_sgd::{AsyncSgd, SharedParams, UpdateMode};
 pub use function::{DifferentiableFunction, StochasticFunction};
 pub use lbfgs::Lbfgs;
+pub use minibatch::{Batch, EpochPlan, MinibatchSampler, SamplerError, SamplingScheme};
 pub use termination::{OptimizationResult, TerminationCriteria, TerminationReason};
 
 #[cfg(test)]

@@ -1,0 +1,366 @@
+//! Seeded, reproducible mini-batch sampling over row-indexed datasets.
+//!
+//! Every stochastic solver in this crate — the serial [`crate::sgd::Sgd`]
+//! driver and the pool-parallel [`crate::async_sgd::AsyncSgd`] — draws its
+//! batches from one [`MinibatchSampler`], so there is exactly one sampling
+//! implementation to test and exactly one definition of "epoch `e` of run
+//! seeded `s`".
+//!
+//! The design constraint is determinism under parallel consumption: an
+//! epoch's batch plan is a **pure function of `(seed, epoch)`**.  The plan is
+//! fully materialised before any worker touches it, so the set of batches —
+//! and the contents of each batch — never depend on the thread count or on
+//! which worker claimed which batch.  Parallel drivers only race over *who*
+//! processes a batch, never over *what* the batches are.
+//!
+//! Two batch shapes exist (see [`Batch`]): contiguous row ranges, which the
+//! losses feed to their fused SIMD chunk kernels and which keep mmap access
+//! mostly sequential, and gathered index lists for the classic
+//! shuffled-row / with-replacement schemes.
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How examples are drawn for each mini-batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingScheme {
+    /// Shuffle the example order once per epoch, then take consecutive
+    /// batches of the permutation.  Classic SGD; gathered (random) row
+    /// access — the pathological pattern for paging.
+    ShuffledEpochs,
+    /// Keep batches as contiguous row ranges and shuffle the **batch order**
+    /// once per epoch.  Near-sequential access within every batch, so the
+    /// fused chunk kernels apply and mmap read-ahead keeps working — the
+    /// mmap-friendly default for out-of-core training.
+    ShuffledChunks,
+    /// Draw every batch uniformly at random with replacement.  Random
+    /// access: the I/O worst case the `m3-vmsim` ablations quantify.
+    UniformRandom,
+    /// Take contiguous batches in the natural row order without shuffling:
+    /// perfectly sequential (useful as an I/O upper-bound reference).
+    Sequential,
+}
+
+/// Typed construction errors for [`MinibatchSampler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerError {
+    /// `batch_size == 0` — no batch can ever be formed.
+    ZeroBatchSize,
+    /// `n_examples == 0` — there is nothing to sample from.
+    EmptyDataset,
+}
+
+impl fmt::Display for SamplerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplerError::ZeroBatchSize => write!(f, "mini-batch size must be at least 1"),
+            SamplerError::EmptyDataset => write!(f, "cannot sample mini-batches from 0 examples"),
+        }
+    }
+}
+
+impl std::error::Error for SamplerError {}
+
+/// Mix a run seed and an epoch index into one RNG seed (SplitMix64 finaliser,
+/// the same mixer the vendored `StdRng` seeds itself through).  Epoch plans
+/// derive their RNG from this, so epoch `e` is reproducible in isolation —
+/// no RNG state threads from one epoch into the next.
+fn mix_seed(seed: u64, epoch: u64) -> u64 {
+    let mut z = seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, reproducible source of mini-batch plans over `n_examples` rows.
+///
+/// Construction validates the shape (typed [`SamplerError`]s); a batch size
+/// larger than the dataset is clamped to one full-dataset batch.  Plans for
+/// any epoch can then be generated in any order — [`epoch`](Self::epoch) is
+/// pure in `(seed, epoch)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinibatchSampler {
+    n_examples: usize,
+    batch_size: usize,
+    scheme: SamplingScheme,
+    seed: u64,
+}
+
+impl MinibatchSampler {
+    /// Create a sampler over `n_examples` rows.
+    ///
+    /// # Errors
+    /// [`SamplerError::ZeroBatchSize`] when `batch_size == 0`,
+    /// [`SamplerError::EmptyDataset`] when `n_examples == 0`.
+    pub fn new(
+        n_examples: usize,
+        batch_size: usize,
+        scheme: SamplingScheme,
+        seed: u64,
+    ) -> Result<Self, SamplerError> {
+        if batch_size == 0 {
+            return Err(SamplerError::ZeroBatchSize);
+        }
+        if n_examples == 0 {
+            return Err(SamplerError::EmptyDataset);
+        }
+        Ok(Self {
+            n_examples,
+            batch_size: batch_size.min(n_examples),
+            scheme,
+            seed,
+        })
+    }
+
+    /// Number of examples the sampler draws from.
+    pub fn n_examples(&self) -> usize {
+        self.n_examples
+    }
+
+    /// Effective batch size (the requested size, clamped to `n_examples`).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// The sampling scheme.
+    pub fn scheme(&self) -> SamplingScheme {
+        self.scheme
+    }
+
+    /// The run seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Batches per epoch (the last without-replacement batch may be short).
+    pub fn n_batches(&self) -> usize {
+        self.n_examples.div_ceil(self.batch_size)
+    }
+
+    /// Materialise the batch plan for `epoch`.  Pure in `(seed, epoch)`:
+    /// calling it twice — on any thread, in any order relative to other
+    /// epochs — returns identical plans.
+    pub fn epoch(&self, epoch: usize) -> EpochPlan {
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, epoch as u64));
+        let kind = match self.scheme {
+            SamplingScheme::Sequential => PlanKind::Ranges((0..self.n_batches()).collect()),
+            SamplingScheme::ShuffledChunks => {
+                let mut order: Vec<usize> = (0..self.n_batches()).collect();
+                order.shuffle(&mut rng);
+                PlanKind::Ranges(order)
+            }
+            SamplingScheme::ShuffledEpochs => {
+                let mut order: Vec<usize> = (0..self.n_examples).collect();
+                order.shuffle(&mut rng);
+                PlanKind::Gathered(order)
+            }
+            SamplingScheme::UniformRandom => {
+                let total = self.n_batches() * self.batch_size;
+                PlanKind::Gathered(
+                    (0..total)
+                        .map(|_| rng.gen_range(0..self.n_examples))
+                        .collect(),
+                )
+            }
+        };
+        EpochPlan {
+            n_examples: self.n_examples,
+            batch_size: self.batch_size,
+            kind,
+        }
+    }
+}
+
+/// How one epoch's batches are stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PlanKind {
+    /// Order of contiguous batch ids; batch id `i` covers rows
+    /// `i·batch_size .. min((i+1)·batch_size, n)`.
+    Ranges(Vec<usize>),
+    /// Flat row indices; batch `b` is the `b`-th `batch_size`-wide window
+    /// (the last window may be short for without-replacement permutations).
+    Gathered(Vec<usize>),
+}
+
+/// One epoch's fully materialised batch plan (see
+/// [`MinibatchSampler::epoch`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochPlan {
+    n_examples: usize,
+    batch_size: usize,
+    kind: PlanKind,
+}
+
+/// One mini-batch: either a contiguous row range (eligible for the fused
+/// chunk kernels and `rows_slice`/`sparse_chunk` zero-copy access) or a
+/// gathered list of row indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Batch<'a> {
+    /// Rows `start..end`, contiguous in the store.
+    Range(Range<usize>),
+    /// Arbitrary row indices.
+    Indices(&'a [usize]),
+}
+
+impl Batch<'_> {
+    /// Number of examples in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            Batch::Range(r) => r.end - r.start,
+            Batch::Indices(ix) => ix.len(),
+        }
+    }
+
+    /// `true` when the batch holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl EpochPlan {
+    /// Number of batches in the plan.
+    pub fn n_batches(&self) -> usize {
+        match &self.kind {
+            PlanKind::Ranges(order) => order.len(),
+            PlanKind::Gathered(flat) => flat.len().div_ceil(self.batch_size),
+        }
+    }
+
+    /// The `b`-th batch of the plan.
+    ///
+    /// # Panics
+    /// Panics when `b >= n_batches()`.
+    pub fn batch(&self, b: usize) -> Batch<'_> {
+        match &self.kind {
+            PlanKind::Ranges(order) => {
+                let id = order[b];
+                let start = id * self.batch_size;
+                let end = (start + self.batch_size).min(self.n_examples);
+                Batch::Range(start..end)
+            }
+            PlanKind::Gathered(flat) => {
+                let start = b * self.batch_size;
+                let end = (start + self.batch_size).min(flat.len());
+                assert!(start < flat.len(), "batch index out of range");
+                Batch::Indices(&flat[start..end])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coverage(plan: &EpochPlan) -> Vec<usize> {
+        let mut rows = Vec::new();
+        for b in 0..plan.n_batches() {
+            match plan.batch(b) {
+                Batch::Range(r) => rows.extend(r),
+                Batch::Indices(ix) => rows.extend_from_slice(ix),
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn typed_errors_for_degenerate_shapes() {
+        assert_eq!(
+            MinibatchSampler::new(10, 0, SamplingScheme::Sequential, 1),
+            Err(SamplerError::ZeroBatchSize)
+        );
+        assert_eq!(
+            MinibatchSampler::new(0, 4, SamplingScheme::Sequential, 1),
+            Err(SamplerError::EmptyDataset)
+        );
+        assert!(SamplerError::ZeroBatchSize
+            .to_string()
+            .contains("at least 1"));
+        assert!(SamplerError::EmptyDataset
+            .to_string()
+            .contains("0 examples"));
+    }
+
+    #[test]
+    fn oversized_batch_is_clamped_to_one_full_batch() {
+        let s = MinibatchSampler::new(7, 1000, SamplingScheme::ShuffledEpochs, 3).unwrap();
+        assert_eq!(s.batch_size(), 7);
+        assert_eq!(s.n_batches(), 1);
+        let plan = s.epoch(0);
+        assert_eq!(plan.n_batches(), 1);
+        assert_eq!(plan.batch(0).len(), 7);
+    }
+
+    #[test]
+    fn epoch_plans_are_pure_in_seed_and_epoch() {
+        for scheme in [
+            SamplingScheme::ShuffledEpochs,
+            SamplingScheme::ShuffledChunks,
+            SamplingScheme::UniformRandom,
+            SamplingScheme::Sequential,
+        ] {
+            let s = MinibatchSampler::new(103, 8, scheme, 42).unwrap();
+            assert_eq!(s.epoch(5), s.epoch(5), "{scheme:?}");
+            // Different seed ⇒ different plan for the stochastic schemes.
+            let t = MinibatchSampler::new(103, 8, scheme, 43).unwrap();
+            if scheme != SamplingScheme::Sequential {
+                assert_ne!(s.epoch(5), t.epoch(5), "{scheme:?}");
+                assert_ne!(s.epoch(4), s.epoch(5), "{scheme:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn without_replacement_schemes_cover_every_row_exactly_once() {
+        for scheme in [
+            SamplingScheme::ShuffledEpochs,
+            SamplingScheme::ShuffledChunks,
+            SamplingScheme::Sequential,
+        ] {
+            let s = MinibatchSampler::new(101, 8, scheme, 9).unwrap();
+            let mut rows = coverage(&s.epoch(3));
+            rows.sort_unstable();
+            assert_eq!(rows, (0..101).collect::<Vec<_>>(), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn with_replacement_draws_full_batches_in_range() {
+        let s = MinibatchSampler::new(50, 8, SamplingScheme::UniformRandom, 11).unwrap();
+        let plan = s.epoch(0);
+        assert_eq!(plan.n_batches(), 7);
+        for b in 0..plan.n_batches() {
+            let batch = plan.batch(b);
+            assert_eq!(batch.len(), 8);
+            if let Batch::Indices(ix) = batch {
+                assert!(ix.iter().all(|&i| i < 50));
+            } else {
+                panic!("with-replacement batches are gathered");
+            }
+        }
+    }
+
+    #[test]
+    fn range_batches_tile_the_dataset() {
+        let s = MinibatchSampler::new(100, 9, SamplingScheme::ShuffledChunks, 1).unwrap();
+        let plan = s.epoch(2);
+        let mut ranges: Vec<Range<usize>> = (0..plan.n_batches())
+            .map(|b| match plan.batch(b) {
+                Batch::Range(r) => r,
+                Batch::Indices(_) => panic!("chunk batches are ranges"),
+            })
+            .collect();
+        ranges.sort_by_key(|r| r.start);
+        let mut expected_start = 0;
+        for r in &ranges {
+            assert_eq!(r.start, expected_start, "batch boundaries must abut");
+            assert!(r.end - r.start <= 9);
+            expected_start = r.end;
+        }
+        assert_eq!(expected_start, 100);
+    }
+}

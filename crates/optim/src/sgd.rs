@@ -8,28 +8,11 @@
 //! (the default here) restores near-sequential locality by permuting once per
 //! epoch and then scanning.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
-use m3_linalg::{norm, ops};
-
+use crate::async_sgd::{AsyncSgd, UpdateMode};
 use crate::function::StochasticFunction;
-use crate::termination::{OptimizationResult, TerminationReason};
+use crate::termination::OptimizationResult;
 
-/// How examples are drawn for each mini-batch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SamplingScheme {
-    /// Shuffle the example order once per epoch, then take consecutive
-    /// batches.  Mostly-sequential access: mmap-friendly.
-    ShuffledEpochs,
-    /// Draw every batch uniformly at random with replacement.  Random access:
-    /// the pathological pattern for paging.
-    UniformRandom,
-    /// Take batches in the natural row order without shuffling: perfectly
-    /// sequential (useful as an I/O upper-bound reference).
-    Sequential,
-}
+pub use crate::minibatch::SamplingScheme;
 
 /// Mini-batch SGD configuration.
 #[derive(Debug, Clone)]
@@ -98,93 +81,27 @@ impl Sgd {
     }
 
     /// Minimise `f` from `initial`.
+    ///
+    /// Delegates to [`AsyncSgd`]'s deterministic driver, so the serial and
+    /// async paths share one sampling implementation
+    /// ([`crate::minibatch::MinibatchSampler`]) and one update loop; this
+    /// type remains only as the serial-flavoured configuration front-end.
     pub fn run<F: StochasticFunction + ?Sized>(
         &self,
         f: &F,
         initial: Vec<f64>,
     ) -> OptimizationResult {
-        let d = f.dimension();
-        assert_eq!(initial.len(), d, "initial point has wrong dimension");
-        let n = f.n_examples();
-        let mut w = initial;
-        let mut grad = vec![0.0; d];
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut evaluations = 0usize;
-        let mut value_history = Vec::with_capacity(self.epochs);
-
-        if n == 0 || self.epochs == 0 {
-            let value = f.value(&w);
-            return OptimizationResult {
-                weights: w,
-                value,
-                iterations: 0,
-                function_evaluations: 1,
-                reason: TerminationReason::MaxIterations,
-                value_history,
-            };
+        AsyncSgd {
+            learning_rate: self.learning_rate,
+            decay: self.decay,
+            batch_size: self.batch_size,
+            epochs: self.epochs,
+            sampling: self.sampling,
+            seed: self.seed,
+            mode: UpdateMode::Deterministic,
+            eval_every: 1,
         }
-
-        let mut order: Vec<usize> = (0..n).collect();
-        let batch = self.batch_size.min(n);
-
-        for epoch in 0..self.epochs {
-            let lr = self.learning_rate / (1.0 + self.decay * epoch as f64);
-            match self.sampling {
-                SamplingScheme::ShuffledEpochs => order.shuffle(&mut rng),
-                SamplingScheme::Sequential | SamplingScheme::UniformRandom => {}
-            }
-
-            let n_batches = n.div_ceil(batch);
-            for b in 0..n_batches {
-                let examples: Vec<usize> = match self.sampling {
-                    SamplingScheme::UniformRandom => {
-                        (0..batch).map(|_| rng.gen_range(0..n)).collect()
-                    }
-                    _ => {
-                        let start = b * batch;
-                        let end = ((b + 1) * batch).min(n);
-                        order[start..end].to_vec()
-                    }
-                };
-                f.batch_value_and_gradient(&w, &examples, &mut grad);
-                evaluations += 1;
-                if grad.iter().any(|g| !g.is_finite()) {
-                    return OptimizationResult {
-                        weights: w,
-                        value: f64::NAN,
-                        iterations: epoch,
-                        function_evaluations: evaluations,
-                        reason: TerminationReason::NumericalError,
-                        value_history,
-                    };
-                }
-                ops::axpy(-lr, &grad, &mut w);
-            }
-
-            let value = f.value(&w);
-            evaluations += 1;
-            value_history.push(value);
-            if !value.is_finite() || norm::l2(&w).is_nan() {
-                return OptimizationResult {
-                    weights: w,
-                    value,
-                    iterations: epoch + 1,
-                    function_evaluations: evaluations,
-                    reason: TerminationReason::NumericalError,
-                    value_history,
-                };
-            }
-        }
-
-        let value = *value_history.last().expect("at least one epoch ran");
-        OptimizationResult {
-            weights: w,
-            value,
-            iterations: self.epochs,
-            function_evaluations: evaluations,
-            reason: TerminationReason::MaxIterations,
-            value_history,
-        }
+        .run_deterministic(f, initial)
     }
 }
 
@@ -192,6 +109,7 @@ impl Sgd {
 mod tests {
     use super::*;
     use crate::function::DifferentiableFunction;
+    use crate::termination::TerminationReason;
 
     /// Least squares on a tiny synthetic regression problem:
     /// y = 2·x₀ − 3·x₁, examples on a grid.

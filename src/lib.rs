@@ -9,7 +9,7 @@
 //! | [`core`] | `m3-core` | memory-mapped matrices, `mmap_alloc`, dataset container, access hints & traces, the shared [`ExecContext`](core::ExecContext) execution layer (the paper's contribution) |
 //! | [`linalg`] | `m3-linalg` | dense vectors/matrices and BLAS-lite kernels |
 //! | [`data`] | `m3-data` | Infimnist-like generator, blobs, CSV/libsvm, streaming writers |
-//! | [`optim`] | `m3-optim` | L-BFGS, line searches, GD, SGD |
+//! | [`optim`] | `m3-optim` | L-BFGS, line searches, GD, serial & worker-pool mini-batch SGD |
 //! | [`ml`] | `m3-ml` | the [`Estimator`](ml::api::Estimator)/[`Model`](ml::api::Model) API: logistic regression, softmax, k-means, linear regression, naive Bayes, scalers |
 //! | [`serve`] | `m3-serve` | zero-copy artifact serving: hot-swappable model registry + batch HTTP prediction server |
 //! | [`vmsim`] | `m3-vmsim` | page-cache + SSD simulator behind Figure 1a |
@@ -87,9 +87,11 @@ pub mod prelude {
     pub use m3_ml::{
         load_model, GaussianNb, GaussianNbTrainer, KMeans, KMeansConfig, KMeansInit, KMeansModel,
         LinearModel, LinearRegression, LogisticConfig, LogisticModel, LogisticRegression,
-        SoftmaxConfig, SoftmaxModel, SoftmaxRegression, StandardScaler, Standardizer,
+        SoftmaxConfig, SoftmaxModel, SoftmaxRegression, Solver, StandardScaler, Standardizer,
     };
-    pub use m3_optim::{Lbfgs, TerminationCriteria};
+    pub use m3_optim::{
+        AsyncSgd, Lbfgs, MinibatchSampler, SamplingScheme, TerminationCriteria, UpdateMode,
+    };
     pub use m3_serve::{ModelRegistry, PredictServer, Swap};
     pub use m3_vmsim::{SimConfig, Simulator, StorageDevice};
 }

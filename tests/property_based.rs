@@ -304,6 +304,140 @@ fn page_cache_invariants() {
     }
 }
 
+/// Mini-batch epoch plans are pure functions of `(seed, epoch)`: rebuilding
+/// the sampler reproduces every batch bit for bit.
+#[test]
+fn minibatch_plans_are_reproducible() {
+    use m3::optim::Batch;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(9000 + case);
+        let n = rng.gen_range(1usize..400);
+        let batch_size = rng.gen_range(1usize..64);
+        let seed: u64 = rng.gen_range(0u64..u64::MAX / 2);
+        for scheme in [
+            SamplingScheme::Sequential,
+            SamplingScheme::ShuffledChunks,
+            SamplingScheme::ShuffledEpochs,
+            SamplingScheme::UniformRandom,
+        ] {
+            let a = MinibatchSampler::new(n, batch_size, scheme, seed).unwrap();
+            let b = MinibatchSampler::new(n, batch_size, scheme, seed).unwrap();
+            for epoch in [0usize, 1, 7] {
+                let pa = a.epoch(epoch);
+                let pb = b.epoch(epoch);
+                assert_eq!(pa.n_batches(), pb.n_batches());
+                for i in 0..pa.n_batches() {
+                    match (pa.batch(i), pb.batch(i)) {
+                        (Batch::Range(x), Batch::Range(y)) => assert_eq!(x, y),
+                        (Batch::Indices(x), Batch::Indices(y)) => assert_eq!(x, y),
+                        _ => panic!("batch kind changed between identical samplers"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Without-replacement schemes visit every row exactly once per epoch, and
+/// batch boundaries never split or duplicate a row.
+#[test]
+fn minibatch_epochs_visit_every_row_exactly_once() {
+    use m3::optim::Batch;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(9100 + case);
+        let n = rng.gen_range(1usize..300);
+        let batch_size = rng.gen_range(1usize..48);
+        let seed: u64 = rng.gen_range(0u64..1 << 40);
+        let effective = batch_size.min(n);
+        for scheme in [
+            SamplingScheme::Sequential,
+            SamplingScheme::ShuffledChunks,
+            SamplingScheme::ShuffledEpochs,
+        ] {
+            let sampler = MinibatchSampler::new(n, batch_size, scheme, seed).unwrap();
+            assert_eq!(sampler.n_batches(), n.div_ceil(effective));
+            for epoch in 0..3 {
+                let plan = sampler.epoch(epoch);
+                let mut visits = vec![0usize; n];
+                for b in 0..plan.n_batches() {
+                    let batch = plan.batch(b);
+                    assert!(!batch.is_empty(), "{scheme:?} produced an empty batch");
+                    assert!(batch.len() <= effective, "{scheme:?} oversized a batch");
+                    match batch {
+                        Batch::Range(r) => {
+                            for i in r {
+                                visits[i] += 1;
+                            }
+                        }
+                        Batch::Indices(ix) => {
+                            for &i in ix {
+                                visits[i] += 1;
+                            }
+                        }
+                    }
+                }
+                assert!(
+                    visits.iter().all(|&v| v == 1),
+                    "{scheme:?} epoch {epoch}: a row was skipped or duplicated"
+                );
+            }
+        }
+    }
+}
+
+/// The with-replacement scheme always draws full batches of in-range rows.
+#[test]
+fn minibatch_uniform_random_draws_full_in_range_batches() {
+    use m3::optim::Batch;
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(9200 + case);
+        let n = rng.gen_range(1usize..200);
+        let batch_size = rng.gen_range(1usize..32);
+        let effective = batch_size.min(n);
+        let sampler =
+            MinibatchSampler::new(n, batch_size, SamplingScheme::UniformRandom, 9200 + case)
+                .unwrap();
+        let plan = sampler.epoch(case as usize % 5);
+        assert_eq!(plan.n_batches(), n.div_ceil(effective));
+        for b in 0..plan.n_batches() {
+            match plan.batch(b) {
+                Batch::Indices(ix) => {
+                    assert_eq!(ix.len(), effective, "with-replacement batches are full");
+                    assert!(ix.iter().all(|&i| i < n));
+                }
+                Batch::Range(_) => panic!("UniformRandom must gather indices"),
+            }
+        }
+    }
+}
+
+/// Degenerate sampler configurations fail with typed errors instead of
+/// panicking or silently producing empty plans.
+#[test]
+fn minibatch_degenerate_configurations_are_rejected() {
+    use m3::optim::SamplerError;
+    for scheme in [
+        SamplingScheme::Sequential,
+        SamplingScheme::ShuffledChunks,
+        SamplingScheme::ShuffledEpochs,
+        SamplingScheme::UniformRandom,
+    ] {
+        assert!(matches!(
+            MinibatchSampler::new(10, 0, scheme, 1),
+            Err(SamplerError::ZeroBatchSize)
+        ));
+        assert!(matches!(
+            MinibatchSampler::new(0, 8, scheme, 1),
+            Err(SamplerError::EmptyDataset)
+        ));
+    }
+    // The errors are real `std::error::Error`s with useful messages.
+    let e = MinibatchSampler::new(10, 0, SamplingScheme::Sequential, 1).unwrap_err();
+    assert!(e.to_string().contains("batch size"));
+    let e = MinibatchSampler::new(0, 8, SamplingScheme::Sequential, 1).unwrap_err();
+    assert!(e.to_string().contains("0 examples"));
+}
+
 /// Row-range splitting covers every row exactly once for any inputs.
 #[test]
 fn split_rows_partitions_exactly() {

@@ -1,0 +1,203 @@
+//! Convergence & determinism battery for the worker-pool mini-batch SGD.
+//!
+//! The contract under test (see `m3_optim::async_sgd`):
+//!
+//! * **Deterministic mode** is bit-identical across thread counts and across
+//!   in-memory / memory-mapped backings, for dense and CSR layouts alike —
+//!   the same guarantee every other sweep in the workspace makes.
+//! * Dense and CSR runs of the same schedule agree to relative rounding
+//!   (different kernels, same math).
+//! * **Hogwild mode** gives up bit-reproducibility but must still converge:
+//!   its final full-data loss lands within a small tolerance of the L-BFGS
+//!   reference optimum.
+//! * All of the above also holds with SIMD kernels disabled
+//!   (`M3_FORCE_SCALAR=1`), exercised by re-executing the battery in a child
+//!   process.
+
+use m3::prelude::*;
+
+const SEED: u64 = 0x5eed_cafe;
+
+/// Dense classification fixture shared by the battery.
+fn dense_problem(n: usize) -> (DenseMatrix, Vec<f64>) {
+    let generator = LinearProblem::classification(vec![1.5, -2.0, 0.5, 0.25, -1.0], 0.3, 0.05, 77);
+    let (x, y) = generator.materialize(n);
+    (x, y)
+}
+
+/// The dense fixture with ~2/3 of its entries zeroed, as CSR + dense twin.
+fn sparse_problem(n: usize) -> (CsrMatrix, DenseMatrix, Vec<f64>) {
+    let (x, y) = dense_problem(n);
+    let mut data = x.as_slice().to_vec();
+    for (i, v) in data.iter_mut().enumerate() {
+        if (i * 2654435761) % 3 != 0 {
+            *v = 0.0;
+        }
+    }
+    let dense = DenseMatrix::from_vec(data, x.n_rows(), x.n_cols()).unwrap();
+    (CsrMatrix::from_dense(&dense), dense, y)
+}
+
+fn sgd_trainer(mode: UpdateMode, epochs: usize) -> LogisticRegression {
+    LogisticRegression::new(LogisticConfig {
+        solver: Solver::Sgd(
+            AsyncSgd::new()
+                .learning_rate(0.5)
+                .batch_size(32)
+                .epochs(epochs)
+                .seed(SEED)
+                .mode(mode),
+        ),
+        ..Default::default()
+    })
+}
+
+fn ctx_with(threads: usize) -> ExecContext {
+    ExecContext::new().with_threads(threads)
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn deterministic_sgd_is_bit_identical_across_threads_and_backings() {
+    let (x, y) = dense_problem(300);
+    let dir = tempfile::tempdir().unwrap();
+    let mapped = m3::core::alloc::persist_matrix(dir.path().join("sgd.m3"), &x).unwrap();
+    let trainer = sgd_trainer(UpdateMode::Deterministic, 15);
+
+    let reference = Estimator::fit(&trainer, &x, &y, &ctx_with(1)).unwrap();
+    for threads in [1usize, 2, 4] {
+        let ctx = ctx_with(threads);
+        let in_memory = Estimator::fit(&trainer, &x, &y, &ctx).unwrap();
+        let on_mmap = Estimator::fit(&trainer, &mapped, &y, &ctx).unwrap();
+        for (label, model) in [("memory", &in_memory), ("mmap", &on_mmap)] {
+            assert_bits_eq(
+                &reference.weights,
+                &model.weights,
+                &format!("{label} weights @ {threads} threads"),
+            );
+            assert_eq!(reference.bias.to_bits(), model.bias.to_bits());
+            assert_eq!(
+                reference.optimization.value.to_bits(),
+                model.optimization.value.to_bits(),
+                "final loss must be bit-identical"
+            );
+        }
+    }
+    // The deterministic runs actually learned something.
+    assert!(reference.accuracy(&x, &y) > 0.9);
+}
+
+#[test]
+fn deterministic_sparse_sgd_is_bit_identical_across_threads_and_backings() {
+    let (csr, _, y) = sparse_problem(300);
+    let dir = tempfile::tempdir().unwrap();
+    let mapped = m3::core::sparse::persist_csr(dir.path().join("sgd.m3csr"), &csr, None).unwrap();
+    let trainer = sgd_trainer(UpdateMode::Deterministic, 15);
+
+    let reference = trainer.fit_sparse(&csr, &y, &ctx_with(1)).unwrap();
+    for threads in [1usize, 2, 4] {
+        let ctx = ctx_with(threads);
+        let in_memory = trainer.fit_sparse(&csr, &y, &ctx).unwrap();
+        let on_mmap = trainer.fit_sparse(&mapped, &y, &ctx).unwrap();
+        for (label, model) in [("memory", &in_memory), ("mmap", &on_mmap)] {
+            assert_bits_eq(
+                &reference.weights,
+                &model.weights,
+                &format!("CSR {label} weights @ {threads} threads"),
+            );
+            assert_eq!(reference.bias.to_bits(), model.bias.to_bits());
+        }
+    }
+}
+
+#[test]
+fn deterministic_sgd_agrees_between_dense_and_csr_layouts() {
+    let (csr, dense, y) = sparse_problem(300);
+    let trainer = sgd_trainer(UpdateMode::Deterministic, 15);
+    let ctx = ctx_with(2);
+    let on_dense = Estimator::fit(&trainer, &dense, &y, &ctx).unwrap();
+    let on_sparse = trainer.fit_sparse(&csr, &y, &ctx).unwrap();
+    // Same batch schedule, different kernels: relative agreement, not bitwise.
+    for (a, b) in on_dense.weights.iter().zip(&on_sparse.weights) {
+        assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+    }
+    assert!((on_dense.bias - on_sparse.bias).abs() <= 1e-9 * (1.0 + on_dense.bias.abs()));
+}
+
+#[test]
+fn hogwild_sgd_reaches_the_lbfgs_reference_loss() {
+    // A properly regularised problem: the optimum sits at a modest weight
+    // norm, so a decaying-step SGD run can actually reach it rather than
+    // chase the huge-margin solution of a near-separable dataset.
+    let generator = LinearProblem::classification(vec![1.5, -2.0, 0.5, 0.25, -1.0], 0.3, 0.2, 77);
+    let (x, y) = generator.materialize(500);
+    let l2 = 1e-2;
+    let ctx = ctx_with(4);
+
+    let lbfgs = Estimator::fit(
+        &LogisticRegression::new(LogisticConfig {
+            l2,
+            ..Default::default()
+        }),
+        &x,
+        &y,
+        &ctx,
+    )
+    .unwrap();
+    let reference_loss = lbfgs.optimization.value;
+
+    let trainer = LogisticRegression::new(LogisticConfig {
+        l2,
+        solver: Solver::Sgd(
+            AsyncSgd::new()
+                .learning_rate(0.5)
+                .decay(0.05)
+                .batch_size(32)
+                .epochs(60)
+                .seed(SEED)
+                .mode(UpdateMode::Hogwild),
+        ),
+        ..Default::default()
+    });
+    let hogwild = Estimator::fit(&trainer, &x, &y, &ctx).unwrap();
+    let sgd_loss = hogwild.optimization.value;
+    assert!(
+        sgd_loss <= reference_loss + 1e-3 * (1.0 + reference_loss.abs()),
+        "hogwild loss {sgd_loss} should reach the L-BFGS reference {reference_loss}"
+    );
+    assert!(hogwild.accuracy(&x, &y) > 0.85);
+}
+
+#[test]
+fn deterministic_sgd_battery_passes_under_forced_scalar_kernels() {
+    // The kernel path is cached per process, so the scalar-path run needs a
+    // fresh process: re-exec this test binary with M3_FORCE_SCALAR=1 and a
+    // filter that picks up every `deterministic*` test (this one included —
+    // it short-circuits below in the child, so there is no recursion).
+    if m3::linalg::dispatch::force_scalar_requested() {
+        assert_eq!(
+            m3::linalg::dispatch::active(),
+            m3::linalg::KernelPath::Scalar,
+            "M3_FORCE_SCALAR=1 must pin the scalar kernel path"
+        );
+        return;
+    }
+    let exe = std::env::current_exe().expect("test binary path");
+    let output = std::process::Command::new(exe)
+        .args(["deterministic", "--test-threads", "1"])
+        .env("M3_FORCE_SCALAR", "1")
+        .output()
+        .expect("failed to re-exec the SGD battery");
+    assert!(
+        output.status.success(),
+        "SGD battery failed under M3_FORCE_SCALAR=1:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
