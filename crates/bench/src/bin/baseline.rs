@@ -375,6 +375,68 @@ fn main() {
     );
     record("sgd_vs_lbfgs/speedup", lbfgs_secs / sgd_secs);
 
+    // --- checkpoint write overhead ------------------------------------------
+    // Deterministic-mode SGD on the same CSR fixture, timed with
+    // checkpointing off, once per epoch, and every 4 batches.  The deltas
+    // are the crash-safety tax: serialize + CRC + fsync + rename per
+    // snapshot (epoch cadence) and the same cost amplified ~20x by the
+    // batch cadence.  Deterministic mode is used because batch-granular
+    // cadences only exist on the serial path.
+    use m3_optim::{CheckpointConfig, CheckpointEvery};
+    let ckpt_trainer = |cfg: Option<CheckpointConfig>| {
+        let mut sgd = AsyncSgd::new()
+            .learning_rate(4.0)
+            .decay(1.0)
+            .batch_size(256)
+            .epochs(8)
+            .seed(0x5eed)
+            .eval_every(0);
+        if let Some(cfg) = cfg {
+            sgd = sgd.checkpoint(cfg);
+        }
+        LogisticRegression::new(LogisticConfig {
+            l2: sgd_l2,
+            solver: m3_ml::Solver::Sgd(sgd),
+            ..Default::default()
+        })
+    };
+    let ckpt_off_secs = time_it(3, || {
+        ckpt_trainer(None)
+            .fit_sparse(&sparse, &sparse_labels, &ctx_parallel)
+            .unwrap()
+    });
+    let epoch_dir = dir.path().join("ckpt-epoch1");
+    let ckpt_epoch_secs = time_it(3, || {
+        ckpt_trainer(Some(
+            CheckpointConfig::new(&epoch_dir)
+                .every(CheckpointEvery::Epochs(1))
+                .retain(2),
+        ))
+        .fit_sparse(&sparse, &sparse_labels, &ctx_parallel)
+        .unwrap()
+    });
+    let batch_dir = dir.path().join("ckpt-batches4");
+    let ckpt_batch_secs = time_it(3, || {
+        ckpt_trainer(Some(
+            CheckpointConfig::new(&batch_dir)
+                .every(CheckpointEvery::Batches(4))
+                .retain(2),
+        ))
+        .fit_sparse(&sparse, &sparse_labels, &ctx_parallel)
+        .unwrap()
+    });
+    record("checkpoint/sgd_secs_off", ckpt_off_secs);
+    record("checkpoint/sgd_secs_epoch1", ckpt_epoch_secs);
+    record("checkpoint/sgd_secs_batches4", ckpt_batch_secs);
+    record(
+        "checkpoint/overhead_epoch1",
+        ckpt_epoch_secs / ckpt_off_secs,
+    );
+    record(
+        "checkpoint/overhead_batches4",
+        ckpt_batch_secs / ckpt_off_secs,
+    );
+
     // --- normal-equations + scaler, the sequential-driver workloads --------
     let lin_gen = LinearProblem::regression(vec![1.0, -0.5, 0.25, 2.0], 1.0, 0.05, 7);
     let (lx, ly) = lin_gen.materialize(rows);

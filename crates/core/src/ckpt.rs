@@ -1,0 +1,792 @@
+//! The M3 training-checkpoint container format (`M3CKPT01`).
+//!
+//! Long-running SGD jobs lose all progress on a crash or preemption unless
+//! their state is durably snapshotted.  This module defines the on-disk
+//! format for those snapshots and the crash-safe writer that publishes them,
+//! built from the same pieces as every other container in the workspace:
+//! the [`crate::container`] preamble/section/checksum helpers and the
+//! `.tmp` + fsync + atomic-rename publish path routed through
+//! [`crate::faults`], so the crash-matrix suite applies to checkpoints
+//! exactly as it does to datasets, CSR files and model artifacts.
+//!
+//! ## On-disk layout (version 1)
+//!
+//! ```text
+//! offset 0    : 4096-byte header (magic "M3CKPT01", version, flags, the
+//!               TrainProgress fields, payload lengths, CRC32 block at 3584)
+//! offset 4096 : params  — n_params little-endian f64 (the parameter vector)
+//! then        : history — n_history little-endian f64 (the loss curve so far)
+//! ```
+//!
+//! The header records everything the optimiser needs to both *validate*
+//! that a checkpoint belongs to a given training configuration (seed,
+//! batch size, epochs, sampling scheme, update mode, learning-rate
+//! schedule, dataset size) and to *resume* from the exact position the
+//! snapshot was taken at (epoch index and the batch cursor within that
+//! epoch's plan).  Because epoch plans are pure in `(seed, epoch)`, a
+//! deterministic-mode resume replays the remaining batches bit-for-bit.
+//!
+//! The `sampling` and `mode` fields are small integer tags whose mapping to
+//! `m3-optim`'s enums lives with the optimiser; the format only fixes the
+//! valid ranges ([`CKPT_SAMPLING_TAGS`], [`CKPT_MODE_TAGS`]).
+//!
+//! Checkpoints are sequence-numbered files (`ckpt-<seq>.m3ck`) in a
+//! directory; [`find_latest_intact`] scans newest-first and skips corrupt or
+//! torn files with typed errors, never panics, so recovery always lands on
+//! the newest checkpoint that passes a full checksum verification.
+
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+
+use memmap2::Mmap;
+
+use crate::container::{
+    decode_preamble, encode_checksums, section_slice, SectionChecksum, CHECKSUM_BLOCK_OFFSET,
+};
+use crate::error::{CoreError, Result};
+use crate::{faults, AccessPattern, ELEMENT_BYTES, PAGE_SIZE};
+
+/// Magic bytes identifying an M3 training checkpoint.
+pub const CKPT_MAGIC: [u8; 8] = *b"M3CKPT01";
+/// Current on-disk checkpoint format version.
+pub const CKPT_FORMAT_VERSION: u32 = 1;
+/// Size of the fixed checkpoint header block (one page).
+pub const CKPT_HEADER_BYTES: usize = PAGE_SIZE;
+/// Size of the encoded portion of the header.
+pub const CKPT_HEADER_ENCODED_BYTES: usize = 136;
+/// Number of defined sampling-scheme tags (the enum lives in `m3-optim`).
+pub const CKPT_SAMPLING_TAGS: u32 = 4;
+/// Number of defined update-mode tags (the enum lives in `m3-optim`).
+pub const CKPT_MODE_TAGS: u32 = 2;
+/// File-name extension of checkpoint files.
+pub const CKPT_EXTENSION: &str = "m3ck";
+
+/// The training position and configuration identity stored in a checkpoint
+/// header.
+///
+/// The *position* fields (`epoch`, `next_batch`, `evaluations`, `sequence`)
+/// say where the run was when the snapshot was taken; the remaining fields
+/// fingerprint the configuration and dataset the snapshot belongs to, so a
+/// resume can refuse a checkpoint from a different run instead of silently
+/// continuing the wrong schedule.
+///
+/// `next_batch` ranges over `0..=n_batches` for the epoch's plan: a value of
+/// `n_batches` means "every batch of `epoch` is applied but its end-of-epoch
+/// evaluation has not happened yet" (batch-cadence snapshots are taken
+/// before the evaluation; epoch-cadence snapshots after it, as
+/// `(epoch + 1, 0)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainProgress {
+    /// Epoch the resumed run continues in (0-based).
+    pub epoch: u64,
+    /// Batch cursor within that epoch's plan (see the type docs).
+    pub next_batch: u64,
+    /// Number of training examples the run was sampling from.
+    pub n_examples: u64,
+    /// RNG seed — epoch plans are pure in `(seed, epoch)`.
+    pub seed: u64,
+    /// Mini-batch size.
+    pub batch_size: u64,
+    /// Total configured epochs.
+    pub epochs: u64,
+    /// Full-objective evaluation cadence (`0` = final epoch only).
+    pub eval_every: u64,
+    /// Sampling-scheme tag (`< CKPT_SAMPLING_TAGS`; mapping in `m3-optim`).
+    pub sampling: u32,
+    /// Update-mode tag (`< CKPT_MODE_TAGS`; mapping in `m3-optim`).
+    pub mode: u32,
+    /// Initial learning rate (the per-epoch rate is derived from it).
+    pub learning_rate: f64,
+    /// Per-epoch learning-rate decay.
+    pub decay: f64,
+    /// Function evaluations performed so far.
+    pub evaluations: u64,
+    /// Monotone checkpoint sequence number within the checkpoint directory.
+    pub sequence: u64,
+}
+
+/// Parsed checkpoint header.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointHeader {
+    /// On-disk format version.
+    pub version: u32,
+    /// Parameter-vector length in `f64` elements.
+    pub n_params: u64,
+    /// Loss-history length in `f64` elements.
+    pub n_history: u64,
+    /// Byte offset of the params section (always one page).
+    pub payload_offset: u64,
+    /// The training position and configuration identity.
+    pub progress: TrainProgress,
+}
+
+impl CheckpointHeader {
+    /// Construct a header for `n_params` parameters and `n_history` history
+    /// entries at `progress`, with checked arithmetic.
+    ///
+    /// Returns `None` when the snapshot is empty (`n_params == 0`), the
+    /// progress fields are out of the format's ranges, or the payload would
+    /// overflow `u64`.
+    fn checked_new(n_params: u64, n_history: u64, progress: TrainProgress) -> Option<Self> {
+        if n_params == 0
+            || progress.n_examples == 0
+            || progress.batch_size == 0
+            || progress.epoch > progress.epochs
+            || progress.sampling >= CKPT_SAMPLING_TAGS
+            || progress.mode >= CKPT_MODE_TAGS
+        {
+            return None;
+        }
+        // next_batch <= n_batches; n_batches <= n_examples since
+        // batch_size >= 1, so a loose-but-safe bound suffices here.
+        let n_batches = progress.n_examples.div_ceil(progress.batch_size);
+        if progress.next_batch > n_batches {
+            return None;
+        }
+        let payload_offset = CKPT_HEADER_BYTES as u64;
+        let payload = n_params
+            .checked_add(n_history)?
+            .checked_mul(ELEMENT_BYTES as u64)?;
+        payload_offset.checked_add(payload)?;
+        Some(Self {
+            version: CKPT_FORMAT_VERSION,
+            n_params,
+            n_history,
+            payload_offset,
+            progress,
+        })
+    }
+
+    /// Byte offset of the history section (immediately after the params).
+    pub fn history_offset(&self) -> u64 {
+        self.payload_offset + self.n_params * ELEMENT_BYTES as u64
+    }
+
+    /// Total file size implied by this header.
+    pub fn file_bytes(&self) -> u64 {
+        self.history_offset() + self.n_history * ELEMENT_BYTES as u64
+    }
+
+    /// Serialise into the fixed-size header block.
+    pub fn encode(&self) -> [u8; CKPT_HEADER_ENCODED_BYTES] {
+        let p = &self.progress;
+        let mut buf = [0u8; CKPT_HEADER_ENCODED_BYTES];
+        buf[0..8].copy_from_slice(&CKPT_MAGIC);
+        buf[8..12].copy_from_slice(&self.version.to_le_bytes());
+        buf[12..16].copy_from_slice(&0u32.to_le_bytes()); // flags (reserved)
+        buf[16..24].copy_from_slice(&self.n_params.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.n_history.to_le_bytes());
+        buf[32..40].copy_from_slice(&p.epoch.to_le_bytes());
+        buf[40..48].copy_from_slice(&p.next_batch.to_le_bytes());
+        buf[48..56].copy_from_slice(&p.n_examples.to_le_bytes());
+        buf[56..64].copy_from_slice(&p.seed.to_le_bytes());
+        buf[64..72].copy_from_slice(&p.batch_size.to_le_bytes());
+        buf[72..80].copy_from_slice(&p.epochs.to_le_bytes());
+        buf[80..88].copy_from_slice(&p.eval_every.to_le_bytes());
+        buf[88..92].copy_from_slice(&p.sampling.to_le_bytes());
+        buf[92..96].copy_from_slice(&p.mode.to_le_bytes());
+        buf[96..104].copy_from_slice(&p.learning_rate.to_bits().to_le_bytes());
+        buf[104..112].copy_from_slice(&p.decay.to_bits().to_le_bytes());
+        buf[112..120].copy_from_slice(&p.evaluations.to_le_bytes());
+        buf[120..128].copy_from_slice(&p.sequence.to_le_bytes());
+        buf[128..136].copy_from_slice(&self.payload_offset.to_le_bytes());
+        buf
+    }
+
+    /// Parse a header from the first bytes of a file and check internal
+    /// consistency.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::BadHeader`] on a wrong magic (which also rejects
+    /// every other container kind), an unsupported version, out-of-range
+    /// tags, an impossible training position, or a payload that would
+    /// overflow — checked arithmetic throughout, so crafted headers surface
+    /// as errors rather than panics.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let bad = |reason: String| CoreError::BadHeader { reason };
+        decode_preamble(
+            bytes,
+            &CKPT_MAGIC,
+            CKPT_FORMAT_VERSION,
+            CKPT_HEADER_ENCODED_BYTES,
+        )?;
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let progress = TrainProgress {
+            epoch: u64_at(32),
+            next_batch: u64_at(40),
+            n_examples: u64_at(48),
+            seed: u64_at(56),
+            batch_size: u64_at(64),
+            epochs: u64_at(72),
+            eval_every: u64_at(80),
+            sampling: u32_at(88),
+            mode: u32_at(92),
+            learning_rate: f64::from_bits(u64_at(96)),
+            decay: f64::from_bits(u64_at(104)),
+            evaluations: u64_at(112),
+            sequence: u64_at(120),
+        };
+        let header = Self::checked_new(u64_at(16), u64_at(24), progress)
+            .ok_or_else(|| bad("checkpoint state is empty or out of range".to_string()))?;
+        if u64_at(128) != header.payload_offset {
+            return Err(bad(
+                "payload offset disagrees with the format's fixed layout".to_string(),
+            ));
+        }
+        Ok(header)
+    }
+}
+
+/// An owned training snapshot: what the optimiser hands to the writer and
+/// what a resume restores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointState {
+    /// The parameter vector at the snapshot position.
+    pub params: Vec<f64>,
+    /// The loss history accumulated before the snapshot position.
+    pub value_history: Vec<f64>,
+    /// Where the snapshot was taken and which run it belongs to.
+    pub progress: TrainProgress,
+}
+
+/// A read-only memory-mapped training checkpoint.
+///
+/// Opening performs O(1) header validation; [`open_verified`]
+/// (`CheckpointFile::open_verified`) additionally re-hashes both payload
+/// sections, which is what resume uses unconditionally — a checkpoint is
+/// only trusted after a full integrity pass.
+#[derive(Debug)]
+pub struct CheckpointFile {
+    map: Mmap,
+    path: PathBuf,
+    header: CheckpointHeader,
+}
+
+impl CheckpointFile {
+    /// Memory-map an existing checkpoint.
+    ///
+    /// # Errors
+    /// Fails with typed [`CoreError`]s (never panics) when the file cannot
+    /// be opened or mapped, its header is malformed (wrong magic — which
+    /// covers wrong-kind files — wrong version, impossible state), or its
+    /// size disagrees with the header.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .open(&path)
+            .map_err(|e| CoreError::io(&path, e))?;
+        // SAFETY: read-only mapping, never mutably aliased by this process.
+        let map = unsafe { Mmap::map(&file) }.map_err(|e| CoreError::io(&path, e))?;
+        let header = CheckpointHeader::decode(&map[..map.len().min(CKPT_HEADER_BYTES)])?;
+        let actual = map.len() as u64;
+        if actual < header.file_bytes() {
+            return Err(CoreError::SizeMismatch {
+                path,
+                expected_bytes: header.file_bytes(),
+                actual_bytes: actual,
+            });
+        }
+        // Validate both sections once so the accessors are panic-free.
+        // SAFETY: f64 is plain-old-data.
+        unsafe {
+            section_slice::<f64>(&map[..], header.payload_offset, header.n_params as usize)?;
+            section_slice::<f64>(&map[..], header.history_offset(), header.n_history as usize)?;
+        }
+        let this = Self { map, path, header };
+        if crate::container::verify_on_open() {
+            this.verify()?;
+        }
+        // A resume reads the whole snapshot immediately.
+        #[cfg(unix)]
+        let _ = this.map.advise(AccessPattern::WillNeed.to_memmap_advice());
+        Ok(this)
+    }
+
+    /// Open and verify both section checksums — what resume trusts.
+    ///
+    /// # Errors
+    /// Everything [`open`](Self::open) can fail with, plus
+    /// [`CoreError::ChecksumMismatch`] for a corrupt section and
+    /// [`CoreError::BadHeader`] for a file carrying no checksum block.
+    pub fn open_verified(path: impl AsRef<Path>) -> Result<Self> {
+        let file = Self::open(path)?;
+        file.verify()?;
+        Ok(file)
+    }
+
+    /// Re-hash the params and history sections against the header's
+    /// checksum block.
+    ///
+    /// # Errors
+    /// [`CoreError::ChecksumMismatch`] naming the corrupt section, or
+    /// [`CoreError::BadHeader`] when the file carries no checksum block.
+    pub fn verify(&self) -> Result<()> {
+        crate::container::verify_checksums(&self.map, &self.path)
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &CheckpointHeader {
+        &self.header
+    }
+
+    /// The training position and configuration identity.
+    pub fn progress(&self) -> &TrainProgress {
+        &self.header.progress
+    }
+
+    /// The stored parameter vector (zero-copy view).
+    pub fn params(&self) -> &[f64] {
+        // SAFETY: validated at open; f64 is plain-old-data.
+        unsafe {
+            section_slice(
+                &self.map[..],
+                self.header.payload_offset,
+                self.header.n_params as usize,
+            )
+        }
+        .expect("params section was validated at open")
+    }
+
+    /// The stored loss history (zero-copy view).
+    pub fn history(&self) -> &[f64] {
+        // SAFETY: validated at open; f64 is plain-old-data.
+        unsafe {
+            section_slice(
+                &self.map[..],
+                self.header.history_offset(),
+                self.header.n_history as usize,
+            )
+        }
+        .expect("history section was validated at open")
+    }
+
+    /// The path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The checkpoint's sequence number.
+    pub fn sequence(&self) -> u64 {
+        self.header.progress.sequence
+    }
+
+    /// Copy into an owned [`CheckpointState`] for the optimiser to resume
+    /// from.
+    pub fn to_state(&self) -> CheckpointState {
+        CheckpointState {
+            params: self.params().to_vec(),
+            value_history: self.history().to_vec(),
+            progress: self.header.progress,
+        }
+    }
+}
+
+/// Durably publish a checkpoint at `path`.
+///
+/// The file is assembled in memory (header page with CRC32 block, params,
+/// history), written to a `.tmp` sibling through the [`crate::faults`]
+/// layer, flushed, fsynced, atomically renamed into place and made durable
+/// with a parent-directory fsync — the same publish discipline as every
+/// container builder, so a crash mid-write never clobbers a previously
+/// published checkpoint.  On any error the `.tmp` staging file is removed.
+///
+/// # Errors
+/// [`CoreError::BadHeader`] for an empty or out-of-range snapshot and
+/// [`CoreError::Io`] for any failed durable step (including injected
+/// faults).
+pub fn write_checkpoint(
+    path: impl AsRef<Path>,
+    progress: &TrainProgress,
+    params: &[f64],
+    history: &[f64],
+) -> Result<()> {
+    let path = path.as_ref();
+    let header =
+        CheckpointHeader::checked_new(params.len() as u64, history.len() as u64, *progress)
+            .ok_or_else(|| CoreError::BadHeader {
+                reason: "checkpoint state is empty or out of range".to_string(),
+            })?;
+
+    let mut buf = vec![0u8; header.file_bytes() as usize];
+    buf[..CKPT_HEADER_ENCODED_BYTES].copy_from_slice(&header.encode());
+    let mut off = header.payload_offset as usize;
+    for &v in params.iter().chain(history) {
+        buf[off..off + ELEMENT_BYTES].copy_from_slice(&v.to_le_bytes());
+        off += ELEMENT_BYTES;
+    }
+    let sections = [
+        SectionChecksum::of(
+            "params",
+            &buf,
+            header.payload_offset,
+            header.n_params * ELEMENT_BYTES as u64,
+        ),
+        SectionChecksum::of(
+            "history",
+            &buf,
+            header.history_offset(),
+            header.n_history * ELEMENT_BYTES as u64,
+        ),
+    ];
+    let block = encode_checksums(&sections);
+    buf[CHECKSUM_BLOCK_OFFSET..CHECKSUM_BLOCK_OFFSET + block.len()].copy_from_slice(&block);
+
+    let tmp = faults::tmp_sibling(path);
+    let publish = || -> Result<()> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| CoreError::io(&tmp, e))?;
+        faults::write_all(&mut file, &buf[..CKPT_HEADER_BYTES], &tmp)
+            .map_err(|e| CoreError::io(&tmp, e))?;
+        faults::write_all(&mut file, &buf[CKPT_HEADER_BYTES..], &tmp)
+            .map_err(|e| CoreError::io(&tmp, e))?;
+        faults::flush(&mut file, &tmp).map_err(|e| CoreError::io(&tmp, e))?;
+        faults::sync_file(&file, &tmp).map_err(|e| CoreError::io(&tmp, e))?;
+        drop(file);
+        faults::rename(&tmp, path).map_err(|e| CoreError::io(&tmp, e))?;
+        if let Some(parent) = path.parent() {
+            faults::sync_dir(parent).map_err(|e| CoreError::io(parent, e))?;
+        }
+        Ok(())
+    };
+    publish().inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+/// The canonical file name of checkpoint number `sequence` in `dir`.
+pub fn checkpoint_path(dir: &Path, sequence: u64) -> PathBuf {
+    dir.join(format!("ckpt-{sequence:010}.{CKPT_EXTENSION}"))
+}
+
+/// Parse the sequence number out of a checkpoint file name
+/// (`ckpt-<seq>.m3ck`); `None` for anything else.
+pub fn parse_checkpoint_sequence(name: &str) -> Option<u64> {
+    let digits = name
+        .strip_prefix("ckpt-")?
+        .strip_suffix(&format!(".{CKPT_EXTENSION}"))?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// List the checkpoint files in `dir`, sorted by ascending sequence number.
+/// A missing directory is an empty list, not an error.
+///
+/// # Errors
+/// [`CoreError::Io`] when the directory exists but cannot be read.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(CoreError::io(dir, e)),
+    };
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| CoreError::io(dir, e))?;
+        let name = entry.file_name();
+        if let Some(seq) = name.to_str().and_then(parse_checkpoint_sequence) {
+            found.push((seq, entry.path()));
+        }
+    }
+    found.sort_unstable_by_key(|&(seq, _)| seq);
+    Ok(found)
+}
+
+/// Remove stale `.m3ck.tmp` staging files a killed process left behind in
+/// `dir`, returning how many were swept.  A missing directory sweeps
+/// nothing.
+///
+/// # Errors
+/// [`CoreError::Io`] when the directory cannot be read or a stale file
+/// cannot be removed.
+pub fn sweep_stale_tmp(dir: &Path) -> Result<usize> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(CoreError::io(dir, e)),
+    };
+    let stale_suffix = format!(".{CKPT_EXTENSION}.tmp");
+    let mut swept = 0;
+    for entry in entries {
+        let entry = entry.map_err(|e| CoreError::io(dir, e))?;
+        let name = entry.file_name();
+        if name.to_str().is_some_and(|n| n.ends_with(&stale_suffix)) {
+            std::fs::remove_file(entry.path()).map_err(|e| CoreError::io(entry.path(), e))?;
+            swept += 1;
+        }
+    }
+    Ok(swept)
+}
+
+/// What [`find_latest_intact`] recovered from a checkpoint directory.
+#[derive(Debug)]
+pub struct ResumeScan {
+    /// The newest checkpoint that passed a full checksum verification.
+    pub newest: Option<CheckpointFile>,
+    /// Newer files that were skipped, with the typed error each failed
+    /// with (corrupt, torn, truncated, wrong kind, ...).
+    pub skipped: Vec<(PathBuf, CoreError)>,
+}
+
+/// Scan `dir` newest-first and return the newest checkpoint that passes
+/// [`CheckpointFile::open_verified`].  Corrupt, torn or foreign files are
+/// skipped with typed errors — recovery never panics and never trusts an
+/// unverified snapshot.
+///
+/// # Errors
+/// [`CoreError::Io`] when the directory exists but cannot be listed; a
+/// missing directory (or one with no intact checkpoint) is `newest: None`.
+pub fn find_latest_intact(dir: &Path) -> Result<ResumeScan> {
+    let mut skipped = Vec::new();
+    for (_, path) in list_checkpoints(dir)?.into_iter().rev() {
+        match CheckpointFile::open_verified(&path) {
+            Ok(file) => {
+                return Ok(ResumeScan {
+                    newest: Some(file),
+                    skipped,
+                })
+            }
+            Err(e) => skipped.push((path, e)),
+        }
+    }
+    Ok(ResumeScan {
+        newest: None,
+        skipped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::tempdir;
+
+    fn progress() -> TrainProgress {
+        TrainProgress {
+            epoch: 2,
+            next_batch: 3,
+            n_examples: 100,
+            seed: 0x5eed,
+            batch_size: 16,
+            epochs: 10,
+            eval_every: 1,
+            sampling: 1,
+            mode: 0,
+            learning_rate: 0.5,
+            decay: 0.01,
+            evaluations: 17,
+            sequence: 4,
+        }
+    }
+
+    #[test]
+    fn header_round_trip_and_layout() {
+        let h = CheckpointHeader::checked_new(6, 2, progress()).unwrap();
+        assert_eq!(CheckpointHeader::decode(&h.encode()).unwrap(), h);
+        assert_eq!(h.payload_offset, CKPT_HEADER_BYTES as u64);
+        assert_eq!(h.history_offset(), 4096 + 6 * 8);
+        assert_eq!(h.file_bytes(), 4096 + 8 * 8);
+    }
+
+    #[test]
+    fn bad_headers_are_rejected() {
+        let h = CheckpointHeader::checked_new(6, 2, progress()).unwrap();
+        let ok = h.encode();
+
+        let mut bytes = ok;
+        bytes[0] = b'X'; // magic
+        assert!(matches!(
+            CheckpointHeader::decode(&bytes),
+            Err(CoreError::BadHeader { .. })
+        ));
+        let mut bytes = ok;
+        bytes[8] = 99; // version
+        assert!(CheckpointHeader::decode(&bytes).is_err());
+        let mut bytes = ok;
+        bytes[16..24].copy_from_slice(&0u64.to_le_bytes()); // empty params
+        assert!(CheckpointHeader::decode(&bytes).is_err());
+        let mut bytes = ok;
+        bytes[88..92].copy_from_slice(&9u32.to_le_bytes()); // bad sampling tag
+        assert!(CheckpointHeader::decode(&bytes).is_err());
+        let mut bytes = ok;
+        bytes[92..96].copy_from_slice(&7u32.to_le_bytes()); // bad mode tag
+        assert!(CheckpointHeader::decode(&bytes).is_err());
+        let mut bytes = ok;
+        bytes[32..40].copy_from_slice(&11u64.to_le_bytes()); // epoch > epochs
+        assert!(CheckpointHeader::decode(&bytes).is_err());
+        let mut bytes = ok;
+        bytes[40..48].copy_from_slice(&u64::MAX.to_le_bytes()); // batch cursor
+        assert!(CheckpointHeader::decode(&bytes).is_err());
+        let mut bytes = ok;
+        bytes[128..136].copy_from_slice(&8192u64.to_le_bytes()); // offset
+        assert!(CheckpointHeader::decode(&bytes).is_err());
+        assert!(CheckpointHeader::decode(&ok[..32]).is_err());
+
+        // Payload sizes near u64::MAX must error, not overflow.
+        let mut bytes = ok;
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            CheckpointHeader::decode(&bytes),
+            Err(CoreError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn write_open_round_trip() {
+        let dir = tempdir().unwrap();
+        let path = checkpoint_path(dir.path(), 4);
+        let params = [1.0, -2.0, f64::MIN_POSITIVE, 4.5, 0.0, 9.0];
+        let history = [0.9, 0.5];
+        write_checkpoint(&path, &progress(), &params, &history).unwrap();
+
+        let file = CheckpointFile::open_verified(&path).unwrap();
+        assert_eq!(file.params(), &params);
+        assert_eq!(file.history(), &history);
+        assert_eq!(file.progress(), &progress());
+        assert_eq!(file.sequence(), 4);
+        assert_eq!(file.path(), path);
+        assert_eq!(file.header().n_params, 6);
+
+        let state = file.to_state();
+        assert_eq!(state.params, params);
+        assert_eq!(state.value_history, history);
+        assert_eq!(state.progress, progress());
+
+        // No staging litter after a successful publish.
+        assert!(!faults::tmp_sibling(&path).exists());
+    }
+
+    #[test]
+    fn empty_history_is_valid() {
+        let dir = tempdir().unwrap();
+        let path = checkpoint_path(dir.path(), 0);
+        write_checkpoint(&path, &progress(), &[1.0], &[]).unwrap();
+        let file = CheckpointFile::open_verified(&path).unwrap();
+        assert_eq!(file.params(), &[1.0]);
+        assert!(file.history().is_empty());
+    }
+
+    #[test]
+    fn empty_params_are_refused() {
+        let dir = tempdir().unwrap();
+        let path = checkpoint_path(dir.path(), 0);
+        assert!(matches!(
+            write_checkpoint(&path, &progress(), &[], &[]),
+            Err(CoreError::BadHeader { .. })
+        ));
+        assert!(!path.exists());
+        assert!(!faults::tmp_sibling(&path).exists());
+    }
+
+    #[test]
+    fn open_rejects_truncation_corruption_and_wrong_kind() {
+        let dir = tempdir().unwrap();
+        let path = checkpoint_path(dir.path(), 1);
+        write_checkpoint(&path, &progress(), &[1.0, 2.0, 3.0], &[0.5]).unwrap();
+
+        // Truncate below the declared size.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
+        assert!(matches!(
+            CheckpointFile::open(&path),
+            Err(CoreError::SizeMismatch { .. })
+        ));
+
+        // Flip a payload byte: open() stays O(1) happy, open_verified()
+        // catches it with a typed checksum mismatch naming the section.
+        let mut corrupt = bytes.clone();
+        corrupt[CKPT_HEADER_BYTES] ^= 0xFF;
+        std::fs::write(&path, &corrupt).unwrap();
+        if !crate::container::verify_on_open() {
+            assert!(CheckpointFile::open(&path).is_ok());
+        }
+        match CheckpointFile::open_verified(&path) {
+            Err(CoreError::ChecksumMismatch { section, .. }) => assert_eq!(section, "params"),
+            other => panic!("expected a params checksum mismatch, got {other:?}"),
+        }
+
+        // A model artifact is not a checkpoint: wrong kind fails typed.
+        let model_path = dir.path().join("model.m3ck");
+        let mut b =
+            crate::ModelFileBuilder::create(&model_path, crate::ModelKind::Linear, 2, 1).unwrap();
+        b.push_params(&[1.0, 2.0, 3.0]).unwrap();
+        b.finish().unwrap();
+        assert!(matches!(
+            CheckpointFile::open(&model_path),
+            Err(CoreError::BadHeader { .. })
+        ));
+
+        assert!(CheckpointFile::open(dir.path().join("missing.m3ck")).is_err());
+    }
+
+    #[test]
+    fn naming_round_trips_and_rejects_foreign_names() {
+        let dir = Path::new("/ckpts");
+        let p = checkpoint_path(dir, 42);
+        assert_eq!(p, Path::new("/ckpts/ckpt-0000000042.m3ck"));
+        assert_eq!(
+            parse_checkpoint_sequence(p.file_name().unwrap().to_str().unwrap()),
+            Some(42)
+        );
+        assert_eq!(parse_checkpoint_sequence("ckpt-7.m3ck"), Some(7));
+        assert_eq!(parse_checkpoint_sequence("ckpt-.m3ck"), None);
+        assert_eq!(parse_checkpoint_sequence("ckpt-x7.m3ck"), None);
+        assert_eq!(parse_checkpoint_sequence("model.m3mdl"), None);
+        assert_eq!(parse_checkpoint_sequence("ckpt-7.m3ck.tmp"), None);
+    }
+
+    #[test]
+    fn list_scan_and_sweep() {
+        let dir = tempdir().unwrap();
+        let missing = dir.path().join("nope");
+        assert!(list_checkpoints(&missing).unwrap().is_empty());
+        assert_eq!(sweep_stale_tmp(&missing).unwrap(), 0);
+        assert!(find_latest_intact(&missing).unwrap().newest.is_none());
+
+        let mut p = progress();
+        for seq in [3u64, 1, 7] {
+            p.sequence = seq;
+            write_checkpoint(checkpoint_path(dir.path(), seq), &p, &[seq as f64], &[]).unwrap();
+        }
+        // A stale staging file and an unrelated file are not checkpoints.
+        std::fs::write(dir.path().join("ckpt-0000000009.m3ck.tmp"), b"junk").unwrap();
+        std::fs::write(dir.path().join("notes.txt"), b"hi").unwrap();
+
+        let listed = list_checkpoints(dir.path()).unwrap();
+        assert_eq!(
+            listed.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            vec![1, 3, 7]
+        );
+
+        // The newest (7) is intact: returned with nothing skipped.
+        let scan = find_latest_intact(dir.path()).unwrap();
+        assert_eq!(scan.newest.unwrap().sequence(), 7);
+        assert!(scan.skipped.is_empty());
+
+        // Corrupt the newest: recovery skips it with a typed error and
+        // falls back to the next-newest intact checkpoint.
+        let newest = checkpoint_path(dir.path(), 7);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        bytes[CKPT_HEADER_BYTES] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+        let scan = find_latest_intact(dir.path()).unwrap();
+        assert_eq!(scan.newest.unwrap().sequence(), 3);
+        assert_eq!(scan.skipped.len(), 1);
+        assert!(matches!(
+            scan.skipped[0].1,
+            CoreError::ChecksumMismatch { .. }
+        ));
+
+        // The sweep removes exactly the stale staging file.
+        assert_eq!(sweep_stale_tmp(dir.path()).unwrap(), 1);
+        assert!(!dir.path().join("ckpt-0000000009.m3ck.tmp").exists());
+        assert!(dir.path().join("notes.txt").exists());
+        assert_eq!(sweep_stale_tmp(dir.path()).unwrap(), 0);
+    }
+}

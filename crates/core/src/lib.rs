@@ -66,6 +66,7 @@ pub mod alloc;
 pub mod builder;
 pub mod checksum;
 pub mod chunked;
+pub mod ckpt;
 pub mod container;
 pub mod dataset;
 pub mod error;
@@ -82,6 +83,7 @@ pub mod trace;
 pub use advice::AccessPattern;
 pub use alloc::{mmap_alloc, mmap_alloc_mut};
 pub use checksum::{crc32, Crc32};
+pub use ckpt::{CheckpointFile, CheckpointHeader, CheckpointState, TrainProgress};
 pub use dataset::{Dataset, DatasetHeader};
 pub use error::{CoreError, Result};
 pub use exec::ExecContext;

@@ -87,6 +87,9 @@ pub enum MlError {
     InvalidData(String),
     /// The underlying optimiser failed (e.g. produced non-finite values).
     OptimizationFailed(String),
+    /// The SGD driver reported a typed error: divergence, a checkpoint I/O
+    /// failure, or a resume/configuration mismatch.
+    Optim(m3_optim::OptimError),
     /// Reading or writing a model artifact failed (I/O, header validation,
     /// or a kind/shape mismatch between the artifact and the model type).
     Artifact(m3_core::CoreError),
@@ -100,6 +103,7 @@ impl std::fmt::Display for MlError {
             }
             MlError::InvalidData(msg) => write!(f, "invalid training data: {msg}"),
             MlError::OptimizationFailed(msg) => write!(f, "optimisation failed: {msg}"),
+            MlError::Optim(e) => write!(f, "optimiser error: {e}"),
             MlError::Artifact(e) => write!(f, "model artifact error: {e}"),
         }
     }
@@ -108,6 +112,7 @@ impl std::fmt::Display for MlError {
 impl std::error::Error for MlError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            MlError::Optim(e) => Some(e),
             MlError::Artifact(e) => Some(e),
             _ => None,
         }
@@ -117,6 +122,12 @@ impl std::error::Error for MlError {
 impl From<m3_core::CoreError> for MlError {
     fn from(e: m3_core::CoreError) -> Self {
         MlError::Artifact(e)
+    }
+}
+
+impl From<m3_optim::OptimError> for MlError {
+    fn from(e: m3_optim::OptimError) -> Self {
+        MlError::Optim(e)
     }
 }
 

@@ -780,7 +780,8 @@ mod tests {
             .learning_rate(0.5)
             .epochs(60)
             .batch_size(32)
-            .run(&loss, vec![0.0; 4]);
+            .run(&loss, vec![0.0; 4])
+            .unwrap();
         let (weights, bias) = split_weights(&result.weights);
         let model = LogisticModel {
             weights: weights.into(),

@@ -897,7 +897,8 @@ mod tests {
         let result = m3_optim::sgd::Sgd::new()
             .learning_rate(0.3)
             .epochs(40)
-            .run(&loss, w0);
+            .run(&loss, w0)
+            .unwrap();
         assert!(result.value < initial * 0.5);
     }
 

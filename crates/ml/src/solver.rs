@@ -27,14 +27,16 @@ pub enum Solver {
 
 /// Run `sgd` on `loss` from zero and surface divergence as a typed error —
 /// the SGD counterpart of each estimator's L-BFGS `solve` arm, shared so all
-/// three estimators enforce the same protocol.
+/// three estimators enforce the same protocol.  The [`AsyncSgd`] config's
+/// `checkpoint`/`resume` fields plumb straight through, so any estimator's
+/// `Solver::Sgd` path checkpoints and resumes (see `m3_optim::checkpoint`).
 pub(crate) fn run_sgd<F: StochasticFunction + Sync + ?Sized>(
     sgd: &AsyncSgd,
     loss: &F,
     dim: usize,
     ctx: &ExecContext,
 ) -> Result<OptimizationResult> {
-    let result = sgd.run(loss, vec![0.0; dim], ctx);
+    let result = sgd.run(loss, vec![0.0; dim], ctx).map_err(MlError::Optim)?;
     if !result.converged() || result.weights.iter().any(|w| !w.is_finite()) {
         return Err(MlError::OptimizationFailed(format!(
             "SGD terminated with {:?}",

@@ -26,12 +26,30 @@
 //! out of a memory-mapped file, and the mmap-friendly
 //! [`SamplingScheme::ShuffledChunks`] default keeps the access pattern
 //! near-sequential.
+//!
+//! ## Checkpoints and resume
+//!
+//! Long-running jobs attach a [`CheckpointConfig`] with
+//! [`AsyncSgd::checkpoint`]: the driver then snapshots its full state
+//! (parameters, epoch, batch cursor, loss history, evaluation count) into
+//! crash-safe `M3CKPT01` containers at the configured cadence, keeping the
+//! newest `retain` files.  [`AsyncSgd::resume_from`] (or
+//! [`AsyncSgd::resume`]`(true)` + [`AsyncSgd::run`]) restarts from the
+//! newest intact checkpoint — corrupt or torn files are skipped with typed
+//! errors — and in [`UpdateMode::Deterministic`] the resumed run is
+//! **bit-identical** to an uninterrupted one, because epoch plans are pure
+//! in `(seed, epoch)` and the snapshot restores the exact parameter bits.
+//! Divergence (a NaN/Inf gradient, loss, or parameter snapshot) aborts with
+//! a typed [`OptimError::Diverged`] and is never checkpointed.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use m3_core::ckpt::{CheckpointState, TrainProgress};
 use m3_core::ExecContext;
 use m3_linalg::ops;
 
+use crate::checkpoint::{load_latest, mode_tag, sampling_tag, CheckpointConfig, Checkpointer};
+use crate::error::OptimError;
 use crate::function::StochasticFunction;
 use crate::minibatch::{Batch, MinibatchSampler, SamplingScheme};
 use crate::termination::{OptimizationResult, TerminationReason};
@@ -148,6 +166,12 @@ pub struct AsyncSgd {
     /// exactly the I/O the stochastic path exists to avoid — so benchmark
     /// configurations set this to `0`.
     pub eval_every: usize,
+    /// Checkpointing policy (`None` = no checkpoints, the default).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from the newest intact checkpoint in the configured
+    /// directory before training (no-op when no checkpoint exists yet or
+    /// no [`Self::checkpoint`] is configured).
+    pub resume: bool,
 }
 
 impl Default for AsyncSgd {
@@ -161,6 +185,8 @@ impl Default for AsyncSgd {
             seed: 0x5eed,
             mode: UpdateMode::Deterministic,
             eval_every: 1,
+            checkpoint: None,
+            resume: false,
         }
     }
 }
@@ -219,6 +245,19 @@ impl AsyncSgd {
         self
     }
 
+    /// Builder-style setter for the checkpoint policy.
+    pub fn checkpoint(mut self, cfg: CheckpointConfig) -> Self {
+        self.checkpoint = Some(cfg);
+        self
+    }
+
+    /// Builder-style setter for resuming from the newest intact checkpoint
+    /// before training.
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
     /// The per-epoch learning rate.
     fn lr_at(&self, epoch: usize) -> f64 {
         self.learning_rate / (1.0 + self.decay * epoch as f64)
@@ -242,66 +281,202 @@ impl AsyncSgd {
         }
     }
 
-    fn numerical_error(
-        weights: Vec<f64>,
-        value: f64,
-        iterations: usize,
-        function_evaluations: usize,
-        value_history: Vec<f64>,
-    ) -> OptimizationResult {
-        OptimizationResult {
-            weights,
-            value,
-            iterations,
-            function_evaluations,
-            reason: TerminationReason::NumericalError,
-            value_history,
+    /// Snapshot template carrying this configuration's fingerprint (the
+    /// position fields are filled in at each save point).
+    fn progress_template(&self, n: usize) -> TrainProgress {
+        TrainProgress {
+            epoch: 0,
+            next_batch: 0,
+            n_examples: n as u64,
+            seed: self.seed,
+            batch_size: self.batch_size as u64,
+            epochs: self.epochs as u64,
+            eval_every: self.eval_every as u64,
+            sampling: sampling_tag(self.sampling),
+            mode: mode_tag(self.mode),
+            learning_rate: self.learning_rate,
+            decay: self.decay,
+            evaluations: 0,
+            sequence: 0,
         }
+    }
+
+    /// Refuse to resume from a checkpoint whose configuration fingerprint
+    /// disagrees with this run: replaying someone else's plan would be
+    /// silently wrong, never bit-identical.
+    fn validate_resume<F: StochasticFunction + ?Sized>(
+        &self,
+        f: &F,
+        state: &CheckpointState,
+    ) -> Result<(), OptimError> {
+        let p = &state.progress;
+        let mismatch = |reason: String| Err(OptimError::ResumeMismatch { reason });
+        if state.params.len() != f.dimension() {
+            return mismatch(format!(
+                "dimension {} vs {}",
+                state.params.len(),
+                f.dimension()
+            ));
+        }
+        if p.n_examples != f.n_examples() as u64 {
+            return mismatch(format!("n_examples {} vs {}", p.n_examples, f.n_examples()));
+        }
+        if p.seed != self.seed {
+            return mismatch(format!("seed {} vs {}", p.seed, self.seed));
+        }
+        if p.batch_size != self.batch_size as u64 {
+            return mismatch(format!(
+                "batch_size {} vs {}",
+                p.batch_size, self.batch_size
+            ));
+        }
+        if p.epochs != self.epochs as u64 {
+            return mismatch(format!("epochs {} vs {}", p.epochs, self.epochs));
+        }
+        if p.eval_every != self.eval_every as u64 {
+            return mismatch(format!(
+                "eval_every {} vs {}",
+                p.eval_every, self.eval_every
+            ));
+        }
+        if p.sampling != sampling_tag(self.sampling) {
+            return mismatch(format!(
+                "sampling tag {} vs {:?}",
+                p.sampling, self.sampling
+            ));
+        }
+        if p.mode != mode_tag(self.mode) {
+            return mismatch(format!("mode tag {} vs {:?}", p.mode, self.mode));
+        }
+        if p.learning_rate.to_bits() != self.learning_rate.to_bits() {
+            return mismatch(format!(
+                "learning_rate {} vs {}",
+                p.learning_rate, self.learning_rate
+            ));
+        }
+        if p.decay.to_bits() != self.decay.to_bits() {
+            return mismatch(format!("decay {} vs {}", p.decay, self.decay));
+        }
+        if self.mode == UpdateMode::Hogwild && p.next_batch != 0 {
+            return mismatch(format!(
+                "Hogwild resumes at epoch boundaries only, checkpoint has batch cursor {}",
+                p.next_batch
+            ));
+        }
+        Ok(())
+    }
+
+    /// Load and validate the newest intact checkpoint when this
+    /// configuration asks to resume.
+    fn load_resume_state<F: StochasticFunction + ?Sized>(
+        &self,
+        f: &F,
+    ) -> Result<Option<CheckpointState>, OptimError> {
+        if !self.resume {
+            return Ok(None);
+        }
+        let Some(cfg) = &self.checkpoint else {
+            return Ok(None);
+        };
+        let Some(state) = load_latest(cfg)? else {
+            return Ok(None);
+        };
+        self.validate_resume(f, &state)?;
+        Ok(Some(state))
     }
 
     /// Minimise `f` from `initial` using this configuration's
     /// [`UpdateMode`].  Hogwild runs draw their executors from `ctx`'s
     /// worker pool; deterministic runs are serial by construction and only
     /// use `ctx` for the losses' own data sweeps during evaluation.
+    ///
+    /// # Errors
+    /// [`OptimError::Diverged`] when a NaN/Inf shows up in a gradient, an
+    /// evaluated loss or a parameter snapshot; [`OptimError::Checkpoint`] /
+    /// [`OptimError::ResumeMismatch`] from the checkpoint subsystem when
+    /// one is configured.
     pub fn run<F: StochasticFunction + Sync + ?Sized>(
         &self,
         f: &F,
         initial: Vec<f64>,
         ctx: &ExecContext,
-    ) -> OptimizationResult {
+    ) -> Result<OptimizationResult, OptimError> {
         match self.mode {
-            UpdateMode::Deterministic => self.run_deterministic(f, initial),
-            UpdateMode::Hogwild => self.run_hogwild(f, initial, ctx),
+            UpdateMode::Deterministic => self.run_serial(f, initial),
+            UpdateMode::Hogwild => {
+                let resume = self.load_resume_state(f)?;
+                self.run_hogwild(f, initial, ctx, resume)
+            }
         }
     }
 
-    /// The serial, plan-ordered driver ([`UpdateMode::Deterministic`]).
-    /// `crate::sgd::Sgd` delegates here, so the `?Sized` objective does not
-    /// need `Sync`.
-    pub(crate) fn run_deterministic<F: StochasticFunction + ?Sized>(
+    /// Resume-and-run convenience: [`Self::run`] with [`Self::resume`]
+    /// enabled.  In [`UpdateMode::Deterministic`] the result is
+    /// bit-identical to the uninterrupted run.
+    ///
+    /// # Errors
+    /// As for [`Self::run`].
+    pub fn resume_from<F: StochasticFunction + Sync + ?Sized>(
         &self,
         f: &F,
         initial: Vec<f64>,
-    ) -> OptimizationResult {
+        ctx: &ExecContext,
+    ) -> Result<OptimizationResult, OptimError> {
+        self.clone().resume(true).run(f, initial, ctx)
+    }
+
+    /// Serial entry point (`crate::sgd::Sgd` delegates here, so the
+    /// `?Sized` objective does not need `Sync`).
+    pub(crate) fn run_serial<F: StochasticFunction + ?Sized>(
+        &self,
+        f: &F,
+        initial: Vec<f64>,
+    ) -> Result<OptimizationResult, OptimError> {
+        let resume = self.load_resume_state(f)?;
+        self.run_deterministic(f, initial, resume)
+    }
+
+    /// The serial, plan-ordered driver ([`UpdateMode::Deterministic`]).
+    fn run_deterministic<F: StochasticFunction + ?Sized>(
+        &self,
+        f: &F,
+        initial: Vec<f64>,
+        resume: Option<CheckpointState>,
+    ) -> Result<OptimizationResult, OptimError> {
         let d = f.dimension();
         assert_eq!(initial.len(), d, "initial point has wrong dimension");
         let n = f.n_examples();
         let mut w = initial;
 
         if n == 0 || self.epochs == 0 {
-            return Self::initial_result(f, w);
+            return Ok(Self::initial_result(f, w));
         }
         let sampler = MinibatchSampler::new(n, self.batch_size, self.sampling, self.seed)
             .expect("batch_size >= 1 and n > 0 were just checked");
+        let n_batches = sampler.n_batches();
 
         let mut grad = vec![0.0; d];
         let mut evaluations = 0usize;
         let mut value_history = Vec::new();
+        let mut start_epoch = 0usize;
+        let mut start_batch = 0usize;
+        if let Some(state) = resume {
+            w = state.params;
+            value_history = state.value_history;
+            evaluations = state.progress.evaluations as usize;
+            start_epoch = state.progress.epoch as usize;
+            start_batch = state.progress.next_batch as usize;
+        }
+        let mut ckpt = match &self.checkpoint {
+            Some(cfg) => Some(Checkpointer::new(cfg)?),
+            None => None,
+        };
 
-        for epoch in 0..self.epochs {
+        for epoch in start_epoch..self.epochs {
             let lr = self.lr_at(epoch);
             let plan = sampler.epoch(epoch);
-            for b in 0..plan.n_batches() {
+            let first = if epoch == start_epoch { start_batch } else { 0 };
+            for b in first..plan.n_batches() {
                 match plan.batch(b) {
                     Batch::Range(range) => {
                         f.batch_range_value_and_gradient(&w, range, &mut grad);
@@ -312,58 +487,113 @@ impl AsyncSgd {
                 }
                 evaluations += 1;
                 if grad.iter().any(|g| !g.is_finite()) {
-                    return Self::numerical_error(w, f64::NAN, epoch, evaluations, value_history);
+                    return Err(OptimError::Diverged { epoch, batch: b });
                 }
                 ops::axpy(-lr, &grad, &mut w);
+                if let Some(ckpt) = ckpt.as_mut() {
+                    // Cadence in *absolute* batches so a resumed run saves
+                    // at the same boundaries as an uninterrupted one.
+                    let done = epoch * n_batches + b + 1;
+                    if ckpt.batch_due(done) {
+                        if w.iter().any(|v| !v.is_finite()) {
+                            return Err(OptimError::Diverged { epoch, batch: b });
+                        }
+                        let mut progress = self.progress_template(n);
+                        progress.epoch = epoch as u64;
+                        progress.next_batch = (b + 1) as u64;
+                        progress.evaluations = evaluations as u64;
+                        ckpt.save(progress, &w, &value_history)?;
+                    }
+                }
             }
 
             if self.eval_after(epoch) {
                 let value = f.value(&w);
                 evaluations += 1;
-                value_history.push(value);
                 if !value.is_finite() {
-                    return Self::numerical_error(w, value, epoch + 1, evaluations, value_history);
+                    return Err(OptimError::Diverged {
+                        epoch,
+                        batch: n_batches,
+                    });
+                }
+                value_history.push(value);
+            }
+            if let Some(ckpt) = ckpt.as_mut() {
+                if ckpt.epoch_due(epoch) {
+                    if w.iter().any(|v| !v.is_finite()) {
+                        return Err(OptimError::Diverged {
+                            epoch,
+                            batch: n_batches,
+                        });
+                    }
+                    let mut progress = self.progress_template(n);
+                    progress.epoch = (epoch + 1) as u64;
+                    progress.next_batch = 0;
+                    progress.evaluations = evaluations as u64;
+                    ckpt.save(progress, &w, &value_history)?;
                 }
             }
         }
+        if let Some(ckpt) = ckpt.take() {
+            ckpt.finish()?;
+        }
 
-        let value = *value_history
-            .last()
-            .expect("the final epoch always evaluates");
-        OptimizationResult {
+        let Some(&value) = value_history.last() else {
+            // Only reachable by resuming a finished run whose checkpoint
+            // recorded no evaluations — nothing left to replay, no value
+            // to report.
+            return Err(OptimError::ResumeMismatch {
+                reason: "checkpoint is complete but records no evaluations".into(),
+            });
+        };
+        Ok(OptimizationResult {
             weights: w,
             value,
             iterations: self.epochs,
             function_evaluations: evaluations,
             reason: TerminationReason::MaxIterations,
             value_history,
-        }
+        })
     }
 
-    /// The lock-free parallel driver ([`UpdateMode::Hogwild`]).
+    /// The lock-free parallel driver ([`UpdateMode::Hogwild`]).  Snapshots
+    /// happen at epoch boundaries only — there is no consistent mid-epoch
+    /// cursor while workers race.
     fn run_hogwild<F: StochasticFunction + Sync + ?Sized>(
         &self,
         f: &F,
         initial: Vec<f64>,
         ctx: &ExecContext,
-    ) -> OptimizationResult {
+        resume: Option<CheckpointState>,
+    ) -> Result<OptimizationResult, OptimError> {
         let d = f.dimension();
         assert_eq!(initial.len(), d, "initial point has wrong dimension");
         let n = f.n_examples();
 
         if n == 0 || self.epochs == 0 {
-            return Self::initial_result(f, initial);
+            return Ok(Self::initial_result(f, initial));
         }
         let sampler = MinibatchSampler::new(n, self.batch_size, self.sampling, self.seed)
             .expect("batch_size >= 1 and n > 0 were just checked");
 
-        let shared = SharedParams::new(&initial);
         let mut w = initial;
         let mut evaluations = 0usize;
         let mut value_history = Vec::new();
+        let mut start_epoch = 0usize;
+        if let Some(state) = resume {
+            w = state.params;
+            value_history = state.value_history;
+            evaluations = state.progress.evaluations as usize;
+            start_epoch = state.progress.epoch as usize;
+        }
+        let shared = SharedParams::new(&w);
+        let mut ckpt = match &self.checkpoint {
+            Some(cfg) => Some(Checkpointer::new(cfg)?),
+            None => None,
+        };
         let threads = ctx.resolve_threads().min(sampler.n_batches()).max(1);
 
-        for epoch in 0..self.epochs {
+        for epoch in start_epoch..self.epochs {
             let lr = self.lr_at(epoch);
             let plan = sampler.epoch(epoch);
             let n_batches = plan.n_batches();
@@ -400,29 +630,49 @@ impl AsyncSgd {
 
             shared.snapshot_into(&mut w);
             if w.iter().any(|v| !v.is_finite()) {
-                return Self::numerical_error(w, f64::NAN, epoch, evaluations, value_history);
+                return Err(OptimError::Diverged {
+                    epoch,
+                    batch: n_batches,
+                });
             }
             if self.eval_after(epoch) {
                 let value = f.value(&w);
                 evaluations += 1;
-                value_history.push(value);
                 if !value.is_finite() {
-                    return Self::numerical_error(w, value, epoch + 1, evaluations, value_history);
+                    return Err(OptimError::Diverged {
+                        epoch,
+                        batch: n_batches,
+                    });
+                }
+                value_history.push(value);
+            }
+            if let Some(ckpt) = ckpt.as_mut() {
+                if ckpt.hogwild_epoch_due(epoch) {
+                    let mut progress = self.progress_template(n);
+                    progress.epoch = (epoch + 1) as u64;
+                    progress.next_batch = 0;
+                    progress.evaluations = evaluations as u64;
+                    ckpt.save(progress, &w, &value_history)?;
                 }
             }
         }
+        if let Some(ckpt) = ckpt.take() {
+            ckpt.finish()?;
+        }
 
-        let value = *value_history
-            .last()
-            .expect("the final epoch always evaluates");
-        OptimizationResult {
+        let Some(&value) = value_history.last() else {
+            return Err(OptimError::ResumeMismatch {
+                reason: "checkpoint is complete but records no evaluations".into(),
+            });
+        };
+        Ok(OptimizationResult {
             weights: w,
             value,
             iterations: self.epochs,
             function_evaluations: evaluations,
             reason: TerminationReason::MaxIterations,
             value_history,
-        }
+        })
     }
 }
 
@@ -513,7 +763,7 @@ mod tests {
             .iter()
             .map(|&t| {
                 let ctx = ExecContext::new().with_threads(t);
-                config.run(&f, vec![0.0, 0.0], &ctx).weights
+                config.run(&f, vec![0.0, 0.0], &ctx).unwrap().weights
             })
             .collect();
         assert_eq!(runs[0], runs[1]);
@@ -530,7 +780,8 @@ mod tests {
             .learning_rate(0.2)
             .epochs(60)
             .batch_size(4)
-            .run(&f, vec![0.0, 0.0], &ctx);
+            .run(&f, vec![0.0, 0.0], &ctx)
+            .unwrap();
         assert!(r.converged());
         assert!(
             r.value < initial_loss * 0.05,
@@ -548,12 +799,14 @@ mod tests {
         let every = AsyncSgd::new()
             .epochs(6)
             .eval_every(1)
-            .run(&f, vec![0.0, 0.0], &ctx);
+            .run(&f, vec![0.0, 0.0], &ctx)
+            .unwrap();
         assert_eq!(every.value_history.len(), 6);
         let sparse = AsyncSgd::new()
             .epochs(6)
             .eval_every(0)
-            .run(&f, vec![0.0, 0.0], &ctx);
+            .run(&f, vec![0.0, 0.0], &ctx)
+            .unwrap();
         assert_eq!(
             sparse.value_history.len(),
             1,
@@ -563,7 +816,8 @@ mod tests {
         let thirds = AsyncSgd::new()
             .epochs(6)
             .eval_every(4)
-            .run(&f, vec![0.0, 0.0], &ctx);
+            .run(&f, vec![0.0, 0.0], &ctx)
+            .unwrap();
         // Epoch 4 (cadence) and epoch 6 (final).
         assert_eq!(thirds.value_history.len(), 2);
     }
@@ -576,7 +830,8 @@ mod tests {
             let r = AsyncSgd::new()
                 .mode(mode)
                 .epochs(0)
-                .run(&f, vec![1.0, -1.0], &ctx);
+                .run(&f, vec![1.0, -1.0], &ctx)
+                .unwrap();
             assert_eq!(r.weights, vec![1.0, -1.0]);
             assert_eq!(r.iterations, 0);
             assert_eq!(r.function_evaluations, 1);
@@ -584,7 +839,7 @@ mod tests {
     }
 
     #[test]
-    fn divergence_is_reported_as_numerical_error_in_both_modes() {
+    fn divergence_is_a_typed_error_in_both_modes() {
         let f = LeastSquares::new();
         let ctx = ExecContext::new().with_threads(2);
         for mode in [UpdateMode::Deterministic, UpdateMode::Hogwild] {
@@ -593,8 +848,56 @@ mod tests {
                 .learning_rate(1e12)
                 .epochs(50)
                 .run(&f, vec![0.0, 0.0], &ctx);
-            assert_eq!(r.reason, TerminationReason::NumericalError, "{mode:?}");
+            assert!(matches!(r, Err(OptimError::Diverged { .. })), "{mode:?}");
         }
+    }
+
+    #[test]
+    fn deterministic_resume_is_bit_identical() {
+        let f = LeastSquares::new();
+        let ctx = ExecContext::serial();
+        let dir = tempfile::tempdir().unwrap();
+        let base = AsyncSgd::new().epochs(6).batch_size(8).seed(11);
+        let reference = base.clone().run(&f, vec![0.0, 0.0], &ctx).unwrap();
+
+        let cfg = CheckpointConfig::new(dir.path()).every_batches(3).retain(2);
+        let full = base
+            .clone()
+            .checkpoint(cfg.clone())
+            .run(&f, vec![0.0, 0.0], &ctx)
+            .unwrap();
+        assert_eq!(reference.weights, full.weights);
+
+        // The newest surviving checkpoint predates the final evaluation;
+        // resuming from it must replay the tail to the same bits.
+        let resumed = base
+            .checkpoint(cfg)
+            .resume_from(&f, vec![0.0, 0.0], &ctx)
+            .unwrap();
+        assert_eq!(reference.weights, resumed.weights);
+        assert_eq!(reference.value_history, resumed.value_history);
+        assert_eq!(reference.function_evaluations, resumed.function_evaluations);
+    }
+
+    #[test]
+    fn resume_refuses_a_mismatched_configuration() {
+        let f = LeastSquares::new();
+        let ctx = ExecContext::serial();
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = CheckpointConfig::new(dir.path());
+        AsyncSgd::new()
+            .epochs(2)
+            .seed(1)
+            .checkpoint(cfg.clone())
+            .run(&f, vec![0.0, 0.0], &ctx)
+            .unwrap();
+        let r = AsyncSgd::new()
+            .epochs(2)
+            .seed(2)
+            .checkpoint(cfg)
+            .resume(true)
+            .run(&f, vec![0.0, 0.0], &ctx);
+        assert!(matches!(r, Err(OptimError::ResumeMismatch { .. })));
     }
 
     #[test]
@@ -606,7 +909,8 @@ mod tests {
             .epochs(3)
             .batch_size(16) // 4 batches per epoch
             .eval_every(1)
-            .run(&f, vec![0.0, 0.0], &ctx);
+            .run(&f, vec![0.0, 0.0], &ctx)
+            .unwrap();
         // 3 epochs × 4 batches + 3 full evaluations.
         assert_eq!(r.function_evaluations, 15);
     }

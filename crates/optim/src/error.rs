@@ -1,0 +1,82 @@
+//! Typed errors for the stochastic optimisation drivers.
+
+use m3_core::CoreError;
+
+/// Errors produced by the SGD drivers ([`crate::AsyncSgd`] / [`crate::Sgd`]).
+#[derive(Debug)]
+pub enum OptimError {
+    /// The optimisation diverged: a NaN/Inf showed up in a batch gradient,
+    /// an evaluated loss, or a parameter snapshot.  The run aborts here
+    /// instead of silently writing garbage, and a diverged state is never
+    /// checkpointed.
+    Diverged {
+        /// Epoch (0-based) the divergence was detected in.
+        epoch: usize,
+        /// Batch index within that epoch's plan; `n_batches` of the plan
+        /// when the divergence surfaced in the end-of-epoch evaluation.
+        batch: usize,
+    },
+    /// Writing, reading or scanning a training checkpoint failed.
+    Checkpoint(CoreError),
+    /// The newest intact checkpoint belongs to a different run: its
+    /// configuration fingerprint (seed, schedule, sampling, mode, dataset
+    /// size or dimension) disagrees with the resuming configuration.
+    ResumeMismatch {
+        /// What disagreed.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for OptimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimError::Diverged { epoch, batch } => write!(
+                f,
+                "optimisation diverged (non-finite value) at epoch {epoch}, batch {batch}"
+            ),
+            OptimError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            OptimError::ResumeMismatch { reason } => {
+                write!(f, "checkpoint does not match the resuming run: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for OptimError {
+    fn from(e: CoreError) -> Self {
+        OptimError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_position_and_cause() {
+        let e = OptimError::Diverged { epoch: 3, batch: 7 };
+        assert!(e.to_string().contains("epoch 3"));
+        assert!(e.to_string().contains("batch 7"));
+
+        let e = OptimError::ResumeMismatch {
+            reason: "seed 1 vs 2".into(),
+        };
+        assert!(e.to_string().contains("seed 1 vs 2"));
+
+        let e: OptimError = CoreError::BadHeader {
+            reason: "nope".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("nope"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -13,6 +13,10 @@
 //! * [`async_sgd::AsyncSgd`] — mini-batch SGD on the shared worker pool,
 //!   with a bit-deterministic plan-ordered mode and a lock-free Hogwild
 //!   mode; both draw batches from [`minibatch::MinibatchSampler`],
+//! * [`checkpoint`] — crash-safe training checkpoints (`M3CKPT01`
+//!   containers) with cadence/retention policy and an optional write-behind
+//!   publisher; [`async_sgd::AsyncSgd::resume_from`] restarts a run from
+//!   the newest intact snapshot, bit-identically in deterministic mode,
 //! * [`line_search`] — Armijo backtracking and strong-Wolfe searches,
 //! * [`function::DifferentiableFunction`] — the objective-function trait that
 //!   `m3-ml` models implement; because models compute their objective by
@@ -45,6 +49,8 @@
 #![warn(missing_docs)]
 
 pub mod async_sgd;
+pub mod checkpoint;
+pub mod error;
 pub mod function;
 pub mod gd;
 pub mod lbfgs;
@@ -54,6 +60,8 @@ pub mod sgd;
 pub mod termination;
 
 pub use async_sgd::{AsyncSgd, SharedParams, UpdateMode};
+pub use checkpoint::{CheckpointConfig, CheckpointEvery, Checkpointer};
+pub use error::OptimError;
 pub use function::{DifferentiableFunction, StochasticFunction};
 pub use lbfgs::Lbfgs;
 pub use minibatch::{Batch, EpochPlan, MinibatchSampler, SamplerError, SamplingScheme};

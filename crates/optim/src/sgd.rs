@@ -9,6 +9,8 @@
 //! epoch and then scanning.
 
 use crate::async_sgd::{AsyncSgd, UpdateMode};
+use crate::checkpoint::CheckpointConfig;
+use crate::error::OptimError;
 use crate::function::StochasticFunction;
 use crate::termination::OptimizationResult;
 
@@ -29,6 +31,10 @@ pub struct Sgd {
     pub sampling: SamplingScheme,
     /// RNG seed (runs are deterministic for a given seed).
     pub seed: u64,
+    /// Checkpointing policy (`None` = no checkpoints, the default).
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from the newest intact checkpoint before training.
+    pub resume: bool,
 }
 
 impl Default for Sgd {
@@ -40,6 +46,8 @@ impl Default for Sgd {
             epochs: 10,
             sampling: SamplingScheme::ShuffledEpochs,
             seed: 0x5eed,
+            checkpoint: None,
+            resume: false,
         }
     }
 }
@@ -80,17 +88,35 @@ impl Sgd {
         self
     }
 
+    /// Builder-style setter for the checkpoint policy.
+    pub fn checkpoint(mut self, cfg: CheckpointConfig) -> Self {
+        self.checkpoint = Some(cfg);
+        self
+    }
+
+    /// Builder-style setter for resuming from the newest intact checkpoint
+    /// before training.
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
     /// Minimise `f` from `initial`.
     ///
     /// Delegates to [`AsyncSgd`]'s deterministic driver, so the serial and
     /// async paths share one sampling implementation
-    /// ([`crate::minibatch::MinibatchSampler`]) and one update loop; this
-    /// type remains only as the serial-flavoured configuration front-end.
+    /// ([`crate::minibatch::MinibatchSampler`]), one update loop and one
+    /// checkpoint/resume path; this type remains only as the
+    /// serial-flavoured configuration front-end.
+    ///
+    /// # Errors
+    /// As for [`AsyncSgd::run`]: typed divergence, checkpoint and
+    /// resume-mismatch errors.
     pub fn run<F: StochasticFunction + ?Sized>(
         &self,
         f: &F,
         initial: Vec<f64>,
-    ) -> OptimizationResult {
+    ) -> Result<OptimizationResult, OptimError> {
         AsyncSgd {
             learning_rate: self.learning_rate,
             decay: self.decay,
@@ -100,8 +126,10 @@ impl Sgd {
             seed: self.seed,
             mode: UpdateMode::Deterministic,
             eval_every: 1,
+            checkpoint: self.checkpoint.clone(),
+            resume: self.resume,
         }
-        .run_deterministic(f, initial)
+        .run_serial(f, initial)
     }
 }
 
@@ -109,7 +137,6 @@ impl Sgd {
 mod tests {
     use super::*;
     use crate::function::DifferentiableFunction;
-    use crate::termination::TerminationReason;
 
     /// Least squares on a tiny synthetic regression problem:
     /// y = 2·x₀ − 3·x₁, examples on a grid.
@@ -181,7 +208,8 @@ mod tests {
             .learning_rate(0.2)
             .epochs(200)
             .batch_size(4)
-            .run(&f, vec![0.0, 0.0]);
+            .run(&f, vec![0.0, 0.0])
+            .unwrap();
         assert!(r.converged());
         assert!((r.weights[0] - 2.0).abs() < 0.1, "w0 = {}", r.weights[0]);
         assert!((r.weights[1] + 3.0).abs() < 0.1, "w1 = {}", r.weights[1]);
@@ -192,9 +220,21 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let f = LeastSquares::new();
-        let a = Sgd::new().seed(1).epochs(5).run(&f, vec![0.0, 0.0]);
-        let b = Sgd::new().seed(1).epochs(5).run(&f, vec![0.0, 0.0]);
-        let c = Sgd::new().seed(2).epochs(5).run(&f, vec![0.0, 0.0]);
+        let a = Sgd::new()
+            .seed(1)
+            .epochs(5)
+            .run(&f, vec![0.0, 0.0])
+            .unwrap();
+        let b = Sgd::new()
+            .seed(1)
+            .epochs(5)
+            .run(&f, vec![0.0, 0.0])
+            .unwrap();
+        let c = Sgd::new()
+            .seed(2)
+            .epochs(5)
+            .run(&f, vec![0.0, 0.0])
+            .unwrap();
         assert_eq!(a.weights, b.weights);
         assert_ne!(a.weights, c.weights);
     }
@@ -211,7 +251,8 @@ mod tests {
             let r = Sgd::new()
                 .sampling(scheme)
                 .epochs(50)
-                .run(&f, vec![0.0, 0.0]);
+                .run(&f, vec![0.0, 0.0])
+                .unwrap();
             assert!(
                 r.value < initial_loss * 0.5,
                 "{scheme:?} did not reduce the loss: {} vs {initial_loss}",
@@ -223,18 +264,18 @@ mod tests {
     #[test]
     fn zero_epochs_returns_initial_point() {
         let f = LeastSquares::new();
-        let r = Sgd::new().epochs(0).run(&f, vec![1.0, 1.0]);
+        let r = Sgd::new().epochs(0).run(&f, vec![1.0, 1.0]).unwrap();
         assert_eq!(r.weights, vec![1.0, 1.0]);
         assert_eq!(r.iterations, 0);
     }
 
     #[test]
-    fn huge_learning_rate_is_reported_as_numerical_error() {
+    fn huge_learning_rate_is_a_typed_divergence_error() {
         let f = LeastSquares::new();
         let r = Sgd::new()
             .learning_rate(1e12)
             .epochs(50)
             .run(&f, vec![0.0, 0.0]);
-        assert_eq!(r.reason, TerminationReason::NumericalError);
+        assert!(matches!(r, Err(OptimError::Diverged { .. })));
     }
 }

@@ -90,7 +90,8 @@ pub mod prelude {
         SoftmaxConfig, SoftmaxModel, SoftmaxRegression, Solver, StandardScaler, Standardizer,
     };
     pub use m3_optim::{
-        AsyncSgd, Lbfgs, MinibatchSampler, SamplingScheme, TerminationCriteria, UpdateMode,
+        AsyncSgd, CheckpointConfig, CheckpointEvery, Lbfgs, MinibatchSampler, OptimError,
+        SamplingScheme, TerminationCriteria, UpdateMode,
     };
     pub use m3_serve::{ModelRegistry, PredictServer, Swap};
     pub use m3_vmsim::{SimConfig, Simulator, StorageDevice};

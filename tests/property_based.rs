@@ -455,3 +455,146 @@ fn split_rows_partitions_exactly() {
         }
     }
 }
+
+/// A valid `TrainProgress` drawn from `rng`, sized for `n_params` params.
+fn random_progress(rng: &mut StdRng) -> m3::core::TrainProgress {
+    let epochs = rng.gen_range(1u64..20);
+    let batch_size = rng.gen_range(1u64..64);
+    let n_examples = rng.gen_range(1u64..500);
+    m3::core::TrainProgress {
+        epoch: rng.gen_range(0..=epochs),
+        next_batch: rng.gen_range(0..=n_examples.div_ceil(batch_size)),
+        n_examples,
+        seed: rng.gen(),
+        batch_size,
+        epochs,
+        eval_every: rng.gen_range(0u64..5),
+        sampling: rng.gen_range(0u32..4),
+        mode: rng.gen_range(0u32..2),
+        learning_rate: rng.gen_range(1e-4f64..10.0),
+        decay: rng.gen_range(0.0f64..1.0),
+        evaluations: rng.gen_range(0u64..10_000),
+        sequence: rng.gen_range(0u64..1_000),
+    }
+}
+
+/// Checkpoint containers round-trip bit-exactly and refuse corruption,
+/// truncation, wrong-kind and wrong-version files with typed errors.
+#[test]
+fn checkpoint_refuses_corruption_truncation_and_wrong_kind() {
+    use m3::core::ckpt::{checkpoint_path, write_checkpoint, CheckpointFile};
+    use m3::core::CoreError;
+
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(9000 + case);
+        let n_params = rng.gen_range(1usize..200);
+        let n_history = rng.gen_range(0usize..30);
+        let params: Vec<f64> = (0..n_params).map(|_| rng.gen_range(-5.0f64..5.0)).collect();
+        let history: Vec<f64> = (0..n_history).map(|_| rng.gen_range(0.0f64..3.0)).collect();
+        let progress = random_progress(&mut rng);
+
+        let dir = tempfile::tempdir().unwrap();
+        let path = checkpoint_path(dir.path(), progress.sequence);
+        write_checkpoint(&path, &progress, &params, &history).unwrap();
+
+        // Bit-exact round trip.
+        let file = CheckpointFile::open_verified(&path).unwrap();
+        assert_eq!(file.progress(), &progress, "case {case}");
+        for (a, b) in file.params().iter().zip(&params) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in file.history().iter().zip(&history) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Flip one random payload byte: open_verified must report a
+        // checksum mismatch in a payload section, never a panic.
+        let mut corrupt = pristine.clone();
+        let payload_len = corrupt.len() - 4096;
+        let victim = 4096 + rng.gen_range(0usize..payload_len);
+        corrupt[victim] ^= 1 << rng.gen_range(0u32..8);
+        std::fs::write(&path, &corrupt).unwrap();
+        let err = CheckpointFile::open_verified(&path).unwrap_err();
+        assert!(
+            matches!(err, CoreError::ChecksumMismatch { ref section, .. }
+                if section == "params" || section == "history"),
+            "case {case}: expected a payload checksum mismatch, got: {err}"
+        );
+
+        // Truncate at a random point: SizeMismatch (or BadHeader when the
+        // cut lands inside the header page).
+        let cut = rng.gen_range(0usize..pristine.len());
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        let err = CheckpointFile::open(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::SizeMismatch { .. } | CoreError::BadHeader { .. }
+            ),
+            "case {case}: truncation at {cut} gave: {err}"
+        );
+
+        // Wrong kind: a model artifact at a checkpoint path is refused on
+        // magic alone.
+        let model = m3::ml::LinearModel {
+            weights: params.clone().into(),
+            bias: 0.5,
+        };
+        model.save(&path).unwrap();
+        assert!(matches!(
+            CheckpointFile::open(&path),
+            Err(CoreError::BadHeader { .. })
+        ));
+
+        // Wrong version: bump the version field of a pristine image.
+        let mut wrong_version = pristine.clone();
+        wrong_version[8] = wrong_version[8].wrapping_add(1);
+        std::fs::write(&path, &wrong_version).unwrap();
+        let err = CheckpointFile::open(&path).unwrap_err();
+        assert!(
+            matches!(err, CoreError::BadHeader { ref reason } if reason.contains("version")),
+            "case {case}: expected a version error, got: {err}"
+        );
+    }
+}
+
+/// The retention policy keeps exactly `retain` checkpoints — always the
+/// newest ones, oldest pruned first — for any save count and retain limit.
+#[test]
+fn checkpoint_retention_keeps_exactly_the_newest_k() {
+    use m3::core::ckpt::list_checkpoints;
+    use m3::optim::Checkpointer;
+
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(11_000 + case);
+        let retain = rng.gen_range(1usize..6);
+        let saves = rng.gen_range(1usize..12);
+        let params: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0f64..1.0)).collect();
+        let mut progress = random_progress(&mut rng);
+
+        let dir = tempfile::tempdir().unwrap();
+        let cfg = CheckpointConfig::new(dir.path()).retain(retain);
+        let mut ckpt = Checkpointer::new(&cfg).unwrap();
+        for s in 0..saves {
+            progress.evaluations = s as u64;
+            ckpt.save(progress, &params, &[]).unwrap();
+        }
+        ckpt.finish().unwrap();
+
+        let survivors = list_checkpoints(dir.path()).unwrap();
+        assert_eq!(
+            survivors.len(),
+            saves.min(retain),
+            "case {case}: retain {retain}, saves {saves}"
+        );
+        let sequences: Vec<u64> = survivors.iter().map(|&(seq, _)| seq).collect();
+        let newest: Vec<u64> = (saves.saturating_sub(retain)..saves)
+            .map(|s| s as u64)
+            .collect();
+        assert_eq!(
+            sequences, newest,
+            "case {case}: oldest must be pruned first"
+        );
+    }
+}

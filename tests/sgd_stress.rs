@@ -121,7 +121,8 @@ fn hogwild_loss_trends_down_across_epochs() {
         .epochs(12)
         .seed(99)
         .mode(UpdateMode::Hogwild)
-        .run(&loss, vec![0.0; dim], &ctx);
+        .run(&loss, vec![0.0; dim], &ctx)
+        .expect("hogwild stress run must not diverge");
 
     // One loss evaluation per epoch; the curve must trend down: strictly
     // below the starting loss throughout, and each epoch no worse than the
