@@ -10,7 +10,7 @@ use m3_bench::table::TextTable;
 fn main() {
     println!("== Graph extension: PageRank & connected components over mmap'd CSR graphs ==\n");
     let dir = tempfile::tempdir().expect("temporary directory");
-    let experiment = graphs::run(dir.path(), 50_000, 8, 7);
+    let experiment = graphs::run(dir.path(), 16, 8, 7);
 
     let mut table = TextTable::new(vec!["workload", "backend", "nodes", "edges", "runtime"]);
     for row in &experiment.rows {

@@ -1,18 +1,20 @@
 //! Graph-workload extension benchmarks (experiment E7).
 //!
 //! The prior work M3 builds on (MMap, Lin et al. 2014) evaluated PageRank and
-//! connected components over memory-mapped graphs.  This module runs both
-//! algorithms over an in-memory and a memory-mapped copy of the same
-//! synthetic graph and reports runtimes plus a result-equality check, closing
-//! the loop between the graph-mining origin of the idea and its ML
-//! generalisation.
+//! connected components over memory-mapped graphs.  This module streams an
+//! R-MAT graph to disk with the `m3-data` generator, then runs both
+//! workloads through the sweep-based `m3-graph` analytics engine over the
+//! memory-mapped `M3GRPH01` container and over an in-memory copy of the same
+//! adjacency, reporting runtimes plus a result-equality check — the engine
+//! guarantees the two backings agree bit for bit.
 
 use std::path::Path;
 use std::time::Instant;
 
-use m3_graph::components::connected_components;
-use m3_graph::pagerank::{pagerank, PageRankConfig};
-use m3_graph::{generate, mmap_graph, GraphStore};
+use m3_core::{AdjacencyStore, ExecContext, GraphFile};
+use m3_data::{generate_rmat, RmatConfig};
+use m3_graph::analytics::{connected_components, pagerank_pull, PageRankConfig};
+use m3_graph::CsrGraph;
 
 /// Result of one graph workload on one storage backend.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,12 +43,16 @@ pub struct GraphExperiment {
 }
 
 /// Run PageRank and connected components over an in-memory and a
-/// memory-mapped copy of the same preferential-attachment graph.
-pub fn run(dir: &Path, n_nodes: usize, out_degree: usize, seed: u64) -> GraphExperiment {
-    let graph = generate::preferential_attachment(n_nodes, out_degree, seed);
+/// memory-mapped copy of the same symmetric R-MAT graph with `2^scale`
+/// nodes and `edge_factor` edge samples per node.
+pub fn run(dir: &Path, scale: u32, edge_factor: u64, seed: u64) -> GraphExperiment {
     let path = dir.join("graph_bench.m3g");
-    mmap_graph::write_graph(&graph, &path).expect("writing the benchmark graph must succeed");
-    let mapped = mmap_graph::MmapGraph::open(&path).expect("reopening the benchmark graph");
+    let cfg = RmatConfig::new(scale, edge_factor << scale).with_seed(seed);
+    generate_rmat(&path, &cfg).expect("writing the benchmark graph must succeed");
+    let mapped = GraphFile::open(&path).expect("reopening the benchmark graph");
+    let in_memory = CsrGraph::from_parts(mapped.indptr().to_vec(), mapped.indices().to_vec())
+        .expect("the published container is valid CSR");
+    let ctx = ExecContext::new();
 
     let mut rows = Vec::new();
     let pr_config = PageRankConfig {
@@ -54,6 +60,7 @@ pub fn run(dir: &Path, n_nodes: usize, out_degree: usize, seed: u64) -> GraphExp
         tolerance: 0.0,
         ..Default::default()
     };
+    let (n_nodes, n_edges) = (AdjacencyStore::n_nodes(&mapped), mapped.n_edges());
 
     let mut timed = |workload: &'static str, backend: &'static str, f: &mut dyn FnMut()| {
         let start = Instant::now();
@@ -62,27 +69,27 @@ pub fn run(dir: &Path, n_nodes: usize, out_degree: usize, seed: u64) -> GraphExp
             workload,
             backend,
             seconds: start.elapsed().as_secs_f64(),
-            n_nodes: graph.n_nodes(),
-            n_edges: graph.n_edges(),
+            n_nodes,
+            n_edges,
         });
     };
 
     let mut pr_memory = None;
     let mut pr_mmap = None;
     timed("pagerank", "in-memory", &mut || {
-        pr_memory = Some(pagerank(&graph, &pr_config));
+        pr_memory = Some(pagerank_pull(&in_memory, &pr_config, &ctx));
     });
     timed("pagerank", "mmap", &mut || {
-        pr_mmap = Some(pagerank(&mapped, &pr_config));
+        pr_mmap = Some(pagerank_pull(&mapped, &pr_config, &ctx));
     });
 
     let mut cc_memory = None;
     let mut cc_mmap = None;
     timed("connected-components", "in-memory", &mut || {
-        cc_memory = Some(connected_components(&graph));
+        cc_memory = Some(connected_components(&in_memory, &ctx));
     });
     timed("connected-components", "mmap", &mut || {
-        cc_mmap = Some(connected_components(&mapped));
+        cc_mmap = Some(connected_components(&mapped, &ctx));
     });
 
     GraphExperiment {
@@ -99,12 +106,12 @@ mod tests {
     #[test]
     fn mmap_and_in_memory_graph_runs_agree() {
         let dir = tempfile::tempdir().unwrap();
-        let experiment = run(dir.path(), 500, 4, 3);
+        let experiment = run(dir.path(), 9, 4, 3);
         assert_eq!(experiment.rows.len(), 4);
         assert!(experiment.pagerank_results_match);
         assert!(experiment.components_results_match);
         for row in &experiment.rows {
-            assert_eq!(row.n_nodes, 500);
+            assert_eq!(row.n_nodes, 512);
             assert!(row.n_edges > 0);
             assert!(row.seconds >= 0.0);
         }

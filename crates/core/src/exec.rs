@@ -60,6 +60,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
 use crate::chunked::RowChunk;
+use crate::graph::{AdjChunk, AdjacencyStore};
 use crate::pool::WorkerPool;
 use crate::sparse::{SparseRowChunk, SparseRowStore};
 use crate::storage::RowStore;
@@ -706,6 +707,153 @@ impl ExecContext {
         };
         self.drive_chunks(
             n_rows,
+            chunk_rows,
+            threads,
+            chunk_at,
+            make_scratch,
+            map,
+            identity,
+            reduce,
+        )
+    }
+
+    // --- graph (CSR adjacency) sweeps ---------------------------------------
+    //
+    // The graph drivers are the sparse drivers with the values array gone:
+    // same persistent pool, chunk-ordered fold, tracer and serial fallback,
+    // with chunk size and per-chunk work estimated from the *average*
+    // adjacency row payload (8 bytes of offset + 4 bytes per edge).  Both
+    // estimates depend only on the graph's shape (`n_nodes`, `n_edges`) and
+    // this context's budget — never on the thread count or the backing
+    // store — so PageRank and components inherit the
+    // bit-identical-across-thread-counts-and-storage guarantee unchanged.
+    //
+    // Every sweep starts by forwarding this context's access-pattern advice
+    // to the store (`madvise(SEQUENTIAL)` by default, `WILLNEED` via
+    // `with_advice`), exactly like the baseline dense sweep — without it an
+    // out-of-core iteration would regress to default readahead.
+
+    /// Average bytes per adjacency row: one `u64` offset plus 4 bytes
+    /// (`u32` neighbor id) per edge.
+    fn adj_row_bytes(n_nodes: usize, n_edges: usize) -> u64 {
+        let per_row = 4 * n_edges as u128 / n_nodes.max(1) as u128;
+        (std::mem::size_of::<u64>() as u128 + per_row) as u64
+    }
+
+    /// Nodes per chunk for a graph of `n_nodes` nodes and `n_edges` edges:
+    /// the chunk byte budget divided by the average adjacency row payload,
+    /// at least one — the graph counterpart of
+    /// [`sparse_chunk_rows`](Self::sparse_chunk_rows).
+    pub fn adj_chunk_rows(&self, n_nodes: usize, n_edges: usize) -> usize {
+        ((self.chunk_bytes as u64) / Self::adj_row_bytes(n_nodes, n_edges)).max(1) as usize
+    }
+
+    /// Nodes per chunk a parallel graph sweep uses: the budget-derived size,
+    /// capped so the sweep yields at least [`TARGET_PARALLEL_CHUNKS`] chunks
+    /// when the graph has that many nodes.
+    fn parallel_adj_chunk_rows(&self, n_nodes: usize, n_edges: usize) -> usize {
+        self.adj_chunk_rows(n_nodes, n_edges)
+            .min(n_nodes.div_ceil(TARGET_PARALLEL_CHUNKS))
+            .max(1)
+    }
+
+    /// The number of worker threads a graph map-reduce over `n_nodes` nodes
+    /// with `n_edges` edges would use — the graph counterpart of
+    /// [`sweep_threads_sparse`](Self::sweep_threads_sparse), with the
+    /// work-per-chunk estimate taken from the average number of edges per
+    /// chunk.
+    pub fn sweep_threads_adj(&self, n_nodes: usize, n_edges: usize) -> usize {
+        if n_nodes == 0 {
+            return 1;
+        }
+        let chunk_rows = self.parallel_adj_chunk_rows(n_nodes, n_edges);
+        let n_chunks = n_nodes.div_ceil(chunk_rows);
+        let threads = self.resolve_threads().min(n_chunks);
+        let work_per_chunk = (n_edges as u128 * chunk_rows as u128 / n_nodes as u128) as usize;
+        if threads <= 1 || work_per_chunk < self.min_parallel_elements {
+            1
+        } else {
+            threads
+        }
+    }
+
+    /// Sweep a graph sequentially in budget-sized node chunks, calling `f`
+    /// on each [`AdjChunk`] in order — the graph counterpart of
+    /// [`for_each_sparse_chunk`](Self::for_each_sparse_chunk), for
+    /// order-dependent accumulators (the push PageRank update, degree
+    /// histograms).
+    pub fn for_each_adj_chunk<G: AdjacencyStore + ?Sized>(
+        &self,
+        graph: &G,
+        mut f: impl FnMut(AdjChunk<'_>),
+    ) {
+        graph.advise(self.advice);
+        let n_nodes = graph.n_nodes();
+        let chunk_rows = self.adj_chunk_rows(n_nodes, graph.n_edges());
+        let mut start = 0;
+        while start < n_nodes {
+            let end = (start + chunk_rows).min(n_nodes);
+            self.record(start, end);
+            f(graph.adj_chunk(start, end));
+            start = end;
+        }
+    }
+
+    /// [`map_reduce_adj_rows_scratch`](Self::map_reduce_adj_rows_scratch)
+    /// without a per-worker scratch value.
+    pub fn map_reduce_adj_rows<G, T, Map, Reduce>(
+        &self,
+        graph: &G,
+        map: Map,
+        identity: T,
+        reduce: Reduce,
+    ) -> T
+    where
+        G: AdjacencyStore + Sync + ?Sized,
+        T: Send,
+        Map: Fn(AdjChunk<'_>) -> T + Sync,
+        Reduce: FnMut(T, T) -> T,
+    {
+        self.map_reduce_adj_rows_scratch(graph, || (), |(), chunk| map(chunk), identity, reduce)
+    }
+
+    /// Sweep a graph in fixed node chunks, mapping each [`AdjChunk`] to a
+    /// partial result on the persistent worker pool and folding the partials
+    /// **in chunk order** — the graph counterpart of
+    /// [`map_reduce_sparse_rows_scratch`](Self::map_reduce_sparse_rows_scratch),
+    /// with identical scratch reuse, serial fallback, nested-sweep and
+    /// determinism behaviour.
+    pub fn map_reduce_adj_rows_scratch<G, B, T, MakeScratch, Map, Reduce>(
+        &self,
+        graph: &G,
+        make_scratch: MakeScratch,
+        map: Map,
+        identity: T,
+        reduce: Reduce,
+    ) -> T
+    where
+        G: AdjacencyStore + Sync + ?Sized,
+        T: Send,
+        MakeScratch: Fn() -> B + Sync,
+        Map: Fn(&mut B, AdjChunk<'_>) -> T + Sync,
+        Reduce: FnMut(T, T) -> T,
+    {
+        let n_nodes = graph.n_nodes();
+        if n_nodes == 0 {
+            return identity;
+        }
+        graph.advise(self.advice);
+
+        let n_edges = graph.n_edges();
+        let chunk_rows = self.parallel_adj_chunk_rows(n_nodes, n_edges);
+        let threads = self.nested_aware_threads(|| self.sweep_threads_adj(n_nodes, n_edges));
+        let chunk_at = |index: usize| {
+            let start = index * chunk_rows;
+            let end = (start + chunk_rows).min(n_nodes);
+            graph.adj_chunk(start, end)
+        };
+        self.drive_chunks(
+            n_nodes,
             chunk_rows,
             threads,
             chunk_at,
@@ -1381,6 +1529,160 @@ mod tests {
             )
         };
         assert_eq!(sum(&m).to_bits(), sum(&mapped).to_bits());
+    }
+
+    /// A deterministic ragged adjacency fixture (some nodes isolated,
+    /// average degree ~3) built straight onto the builder-free trait.
+    struct TestGraph {
+        indptr: Vec<u64>,
+        indices: Vec<u32>,
+    }
+
+    impl crate::graph::AdjacencyStore for TestGraph {
+        fn n_nodes(&self) -> usize {
+            self.indptr.len() - 1
+        }
+        fn n_edges(&self) -> usize {
+            self.indices.len()
+        }
+        fn indptr(&self) -> &[u64] {
+            &self.indptr
+        }
+        fn indices(&self) -> &[u32] {
+            &self.indices
+        }
+    }
+
+    fn adj_fixture(nodes: usize) -> TestGraph {
+        let mut indptr = vec![0u64];
+        let mut indices = Vec::new();
+        let mut row = Vec::new();
+        for v in 0..nodes {
+            row.clear();
+            if v % 5 != 0 {
+                for k in 1..=(v % 4) {
+                    row.push(((v + k * 7) % nodes) as u32);
+                }
+                row.sort_unstable();
+                row.dedup();
+            }
+            indices.extend_from_slice(&row);
+            indptr.push(indices.len() as u64);
+        }
+        TestGraph { indptr, indices }
+    }
+
+    #[test]
+    fn adj_chunk_rows_follow_the_average_row_payload() {
+        let ctx = ExecContext::new();
+        // 100 edges/node ⇒ 8 + 400 bytes per row; 8 MiB / 408 = 20 560.
+        assert_eq!(ctx.adj_chunk_rows(1_000, 100_000), (8 << 20) / 408);
+        // Edgeless graphs: offset-only rows still make progress.
+        assert!(ctx.adj_chunk_rows(10, 0) >= 1);
+        assert!(ctx.adj_chunk_rows(0, 0) >= 1);
+        // Denser graphs ⇒ fewer nodes per chunk.
+        assert!(ctx.adj_chunk_rows(100, 100_000) < ctx.adj_chunk_rows(100, 1_000));
+    }
+
+    #[test]
+    fn sweep_threads_adj_mirrors_the_sparse_decision() {
+        let ctx = ExecContext::new().with_threads(4);
+        assert_eq!(ctx.sweep_threads_adj(2_000, 4_000), 1);
+        assert!(ctx.sweep_threads_adj(1_000_000, 80_000_000) > 1);
+        assert_eq!(ctx.sweep_threads_adj(0, 0), 1);
+        assert!(
+            ctx.clone()
+                .with_parallel_threshold(0)
+                .sweep_threads_adj(2_000, 4_000)
+                > 1
+        );
+        assert_eq!(
+            ctx.with_parallel_threshold(usize::MAX)
+                .sweep_threads_adj(1_000_000, 80_000_000),
+            1
+        );
+    }
+
+    #[test]
+    fn adj_for_each_chunk_covers_nodes_in_order() {
+        use crate::graph::AdjacencyStore;
+        let g = adj_fixture(137);
+        let ctx = ExecContext::new().with_chunk_bytes(PAGE_SIZE);
+        let mut seen = Vec::new();
+        let mut edges = 0usize;
+        ctx.for_each_adj_chunk(&g, |chunk| {
+            edges += chunk.n_edges();
+            for (v, row) in chunk.rows_with_index() {
+                assert_eq!(row, g.neighbors(v));
+                seen.push(v);
+            }
+        });
+        assert_eq!(seen, (0..137).collect::<Vec<_>>());
+        assert_eq!(edges, g.n_edges());
+    }
+
+    #[test]
+    fn adj_map_reduce_is_bit_identical_across_thread_counts() {
+        let g = adj_fixture(1_500);
+        let run = |threads| {
+            pooled(threads).map_reduce_adj_rows(
+                &g,
+                |chunk| {
+                    chunk
+                        .indices
+                        .iter()
+                        .map(|&t| ((t as f64) * 1.19).sin())
+                        .sum::<f64>()
+                },
+                0.0,
+                |a, b| a + b,
+            )
+        };
+        let serial = run(1);
+        assert_ne!(serial, 0.0);
+        assert_eq!(serial.to_bits(), run(2).to_bits());
+        assert_eq!(serial.to_bits(), run(8).to_bits());
+    }
+
+    #[test]
+    fn adj_sweep_traces_and_handles_empty_graphs() {
+        let empty = TestGraph {
+            indptr: vec![0],
+            indices: vec![],
+        };
+        let ctx = ExecContext::new();
+        assert_eq!(
+            ctx.map_reduce_adj_rows(&empty, |_| 1usize, 7usize, |a, b| a + b),
+            7
+        );
+        let mut called = false;
+        ctx.for_each_adj_chunk(&empty, |_| called = true);
+        assert!(!called);
+
+        let g = adj_fixture(100);
+        let tracer = Arc::new(AccessTracer::for_matrix(100, 4));
+        pooled(4)
+            .with_tracer(Arc::clone(&tracer))
+            .map_reduce_adj_rows(&g, |c| c.n_rows(), 0, |a, b| a + b);
+        let expected_chunks = 100usize.div_ceil(100usize.div_ceil(TARGET_PARALLEL_CHUNKS));
+        assert_eq!(tracer.snapshot().events().len(), expected_chunks);
+    }
+
+    #[test]
+    fn adj_sweep_works_over_memory_mapped_graphs() {
+        use crate::graph::AdjacencyStore;
+        let dir = tempfile::tempdir().unwrap();
+        let g = adj_fixture(200);
+        let mapped = crate::graph::persist_graph(dir.path().join("g.m3grph"), &g).unwrap();
+        let sum = |store: &(dyn AdjacencyStore + Sync)| {
+            pooled(3).map_reduce_adj_rows(
+                store,
+                |chunk| chunk.indices.iter().map(|&t| t as u64).sum::<u64>(),
+                0u64,
+                |a, b| a + b,
+            )
+        };
+        assert_eq!(sum(&g), sum(&mapped));
     }
 
     #[test]

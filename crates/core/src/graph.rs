@@ -1,0 +1,969 @@
+//! Memory-mapped CSR adjacency storage for graphs (`M3GRPH01`).
+//!
+//! The M3 paper's scenario-diversity claim is that memory mapping scales
+//! *beyond ML* — PageRank and connected components are its headline non-ML
+//! workloads.  This module gives graphs the same container discipline the
+//! ML pipeline got in [`crate::sparse`]: a graph **is** a CSR matrix with no
+//! values section, so the on-disk format is the `M3CSRF01` layout minus the
+//! value and label sections.
+//!
+//! ## On-disk layout (version 1)
+//!
+//! ```text
+//! offset 0              : 4096-byte header (magic "M3GRPH01", version,
+//!                         flags, n_nodes, n_edges, section offsets)
+//! indptr_offset  (page-aligned): (n_nodes + 1) × u64  adjacency offsets
+//! indices_offset (page-aligned): n_edges × u32        neighbor node ids
+//! ```
+//!
+//! All integers are little-endian.  Page-rounding the sections keeps the
+//! arrays page- and element-aligned once mapped and means a sweep's
+//! `madvise` hints act on whole sections.  The spare tail of the header
+//! page carries the shared CRC32 checksum block
+//! ([`crate::container::encode_checksums`]), and the builder publishes
+//! through the same faults-routed `.tmp` + fsync + rename sequence as every
+//! other container, so torn graph files are never visible under the final
+//! path.
+
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use memmap2::{Mmap, MmapMut};
+
+use crate::container::{
+    decode_preamble, encode_checksums, section_slice, SectionChecksum, CHECKSUM_BLOCK_OFFSET,
+};
+use crate::error::{CoreError, Result};
+use crate::{faults, AccessPattern, PAGE_SIZE};
+
+/// Magic bytes identifying an M3 binary graph file.
+pub const GRAPH_MAGIC: [u8; 8] = *b"M3GRPH01";
+/// Current on-disk graph format version.
+pub const GRAPH_FORMAT_VERSION: u32 = 1;
+/// Size of the fixed graph header block (one page).
+pub const GRAPH_HEADER_BYTES: usize = PAGE_SIZE;
+
+const INDPTR_BYTES: usize = std::mem::size_of::<u64>();
+const INDEX_BYTES: usize = std::mem::size_of::<u32>();
+
+/// A graph in compressed-sparse-row adjacency form: `indptr` (one `u64` per
+/// node plus one) and `indices` (one `u32` neighbor id per edge) — exactly
+/// [`crate::sparse::SparseRowStore`] without the values array.
+///
+/// The accessors hand back whole-array slices so chunked sweeps can slice a
+/// node range out of each without per-node indirection; `indptr` values are
+/// **global** edge offsets.  Implemented by the mmap-backed [`GraphFile`]
+/// and by `m3-graph`'s in-memory `CsrGraph`, so every graph algorithm is
+/// backing-agnostic the same way training is.
+pub trait AdjacencyStore {
+    /// Number of nodes.
+    fn n_nodes(&self) -> usize;
+
+    /// Number of (directed) edges stored.
+    fn n_edges(&self) -> usize;
+
+    /// The adjacency-offset array (`n_nodes + 1` entries of global offsets).
+    fn indptr(&self) -> &[u64];
+
+    /// The neighbor id of every stored edge.
+    fn indices(&self) -> &[u32];
+
+    /// Hint the expected access pattern for an upcoming pass; memory-mapped
+    /// stores forward this to `madvise(2)`, in-memory stores ignore it.
+    fn advise(&self, _pattern: AccessPattern) {}
+
+    /// `true` when the graph has no nodes.
+    fn is_empty(&self) -> bool {
+        self.n_nodes() == 0
+    }
+
+    /// Number of out-edges of `node`.
+    ///
+    /// # Panics
+    /// Panics when `node >= n_nodes()`.
+    fn out_degree(&self, node: usize) -> usize {
+        let indptr = self.indptr();
+        (indptr[node + 1] - indptr[node]) as usize
+    }
+
+    /// The (sorted) neighbor ids of `node`.
+    ///
+    /// # Panics
+    /// Panics when `node >= n_nodes()` or the adjacency offsets are corrupt.
+    fn neighbors(&self, node: usize) -> &[u32] {
+        assert!(
+            node < self.n_nodes(),
+            "node {node} out of bounds ({})",
+            self.n_nodes()
+        );
+        let indptr = self.indptr();
+        &self.indices()[indptr[node] as usize..indptr[node + 1] as usize]
+    }
+
+    /// Borrow nodes `start..end` as an [`AdjChunk`].
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds or the adjacency offsets are
+    /// corrupt.
+    fn adj_chunk(&self, start: usize, end: usize) -> AdjChunk<'_> {
+        assert!(
+            start <= end && end <= self.n_nodes(),
+            "node range out of bounds"
+        );
+        let indptr = &self.indptr()[start..=end];
+        let lo = indptr[0] as usize;
+        let hi = indptr[indptr.len() - 1] as usize;
+        AdjChunk {
+            start_row: start,
+            end_row: end,
+            indptr,
+            indices: &self.indices()[lo..hi],
+        }
+    }
+}
+
+impl<T: AdjacencyStore + ?Sized> AdjacencyStore for &T {
+    fn n_nodes(&self) -> usize {
+        (**self).n_nodes()
+    }
+    fn n_edges(&self) -> usize {
+        (**self).n_edges()
+    }
+    fn indptr(&self) -> &[u64] {
+        (**self).indptr()
+    }
+    fn indices(&self) -> &[u32] {
+        (**self).indices()
+    }
+    fn advise(&self, pattern: AccessPattern) {
+        (**self).advise(pattern)
+    }
+}
+
+impl<T: AdjacencyStore + ?Sized> AdjacencyStore for Box<T> {
+    fn n_nodes(&self) -> usize {
+        (**self).n_nodes()
+    }
+    fn n_edges(&self) -> usize {
+        (**self).n_edges()
+    }
+    fn indptr(&self) -> &[u64] {
+        (**self).indptr()
+    }
+    fn indices(&self) -> &[u32] {
+        (**self).indices()
+    }
+    fn advise(&self, pattern: AccessPattern) {
+        (**self).advise(pattern)
+    }
+}
+
+/// A contiguous block of adjacency rows borrowed from an [`AdjacencyStore`]
+/// — the graph analogue of [`crate::sparse::SparseRowChunk`], produced by
+/// the `ExecContext` graph sweep drivers.
+///
+/// `indptr` keeps its **global** edge offsets while `indices` is rebased to
+/// the chunk (`indices[0]` is edge `indptr[0]` of the store), the same
+/// convention the `m3-linalg` sparse kernels take.
+#[derive(Debug, Clone, Copy)]
+pub struct AdjChunk<'a> {
+    /// Index of the first node in the chunk.
+    pub start_row: usize,
+    /// One past the last node in the chunk.
+    pub end_row: usize,
+    /// Adjacency offsets, `n_rows() + 1` entries of global offsets.
+    pub indptr: &'a [u64],
+    /// Neighbor ids of the chunk's edges.
+    pub indices: &'a [u32],
+}
+
+impl<'a> AdjChunk<'a> {
+    /// Number of nodes in the chunk.
+    pub fn n_rows(&self) -> usize {
+        self.end_row - self.start_row
+    }
+
+    /// Number of edges in the chunk.
+    pub fn n_edges(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The neighbor ids of chunk-local node `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= n_rows()`.
+    pub fn row(&self, i: usize) -> &'a [u32] {
+        assert!(
+            i < self.n_rows(),
+            "row {i} out of bounds ({})",
+            self.n_rows()
+        );
+        let base = self.indptr[0];
+        let start = (self.indptr[i] - base) as usize;
+        let end = (self.indptr[i + 1] - base) as usize;
+        &self.indices[start..end]
+    }
+
+    /// Iterate over the chunk's adjacency rows with their global node ids.
+    pub fn rows_with_index(&self) -> impl Iterator<Item = (usize, &'a [u32])> + '_ {
+        (0..self.n_rows()).map(move |i| (self.start_row + i, self.row(i)))
+    }
+}
+
+/// Parsed binary-graph header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphHeader {
+    /// On-disk format version.
+    pub version: u32,
+    /// Number of nodes.
+    pub n_nodes: u64,
+    /// Number of (directed) edges.
+    pub n_edges: u64,
+    /// Byte offset of the adjacency-offset section.
+    pub indptr_offset: u64,
+    /// Byte offset of the neighbor-id section.
+    pub indices_offset: u64,
+}
+
+impl GraphHeader {
+    /// Construct the header (and page-rounded section layout) for a graph of
+    /// the given size.
+    ///
+    /// # Panics
+    /// Panics when the size is so large its section layout overflows `u64`
+    /// (unreachable for graphs that fit on disk); untrusted size fields read
+    /// from files go through the checked path in [`decode`](Self::decode)
+    /// instead.
+    pub fn new(n_nodes: u64, n_edges: u64) -> Self {
+        Self::checked_new(n_nodes, n_edges)
+            .expect("graph shape overflows the on-disk section layout")
+    }
+
+    /// [`new`](Self::new) with overflow-checked arithmetic, for *untrusted*
+    /// size fields read from a file: `None` when the layout would not even
+    /// fit in a `u64` (such a file cannot exist on disk).
+    fn checked_new(n_nodes: u64, n_edges: u64) -> Option<Self> {
+        let round = |bytes: u64| {
+            bytes
+                .checked_add(PAGE_SIZE as u64 - 1)
+                .map(|b| b / PAGE_SIZE as u64 * PAGE_SIZE as u64)
+        };
+        let indptr_offset = GRAPH_HEADER_BYTES as u64;
+        let indices_offset = round(
+            n_nodes
+                .checked_add(1)?
+                .checked_mul(INDPTR_BYTES as u64)?
+                .checked_add(indptr_offset)?,
+        )?;
+        // The index section (and the usize conversions open() performs)
+        // must not overflow either.
+        indices_offset.checked_add(n_edges.checked_mul(INDEX_BYTES as u64)?)?;
+        Some(Self {
+            version: GRAPH_FORMAT_VERSION,
+            n_nodes,
+            n_edges,
+            indptr_offset,
+            indices_offset,
+        })
+    }
+
+    /// Total file size implied by this header.
+    pub fn file_bytes(&self) -> u64 {
+        self.indices_offset + self.n_edges * INDEX_BYTES as u64
+    }
+
+    /// Serialise into the fixed-size header block.
+    pub fn encode(&self) -> [u8; 48] {
+        let mut buf = [0u8; 48];
+        buf[0..8].copy_from_slice(&GRAPH_MAGIC);
+        buf[8..12].copy_from_slice(&self.version.to_le_bytes());
+        buf[12..16].copy_from_slice(&0u32.to_le_bytes()); // flags, reserved
+        buf[16..24].copy_from_slice(&self.n_nodes.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.n_edges.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.indptr_offset.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.indices_offset.to_le_bytes());
+        buf
+    }
+
+    /// Parse a header from the first bytes of a file and check that every
+    /// section is internally consistent.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::BadHeader`] on a wrong magic, an unsupported
+    /// version, unknown flags, or offsets that disagree with the sizes.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let bad = |reason: String| CoreError::BadHeader { reason };
+        let flags = decode_preamble(bytes, &GRAPH_MAGIC, GRAPH_FORMAT_VERSION, 48)?;
+        if flags != 0 {
+            return Err(bad(format!("unknown graph flags {flags:#x}")));
+        }
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        let header = Self {
+            version: GRAPH_FORMAT_VERSION,
+            n_nodes: u64_at(16),
+            n_edges: u64_at(24),
+            indptr_offset: u64_at(32),
+            indices_offset: u64_at(40),
+        };
+        // Recompute the section layout with checked arithmetic — the size
+        // fields are untrusted, and a crafted n_nodes/n_edges near u64::MAX
+        // must surface as BadHeader, not as an overflow panic (or, worse,
+        // wrap around and validate).
+        let expected = Self::checked_new(header.n_nodes, header.n_edges)
+            .ok_or_else(|| bad("graph size overflows the section layout".to_string()))?;
+        if header != expected {
+            return Err(bad(
+                "section offsets disagree with the sizes in the header".to_string()
+            ));
+        }
+        if header.n_nodes > u32::MAX as u64 {
+            return Err(bad(format!(
+                "n_nodes {} does not fit the u32 node-id type",
+                header.n_nodes
+            )));
+        }
+        Ok(header)
+    }
+}
+
+/// A read-only memory-mapped binary graph file.
+///
+/// Opening performs only O(1) header validation — the adjacency sections
+/// are *not* scanned, so a multi-hundred-million-edge graph opens in
+/// microseconds and pages fault in lazily as a sweep walks node ranges.
+/// Malformed adjacency offsets surface as panics at access time (the same
+/// trust model as [`crate::sparse::CsrFile`]).  Cloning shares the mapping
+/// behind an [`Arc`].
+#[derive(Debug, Clone)]
+pub struct GraphFile {
+    map: Arc<Mmap>,
+    path: PathBuf,
+    header: GraphHeader,
+}
+
+impl GraphFile {
+    /// Memory-map an existing binary graph file.
+    ///
+    /// # Errors
+    /// Fails when the file cannot be opened or mapped, its header is
+    /// malformed, or its size disagrees with the header.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .open(&path)
+            .map_err(|e| CoreError::io(&path, e))?;
+        // SAFETY: read-only mapping, never mutably aliased by this process.
+        let map = unsafe { Mmap::map(&file) }.map_err(|e| CoreError::io(&path, e))?;
+        let header = GraphHeader::decode(&map[..map.len().min(GRAPH_HEADER_BYTES)])?;
+        let actual = map.len() as u64;
+        if actual < header.file_bytes() {
+            return Err(CoreError::SizeMismatch {
+                path,
+                expected_bytes: header.file_bytes(),
+                actual_bytes: actual,
+            });
+        }
+        let this = Self {
+            map: Arc::new(map),
+            path,
+            header,
+        };
+        // Validate section bounds/alignment once so the accessors are
+        // panic-free slices, and sanity-check the indptr endpoints (the two
+        // entries we can check without faulting in the whole section).
+        let indptr = this.try_indptr()?;
+        unsafe {
+            section_slice::<u32>(&this.map[..], this.header.indices_offset, this.n_edges())?;
+        }
+        if indptr[0] != 0 || indptr[indptr.len() - 1] != this.header.n_edges {
+            return Err(CoreError::BadHeader {
+                reason: format!(
+                    "indptr endpoints ({}, {}) disagree with n_edges {}",
+                    indptr[0],
+                    indptr[indptr.len() - 1],
+                    this.header.n_edges
+                ),
+            });
+        }
+        if crate::container::verify_on_open() {
+            this.verify()?;
+        }
+        Ok(this)
+    }
+
+    /// Open and verify every section checksum — [`GraphFile::open`] followed
+    /// by [`GraphFile::verify`].
+    ///
+    /// # Errors
+    /// Everything `open` can fail with, plus
+    /// [`CoreError::ChecksumMismatch`] for a corrupted section and
+    /// [`CoreError::BadHeader`] for a file carrying no checksum block.
+    pub fn open_verified(path: impl AsRef<Path>) -> Result<Self> {
+        let file = Self::open(path)?;
+        file.verify()?;
+        Ok(file)
+    }
+
+    /// Re-hash every section against the header's checksum block.  Reads
+    /// (faults in) the whole file, unlike `open`; also run automatically
+    /// when `M3_VERIFY` is set.
+    ///
+    /// # Errors
+    /// [`CoreError::ChecksumMismatch`] naming the corrupt section, or
+    /// [`CoreError::BadHeader`] when the file carries no checksum block.
+    pub fn verify(&self) -> Result<()> {
+        crate::container::verify_checksums(&self.map, &self.path)
+    }
+
+    fn try_indptr(&self) -> Result<&[u64]> {
+        // SAFETY: u64 is plain-old-data.
+        unsafe { section_slice(&self.map[..], self.header.indptr_offset, self.n_nodes() + 1) }
+    }
+
+    /// The path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The parsed header.
+    pub fn header(&self) -> &GraphHeader {
+        &self.header
+    }
+
+    /// Forward an access-pattern hint for the whole mapping to the kernel
+    /// (`madvise`).  Best-effort: errors are ignored, as with the dense and
+    /// sparse stores.
+    pub fn advise_pattern(&self, pattern: AccessPattern) {
+        #[cfg(unix)]
+        {
+            let _ = self.map.advise(pattern.to_memmap_advice());
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = pattern;
+        }
+    }
+}
+
+impl AdjacencyStore for GraphFile {
+    fn n_nodes(&self) -> usize {
+        self.header.n_nodes as usize
+    }
+    fn n_edges(&self) -> usize {
+        self.header.n_edges as usize
+    }
+    fn indptr(&self) -> &[u64] {
+        self.try_indptr().expect("indptr section validated at open")
+    }
+    fn indices(&self) -> &[u32] {
+        // SAFETY: validated at open; u32 is plain-old-data.
+        unsafe { section_slice(&self.map[..], self.header.indices_offset, self.n_edges()) }
+            .expect("index section validated at open")
+    }
+    fn advise(&self, pattern: AccessPattern) {
+        self.advise_pattern(pattern);
+    }
+}
+
+/// Streaming writer for the binary graph format.
+///
+/// The file is created at its final (page-rounded) size up front, mapped
+/// read-write, and filled one adjacency row at a time — constant memory
+/// regardless of the graph size, the same discipline as
+/// [`crate::CsrFileBuilder`].  Node and edge counts must be known in
+/// advance (the RMAT generator's dedup pass provides exact totals).
+///
+/// The builder works on a `.tmp` sibling of the target path;
+/// [`GraphFileBuilder::finish`] checksums the sections, fsyncs and
+/// atomically renames into place, so a crash mid-build never leaves a torn
+/// artifact visible.  An abandoned builder removes its temporary file on
+/// drop.
+#[derive(Debug)]
+pub struct GraphFileBuilder {
+    map: Option<MmapMut>,
+    file: Option<File>,
+    path: PathBuf,
+    tmp: PathBuf,
+    header: GraphHeader,
+    nodes_pushed: usize,
+    edges_pushed: usize,
+    finished: bool,
+}
+
+impl GraphFileBuilder {
+    /// Create (or truncate) `path` sized for `n_nodes` nodes with exactly
+    /// `n_edges` directed edges.
+    ///
+    /// # Errors
+    /// Fails when the file cannot be created, sized or mapped, or when
+    /// `n_nodes` does not fit the format's `u32` node-id type.
+    pub fn create(path: impl AsRef<Path>, n_nodes: usize, n_edges: usize) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if n_nodes > u32::MAX as usize {
+            return Err(CoreError::InvalidShape {
+                rows: n_nodes,
+                cols: n_nodes,
+            });
+        }
+        let tmp = faults::tmp_sibling(&path);
+        let header = GraphHeader::new(n_nodes as u64, n_edges as u64);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(|e| CoreError::io(&tmp, e))?;
+        faults::set_len(&file, header.file_bytes(), &tmp).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            CoreError::io(&tmp, e)
+        })?;
+        // SAFETY: we hold the only mapping of a file we just created.
+        let mut map = unsafe { MmapMut::map_mut(&file) }.map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            CoreError::io(&tmp, e)
+        })?;
+        map[..48].copy_from_slice(&header.encode());
+        let mut builder = Self {
+            map: Some(map),
+            file: Some(file),
+            path,
+            tmp,
+            header,
+            nodes_pushed: 0,
+            edges_pushed: 0,
+            finished: false,
+        };
+        builder.write_indptr(0, 0);
+        Ok(builder)
+    }
+
+    fn map(&self) -> &MmapMut {
+        self.map.as_ref().expect("builder already finished")
+    }
+
+    fn map_mut(&mut self) -> &mut MmapMut {
+        self.map.as_mut().expect("builder already finished")
+    }
+
+    fn write_indptr(&mut self, node: usize, value: u64) {
+        let offset = self.header.indptr_offset as usize + node * INDPTR_BYTES;
+        self.map_mut()[offset..offset + INDPTR_BYTES].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append one node's adjacency row: strictly-increasing neighbor ids,
+    /// each `< n_nodes`.  Empty rows are fine (isolated or dangling nodes).
+    ///
+    /// # Errors
+    /// Fails when the node budget or edge budget declared at creation would
+    /// be exceeded, or when the neighbor list is unsorted, has duplicates,
+    /// or references a node out of range.
+    pub fn push_node(&mut self, neighbors: &[u32]) -> Result<()> {
+        let bad = |reason: String| CoreError::BadHeader { reason };
+        if self.nodes_pushed >= self.header.n_nodes as usize {
+            return Err(bad(format!(
+                "node budget of {} exhausted",
+                self.header.n_nodes
+            )));
+        }
+        if self.edges_pushed + neighbors.len() > self.header.n_edges as usize {
+            return Err(bad(format!(
+                "edge budget of {} exhausted at node {}",
+                self.header.n_edges, self.nodes_pushed
+            )));
+        }
+        let node = self.nodes_pushed;
+        let n_nodes = self.header.n_nodes;
+        let mut previous: Option<u32> = None;
+        for &t in neighbors {
+            if t as u64 >= n_nodes {
+                return Err(bad(format!(
+                    "node {node}: neighbor {t} out of range ({n_nodes} nodes)"
+                )));
+            }
+            if previous.is_some_and(|p| p >= t) {
+                return Err(bad(format!(
+                    "node {node}: neighbors must be strictly increasing"
+                )));
+            }
+            previous = Some(t);
+        }
+
+        let idx_off = self.header.indices_offset as usize + self.edges_pushed * INDEX_BYTES;
+        let map = self.map_mut();
+        for (k, &t) in neighbors.iter().enumerate() {
+            map[idx_off + k * INDEX_BYTES..idx_off + (k + 1) * INDEX_BYTES]
+                .copy_from_slice(&t.to_le_bytes());
+        }
+
+        self.edges_pushed += neighbors.len();
+        self.nodes_pushed += 1;
+        let (node, edges) = (self.nodes_pushed, self.edges_pushed as u64);
+        self.write_indptr(node, edges);
+        Ok(())
+    }
+
+    /// Number of nodes pushed so far.
+    pub fn nodes_pushed(&self) -> usize {
+        self.nodes_pushed
+    }
+
+    /// Number of edges pushed so far.
+    pub fn edges_pushed(&self) -> usize {
+        self.edges_pushed
+    }
+
+    /// Checksum the sections, flush, fsync, atomically rename the temporary
+    /// file into place and reopen it read-only.
+    ///
+    /// # Errors
+    /// Fails when fewer nodes or edges were pushed than declared, or on
+    /// flush/sync/rename/reopen I/O errors.  On failure the target path
+    /// still holds whatever artifact (if any) was there before; the
+    /// temporary file is removed when the builder drops.
+    pub fn finish(mut self) -> Result<GraphFile> {
+        if self.nodes_pushed != self.header.n_nodes as usize
+            || self.edges_pushed != self.header.n_edges as usize
+        {
+            return Err(CoreError::BadHeader {
+                reason: format!(
+                    "declared {} nodes / {} edges but received {} / {}",
+                    self.header.n_nodes, self.header.n_edges, self.nodes_pushed, self.edges_pushed
+                ),
+            });
+        }
+        let h = self.header;
+        {
+            let map = self.map_mut();
+            let sections = [
+                SectionChecksum::of(
+                    "indptr",
+                    map,
+                    h.indptr_offset,
+                    (h.n_nodes + 1) * INDPTR_BYTES as u64,
+                ),
+                SectionChecksum::of(
+                    "indices",
+                    map,
+                    h.indices_offset,
+                    h.n_edges * INDEX_BYTES as u64,
+                ),
+            ];
+            let block = encode_checksums(&sections);
+            map[CHECKSUM_BLOCK_OFFSET..CHECKSUM_BLOCK_OFFSET + block.len()].copy_from_slice(&block);
+        }
+        faults::flush_map(self.map(), &self.tmp).map_err(|e| CoreError::io(&self.tmp, e))?;
+        let file = self.file.as_ref().expect("builder already finished");
+        faults::sync_file(file, &self.tmp).map_err(|e| CoreError::io(&self.tmp, e))?;
+        drop(self.map.take());
+        drop(self.file.take());
+        faults::rename(&self.tmp, &self.path).map_err(|e| CoreError::io(&self.tmp, e))?;
+        if let Some(parent) = self.path.parent() {
+            faults::sync_dir(parent).map_err(|e| CoreError::io(parent, e))?;
+        }
+        self.finished = true;
+        GraphFile::open(&self.path)
+    }
+}
+
+impl Drop for GraphFileBuilder {
+    fn drop(&mut self) {
+        if !self.finished {
+            drop(self.map.take());
+            drop(self.file.take());
+            let _ = std::fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Persist any in-memory [`AdjacencyStore`] as a binary graph file and
+/// reopen it memory-mapped — the graph analogue of
+/// [`crate::sparse::persist_csr`].
+///
+/// # Errors
+/// Fails on I/O errors or when the store violates an adjacency invariant
+/// (unsorted or out-of-range neighbor lists).
+pub fn persist_graph<G: AdjacencyStore + ?Sized>(
+    path: impl AsRef<Path>,
+    graph: &G,
+) -> Result<GraphFile> {
+    let mut builder = GraphFileBuilder::create(path, graph.n_nodes(), graph.n_edges())?;
+    for node in 0..graph.n_nodes() {
+        builder.push_node(graph.neighbors(node))?;
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempfile::tempdir;
+
+    /// Minimal in-memory store for exercising the trait defaults.
+    struct VecGraph {
+        indptr: Vec<u64>,
+        indices: Vec<u32>,
+    }
+
+    impl AdjacencyStore for VecGraph {
+        fn n_nodes(&self) -> usize {
+            self.indptr.len() - 1
+        }
+        fn n_edges(&self) -> usize {
+            self.indices.len()
+        }
+        fn indptr(&self) -> &[u64] {
+            &self.indptr
+        }
+        fn indices(&self) -> &[u32] {
+            &self.indices
+        }
+    }
+
+    /// 0 → {1, 3}, 1 → {}, 2 → {0, 1, 3}, 3 → {2}.
+    fn sample() -> VecGraph {
+        VecGraph {
+            indptr: vec![0, 2, 2, 5, 6],
+            indices: vec![1, 3, 0, 1, 3, 2],
+        }
+    }
+
+    #[test]
+    fn header_round_trip_and_layout() {
+        let h = GraphHeader::new(1_000_000, 80_000_000);
+        assert_eq!(GraphHeader::decode(&h.encode()).unwrap(), h);
+        assert_eq!(h.indptr_offset % PAGE_SIZE as u64, 0);
+        assert_eq!(h.indices_offset % PAGE_SIZE as u64, 0);
+        assert!(h.indices_offset >= h.indptr_offset + 1_000_001 * 8);
+        assert_eq!(h.file_bytes(), h.indices_offset + 80_000_000 * 4);
+    }
+
+    #[test]
+    fn bad_headers_are_rejected() {
+        let h = GraphHeader::new(10, 7);
+        let mut bytes = h.encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            GraphHeader::decode(&bytes),
+            Err(CoreError::BadHeader { .. })
+        ));
+        let mut bytes = h.encode();
+        bytes[8] = 99; // version
+        assert!(GraphHeader::decode(&bytes).is_err());
+        let mut bytes = h.encode();
+        bytes[12] = 1; // unknown flag
+        assert!(GraphHeader::decode(&bytes).is_err());
+        let mut bytes = h.encode();
+        bytes[32] = 1; // corrupt indptr offset
+        assert!(GraphHeader::decode(&bytes).is_err());
+        assert!(GraphHeader::decode(&bytes[..20]).is_err());
+
+        // Crafted sizes near u64::MAX must decode to BadHeader — checked
+        // arithmetic, not overflow panics (debug) or wrap-around acceptance
+        // (release).
+        let mut crafted = h.encode();
+        crafted[16..24].copy_from_slice(&u64::MAX.to_le_bytes()); // n_nodes
+        assert!(matches!(
+            GraphHeader::decode(&crafted),
+            Err(CoreError::BadHeader { .. })
+        ));
+        let mut crafted = h.encode();
+        crafted[24..32].copy_from_slice(&(u64::MAX / 4).to_le_bytes()); // n_edges
+        assert!(matches!(
+            GraphHeader::decode(&crafted),
+            Err(CoreError::BadHeader { .. })
+        ));
+        // More nodes than u32 node ids can address.
+        let giant = GraphHeader::new(u32::MAX as u64 + 1, 0);
+        assert!(matches!(
+            GraphHeader::decode(&giant.encode()),
+            Err(CoreError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn open_rejects_crafted_overflowing_header_without_panicking() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("crafted.m3grph");
+        let mut bytes = vec![0u8; 2 * GRAPH_HEADER_BYTES];
+        bytes[0..8].copy_from_slice(&GRAPH_MAGIC);
+        bytes[8..12].copy_from_slice(&GRAPH_FORMAT_VERSION.to_le_bytes());
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes()); // n_nodes
+        for off in [32usize, 40] {
+            bytes[off..off + 8].copy_from_slice(&(GRAPH_HEADER_BYTES as u64).to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            GraphFile::open(&path),
+            Err(CoreError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn persist_and_reopen_round_trip() {
+        let dir = tempdir().unwrap();
+        let g = sample();
+        let file = persist_graph(dir.path().join("g.m3grph"), &g).unwrap();
+        assert_eq!(file.n_nodes(), 4);
+        assert_eq!(file.n_edges(), 6);
+        assert_eq!(AdjacencyStore::indptr(&file), &g.indptr[..]);
+        assert_eq!(AdjacencyStore::indices(&file), &g.indices[..]);
+        assert_eq!(file.neighbors(2), &[0, 1, 3]);
+        assert_eq!(file.neighbors(1), &[] as &[u32]);
+        assert_eq!(file.out_degree(0), 2);
+        assert!(!file.is_empty());
+        assert_eq!(file.header().version, GRAPH_FORMAT_VERSION);
+        assert!(file.path().ends_with("g.m3grph"));
+        file.verify().unwrap();
+        let reopened = GraphFile::open_verified(file.path()).unwrap();
+        assert_eq!(reopened.n_edges(), 6);
+        // Clone shares the mapping.
+        let clone = file.clone();
+        assert_eq!(
+            AdjacencyStore::indices(&clone),
+            AdjacencyStore::indices(&file)
+        );
+    }
+
+    #[test]
+    fn adj_chunk_borrows_node_ranges() {
+        let g = sample();
+        let chunk = g.adj_chunk(1, 3);
+        assert_eq!(chunk.n_rows(), 2);
+        assert_eq!(chunk.n_edges(), 3);
+        assert_eq!(chunk.row(0), &[] as &[u32]);
+        assert_eq!(chunk.row(1), g.neighbors(2));
+        let collected: Vec<usize> = chunk.rows_with_index().map(|(r, _)| r).collect();
+        assert_eq!(collected, vec![1, 2]);
+
+        let whole = g.adj_chunk(0, 4);
+        assert_eq!(whole.n_edges(), g.n_edges());
+        assert_eq!(whole.row(0), g.neighbors(0));
+    }
+
+    #[test]
+    fn builder_enforces_budgets_and_order() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("b.m3grph");
+        let mut b = GraphFileBuilder::create(&path, 3, 4).unwrap();
+        assert!(b.push_node(&[1, 1]).is_err()); // duplicate
+        assert!(b.push_node(&[2, 1]).is_err()); // unsorted
+        assert!(b.push_node(&[9]).is_err()); // out of range
+        b.push_node(&[1, 2]).unwrap();
+        assert_eq!(b.nodes_pushed(), 1);
+        assert_eq!(b.edges_pushed(), 2);
+        assert!(b.push_node(&[0, 1, 2]).is_err()); // edge budget
+        b.push_node(&[0]).unwrap();
+        b.push_node(&[2]).unwrap();
+        assert!(b.push_node(&[]).is_err()); // node budget
+        let file = b.finish().unwrap();
+        assert_eq!(AdjacencyStore::indptr(&file), &[0, 2, 3, 4]);
+
+        // Underfilled builders refuse to finish.
+        let b = GraphFileBuilder::create(dir.path().join("u.m3grph"), 3, 4).unwrap();
+        assert!(b.finish().is_err());
+
+        // n_nodes beyond u32 is a typed error.
+        assert!(matches!(
+            GraphFileBuilder::create(dir.path().join("x.m3grph"), u32::MAX as usize + 1, 0),
+            Err(CoreError::InvalidShape { .. })
+        ));
+    }
+
+    #[test]
+    fn open_rejects_truncated_and_corrupt_files() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("t.m3grph");
+        persist_graph(&path, &sample()).unwrap();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(GRAPH_HEADER_BYTES as u64 + 8).unwrap();
+        drop(f);
+        assert!(matches!(
+            GraphFile::open(&path),
+            Err(CoreError::SizeMismatch { .. } | CoreError::BadHeader { .. })
+        ));
+        assert!(GraphFile::open(dir.path().join("missing.m3grph")).is_err());
+
+        // Corrupt the final indptr entry: endpoints no longer match n_edges.
+        let path2 = dir.path().join("c.m3grph");
+        persist_graph(&path2, &sample()).unwrap();
+        let mut bytes = std::fs::read(&path2).unwrap();
+        let h = GraphHeader::new(4, 6);
+        let off = h.indptr_offset as usize + 4 * 8;
+        bytes[off..off + 8].copy_from_slice(&999u64.to_le_bytes());
+        std::fs::write(&path2, &bytes).unwrap();
+        assert!(matches!(
+            GraphFile::open(&path2),
+            Err(CoreError::BadHeader { .. })
+        ));
+
+        // Flip a bit in the index section: open still succeeds (O(1)), but
+        // verification names the corrupt section.
+        let path3 = dir.path().join("v.m3grph");
+        persist_graph(&path3, &sample()).unwrap();
+        let mut bytes = std::fs::read(&path3).unwrap();
+        let off = h.indices_offset as usize;
+        bytes[off] ^= 0x01;
+        std::fs::write(&path3, &bytes).unwrap();
+        match GraphFile::open(&path3) {
+            // Without M3_VERIFY the open is O(1) and succeeds...
+            Ok(file) => match file.verify() {
+                Err(CoreError::ChecksumMismatch { section, .. }) => {
+                    assert_eq!(section, "indices")
+                }
+                other => panic!("wanted ChecksumMismatch, got {other:?}"),
+            },
+            // ...with M3_VERIFY set the corruption is caught at open.
+            Err(CoreError::ChecksumMismatch { section, .. }) => assert_eq!(section, "indices"),
+            Err(other) => panic!("wanted ChecksumMismatch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn abandoned_builder_removes_its_tmp_file() {
+        let dir = tempdir().unwrap();
+        let path = dir.path().join("a.m3grph");
+        let b = GraphFileBuilder::create(&path, 2, 1).unwrap();
+        drop(b);
+        assert_eq!(std::fs::read_dir(dir.path()).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn advise_is_best_effort() {
+        let dir = tempdir().unwrap();
+        let file = persist_graph(dir.path().join("adv.m3grph"), &sample()).unwrap();
+        for pattern in AccessPattern::ALL {
+            file.advise_pattern(pattern);
+            AdjacencyStore::advise(&file, pattern);
+        }
+        // The in-memory impl ignores advice without panicking.
+        sample().advise(AccessPattern::Sequential);
+    }
+
+    #[test]
+    fn trait_forwarding_through_references_and_boxes() {
+        let g = sample();
+        let by_ref: &VecGraph = &g;
+        assert_eq!(AdjacencyStore::n_nodes(&by_ref), 4);
+        assert_eq!(AdjacencyStore::neighbors(&by_ref, 2), g.neighbors(2));
+        let boxed: Box<dyn AdjacencyStore + Sync> = Box::new(sample());
+        assert_eq!(boxed.n_nodes(), 4);
+        assert_eq!(boxed.n_edges(), 6);
+        assert!(!boxed.is_empty());
+        boxed.advise(AccessPattern::Sequential);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let dir = tempdir().unwrap();
+        let g = VecGraph {
+            indptr: vec![0],
+            indices: vec![],
+        };
+        let file = persist_graph(dir.path().join("e.m3grph"), &g).unwrap();
+        assert!(file.is_empty());
+        assert_eq!(file.n_edges(), 0);
+    }
+}

@@ -32,6 +32,10 @@
 //!   page-rounded mapped sections — row pointers, column indices, values —
 //!   and optional labels) behind the [`sparse::SparseRowStore`] trait, so
 //!   sparse training scales past RAM exactly like the dense path.
+//! * [`graph::GraphFile`] — the adjacency counterpart of [`sparse::CsrFile`]:
+//!   a CSR graph is the CSR container with no values section (`u64` offsets
+//!   plus `u32` neighbor ids) behind [`graph::AdjacencyStore`], which powers
+//!   the out-of-core graph analytics in `m3-graph`.
 //! * [`advice::AccessPattern`] — `madvise(2)` hints (sequential / random /
 //!   will-need) exposed so callers can tell the OS about their access pattern,
 //!   which the paper highlights as a key OS-side optimisation.
@@ -72,6 +76,7 @@ pub mod dataset;
 pub mod error;
 pub mod exec;
 pub mod faults;
+pub mod graph;
 pub mod mmap;
 pub mod model;
 mod pool;
@@ -87,6 +92,9 @@ pub use ckpt::{CheckpointFile, CheckpointHeader, CheckpointState, TrainProgress}
 pub use dataset::{Dataset, DatasetHeader};
 pub use error::{CoreError, Result};
 pub use exec::ExecContext;
+pub use graph::{
+    persist_graph, AdjChunk, AdjacencyStore, GraphFile, GraphFileBuilder, GraphHeader,
+};
 pub use mmap::{MmapMatrix, MmapMatrixMut};
 pub use model::{ModelFile, ModelFileBuilder, ModelHeader, ModelKind, ParamMatrix, ParamVec};
 pub use sparse::{CsrFile, CsrFileBuilder, CsrHeader, SparseRowChunk, SparseRowStore};

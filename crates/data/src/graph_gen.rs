@@ -1,0 +1,548 @@
+//! Streaming R-MAT / power-law graph generation straight into the
+//! `m3-core` [`GraphFile`] container.
+//!
+//! The generator never materialises the graph in RAM.  It runs in two
+//! external passes over sibling spill files:
+//!
+//! 1. **Sample** — every requested edge is a pure function of
+//!    `(seed, edge index)` (a SplitMix64 stream drives the R-MAT quadrant
+//!    recursion), so generation is deterministic and restartable.  Each
+//!    surviving edge is packed as `(src << 32) | dst` and appended to one of
+//!    a fixed set of spill buckets partitioned by the high bits of `src`;
+//!    bucket fan-out is sized from [`RmatConfig::mem_budget`] and the
+//!    configured skew so the largest bucket is expected to fit the budget.
+//! 2. **Sort + publish** — each bucket is loaded alone, sorted, deduplicated
+//!    and written back, which yields the exact final edge count; a second
+//!    sweep over the (now sorted) buckets streams rows into
+//!    [`GraphFileBuilder`], which publishes the `M3GRPH01` artifact crash-safely.
+//!
+//! Peak memory is therefore `O(largest bucket)`, independent of the total
+//! edge count, and the output file appears atomically or not at all.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use m3_core::{GraphFile, GraphFileBuilder};
+
+use crate::{DataError, Result};
+
+/// Configuration for the R-MAT generator.
+///
+/// The classic R-MAT recursion (Chakrabarti, Zhan & Faloutsos, SDM 2004)
+/// splits the adjacency matrix into quadrants with probabilities
+/// `a` (top-left), `b` (top-right), `c` (bottom-left) and `d` (bottom-right)
+/// and recurses `scale` times; `a > d` produces the skewed power-law degree
+/// distributions seen in real graphs.  The Graph500 reference parameters are
+/// `a = 0.57, b = 0.19, c = 0.19, d = 0.05`, which [`RmatConfig::new`] uses
+/// as the default.
+#[derive(Debug, Clone)]
+pub struct RmatConfig {
+    /// Number of vertices is `2^scale`.  Must be in `1..=31` so vertex ids
+    /// fit the container's `u32` neighbor encoding.
+    pub scale: u32,
+    /// Number of directed edge samples to draw (before self-loop and
+    /// duplicate removal, and before symmetric mirroring).
+    pub n_edges: u64,
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+    /// Seed for the deterministic edge stream.
+    pub seed: u64,
+    /// Mirror every sampled edge so the output adjacency is symmetric
+    /// (required by label-propagation connected components).
+    pub symmetric: bool,
+    /// Target bytes for the in-memory portion of the external sort.  The
+    /// bucket fan-out is derived from this; it is a target, not a hard cap.
+    pub mem_budget: usize,
+}
+
+impl RmatConfig {
+    /// Graph500 reference parameters at the given scale and edge count.
+    pub fn new(scale: u32, n_edges: u64) -> Self {
+        RmatConfig {
+            scale,
+            n_edges,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            d: 0.05,
+            seed: 0x4D33_5247, // "M3RG"
+            symmetric: true,
+            mem_budget: 256 << 20,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style symmetry override.
+    pub fn with_symmetric(mut self, symmetric: bool) -> Self {
+        self.symmetric = symmetric;
+        self
+    }
+
+    /// Builder-style sort-budget override (bytes).
+    pub fn with_mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget = bytes;
+        self
+    }
+
+    /// Number of vertices implied by `scale`.
+    pub fn n_nodes(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.scale == 0 || self.scale > 31 {
+            return Err(DataError::InvalidConfig(format!(
+                "rmat scale must be in 1..=31, got {}",
+                self.scale
+            )));
+        }
+        if self.n_edges == 0 {
+            return Err(DataError::InvalidConfig(
+                "rmat edge count must be positive".into(),
+            ));
+        }
+        let probs = [self.a, self.b, self.c, self.d];
+        if probs.iter().any(|p| !p.is_finite() || *p < 0.0) {
+            return Err(DataError::InvalidConfig(format!(
+                "rmat quadrant probabilities must be non-negative and finite, got \
+                 a={} b={} c={} d={}",
+                self.a, self.b, self.c, self.d
+            )));
+        }
+        let sum: f64 = probs.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(DataError::InvalidConfig(format!(
+                "rmat quadrant probabilities must sum to 1, got {sum}"
+            )));
+        }
+        if self.mem_budget < 64 << 10 {
+            return Err(DataError::InvalidConfig(format!(
+                "rmat mem_budget must be at least 64 KiB, got {}",
+                self.mem_budget
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// What [`generate_rmat`] actually wrote.
+#[derive(Debug, Clone)]
+pub struct RmatSummary {
+    /// Vertex count of the published graph (`2^scale`).
+    pub n_nodes: u64,
+    /// Directed edge samples drawn (`RmatConfig::n_edges`).
+    pub requested_edges: u64,
+    /// Directed edges in the published file after mirroring and dedup.
+    pub written_edges: u64,
+    /// Samples discarded because `src == dst`.
+    pub self_loops_dropped: u64,
+    /// Directed edges discarded as exact duplicates.
+    pub duplicates_dropped: u64,
+}
+
+/// SplitMix64: tiny, fast, and a pure function of its state — the whole edge
+/// stream is reproducible from `(seed, edge index)` alone.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn unit_f64(x: u64) -> f64 {
+    // 53 high bits -> [0, 1).
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One R-MAT sample: recurse `scale` levels, choosing a quadrant per level.
+#[inline]
+fn rmat_edge(cfg: &RmatConfig, edge_index: u64) -> (u32, u32) {
+    let mut state = cfg
+        .seed
+        .wrapping_add((edge_index ^ 0x5851_F42D_4C95_7F2D).wrapping_mul(0x2545_F491_4F6C_DD1D));
+    let ab = cfg.a + cfg.b;
+    let abc = ab + cfg.c;
+    let mut src = 0u32;
+    let mut dst = 0u32;
+    for _ in 0..cfg.scale {
+        let r = unit_f64(splitmix64(&mut state));
+        let (row_bit, col_bit) = if r < cfg.a {
+            (0, 0)
+        } else if r < ab {
+            (0, 1)
+        } else if r < abc {
+            (1, 0)
+        } else {
+            (1, 1)
+        };
+        src = (src << 1) | row_bit;
+        dst = (dst << 1) | col_bit;
+    }
+    (src, dst)
+}
+
+/// Spill bucket set partitioned by the high bits of `src`.  Files live in a
+/// sibling directory of the output and are removed on drop, success or not.
+struct SpillBuckets {
+    dir: PathBuf,
+    shift: u32,
+    pending: Vec<Vec<u64>>,
+}
+
+/// Flush a pending buffer past this many packed edges (64 KiB).
+const FLUSH_EDGES: usize = 8 << 10;
+
+impl SpillBuckets {
+    fn create(output: &Path, n_buckets: usize, shift: u32) -> Result<Self> {
+        let mut name = output
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_else(|| "graph".into());
+        name.push(".spill");
+        let dir = output.with_file_name(name);
+        // A stale directory from a crashed run would corrupt the edge counts.
+        if dir.exists() {
+            fs::remove_dir_all(&dir)?;
+        }
+        fs::create_dir_all(&dir)?;
+        Ok(SpillBuckets {
+            dir,
+            shift,
+            pending: vec![Vec::new(); n_buckets],
+        })
+    }
+
+    fn bucket_path(&self, bucket: usize) -> PathBuf {
+        self.dir.join(format!("bucket{bucket:04}.edges"))
+    }
+
+    fn push(&mut self, src: u32, dst: u32) -> Result<()> {
+        let bucket = (src >> self.shift) as usize;
+        self.pending[bucket].push(((src as u64) << 32) | dst as u64);
+        if self.pending[bucket].len() >= FLUSH_EDGES {
+            self.flush(bucket)?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self, bucket: usize) -> Result<()> {
+        if self.pending[bucket].is_empty() {
+            return Ok(());
+        }
+        let mut bytes = Vec::with_capacity(self.pending[bucket].len() * 8);
+        for packed in self.pending[bucket].drain(..) {
+            bytes.extend_from_slice(&packed.to_le_bytes());
+        }
+        let mut file = fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.bucket_path(bucket))?;
+        file.write_all(&bytes)?;
+        Ok(())
+    }
+
+    fn flush_all(&mut self) -> Result<()> {
+        for bucket in 0..self.pending.len() {
+            self.flush(bucket)?;
+        }
+        Ok(())
+    }
+
+    /// Load one bucket fully (empty vec if it was never written).
+    fn load(&self, bucket: usize) -> Result<Vec<u64>> {
+        let path = self.bucket_path(bucket);
+        let mut raw = Vec::new();
+        match fs::File::open(&path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut raw)?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e.into()),
+        }
+        let mut edges = Vec::with_capacity(raw.len() / 8);
+        for chunk in raw.chunks_exact(8) {
+            edges.push(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        Ok(edges)
+    }
+
+    /// Replace one bucket's contents with an already-sorted edge list.
+    fn store(&self, bucket: usize, edges: &[u64]) -> Result<()> {
+        let mut bytes = Vec::with_capacity(edges.len() * 8);
+        for packed in edges {
+            bytes.extend_from_slice(&packed.to_le_bytes());
+        }
+        fs::write(self.bucket_path(bucket), bytes)?;
+        Ok(())
+    }
+
+    fn n_buckets(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl Drop for SpillBuckets {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Pick the bucket fan-out: smallest power of two whose expected *largest*
+/// bucket (the low-id hot bucket, shrinking by the dominant row marginal per
+/// partition level) fits the sort budget.  Capped at 1 024 buckets.
+fn bucket_levels(cfg: &RmatConfig) -> u32 {
+    let samples = cfg
+        .n_edges
+        .saturating_mul(if cfg.symmetric { 2 } else { 1 });
+    let total_bytes = samples.saturating_mul(8) as f64;
+    let skew = (cfg.a + cfg.b).max(cfg.c + cfg.d).max(0.5);
+    let mut levels = 0u32;
+    let mut hot = total_bytes;
+    while hot > cfg.mem_budget as f64 && levels < cfg.scale.min(10) {
+        hot *= skew;
+        levels += 1;
+    }
+    levels
+}
+
+/// Generate an R-MAT graph and publish it at `path` as an `M3GRPH01`
+/// container, returning what was written.  See the module docs for the
+/// two-pass external pipeline; peak memory tracks
+/// [`RmatConfig::mem_budget`], not the edge count.
+pub fn generate_rmat(path: impl AsRef<Path>, cfg: &RmatConfig) -> Result<RmatSummary> {
+    let path = path.as_ref();
+    cfg.validate()?;
+    let n_nodes = cfg.n_nodes();
+
+    let levels = bucket_levels(cfg);
+    let n_buckets = 1usize << levels;
+    let shift = cfg.scale - levels;
+    let mut spill = SpillBuckets::create(path, n_buckets, shift)?;
+
+    // Pass 1: sample edges, drop self-loops, spill packed (src, dst) pairs.
+    let mut self_loops = 0u64;
+    for i in 0..cfg.n_edges {
+        let (src, dst) = rmat_edge(cfg, i);
+        if src == dst {
+            self_loops += 1;
+            continue;
+        }
+        spill.push(src, dst)?;
+        if cfg.symmetric {
+            spill.push(dst, src)?;
+        }
+    }
+    spill.flush_all()?;
+
+    // Pass 2a: sort + dedup each bucket in isolation to learn exact totals.
+    let mut written_edges = 0u64;
+    let mut duplicates = 0u64;
+    for bucket in 0..spill.n_buckets() {
+        let mut edges = spill.load(bucket)?;
+        if edges.is_empty() {
+            continue;
+        }
+        let before = edges.len();
+        edges.sort_unstable();
+        edges.dedup();
+        duplicates += (before - edges.len()) as u64;
+        written_edges += edges.len() as u64;
+        spill.store(bucket, &edges)?;
+    }
+
+    // Pass 2b: stream the sorted buckets into the crash-safe builder.
+    // Buckets are ordered by the high bits of `src` and sorted within, so a
+    // single forward walk emits every row in order; vertices with no
+    // out-edges get explicit empty rows.
+    let mut builder = GraphFileBuilder::create(path, n_nodes as usize, written_edges as usize)?;
+    let mut row: Vec<u32> = Vec::new();
+    let mut current: u64 = 0;
+    for bucket in 0..spill.n_buckets() {
+        for packed in spill.load(bucket)? {
+            let src = packed >> 32;
+            let dst = (packed & 0xFFFF_FFFF) as u32;
+            while current < src {
+                builder.push_node(&row)?;
+                row.clear();
+                current += 1;
+            }
+            row.push(dst);
+        }
+    }
+    while current < n_nodes {
+        builder.push_node(&row)?;
+        row.clear();
+        current += 1;
+    }
+    builder.finish()?;
+    drop(spill);
+
+    Ok(RmatSummary {
+        n_nodes,
+        requested_edges: cfg.n_edges,
+        written_edges,
+        self_loops_dropped: self_loops,
+        duplicates_dropped: duplicates,
+    })
+}
+
+/// Convenience wrapper: generate and immediately reopen for reading.
+pub fn generate_rmat_graph(path: impl AsRef<Path>, cfg: &RmatConfig) -> Result<GraphFile> {
+    generate_rmat(&path, cfg)?;
+    Ok(GraphFile::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use m3_core::AdjacencyStore;
+
+    fn small_cfg() -> RmatConfig {
+        RmatConfig::new(8, 2_000).with_mem_budget(64 << 10)
+    }
+
+    #[test]
+    fn generates_a_valid_sorted_graph() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("rmat.m3g");
+        let summary = generate_rmat(&path, &small_cfg()).unwrap();
+        let graph = GraphFile::open_verified(&path).unwrap();
+        assert_eq!(graph.n_nodes() as u64, summary.n_nodes);
+        assert_eq!(graph.n_edges() as u64, summary.written_edges);
+        assert_eq!(
+            summary.written_edges + summary.duplicates_dropped,
+            2 * (summary.requested_edges - summary.self_loops_dropped),
+            "every surviving sample is either written or a duplicate"
+        );
+        let mut seen_edges = 0usize;
+        for v in 0..graph.n_nodes() {
+            let row = graph.neighbors(v);
+            assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "row {v} must be strictly increasing"
+            );
+            assert!(row.iter().all(|&t| (t as u64) < summary.n_nodes));
+            assert!(!row.contains(&(v as u32)), "self-loop survived at {v}");
+            seen_edges += row.len();
+        }
+        assert_eq!(seen_edges, graph.n_edges());
+        // No spill residue next to the artifact.
+        assert!(!path.with_file_name("rmat.m3g.spill").exists());
+    }
+
+    #[test]
+    fn symmetric_output_has_both_directions() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("sym.m3g");
+        let graph = generate_rmat_graph(&path, &small_cfg()).unwrap();
+        for v in 0..graph.n_nodes() {
+            for &t in graph.neighbors(v) {
+                assert!(
+                    graph.neighbors(t as usize).contains(&(v as u32)),
+                    "edge {v}->{t} has no mirror"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_file_different_seed_different_edges() {
+        let dir = tempfile::tempdir().unwrap();
+        let a = dir.path().join("a.m3g");
+        let b = dir.path().join("b.m3g");
+        let c = dir.path().join("c.m3g");
+        generate_rmat(&a, &small_cfg().with_seed(7)).unwrap();
+        generate_rmat(&b, &small_cfg().with_seed(7)).unwrap();
+        generate_rmat(&c, &small_cfg().with_seed(8)).unwrap();
+        let bytes_a = std::fs::read(&a).unwrap();
+        assert_eq!(bytes_a, std::fs::read(&b).unwrap(), "seeded determinism");
+        assert_ne!(bytes_a, std::fs::read(&c).unwrap(), "seed must matter");
+    }
+
+    #[test]
+    fn bucket_fanout_is_independent_of_results() {
+        // Shrinking the budget changes only the external-sort fan-out,
+        // never the published bytes.
+        let dir = tempfile::tempdir().unwrap();
+        let one = dir.path().join("one.m3g");
+        let many = dir.path().join("many.m3g");
+        let cfg = small_cfg();
+        assert_eq!(bucket_levels(&cfg.clone().with_mem_budget(1 << 30)), 0);
+        generate_rmat(&one, &cfg.clone().with_mem_budget(1 << 30)).unwrap();
+        generate_rmat(&many, &cfg.with_mem_budget(64 << 10)).unwrap();
+        assert_eq!(std::fs::read(one).unwrap(), std::fs::read(many).unwrap());
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("bad.m3g");
+        let bad = [
+            RmatConfig {
+                scale: 0,
+                ..small_cfg()
+            },
+            RmatConfig {
+                scale: 32,
+                ..small_cfg()
+            },
+            RmatConfig {
+                n_edges: 0,
+                ..small_cfg()
+            },
+            RmatConfig {
+                a: -0.1,
+                b: 0.5,
+                c: 0.3,
+                d: 0.3,
+                ..small_cfg()
+            },
+            RmatConfig {
+                a: 0.9,
+                b: 0.9,
+                c: 0.1,
+                d: 0.1,
+                ..small_cfg()
+            },
+            RmatConfig {
+                d: f64::NAN,
+                ..small_cfg()
+            },
+            small_cfg().with_mem_budget(1024),
+        ];
+        for cfg in bad {
+            let err = generate_rmat(&path, &cfg).unwrap_err();
+            assert!(
+                matches!(err, DataError::InvalidConfig(_)),
+                "expected InvalidConfig, got {err}"
+            );
+            assert!(!path.exists(), "rejected config must not leave a file");
+        }
+    }
+
+    #[test]
+    fn asymmetric_mode_skips_mirroring() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("dir.m3g");
+        let summary = generate_rmat(&path, &small_cfg().with_symmetric(false)).unwrap();
+        assert_eq!(
+            summary.written_edges + summary.duplicates_dropped,
+            summary.requested_edges - summary.self_loops_dropped,
+        );
+    }
+}

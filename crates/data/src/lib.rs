@@ -25,12 +25,16 @@
 //! * [`writer`] — streaming helpers that materialise any [`RowGenerator`]
 //!   into an `m3-core` dataset container or raw matrix file of any size with
 //!   constant memory,
+//! * [`graph_gen`] — a streaming R-MAT power-law edge generator that
+//!   external-sorts and deduplicates edges on disk and publishes an
+//!   `m3-core` CSR graph container without ever holding the graph in RAM,
 //! * [`split`] — train/test splitting and k-fold utilities.
 
 #![warn(missing_docs)]
 
 pub mod blobs;
 pub mod csv;
+pub mod graph_gen;
 pub mod infimnist;
 pub mod libsvm;
 pub mod split;
@@ -38,6 +42,7 @@ pub mod synthetic;
 pub mod writer;
 
 pub use blobs::GaussianBlobs;
+pub use graph_gen::{generate_rmat, generate_rmat_graph, RmatConfig, RmatSummary};
 pub use infimnist::InfimnistLike;
 pub use libsvm::{convert_libsvm_to_csr, read_libsvm, read_libsvm_csr};
 pub use synthetic::LinearProblem;

@@ -1,0 +1,528 @@
+//! Out-of-core graph analytics over the shared sparse sweep infrastructure.
+//!
+//! This module is the graph engine the M3 paper motivates: PageRank,
+//! connected components and structural statistics expressed as chunk-ordered
+//! [`ExecContext`] sweeps over any [`AdjacencyStore`] — the in-memory
+//! [`crate::csr::CsrGraph`] or the memory-mapped `M3GRPH01`
+//! [`m3_core::GraphFile`] — so the same code runs in RAM or out of core.
+//! Every sweep inherits the context's worker pool, chunk budget,
+//! serial-fallback threshold, access-pattern `madvise` hints and page
+//! tracer, and the inner loops reuse the dispatched `m3-linalg` adjacency
+//! kernels (`adj_gather_sum` / `adj_scatter_add`).
+//!
+//! ## Determinism
+//!
+//! Chunk geometry depends only on the context's byte budget and the graph's
+//! shape, never on the thread count, and parallel sweeps fold their partial
+//! results in chunk order.  Each algorithm here is therefore **bit-identical
+//! across thread counts and across mem-vs-mmap backings**, and honours
+//! `M3_FORCE_SCALAR=1`.
+//!
+//! ## Convergence-tolerance mode
+//!
+//! Both PageRank variants follow [`PageRankConfig`]: with `tolerance > 0.0`
+//! iteration stops early once the L1 change between successive score vectors
+//! drops below the tolerance (the delta itself is computed in a fixed serial
+//! order, so early stopping is deterministic too); with `tolerance == 0.0`
+//! exactly `max_iterations` power iterations run, which is the mode the
+//! bit-identity guarantees above are usually exercised in.
+
+use m3_core::{AdjacencyStore, ExecContext};
+use m3_linalg::kernels;
+
+pub use crate::components::ComponentsResult;
+pub use crate::pagerank::{PageRankConfig, PageRankResult};
+
+fn empty_pagerank() -> PageRankResult {
+    PageRankResult {
+        scores: Vec::new(),
+        iterations: 0,
+        final_delta: 0.0,
+    }
+}
+
+/// Push-style power-iteration PageRank: one pass per iteration over the
+/// **out**-adjacency of every node, scattering each node's share onto its
+/// targets.
+///
+/// The scatter runs serially in node order (chunked only for the sweep's
+/// paging hints and tracer), which reproduces the accumulation order of the
+/// deprecated [`crate::pagerank::pagerank`] exactly — scores are bitwise
+/// equal to the old engine's, and trivially thread-count-invariant.  Use
+/// [`pagerank_pull`] when you want the worker pool on the hot loop.
+pub fn pagerank_push<G: AdjacencyStore + ?Sized>(
+    graph: &G,
+    config: &PageRankConfig,
+    ctx: &ExecContext,
+) -> PageRankResult {
+    let n = graph.n_nodes();
+    if n == 0 {
+        return empty_pagerank();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut scores = vec![uniform; n];
+    let mut next = vec![0.0; n];
+    let mut iterations = 0;
+    let mut delta = f64::INFINITY;
+
+    while iterations < config.max_iterations {
+        next.fill((1.0 - config.damping) * uniform);
+        let mut dangling_mass = 0.0;
+        ctx.for_each_adj_chunk(graph, |chunk| {
+            for (v, row) in chunk.rows_with_index() {
+                if row.is_empty() {
+                    dangling_mass += scores[v];
+                } else {
+                    let share = config.damping * scores[v] / row.len() as f64;
+                    kernels::adj_scatter_add(share, row, &mut next);
+                }
+            }
+        });
+        // Dangling nodes redistribute their mass uniformly.
+        let dangling_share = config.damping * dangling_mass * uniform;
+        for s in next.iter_mut() {
+            *s += dangling_share;
+        }
+        delta = l1_delta(&scores, &next);
+        std::mem::swap(&mut scores, &mut next);
+        iterations += 1;
+        if config.tolerance > 0.0 && delta < config.tolerance {
+            break;
+        }
+    }
+    PageRankResult {
+        scores,
+        iterations,
+        final_delta: delta,
+    }
+}
+
+/// Pull-style power-iteration PageRank over the **transpose** graph: row `v`
+/// of `transpose` must list the in-neighbours of `v` (for a symmetric graph
+/// the transpose is the graph itself, so the acceptance R-MAT workloads pass
+/// the same file).
+///
+/// Each iteration is one parallel map-reduce sweep; every chunk computes its
+/// nodes' new scores with [`kernels::adj_gather_sum`] against a read-only
+/// contribution vector, and the chunk-ordered fold reassembles the score
+/// vector, so the result is bit-identical across thread counts.  Out-degrees
+/// are recovered once, up front, by counting each node's occurrences in the
+/// transpose's neighbor lists (an occurrence of `u` in row `v` is the edge
+/// `u → v` of the original graph).
+pub fn pagerank_pull<G: AdjacencyStore + Sync + ?Sized>(
+    transpose: &G,
+    config: &PageRankConfig,
+    ctx: &ExecContext,
+) -> PageRankResult {
+    let n = transpose.n_nodes();
+    if n == 0 {
+        return empty_pagerank();
+    }
+    let out_degree = occurrence_out_degrees(transpose, ctx);
+    let uniform = 1.0 / n as f64;
+    let mut scores = vec![uniform; n];
+    let mut contrib = vec![0.0; n];
+    let mut iterations = 0;
+    let mut delta = f64::INFINITY;
+
+    while iterations < config.max_iterations {
+        let mut dangling_mass = 0.0;
+        for u in 0..n {
+            if out_degree[u] == 0 {
+                dangling_mass += scores[u];
+                contrib[u] = 0.0;
+            } else {
+                contrib[u] = config.damping * scores[u] / out_degree[u] as f64;
+            }
+        }
+        let base = (1.0 - config.damping) * uniform + config.damping * dangling_mass * uniform;
+        let contrib_ref = &contrib;
+        let next = ctx.map_reduce_adj_rows(
+            transpose,
+            |chunk| {
+                let mut segment = Vec::with_capacity(chunk.n_rows());
+                for i in 0..chunk.n_rows() {
+                    segment.push(base + kernels::adj_gather_sum(chunk.row(i), contrib_ref));
+                }
+                segment
+            },
+            Vec::new(),
+            |mut acc, mut part| {
+                acc.append(&mut part);
+                acc
+            },
+        );
+        delta = l1_delta(&scores, &next);
+        scores = next;
+        iterations += 1;
+        if config.tolerance > 0.0 && delta < config.tolerance {
+            break;
+        }
+    }
+    PageRankResult {
+        scores,
+        iterations,
+        final_delta: delta,
+    }
+}
+
+/// Connected components by Jacobi min-label propagation: every pass each
+/// node adopts the minimum label among itself and its neighbours, computed
+/// as a parallel chunk sweep against the previous pass's labels, until a
+/// pass changes nothing.
+///
+/// The adjacency must be **symmetric** (mirror every edge — e.g.
+/// `GraphBuilder::symmetric(true)` or the generator's default); min over
+/// integers is order-independent, so labels are bit-identical across thread
+/// counts and agree with the deprecated Gauss-Seidel
+/// [`crate::components::connected_components`] on the fixed point.
+pub fn connected_components<G: AdjacencyStore + Sync + ?Sized>(
+    graph: &G,
+    ctx: &ExecContext,
+) -> ComponentsResult {
+    let n = graph.n_nodes();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut iterations = 0;
+    while !labels.is_empty() {
+        let labels_ref = &labels;
+        let (next, changed) = ctx.map_reduce_adj_rows(
+            graph,
+            |chunk| {
+                let mut segment = Vec::with_capacity(chunk.n_rows());
+                let mut changed = 0u64;
+                for (v, row) in chunk.rows_with_index() {
+                    let mut best = labels_ref[v];
+                    for &t in row {
+                        best = best.min(labels_ref[t as usize]);
+                    }
+                    if best < labels_ref[v] {
+                        changed += 1;
+                    }
+                    segment.push(best);
+                }
+                (segment, changed)
+            },
+            (Vec::new(), 0u64),
+            |(mut acc, a), (mut part, b)| {
+                acc.append(&mut part);
+                (acc, a + b)
+            },
+        );
+        labels = next;
+        iterations += 1;
+        if changed == 0 {
+            break;
+        }
+    }
+    let mut distinct = labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    ComponentsResult {
+        n_components: distinct.len(),
+        labels,
+        iterations,
+    }
+}
+
+/// Out-degree structure of a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Number of nodes.
+    pub n_nodes: usize,
+    /// Number of directed edges.
+    pub n_edges: usize,
+    /// Smallest out-degree.
+    pub min_degree: usize,
+    /// Largest out-degree.
+    pub max_degree: usize,
+    /// Average out-degree (`n_edges / n_nodes`).
+    pub mean_degree: f64,
+    /// Nodes with no out-edges.
+    pub dangling: usize,
+}
+
+/// Degree statistics in one parallel sweep (min/max/count reductions are
+/// order-independent, so the result is exact and thread-count-invariant).
+pub fn degree_stats<G: AdjacencyStore + Sync + ?Sized>(
+    graph: &G,
+    ctx: &ExecContext,
+) -> DegreeStats {
+    let n = graph.n_nodes();
+    if n == 0 {
+        return DegreeStats {
+            n_nodes: 0,
+            n_edges: 0,
+            min_degree: 0,
+            max_degree: 0,
+            mean_degree: 0.0,
+            dangling: 0,
+        };
+    }
+    let (min_degree, max_degree, dangling) = ctx.map_reduce_adj_rows(
+        graph,
+        |chunk| {
+            let mut min = usize::MAX;
+            let mut max = 0usize;
+            let mut dangling = 0usize;
+            for i in 0..chunk.n_rows() {
+                let d = chunk.row(i).len();
+                min = min.min(d);
+                max = max.max(d);
+                if d == 0 {
+                    dangling += 1;
+                }
+            }
+            (min, max, dangling)
+        },
+        (usize::MAX, 0usize, 0usize),
+        |a, b| (a.0.min(b.0), a.1.max(b.1), a.2 + b.2),
+    );
+    DegreeStats {
+        n_nodes: n,
+        n_edges: graph.n_edges(),
+        min_degree,
+        max_degree,
+        mean_degree: graph.n_edges() as f64 / n as f64,
+        dangling,
+    }
+}
+
+/// Count triangles of a **symmetric** graph with sorted, duplicate-free,
+/// loop-free adjacency (what the builder and generator produce).
+///
+/// Each triangle `{u < v < w}` is charged to its smallest vertex: for every
+/// edge `u → v` with `v > u`, the sorted lists of `u` and `v` are
+/// intersected above `v`.  Chunks only ever read the store, so the sweep
+/// parallelises freely and the integer sum is exact on any thread count.
+pub fn triangle_count<G: AdjacencyStore + Sync + ?Sized>(graph: &G, ctx: &ExecContext) -> u64 {
+    ctx.map_reduce_adj_rows(
+        graph,
+        |chunk| {
+            let mut count = 0u64;
+            for (u, row) in chunk.rows_with_index() {
+                for &v in row {
+                    if (v as usize) > u {
+                        count += intersect_above(row, graph.neighbors(v as usize), v);
+                    }
+                }
+            }
+            count
+        },
+        0u64,
+        |a, b| a + b,
+    )
+}
+
+/// Count the common elements of two sorted strictly-increasing lists that
+/// are strictly greater than `floor`.
+fn intersect_above(a: &[u32], b: &[u32], floor: u32) -> u64 {
+    let mut i = a.partition_point(|&x| x <= floor);
+    let mut j = b.partition_point(|&x| x <= floor);
+    let mut count = 0u64;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Count how often each node id appears as a neighbor — over a transpose
+/// graph this recovers the original graph's out-degrees in one sweep.
+fn occurrence_out_degrees<G: AdjacencyStore + ?Sized>(
+    transpose: &G,
+    ctx: &ExecContext,
+) -> Vec<u64> {
+    let mut degrees = vec![0u64; transpose.n_nodes()];
+    ctx.for_each_adj_chunk(transpose, |chunk| {
+        for &u in chunk.indices {
+            degrees[u as usize] += 1;
+        }
+    });
+    degrees
+}
+
+fn l1_delta(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::GraphBuilder;
+    use crate::generate;
+    use m3_core::PAGE_SIZE;
+
+    fn pooled(threads: usize) -> ExecContext {
+        ExecContext::new()
+            .with_threads(threads)
+            .with_chunk_bytes(PAGE_SIZE)
+            .with_parallel_threshold(0)
+    }
+
+    fn fixed(iters: usize) -> PageRankConfig {
+        PageRankConfig {
+            tolerance: 0.0,
+            max_iterations: iters,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn push_matches_the_old_engine_bitwise() {
+        let g = generate::preferential_attachment(300, 3, 17);
+        let old = crate::pagerank::pagerank(&g, &PageRankConfig::default());
+        let new = pagerank_push(&g, &PageRankConfig::default(), &pooled(4));
+        assert_eq!(old.scores, new.scores);
+        assert_eq!(old.iterations, new.iterations);
+        assert_eq!(old.final_delta.to_bits(), new.final_delta.to_bits());
+    }
+
+    #[test]
+    fn pull_agrees_with_push_on_symmetric_graphs() {
+        let g = generate::disjoint_rings(3, 40);
+        let push = pagerank_push(&g, &fixed(30), &ExecContext::serial());
+        let pull = pagerank_pull(&g, &fixed(30), &pooled(4));
+        assert_eq!(push.scores.len(), pull.scores.len());
+        for (a, b) in push.scores.iter().zip(&pull.scores) {
+            assert!((a - b).abs() < 1e-12, "push {a} vs pull {b}");
+        }
+        let sum: f64 = pull.scores.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pull_is_bit_identical_across_thread_counts() {
+        let mut b = GraphBuilder::new(200).symmetric(true);
+        for v in 0..199u32 {
+            b.add_edge(v, v + 1).unwrap();
+            b.add_edge(v, (v * 7 + 3) % 200).unwrap();
+        }
+        let g = b.build();
+        let serial = pagerank_pull(&g, &fixed(20), &pooled(1));
+        for threads in [2, 4, 8] {
+            let parallel = pagerank_pull(&g, &fixed(20), &pooled(threads));
+            let same = serial
+                .scores
+                .iter()
+                .zip(&parallel.scores)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "pull scores drifted at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn pull_tolerance_mode_stops_early() {
+        let g = generate::disjoint_rings(1, 16);
+        let r = pagerank_pull(
+            &g,
+            &PageRankConfig {
+                tolerance: 1e-10,
+                max_iterations: 500,
+                ..Default::default()
+            },
+            &ExecContext::serial(),
+        );
+        assert!(r.iterations < 500);
+        assert!(r.final_delta < 1e-10);
+    }
+
+    #[test]
+    fn pull_handles_dangling_nodes() {
+        // 1 -> 0, 2 -> 0; nodes 0, 3 dangle.  Transpose: row 0 = {1, 2}.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        let transpose = b.build();
+        let r = pagerank_pull(&transpose, &fixed(40), &ExecContext::serial());
+        let sum: f64 = r.scores.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "mass must be conserved, got {sum}"
+        );
+        assert!(r.scores[0] > r.scores[3]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn components_match_the_old_engine() {
+        let g = generate::disjoint_rings(5, 9);
+        let old = crate::components::connected_components(&g);
+        let new = connected_components(&g, &pooled(4));
+        assert_eq!(old.labels, new.labels);
+        assert_eq!(old.n_components, new.n_components);
+        let serial = connected_components(&g, &ExecContext::serial());
+        assert_eq!(serial.labels, new.labels);
+    }
+
+    #[test]
+    fn components_handle_chains_and_isolated_nodes() {
+        let mut b = GraphBuilder::new(64).symmetric(true);
+        for v in 10..40u32 {
+            b.add_edge(v, v + 1).unwrap();
+        }
+        let r = connected_components(&b.build(), &pooled(2));
+        assert_eq!(r.labels[25], 10);
+        assert_eq!(r.labels[5], 5);
+        assert_eq!(r.n_components, 64 - 31 + 1);
+        let empty = connected_components(&GraphBuilder::new(0).build(), &ExecContext::serial());
+        assert_eq!(empty.n_components, 0);
+        assert_eq!(empty.iterations, 0);
+    }
+
+    #[test]
+    fn degree_stats_are_exact() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        b.add_edge(0, 3).unwrap();
+        b.add_edge(1, 0).unwrap();
+        let s = degree_stats(&b.build(), &pooled(2));
+        assert_eq!(
+            s,
+            DegreeStats {
+                n_nodes: 5,
+                n_edges: 4,
+                min_degree: 0,
+                max_degree: 3,
+                mean_degree: 4.0 / 5.0,
+                dangling: 3,
+            }
+        );
+        assert_eq!(
+            degree_stats(&GraphBuilder::new(0).build(), &ExecContext::serial()).n_nodes,
+            0
+        );
+    }
+
+    #[test]
+    fn triangle_counts_known_graphs() {
+        // Complete graph K5: C(5,3) = 10 triangles.
+        let mut b = GraphBuilder::new(5).symmetric(true);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        assert_eq!(triangle_count(&b.build(), &pooled(3)), 10);
+        // A ring has none.
+        assert_eq!(
+            triangle_count(&generate::disjoint_rings(2, 6), &ExecContext::serial()),
+            0
+        );
+        // One triangle plus a pendant edge.
+        let mut b = GraphBuilder::new(4).symmetric(true);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 0).unwrap();
+        b.add_edge(2, 3).unwrap();
+        assert_eq!(triangle_count(&b.build(), &pooled(2)), 1);
+    }
+}

@@ -21,6 +21,10 @@ pub struct ComponentsResult {
 }
 
 /// Compute connected components by iterative min-label propagation.
+#[deprecated(
+    since = "0.10.0",
+    note = "use `analytics::connected_components` on an `ExecContext`"
+)]
 pub fn connected_components<G: GraphStore + ?Sized>(graph: &G) -> ComponentsResult {
     let n = graph.n_nodes();
     let mut labels: Vec<u32> = (0..n as u32).collect();
@@ -61,6 +65,10 @@ pub fn connected_components<G: GraphStore + ?Sized>(graph: &G) -> ComponentsResu
 }
 
 /// Sizes of each component, keyed by label, sorted descending.
+#[deprecated(
+    since = "0.10.0",
+    note = "count labels from `analytics::connected_components`"
+)]
 pub fn component_sizes(result: &ComponentsResult) -> Vec<(u32, usize)> {
     let mut sizes: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
     for &l in &result.labels {
@@ -72,6 +80,7 @@ pub fn component_sizes(result: &ComponentsResult) -> Vec<(u32, usize)> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::csr::GraphBuilder;

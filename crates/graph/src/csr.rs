@@ -67,6 +67,28 @@ impl GraphStore for CsrGraph {
     }
 }
 
+/// `CsrGraph` is also an `m3-core` [`m3_core::AdjacencyStore`], so the new
+/// sweep-based engine in [`crate::analytics`] runs over it interchangeably
+/// with the memory-mapped [`m3_core::GraphFile`] — the arrays are already in
+/// exactly the container's shape (`u64` offsets, `u32` neighbor ids).
+impl m3_core::AdjacencyStore for CsrGraph {
+    fn n_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn n_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    fn indptr(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    fn indices(&self) -> &[u32] {
+        &self.targets
+    }
+}
+
 /// Incremental builder that accepts an unordered edge list.
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {

@@ -7,23 +7,42 @@
 //! compressed-sparse-row (CSR) adjacency data, and the two algorithms the
 //! prior work evaluated run unchanged over in-memory or memory-mapped graphs.
 //!
-//! * [`csr::CsrGraph`] — an in-memory CSR graph and a builder from edge lists,
-//! * [`mmap_graph::MmapGraph`] — the same structure, stored in a single file
-//!   and accessed through `mmap` without loading it eagerly,
-//! * [`pagerank`] — power-iteration PageRank over any [`GraphStore`],
-//! * [`components`] — connected components via label propagation,
+//! * [`analytics`] — the out-of-core engine: PageRank (push and pull),
+//!   connected components, degree statistics and triangle counting as
+//!   chunk-ordered [`m3_core::ExecContext`] sweeps over any
+//!   [`m3_core::AdjacencyStore`], sharing the worker pool, chunk budget,
+//!   `madvise` hints and tracer with the ML sweeps,
+//! * [`csr::CsrGraph`] — an in-memory CSR graph and a builder from edge
+//!   lists; it implements both [`GraphStore`] and
+//!   [`m3_core::AdjacencyStore`], bridging the old and new engines,
+//! * [`m3_core::GraphFile`] (re-exported here) — the memory-mapped
+//!   `M3GRPH01` adjacency container the engine runs over out of core,
+//!   written crash-safely by [`m3_core::GraphFileBuilder`] or streamed from
+//!   the `m3-data` R-MAT generator,
 //! * [`generate`] — deterministic random-graph generators for tests and
 //!   benchmarks.
+//!
+//! The original single-threaded entry points ([`pagerank::pagerank`],
+//! [`components::connected_components`]) and the ad-hoc `M3GRAPH1` format
+//! ([`mmap_graph`]) are kept as deprecated shims for one release; see
+//! MIGRATION.md.
 
 #![warn(missing_docs)]
 
+pub mod analytics;
 pub mod components;
 pub mod csr;
 pub mod generate;
 pub mod mmap_graph;
 pub mod pagerank;
 
+pub use analytics::{
+    connected_components, degree_stats, pagerank_pull, pagerank_push, triangle_count,
+    ComponentsResult, DegreeStats, PageRankConfig, PageRankResult,
+};
 pub use csr::{CsrGraph, GraphBuilder};
+pub use m3_core::{AdjacencyStore, GraphFile, GraphFileBuilder};
+#[allow(deprecated)]
 pub use mmap_graph::MmapGraph;
 
 /// Read-only adjacency access shared by in-memory and memory-mapped graphs.
@@ -52,6 +71,21 @@ impl<T: GraphStore + ?Sized> GraphStore for &T {
     }
     fn neighbors(&self, node: usize) -> &[u32] {
         (**self).neighbors(node)
+    }
+}
+
+/// The memory-mapped container is a [`GraphStore`] too, so the deprecated
+/// single-threaded algorithms run unchanged over `M3GRPH01` files — that is
+/// what the old-vs-new parity tests exercise.
+impl GraphStore for m3_core::GraphFile {
+    fn n_nodes(&self) -> usize {
+        m3_core::AdjacencyStore::n_nodes(self)
+    }
+    fn n_edges(&self) -> usize {
+        m3_core::AdjacencyStore::n_edges(self)
+    }
+    fn neighbors(&self, node: usize) -> &[u32] {
+        m3_core::AdjacencyStore::neighbors(self, node)
     }
 }
 

@@ -29,6 +29,11 @@ const MAGIC: [u8; 8] = *b"M3GRAPH1";
 const HEADER_BYTES: usize = 64;
 
 /// Write a CSR graph to a file in the mmap-ready format.
+#[deprecated(
+    since = "0.10.0",
+    note = "write an `M3GRPH01` container with `m3_core::persist_graph` or \
+            `m3_core::GraphFileBuilder` instead"
+)]
 pub fn write_graph(graph: &CsrGraph, path: impl AsRef<Path>) -> Result<()> {
     let path = path.as_ref();
     let file = OpenOptions::new()
@@ -61,12 +66,17 @@ pub fn write_graph(graph: &CsrGraph, path: impl AsRef<Path>) -> Result<()> {
 
 /// A CSR graph backed by a memory-mapped file.
 #[derive(Debug)]
+#[deprecated(
+    since = "0.10.0",
+    note = "open an `M3GRPH01` container with `m3_core::GraphFile` instead"
+)]
 pub struct MmapGraph {
     map: Mmap,
     n_nodes: usize,
     n_edges: usize,
 }
 
+#[allow(deprecated)]
 impl MmapGraph {
     /// Open a graph file written by [`write_graph`].
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
@@ -119,6 +129,7 @@ impl MmapGraph {
     }
 }
 
+#[allow(deprecated)]
 impl GraphStore for MmapGraph {
     fn n_nodes(&self) -> usize {
         self.n_nodes
@@ -137,6 +148,7 @@ impl GraphStore for MmapGraph {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::csr::GraphBuilder;

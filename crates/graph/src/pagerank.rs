@@ -40,6 +40,11 @@ pub struct PageRankResult {
 }
 
 /// Run PageRank over any [`GraphStore`].
+#[deprecated(
+    since = "0.10.0",
+    note = "use `analytics::pagerank_push` (bitwise-equal scores) or \
+            `analytics::pagerank_pull` on an `ExecContext`"
+)]
 pub fn pagerank<G: GraphStore + ?Sized>(graph: &G, config: &PageRankConfig) -> PageRankResult {
     let n = graph.n_nodes();
     if n == 0 {
@@ -95,6 +100,7 @@ pub fn pagerank<G: GraphStore + ?Sized>(graph: &G, config: &PageRankConfig) -> P
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::csr::GraphBuilder;

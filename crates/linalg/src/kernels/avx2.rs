@@ -428,6 +428,61 @@ pub fn sparse_gemv(indptr: &[u64], indices: &[u32], values: &[f64], x: &[f64], y
     }
 }
 
+/// Adjacency gather-sum via 4-lane gathers — [`sparse_dot`] with the value
+/// loads and FMAs replaced by plain adds, since every stored entry of an
+/// adjacency matrix is an implicit 1.0.
+///
+/// # Safety
+/// As [`sparse_dot`], with the same `x.len() <= i32::MAX` addressability
+/// contract; out-of-range indices panic before any gather runs.
+#[target_feature(enable = "avx2,fma")]
+pub fn adj_gather_sum(indices: &[u32], x: &[f64]) -> f64 {
+    debug_assert!(x.len() <= i32::MAX as usize);
+    let n = indices.len();
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let (i0, i1, i2, i3) = (indices[i], indices[i + 1], indices[i + 2], indices[i + 3]);
+        let max = i0.max(i1).max(i2).max(i3) as usize;
+        assert!(
+            max < x.len(),
+            "adj_gather_sum: neighbor {max} out of bounds"
+        );
+        // SAFETY: all four indices were just checked against x.len(), which
+        // the dispatch wrapper guarantees fits in i32, and i + 4 <= n bounds
+        // the index loads.
+        unsafe {
+            let idx = _mm_loadu_si128(indices.as_ptr().add(i).cast());
+            acc = _mm256_add_pd(acc, _mm256_i32gather_pd::<8>(x.as_ptr(), idx));
+        }
+        i += 4;
+    }
+    let mut total = hsum256(acc);
+    while i < n {
+        total += x[indices[i] as usize];
+        i += 1;
+    }
+    total
+}
+
+/// `y[r] = Σ x[neighbors of row r]` for an adjacency row block (see the
+/// scalar twin for the `indptr` base-offset convention) — one gathered
+/// [`adj_gather_sum`] per row.
+///
+/// # Safety
+/// As [`adj_gather_sum`].
+#[target_feature(enable = "avx2,fma")]
+pub fn adj_gemv(indptr: &[u64], indices: &[u32], x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(indptr.len(), y.len() + 1);
+    let base = indptr[0];
+    for (r, yr) in y.iter_mut().enumerate() {
+        let start = (indptr[r] - base) as usize;
+        let end = (indptr[r + 1] - base) as usize;
+        // The caller's contract is forwarded; slice bounds are checked.
+        *yr = adj_gather_sum(&indices[start..end], x);
+    }
+}
+
 /// Sparse squared distance via gathers: `‖c‖² + Σ v·(v − 2·c[idx])` over the
 /// stored entries.
 ///

@@ -465,6 +465,69 @@ pub fn sparse_gemv_t(indptr: &[u64], indices: &[u32], values: &[f64], x: &[f64],
     scalar::sparse_gemv_t(indptr, indices, values, x, y);
 }
 
+/// Adjacency gather-sum `Σ x[indices[k]]` over one adjacency row — the
+/// values-free [`sparse_dot`] (an adjacency matrix's stored entries are all
+/// implicit 1.0s), the inner loop of the pull-style PageRank update.
+///
+/// # Panics
+/// Panics when a neighbor id is out of range for `x`.
+#[inline]
+pub fn adj_gather_sum(indices: &[u32], x: &[f64]) -> f64 {
+    match dispatch::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only selected after runtime detection, and the
+        // addressability guard upholds the gather's i32 contract.
+        KernelPath::Avx2Fma if gather_addressable(x.len()) => unsafe {
+            avx2::adj_gather_sum(indices, x)
+        },
+        _ => scalar::adj_gather_sum(indices, x),
+    }
+}
+
+/// `y[r] = Σ x[neighbors of row r]` for an adjacency row block — the
+/// values-free [`sparse_gemv`] and the rank-update member of the
+/// `sparse_gemv_t` kernel family.  `indptr` holds `y.len() + 1` adjacency
+/// offsets (possibly carrying a global base offset, as chunked sweeps do);
+/// `indices` is the block's neighbor ids rebased to `indptr[0]`.
+///
+/// # Panics
+/// Panics when any buffer length disagrees with the adjacency offsets, or
+/// when a neighbor id is out of range for `x`.
+#[inline]
+pub fn adj_gemv(indptr: &[u64], indices: &[u32], x: &[f64], y: &mut [f64]) {
+    assert_eq!(
+        indptr.len(),
+        y.len() + 1,
+        "adj_gemv: indptr must have one entry per row plus one"
+    );
+    assert_eq!(
+        (indptr[indptr.len() - 1] - indptr[0]) as usize,
+        indices.len(),
+        "adj_gemv: edge count disagrees with indptr span"
+    );
+    match dispatch::active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2Fma is only selected after runtime detection, and the
+        // addressability guard upholds the gather's i32 contract.
+        KernelPath::Avx2Fma if gather_addressable(x.len()) => unsafe {
+            avx2::adj_gemv(indptr, indices, x, y)
+        },
+        _ => scalar::adj_gemv(indptr, indices, x, y),
+    }
+}
+
+/// Uniform scatter-add `y[indices[k]] += alpha` — the values-free
+/// [`scatter_axpy`] behind the push-style PageRank update.  Scatter stores
+/// have no AVX2 form (see [`scatter_axpy`]), so both dispatch paths run the
+/// scalar loop.
+///
+/// # Panics
+/// Panics when a neighbor id is out of range for `y`.
+#[inline]
+pub fn adj_scatter_add(alpha: f64, indices: &[u32], y: &mut [f64]) {
+    scalar::adj_scatter_add(alpha, indices, y);
+}
+
 /// Squared Euclidean distance between a sparse row and a dense `center`
 /// whose squared norm `center_sq_norm` is precomputed (k-means assignment
 /// reuses it across every row): `‖c‖² + Σ v·(v − 2·c[idx])`.
@@ -1064,6 +1127,69 @@ mod tests {
     fn sparse_dot_rejects_out_of_range_indices() {
         // Both dispatch paths must panic (not scribble) on a bad index.
         let _ = sparse_dot(&[7], &[1.0], &[0.0; 3]);
+    }
+
+    #[test]
+    fn adj_kernels_match_their_all_ones_sparse_twins() {
+        // An adjacency row is a CSR row whose values are all 1.0: the adj
+        // kernels must agree with the sparse kernels fed explicit ones, to
+        // within the gather/FMA ULP budget the sparse suite already allows.
+        let x: Vec<f64> = (0..50).map(|i| (i as f64 * 0.23).sin()).collect();
+        for n in [0usize, 1, 3, 4, 5, 8, 17] {
+            let indices: Vec<u32> = (0..n).map(|i| ((i * 7 + 3) % 50) as u32).collect();
+            let ones = vec![1.0; n];
+            assert!(
+                approx(
+                    adj_gather_sum(&indices, &x),
+                    sparse_dot(&indices, &ones, &x),
+                    1e-12
+                ),
+                "n = {n}"
+            );
+        }
+
+        // Row-block form, with a non-zero indptr base as chunked sweeps pass.
+        let indptr = [10u64, 12, 12, 15, 19];
+        let indices: Vec<u32> = (0..9).map(|i| ((i * 11 + 2) % 50) as u32).collect();
+        let ones = vec![1.0; 9];
+        let mut y_adj = [0.0; 4];
+        let mut y_ref = [0.0; 4];
+        adj_gemv(&indptr, &indices, &x, &mut y_adj);
+        sparse_gemv(&indptr, &indices, &ones, &x, &mut y_ref);
+        for (a, b) in y_adj.iter().zip(&y_ref) {
+            assert!(approx(*a, *b, 1e-12));
+        }
+
+        // Scatter form: adj_scatter_add is scatter_axpy with unit values.
+        let mut y_adj = vec![0.0; 50];
+        let mut y_ref = vec![0.0; 50];
+        adj_scatter_add(0.375, &indices, &mut y_adj);
+        scatter_axpy(0.375, &indices, &ones, &mut y_ref);
+        assert_eq!(y_adj, y_ref);
+    }
+
+    #[test]
+    fn adj_kernels_are_deterministic() {
+        let x: Vec<f64> = (0..301).map(|i| (i as f64 * 0.017).cos()).collect();
+        let indices: Vec<u32> = (0..123).map(|i| ((i * 13 + 5) % 301) as u32).collect();
+        assert_eq!(
+            adj_gather_sum(&indices, &x).to_bits(),
+            adj_gather_sum(&indices, &x).to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn adj_gather_sum_rejects_out_of_range_indices() {
+        // Both dispatch paths must panic (not scribble) on a bad neighbor.
+        let _ = adj_gather_sum(&[7], &[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge count disagrees")]
+    fn adj_gemv_rejects_mismatched_spans() {
+        let mut y = [0.0; 2];
+        adj_gemv(&[0, 1, 3], &[0], &[1.0, 2.0], &mut y);
     }
 
     #[test]

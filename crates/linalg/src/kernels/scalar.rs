@@ -208,6 +208,51 @@ pub fn sparse_gemv_t(indptr: &[u64], indices: &[u32], values: &[f64], x: &[f64],
     }
 }
 
+/// Adjacency gather-sum `Σ x[indices[k]]` over one adjacency row — the
+/// values-free [`sparse_dot`] (every stored entry of an adjacency matrix is
+/// an implicit 1.0), with the same four independent accumulation chains.
+/// This is the inner loop of the pull-style PageRank update.
+pub fn adj_gather_sum(indices: &[u32], x: &[f64]) -> f64 {
+    let mut acc0 = 0.0;
+    let mut acc1 = 0.0;
+    let mut acc2 = 0.0;
+    let mut acc3 = 0.0;
+    let chunks = indices.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc0 += x[indices[j] as usize];
+        acc1 += x[indices[j + 1] as usize];
+        acc2 += x[indices[j + 2] as usize];
+        acc3 += x[indices[j + 3] as usize];
+    }
+    let mut acc = (acc0 + acc1) + (acc2 + acc3);
+    for j in chunks * 4..indices.len() {
+        acc += x[indices[j] as usize];
+    }
+    acc
+}
+
+/// `y[r] = Σ x[neighbors of row r]` for an adjacency row block — the
+/// values-free [`sparse_gemv`], with the same `indptr` base-offset
+/// convention.
+pub fn adj_gemv(indptr: &[u64], indices: &[u32], x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(indptr.len(), y.len() + 1);
+    let base = indptr[0];
+    for (r, yr) in y.iter_mut().enumerate() {
+        let start = (indptr[r] - base) as usize;
+        let end = (indptr[r + 1] - base) as usize;
+        *yr = adj_gather_sum(&indices[start..end], x);
+    }
+}
+
+/// Uniform scatter-add: `y[indices[k]] += alpha` — the values-free
+/// [`scatter_axpy`] behind the push-style PageRank update.
+pub fn adj_scatter_add(alpha: f64, indices: &[u32], y: &mut [f64]) {
+    for &t in indices {
+        y[t as usize] += alpha;
+    }
+}
+
 /// Squared Euclidean distance between a sparse row and a dense point whose
 /// squared norm is known: `‖x − c‖² = ‖c‖² + Σ v·(v − 2·c[idx])`, visiting
 /// only the row's stored entries (four accumulation chains, like

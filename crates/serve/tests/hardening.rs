@@ -307,6 +307,13 @@ fn panicking_handler_loses_its_connection_but_not_the_pool() {
         // closed or reset connection — but never a process crash.
         let _ = http_request(addr, "POST", "/__fault/panic", "");
     }
+    // The client observes the dropped connection before the worker's
+    // catch_unwind bumps the counter, so give the last increment a moment
+    // to land before asserting the exact total.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.worker_panics() < 6 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(5));
+    }
     assert_eq!(server.worker_panics(), 6);
 
     // The pool has not shrunk: with 2 workers, 2 concurrent predictions

@@ -1,36 +1,43 @@
 //! PageRank over a memory-mapped graph — the workload family M3 grew out of.
 //!
-//! Builds a preferential-attachment graph, stores it in the mmap-ready CSR
-//! format, and runs PageRank and connected components over the mapped file,
-//! verifying the results against the in-memory graph.
+//! Streams an R-MAT graph to disk with the `m3-data` generator (the graph is
+//! never held in RAM), memory-maps the published `M3GRPH01` container, and
+//! runs the sweep-based analytics engine — PageRank, connected components
+//! and degree statistics — over the mapped file, verifying the scores
+//! against an in-memory copy of the same adjacency.
 //!
-//! Run with `cargo run --release --example graph_pagerank -- [nodes]`.
+//! Run with `cargo run --release --example graph_pagerank -- [scale]`.
 
-use m3::graph::components::connected_components;
-use m3::graph::pagerank::{pagerank, PageRankConfig};
-use m3::graph::{generate, mmap_graph, GraphStore};
+use m3::core::{AdjacencyStore, ExecContext, GraphFile};
+use m3::data::{generate_rmat, RmatConfig};
+use m3::graph::analytics::{connected_components, degree_stats, pagerank_pull, PageRankConfig};
+use m3::graph::CsrGraph;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let nodes: usize = std::env::args()
+    let scale: u32 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or(20_000);
+        .unwrap_or(15);
 
     let dir = tempfile::tempdir()?;
     let path = dir.path().join("web.m3g");
 
-    let graph = generate::preferential_attachment(nodes, 6, 13);
-    mmap_graph::write_graph(&graph, &path)?;
-    let mapped = mmap_graph::MmapGraph::open(&path)?;
+    let summary = generate_rmat(&path, &RmatConfig::new(scale, 8 << scale).with_seed(13))?;
+    let mapped = GraphFile::open(&path)?;
     println!(
-        "graph: {} nodes, {} edges ({:.1} MB on disk)",
-        mapped.n_nodes(),
-        mapped.n_edges(),
-        std::fs::metadata(&path)?.len() as f64 / 1e6
+        "graph: {} nodes, {} edges ({:.1} MB on disk, {} duplicate samples dropped)",
+        summary.n_nodes,
+        summary.written_edges,
+        std::fs::metadata(&path)?.len() as f64 / 1e6,
+        summary.duplicates_dropped,
     );
 
+    let ctx = ExecContext::new();
+    let config = PageRankConfig::default();
     let start = std::time::Instant::now();
-    let ranks = pagerank(&mapped, &PageRankConfig::default());
+    // The graph is symmetric, so it is its own transpose and the pull
+    // variant can run its parallel gather sweeps directly over the file.
+    let ranks = pagerank_pull(&mapped, &config, &ctx);
     println!(
         "PageRank over the mmap'd graph: {} iterations in {:.2?}",
         ranks.iterations,
@@ -41,21 +48,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("top 5 nodes by rank:");
     for (node, score) in top.iter().take(5) {
         println!(
-            "  node {node:6}  score {score:.6}  out-degree {}",
+            "  node {node:6}  score {score:.6}  degree {}",
             mapped.out_degree(*node)
         );
     }
 
-    let in_memory_ranks = pagerank(&graph, &PageRankConfig::default());
+    let in_memory = CsrGraph::from_parts(mapped.indptr().to_vec(), mapped.indices().to_vec())?;
+    let in_memory_ranks = pagerank_pull(&in_memory, &config, &ctx);
     assert_eq!(
         ranks.scores, in_memory_ranks.scores,
-        "mmap and in-memory must agree"
+        "mmap and in-memory must agree bit for bit"
     );
 
-    let components = connected_components(&mapped);
+    let components = connected_components(&mapped, &ctx);
     println!(
         "connected components: {} component(s) found in {} passes",
         components.n_components, components.iterations
+    );
+    let stats = degree_stats(&mapped, &ctx);
+    println!(
+        "degrees: min {}, max {}, mean {:.2}, {} isolated node(s)",
+        stats.min_degree, stats.max_degree, stats.mean_degree, stats.dangling
     );
     Ok(())
 }

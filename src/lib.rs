@@ -14,7 +14,7 @@
 //! | [`serve`] | `m3-serve` | zero-copy artifact serving: hot-swappable model registry + batch HTTP prediction server |
 //! | [`vmsim`] | `m3-vmsim` | page-cache + SSD simulator behind Figure 1a |
 //! | [`cluster`] | `m3-cluster` | bulk-synchronous Spark-baseline simulator behind Figure 1b |
-//! | [`graph`] | `m3-graph` | memory-mapped PageRank / connected components extension |
+//! | [`graph`] | `m3-graph` | out-of-core graph analytics: PageRank, connected components, degree/triangle statistics as [`ExecContext`](core::ExecContext) sweeps over mmap'd `M3GRPH01` adjacency |
 //!
 //! ## Sparse data
 //!
@@ -72,12 +72,16 @@ pub use m3_vmsim as vmsim;
 /// The most commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use m3_core::{
-        mmap_alloc, mmap_alloc_mut, AccessPattern, CsrFile, Dataset, ExecContext, MmapMatrix,
-        RowStore, SparseRowStore,
+        mmap_alloc, mmap_alloc_mut, AccessPattern, AdjacencyStore, CsrFile, Dataset, ExecContext,
+        GraphFile, GraphFileBuilder, MmapMatrix, RowStore, SparseRowStore,
     };
     pub use m3_data::{
-        convert_libsvm_to_csr, read_libsvm, read_libsvm_csr, write_libsvm, write_libsvm_csr,
-        GaussianBlobs, InfimnistLike, LinearProblem, RowGenerator,
+        convert_libsvm_to_csr, generate_rmat, read_libsvm, read_libsvm_csr, write_libsvm,
+        write_libsvm_csr, GaussianBlobs, InfimnistLike, LinearProblem, RmatConfig, RowGenerator,
+    };
+    pub use m3_graph::{
+        connected_components, degree_stats, pagerank_pull, pagerank_push, triangle_count, CsrGraph,
+        GraphBuilder, PageRankConfig,
     };
     pub use m3_linalg::{CsrBuilder, CsrMatrix, DenseMatrix, MatrixView, Vector};
     pub use m3_ml::api::{
@@ -113,5 +117,7 @@ mod tests {
         let _ = crate::vmsim::SimConfig::paper_machine();
         let _ = crate::cluster::ClusterConfig::emr_m3_2xlarge(4);
         let _ = crate::graph::csr::GraphBuilder::new(2);
+        let _ = crate::data::RmatConfig::new(4, 16);
+        let _ = crate::graph::analytics::PageRankConfig::default();
     }
 }

@@ -84,7 +84,23 @@ fn verify_model(path: &Path) -> Result<(), String> {
         .map(|_| ())
 }
 
-const FAMILIES: [Family; 3] = [
+fn build_graph(path: &Path, version: u64) -> Result<(), String> {
+    let mut b = m3::core::GraphFileBuilder::create(path, 4, 5).map_err(|e| e.to_string())?;
+    // Version-dependent adjacency so old and new images differ.
+    let t = (version % 2) as u32;
+    for row in [vec![1, 3], vec![], vec![t, 3], vec![2]] {
+        b.push_node(&row).map_err(|e| e.to_string())?;
+    }
+    b.finish().map_err(|e| e.to_string()).map(|_| ())
+}
+
+fn verify_graph(path: &Path) -> Result<(), String> {
+    m3::core::GraphFile::open_verified(path)
+        .map_err(|e| e.to_string())
+        .map(|_| ())
+}
+
+const FAMILIES: [Family; 4] = [
     Family {
         name: "dataset",
         build: build_dataset,
@@ -99,6 +115,11 @@ const FAMILIES: [Family; 3] = [
         name: "model",
         build: build_model,
         verify: verify_model,
+    },
+    Family {
+        name: "graph",
+        build: build_graph,
+        verify: verify_graph,
     },
 ];
 
@@ -282,6 +303,46 @@ fn reopening_after_every_fault_yields_typed_errors_never_panics() {
     ));
     assert!(CsrFile::open(&path).is_err());
     assert!(ModelFile::open(&path).is_err());
+    assert!(m3::core::GraphFile::open(&path).is_err());
+}
+
+#[test]
+fn truncated_or_corrupt_graph_files_are_refused() {
+    let _guard = serial();
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("adjacency.m3g");
+    build_graph(&path, 1).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Chop the indices section short: open must report the size mismatch.
+    std::fs::write(&path, &bytes[..bytes.len() - 512]).unwrap();
+    let err = m3::core::GraphFile::open(&path);
+    if std::env::var_os("M3_VERIFY").is_some_and(|v| v != "0") {
+        assert!(err.is_err(), "M3_VERIFY open accepted a truncated graph");
+    } else {
+        assert!(
+            matches!(err, Err(CoreError::SizeMismatch { .. })),
+            "expected a size mismatch, got: {err:?}"
+        );
+    }
+
+    // Flip one neighbor id: the header still parses, so only the checksum
+    // sweep can refuse the file.
+    let mut flipped = bytes.clone();
+    let indices_offset = {
+        let graph = {
+            std::fs::write(&path, &bytes).unwrap();
+            m3::core::GraphFile::open(&path).unwrap()
+        };
+        graph.header().indices_offset as usize
+    };
+    flipped[indices_offset + 2] ^= 0x11;
+    std::fs::write(&path, &flipped).unwrap();
+    let err = m3::core::GraphFile::open_verified(&path).unwrap_err();
+    assert!(
+        matches!(err, CoreError::ChecksumMismatch { ref section, .. } if section == "indices"),
+        "expected an indices checksum mismatch, got: {err}"
+    );
 }
 
 #[test]

@@ -128,7 +128,7 @@ fn e1_table1_models_identical_across_storage_backends() {
 #[test]
 fn e7_graph_extension_results_match_across_backends() {
     let dir = tempfile::tempdir().unwrap();
-    let experiment = m3_bench::graphs::run(dir.path(), 2_000, 5, 1);
+    let experiment = m3_bench::graphs::run(dir.path(), 11, 5, 1);
     assert!(experiment.pagerank_results_match);
     assert!(experiment.components_results_match);
     assert_eq!(experiment.rows.len(), 4);

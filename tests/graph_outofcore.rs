@@ -1,0 +1,124 @@
+//! Out-of-core graph analytics: generate an R-MAT graph on disk, run the
+//! sweep-based engine over the memory-mapped container with a chunk budget
+//! far smaller than the file, and assert the results are **bit-identical**
+//! across thread counts and across mem-vs-mmap backings — plus parity
+//! between the deprecated single-threaded engine and the new one.
+
+use m3::core::{AdjacencyStore, ExecContext, GraphFile, PAGE_SIZE};
+use m3::data::{generate_rmat, RmatConfig};
+use m3::graph::analytics::{
+    connected_components, degree_stats, pagerank_pull, pagerank_push, triangle_count,
+    PageRankConfig,
+};
+use m3::graph::CsrGraph;
+
+fn fixture(dir: &tempfile::TempDir) -> (GraphFile, CsrGraph) {
+    let path = dir.path().join("rmat.m3g");
+    let cfg = RmatConfig::new(12, 40_000)
+        .with_seed(42)
+        .with_mem_budget(64 << 10);
+    let summary = generate_rmat(&path, &cfg).unwrap();
+    assert!(summary.written_edges > 50_000, "symmetric R-MAT fixture");
+    let mapped = GraphFile::open_verified(&path).unwrap();
+    let in_memory =
+        CsrGraph::from_parts(mapped.indptr().to_vec(), mapped.indices().to_vec()).unwrap();
+    (mapped, in_memory)
+}
+
+/// A context whose chunk budget (one page) is hundreds of times smaller
+/// than the fixture file, so every sweep is genuinely chunked.
+fn ctx(threads: usize) -> ExecContext {
+    ExecContext::new()
+        .with_threads(threads)
+        .with_chunk_bytes(PAGE_SIZE)
+        .with_parallel_threshold(0)
+}
+
+fn fixed_iterations() -> PageRankConfig {
+    PageRankConfig {
+        tolerance: 0.0,
+        max_iterations: 15,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn pagerank_is_bit_identical_across_threads_and_backings() {
+    let dir = tempfile::tempdir().unwrap();
+    let (mapped, in_memory) = fixture(&dir);
+    let reference = pagerank_pull(&mapped, &fixed_iterations(), &ctx(1));
+    let sum: f64 = reference.scores.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-9, "scores must stay a distribution");
+
+    for threads in [1usize, 2, 4] {
+        let on_mapped = pagerank_pull(&mapped, &fixed_iterations(), &ctx(threads));
+        let on_memory = pagerank_pull(&in_memory, &fixed_iterations(), &ctx(threads));
+        for (label, run) in [("mmap", &on_mapped), ("mem", &on_memory)] {
+            assert_eq!(run.scores.len(), reference.scores.len());
+            let identical = run
+                .scores
+                .iter()
+                .zip(&reference.scores)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(identical, "pull scores drifted: {threads} threads, {label}");
+        }
+    }
+}
+
+#[test]
+fn push_and_pull_agree_and_push_matches_the_deprecated_engine() {
+    let dir = tempfile::tempdir().unwrap();
+    let (mapped, in_memory) = fixture(&dir);
+    let push = pagerank_push(&mapped, &fixed_iterations(), &ctx(4));
+    let pull = pagerank_pull(&mapped, &fixed_iterations(), &ctx(4));
+    for (a, b) in push.scores.iter().zip(&pull.scores) {
+        assert!((a - b).abs() < 1e-12, "push {a} vs pull {b}");
+    }
+
+    // The push variant reproduces the deprecated engine's accumulation order
+    // exactly, over both backings.
+    #[allow(deprecated)]
+    let old = m3::graph::pagerank::pagerank(&in_memory, &fixed_iterations());
+    assert_eq!(old.scores, push.scores);
+    let push_mem = pagerank_push(&in_memory, &fixed_iterations(), &ctx(2));
+    assert_eq!(old.scores, push_mem.scores);
+}
+
+#[test]
+fn connected_components_are_bit_identical_and_match_the_deprecated_engine() {
+    let dir = tempfile::tempdir().unwrap();
+    let (mapped, in_memory) = fixture(&dir);
+    let reference = connected_components(&mapped, &ctx(1));
+    for threads in [2usize, 4] {
+        assert_eq!(
+            connected_components(&mapped, &ctx(threads)).labels,
+            reference.labels,
+            "labels drifted at {threads} threads"
+        );
+    }
+    assert_eq!(
+        connected_components(&in_memory, &ctx(4)).labels,
+        reference.labels,
+        "labels differ between backings"
+    );
+
+    #[allow(deprecated)]
+    let old = m3::graph::components::connected_components(&in_memory);
+    assert_eq!(old.labels, reference.labels);
+    assert_eq!(old.n_components, reference.n_components);
+}
+
+#[test]
+fn statistics_agree_across_backings_and_thread_counts() {
+    let dir = tempfile::tempdir().unwrap();
+    let (mapped, in_memory) = fixture(&dir);
+    let stats = degree_stats(&mapped, &ctx(4));
+    assert_eq!(stats, degree_stats(&in_memory, &ctx(1)));
+    assert_eq!(stats.n_nodes, 1 << 12);
+    assert_eq!(stats.n_edges, mapped.n_edges());
+    assert!(stats.max_degree > stats.min_degree, "R-MAT must be skewed");
+
+    let triangles = triangle_count(&mapped, &ctx(4));
+    assert_eq!(triangles, triangle_count(&in_memory, &ctx(1)));
+    assert!(triangles > 0, "a dense-core R-MAT graph has triangles");
+}
